@@ -1,0 +1,60 @@
+//! Criterion bench: the IMP baseline and the I/O paths — NAND synthesis
+//! throughput vs RM3 compilation, IMP execution, and BLIF round-trip
+//! speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::{compile, CompileOptions};
+use rlim_imp::{synthesize, ImpMachine, ImpSynthOptions};
+use rlim_mig::blif;
+use std::hint::black_box;
+
+fn bench_imp_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("imp_synthesis");
+    for &bench in &[Benchmark::Cavlc, Benchmark::Priority] {
+        let mig = bench.build();
+        group.bench_with_input(
+            BenchmarkId::new("imp_nand", bench.name()),
+            &mig,
+            |b, mig| b.iter(|| synthesize(black_box(mig), &ImpSynthOptions::min_write())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rm3_plim", bench.name()),
+            &mig,
+            |b, mig| {
+                b.iter(|| compile(black_box(mig), &CompileOptions::min_write().with_effort(0)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_imp_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("imp_execute");
+    let mig = Benchmark::Cavlc.build();
+    let program = synthesize(&mig, &ImpSynthOptions::lifo());
+    let inputs = vec![false; mig.num_inputs()];
+    group.bench_function("cavlc", |b| {
+        b.iter(|| {
+            let mut machine = ImpMachine::for_program(&program);
+            machine.run(&program, black_box(&inputs)).expect("no limit")
+        })
+    });
+    group.finish();
+}
+
+fn bench_blif_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blif");
+    let mig = Benchmark::Cavlc.build();
+    let text = blif::write_blif(&mig, "cavlc");
+    group.bench_function("write", |b| {
+        b.iter(|| blif::write_blif(black_box(&mig), "cavlc"))
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| blif::parse_blif(black_box(&text)).expect("round trip parses"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_imp_synthesis, bench_imp_execution, bench_blif_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: MIG → PLiM compilation time per policy column —
+//! quantifies what the endurance techniques cost at compile time (the
+//! paper reports only the compiled program's quality; this is the
+//! compiler-throughput ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::{compile, CompileOptions};
+use std::hint::black_box;
+
+fn policy_columns() -> Vec<(&'static str, CompileOptions)> {
+    vec![
+        ("naive", CompileOptions::naive()),
+        ("plim21", CompileOptions::plim_compiler()),
+        ("min_write", CompileOptions::min_write()),
+        ("ea_rewriting", CompileOptions::endurance_rewriting()),
+        ("ea_full", CompileOptions::endurance_aware()),
+        ("max_write_10", CompileOptions::endurance_aware().with_max_writes(10)),
+    ]
+}
+
+fn bench_compile_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for &bench in &[Benchmark::Cavlc, Benchmark::Priority, Benchmark::Dec] {
+        let mig = bench.build();
+        for (label, options) in policy_columns() {
+            group.bench_with_input(
+                BenchmarkId::new(label, bench.name()),
+                &mig,
+                |b, mig| b.iter(|| compile(black_box(mig), &options)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compile_scaling(c: &mut Criterion) {
+    // Compile time vs circuit size on the adder family.
+    let mut group = c.benchmark_group("compile_scaling");
+    group.sample_size(20);
+    for width in [16usize, 32, 64, 128] {
+        let mig = rlim_benchmarks::arith::adder_with_width(width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &mig, |b, mig| {
+            b.iter(|| compile(black_box(mig), &CompileOptions::endurance_aware()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_policies, bench_compile_scaling);
+criterion_main!(benches);

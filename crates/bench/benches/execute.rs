@@ -1,0 +1,43 @@
+//! Criterion bench: PLiM machine execution throughput — instructions per
+//! second of the RM3 interpreter over the simulated crossbar, with and
+//! without endurance checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::{compile, CompileOptions};
+use rlim_plim::Machine;
+use std::hint::black_box;
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute");
+    for &bench in &[Benchmark::Cavlc, Benchmark::Priority, Benchmark::Bar] {
+        let mig = bench.build();
+        let result = compile(&mig, &CompileOptions::endurance_aware());
+        let inputs = vec![false; mig.num_inputs()];
+        group.throughput(Throughput::Elements(result.num_instructions() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("unchecked", bench.name()),
+            &result.program,
+            |b, program| {
+                b.iter(|| {
+                    let mut machine = Machine::for_program(program);
+                    machine.run(program, black_box(&inputs)).expect("no limit")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("endurance_checked", bench.name()),
+            &result.program,
+            |b, program| {
+                b.iter(|| {
+                    let mut machine = Machine::with_endurance(program, u64::MAX);
+                    machine.run(program, black_box(&inputs)).expect("huge limit")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

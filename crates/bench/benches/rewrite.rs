@@ -1,0 +1,37 @@
+//! Criterion bench: MIG rewriting throughput — paper Algorithm 1 (the
+//! DAC'16 PLiM-compiler schedule) vs Algorithm 2 (the endurance-aware
+//! schedule) across effort levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlim_benchmarks::Benchmark;
+use rlim_mig::rewrite::{rewrite, Algorithm};
+use std::hint::black_box;
+
+fn bench_rewriting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite");
+    for &bench in &[Benchmark::Cavlc, Benchmark::Sin, Benchmark::Bar] {
+        let mig = bench.build();
+        for alg in [Algorithm::PlimCompiler, Algorithm::EnduranceAware] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{alg:?}"), bench.name()),
+                &mig,
+                |b, mig| b.iter(|| rewrite(black_box(mig), alg, 5)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_effort_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite_effort");
+    let mig = Benchmark::Cavlc.build();
+    for effort in [1usize, 2, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(effort), &effort, |b, &e| {
+            b.iter(|| rewrite(black_box(&mig), Algorithm::EnduranceAware, e))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewriting, bench_effort_scaling);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench: one group per paper table — times the exact pipeline
+//! that regenerates each table's columns (rewriting + compilation +
+//! statistics) on a representative benchmark, so regressions in any stage
+//! of a table's reproduction show up here.
+//!
+//! The full-suite numbers themselves are produced by the `rlim-eval`
+//! binaries (`table1`, `table2`, `table3`); these benches track the cost of
+//! producing them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::{compile, CompileOptions};
+use rlim_rram::WriteStats;
+use std::hint::black_box;
+
+/// Table I columns: the incremental technique stack.
+fn table1_columns() -> Vec<(&'static str, CompileOptions)> {
+    vec![
+        ("naive", CompileOptions::naive()),
+        ("plim21", CompileOptions::plim_compiler()),
+        ("min_write", CompileOptions::min_write()),
+        ("ea_rewriting", CompileOptions::endurance_rewriting()),
+        ("ea_full", CompileOptions::endurance_aware()),
+    ]
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    let mig = Benchmark::Priority.build();
+    for (label, options) in table1_columns() {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let result = compile(black_box(&mig), &options);
+                WriteStats::from_counts(result.program.write_counts())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    let mig = Benchmark::Cavlc.build();
+    for (label, options) in [
+        ("naive", CompileOptions::naive()),
+        ("ea_rewriting", CompileOptions::endurance_rewriting()),
+        ("ea_full", CompileOptions::endurance_aware()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let result = compile(black_box(&mig), &options);
+                (result.num_instructions(), result.num_rrams())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    let mig = Benchmark::Cavlc.build();
+    for budget in [10u64, 20, 50, 100] {
+        let options = CompileOptions::endurance_aware().with_max_writes(budget);
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, _| {
+            b.iter(|| {
+                let result = compile(black_box(&mig), &options);
+                WriteStats::from_counts(result.program.write_counts())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table3);
+criterion_main!(benches);

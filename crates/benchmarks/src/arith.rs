@@ -1,0 +1,338 @@
+//! Exact arithmetic benchmark circuits: `adder`, `multiplier`, `square`,
+//! `div`, `sqrt`.
+//!
+//! Each generator is parameterised by operand width so the functional tests
+//! can verify small instances against native integer arithmetic; the
+//! paper-interface constructors fix the widths to match the EPFL suite's
+//! PI/PO counts (e.g. `adder` = 128+128 → 129).
+
+use rlim_mig::{Mig, Signal};
+
+use crate::words::{input_word, mux_word, ripple_add, ripple_sub};
+
+/// Ripple-carry adder: `2w` inputs, `w + 1` outputs (sum then carry).
+///
+/// Paper interface: [`adder`] (`w = 128`, 256 PI / 129 PO).
+///
+/// # Examples
+///
+/// ```
+/// use rlim_benchmarks::arith::adder_with_width;
+///
+/// let mig = adder_with_width(8);
+/// assert_eq!(mig.num_inputs(), 16);
+/// assert_eq!(mig.num_outputs(), 9);
+/// ```
+pub fn adder_with_width(width: usize) -> Mig {
+    let mut mig = Mig::new(2 * width);
+    let a = input_word(&mig, 0, width);
+    let b = input_word(&mig, width, width);
+    let (sum, carry) = ripple_add(&mut mig, &a, &b, Signal::FALSE);
+    for s in sum {
+        mig.add_output(s);
+    }
+    mig.add_output(carry);
+    mig
+}
+
+/// The paper's `adder` benchmark: 128-bit addition, 256 PI / 129 PO.
+pub fn adder() -> Mig {
+    adder_with_width(128)
+}
+
+/// Array multiplier: `2w` inputs, `2w` outputs.
+///
+/// Partial-product rows are accumulated with ripple adders — the classic
+/// unsigned array multiplier, built entirely from majority-gate full adders.
+///
+/// Paper interface: [`multiplier`] (`w = 64`, 128 PI / 128 PO).
+pub fn multiplier_with_width(width: usize) -> Mig {
+    let mut mig = Mig::new(2 * width);
+    let a = input_word(&mig, 0, width);
+    let b = input_word(&mig, width, width);
+    let product = multiply(&mut mig, &a, &b);
+    for s in product {
+        mig.add_output(s);
+    }
+    mig
+}
+
+/// The paper's `multiplier` benchmark: 64×64 → 128, 128 PI / 128 PO.
+pub fn multiplier() -> Mig {
+    multiplier_with_width(64)
+}
+
+/// Squarer: `w` inputs, `2w` outputs (the multiplier datapath with both
+/// operands wired to the same input word).
+///
+/// Paper interface: [`square`] (`w = 64`, 64 PI / 128 PO).
+pub fn square_with_width(width: usize) -> Mig {
+    let mut mig = Mig::new(width);
+    let a = input_word(&mig, 0, width);
+    let product = multiply(&mut mig, &a, &a);
+    for s in product {
+        mig.add_output(s);
+    }
+    mig
+}
+
+/// The paper's `square` benchmark: 64-bit squarer, 64 PI / 128 PO.
+pub fn square() -> Mig {
+    square_with_width(64)
+}
+
+/// Shared array-multiplication datapath: returns the `a.len() + b.len()` bit
+/// product.
+fn multiply(mig: &mut Mig, a: &[Signal], b: &[Signal]) -> Vec<Signal> {
+    let (wa, wb) = (a.len(), b.len());
+    let mut acc: Vec<Signal> = vec![Signal::FALSE; wa + wb];
+    for (j, &bj) in b.iter().enumerate() {
+        let row: Vec<Signal> = a.iter().map(|&ai| mig.and(ai, bj)).collect();
+        let (sum, carry) = ripple_add(mig, &acc[j..j + wa].to_vec(), &row, Signal::FALSE);
+        acc[j..j + wa].copy_from_slice(&sum);
+        // Bits above j + wa are still untouched zeros, so the row's carry
+        // lands in an empty slot.
+        acc[j + wa] = carry;
+    }
+    acc
+}
+
+/// Restoring divider: `2w` inputs (dividend then divisor), `2w` outputs
+/// (quotient then remainder).
+///
+/// Division by zero follows the restoring-hardware convention: every trial
+/// subtraction succeeds, so the quotient is all ones and the remainder is
+/// the dividend itself.
+///
+/// Paper interface: [`div`] (`w = 64`, 128 PI / 128 PO).
+pub fn div_with_width(width: usize) -> Mig {
+    let mut mig = Mig::new(2 * width);
+    let dividend = input_word(&mig, 0, width);
+    let divisor = input_word(&mig, width, width);
+
+    // One guard bit: the partial remainder r satisfies r < divisor < 2^w,
+    // so (r << 1) | bit fits in w + 1 bits.
+    let ext = width + 1;
+    let mut divisor_ext = divisor.clone();
+    divisor_ext.push(Signal::FALSE);
+
+    let mut remainder: Vec<Signal> = vec![Signal::FALSE; ext];
+    let mut quotient: Vec<Signal> = vec![Signal::FALSE; width];
+    for i in (0..width).rev() {
+        // remainder = (remainder << 1) | dividend[i]
+        let mut shifted = Vec::with_capacity(ext);
+        shifted.push(dividend[i]);
+        shifted.extend_from_slice(&remainder[..ext - 1]);
+        let (diff, no_borrow) = ripple_sub(&mut mig, &shifted, &divisor_ext);
+        quotient[i] = no_borrow;
+        remainder = mux_word(&mut mig, no_borrow, &diff, &shifted);
+    }
+
+    for s in quotient {
+        mig.add_output(s);
+    }
+    for &s in remainder.iter().take(width) {
+        mig.add_output(s);
+    }
+    mig
+}
+
+/// The paper's `div` benchmark: 64/64 restoring divider, 128 PI / 128 PO.
+pub fn div() -> Mig {
+    div_with_width(64)
+}
+
+/// Digit-by-digit restoring square root: `2w` inputs (the radicand),
+/// `w` outputs (the integer root).
+///
+/// Paper interface: [`sqrt`] (`w = 64`, 128 PI / 64 PO).
+pub fn sqrt_with_width(width: usize) -> Mig {
+    let mut mig = Mig::new(2 * width);
+    let radicand = input_word(&mig, 0, 2 * width);
+
+    // Invariants per iteration i (from the top pair of radicand bits down):
+    //   remainder < 2 * root + 1  ≤  2^(k+1)  after k iterations,
+    // so after shifting in two radicand bits the trial value needs k + 3
+    // bits. We keep everything at the worst-case width + 2 guard bits.
+    let ext = width + 2;
+    let mut remainder: Vec<Signal> = vec![Signal::FALSE; ext];
+    let mut root: Vec<Signal> = vec![Signal::FALSE; width];
+    for i in (0..width).rev() {
+        // remainder = (remainder << 2) | radicand[2i+1 .. 2i]
+        let mut shifted = Vec::with_capacity(ext);
+        shifted.push(radicand[2 * i]);
+        shifted.push(radicand[2 * i + 1]);
+        shifted.extend_from_slice(&remainder[..ext - 2]);
+
+        // trial = (root << 2) | 1
+        let mut trial = Vec::with_capacity(ext);
+        trial.push(Signal::TRUE);
+        trial.push(Signal::FALSE);
+        trial.extend_from_slice(&root[..ext - 2]);
+
+        let (diff, no_borrow) = ripple_sub(&mut mig, &shifted, &trial);
+        remainder = mux_word(&mut mig, no_borrow, &diff, &shifted);
+        // root = (root << 1) | no_borrow
+        root.rotate_right(1);
+        root[0] = no_borrow;
+    }
+
+    for s in root {
+        mig.add_output(s);
+    }
+    mig
+}
+
+/// The paper's `sqrt` benchmark: 128-bit radicand → 64-bit root,
+/// 128 PI / 64 PO.
+pub fn sqrt() -> Mig {
+    sqrt_with_width(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn to_bits(value: u64, width: usize) -> Vec<bool> {
+        (0..width).map(|i| (value >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .take(64)
+            .map(|(i, &b)| (b as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn adder_functional() {
+        let width = 16;
+        let mig = adder_with_width(width);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        for _ in 0..40 {
+            let a = rng.gen::<u64>() & 0xffff;
+            let b = rng.gen::<u64>() & 0xffff;
+            let mut inputs = to_bits(a, width);
+            inputs.extend(to_bits(b, width));
+            let out = mig.evaluate(&inputs);
+            assert_eq!(from_bits(&out), a + b);
+        }
+    }
+
+    #[test]
+    fn adder_paper_interface() {
+        let mig = adder();
+        assert_eq!(mig.num_inputs(), 256);
+        assert_eq!(mig.num_outputs(), 129);
+    }
+
+    #[test]
+    fn multiplier_functional() {
+        let width = 10;
+        let mig = multiplier_with_width(width);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..40 {
+            let a = rng.gen::<u64>() & 0x3ff;
+            let b = rng.gen::<u64>() & 0x3ff;
+            let mut inputs = to_bits(a, width);
+            inputs.extend(to_bits(b, width));
+            let out = mig.evaluate(&inputs);
+            assert_eq!(from_bits(&out), a * b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn multiplier_paper_interface() {
+        let mig = multiplier();
+        assert_eq!(mig.num_inputs(), 128);
+        assert_eq!(mig.num_outputs(), 128);
+    }
+
+    #[test]
+    fn square_functional() {
+        let width = 12;
+        let mig = square_with_width(width);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for _ in 0..40 {
+            let a = rng.gen::<u64>() & 0xfff;
+            let out = mig.evaluate(&to_bits(a, width));
+            assert_eq!(from_bits(&out), a * a, "a={a}");
+        }
+    }
+
+    #[test]
+    fn square_paper_interface() {
+        let mig = square();
+        assert_eq!(mig.num_inputs(), 64);
+        assert_eq!(mig.num_outputs(), 128);
+    }
+
+    #[test]
+    fn div_functional() {
+        let width = 10;
+        let mig = div_with_width(width);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for _ in 0..60 {
+            let a = rng.gen::<u64>() & 0x3ff;
+            let b = (rng.gen::<u64>() & 0x3ff).max(1);
+            let mut inputs = to_bits(a, width);
+            inputs.extend(to_bits(b, width));
+            let out = mig.evaluate(&inputs);
+            let quotient = from_bits(&out[..width]);
+            let remainder = from_bits(&out[width..]);
+            assert_eq!(quotient, a / b, "a={a} b={b}");
+            assert_eq!(remainder, a % b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn div_by_zero_convention() {
+        let width = 8;
+        let mig = div_with_width(width);
+        let mut inputs = to_bits(173, width);
+        inputs.extend(to_bits(0, width));
+        let out = mig.evaluate(&inputs);
+        assert_eq!(from_bits(&out[..width]), 0xff, "quotient all-ones");
+        assert_eq!(from_bits(&out[width..]), 173, "remainder is the dividend");
+    }
+
+    #[test]
+    fn div_paper_interface() {
+        let mig = div();
+        assert_eq!(mig.num_inputs(), 128);
+        assert_eq!(mig.num_outputs(), 128);
+    }
+
+    #[test]
+    fn sqrt_functional() {
+        let width = 8; // 16-bit radicand
+        let mig = sqrt_with_width(width);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        for _ in 0..60 {
+            let r = rng.gen::<u64>() & 0xffff;
+            let out = mig.evaluate(&to_bits(r, 2 * width));
+            let expect = (r as f64).sqrt().floor() as u64;
+            assert_eq!(from_bits(&out), expect, "radicand={r}");
+        }
+    }
+
+    #[test]
+    fn sqrt_exact_squares() {
+        let width = 6;
+        let mig = sqrt_with_width(width);
+        for v in 0..64u64 {
+            let out = mig.evaluate(&to_bits(v * v, 2 * width));
+            assert_eq!(from_bits(&out), v, "sqrt({})", v * v);
+        }
+    }
+
+    #[test]
+    fn sqrt_paper_interface() {
+        let mig = sqrt();
+        assert_eq!(mig.num_inputs(), 128);
+        assert_eq!(mig.num_outputs(), 64);
+    }
+}

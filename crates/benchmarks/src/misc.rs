@@ -1,0 +1,422 @@
+//! Exact control/datapath benchmark circuits: `bar`, `max`, `voter`, `dec`,
+//! `priority`, `int2float`.
+//!
+//! As in [`crate::arith`], every circuit has a width-parameterised
+//! constructor for fast functional testing plus a paper-interface wrapper
+//! fixing the EPFL suite's PI/PO counts.
+
+use rlim_mig::{Mig, Signal};
+
+use crate::words::{
+    any_bit, constant_word, greater_equal, increment, input_word, mux_word, popcount,
+    rotate_left_barrel,
+};
+
+/// Barrel shifter (left rotation): `w + log2(w)` inputs, `w` outputs.
+///
+/// Paper interface: [`bar`] (`w = 128`, 135 PI / 128 PO).
+///
+/// # Panics
+///
+/// Panics unless `width` is a power of two.
+pub fn bar_with_width(width: usize) -> Mig {
+    assert!(width.is_power_of_two(), "barrel width must be a power of two");
+    let shift_bits = width.trailing_zeros() as usize;
+    let mut mig = Mig::new(width + shift_bits);
+    let data = input_word(&mig, 0, width);
+    let shift = input_word(&mig, width, shift_bits);
+    let rotated = rotate_left_barrel(&mut mig, &data, &shift);
+    for s in rotated {
+        mig.add_output(s);
+    }
+    mig
+}
+
+/// The paper's `bar` benchmark: 128-bit barrel rotator, 135 PI / 128 PO.
+pub fn bar() -> Mig {
+    bar_with_width(128)
+}
+
+/// Four-way unsigned maximum: `4w` inputs, `w + 2` outputs (the maximum
+/// word followed by the 2-bit index of the winning operand).
+///
+/// Paper interface: [`max`] (`w = 128`, 512 PI / 130 PO).
+pub fn max_with_width(width: usize) -> Mig {
+    let mut mig = Mig::new(4 * width);
+    let words: Vec<Vec<Signal>> = (0..4).map(|k| input_word(&mig, k * width, width)).collect();
+
+    let ge10 = greater_equal(&mut mig, &words[1], &words[0]);
+    let m01 = mux_word(&mut mig, ge10, &words[1], &words[0]);
+    let ge32 = greater_equal(&mut mig, &words[3], &words[2]);
+    let m23 = mux_word(&mut mig, ge32, &words[3], &words[2]);
+    let ge_hi = greater_equal(&mut mig, &m23, &m01);
+    let maximum = mux_word(&mut mig, ge_hi, &m23, &m01);
+    let index_low = mig.mux(ge_hi, ge32, ge10);
+
+    for s in maximum {
+        mig.add_output(s);
+    }
+    mig.add_output(index_low);
+    mig.add_output(ge_hi);
+    mig
+}
+
+/// The paper's `max` benchmark: max of four 128-bit words, 512 PI / 130 PO.
+pub fn max() -> Mig {
+    max_with_width(128)
+}
+
+/// n-input majority voter: `n` inputs, 1 output (`popcount(x) > n/2`).
+///
+/// Paper interface: [`voter`] (`n = 1001`, 1001 PI / 1 PO).
+///
+/// # Panics
+///
+/// Panics if `n` is even (a majority needs an odd electorate).
+pub fn voter_with_inputs(n: usize) -> Mig {
+    assert!(n % 2 == 1, "voter needs an odd number of inputs");
+    let mut mig = Mig::new(n);
+    let bits = input_word(&mig, 0, n);
+    let count = popcount(&mut mig, &bits);
+    let threshold = constant_word((n / 2 + 1) as u64, count.len());
+    let out = greater_equal(&mut mig, &count, &threshold);
+    mig.add_output(out);
+    mig
+}
+
+/// The paper's `voter` benchmark: majority of 1001, 1001 PI / 1 PO.
+pub fn voter() -> Mig {
+    voter_with_inputs(1001)
+}
+
+/// Address decoder: `n` inputs, `2^n` one-hot outputs.
+///
+/// The low and high input halves are pre-decoded into one-hot vectors which
+/// are then combined pairwise — the shared two-level structure of real
+/// decoders (and the reason `dec` is already write-balanced in the paper:
+/// almost every cell is written exactly once).
+///
+/// Paper interface: [`dec`] (`n = 8`, 8 PI / 256 PO).
+pub fn dec_with_width(n: usize) -> Mig {
+    let mut mig = Mig::new(n);
+    let addr = input_word(&mig, 0, n);
+    let (low, high) = addr.split_at(n / 2);
+    let low_hot = one_hot(&mut mig, low);
+    let high_hot = one_hot(&mut mig, high);
+    for &h in &high_hot {
+        for &l in &low_hot {
+            let m = mig.and(h, l);
+            mig.add_output(m);
+        }
+    }
+    mig
+}
+
+/// Fully decodes a small word into `2^k` one-hot minterm signals.
+fn one_hot(mig: &mut Mig, bits: &[Signal]) -> Vec<Signal> {
+    let mut hot = vec![Signal::TRUE];
+    for &b in bits {
+        // Little-endian minterm index: each new bit doubles the vector,
+        // with the upper half taking the asserted literal.
+        let mut next = Vec::with_capacity(hot.len() * 2);
+        for &t in &hot {
+            next.push(mig.and(t, !b));
+        }
+        for &t in &hot {
+            next.push(mig.and(t, b));
+        }
+        hot = next;
+    }
+    hot
+}
+
+/// The paper's `dec` benchmark: 8→256 decoder, 8 PI / 256 PO.
+pub fn dec() -> Mig {
+    dec_with_width(8)
+}
+
+/// Priority encoder: `n` inputs, `log2(n) + 1` outputs — the binary index
+/// of the lowest-indexed asserted input, plus a `valid` flag (the last
+/// output).
+///
+/// Paper interface: [`priority`] (`n = 128`, 128 PI / 8 PO).
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two.
+pub fn priority_with_inputs(n: usize) -> Mig {
+    assert!(n.is_power_of_two(), "priority encoder size must be a power of two");
+    let index_bits = n.trailing_zeros() as usize;
+    let mut mig = Mig::new(n);
+    let req = input_word(&mig, 0, n);
+
+    // blocked[i] = some input with higher priority (lower index) is set.
+    let mut blocked = Signal::FALSE;
+    let mut grant = Vec::with_capacity(n);
+    for &r in &req {
+        grant.push(mig.and(r, !blocked));
+        blocked = mig.or(blocked, r);
+    }
+
+    for j in 0..index_bits {
+        let contributors: Vec<Signal> = grant
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i >> j) & 1 == 1)
+            .map(|(_, &g)| g)
+            .collect();
+        let bit = any_bit(&mut mig, &contributors);
+        mig.add_output(bit);
+    }
+    mig.add_output(blocked); // valid: at least one request
+    mig
+}
+
+/// The paper's `priority` benchmark: 128-way priority encoder, 128 PI / 8 PO.
+pub fn priority() -> Mig {
+    priority_with_inputs(128)
+}
+
+/// Integer-to-float converter: 11 inputs, 7 outputs.
+///
+/// The EPFL original converts an 11-bit integer to a tiny floating-point
+/// format; the exact encoding is not documented, so we fix a concrete one
+/// with the same interface: input is an 11-bit two's-complement integer,
+/// output is `[mantissa₁ mantissa₀ | exponent₃..₀ | sign]` where the
+/// 10-bit magnitude is normalised so `exponent` is the position of its
+/// leading one and `mantissa` holds the two bits below it. Zero encodes as
+/// all-zero output.
+pub fn int2float() -> Mig {
+    const IN_BITS: usize = 11;
+    const MAG_BITS: usize = 10;
+    let mut mig = Mig::new(IN_BITS);
+    let value = input_word(&mig, 0, IN_BITS);
+    let sign = value[IN_BITS - 1];
+
+    // |value|: two's-complement negate when negative.
+    let inverted: Vec<Signal> = value.iter().map(|&s| !s).collect();
+    let (negated, _) = increment(&mut mig, &inverted);
+    let full_mag = mux_word(&mut mig, sign, &negated, &value);
+    let mag = &full_mag[..MAG_BITS];
+
+    // Leading-one detection from the MSB down.
+    let mut seen = Signal::FALSE;
+    let mut leading = vec![Signal::FALSE; MAG_BITS];
+    for p in (0..MAG_BITS).rev() {
+        leading[p] = mig.and(mag[p], !seen);
+        seen = mig.or(seen, mag[p]);
+    }
+
+    // exponent = Σ p · leading[p]  (one-hot weighted OR).
+    let exp_bits = 4;
+    let mut exponent = Vec::with_capacity(exp_bits);
+    for j in 0..exp_bits {
+        let contributors: Vec<Signal> = (0..MAG_BITS)
+            .filter(|p| (p >> j) & 1 == 1)
+            .map(|p| leading[p])
+            .collect();
+        exponent.push(any_bit(&mut mig, &contributors));
+    }
+
+    // mantissa = the two bits below the leading one.
+    let mut mantissa = [Signal::FALSE; 2];
+    for (k, m) in mantissa.iter_mut().enumerate() {
+        let offset = k + 1; // mantissa bit k comes from position p - 1 - k… see below
+        let contributors: Vec<Signal> = (0..MAG_BITS)
+            .filter(|&p| p >= offset)
+            .map(|p| mig.and(leading[p], mag[p - offset]))
+            .collect();
+        *m = any_bit(&mut mig, &contributors);
+    }
+
+    // Output order: mantissa₀, mantissa₁, exponent₀..₃, sign.
+    mig.add_output(mantissa[1]); // bit below-below the leading one
+    mig.add_output(mantissa[0]); // bit directly below the leading one
+    for e in exponent {
+        mig.add_output(e);
+    }
+    mig.add_output(sign);
+    mig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn to_bits(value: u64, width: usize) -> Vec<bool> {
+        (0..width).map(|i| (value >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .take(64)
+            .map(|(i, &b)| (b as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn bar_rotates() {
+        let width = 16;
+        let mig = bar_with_width(width);
+        assert_eq!(mig.num_inputs(), 20);
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        for _ in 0..40 {
+            let v = rng.gen::<u64>() & 0xffff;
+            let sh = rng.gen_range(0..16u32);
+            let mut inputs = to_bits(v, width);
+            inputs.extend(to_bits(sh as u64, 4));
+            let out = mig.evaluate(&inputs);
+            let expect = (v << sh | v.checked_shr(16 - sh).unwrap_or(0)) & 0xffff;
+            assert_eq!(from_bits(&out), expect, "v={v:#x} sh={sh}");
+        }
+    }
+
+    #[test]
+    fn bar_paper_interface() {
+        let mig = bar();
+        assert_eq!(mig.num_inputs(), 135);
+        assert_eq!(mig.num_outputs(), 128);
+    }
+
+    #[test]
+    fn max_selects_largest_and_index() {
+        let width = 8;
+        let mig = max_with_width(width);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for _ in 0..60 {
+            let vals: Vec<u64> = (0..4).map(|_| rng.gen::<u64>() & 0xff).collect();
+            let inputs: Vec<bool> = vals.iter().flat_map(|&v| to_bits(v, width)).collect();
+            let out = mig.evaluate(&inputs);
+            let got_max = from_bits(&out[..width]);
+            let got_idx = from_bits(&out[width..]);
+            let expect_max = *vals.iter().max().unwrap();
+            assert_eq!(got_max, expect_max, "vals={vals:?}");
+            assert_eq!(vals[got_idx as usize], expect_max, "index points at a maximum");
+        }
+    }
+
+    #[test]
+    fn max_paper_interface() {
+        let mig = max();
+        assert_eq!(mig.num_inputs(), 512);
+        assert_eq!(mig.num_outputs(), 130);
+    }
+
+    #[test]
+    fn voter_majority() {
+        let n = 15;
+        let mig = voter_with_inputs(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        for _ in 0..60 {
+            let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let ones = inputs.iter().filter(|&&b| b).count();
+            let out = mig.evaluate(&inputs);
+            assert_eq!(out, vec![ones > n / 2], "ones={ones}");
+        }
+    }
+
+    #[test]
+    fn voter_edge_counts() {
+        let n = 7;
+        let mig = voter_with_inputs(n);
+        // Exactly at threshold: 4 of 7.
+        let inputs = vec![true, true, true, true, false, false, false];
+        assert_eq!(mig.evaluate(&inputs), vec![true]);
+        let inputs = vec![true, true, true, false, false, false, false];
+        assert_eq!(mig.evaluate(&inputs), vec![false]);
+        assert_eq!(mig.evaluate(&[false; 7]), vec![false]);
+        assert_eq!(mig.evaluate(&[true; 7]), vec![true]);
+    }
+
+    #[test]
+    fn voter_paper_interface() {
+        let mig = voter();
+        assert_eq!(mig.num_inputs(), 1001);
+        assert_eq!(mig.num_outputs(), 1);
+    }
+
+    #[test]
+    fn dec_is_one_hot() {
+        let n = 6;
+        let mig = dec_with_width(n);
+        assert_eq!(mig.num_outputs(), 64);
+        for addr in 0..(1u64 << n) {
+            let out = mig.evaluate(&to_bits(addr, n));
+            for (i, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, i as u64 == addr, "addr={addr} line={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dec_paper_interface() {
+        let mig = dec();
+        assert_eq!(mig.num_inputs(), 8);
+        assert_eq!(mig.num_outputs(), 256);
+    }
+
+    #[test]
+    fn priority_picks_lowest_index() {
+        let n = 16;
+        let mig = priority_with_inputs(n);
+        assert_eq!(mig.num_outputs(), 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for _ in 0..60 {
+            let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.2)).collect();
+            let out = mig.evaluate(&inputs);
+            let valid = out[4];
+            match inputs.iter().position(|&b| b) {
+                Some(first) => {
+                    assert!(valid);
+                    assert_eq!(from_bits(&out[..4]), first as u64, "inputs={inputs:?}");
+                }
+                None => {
+                    assert!(!valid);
+                    assert_eq!(from_bits(&out[..4]), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_paper_interface() {
+        let mig = priority();
+        assert_eq!(mig.num_inputs(), 128);
+        assert_eq!(mig.num_outputs(), 8);
+    }
+
+    /// Reference model for our int2float encoding.
+    fn int2float_model(raw: u64) -> u64 {
+        let signed = ((raw as i64) << 53) >> 53; // sign-extend 11 bits
+        let sign = (signed < 0) as u64;
+        let mag = (signed.unsigned_abs()) & 0x3ff;
+        if mag == 0 {
+            return sign << 6;
+        }
+        let p = 63 - mag.leading_zeros() as u64;
+        let m0 = if p >= 1 { (mag >> (p - 1)) & 1 } else { 0 };
+        let m1 = if p >= 2 { (mag >> (p - 2)) & 1 } else { 0 };
+        m1 | (m0 << 1) | (p << 2) | (sign << 6)
+    }
+
+    #[test]
+    fn int2float_matches_model() {
+        let mig = int2float();
+        assert_eq!(mig.num_inputs(), 11);
+        assert_eq!(mig.num_outputs(), 7);
+        for raw in 0..(1u64 << 11) {
+            let out = mig.evaluate(&to_bits(raw, 11));
+            assert_eq!(from_bits(&out), int2float_model(raw), "raw={raw:#b}");
+        }
+    }
+
+    #[test]
+    fn int2float_zero_is_all_zero() {
+        let mig = int2float();
+        let out = mig.evaluate(&to_bits(0, 11));
+        assert!(out.iter().all(|&b| !b));
+    }
+}

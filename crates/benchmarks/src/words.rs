@@ -1,0 +1,495 @@
+//! Word-level circuit construction helpers over [`Mig`].
+//!
+//! The exact benchmark generators ([`crate::arith`], [`crate::misc`]) build
+//! real datapath circuits — adders, multipliers, dividers, shifters — out of
+//! majority gates. This module provides the shared word-level vocabulary:
+//! a *word* is simply a `Vec<Signal>` in little-endian bit order (index 0 is
+//! the least significant bit).
+//!
+//! All functions are free functions taking `&mut Mig` because a word is not
+//! a data structure with invariants, just a bit-vector of signals.
+
+use rlim_mig::{Mig, Signal};
+
+/// Builds a constant word of `width` bits from the low bits of `value`.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_benchmarks::words::constant_word;
+///
+/// let w = constant_word(0b101, 4);
+/// assert_eq!(w.len(), 4);
+/// assert!(w[0].constant_value().unwrap());
+/// assert!(!w[1].constant_value().unwrap());
+/// assert!(w[2].constant_value().unwrap());
+/// assert!(!w[3].constant_value().unwrap());
+/// ```
+pub fn constant_word(value: u64, width: usize) -> Vec<Signal> {
+    (0..width)
+        .map(|i| Signal::constant(i < 64 && (value >> i) & 1 == 1))
+        .collect()
+}
+
+/// Collects `width` consecutive primary inputs starting at `first` into a
+/// word.
+///
+/// # Panics
+///
+/// Panics if `first + width` exceeds the number of primary inputs.
+pub fn input_word(mig: &Mig, first: usize, width: usize) -> Vec<Signal> {
+    (first..first + width).map(|i| mig.input(i)).collect()
+}
+
+/// Gate-level full adder: the XOR/AND/OR decomposition a logic synthesiser
+/// produces from RTL (9 gates), *not* the node-minimal native-majority form
+/// (3 gates, [`Mig::full_adder`]).
+///
+/// The benchmark generators deliberately use this form: the EPFL circuits
+/// the paper evaluates come from generic synthesis, so their MIGs carry the
+/// redundant nodes, shared fanouts and complemented edges that give MIG
+/// rewriting (paper Algorithms 1 and 2) its optimisation headroom. Building
+/// everything from pre-minimised majority adders would make the rewriting
+/// columns no-ops and hide the paper's effects.
+pub fn full_adder_gate_level(mig: &mut Mig, a: Signal, b: Signal, c: Signal) -> (Signal, Signal) {
+    let ab = mig.xor(a, b);
+    let sum = mig.xor(ab, c);
+    let g = mig.and(a, b);
+    let p = mig.and(ab, c);
+    let carry = mig.or(g, p);
+    (sum, carry)
+}
+
+/// Ripple-carry addition: returns `(sum, carry_out)` where `sum` has the
+/// same width as the operands. Built from [`full_adder_gate_level`]; see
+/// there for why.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn ripple_add(mig: &mut Mig, a: &[Signal], b: &[Signal], carry_in: Signal) -> (Vec<Signal>, Signal) {
+    assert_eq!(a.len(), b.len(), "ripple_add operands must have equal width");
+    let mut carry = carry_in;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder_gate_level(mig, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `a - b`: returns `(difference, no_borrow)`.
+/// The second component is the adder's carry-out, which is **1 when
+/// `a >= b`** (unsigned).
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn ripple_sub(mig: &mut Mig, a: &[Signal], b: &[Signal]) -> (Vec<Signal>, Signal) {
+    let b_inv: Vec<Signal> = b.iter().map(|&s| !s).collect();
+    ripple_add(mig, a, &b_inv, Signal::TRUE)
+}
+
+/// Increments a word by one: returns `(a + 1, carry_out)`.
+pub fn increment(mig: &mut Mig, a: &[Signal]) -> (Vec<Signal>, Signal) {
+    let mut carry = Signal::TRUE;
+    let mut sum = Vec::with_capacity(a.len());
+    for &x in a {
+        let (s, c) = mig.half_adder(x, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Bitwise word multiplexer: `sel ? then_word : else_word`.
+///
+/// # Panics
+///
+/// Panics if the word widths differ.
+pub fn mux_word(mig: &mut Mig, sel: Signal, then_word: &[Signal], else_word: &[Signal]) -> Vec<Signal> {
+    assert_eq!(then_word.len(), else_word.len(), "mux_word widths must match");
+    then_word
+        .iter()
+        .zip(else_word)
+        .map(|(&t, &e)| mig.mux(sel, t, e))
+        .collect()
+}
+
+/// Unsigned comparison `a < b` via the borrow of `a - b`.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn less_than(mig: &mut Mig, a: &[Signal], b: &[Signal]) -> Signal {
+    let (_, no_borrow) = ripple_sub(mig, a, b);
+    !no_borrow
+}
+
+/// Unsigned comparison `a >= b`.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn greater_equal(mig: &mut Mig, a: &[Signal], b: &[Signal]) -> Signal {
+    !less_than(mig, a, b)
+}
+
+/// Reduction OR over all bits of a word (`false` for an empty word).
+pub fn any_bit(mig: &mut Mig, a: &[Signal]) -> Signal {
+    balanced_reduce(a, Signal::FALSE, |mig_, x, y| mig_.or(x, y), mig)
+}
+
+/// Reduction AND over all bits of a word (`true` for an empty word).
+pub fn all_bits(mig: &mut Mig, a: &[Signal]) -> Signal {
+    balanced_reduce(a, Signal::TRUE, |mig_, x, y| mig_.and(x, y), mig)
+}
+
+fn balanced_reduce(
+    bits: &[Signal],
+    empty: Signal,
+    mut op: impl FnMut(&mut Mig, Signal, Signal) -> Signal,
+    mig: &mut Mig,
+) -> Signal {
+    match bits.len() {
+        0 => empty,
+        1 => bits[0],
+        _ => {
+            let mut layer: Vec<Signal> = bits.to_vec();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    next.push(if pair.len() == 2 {
+                        op(mig, pair[0], pair[1])
+                    } else {
+                        pair[0]
+                    });
+                }
+                layer = next;
+            }
+            layer[0]
+        }
+    }
+}
+
+/// Word equality `a == b`.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn equal(mig: &mut Mig, a: &[Signal], b: &[Signal]) -> Signal {
+    assert_eq!(a.len(), b.len(), "equal widths must match");
+    let diffs: Vec<Signal> = a.iter().zip(b).map(|(&x, &y)| mig.xor(x, y)).collect();
+    !any_bit(mig, &diffs)
+}
+
+/// Logical left shift by a fixed amount, keeping the word width (bits
+/// shifted out are discarded, zeros shift in).
+pub fn shift_left_fixed(a: &[Signal], amount: usize) -> Vec<Signal> {
+    let width = a.len();
+    (0..width)
+        .map(|i| {
+            if i >= amount {
+                a[i - amount]
+            } else {
+                Signal::FALSE
+            }
+        })
+        .collect()
+}
+
+/// Left *rotation* by a variable amount given as a binary shift word, built
+/// as a logarithmic barrel of mux stages. Stage `k` rotates by `2^k` when
+/// `shift[k]` is set.
+pub fn rotate_left_barrel(mig: &mut Mig, a: &[Signal], shift: &[Signal]) -> Vec<Signal> {
+    let width = a.len();
+    let mut word = a.to_vec();
+    for (k, &bit) in shift.iter().enumerate() {
+        let amount = 1usize << k;
+        if amount >= width && width.is_power_of_two() {
+            // Rotation by a multiple of the width is the identity; the mux
+            // stage would be a no-op, skip it (matches a real barrel design
+            // where log2(width) stages suffice).
+            continue;
+        }
+        let rotated: Vec<Signal> = (0..width).map(|i| word[(i + width - amount % width) % width]).collect();
+        word = mux_word(mig, bit, &rotated, &word);
+    }
+    word
+}
+
+/// Population count compressed with a carry-save full-adder tree: takes any
+/// number of weight-0 bits and returns the binary count, little-endian.
+///
+/// Bits of equal weight are combined three at a time with full adders
+/// (producing one bit of the same weight and one of the next weight) until
+/// at most one bit of each weight remains — the classic carry-save counter
+/// tree, linear in the number of inputs.
+pub fn popcount(mig: &mut Mig, bits: &[Signal]) -> Vec<Signal> {
+    if bits.is_empty() {
+        return vec![Signal::FALSE];
+    }
+    let result_width = usize::BITS as usize - bits.len().leading_zeros() as usize;
+    let mut columns: Vec<Vec<Signal>> = vec![Vec::new(); result_width + 1];
+    columns[0] = bits.to_vec();
+    let mut out = Vec::with_capacity(result_width);
+    for w in 0..result_width {
+        // Compress breadth-first: each wave combines the column's bits in
+        // arrival order, so the tree stays balanced (a LIFO order would
+        // chain every carry into one deep, heavily-reused path).
+        while columns[w].len() >= 3 {
+            let wave: Vec<Signal> = std::mem::take(&mut columns[w]);
+            for group in wave.chunks(3) {
+                match *group {
+                    [a, b, c] => {
+                        let (sum, carry) = full_adder_gate_level(mig, a, b, c);
+                        columns[w].push(sum);
+                        columns[w + 1].push(carry);
+                    }
+                    _ => columns[w].extend_from_slice(group),
+                }
+            }
+        }
+        if columns[w].len() == 2 {
+            let a = columns[w].remove(0);
+            let b = columns[w].remove(0);
+            let (sum, carry) = mig.half_adder(a, b);
+            columns[w].push(sum);
+            columns[w + 1].push(carry);
+        }
+        out.push(columns[w].pop().unwrap_or(Signal::FALSE));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Evaluates a 2-operand word circuit on concrete u64 inputs.
+    fn eval2(
+        width: usize,
+        build: impl Fn(&mut Mig, &[Signal], &[Signal]) -> Vec<Signal>,
+        a: u64,
+        b: u64,
+    ) -> u64 {
+        let mut mig = Mig::new(2 * width);
+        let wa = input_word(&mig, 0, width);
+        let wb = input_word(&mig, width, width);
+        let out = build(&mut mig, &wa, &wb);
+        for &s in &out {
+            mig.add_output(s);
+        }
+        let inputs: Vec<bool> = (0..width)
+            .map(|i| (a >> i) & 1 == 1)
+            .chain((0..width).map(|i| (b >> i) & 1 == 1))
+            .collect();
+        mig.evaluate(&inputs)
+            .iter()
+            .enumerate()
+            .map(|(i, &bit)| (bit as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn add_matches_u64() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a: u64 = rng.gen::<u64>() & 0xffff;
+            let b: u64 = rng.gen::<u64>() & 0xffff;
+            let got = eval2(
+                16,
+                |mig, x, y| ripple_add(mig, x, y, Signal::FALSE).0,
+                a,
+                b,
+            );
+            assert_eq!(got, (a + b) & 0xffff);
+        }
+    }
+
+    #[test]
+    fn add_carry_out() {
+        let got = eval2(
+            8,
+            |mig, x, y| {
+                let (sum, cout) = ripple_add(mig, x, y, Signal::FALSE);
+                let mut r = sum;
+                r.push(cout);
+                r
+            },
+            200,
+            100,
+        );
+        assert_eq!(got, 300);
+    }
+
+    #[test]
+    fn sub_matches_wrapping_u64() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a: u64 = rng.gen::<u64>() & 0xfff;
+            let b: u64 = rng.gen::<u64>() & 0xfff;
+            let got = eval2(12, |mig, x, y| ripple_sub(mig, x, y).0, a, b);
+            assert_eq!(got, a.wrapping_sub(b) & 0xfff);
+        }
+    }
+
+    #[test]
+    fn sub_no_borrow_flag_is_geq() {
+        for (a, b) in [(5u64, 3u64), (3, 5), (7, 7), (0, 1), (255, 0)] {
+            let got = eval2(
+                8,
+                |mig, x, y| vec![ripple_sub(mig, x, y).1],
+                a,
+                b,
+            );
+            assert_eq!(got == 1, a >= b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn increment_wraps() {
+        let mut mig = Mig::new(4);
+        let w = input_word(&mig, 0, 4);
+        let (inc, carry) = increment(&mut mig, &w);
+        for &s in &inc {
+            mig.add_output(s);
+        }
+        mig.add_output(carry);
+        for v in 0..16u64 {
+            let inputs: Vec<bool> = (0..4).map(|i| (v >> i) & 1 == 1).collect();
+            let out = mig.evaluate(&inputs);
+            let got: u64 = out.iter().take(4).enumerate().map(|(i, &b)| (b as u64) << i).sum();
+            assert_eq!(got, (v + 1) & 0xf);
+            assert_eq!(out[4], v == 15, "carry at v={v}");
+        }
+    }
+
+    #[test]
+    fn comparisons() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..40 {
+            let a: u64 = rng.gen::<u64>() & 0xff;
+            let b: u64 = rng.gen::<u64>() & 0xff;
+            let lt = eval2(8, |mig, x, y| vec![less_than(mig, x, y)], a, b);
+            let ge = eval2(8, |mig, x, y| vec![greater_equal(mig, x, y)], a, b);
+            let eq = eval2(8, |mig, x, y| vec![equal(mig, x, y)], a, b);
+            assert_eq!(lt == 1, a < b);
+            assert_eq!(ge == 1, a >= b);
+            assert_eq!(eq == 1, a == b);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut mig = Mig::new(9);
+        let sel = mig.input(8);
+        let a = input_word(&mig, 0, 4);
+        let b = input_word(&mig, 4, 4);
+        let m = mux_word(&mut mig, sel, &a, &b);
+        for &s in &m {
+            mig.add_output(s);
+        }
+        let mut inputs = vec![true, false, true, false, false, true, true, false, true];
+        let out = mig.evaluate(&inputs);
+        assert_eq!(out, &inputs[0..4], "sel=1 picks a");
+        inputs[8] = false;
+        let out = mig.evaluate(&inputs);
+        assert_eq!(out, &inputs[4..8], "sel=0 picks b");
+    }
+
+    #[test]
+    fn reduction_gates() {
+        let mut mig = Mig::new(5);
+        let w = input_word(&mig, 0, 5);
+        let any = any_bit(&mut mig, &w);
+        let all = all_bits(&mut mig, &w);
+        mig.add_output(any);
+        mig.add_output(all);
+        assert_eq!(mig.evaluate(&[false; 5]), vec![false, false]);
+        assert_eq!(mig.evaluate(&[true; 5]), vec![true, true]);
+        assert_eq!(
+            mig.evaluate(&[false, true, false, false, false]),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn empty_reductions_are_constants() {
+        let mut mig = Mig::new(1);
+        assert_eq!(any_bit(&mut mig, &[]), Signal::FALSE);
+        assert_eq!(all_bits(&mut mig, &[]), Signal::TRUE);
+    }
+
+    #[test]
+    fn fixed_shift() {
+        let w = constant_word(0b0110, 6);
+        let shifted = shift_left_fixed(&w, 2);
+        let as_bits: Vec<bool> = shifted.iter().map(|s| s.constant_value().unwrap()).collect();
+        assert_eq!(as_bits, vec![false, false, false, true, true, false]);
+    }
+
+    #[test]
+    fn barrel_rotation_matches_rotate_left() {
+        let width = 16usize;
+        let shift_bits = 4usize;
+        let mut mig = Mig::new(width + shift_bits);
+        let data = input_word(&mig, 0, width);
+        let shift = input_word(&mig, width, shift_bits);
+        let rotated = rotate_left_barrel(&mut mig, &data, &shift);
+        for &s in &rotated {
+            mig.add_output(s);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..30 {
+            let v: u64 = rng.gen::<u64>() & 0xffff;
+            let sh: u32 = rng.gen_range(0..16);
+            let inputs: Vec<bool> = (0..width)
+                .map(|i| (v >> i) & 1 == 1)
+                .chain((0..shift_bits).map(|i| (sh >> i) & 1 == 1))
+                .collect();
+            let out = mig.evaluate(&inputs);
+            let got: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+            let expect = ((v << sh) | (v >> (16 - sh) % 16)) & 0xffff;
+            let expect = if sh == 0 { v } else { expect };
+            assert_eq!(got, expect, "v={v:#x} sh={sh}");
+        }
+    }
+
+    #[test]
+    fn popcount_exact() {
+        for n in [1usize, 2, 3, 7, 8, 33] {
+            let mut mig = Mig::new(n);
+            let bits = input_word(&mig, 0, n);
+            let count = popcount(&mut mig, &bits);
+            for &s in &count {
+                mig.add_output(s);
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+            for _ in 0..20 {
+                let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+                let expect = inputs.iter().filter(|&&b| b).count() as u64;
+                let out = mig.evaluate(&inputs);
+                let got: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+                assert_eq!(got, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_of_empty() {
+        let mut mig = Mig::new(1);
+        let c = popcount(&mut mig, &[]);
+        assert_eq!(c, vec![Signal::FALSE]);
+    }
+
+    #[test]
+    fn constant_word_width_beyond_64() {
+        let w = constant_word(u64::MAX, 70);
+        assert!(w[63].constant_value().unwrap());
+        assert!(!w[64].constant_value().unwrap());
+    }
+}

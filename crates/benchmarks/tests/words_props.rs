@@ -1,0 +1,153 @@
+//! Property-based tests for the word-level circuit builders: every helper
+//! must agree with native integer arithmetic on random operands and widths.
+
+use proptest::prelude::*;
+use rlim_benchmarks::words::{
+    self, constant_word, input_word, mux_word, popcount, ripple_add, ripple_sub,
+    rotate_left_barrel,
+};
+use rlim_mig::{Mig, Signal};
+
+fn to_bits(v: u64, w: usize) -> Vec<bool> {
+    (0..w).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .take(64)
+        .map(|(i, &b)| (b as u64) << i)
+        .sum()
+}
+
+fn mask(w: usize) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_matches_integers(w in 1usize..24, a: u64, b: u64, cin: bool) {
+        let (a, b) = (a & mask(w), b & mask(w));
+        let mut mig = Mig::new(2 * w);
+        let wa = input_word(&mig, 0, w);
+        let wb = input_word(&mig, w, w);
+        let (sum, cout) = ripple_add(&mut mig, &wa, &wb, Signal::constant(cin));
+        for s in sum {
+            mig.add_output(s);
+        }
+        mig.add_output(cout);
+        let mut inputs = to_bits(a, w);
+        inputs.extend(to_bits(b, w));
+        let out = mig.evaluate(&inputs);
+        let expect = a + b + cin as u64;
+        prop_assert_eq!(from_bits(&out[..w]), expect & mask(w));
+        prop_assert_eq!(out[w], expect >> w == 1);
+    }
+
+    #[test]
+    fn sub_matches_wrapping(w in 1usize..24, a: u64, b: u64) {
+        let (a, b) = (a & mask(w), b & mask(w));
+        let mut mig = Mig::new(2 * w);
+        let wa = input_word(&mig, 0, w);
+        let wb = input_word(&mig, w, w);
+        let (diff, no_borrow) = ripple_sub(&mut mig, &wa, &wb);
+        for s in diff {
+            mig.add_output(s);
+        }
+        mig.add_output(no_borrow);
+        let mut inputs = to_bits(a, w);
+        inputs.extend(to_bits(b, w));
+        let out = mig.evaluate(&inputs);
+        prop_assert_eq!(from_bits(&out[..w]), a.wrapping_sub(b) & mask(w));
+        prop_assert_eq!(out[w], a >= b);
+    }
+
+    #[test]
+    fn comparisons_match(w in 1usize..20, a: u64, b: u64) {
+        let (a, b) = (a & mask(w), b & mask(w));
+        let mut mig = Mig::new(2 * w);
+        let wa = input_word(&mig, 0, w);
+        let wb = input_word(&mig, w, w);
+        let lt = words::less_than(&mut mig, &wa, &wb);
+        let ge = words::greater_equal(&mut mig, &wa, &wb);
+        let eq = words::equal(&mut mig, &wa, &wb);
+        mig.add_output(lt);
+        mig.add_output(ge);
+        mig.add_output(eq);
+        let mut inputs = to_bits(a, w);
+        inputs.extend(to_bits(b, w));
+        let out = mig.evaluate(&inputs);
+        prop_assert_eq!(out, vec![a < b, a >= b, a == b]);
+    }
+
+    #[test]
+    fn mux_selects_the_right_word(w in 1usize..20, a: u64, b: u64, sel: bool) {
+        let (a, b) = (a & mask(w), b & mask(w));
+        let mut mig = Mig::new(2 * w + 1);
+        let wa = input_word(&mig, 0, w);
+        let wb = input_word(&mig, w, w);
+        let s = mig.input(2 * w);
+        let m = mux_word(&mut mig, s, &wa, &wb);
+        for x in m {
+            mig.add_output(x);
+        }
+        let mut inputs = to_bits(a, w);
+        inputs.extend(to_bits(b, w));
+        inputs.push(sel);
+        let out = mig.evaluate(&inputs);
+        prop_assert_eq!(from_bits(&out), if sel { a } else { b });
+    }
+
+    #[test]
+    fn popcount_matches(n in 1usize..48, v: u64) {
+        let mut mig = Mig::new(n);
+        let bits = input_word(&mig, 0, n);
+        let count = popcount(&mut mig, &bits);
+        for s in count {
+            mig.add_output(s);
+        }
+        let inputs = to_bits(v, n);
+        let expect = inputs.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(from_bits(&mig.evaluate(&inputs)), expect);
+    }
+
+    #[test]
+    fn rotation_matches(log_w in 2u32..6, v: u64, sh in 0u32..64) {
+        let w = 1usize << log_w;
+        let sh = sh % w as u32;
+        let v = v & mask(w);
+        let shift_bits = log_w as usize;
+        let mut mig = Mig::new(w + shift_bits);
+        let data = input_word(&mig, 0, w);
+        let shift = input_word(&mig, w, shift_bits);
+        let rotated = rotate_left_barrel(&mut mig, &data, &shift);
+        for s in rotated {
+            mig.add_output(s);
+        }
+        let mut inputs = to_bits(v, w);
+        inputs.extend((0..shift_bits).map(|i| (sh >> i) & 1 == 1));
+        let out = mig.evaluate(&inputs);
+        let expect = if sh == 0 {
+            v
+        } else {
+            ((v << sh) | (v >> (w as u32 - sh))) & mask(w)
+        };
+        prop_assert_eq!(from_bits(&out), expect);
+    }
+
+    #[test]
+    fn constant_word_bits(v: u64, w in 1usize..70) {
+        let word = constant_word(v, w);
+        prop_assert_eq!(word.len(), w);
+        for (i, s) in word.iter().enumerate() {
+            let expect = i < 64 && (v >> i) & 1 == 1;
+            prop_assert_eq!(s.constant_value(), Some(expect));
+        }
+    }
+}

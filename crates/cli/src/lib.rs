@@ -1,0 +1,431 @@
+//! Implementation of the `rlim` command-line tool.
+//!
+//! The binary front end is a thin wrapper around [`run`]; everything —
+//! argument parsing, command dispatch, output formatting — lives in the
+//! library so it can be tested without spawning processes.
+//!
+//! ```text
+//! rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [-o prog.plim]
+//! rlim run     <prog.plim> --inputs 1011…            # execute on the simulated crossbar
+//! rlim stats   <prog.plim>                           # #I, #R, write distribution, wear map
+//! rlim bench   <name> [--policy P] [--max-writes W]  # compile a built-in benchmark
+//! rlim list                                          # list built-in benchmarks
+//! ```
+//!
+//! Policies: `naive`, `plim21`, `min-write`, `ea-rewriting`,
+//! `endurance-aware` (default).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::{compile, CompileOptions};
+use rlim_mig::{blif, Mig};
+use rlim_plim::{asm, Machine, Program};
+use rlim_rram::{WearMap, WriteStats};
+
+/// A command-line failure: message for stderr plus the exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable explanation.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = operational).
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn run(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text printed on `--help` or argument errors.
+pub const USAGE: &str = "\
+rlim — endurance-aware logic-in-memory toolchain (DATE 2017 reproduction)
+
+usage:
+  rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [-o out.plim]
+  rlim run     <prog.plim> --inputs <bits>
+  rlim stats   <prog.plim> [--wear-map]
+  rlim bench   <benchmark> [--policy P] [--max-writes W] [--effort N] [-o out.plim]
+  rlim list
+
+policies: naive | plim21 | min-write | ea-rewriting | endurance-aware (default)
+";
+
+/// Runs the tool on `args` (without the program name), returning the text
+/// to print on stdout.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a usage or operational message.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("list") => Ok(cmd_list()),
+        Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+/// Parsed common options.
+struct CommonOpts {
+    policy: CompileOptions,
+    output: Option<String>,
+    positional: Vec<String>,
+    inputs: Option<String>,
+    wear_map: bool,
+}
+
+fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
+    let mut policy_name = "endurance-aware".to_string();
+    let mut max_writes: Option<u64> = None;
+    let mut effort: Option<usize> = None;
+    let mut output = None;
+    let mut positional = Vec::new();
+    let mut inputs = None;
+    let mut wear_map = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--policy" => policy_name = value_of("--policy")?,
+            "--max-writes" => {
+                let v = value_of("--max-writes")?;
+                max_writes = Some(
+                    v.parse()
+                        .map_err(|_| CliError::usage(format!("bad --max-writes `{v}`")))?,
+                );
+            }
+            "--effort" => {
+                let v = value_of("--effort")?;
+                effort = Some(
+                    v.parse()
+                        .map_err(|_| CliError::usage(format!("bad --effort `{v}`")))?,
+                );
+            }
+            "-o" | "--output" => output = Some(value_of("-o")?),
+            "--inputs" => inputs = Some(value_of("--inputs")?),
+            "--wear-map" => wear_map = true,
+            other if other.starts_with('-') => {
+                return Err(CliError::usage(format!("unknown flag `{other}`")));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    let mut policy = match policy_name.as_str() {
+        "naive" => CompileOptions::naive(),
+        "plim21" => CompileOptions::plim_compiler(),
+        "min-write" => CompileOptions::min_write(),
+        "ea-rewriting" => CompileOptions::endurance_rewriting(),
+        "endurance-aware" => CompileOptions::endurance_aware(),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown policy `{other}` (naive | plim21 | min-write | ea-rewriting | endurance-aware)"
+            )));
+        }
+    };
+    if let Some(w) = max_writes {
+        if w < 3 {
+            return Err(CliError::usage("--max-writes must be at least 3"));
+        }
+        policy = policy.with_max_writes(w);
+    }
+    if let Some(e) = effort {
+        policy = policy.with_effort(e);
+    }
+    Ok(CommonOpts {
+        policy,
+        output,
+        positional,
+        inputs,
+        wear_map,
+    })
+}
+
+fn compile_report(mig: &Mig, opts: &CommonOpts, source: &str) -> Result<String, CliError> {
+    let result = compile(mig, &opts.policy);
+    let stats = result.write_stats();
+    let text = asm::to_text(&result.program);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{source}: {} PI / {} PO / {} gates",
+        mig.num_inputs(),
+        mig.num_outputs(),
+        mig.num_gates()
+    );
+    let _ = writeln!(
+        out,
+        "compiled: {} instructions, {} cells, writes min={} max={} stdev={:.2}",
+        result.num_instructions(),
+        result.num_rrams(),
+        stats.min,
+        stats.max,
+        stats.stdev
+    );
+    match &opts.output {
+        Some(path) => {
+            fs::write(path, &text)
+                .map_err(|e| CliError::run(format!("cannot write `{path}`: {e}")))?;
+            let _ = writeln!(out, "wrote {path}");
+        }
+        None => out.push_str(&text),
+    }
+    Ok(out)
+}
+
+fn cmd_compile(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_common(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err(CliError::usage("compile needs exactly one BLIF file"));
+    };
+    let text =
+        fs::read_to_string(path).map_err(|e| CliError::run(format!("cannot read `{path}`: {e}")))?;
+    let mig = blif::parse_blif(&text).map_err(|e| CliError::run(format!("{path}: {e}")))?;
+    compile_report(&mig, &opts, path)
+}
+
+fn cmd_bench(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_common(args)?;
+    let [name] = opts.positional.as_slice() else {
+        return Err(CliError::usage("bench needs exactly one benchmark name (see `rlim list`)"));
+    };
+    let benchmark: Benchmark = name
+        .parse()
+        .map_err(|e| CliError::usage(format!("{e}; see `rlim list`")))?;
+    let mig = benchmark.build();
+    compile_report(&mig, &opts, name)
+}
+
+fn load_program(path: &str) -> Result<Program, CliError> {
+    let text =
+        fs::read_to_string(path).map_err(|e| CliError::run(format!("cannot read `{path}`: {e}")))?;
+    let program = asm::parse_text(&text).map_err(|e| CliError::run(format!("{path}: {e}")))?;
+    program
+        .validate()
+        .map_err(|e| CliError::run(format!("{path}: invalid program: {e}")))?;
+    Ok(program)
+}
+
+fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_common(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err(CliError::usage("run needs exactly one .plim file"));
+    };
+    let program = load_program(path)?;
+    let bits = opts
+        .inputs
+        .as_deref()
+        .ok_or_else(|| CliError::usage("run needs --inputs <bits>"))?;
+    let inputs: Vec<bool> = bits
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(CliError::usage(format!("bad input bit `{other}`"))),
+        })
+        .collect::<Result<_, _>>()?;
+    if inputs.len() != program.input_cells.len() {
+        return Err(CliError::usage(format!(
+            "program has {} inputs, got {}",
+            program.input_cells.len(),
+            inputs.len()
+        )));
+    }
+    let mut machine = Machine::for_program(&program);
+    let outputs = machine
+        .run(&program, &inputs)
+        .map_err(|e| CliError::run(e.to_string()))?;
+    let rendered: String = outputs.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    Ok(format!("outputs: {rendered}\n"))
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_common(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err(CliError::usage("stats needs exactly one .plim file"));
+    };
+    let program = load_program(path)?;
+    let counts = program.write_counts();
+    let stats = WriteStats::from_counts(counts.iter().copied());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} instructions, {} cells, {} inputs, {} outputs",
+        program.num_instructions(),
+        program.num_rrams(),
+        program.input_cells.len(),
+        program.output_cells.len()
+    );
+    let _ = writeln!(
+        out,
+        "writes: min={} max={} mean={:.2} stdev={:.2}",
+        stats.min, stats.max, stats.mean, stats.stdev
+    );
+    if opts.wear_map {
+        let map = WearMap::square(counts);
+        let _ = write!(out, "{map}");
+    }
+    Ok(out)
+}
+
+fn cmd_list() -> String {
+    let mut out = String::from("built-in benchmarks (PI/PO, kind):\n");
+    for &b in Benchmark::all() {
+        let (pi, po) = b.interface();
+        let kind = if b.is_exact() { "exact" } else { "synthetic" };
+        let _ = writeln!(out, "  {:<11} {pi:>5}/{po:<5} {kind}", b.name());
+    }
+    out
+}
+
+/// Test helper: run with string literals.
+#[doc(hidden)]
+pub fn run_str(args: &[&str]) -> Result<String, CliError> {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run(&owned)
+}
+
+/// Writes `contents` to a temp file and returns its path (test support).
+#[doc(hidden)]
+pub fn write_temp(name: &str, contents: &str) -> String {
+    let path = std::env::temp_dir().join(format!("rlim-cli-test-{}-{name}", std::process::id()));
+    fs::write(&path, contents).expect("temp file writable");
+    path.to_string_lossy().into_owned()
+}
+
+/// Removes a temp file created by [`write_temp`] (test support).
+#[doc(hidden)]
+pub fn remove_temp(path: &str) {
+    let _ = fs::remove_file(Path::new(path));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run_str(&["--help"]).unwrap().contains("usage:"));
+        assert!(run_str(&[]).unwrap().contains("usage:"));
+        let err = run_str(&["frobnicate"]).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn list_names_all_benchmarks() {
+        let out = run_str(&["list"]).unwrap();
+        for &b in Benchmark::all() {
+            assert!(out.contains(b.name()), "missing {b}");
+        }
+    }
+
+    #[test]
+    fn bench_compiles_and_reports() {
+        let out = run_str(&["bench", "int2float"]).unwrap();
+        assert!(out.contains("11 PI / 7 PO"), "{out}");
+        assert!(out.contains("compiled:"), "{out}");
+        assert!(out.contains(".cells"), "inline assembly listing expected");
+    }
+
+    #[test]
+    fn bench_rejects_unknown_name_and_policy() {
+        assert_eq!(run_str(&["bench", "nonesuch"]).unwrap_err().code, 2);
+        assert_eq!(
+            run_str(&["bench", "dec", "--policy", "yolo"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run_str(&["bench", "dec", "--max-writes", "1"]).unwrap_err().code,
+            2
+        );
+    }
+
+    #[test]
+    fn compile_run_stats_pipeline() {
+        // AND gate in BLIF → compile to a temp .plim → run → stats.
+        let blif_path = write_temp("and.blif", ".inputs a b\n.outputs f\n.names a b f\n11 1\n");
+        let plim_path = write_temp("and.plim", "");
+        let out = run_str(&["compile", &blif_path, "-o", &plim_path, "--policy", "naive"]).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+
+        let out = run_str(&["run", &plim_path, "--inputs", "11"]).unwrap();
+        assert_eq!(out.trim(), "outputs: 1");
+        let out = run_str(&["run", &plim_path, "--inputs", "10"]).unwrap();
+        assert_eq!(out.trim(), "outputs: 0");
+
+        let out = run_str(&["stats", &plim_path, "--wear-map"]).unwrap();
+        assert!(out.contains("writes:"), "{out}");
+        assert!(out.contains("crossbar"), "wear map expected: {out}");
+
+        remove_temp(&blif_path);
+        remove_temp(&plim_path);
+    }
+
+    #[test]
+    fn run_checks_input_arity_and_bits() {
+        let plim_path = write_temp(
+            "arity.plim",
+            ".cells 2\n.inputs r0\n.outputs r1\nRM3 0 1 r1\n",
+        );
+        assert_eq!(
+            run_str(&["run", &plim_path, "--inputs", "101"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run_str(&["run", &plim_path, "--inputs", "x"]).unwrap_err().code,
+            2
+        );
+        remove_temp(&plim_path);
+    }
+
+    #[test]
+    fn compile_reports_blif_errors_with_location() {
+        let path = write_temp("bad.blif", ".inputs a\n.outputs f\n.latch a f\n");
+        let err = run_str(&["compile", &path]).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains(".latch"), "{err}");
+        remove_temp(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_operational_error() {
+        let err = run_str(&["stats", "/nonexistent/x.plim"]).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! `rlim` binary entry point; all logic lives in the library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rlim_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The compile-time cell manager: allocation policies, free pool, write
+//! accounting and retirement.
+//!
+//! The manager mirrors, at compile time, the wear the program will inflict
+//! at run time: every emitted RM3 instruction records one write on its
+//! destination. The paper's two direct endurance techniques live here:
+//!
+//! * **minimum write count strategy** — [`Allocation::MinWrite`] hands out
+//!   the freed cell with the smallest write count;
+//! * **maximum write count strategy** — cells whose remaining budget cannot
+//!   fit a request are skipped (and effectively retired once no request can
+//!   ever fit).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rlim_rram::CellId;
+
+use crate::options::Allocation;
+
+/// Compile-time model of the crossbar's allocation state.
+#[derive(Debug, Clone)]
+pub struct CellManager {
+    writes: Vec<u64>,
+    /// LIFO pool (used when `allocation == Lifo`).
+    free_stack: Vec<CellId>,
+    /// Min-write pool: `(write count at release, cell)` with lazy staleness
+    /// (used when `allocation == MinWrite`).
+    free_heap: BinaryHeap<Reverse<(u64, u32)>>,
+    is_free: Vec<bool>,
+    allocation: Allocation,
+    max_writes: Option<u64>,
+}
+
+impl CellManager {
+    /// A manager with no cells yet.
+    pub fn new(allocation: Allocation, max_writes: Option<u64>) -> Self {
+        CellManager {
+            writes: Vec::new(),
+            free_stack: Vec::new(),
+            free_heap: BinaryHeap::new(),
+            is_free: Vec::new(),
+            allocation,
+            max_writes,
+        }
+    }
+
+    /// Total number of cells ever allocated — the paper's `#R`.
+    pub fn num_cells(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Write count of a cell.
+    pub fn writes_of(&self, cell: CellId) -> u64 {
+        self.writes[cell.index()]
+    }
+
+    /// All write counts, indexed by cell.
+    pub fn write_counts(&self) -> &[u64] {
+        &self.writes
+    }
+
+    /// Records one write on `cell` (called for every emitted instruction).
+    pub fn record_write(&mut self, cell: CellId) {
+        self.writes[cell.index()] += 1;
+        debug_assert!(
+            self.max_writes.is_none_or(|w| self.writes[cell.index()] <= w),
+            "write budget violated on {cell}"
+        );
+    }
+
+    /// Whether `cell` can absorb `budget` more writes under the maximum
+    /// write count strategy (always true when the strategy is off).
+    pub fn fits_budget(&self, cell: CellId, budget: u64) -> bool {
+        match self.max_writes {
+            None => true,
+            Some(w) => self.writes[cell.index()] + budget <= w,
+        }
+    }
+
+    /// Creates a brand-new cell (not drawn from the pool).
+    pub fn alloc_fresh(&mut self) -> CellId {
+        let id = CellId::new(u32::try_from(self.writes.len()).expect("too many cells"));
+        self.writes.push(0);
+        self.is_free.push(false);
+        id
+    }
+
+    /// Requests a cell that can absorb `budget` writes. Freed cells are
+    /// preferred (policy-dependent choice); a fresh cell is created when the
+    /// pool has no fitting candidate.
+    pub fn alloc(&mut self, budget: u64) -> CellId {
+        match self.allocation {
+            Allocation::Lifo => {
+                // Take the most recently freed cell that fits the budget.
+                if self.max_writes.is_none() {
+                    if let Some(cell) = self.free_stack.pop() {
+                        self.is_free[cell.index()] = false;
+                        return cell;
+                    }
+                } else if let Some(pos) = self
+                    .free_stack
+                    .iter()
+                    .rposition(|&c| self.fits_budget(c, budget))
+                {
+                    let cell = self.free_stack.remove(pos);
+                    self.is_free[cell.index()] = false;
+                    return cell;
+                }
+                self.alloc_fresh()
+            }
+            Allocation::MinWrite => {
+                // Pop lazily: skip entries that are stale (cell re-allocated
+                // since the entry was pushed; its count will have grown).
+                while let Some(&Reverse((count, raw))) = self.free_heap.peek() {
+                    let cell = CellId::new(raw);
+                    if !self.is_free[cell.index()] || self.writes[cell.index()] != count {
+                        self.free_heap.pop();
+                        continue;
+                    }
+                    // Counts are heap-ordered: if the minimum does not fit
+                    // the budget, nothing does.
+                    if !self.fits_budget(cell, budget) {
+                        break;
+                    }
+                    self.free_heap.pop();
+                    self.is_free[cell.index()] = false;
+                    return cell;
+                }
+                self.alloc_fresh()
+            }
+        }
+    }
+
+    /// Returns a cell to the free pool. Cells that can never fit even a
+    /// single write again are retired (dropped) instead.
+    pub fn release(&mut self, cell: CellId) {
+        debug_assert!(!self.is_free[cell.index()], "double release of {cell}");
+        if !self.fits_budget(cell, 1) {
+            return; // retired: at the write limit
+        }
+        self.is_free[cell.index()] = true;
+        match self.allocation {
+            Allocation::Lifo => self.free_stack.push(cell),
+            Allocation::MinWrite => self
+                .free_heap
+                .push(Reverse((self.writes[cell.index()], cell.raw_u32()))),
+        }
+    }
+
+    /// Number of cells currently in the free pool.
+    pub fn free_len(&self) -> usize {
+        self.is_free.iter().filter(|&&f| f).count()
+    }
+}
+
+/// Extension trait: `CellId` raw access for heap keys.
+trait CellRaw {
+    fn raw_u32(self) -> u32;
+}
+
+impl CellRaw for CellId {
+    fn raw_u32(self) -> u32 {
+        u32::try_from(self.index()).expect("cell index fits u32")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_n(m: &mut CellManager, c: CellId, n: u64) {
+        for _ in 0..n {
+            m.record_write(c);
+        }
+    }
+
+    #[test]
+    fn fresh_allocation_counts_cells() {
+        let mut m = CellManager::new(Allocation::Lifo, None);
+        let a = m.alloc(1);
+        let b = m.alloc(1);
+        assert_ne!(a, b);
+        assert_eq!(m.num_cells(), 2);
+        assert_eq!(m.writes_of(a), 0);
+    }
+
+    #[test]
+    fn lifo_returns_most_recent() {
+        let mut m = CellManager::new(Allocation::Lifo, None);
+        let a = m.alloc(1);
+        let b = m.alloc(1);
+        m.release(a);
+        m.release(b);
+        assert_eq!(m.alloc(1), b, "LIFO pops the most recently freed");
+        assert_eq!(m.alloc(1), a);
+        assert_eq!(m.num_cells(), 2, "no fresh cell needed");
+    }
+
+    #[test]
+    fn min_write_returns_least_worn() {
+        let mut m = CellManager::new(Allocation::MinWrite, None);
+        let a = m.alloc(1);
+        let b = m.alloc(1);
+        let c = m.alloc(1);
+        write_n(&mut m, a, 5);
+        write_n(&mut m, b, 1);
+        write_n(&mut m, c, 3);
+        m.release(a);
+        m.release(b);
+        m.release(c);
+        assert_eq!(m.alloc(1), b, "least-worn first");
+        assert_eq!(m.alloc(1), c);
+        assert_eq!(m.alloc(1), a);
+    }
+
+    #[test]
+    fn min_write_heap_handles_reuse() {
+        let mut m = CellManager::new(Allocation::MinWrite, None);
+        let a = m.alloc(1);
+        m.release(a);
+        let a2 = m.alloc(1);
+        assert_eq!(a, a2);
+        write_n(&mut m, a2, 4);
+        m.release(a2);
+        // The stale (count 0) entry must be skipped; a fresh cell with a
+        // smaller count would win, but here only `a` exists.
+        assert_eq!(m.alloc(1), a);
+        assert_eq!(m.writes_of(a), 4);
+    }
+
+    #[test]
+    fn budget_filters_pool_and_falls_back_to_fresh() {
+        let mut m = CellManager::new(Allocation::MinWrite, Some(5));
+        let a = m.alloc(1);
+        write_n(&mut m, a, 4);
+        m.release(a); // 4 writes, limit 5: only 1 left
+        assert!(m.fits_budget(a, 1));
+        assert!(!m.fits_budget(a, 2));
+        let b = m.alloc(3); // needs 3 writes: a does not fit
+        assert_ne!(a, b);
+        let c = m.alloc(1); // a fits a single write
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn retired_cells_never_return() {
+        let mut m = CellManager::new(Allocation::MinWrite, Some(3));
+        let a = m.alloc(3);
+        write_n(&mut m, a, 3);
+        m.release(a); // at the limit: retired
+        assert_eq!(m.free_len(), 0);
+        let b = m.alloc(1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lifo_with_budget_scans_down_the_stack() {
+        let mut m = CellManager::new(Allocation::Lifo, Some(4));
+        let a = m.alloc(1); // will have 1 write
+        let b = m.alloc(1); // will have 3 writes
+        write_n(&mut m, a, 1);
+        write_n(&mut m, b, 3);
+        m.release(a);
+        m.release(b); // stack: [a, b], top = b
+        // budget 2: b (3+2>4) does not fit, a (1+2≤4) does.
+        assert_eq!(m.alloc(2), a);
+    }
+
+    #[test]
+    fn no_limit_means_everything_fits() {
+        let mut m = CellManager::new(Allocation::Lifo, None);
+        let a = m.alloc(1);
+        write_n(&mut m, a, 1_000_000);
+        assert!(m.fits_budget(a, u64::MAX / 2));
+    }
+}

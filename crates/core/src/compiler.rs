@@ -1,0 +1,621 @@
+//! The MIG → PLiM compiler: node translation and the compile loop.
+//!
+//! ## Node translation
+//!
+//! A majority gate `n = ⟨s_a, s_b, s_c⟩` is computed by one main RM3
+//! instruction whose three roles must be filled from the child signals:
+//!
+//! * `P` is read as stored — free for constants and uncomplemented children;
+//!   a complemented child needs its inverse materialised (2 instructions,
+//!   1 cell).
+//! * `Q` is inverted by the operation — free for constants and *complemented*
+//!   children (this is why a node with exactly one complemented edge is
+//!   ideal); an uncomplemented child needs its inverse materialised.
+//! * `Z` must be a cell currently holding the third operand's value, and is
+//!   overwritten. An uncomplemented child at its **last pending use** (and,
+//!   under the maximum write count strategy, with budget left) is consumed
+//!   in place for free; otherwise the value is copied into an allocated cell
+//!   (2 instructions, 1 cell).
+//!
+//! The translator tries all six role assignments and emits the cheapest.
+//!
+//! ## Micro-op recipes (cost in instructions)
+//!
+//! | recipe | sequence | writes on target |
+//! |---|---|---|
+//! | `set0(c)` | `RM3(0, 1, c)` | 1 |
+//! | `set1(c)` | `RM3(1, 0, c)` | 1 |
+//! | `copy(c ← s)` | `set0(c); RM3(s, 0, c)` | 2 |
+//! | `copy_inv(c ← s)` | `set1(c); RM3(0, s, c)` | 2 |
+
+use rlim_mig::rewrite::rewrite;
+use rlim_mig::{Mig, NodeId, Signal};
+use rlim_plim::{Instruction, Operand, Program};
+use rlim_rram::{CellId, WriteStats};
+
+use crate::cells::CellManager;
+use crate::options::CompileOptions;
+use crate::select::Scheduler;
+
+/// Output of [`compile`]: the program plus the graph it was generated from.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The compiled PLiM program.
+    pub program: Program,
+    /// The (possibly rewritten) MIG the program computes.
+    pub mig: Mig,
+    /// The options used.
+    pub options: CompileOptions,
+}
+
+impl CompileResult {
+    /// Write-distribution statistics over **all** cells the program
+    /// allocates — the paper's STDEV / min / max metrics.
+    pub fn write_stats(&self) -> WriteStats {
+        WriteStats::from_counts(self.program.write_counts())
+    }
+
+    /// The paper's `#I` metric.
+    pub fn num_instructions(&self) -> usize {
+        self.program.num_instructions()
+    }
+
+    /// The paper's `#R` metric.
+    pub fn num_rrams(&self) -> usize {
+        self.program.num_rrams()
+    }
+}
+
+/// Compiles an MIG into a PLiM program under the given options.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_compiler::{compile, CompileOptions};
+/// use rlim_mig::Mig;
+///
+/// let mut mig = Mig::new(3);
+/// let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+/// let m = mig.add_maj(a, !b, c);
+/// mig.add_output(m);
+/// let result = compile(&mig, &CompileOptions::naive());
+/// // One ideal node: a single RM3 instruction, no extra cells.
+/// assert_eq!(result.num_instructions(), 1);
+/// assert_eq!(result.num_rrams(), 3);
+/// ```
+pub fn compile(mig: &Mig, options: &CompileOptions) -> CompileResult {
+    let graph = match options.rewriting {
+        Some(alg) => rewrite(mig, alg, options.effort),
+        None => mig.clone(),
+    };
+    let program = Compiler::new(&graph, options).run();
+    debug_assert_eq!(program.validate(), Ok(()));
+    CompileResult {
+        program,
+        mig: graph,
+        options: options.clone(),
+    }
+}
+
+/// Role-assignment cost: `(extra instructions, extra cells)`; the main RM3
+/// itself is not included (it is always 1 instruction).
+type Cost = (u32, u32);
+
+/// How each role will be realised, decided before any emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadPlan {
+    /// Pass a constant operand.
+    Const(bool),
+    /// Read the child's cell directly.
+    Direct(NodeId),
+    /// Materialise the complement of the child's value in a temp cell.
+    MaterialiseInverse(NodeId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DestPlan {
+    /// Overwrite the cell of this child (its last pending use).
+    InPlace(NodeId),
+    /// Allocate a cell and set it to a constant.
+    LoadConst(bool),
+    /// Allocate a cell and copy the child's value into it.
+    CopyValue(NodeId),
+    /// Allocate a cell and copy the child's complement into it.
+    CopyInverse(NodeId),
+}
+
+struct Compiler<'a> {
+    mig: &'a Mig,
+    cells: CellManager,
+    instructions: Vec<Instruction>,
+    /// Cell currently holding each node's (uncomplemented) value.
+    node_cell: Vec<Option<CellId>>,
+    /// Pending uses per node: live gate-children edges + PO references.
+    /// PO references are never consumed, pinning PO cells forever.
+    fanout_remaining: Vec<u32>,
+    scheduler: Scheduler<'a>,
+    input_cells: Vec<CellId>,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(mig: &'a Mig, options: &CompileOptions) -> Self {
+        let live = mig.live_mask();
+        let mut fanout_remaining = vec![0u32; mig.num_nodes()];
+        for g in mig.gates() {
+            if !live[g.index()] {
+                continue;
+            }
+            for s in mig.children(g) {
+                if !s.is_constant() {
+                    fanout_remaining[s.node().index()] += 1;
+                }
+            }
+        }
+        for s in mig.outputs() {
+            if !s.is_constant() {
+                fanout_remaining[s.node().index()] += 1;
+            }
+        }
+        let scheduler = Scheduler::new(mig, options.selection, &fanout_remaining);
+        Compiler {
+            mig,
+            cells: CellManager::new(options.allocation, options.max_writes),
+            instructions: Vec::new(),
+            node_cell: vec![None; mig.num_nodes()],
+            fanout_remaining,
+            scheduler,
+            input_cells: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Program {
+        // Primary inputs are preloaded into the first cells (wear-free).
+        for i in 0..self.mig.num_inputs() {
+            let cell = self.cells.alloc_fresh();
+            let node = self.mig.input(i).node();
+            self.node_cell[node.index()] = Some(cell);
+            self.input_cells.push(cell);
+            // Inputs nothing ever reads can be recycled immediately.
+            if self.fanout_remaining[node.index()] == 0 {
+                self.node_cell[node.index()] = None;
+                self.cells.release(cell);
+            }
+        }
+
+        // Main loop: translate nodes in scheduler order.
+        let mut fr = std::mem::take(&mut self.fanout_remaining);
+        while let Some(n) = self.scheduler.pop(&fr) {
+            self.fanout_remaining = fr;
+            self.translate(n);
+            fr = std::mem::take(&mut self.fanout_remaining);
+            self.scheduler.after_compute(n, &fr);
+        }
+        self.fanout_remaining = fr;
+
+        // Resolve primary outputs; complemented or constant outputs need a
+        // materialisation cell (shared per distinct signal).
+        let mut po_cache: std::collections::HashMap<Signal, CellId> = std::collections::HashMap::new();
+        let outputs: Vec<Signal> = self.mig.outputs().to_vec();
+        let mut output_cells = Vec::with_capacity(outputs.len());
+        for s in outputs {
+            let cell = if let Some(&c) = po_cache.get(&s) {
+                c
+            } else {
+                let c = match s.constant_value() {
+                    Some(bit) => {
+                        let c = self.cells.alloc(1);
+                        self.set_const(c, bit);
+                        c
+                    }
+                    None if !s.is_complement() => self.node_cell[s.node().index()]
+                        .expect("primary output node must have been computed"),
+                    None => {
+                        let src = self.node_cell[s.node().index()]
+                            .expect("primary output node must have been computed");
+                        let c = self.cells.alloc(2);
+                        self.copy_inv(c, src);
+                        c
+                    }
+                };
+                po_cache.insert(s, c);
+                c
+            };
+            output_cells.push(cell);
+        }
+
+        Program {
+            instructions: self.instructions,
+            num_cells: self.cells.num_cells(),
+            input_cells: self.input_cells,
+            output_cells,
+        }
+    }
+
+    // ---- Emission primitives ------------------------------------------
+
+    fn emit(&mut self, p: Operand, q: Operand, z: CellId) {
+        self.instructions.push(Instruction { p, q, z });
+        self.cells.record_write(z);
+    }
+
+    /// `c ← bit` (1 instruction).
+    fn set_const(&mut self, c: CellId, bit: bool) {
+        if bit {
+            // ⟨1, !0, z⟩ = 1
+            self.emit(Operand::Const(true), Operand::Const(false), c);
+        } else {
+            // ⟨0, !1, z⟩ = 0
+            self.emit(Operand::Const(false), Operand::Const(true), c);
+        }
+    }
+
+    /// `c ← value(src)` (2 instructions).
+    fn copy(&mut self, c: CellId, src: CellId) {
+        self.set_const(c, false);
+        // ⟨v, !0, 0⟩ = ⟨v, 1, 0⟩ = v
+        self.emit(Operand::Cell(src), Operand::Const(false), c);
+    }
+
+    /// `c ← !value(src)` (2 instructions).
+    fn copy_inv(&mut self, c: CellId, src: CellId) {
+        self.set_const(c, true);
+        // ⟨0, !v, 1⟩ = !v
+        self.emit(Operand::Const(false), Operand::Cell(src), c);
+    }
+
+    // ---- Node translation ---------------------------------------------
+
+    /// Cost and plan of using `s` as the P operand.
+    fn plan_p(&self, s: Signal) -> (Cost, ReadPlan) {
+        match s.constant_value() {
+            Some(bit) => ((0, 0), ReadPlan::Const(bit)),
+            None if !s.is_complement() => ((0, 0), ReadPlan::Direct(s.node())),
+            None => ((2, 1), ReadPlan::MaterialiseInverse(s.node())),
+        }
+    }
+
+    /// Cost and plan of using `s` as the Q operand (RM3 inverts Q, so the
+    /// stored value must be the complement of the desired signal).
+    fn plan_q(&self, s: Signal) -> (Cost, ReadPlan) {
+        match s.constant_value() {
+            // Need Q̄ = bit ⇒ Q = !bit.
+            Some(bit) => ((0, 0), ReadPlan::Const(!bit)),
+            // Complemented child: the stored value *is* the inverse. Free.
+            None if s.is_complement() => ((0, 0), ReadPlan::Direct(s.node())),
+            // Uncomplemented: materialise the inverse.
+            None => ((2, 1), ReadPlan::MaterialiseInverse(s.node())),
+        }
+    }
+
+    /// Cost and plan of using `s` as the destination Z.
+    fn plan_z(&self, s: Signal) -> (Cost, DestPlan) {
+        match s.constant_value() {
+            Some(bit) => ((1, 1), DestPlan::LoadConst(bit)),
+            None if s.is_complement() => ((2, 1), DestPlan::CopyInverse(s.node())),
+            None => {
+                let node = s.node();
+                let consumable = self.fanout_remaining[node.index()] == 1
+                    && self.node_cell[node.index()].is_some_and(|c| self.cells.fits_budget(c, 1));
+                if consumable {
+                    ((0, 0), DestPlan::InPlace(node))
+                } else {
+                    ((2, 1), DestPlan::CopyValue(node))
+                }
+            }
+        }
+    }
+
+    /// Translates one majority gate into RM3 instructions.
+    fn translate(&mut self, n: NodeId) {
+        let ch = self.mig.children(n);
+
+        // Enumerate all six role assignments; keep the cheapest.
+        const PERMS: [(usize, usize, usize); 6] =
+            [(0, 1, 2), (0, 2, 1), (1, 0, 2), (1, 2, 0), (2, 0, 1), (2, 1, 0)];
+        let mut best: Option<(Cost, ReadPlan, ReadPlan, DestPlan)> = None;
+        for (pi, qi, zi) in PERMS {
+            let ((ip, cp), p_plan) = self.plan_p(ch[pi]);
+            let ((iq, cq), q_plan) = self.plan_q(ch[qi]);
+            let ((iz, cz), z_plan) = self.plan_z(ch[zi]);
+            let cost = (ip + iq + iz, cp + cq + cz);
+            if best.is_none_or(|(c, _, _, _)| cost < c) {
+                best = Some((cost, p_plan, q_plan, z_plan));
+            }
+        }
+        let (_, p_plan, q_plan, z_plan) = best.expect("six permutations evaluated");
+
+        // Materialise read operands first (their recipes must not disturb
+        // the destination).
+        let mut temps: Vec<CellId> = Vec::new();
+        let p_op = self.realise_read(p_plan, &mut temps);
+        let q_op = self.realise_read(q_plan, &mut temps);
+
+        // Prepare the destination.
+        let (dest, in_place_child) = match z_plan {
+            DestPlan::InPlace(child) => {
+                let cell = self.node_cell[child.index()].expect("in-place child has a cell");
+                (cell, Some(child))
+            }
+            DestPlan::LoadConst(bit) => {
+                let cell = self.cells.alloc(2); // set + main write
+                self.set_const(cell, bit);
+                (cell, None)
+            }
+            DestPlan::CopyValue(child) => {
+                let src = self.node_cell[child.index()].expect("computed child has a cell");
+                let cell = self.cells.alloc(3); // set + load + main write
+                self.copy(cell, src);
+                (cell, None)
+            }
+            DestPlan::CopyInverse(child) => {
+                let src = self.node_cell[child.index()].expect("computed child has a cell");
+                let cell = self.cells.alloc(3);
+                self.copy_inv(cell, src);
+                (cell, None)
+            }
+        };
+
+        // The main RM3 operation.
+        self.emit(p_op, q_op, dest);
+        self.node_cell[n.index()] = Some(dest);
+
+        // Temps die immediately after the main op.
+        for t in temps {
+            self.cells.release(t);
+        }
+
+        // Consume one pending use per child; release cells that reached
+        // their last use (the in-place child's cell now belongs to `n`).
+        for s in ch {
+            if s.is_constant() {
+                continue;
+            }
+            let child = s.node();
+            self.fanout_remaining[child.index()] -= 1;
+            match self.fanout_remaining[child.index()] {
+                0 => {
+                    if in_place_child == Some(child) {
+                        self.node_cell[child.index()] = None;
+                    } else if let Some(cell) = self.node_cell[child.index()].take() {
+                        self.cells.release(cell);
+                    }
+                }
+                1 => self.scheduler.child_now_single(child, &self.fanout_remaining),
+                _ => {}
+            }
+        }
+    }
+
+    fn realise_read(&mut self, plan: ReadPlan, temps: &mut Vec<CellId>) -> Operand {
+        match plan {
+            ReadPlan::Const(bit) => Operand::Const(bit),
+            ReadPlan::Direct(node) => {
+                Operand::Cell(self.node_cell[node.index()].expect("computed child has a cell"))
+            }
+            ReadPlan::MaterialiseInverse(node) => {
+                let src = self.node_cell[node.index()].expect("computed child has a cell");
+                let temp = self.cells.alloc(2);
+                self.copy_inv(temp, src);
+                temps.push(temp);
+                Operand::Cell(temp)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlim_plim::Machine;
+
+    /// Compile + execute on the machine must match MIG evaluation.
+    fn assert_functional(mig: &Mig, options: &CompileOptions, seed: u64) {
+        use rand::{Rng, SeedableRng};
+        let result = compile(mig, options);
+        result.program.validate().expect("program is well-formed");
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
+            let expect = mig.evaluate(&inputs);
+            let mut machine = Machine::for_program(&result.program);
+            let got = machine
+                .run(&result.program, &inputs)
+                .expect("no endurance limit");
+            assert_eq!(got, expect, "inputs {inputs:?} options {options:?}");
+        }
+    }
+
+    fn all_option_sets() -> Vec<CompileOptions> {
+        vec![
+            CompileOptions::naive(),
+            CompileOptions::plim_compiler(),
+            CompileOptions::min_write(),
+            CompileOptions::endurance_rewriting(),
+            CompileOptions::endurance_aware(),
+            CompileOptions::endurance_aware().with_max_writes(10),
+            CompileOptions::endurance_aware().with_max_writes(3),
+        ]
+    }
+
+    #[test]
+    fn ideal_node_is_one_instruction() {
+        let mut mig = Mig::new(3);
+        let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+        let m = mig.add_maj(a, !b, c);
+        mig.add_output(m);
+        let r = compile(&mig, &CompileOptions::naive());
+        assert_eq!(r.num_instructions(), 1);
+        assert_eq!(r.num_rrams(), 3, "three input cells, no extras");
+        assert_functional(&mig, &CompileOptions::naive(), 1);
+    }
+
+    #[test]
+    fn zero_complement_node_needs_materialisation() {
+        let mut mig = Mig::new(3);
+        let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+        let m = mig.add_maj(a, b, c);
+        mig.add_output(m);
+        let r = compile(&mig, &CompileOptions::naive());
+        // Q must be an inverse: set + load + main = 3 instructions, 1 temp.
+        assert_eq!(r.num_instructions(), 3);
+        assert_eq!(r.num_rrams(), 4);
+        assert_functional(&mig, &CompileOptions::naive(), 2);
+    }
+
+    #[test]
+    fn and_gate_uses_constant_operands() {
+        // ⟨a b 0⟩: Q can be the constant (free), Z consumes a or b in place.
+        let mut mig = Mig::new(2);
+        let a = mig.input(0);
+        let b = mig.input(1);
+        let g = mig.and(a, b);
+        mig.add_output(g);
+        let r = compile(&mig, &CompileOptions::naive());
+        assert_eq!(r.num_instructions(), 1);
+        assert_eq!(r.num_rrams(), 2);
+        assert_functional(&mig, &CompileOptions::naive(), 3);
+    }
+
+    #[test]
+    fn multi_fanout_child_forces_copy() {
+        // g1 = a∧b feeds two parents: the first parent cannot consume it.
+        let mut mig = Mig::new(3);
+        let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+        let g1 = mig.and(a, b);
+        let g2 = mig.and(g1, c);
+        let g3 = mig.or(g1, c);
+        mig.add_output(g2);
+        mig.add_output(g3);
+        assert_functional(&mig, &CompileOptions::naive(), 4);
+    }
+
+    #[test]
+    fn complemented_output_materialised() {
+        let mut mig = Mig::new(2);
+        let a = mig.input(0);
+        let b = mig.input(1);
+        let g = mig.and(a, b);
+        mig.add_output(!g);
+        mig.add_output(!g); // shared: one materialisation
+        let r = compile(&mig, &CompileOptions::naive());
+        assert_eq!(r.program.output_cells[0], r.program.output_cells[1]);
+        assert_functional(&mig, &CompileOptions::naive(), 5);
+    }
+
+    #[test]
+    fn constant_output_supported() {
+        let mut mig = Mig::new(1);
+        mig.add_output(Signal::TRUE);
+        mig.add_output(Signal::FALSE);
+        let r = compile(&mig, &CompileOptions::naive());
+        let mut machine = Machine::for_program(&r.program);
+        let out = machine.run(&r.program, &[false]).unwrap();
+        assert_eq!(out, vec![true, false]);
+    }
+
+    #[test]
+    fn input_passthrough_output() {
+        let mut mig = Mig::new(2);
+        let a = mig.input(0);
+        mig.add_output(a);
+        mig.add_output(!a);
+        for opts in all_option_sets() {
+            assert_functional(&mig, &opts, 6);
+        }
+    }
+
+    #[test]
+    fn all_policies_functionally_correct_on_random_graphs() {
+        use rlim_mig::random::{generate, RandomMigConfig};
+        let cfg = RandomMigConfig {
+            inputs: 8,
+            outputs: 6,
+            gates: 120,
+            ..Default::default()
+        };
+        for seed in 0..3 {
+            let mig = generate(&cfg, seed);
+            for opts in all_option_sets() {
+                assert_functional(&mig, &opts, seed ^ 77);
+            }
+        }
+    }
+
+    #[test]
+    fn max_write_strategy_bounds_every_cell() {
+        use rlim_mig::random::{generate, RandomMigConfig};
+        let cfg = RandomMigConfig {
+            inputs: 8,
+            outputs: 6,
+            gates: 200,
+            ..Default::default()
+        };
+        let mig = generate(&cfg, 11);
+        for limit in [3, 10, 20] {
+            let opts = CompileOptions::endurance_aware().with_max_writes(limit);
+            let r = compile(&mig, &opts);
+            let counts = r.program.write_counts();
+            assert!(
+                counts.iter().all(|&c| c <= limit),
+                "limit {limit} violated: max {}",
+                counts.iter().max().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn min_write_strategy_does_not_change_instruction_or_cell_counts() {
+        // Paper: "the minimum write count strategy does not influence the
+        // number of required instructions and RRAMs."
+        use rlim_mig::random::{generate, RandomMigConfig};
+        let cfg = RandomMigConfig {
+            inputs: 10,
+            outputs: 8,
+            gates: 300,
+            ..Default::default()
+        };
+        for seed in 0..3 {
+            let mig = generate(&cfg, seed);
+            let lifo = compile(&mig, &CompileOptions::plim_compiler());
+            let minw = compile(&mig, &CompileOptions::min_write());
+            assert_eq!(lifo.num_instructions(), minw.num_instructions());
+            assert_eq!(lifo.num_rrams(), minw.num_rrams());
+        }
+    }
+
+    #[test]
+    fn min_write_improves_balance_on_hot_cell_pattern() {
+        use rlim_mig::random::{generate, RandomMigConfig};
+        let cfg = RandomMigConfig {
+            inputs: 10,
+            outputs: 8,
+            gates: 400,
+            ..Default::default()
+        };
+        let mut improved = 0;
+        for seed in 0..5 {
+            let mig = generate(&cfg, seed);
+            let lifo = compile(&mig, &CompileOptions::plim_compiler()).write_stats();
+            let minw = compile(&mig, &CompileOptions::min_write()).write_stats();
+            if minw.stdev <= lifo.stdev {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 4, "min-write should usually balance better");
+    }
+
+    #[test]
+    fn compile_result_metrics_consistent() {
+        let mut mig = Mig::new(2);
+        let a = mig.input(0);
+        let b = mig.input(1);
+        let g = mig.xor(a, b);
+        mig.add_output(g);
+        let r = compile(&mig, &CompileOptions::endurance_aware());
+        assert_eq!(r.num_instructions(), r.program.instructions.len());
+        assert_eq!(r.num_rrams(), r.program.num_cells);
+        let stats = r.write_stats();
+        assert_eq!(stats.cells, r.num_rrams());
+        assert_eq!(stats.total as usize, r.num_instructions());
+    }
+}

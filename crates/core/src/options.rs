@@ -1,0 +1,201 @@
+//! Compilation configuration: the paper's technique matrix.
+
+use rlim_mig::rewrite::Algorithm;
+
+/// How freed RRAM cells are handed back out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Allocation {
+    /// Most-recently-freed first — the behaviour of the baseline compiler,
+    /// which concentrates writes on a few hot cells.
+    #[default]
+    Lifo,
+    /// The paper's *minimum write count strategy*: return the freed cell
+    /// with the smallest write count.
+    MinWrite,
+}
+
+/// Which computable MIG node is translated next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Selection {
+    /// Creation order (children before parents) — the naive baseline.
+    #[default]
+    Topological,
+    /// The DAC'16 PLiM-compiler priority: maximise the number of RRAMs
+    /// released by the computation, tie-break on the smaller fanout level
+    /// index.
+    AreaAware,
+    /// The paper's Algorithm 3: minimise the fanout level index (shortest
+    /// storage duration first), tie-break on more releasing RRAMs.
+    EnduranceAware,
+}
+
+/// Full compiler configuration.
+///
+/// The constructors mirror the columns of the paper's Table I (see
+/// `DESIGN.md` §3.6 for the mapping).
+///
+/// # Examples
+///
+/// ```
+/// use rlim_compiler::{Allocation, CompileOptions, Selection};
+///
+/// let opts = CompileOptions::endurance_aware().with_max_writes(20);
+/// assert_eq!(opts.allocation, Allocation::MinWrite);
+/// assert_eq!(opts.selection, Selection::EnduranceAware);
+/// assert_eq!(opts.max_writes, Some(20));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// MIG rewriting to apply before translation; `None` compiles the graph
+    /// as given (the naive baseline).
+    pub rewriting: Option<Algorithm>,
+    /// Rewriting effort cycles (the paper uses 5).
+    pub effort: usize,
+    /// Node-selection policy.
+    pub selection: Selection,
+    /// Cell-allocation policy.
+    pub allocation: Allocation,
+    /// The *maximum write count strategy*: when set, no cell ever receives
+    /// more than this many writes; cells at the limit are retired and fresh
+    /// cells allocated instead. Must be ≥ 3 so that the copy recipes
+    /// (initialise + load + destination write) fit in one cell's budget.
+    pub max_writes: Option<u64>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions::endurance_aware()
+    }
+}
+
+impl CompileOptions {
+    /// The naive baseline: no rewriting, topological order, LIFO pool
+    /// (Table I column "naive").
+    pub fn naive() -> Self {
+        CompileOptions {
+            rewriting: None,
+            effort: 0,
+            selection: Selection::Topological,
+            allocation: Allocation::Lifo,
+            max_writes: None,
+        }
+    }
+
+    /// The DAC'16 PLiM compiler (Table I column "PLiM compiler \[21\]"):
+    /// Algorithm 1 rewriting + area-aware selection.
+    pub fn plim_compiler() -> Self {
+        CompileOptions {
+            rewriting: Some(Algorithm::PlimCompiler),
+            effort: 5,
+            selection: Selection::AreaAware,
+            allocation: Allocation::Lifo,
+            max_writes: None,
+        }
+    }
+
+    /// [`CompileOptions::plim_compiler`] plus the minimum write count
+    /// strategy (Table I column "Minimum write strategy").
+    pub fn min_write() -> Self {
+        CompileOptions {
+            allocation: Allocation::MinWrite,
+            ..CompileOptions::plim_compiler()
+        }
+    }
+
+    /// [`CompileOptions::min_write`] with the endurance-aware rewriting of
+    /// Algorithm 2 (Table I column "+ endurance-aware MIG rewriting").
+    pub fn endurance_rewriting() -> Self {
+        CompileOptions {
+            rewriting: Some(Algorithm::EnduranceAware),
+            ..CompileOptions::min_write()
+        }
+    }
+
+    /// The full endurance-aware compilation without a write bound
+    /// (Table I column "+ endurance-aware MIG rewriting and compilation"):
+    /// Algorithm 2 rewriting, Algorithm 3 node selection, minimum-write
+    /// allocation.
+    pub fn endurance_aware() -> Self {
+        CompileOptions {
+            selection: Selection::EnduranceAware,
+            ..CompileOptions::endurance_rewriting()
+        }
+    }
+
+    /// Adds the maximum write count strategy (Table III).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit < 3`: a fresh destination cell needs up to three
+    /// writes (initialise, load, destination write) for one node.
+    pub fn with_max_writes(mut self, limit: u64) -> Self {
+        assert!(limit >= 3, "max_writes must be at least 3, got {limit}");
+        self.max_writes = Some(limit);
+        self
+    }
+
+    /// Sets the rewriting effort.
+    pub fn with_effort(mut self, effort: usize) -> Self {
+        self.effort = effort;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_column_mapping() {
+        let naive = CompileOptions::naive();
+        assert_eq!(naive.rewriting, None);
+        assert_eq!(naive.selection, Selection::Topological);
+        assert_eq!(naive.allocation, Allocation::Lifo);
+
+        let plim = CompileOptions::plim_compiler();
+        assert_eq!(plim.rewriting, Some(Algorithm::PlimCompiler));
+        assert_eq!(plim.selection, Selection::AreaAware);
+        assert_eq!(plim.allocation, Allocation::Lifo);
+
+        let minw = CompileOptions::min_write();
+        assert_eq!(minw.rewriting, Some(Algorithm::PlimCompiler));
+        assert_eq!(minw.allocation, Allocation::MinWrite);
+        assert_eq!(minw.selection, Selection::AreaAware);
+
+        let ear = CompileOptions::endurance_rewriting();
+        assert_eq!(ear.rewriting, Some(Algorithm::EnduranceAware));
+        assert_eq!(ear.selection, Selection::AreaAware);
+
+        let full = CompileOptions::endurance_aware();
+        assert_eq!(full.rewriting, Some(Algorithm::EnduranceAware));
+        assert_eq!(full.selection, Selection::EnduranceAware);
+        assert_eq!(full.allocation, Allocation::MinWrite);
+        assert_eq!(full.max_writes, None);
+        assert_eq!(full.effort, 5);
+    }
+
+    #[test]
+    fn default_is_endurance_aware() {
+        assert_eq!(CompileOptions::default(), CompileOptions::endurance_aware());
+    }
+
+    #[test]
+    fn with_max_writes_accepts_paper_values() {
+        for w in [10, 20, 50, 100] {
+            let o = CompileOptions::endurance_aware().with_max_writes(w);
+            assert_eq!(o.max_writes, Some(w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_write_budget_rejected() {
+        let _ = CompileOptions::endurance_aware().with_max_writes(2);
+    }
+
+    #[test]
+    fn with_effort() {
+        let o = CompileOptions::plim_compiler().with_effort(2);
+        assert_eq!(o.effort, 2);
+    }
+}

@@ -1,0 +1,343 @@
+//! Node selection: which computable MIG node is translated next.
+//!
+//! A node is *computable* once all of its gate children have been computed.
+//! The order in which computable candidates are picked decides how long
+//! values sit in their cells ("blocked RRAMs", paper Fig. 2) and how many
+//! cells can be recycled:
+//!
+//! * [`Selection::AreaAware`] (DAC'16 compiler): most releasing RRAMs first,
+//!   tie-break on the smaller fanout level index.
+//! * [`Selection::EnduranceAware`] (paper Algorithm 3): smallest fanout
+//!   level index first (shortest storage duration), tie-break on more
+//!   releasing RRAMs.
+//! * [`Selection::Topological`]: plain creation order (the naive baseline).
+//!
+//! The priority queue re-inserts candidates eagerly whenever a key improves
+//! (a child reaching its last pending use raises the parent's releasing
+//! count), and verifies keys on pop, so stale entries are harmless.
+
+use std::collections::BinaryHeap;
+
+use rlim_mig::{Mig, NodeId};
+
+use crate::options::Selection;
+
+/// Priority key: larger = scheduled earlier. Built per policy so a plain
+/// max-heap applies both orderings.
+type Key = (i64, i64, i64);
+
+#[derive(Debug)]
+pub(crate) struct Scheduler<'a> {
+    mig: &'a Mig,
+    selection: Selection,
+    /// Min level over gate parents; `u32::MAX` for nodes only feeding POs.
+    fanout_level: Vec<u32>,
+    parents: Vec<Vec<NodeId>>,
+    /// Uncomputed gate-children per gate.
+    deps: Vec<u32>,
+    computed: Vec<bool>,
+    live: Vec<bool>,
+    heap: BinaryHeap<(Key, u32)>,
+    /// Cursor for topological mode.
+    cursor: usize,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Builds the scheduler over the live gates of `mig`.
+    /// `fanout_remaining` must hold the initial pending-use counts.
+    pub fn new(mig: &'a Mig, selection: Selection, fanout_remaining: &[u32]) -> Self {
+        let live = mig.live_mask();
+        let parents_all = mig.parents();
+        let levels = mig.levels();
+
+        // Keep only live parents: dead gates are never computed.
+        let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); mig.num_nodes()];
+        for (idx, plist) in parents_all.iter().enumerate() {
+            parents[idx] = plist.iter().copied().filter(|p| live[p.index()]).collect();
+        }
+
+        let mut fanout_level = vec![u32::MAX; mig.num_nodes()];
+        for n in mig.node_ids() {
+            if let Some(min) = parents[n.index()].iter().map(|p| levels[p.index()]).min() {
+                fanout_level[n.index()] = min;
+            }
+        }
+
+        let mut deps = vec![0u32; mig.num_nodes()];
+        for g in mig.gates() {
+            if !live[g.index()] {
+                continue;
+            }
+            deps[g.index()] = mig
+                .children(g)
+                .iter()
+                .filter(|s| mig.is_gate(s.node()))
+                .count() as u32;
+        }
+
+        let mut sched = Scheduler {
+            mig,
+            selection,
+            fanout_level,
+            parents,
+            deps,
+            computed: vec![false; mig.num_nodes()],
+            live,
+            heap: BinaryHeap::new(),
+            cursor: 0,
+        };
+        if selection != Selection::Topological {
+            for g in mig.gates() {
+                if sched.live[g.index()] && sched.deps[g.index()] == 0 {
+                    sched.push(g, fanout_remaining);
+                }
+            }
+        }
+        sched
+    }
+
+    /// Number of cells a candidate would free: children at their last
+    /// pending use.
+    fn releasing(&self, n: NodeId, fanout_remaining: &[u32]) -> u32 {
+        self.mig
+            .children(n)
+            .iter()
+            .filter(|s| !s.is_constant() && fanout_remaining[s.node().index()] == 1)
+            .count() as u32
+    }
+
+    fn key(&self, n: NodeId, fanout_remaining: &[u32]) -> Key {
+        let releasing = self.releasing(n, fanout_remaining) as i64;
+        let fl = self.fanout_level[n.index()] as i64;
+        let idx_tiebreak = -(n.index() as i64);
+        match self.selection {
+            Selection::AreaAware => (releasing, -fl, idx_tiebreak),
+            Selection::EnduranceAware => (-fl, releasing, idx_tiebreak),
+            Selection::Topological => (0, 0, idx_tiebreak),
+        }
+    }
+
+    fn push(&mut self, n: NodeId, fanout_remaining: &[u32]) {
+        let key = self.key(n, fanout_remaining);
+        self.heap.push((key, n.raw()));
+    }
+
+    /// Pops the next node to compute and marks it computed.
+    pub fn pop(&mut self, fanout_remaining: &[u32]) -> Option<NodeId> {
+        if self.selection == Selection::Topological {
+            let total = self.mig.num_nodes();
+            let first_gate = self.mig.num_inputs() + 1;
+            let mut i = self.cursor.max(first_gate);
+            while i < total {
+                let n = NodeId::new(i as u32);
+                if self.live[i] && !self.computed[i] {
+                    self.cursor = i + 1;
+                    self.computed[i] = true;
+                    return Some(n);
+                }
+                i += 1;
+            }
+            self.cursor = total;
+            return None;
+        }
+        while let Some((stored_key, raw)) = self.heap.pop() {
+            let n = NodeId::new(raw);
+            if self.computed[n.index()] {
+                continue;
+            }
+            let current = self.key(n, fanout_remaining);
+            if current != stored_key {
+                self.heap.push((current, raw));
+                continue;
+            }
+            self.computed[n.index()] = true;
+            return Some(n);
+        }
+        None
+    }
+
+    /// Marks `n`'s parents one dependency closer to ready; newly computable
+    /// parents join the queue. Call after `n`'s translation (with the
+    /// already-decremented `fanout_remaining`).
+    pub fn after_compute(&mut self, n: NodeId, fanout_remaining: &[u32]) {
+        if self.selection == Selection::Topological {
+            return;
+        }
+        let parents = std::mem::take(&mut self.parents[n.index()]);
+        for &p in &parents {
+            self.deps[p.index()] -= 1;
+            if self.deps[p.index()] == 0 && !self.computed[p.index()] {
+                self.push(p, fanout_remaining);
+            }
+        }
+        self.parents[n.index()] = parents;
+    }
+
+    /// Signals that `child`'s pending-use count dropped to 1, improving the
+    /// releasing count of its ready, uncomputed parents.
+    pub fn child_now_single(&mut self, child: NodeId, fanout_remaining: &[u32]) {
+        if self.selection == Selection::Topological {
+            return;
+        }
+        let parents = std::mem::take(&mut self.parents[child.index()]);
+        for &p in &parents {
+            if !self.computed[p.index()] && self.deps[p.index()] == 0 {
+                self.push(p, fanout_remaining);
+            }
+        }
+        self.parents[child.index()] = parents;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlim_mig::Signal;
+
+    /// Builds the paper's Fig. 2 shape: node A feeds a distant level while
+    /// B, C feed the very next one.
+    fn fig2_like() -> (Mig, Vec<u32>) {
+        let mut mig = Mig::new(6);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let a = mig.add_maj(s[0], s[1], s[2]); // long-lived
+        let b = mig.add_maj(s[1], s[2], s[3]);
+        let c = mig.add_maj(s[3], s[4], s[5]);
+        let d = mig.add_maj(b, s[0], s[4]);
+        let e = mig.add_maj(c, s[1], s[5]);
+        let f = mig.add_maj(d, e, s[2]);
+        let g = mig.add_maj(a, f, s[3]);
+        mig.add_output(g);
+        let mut fr = vec![0u32; mig.num_nodes()];
+        let live = mig.live_mask();
+        for gate in mig.gates() {
+            if live[gate.index()] {
+                for ch in mig.children(gate) {
+                    fr[ch.node().index()] += 1;
+                }
+            }
+        }
+        for po in mig.outputs() {
+            fr[po.node().index()] += 1;
+        }
+        (mig, fr)
+    }
+
+    fn drain(mig: &Mig, selection: Selection) -> Vec<NodeId> {
+        let (graph, mut fr) = (mig, {
+            let mut fr = vec![0u32; mig.num_nodes()];
+            let live = mig.live_mask();
+            for gate in mig.gates() {
+                if live[gate.index()] {
+                    for ch in mig.children(gate) {
+                        fr[ch.node().index()] += 1;
+                    }
+                }
+            }
+            for po in mig.outputs() {
+                fr[po.node().index()] += 1;
+            }
+            fr
+        });
+        let mut sched = Scheduler::new(graph, selection, &fr);
+        let mut order = Vec::new();
+        while let Some(n) = sched.pop(&fr) {
+            order.push(n);
+            for ch in graph.children(n) {
+                if !ch.is_constant() {
+                    fr[ch.node().index()] -= 1;
+                    if fr[ch.node().index()] == 1 {
+                        sched.child_now_single(ch.node(), &fr);
+                    }
+                }
+            }
+            sched.after_compute(n, &fr);
+        }
+        order
+    }
+
+    #[test]
+    fn all_live_gates_scheduled_exactly_once() {
+        let (mig, _) = fig2_like();
+        for sel in [
+            Selection::Topological,
+            Selection::AreaAware,
+            Selection::EnduranceAware,
+        ] {
+            let order = drain(&mig, sel);
+            assert_eq!(order.len(), mig.num_live_gates(), "{sel:?}");
+            let mut seen = std::collections::HashSet::new();
+            for n in &order {
+                assert!(seen.insert(*n), "{sel:?} scheduled {n} twice");
+            }
+        }
+    }
+
+    #[test]
+    fn children_always_precede_parents() {
+        let (mig, _) = fig2_like();
+        for sel in [
+            Selection::Topological,
+            Selection::AreaAware,
+            Selection::EnduranceAware,
+        ] {
+            let order = drain(&mig, sel);
+            let pos: std::collections::HashMap<_, _> =
+                order.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+            for &n in &order {
+                for ch in mig.children(n) {
+                    if mig.is_gate(ch.node()) {
+                        assert!(
+                            pos[&ch.node()] < pos[&n],
+                            "{sel:?}: child {} after parent {}",
+                            ch.node(),
+                            n
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn endurance_aware_postpones_long_lived_node() {
+        // Node A (first gate) feeds only the root, far away; B and C feed
+        // the next level. Algorithm 3 computes B and C before A.
+        let (mig, _) = fig2_like();
+        let order = drain(&mig, Selection::EnduranceAware);
+        let first_gate_idx = mig.num_inputs() + 1;
+        let a = NodeId::new(first_gate_idx as u32);
+        let b = NodeId::new(first_gate_idx as u32 + 1);
+        let c = NodeId::new(first_gate_idx as u32 + 2);
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        assert!(pos[&b] < pos[&a], "B must be computed before blocked A");
+        assert!(pos[&c] < pos[&a], "C must be computed before blocked A");
+    }
+
+    #[test]
+    fn topological_is_index_order() {
+        let (mig, _) = fig2_like();
+        let order = drain(&mig, Selection::Topological);
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn dead_gates_not_scheduled() {
+        let mut mig = Mig::new(3);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let g1 = mig.add_maj(s[0], s[1], s[2]);
+        let _dead = mig.add_maj(!s[0], s[1], s[2]);
+        mig.add_output(g1);
+        for sel in [
+            Selection::Topological,
+            Selection::AreaAware,
+            Selection::EnduranceAware,
+        ] {
+            let order = drain(&mig, sel);
+            assert_eq!(order.len(), 1, "{sel:?}");
+            assert_eq!(order[0], g1.node());
+        }
+    }
+}

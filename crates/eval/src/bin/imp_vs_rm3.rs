@@ -1,0 +1,75 @@
+//! Extension experiment (E8): quantifies the paper's §II survey claims by
+//! compiling every benchmark with both in-memory computing styles —
+//! material-implication NAND synthesis (the IMP baseline) and the RM3/PLiM
+//! flow — and comparing operation counts, cell counts and write balance.
+//!
+//! Expected shape (paper §II and \[19\]): RM3 needs fewer operations and
+//! cells, and IMP's non-commutativity concentrates writes on work cells
+//! (higher max / stdev for the same allocation policy).
+//!
+//! ```text
+//! cargo run --release -p rlim-eval --bin imp_vs_rm3
+//! ```
+
+use rlim_compiler::compile;
+use rlim_eval::{fmt_stdev, Column, RunPlan, TextTable};
+use rlim_imp::{synthesize, ImpSynthOptions};
+use rlim_rram::WriteStats;
+
+fn main() {
+    let plan = RunPlan::from_env();
+    let mut table = TextTable::new([
+        "benchmark",
+        "IMP #ops",
+        "#R",
+        "max",
+        "STDEV",
+        "RM3 #I",
+        "#R",
+        "max",
+        "STDEV",
+        "ops ratio",
+    ]);
+
+    let mut sums = [0.0f64; 5];
+    for &b in &plan.benchmarks {
+        let mig = b.build();
+        // Like for like: both flows get minimum-write allocation and no
+        // rewriting (isolating the computing-style difference).
+        let imp = synthesize(&mig, &ImpSynthOptions::min_write());
+        let imp_stats = WriteStats::from_counts(imp.write_counts());
+        let rm3 = compile(&mig, &Column::MinWrite.options(0).clone());
+        let rm3_stats = rm3.write_stats();
+
+        let ratio = imp.num_ops() as f64 / rm3.num_instructions() as f64;
+        table.row([
+            b.name().to_string(),
+            imp.num_ops().to_string(),
+            imp.num_rrams().to_string(),
+            imp_stats.max.to_string(),
+            fmt_stdev(imp_stats.stdev),
+            rm3.num_instructions().to_string(),
+            rm3.num_rrams().to_string(),
+            rm3_stats.max.to_string(),
+            fmt_stdev(rm3_stats.stdev),
+            format!("{ratio:.2}"),
+        ]);
+        sums[0] += imp.num_ops() as f64;
+        sums[1] += rm3.num_instructions() as f64;
+        sums[2] += imp.num_rrams() as f64;
+        sums[3] += rm3.num_rrams() as f64;
+        sums[4] += ratio;
+        eprintln!("[{b}] IMP {} ops vs RM3 {} instructions", imp.num_ops(), rm3.num_instructions());
+    }
+
+    let n = plan.benchmarks.len().max(1) as f64;
+    println!("IMP (NAND synthesis) vs RM3 (PLiM) — min-write allocation, no rewriting\n");
+    println!("{}", table.render());
+    println!(
+        "average: IMP needs {:.2}x the operations of RM3 ({:.0} vs {:.0}) and {:.2}x the cells",
+        sums[4] / n,
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / sums[3].max(1.0),
+    );
+}

@@ -1,0 +1,100 @@
+//! Extension experiment (E9, paper §III-B4 future work): does rewriting
+//! for low parent-child level differences help the blocked-RRAM problem,
+//! and what does it cost?
+//!
+//! Compares Algorithm 2 (`EnduranceAware`) against the extended
+//! `LevelAware` schedule (Algorithm 2 + level-balancing Ω.A) on graph
+//! structure (depth, mean fanin level gap) and on the compiled programs'
+//! write traffic.
+//!
+//! ```text
+//! cargo run --release -p rlim-eval --bin level_aware
+//! ```
+
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::{compile, CompileOptions};
+use rlim_eval::{fmt_stdev, RunPlan, TextTable};
+use rlim_mig::rewrite::{rewrite, Algorithm};
+use rlim_mig::Mig;
+
+/// Mean over all live gate-fanin edges of `level(parent) - 1 - level(child)`
+/// — 0 for a perfectly packed graph; large values mean long-lived
+/// (blocked) intermediate cells.
+fn mean_level_gap(mig: &Mig) -> f64 {
+    let levels = mig.levels();
+    let live = mig.live_mask();
+    let mut total = 0u64;
+    let mut edges = 0u64;
+    for g in mig.gates() {
+        if !live[g.index()] {
+            continue;
+        }
+        let lp = levels[g.index()];
+        for c in mig.children(g) {
+            if c.is_constant() {
+                continue;
+            }
+            total += u64::from(lp - 1 - levels[c.node().index()]);
+            edges += 1;
+        }
+    }
+    if edges == 0 {
+        0.0
+    } else {
+        total as f64 / edges as f64
+    }
+}
+
+fn main() {
+    let mut plan = RunPlan::from_env();
+    if plan.benchmarks.len() == Benchmark::all().len() {
+        plan.benchmarks = vec![
+            Benchmark::Adder,
+            Benchmark::Bar,
+            Benchmark::Cavlc,
+            Benchmark::Sin,
+            Benchmark::Priority,
+            Benchmark::Voter,
+        ];
+    }
+
+    let mut table = TextTable::new([
+        "benchmark", "algorithm", "gates", "depth", "gap", "#I", "#R", "max", "STDEV",
+        "mean span", "max blockage",
+    ]);
+    for &b in &plan.benchmarks {
+        let mig = b.build();
+        for alg in [Algorithm::EnduranceAware, Algorithm::LevelAware] {
+            let graph = rewrite(&mig, alg, plan.effort);
+            let options = CompileOptions {
+                rewriting: None, // already rewritten above
+                ..CompileOptions::endurance_aware()
+            };
+            let r = compile(&graph, &options);
+            let s = r.write_stats();
+            let blockage = rlim_plim::analysis::blockage_stats(&r.program);
+            table.row([
+                b.name().to_string(),
+                format!("{alg:?}"),
+                graph.num_live_gates().to_string(),
+                graph.depth().to_string(),
+                format!("{:.2}", mean_level_gap(&graph)),
+                r.num_instructions().to_string(),
+                r.num_rrams().to_string(),
+                s.max.to_string(),
+                fmt_stdev(s.stdev),
+                format!("{:.1}", blockage.mean_span),
+                format!("{:.0}", blockage.max_blockage),
+            ]);
+            eprintln!("[{b}] {alg:?} done");
+        }
+    }
+
+    println!("Level-aware rewriting (§III-B4 future work) vs Algorithm 2\n");
+    println!("{}", table.render());
+    println!("`gap` = mean (level(parent) − 1 − level(child)) over fanin edges;");
+    println!("`mean span` / `max blockage` = program-level liveness metrics");
+    println!("(instructions a cell stays live; span ÷ writes of the most");
+    println!("blocked cell). Lower means intermediate values are consumed");
+    println!("sooner after they are produced, so fewer cells sit blocked.");
+}

@@ -1,0 +1,57 @@
+//! Prints the size profile of every benchmark — gates, naive-compiled
+//! instruction/cell counts — next to the paper's Table II reference values,
+//! for calibrating the synthetic profiles (DESIGN.md §4).
+
+use rlim_benchmarks::Benchmark;
+use rlim_eval::{Column, Measurement, RunPlan, TextTable};
+
+/// Paper Table II "naive" reference values (#I, #R).
+fn paper_naive(b: Benchmark) -> (usize, usize) {
+    match b {
+        Benchmark::Adder => (2844, 512),
+        Benchmark::Bar => (8136, 523),
+        Benchmark::Div => (146_617, 687),
+        Benchmark::Log2 => (78_885, 1597),
+        Benchmark::Max => (6731, 1021),
+        Benchmark::Multiplier => (76_156, 2798),
+        Benchmark::Sin => (12_479, 438),
+        Benchmark::Sqrt => (60_691, 375),
+        Benchmark::Square => (54_704, 3272),
+        Benchmark::Cavlc => (1919, 262),
+        Benchmark::Ctrl => (499, 66),
+        Benchmark::Dec => (822, 257),
+        Benchmark::I2c => (3314, 545),
+        Benchmark::Int2float => (648, 99),
+        Benchmark::MemCtrl => (113_244, 8127),
+        Benchmark::Priority => (2461, 315),
+        Benchmark::Router => (503, 117),
+        Benchmark::Voter => (38_002, 1749),
+    }
+}
+
+fn main() {
+    let plan = RunPlan::from_env();
+    let mut table = TextTable::new([
+        "benchmark", "PI/PO", "gates", "#I naive", "#I paper", "ratio", "#R naive", "#R paper",
+        "secs",
+    ]);
+    for &b in &plan.benchmarks {
+        let mig = b.build();
+        let m = Measurement::of(&mig, &Column::Naive.options(0));
+        let (pi, po) = b.interface();
+        let (paper_i, paper_r) = paper_naive(b);
+        table.row([
+            b.name().to_string(),
+            format!("{pi}/{po}"),
+            mig.num_gates().to_string(),
+            m.instructions.to_string(),
+            paper_i.to_string(),
+            format!("{:.2}", m.instructions as f64 / paper_i as f64),
+            m.rrams.to_string(),
+            paper_r.to_string(),
+            format!("{:.2}", m.seconds),
+        ]);
+        eprintln!("[{b}] done");
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,79 @@
+//! Regenerates the paper's **Table I**: standard deviation, minimum and
+//! maximum of per-cell write counts under the incremental technique stack
+//! (naive → PLiM compiler \[21\] → + min-write → + endurance-aware rewriting
+//! → + endurance-aware compilation), with improvement percentages relative
+//! to the naive column.
+//!
+//! ```text
+//! cargo run -p rlim-eval --release --bin table1
+//! ```
+
+use rlim_eval::{fmt_pct, fmt_stdev, improvement, Column, RunPlan, TextTable};
+
+fn main() {
+    let plan = RunPlan::from_env();
+    let columns = [
+        Column::Naive,
+        Column::PlimCompiler,
+        Column::MinWrite,
+        Column::EnduranceRewriting,
+        Column::EnduranceAware,
+    ];
+    let reports = rlim_eval::run_suite(&plan, &columns);
+
+    let mut table = TextTable::new([
+        "benchmark",
+        "PI/PO",
+        "naive min/max",
+        "STDEV",
+        "[21] min/max",
+        "STDEV",
+        "impr.",
+        "minw min/max",
+        "STDEV",
+        "impr.",
+        "+EArw min/max",
+        "STDEV",
+        "impr.",
+        "+EAcomp min/max",
+        "STDEV",
+        "impr.",
+    ]);
+
+    // Per-column accumulators for the AVG row (paper averages min, max,
+    // stdev and improvement independently).
+    let mut sums = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64); columns.len()];
+    for report in &reports {
+        let (pi, po) = report.benchmark.interface();
+        let naive_stdev = report.columns[0].1.stats.stdev;
+        let mut row = vec![report.benchmark.name().to_string(), format!("{pi}/{po}")];
+        for (i, (_, m)) in report.columns.iter().enumerate() {
+            row.push(m.min_max());
+            row.push(fmt_stdev(m.stats.stdev));
+            let impr = improvement(naive_stdev, m.stats.stdev);
+            if i > 0 {
+                row.push(fmt_pct(impr));
+            }
+            sums[i].0 += m.stats.min as f64;
+            sums[i].1 += m.stats.max as f64;
+            sums[i].2 += m.stats.stdev;
+            sums[i].3 += if impr.is_finite() { impr } else { 0.0 };
+        }
+        table.row(row);
+    }
+
+    let n = reports.len().max(1) as f64;
+    let mut avg = vec!["AVG".to_string(), String::new()];
+    for (i, (min, max, stdev, impr)) in sums.iter().enumerate() {
+        avg.push(format!("{:.2}/{:.2}", min / n, max / n));
+        avg.push(fmt_stdev(stdev / n));
+        if i > 0 {
+            avg.push(fmt_pct(impr / n));
+        }
+    }
+    table.row(avg);
+
+    println!("Table I — write distribution under incremental endurance management");
+    println!("(effort = {}, {} benchmarks)\n", plan.effort, reports.len());
+    println!("{}", table.render());
+}

@@ -1,0 +1,69 @@
+//! Regenerates the paper's **Table II**: number of RM3 instructions (#I)
+//! and RRAM devices (#R) for the naive compiler, endurance-aware MIG
+//! rewriting, and endurance-aware rewriting + compilation.
+//!
+//! ```text
+//! cargo run -p rlim-eval --release --bin table2
+//! ```
+
+use rlim_eval::{fmt_pct, Column, RunPlan, TextTable};
+
+fn main() {
+    let plan = RunPlan::from_env();
+    let columns = [
+        Column::Naive,
+        Column::EnduranceRewriting,
+        Column::EnduranceAware,
+    ];
+    let reports = rlim_eval::run_suite(&plan, &columns);
+
+    let mut table = TextTable::new([
+        "benchmark",
+        "PI/PO",
+        "naive #I",
+        "#R",
+        "EA-rewriting #I",
+        "#R",
+        "EA-rw+comp #I",
+        "#R",
+    ]);
+
+    let mut sums = [[0.0f64; 2]; 3];
+    for report in &reports {
+        let (pi, po) = report.benchmark.interface();
+        let mut row = vec![report.benchmark.name().to_string(), format!("{pi}/{po}")];
+        for (i, (_, m)) in report.columns.iter().enumerate() {
+            row.push(m.instructions.to_string());
+            row.push(m.rrams.to_string());
+            sums[i][0] += m.instructions as f64;
+            sums[i][1] += m.rrams as f64;
+        }
+        table.row(row);
+    }
+
+    let n = reports.len().max(1) as f64;
+    let mut avg = vec!["AVG".to_string(), String::new()];
+    for s in &sums {
+        avg.push(format!("{:.2}", s[0] / n));
+        avg.push(format!("{:.2}", s[1] / n));
+    }
+    table.row(avg);
+
+    println!("Table II — instructions and RRAMs for endurance-aware compilation");
+    println!("(effort = {}, {} benchmarks)\n", plan.effort, reports.len());
+    println!("{}", table.render());
+
+    // The paper's accompanying observations.
+    let red_i = 100.0 * (1.0 - sums[2][0] / sums[0][0]);
+    let red_r = 100.0 * (1.0 - sums[2][1] / sums[0][1]);
+    let delta_r = 100.0 * (sums[2][1] / sums[1][1] - 1.0);
+    println!(
+        "EA rewriting + compilation vs naive: #I {} / #R {}",
+        fmt_pct(red_i),
+        fmt_pct(red_r)
+    );
+    println!(
+        "adding EA compilation changes #R by {:+.2}% over EA rewriting alone",
+        delta_r
+    );
+}

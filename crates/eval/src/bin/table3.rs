@@ -1,0 +1,95 @@
+//! Regenerates the paper's **Table III**: full endurance management
+//! (minimum + maximum write strategies + endurance-aware rewriting and
+//! compilation) under write budgets W ∈ {10, 20, 50, 100}.
+//!
+//! A dash in the table means the value did not change relative to the next
+//! looser budget (the benchmark's natural maximum write count is below the
+//! budget), matching the paper's convention.
+//!
+//! ```text
+//! cargo run -p rlim-eval --release --bin table3
+//! ```
+
+use rlim_eval::{fmt_pct, fmt_stdev, improvement, Column, Measurement, RunPlan, TextTable};
+
+const BUDGETS: [u64; 4] = [10, 20, 50, 100];
+
+fn main() {
+    let plan = RunPlan::from_env();
+    let mut columns = vec![Column::Naive];
+    columns.extend(BUDGETS.iter().map(|&w| Column::MaxWrite(w)));
+    columns.push(Column::EnduranceAware); // unconstrained reference
+    let reports = rlim_eval::run_suite(&plan, &columns);
+
+    let mut header = vec!["benchmark".to_string(), "PI/PO".to_string()];
+    for w in BUDGETS {
+        header.push(format!("W={w} #I"));
+        header.push("#R".into());
+        header.push("STDEV".into());
+    }
+    let mut table = TextTable::new(header);
+
+    let mut sums = [[0.0f64; 3]; BUDGETS.len()];
+    let mut impr_sums = [0.0f64; BUDGETS.len()];
+    for report in &reports {
+        let (pi, po) = report.benchmark.interface();
+        let naive = report.get(Column::Naive).expect("naive column");
+        let mut row = vec![report.benchmark.name().to_string(), format!("{pi}/{po}")];
+        let mut prev: Option<&Measurement> = None;
+        for (i, &w) in BUDGETS.iter().enumerate() {
+            let m = report.get(Column::MaxWrite(w)).expect("budget column");
+            let unchanged = prev.is_some_and(|p| {
+                p.instructions == m.instructions
+                    && p.rrams == m.rrams
+                    && (p.stats.stdev - m.stats.stdev).abs() < 1e-12
+            });
+            if unchanged {
+                row.extend(["–".to_string(), "–".to_string(), "–".to_string()]);
+            } else {
+                row.push(m.instructions.to_string());
+                row.push(m.rrams.to_string());
+                row.push(fmt_stdev(m.stats.stdev));
+            }
+            sums[i][0] += m.instructions as f64;
+            sums[i][1] += m.rrams as f64;
+            sums[i][2] += m.stats.stdev;
+            let impr = improvement(naive.stats.stdev, m.stats.stdev);
+            impr_sums[i] += if impr.is_finite() { impr } else { 0.0 };
+            prev = Some(m);
+        }
+        table.row(row);
+    }
+
+    let n = reports.len().max(1) as f64;
+    let mut avg = vec!["AVG".to_string(), String::new()];
+    for s in &sums {
+        avg.push(format!("{:.2}", s[0] / n));
+        avg.push(format!("{:.2}", s[1] / n));
+        avg.push(format!("{:.2}", s[2] / n));
+    }
+    table.row(avg);
+
+    println!("Table III — full endurance management with maximum write strategy");
+    println!("(effort = {}, {} benchmarks)\n", plan.effort, reports.len());
+    println!("{}", table.render());
+
+    // Headline numbers (paper §IV/§V): stdev improvement and #I/#R deltas
+    // vs the naive compiler at each budget.
+    let naive_i: f64 = reports
+        .iter()
+        .map(|r| r.get(Column::Naive).unwrap().instructions as f64)
+        .sum();
+    let naive_r: f64 = reports
+        .iter()
+        .map(|r| r.get(Column::Naive).unwrap().rrams as f64)
+        .sum();
+    println!("vs naive:");
+    for (i, w) in BUDGETS.iter().enumerate() {
+        println!(
+            "  W={w:3}: avg STDEV impr {}, #I {:+.2}%, #R {:+.2}%",
+            fmt_pct(impr_sums[i] / n),
+            100.0 * (sums[i][0] / naive_i - 1.0),
+            100.0 * (sums[i][1] / naive_r - 1.0),
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! Shared machinery for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary (`table1`, `table2`, `table3`, `figures`, `lifetime`,
+//! `sizes`) uses this library to build benchmarks, compile them under the
+//! paper's configuration columns, and print fixed-width text tables that
+//! mirror the paper's layout.
+//!
+//! Binaries accept a common command line:
+//!
+//! * `--bench a,b,c` — restrict to the named benchmarks;
+//! * `--quick` — the small fast subset (for smoke runs);
+//! * `--effort N` — override the rewriting effort (paper default 5).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::{compile, CompileOptions, CompileResult};
+use rlim_mig::Mig;
+use rlim_rram::WriteStats;
+
+/// Which benchmarks to run and with what effort, parsed from `argv`.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// Benchmarks in execution order.
+    pub benchmarks: Vec<Benchmark>,
+    /// Rewriting effort (paper: 5).
+    pub effort: usize,
+}
+
+impl RunPlan {
+    /// Parses command-line arguments (everything after the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or benchmark
+    /// names.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut benchmarks: Option<Vec<Benchmark>> = None;
+        let mut effort = 5usize;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--bench" => {
+                    let list = it.next().ok_or("--bench needs a comma-separated list")?;
+                    let parsed: Result<Vec<Benchmark>, _> =
+                        list.split(',').map(|s| s.trim().parse()).collect();
+                    benchmarks = Some(parsed.map_err(|e| e.to_string())?);
+                }
+                "--quick" => benchmarks = Some(Benchmark::small().to_vec()),
+                "--effort" => {
+                    let v = it.next().ok_or("--effort needs a number")?;
+                    effort = v.parse().map_err(|_| format!("bad effort `{v}`"))?;
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(RunPlan {
+            benchmarks: benchmarks.unwrap_or_else(|| Benchmark::all().to_vec()),
+            effort,
+        })
+    }
+
+    /// Parses the process's own arguments, exiting with a usage message on
+    /// error.
+    pub fn from_env() -> Self {
+        match Self::from_args(std::env::args().skip(1)) {
+            Ok(plan) => plan,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: [--bench a,b,c] [--quick] [--effort N]");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// One measured compilation: the paper's per-cell metrics.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Number of RM3 instructions (`#I`).
+    pub instructions: usize,
+    /// Number of RRAM cells (`#R`).
+    pub rrams: usize,
+    /// Write-distribution statistics (min / max / stdev).
+    pub stats: WriteStats,
+    /// Wall-clock compile time.
+    pub seconds: f64,
+}
+
+impl Measurement {
+    /// Measures a compilation under `options`.
+    pub fn of(mig: &Mig, options: &CompileOptions) -> Self {
+        let start = Instant::now();
+        let result = compile(mig, options);
+        Measurement::from_result(&result, start.elapsed().as_secs_f64())
+    }
+
+    /// Extracts the metrics of an existing compile result.
+    pub fn from_result(result: &CompileResult, seconds: f64) -> Self {
+        Measurement {
+            instructions: result.num_instructions(),
+            rrams: result.num_rrams(),
+            stats: result.write_stats(),
+            seconds,
+        }
+    }
+
+    /// `min/max` formatted as in the paper's Table I.
+    pub fn min_max(&self) -> String {
+        format!("{}/{}", self.stats.min, self.stats.max)
+    }
+}
+
+/// Percentage improvement of `new` standard deviation over `baseline`
+/// (positive = better), the paper's `impr.` column.
+pub fn improvement(baseline: f64, new: f64) -> f64 {
+    if baseline == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        (1.0 - new / baseline) * 100.0
+    }
+}
+
+/// The paper's Table I / II / III configuration columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Column {
+    /// No rewriting, topological order, LIFO pool.
+    Naive,
+    /// DAC'16 PLiM compiler: Algorithm 1 + area-aware selection.
+    PlimCompiler,
+    /// Minimum write count strategy on top of the PLiM compiler.
+    MinWrite,
+    /// Minimum write strategy + endurance-aware MIG rewriting (Alg. 2).
+    EnduranceRewriting,
+    /// Full: Alg. 2 rewriting + Alg. 3 selection + min-write allocation.
+    EnduranceAware,
+    /// Full endurance management with the maximum write count strategy.
+    MaxWrite(u64),
+}
+
+impl Column {
+    /// Short label used in table headers.
+    pub fn label(self) -> String {
+        match self {
+            Column::Naive => "naive".into(),
+            Column::PlimCompiler => "PLiM compiler [21]".into(),
+            Column::MinWrite => "min-write".into(),
+            Column::EnduranceRewriting => "+EA rewriting".into(),
+            Column::EnduranceAware => "+EA compilation".into(),
+            Column::MaxWrite(w) => format!("max-write {w}"),
+        }
+    }
+
+    /// The compiler options implementing this column.
+    pub fn options(self, effort: usize) -> CompileOptions {
+        let base = match self {
+            Column::Naive => CompileOptions::naive(),
+            Column::PlimCompiler => CompileOptions::plim_compiler(),
+            Column::MinWrite => CompileOptions::min_write(),
+            Column::EnduranceRewriting => CompileOptions::endurance_rewriting(),
+            Column::EnduranceAware => CompileOptions::endurance_aware(),
+            Column::MaxWrite(w) => CompileOptions::endurance_aware().with_max_writes(w),
+        };
+        if self == Column::Naive {
+            base // naive has no rewriting; effort is irrelevant
+        } else {
+            base.with_effort(effort)
+        }
+    }
+}
+
+/// Measurements for one benchmark across a set of columns.
+#[derive(Debug, Clone)]
+pub struct BenchmarkReport {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Per-column measurements, in the order requested.
+    pub columns: Vec<(Column, Measurement)>,
+}
+
+impl BenchmarkReport {
+    /// Looks up one column's measurement.
+    pub fn get(&self, column: Column) -> Option<&Measurement> {
+        self.columns.iter().find(|(c, _)| *c == column).map(|(_, m)| m)
+    }
+}
+
+/// Runs `columns` over every benchmark in the plan, in parallel across
+/// benchmarks (each benchmark's columns run sequentially so per-column
+/// timings stay meaningful). Progress lines go to stderr.
+pub fn run_suite(plan: &RunPlan, columns: &[Column]) -> Vec<BenchmarkReport> {
+    let jobs: Vec<Benchmark> = plan.benchmarks.clone();
+    let results: Mutex<BTreeMap<Benchmark, BenchmarkReport>> = Mutex::new(BTreeMap::new());
+    let next: Mutex<usize> = Mutex::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = {
+                    let mut guard = next.lock().expect("queue lock");
+                    let i = *guard;
+                    if i >= jobs.len() {
+                        return;
+                    }
+                    *guard += 1;
+                    jobs[i]
+                };
+                let report = run_benchmark(job, columns, plan.effort);
+                results.lock().expect("result lock").insert(job, report);
+            });
+        }
+    });
+
+    let mut by_bench = results.into_inner().expect("no poisoned lock");
+    plan.benchmarks
+        .iter()
+        .filter_map(|b| by_bench.remove(b))
+        .collect()
+}
+
+/// Compiles one benchmark under every column.
+pub fn run_benchmark(benchmark: Benchmark, columns: &[Column], effort: usize) -> BenchmarkReport {
+    let build_start = Instant::now();
+    let mig = benchmark.build();
+    eprintln!(
+        "[{}] built: {} gates in {:.2}s",
+        benchmark.name(),
+        mig.num_gates(),
+        build_start.elapsed().as_secs_f64()
+    );
+    let mut measured = Vec::with_capacity(columns.len());
+    for &col in columns {
+        let m = Measurement::of(&mig, &col.options(effort));
+        eprintln!(
+            "[{}] {}: #I={} #R={} stdev={:.2} ({:.2}s)",
+            benchmark.name(),
+            col.label(),
+            m.instructions,
+            m.rrams,
+            m.stats.stdev,
+            m.seconds
+        );
+        measured.push((col, m));
+    }
+    BenchmarkReport {
+        benchmark,
+        columns: measured,
+    }
+}
+
+// ---- Text-table rendering ------------------------------------------------
+
+/// Minimal fixed-width table printer (first column left-aligned, the rest
+/// right-aligned), matching the paper's typography closely enough to eyeball
+/// against it.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header cells.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    out.push_str(&format!("{cell:<width$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>width$}"));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float the way the paper prints standard deviations.
+pub fn fmt_stdev(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage column (`impr.`).
+pub fn fmt_pct(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}%")
+    } else {
+        "n/a".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_defaults_to_all() {
+        let plan = RunPlan::from_args(Vec::<String>::new()).unwrap();
+        assert_eq!(plan.benchmarks.len(), 18);
+        assert_eq!(plan.effort, 5);
+    }
+
+    #[test]
+    fn plan_parses_bench_list_and_effort() {
+        let plan =
+            RunPlan::from_args(["--bench", "adder,dec", "--effort", "2"].map(String::from))
+                .unwrap();
+        assert_eq!(plan.benchmarks, vec![Benchmark::Adder, Benchmark::Dec]);
+        assert_eq!(plan.effort, 2);
+    }
+
+    #[test]
+    fn plan_quick_subset() {
+        let plan = RunPlan::from_args(["--quick".to_string()]).unwrap();
+        assert_eq!(plan.benchmarks, Benchmark::small().to_vec());
+    }
+
+    #[test]
+    fn plan_rejects_unknown() {
+        assert!(RunPlan::from_args(["--frobnicate".to_string()]).is_err());
+        assert!(RunPlan::from_args(["--bench".to_string(), "nope".to_string()]).is_err());
+    }
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement(10.0, 5.0) - 50.0).abs() < 1e-9);
+        assert!(improvement(10.0, 12.0) < 0.0);
+        assert_eq!(improvement(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn column_options_match_paper_mapping() {
+        use rlim_compiler::{Allocation, Selection};
+        let naive = Column::Naive.options(5);
+        assert_eq!(naive.rewriting, None);
+        let full = Column::EnduranceAware.options(3);
+        assert_eq!(full.selection, Selection::EnduranceAware);
+        assert_eq!(full.allocation, Allocation::MinWrite);
+        assert_eq!(full.effort, 3);
+        let mw = Column::MaxWrite(20).options(5);
+        assert_eq!(mw.max_writes, Some(20));
+    }
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new(["name", "x"]);
+        t.row(["a", "1"]);
+        t.row(["bbbb", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].contains("22"));
+    }
+
+    #[test]
+    fn measurement_on_tiny_benchmark() {
+        let mig = Benchmark::Int2float.build();
+        let m = Measurement::of(&mig, &Column::Naive.options(0));
+        assert!(m.instructions > 0);
+        assert!(m.rrams >= 11);
+        assert_eq!(m.stats.cells, m.rrams);
+    }
+}

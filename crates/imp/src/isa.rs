@@ -1,0 +1,271 @@
+//! The stateful material-implication instruction set.
+//!
+//! IMPLY logic [Borghetti et al., Nature 2010] computes with two
+//! operations on resistive cells:
+//!
+//! * `FALSE q` — unconditionally reset cell `q` to 0;
+//! * `p IMP q` — conditionally set: `q ← p̄ ∨ q` (material implication of
+//!   the value stored in `p` into the value stored in `q`).
+//!
+//! Both operations pulse the destination cell, so — exactly as for RM3 —
+//! every instruction is one write on its destination. Unlike RM3, *only*
+//! the work cell `q` is ever written: the paper's §II observes that this
+//! lack of commutativity concentrates the write traffic on work devices.
+
+use std::fmt;
+
+use rlim_rram::CellId;
+
+/// One IMPLY-logic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImpOp {
+    /// `FALSE q`: reset the cell to 0.
+    False(CellId),
+    /// `p IMP q`: `q ← p̄ ∨ q`.
+    Imply {
+        /// Condition cell (read only).
+        p: CellId,
+        /// Work cell (read and rewritten).
+        q: CellId,
+    },
+}
+
+impl ImpOp {
+    /// The cell this operation writes.
+    pub fn destination(self) -> CellId {
+        match self {
+            ImpOp::False(q) | ImpOp::Imply { q, .. } => q,
+        }
+    }
+}
+
+impl fmt::Display for ImpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImpOp::False(q) => write!(f, "FALSE r{}", q.index()),
+            ImpOp::Imply { p, q } => write!(f, "r{} IMP r{}", p.index(), q.index()),
+        }
+    }
+}
+
+/// A compiled IMPLY program with its memory map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImpProgram {
+    /// Instructions in execution order.
+    pub ops: Vec<ImpOp>,
+    /// Total number of cells the program touches.
+    pub num_cells: usize,
+    /// Cells holding the primary inputs (preloaded before execution).
+    pub input_cells: Vec<CellId>,
+    /// Cells holding the primary outputs after execution.
+    pub output_cells: Vec<CellId>,
+}
+
+/// Validation failure for [`ImpProgram::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImpProgramError {
+    /// An instruction references a cell past `num_cells`.
+    CellOutOfRange {
+        /// Index of the offending instruction.
+        op: usize,
+        /// The out-of-range cell.
+        cell: CellId,
+    },
+    /// An input or output cell is past `num_cells`.
+    InterfaceCellOutOfRange {
+        /// The out-of-range cell.
+        cell: CellId,
+    },
+    /// An instruction reads a cell that is neither a primary input nor the
+    /// destination of any earlier instruction — its value would be
+    /// whatever the array happened to hold.
+    UndefinedRead {
+        /// Index of the reading instruction.
+        op: usize,
+        /// The undefined cell.
+        cell: CellId,
+    },
+}
+
+impl fmt::Display for ImpProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImpProgramError::CellOutOfRange { op, cell } => {
+                write!(f, "instruction {op} references cell r{} out of range", cell.index())
+            }
+            ImpProgramError::InterfaceCellOutOfRange { cell } => {
+                write!(f, "interface cell r{} out of range", cell.index())
+            }
+            ImpProgramError::UndefinedRead { op, cell } => write!(
+                f,
+                "instruction {op} reads cell r{} before it is defined",
+                cell.index()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ImpProgramError {}
+
+impl ImpProgram {
+    /// Number of instructions (`#ops`, the IMP analogue of the paper's #I).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of cells (the IMP analogue of the paper's #R).
+    pub fn num_rrams(&self) -> usize {
+        self.num_cells
+    }
+
+    /// Per-cell write counts implied by the instruction stream: one write
+    /// per instruction, on its destination.
+    pub fn write_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_cells];
+        for op in &self.ops {
+            counts[op.destination().index()] += 1;
+        }
+        counts
+    }
+
+    /// Structural well-formedness check.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ImpProgramError`] found.
+    pub fn validate(&self) -> Result<(), ImpProgramError> {
+        let in_range = |c: CellId| c.index() < self.num_cells;
+        for (i, op) in self.ops.iter().enumerate() {
+            let cells: [CellId; 2] = match *op {
+                ImpOp::False(q) => [q, q],
+                ImpOp::Imply { p, q } => [p, q],
+            };
+            for cell in cells {
+                if !in_range(cell) {
+                    return Err(ImpProgramError::CellOutOfRange { op: i, cell });
+                }
+            }
+        }
+        for &cell in self.input_cells.iter().chain(&self.output_cells) {
+            if !in_range(cell) {
+                return Err(ImpProgramError::InterfaceCellOutOfRange { cell });
+            }
+        }
+        // Every read must observe a defined value: primary inputs are
+        // preloaded, everything else must have been a destination first.
+        // (Dead input cells *may* be recycled as work cells — writing them
+        // is legal; reading garbage is not.)
+        let mut defined = vec![false; self.num_cells];
+        for &c in &self.input_cells {
+            defined[c.index()] = true;
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            if let ImpOp::Imply { p, q } = *op {
+                for cell in [p, q] {
+                    if !defined[cell.index()] {
+                        return Err(ImpProgramError::UndefinedRead { op: i, cell });
+                    }
+                }
+            }
+            defined[op.destination().index()] = true;
+        }
+        Ok(())
+    }
+
+    /// Human-readable listing.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            out.push_str(&format!("{i:6}: {op}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> CellId {
+        CellId::new(i)
+    }
+
+    #[test]
+    fn destination_and_display() {
+        let f = ImpOp::False(c(3));
+        let i = ImpOp::Imply { p: c(1), q: c(2) };
+        assert_eq!(f.destination(), c(3));
+        assert_eq!(i.destination(), c(2));
+        assert_eq!(f.to_string(), "FALSE r3");
+        assert_eq!(i.to_string(), "r1 IMP r2");
+    }
+
+    #[test]
+    fn write_counts_count_destinations() {
+        let p = ImpProgram {
+            ops: vec![
+                ImpOp::False(c(2)),
+                ImpOp::Imply { p: c(0), q: c(2) },
+                ImpOp::Imply { p: c(1), q: c(2) },
+            ],
+            num_cells: 3,
+            input_cells: vec![c(0), c(1)],
+            output_cells: vec![c(2)],
+        };
+        assert_eq!(p.write_counts(), vec![0, 0, 3]);
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.num_ops(), 3);
+        assert_eq!(p.num_rrams(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let p = ImpProgram {
+            ops: vec![ImpOp::False(c(5))],
+            num_cells: 3,
+            input_cells: vec![],
+            output_cells: vec![],
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(ImpProgramError::CellOutOfRange { op: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_undefined_read() {
+        // r1 is read before anything defines it.
+        let p = ImpProgram {
+            ops: vec![ImpOp::Imply { p: c(1), q: c(0) }],
+            num_cells: 2,
+            input_cells: vec![c(0)],
+            output_cells: vec![],
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(ImpProgramError::UndefinedRead { op: 0, cell }) if cell == c(1)
+        ));
+    }
+
+    #[test]
+    fn recycling_dead_input_is_legal() {
+        // r0 is a (dead) input recycled as a work cell, then read.
+        let p = ImpProgram {
+            ops: vec![
+                ImpOp::False(c(0)),
+                ImpOp::Imply { p: c(0), q: c(1) },
+            ],
+            num_cells: 2,
+            input_cells: vec![c(0), c(1)],
+            output_cells: vec![c(1)],
+        };
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = ImpProgramError::UndefinedRead { op: 7, cell: c(2) };
+        assert!(e.to_string().contains("instruction 7"));
+        assert!(e.to_string().contains("r2"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Executor for IMPLY programs over the simulated RRAM crossbar.
+
+use rlim_rram::{Crossbar, EnduranceError};
+
+use crate::isa::{ImpOp, ImpProgram};
+
+/// An IMPLY logic-in-memory machine: a crossbar plus a program counter.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_imp::{ImpMachine, ImpOp, ImpProgram};
+/// use rlim_rram::CellId;
+///
+/// // q ← NOT a   (FALSE q; a IMP q)
+/// let program = ImpProgram {
+///     ops: vec![
+///         ImpOp::False(CellId::new(1)),
+///         ImpOp::Imply { p: CellId::new(0), q: CellId::new(1) },
+///     ],
+///     num_cells: 2,
+///     input_cells: vec![CellId::new(0)],
+///     output_cells: vec![CellId::new(1)],
+/// };
+/// let mut machine = ImpMachine::for_program(&program);
+/// let out = machine.run(&program, &[true]).unwrap();
+/// assert_eq!(out, vec![false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImpMachine {
+    array: Crossbar,
+    cycles: u64,
+}
+
+impl ImpMachine {
+    /// A machine sized for `program`, without a physical endurance limit.
+    pub fn for_program(program: &ImpProgram) -> Self {
+        let mut array = Crossbar::new();
+        array.grow_to(program.num_cells);
+        ImpMachine { array, cycles: 0 }
+    }
+
+    /// A machine whose cells fail after `limit` writes.
+    pub fn with_endurance(program: &ImpProgram, limit: u64) -> Self {
+        let mut array = Crossbar::with_endurance(limit);
+        array.grow_to(program.num_cells);
+        ImpMachine { array, cycles: 0 }
+    }
+
+    /// The underlying crossbar (for wear inspection).
+    pub fn array(&self) -> &Crossbar {
+        &self.array
+    }
+
+    /// Instructions executed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Preloads the primary inputs (wear-free, like PLiM input loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and the program's input cells differ in length.
+    pub fn load_inputs(&mut self, program: &ImpProgram, inputs: &[bool]) {
+        assert_eq!(
+            inputs.len(),
+            program.input_cells.len(),
+            "input vector length must match the program interface"
+        );
+        for (&cell, &value) in program.input_cells.iter().zip(inputs) {
+            self.array.preload(cell, value);
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnduranceError`] when the destination cell is worn out.
+    pub fn step(&mut self, op: &ImpOp) -> Result<(), EnduranceError> {
+        match *op {
+            ImpOp::False(q) => self.array.write(q, false)?,
+            ImpOp::Imply { p, q } => {
+                let value = !self.array.read(p) || self.array.read(q);
+                self.array.write(q, value)?;
+            }
+        }
+        self.cycles += 1;
+        Ok(())
+    }
+
+    /// Executes the whole program (inputs must already be loaded).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EnduranceError`] hit.
+    pub fn execute(&mut self, program: &ImpProgram) -> Result<(), EnduranceError> {
+        for op in &program.ops {
+            self.step(op)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the primary outputs.
+    pub fn outputs(&self, program: &ImpProgram) -> Vec<bool> {
+        program
+            .output_cells
+            .iter()
+            .map(|&c| self.array.read(c))
+            .collect()
+    }
+
+    /// Convenience: load, execute, read.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EnduranceError`] hit during execution.
+    pub fn run(&mut self, program: &ImpProgram, inputs: &[bool]) -> Result<Vec<bool>, EnduranceError> {
+        self.load_inputs(program, inputs);
+        self.execute(program)?;
+        Ok(self.outputs(program))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlim_rram::CellId;
+
+    fn c(i: u32) -> CellId {
+        CellId::new(i)
+    }
+
+    /// NAND into a fresh cell: FALSE s; a IMP s; b IMP s.
+    fn nand_program() -> ImpProgram {
+        ImpProgram {
+            ops: vec![
+                ImpOp::False(c(2)),
+                ImpOp::Imply { p: c(0), q: c(2) },
+                ImpOp::Imply { p: c(1), q: c(2) },
+            ],
+            num_cells: 3,
+            input_cells: vec![c(0), c(1)],
+            output_cells: vec![c(2)],
+        }
+    }
+
+    #[test]
+    fn nand_truth_table() {
+        let program = nand_program();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut m = ImpMachine::for_program(&program);
+            let out = m.run(&program, &[a, b]).unwrap();
+            assert_eq!(out, vec![!(a && b)], "a={a} b={b}");
+            assert_eq!(m.cycles(), 3);
+        }
+    }
+
+    #[test]
+    fn imply_truth_table() {
+        // Direct check of the IMP step semantics.
+        for (p, q) in [(false, false), (false, true), (true, false), (true, true)] {
+            let program = ImpProgram {
+                ops: vec![ImpOp::Imply { p: c(0), q: c(1) }],
+                num_cells: 2,
+                input_cells: vec![c(0), c(1)],
+                output_cells: vec![c(1)],
+            };
+            let mut m = ImpMachine::for_program(&program);
+            let out = m.run(&program, &[p, q]).unwrap();
+            assert_eq!(out, vec![!p || q], "p={p} q={q}");
+        }
+    }
+
+    #[test]
+    fn wear_is_recorded_on_work_cell_only() {
+        let program = nand_program();
+        let mut m = ImpMachine::for_program(&program);
+        m.run(&program, &[true, true]).unwrap();
+        assert_eq!(m.array().writes(c(0)), 0);
+        assert_eq!(m.array().writes(c(1)), 0);
+        assert_eq!(m.array().writes(c(2)), 3);
+    }
+
+    #[test]
+    fn endurance_limit_trips() {
+        let program = nand_program();
+        let mut m = ImpMachine::with_endurance(&program, 2);
+        let err = m.run(&program, &[false, false]);
+        assert!(err.is_err(), "third write to the work cell must fail");
+    }
+}

@@ -1,0 +1,446 @@
+//! NAND-based IMPLY synthesis from a Majority-Inverter Graph.
+//!
+//! This is the baseline in-memory computing style the paper's §II surveys:
+//! every logic gate becomes a short IMPLY sequence whose writes all land on
+//! the gate's *work cell* (the IMP operation is not commutative — `p IMP q`
+//! can only rewrite `q`). A `k`-input NAND is
+//!
+//! ```text
+//! FALSE s;  x₁ IMP s;  …;  x_k IMP s        (s = x̄₁ ∨ … ∨ x̄_k)
+//! ```
+//!
+//! and a majority gate ⟨a b c⟩ maps to three pairwise NANDs plus a 3-input
+//! NAND (`ab ∨ ac ∨ bc = NAND(NAND(a,b), NAND(a,c), NAND(b,c))`), with
+//! complemented edges materialised through memoised `NOT`s (a 1-input
+//! NAND).
+//!
+//! The synthesiser supports the same two allocation policies as the PLiM
+//! compiler — LIFO (baseline) and minimum-write (the paper's technique 1)
+//! — so IMP and RM3 write traffic can be compared like for like.
+
+use rlim_mig::{Mig, NodeId, Signal};
+use rlim_rram::CellId;
+
+use crate::isa::{ImpOp, ImpProgram};
+
+/// How freed cells are handed back out during IMP synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ImpAllocation {
+    /// Most-recently-freed first (the unbalanced baseline).
+    #[default]
+    Lifo,
+    /// Freed cell with the smallest write count first (the paper's
+    /// minimum write count strategy, applied to IMP).
+    MinWrite,
+}
+
+/// Configuration for [`synthesize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ImpSynthOptions {
+    /// Cell allocation policy.
+    pub allocation: ImpAllocation,
+}
+
+impl ImpSynthOptions {
+    /// LIFO baseline.
+    pub fn lifo() -> Self {
+        ImpSynthOptions {
+            allocation: ImpAllocation::Lifo,
+        }
+    }
+
+    /// Minimum-write allocation.
+    pub fn min_write() -> Self {
+        ImpSynthOptions {
+            allocation: ImpAllocation::MinWrite,
+        }
+    }
+}
+
+/// Compiles `mig` into an IMPLY program.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_imp::{synthesize, ImpMachine, ImpSynthOptions};
+/// use rlim_mig::Mig;
+///
+/// let mut mig = Mig::new(2);
+/// let (a, b) = (mig.input(0), mig.input(1));
+/// let g = mig.and(a, b);
+/// mig.add_output(g);
+///
+/// let program = synthesize(&mig, &ImpSynthOptions::lifo());
+/// let mut machine = ImpMachine::for_program(&program);
+/// assert_eq!(machine.run(&program, &[true, true]).unwrap(), vec![true]);
+/// ```
+pub fn synthesize(mig: &Mig, options: &ImpSynthOptions) -> ImpProgram {
+    Synthesiser::new(mig, *options).run()
+}
+
+struct Synthesiser<'a> {
+    mig: &'a Mig,
+    options: ImpSynthOptions,
+    ops: Vec<ImpOp>,
+    write_counts: Vec<u64>,
+    free: Vec<CellId>,
+    node_cell: Vec<Option<CellId>>,
+    inv_cell: Vec<Option<CellId>>,
+    fanout_remaining: Vec<u32>,
+    live: Vec<bool>,
+    const_cell: [Option<CellId>; 2],
+    input_cells: Vec<CellId>,
+}
+
+impl<'a> Synthesiser<'a> {
+    fn new(mig: &'a Mig, options: ImpSynthOptions) -> Self {
+        let live = mig.live_mask();
+        let mut fanout_remaining = vec![0u32; mig.num_nodes()];
+        for g in mig.gates() {
+            if !live[g.index()] {
+                continue;
+            }
+            for s in mig.children(g) {
+                if !s.is_constant() {
+                    fanout_remaining[s.node().index()] += 1;
+                }
+            }
+        }
+        for s in mig.outputs() {
+            if !s.is_constant() {
+                fanout_remaining[s.node().index()] += 1;
+            }
+        }
+        Synthesiser {
+            mig,
+            options,
+            ops: Vec::new(),
+            write_counts: Vec::new(),
+            free: Vec::new(),
+            node_cell: vec![None; mig.num_nodes()],
+            inv_cell: vec![None; mig.num_nodes()],
+            fanout_remaining,
+            live,
+            const_cell: [None, None],
+            input_cells: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> ImpProgram {
+        // Preload inputs (wear-free), recycling unused ones immediately.
+        for i in 0..self.mig.num_inputs() {
+            let cell = self.alloc_fresh();
+            let node = self.mig.input(i).node();
+            self.node_cell[node.index()] = Some(cell);
+            self.input_cells.push(cell);
+            if self.fanout_remaining[node.index()] == 0 {
+                self.node_cell[node.index()] = None;
+                self.release(cell);
+            }
+        }
+
+        // Gates are stored children-before-parents, so index order is a
+        // valid topological schedule.
+        let gates: Vec<NodeId> = self.mig.gates().collect();
+        for n in gates {
+            if !self.live[n.index()] {
+                continue;
+            }
+            self.translate(n);
+        }
+
+        // Resolve primary outputs (resolution memoises, so shared or
+        // complemented outputs reuse one cell).
+        let outputs: Vec<Signal> = self.mig.outputs().to_vec();
+        let output_cells = outputs.iter().map(|&s| self.resolve(s)).collect();
+
+        ImpProgram {
+            ops: self.ops,
+            num_cells: self.write_counts.len(),
+            input_cells: self.input_cells,
+            output_cells,
+        }
+    }
+
+    // ---- Cell management ------------------------------------------------
+
+    fn alloc_fresh(&mut self) -> CellId {
+        let cell = CellId::new(self.write_counts.len() as u32);
+        self.write_counts.push(0);
+        cell
+    }
+
+    fn alloc(&mut self) -> CellId {
+        match self.options.allocation {
+            ImpAllocation::Lifo => self.free.pop().unwrap_or_else(|| self.alloc_fresh()),
+            ImpAllocation::MinWrite => {
+                if self.free.is_empty() {
+                    self.alloc_fresh()
+                } else {
+                    let best = self
+                        .free
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &c)| self.write_counts[c.index()])
+                        .map(|(i, _)| i)
+                        .expect("non-empty free list");
+                    self.free.swap_remove(best)
+                }
+            }
+        }
+    }
+
+    fn release(&mut self, cell: CellId) {
+        self.free.push(cell);
+    }
+
+    // ---- Emission ---------------------------------------------------------
+
+    fn emit(&mut self, op: ImpOp) {
+        self.write_counts[op.destination().index()] += 1;
+        self.ops.push(op);
+    }
+
+    /// `k`-input NAND into a freshly allocated cell.
+    fn nand_into(&mut self, operands: &[CellId]) -> CellId {
+        let s = self.alloc();
+        self.emit(ImpOp::False(s));
+        for &p in operands {
+            self.emit(ImpOp::Imply { p, q: s });
+        }
+        s
+    }
+
+    /// Cell holding the given constant, materialised on first use.
+    fn constant(&mut self, value: bool) -> CellId {
+        if let Some(cell) = self.const_cell[value as usize] {
+            return cell;
+        }
+        let cell = self.alloc_fresh(); // pinned forever: never released
+        self.emit(ImpOp::False(cell));
+        if value {
+            // 0 IMP 0 = 1: imply the cell into itself.
+            self.emit(ImpOp::Imply { p: cell, q: cell });
+        }
+        self.const_cell[value as usize] = Some(cell);
+        cell
+    }
+
+    /// Cell holding the value of `s` (materialising a memoised `NOT` for
+    /// complemented signals).
+    fn resolve(&mut self, s: Signal) -> CellId {
+        if let Some(bit) = s.constant_value() {
+            return self.constant(bit);
+        }
+        let node = s.node();
+        if !s.is_complement() {
+            return self.node_cell[node.index()].expect("node computed before use");
+        }
+        if let Some(cell) = self.inv_cell[node.index()] {
+            return cell;
+        }
+        let source = self.node_cell[node.index()].expect("node computed before use");
+        let cell = self.nand_into(&[source]);
+        self.inv_cell[node.index()] = Some(cell);
+        cell
+    }
+
+    // ---- Gate translation -------------------------------------------------
+
+    fn translate(&mut self, n: NodeId) {
+        let ch = self.mig.children(n);
+        let constant_child = ch.iter().find_map(|s| s.constant_value());
+
+        let result = match constant_child {
+            // ⟨a b 1⟩ = a ∨ b = NAND(ā, b̄)
+            Some(true) => {
+                let non_const: Vec<Signal> =
+                    ch.iter().copied().filter(|s| !s.is_constant()).collect();
+                let inv: Vec<CellId> = non_const.iter().map(|&s| self.resolve(!s)).collect();
+                self.nand_into(&inv)
+            }
+            // ⟨a b 0⟩ = a ∧ b = NOT(NAND(a, b))
+            Some(false) => {
+                let non_const: Vec<Signal> =
+                    ch.iter().copied().filter(|s| !s.is_constant()).collect();
+                let direct: Vec<CellId> = non_const.iter().map(|&s| self.resolve(s)).collect();
+                let t = self.nand_into(&direct);
+                let result = self.nand_into(&[t]);
+                self.release(t);
+                result
+            }
+            // Full majority: NAND of the three pairwise NANDs.
+            None => {
+                let cells: Vec<CellId> = ch.iter().map(|&s| self.resolve(s)).collect();
+                let n1 = self.nand_into(&[cells[0], cells[1]]);
+                let n2 = self.nand_into(&[cells[0], cells[2]]);
+                let n3 = self.nand_into(&[cells[1], cells[2]]);
+                let result = self.nand_into(&[n1, n2, n3]);
+                self.release(n1);
+                self.release(n2);
+                self.release(n3);
+                result
+            }
+        };
+        self.node_cell[n.index()] = Some(result);
+
+        // Consume one pending use per child edge; free dead children.
+        for s in ch {
+            if s.is_constant() {
+                continue;
+            }
+            let child = s.node();
+            self.fanout_remaining[child.index()] -= 1;
+            if self.fanout_remaining[child.index()] == 0 {
+                if let Some(cell) = self.node_cell[child.index()].take() {
+                    self.release(cell);
+                }
+                if let Some(cell) = self.inv_cell[child.index()].take() {
+                    self.release(cell);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ImpMachine;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use rlim_mig::random::{generate, RandomMigConfig};
+
+    fn assert_functional(mig: &Mig, options: &ImpSynthOptions, seed: u64) {
+        let program = synthesize(mig, options);
+        program.validate().expect("well-formed program");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..12 {
+            let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
+            let mut machine = ImpMachine::for_program(&program);
+            let got = machine.run(&program, &inputs).expect("no endurance limit");
+            assert_eq!(got, mig.evaluate(&inputs), "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn and_or_not_gates() {
+        let mut mig = Mig::new(2);
+        let (a, b) = (mig.input(0), mig.input(1));
+        let and = mig.and(a, b);
+        let or = mig.or(a, b);
+        mig.add_output(and);
+        mig.add_output(or);
+        mig.add_output(!and);
+        assert_functional(&mig, &ImpSynthOptions::lifo(), 1);
+        assert_functional(&mig, &ImpSynthOptions::min_write(), 1);
+    }
+
+    #[test]
+    fn full_majority_gate() {
+        let mut mig = Mig::new(3);
+        let (a, b, c) = (mig.input(0), mig.input(1), mig.input(2));
+        let m = mig.add_maj(a, b, c);
+        mig.add_output(m);
+        let program = synthesize(&mig, &ImpSynthOptions::lifo());
+        // 3 pairwise NANDs (3 ops each) + final 3-input NAND (4 ops).
+        assert_eq!(program.num_ops(), 13);
+        assert_functional(&mig, &ImpSynthOptions::lifo(), 2);
+    }
+
+    #[test]
+    fn complemented_edges_and_outputs() {
+        let mut mig = Mig::new(3);
+        let (a, b, c) = (mig.input(0), mig.input(1), mig.input(2));
+        let m = mig.add_maj(!a, b, !c);
+        mig.add_output(!m);
+        mig.add_output(m);
+        assert_functional(&mig, &ImpSynthOptions::lifo(), 3);
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut mig = Mig::new(1);
+        mig.add_output(Signal::TRUE);
+        mig.add_output(Signal::FALSE);
+        mig.add_output(mig.input(0));
+        let program = synthesize(&mig, &ImpSynthOptions::lifo());
+        let mut machine = ImpMachine::for_program(&program);
+        assert_eq!(
+            machine.run(&program, &[true]).unwrap(),
+            vec![true, false, true]
+        );
+    }
+
+    #[test]
+    fn shared_inverse_is_memoised() {
+        let mut mig = Mig::new(3);
+        let (a, b, c) = (mig.input(0), mig.input(1), mig.input(2));
+        // !a used by two gates: one NOT cell, not two.
+        let g1 = mig.and(!a, b);
+        let g2 = mig.and(!a, c);
+        mig.add_output(g1);
+        mig.add_output(g2);
+        let program = synthesize(&mig, &ImpSynthOptions::lifo());
+        // NOT a (2 ops) + 2 × AND (5 ops each) = 12; a second NOT would
+        // make it 14.
+        assert_eq!(program.num_ops(), 12);
+        assert_functional(&mig, &ImpSynthOptions::lifo(), 4);
+    }
+
+    #[test]
+    fn random_graphs_functional_under_both_policies() {
+        let cfg = RandomMigConfig {
+            inputs: 7,
+            outputs: 5,
+            gates: 80,
+            ..Default::default()
+        };
+        for seed in 0..4 {
+            let mig = generate(&cfg, seed);
+            assert_functional(&mig, &ImpSynthOptions::lifo(), seed);
+            assert_functional(&mig, &ImpSynthOptions::min_write(), seed);
+        }
+    }
+
+    #[test]
+    fn min_write_balances_better_than_lifo() {
+        use rlim_rram::WriteStats;
+        let cfg = RandomMigConfig {
+            inputs: 8,
+            outputs: 6,
+            gates: 300,
+            ..Default::default()
+        };
+        let mut improved = 0;
+        for seed in 0..5 {
+            let mig = generate(&cfg, seed);
+            let lifo = synthesize(&mig, &ImpSynthOptions::lifo());
+            let minw = synthesize(&mig, &ImpSynthOptions::min_write());
+            let sl = WriteStats::from_counts(lifo.write_counts());
+            let sm = WriteStats::from_counts(minw.write_counts());
+            assert_eq!(lifo.num_ops(), minw.num_ops(), "allocation is cost-neutral");
+            if sm.stdev <= sl.stdev {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 4, "min-write should usually balance better");
+    }
+
+    #[test]
+    fn input_cells_are_never_written() {
+        let cfg = RandomMigConfig {
+            inputs: 6,
+            outputs: 4,
+            gates: 60,
+            ..Default::default()
+        };
+        let mig = generate(&cfg, 9);
+        let program = synthesize(&mig, &ImpSynthOptions::lifo());
+        let counts = program.write_counts();
+        // Inputs still holding their value at program end were never
+        // recycled; such cells must show zero writes unless reused.
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total as usize, program.num_ops(), "one write per op");
+    }
+}

@@ -1,0 +1,97 @@
+//! Graphviz (DOT) export for visual inspection of small MIGs.
+
+use std::fmt::Write as _;
+
+use crate::mig::{Mig, NodeKind};
+
+/// Renders the graph in Graphviz DOT syntax. Complemented edges are drawn
+/// dashed, mirroring the paper's figures.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_mig::{Mig, dot::to_dot};
+///
+/// let mut mig = Mig::new(2);
+/// let a = mig.input(0);
+/// let b = mig.input(1);
+/// let g = mig.and(a, !b);
+/// mig.add_output(g);
+/// let dot = to_dot(&mig);
+/// assert!(dot.contains("digraph mig"));
+/// assert!(dot.contains("style=dashed"));
+/// ```
+pub fn to_dot(mig: &Mig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph mig {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for n in mig.node_ids() {
+        match mig.kind(n) {
+            NodeKind::Constant => {
+                let _ = writeln!(out, "  n0 [label=\"0\", shape=box];");
+            }
+            NodeKind::Input(i) => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"x{}\", shape=triangle];",
+                    n.index(),
+                    i
+                );
+            }
+            NodeKind::Majority(ch) => {
+                let _ = writeln!(out, "  n{} [label=\"M\"];", n.index());
+                for s in ch {
+                    let style = if s.is_complement() {
+                        " [style=dashed]"
+                    } else {
+                        ""
+                    };
+                    let _ = writeln!(out, "  n{} -> n{}{};", s.node().index(), n.index(), style);
+                }
+            }
+        }
+    }
+    for (i, s) in mig.outputs().iter().enumerate() {
+        let _ = writeln!(out, "  po{i} [label=\"y{i}\", shape=invtriangle];");
+        let style = if s.is_complement() {
+            " [style=dashed]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  n{} -> po{i}{};", s.node().index(), style);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mig;
+
+    #[test]
+    fn contains_all_elements() {
+        let mut mig = Mig::new(2);
+        let a = mig.input(0);
+        let b = mig.input(1);
+        let g = mig.add_maj(a, !b, crate::Signal::FALSE);
+        mig.add_output(!g);
+        let dot = to_dot(&mig);
+        assert!(dot.starts_with("digraph mig {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("y0"));
+        assert!(dot.contains("label=\"M\""));
+        // Two dashed edges: one input edge, one output edge.
+        assert_eq!(dot.matches("style=dashed").count(), 2);
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let mig = Mig::new(1);
+        let dot = to_dot(&mig);
+        assert!(dot.contains("x0"));
+    }
+}

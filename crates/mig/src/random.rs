@@ -1,0 +1,179 @@
+//! Seeded random MIG generation.
+//!
+//! Used for property testing and, in `rlim-benchmarks`, as the structural
+//! stand-in for the random-control circuits of the EPFL suite (`cavlc`,
+//! `ctrl`, `i2c`, `mem_ctrl`, `router`, …) whose sources are not available
+//! offline. Generation is layered: gates in layer *k* draw children mostly
+//! from nearby earlier layers, which produces the fanout-level spreads and
+//! complemented-edge densities that drive the paper's write-traffic effects.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::mig::Mig;
+use crate::signal::Signal;
+
+/// Shape parameters for [`generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomMigConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Target number of majority gates (the result may be slightly smaller
+    /// because Ω.M simplification can collapse candidates).
+    pub gates: usize,
+    /// Probability that a chosen child edge is complemented.
+    pub complement_prob: f64,
+    /// Probability that a child is drawn from the whole history instead of
+    /// the recent window; higher values create long edges and the "blocked
+    /// RRAM" effect of paper Fig. 2.
+    pub long_edge_prob: f64,
+    /// Size of the recent window children are preferentially drawn from.
+    pub window: usize,
+    /// Probability that a gate uses a constant child (making it an AND/OR
+    /// style gate).
+    pub constant_prob: f64,
+}
+
+impl Default for RandomMigConfig {
+    fn default() -> Self {
+        RandomMigConfig {
+            inputs: 8,
+            outputs: 8,
+            gates: 100,
+            complement_prob: 0.3,
+            long_edge_prob: 0.15,
+            window: 24,
+            constant_prob: 0.25,
+        }
+    }
+}
+
+/// Generates a random layered MIG. Deterministic in `(config, seed)`.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_mig::random::{generate, RandomMigConfig};
+///
+/// let cfg = RandomMigConfig { inputs: 6, outputs: 4, gates: 50, ..Default::default() };
+/// let mig = generate(&cfg, 42);
+/// assert_eq!(mig.num_inputs(), 6);
+/// assert_eq!(mig.num_outputs(), 4);
+/// let again = generate(&cfg, 42);
+/// assert_eq!(mig.num_gates(), again.num_gates());
+/// ```
+pub fn generate(config: &RandomMigConfig, seed: u64) -> Mig {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut mig = Mig::new(config.inputs);
+    let mut pool: Vec<Signal> = mig.inputs().collect();
+    let mut attempts = 0usize;
+    let max_attempts = config.gates * 8 + 64;
+
+    while mig.num_gates() < config.gates && attempts < max_attempts {
+        attempts += 1;
+        let pick = |rng: &mut ChaCha8Rng, pool: &[Signal]| -> Signal {
+            let s = if rng.gen_bool(config.long_edge_prob) || pool.len() <= config.window {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                let lo = pool.len() - config.window;
+                pool[rng.gen_range(lo..pool.len())]
+            };
+            s.complement_if(rng.gen_bool(config.complement_prob))
+        };
+        let a = pick(&mut rng, &pool);
+        let b = pick(&mut rng, &pool);
+        let c = if rng.gen_bool(config.constant_prob) {
+            Signal::constant(rng.gen_bool(0.5))
+        } else {
+            pick(&mut rng, &pool)
+        };
+        let before = mig.num_gates();
+        let g = mig.add_maj(a, b, c);
+        if mig.num_gates() > before {
+            pool.push(g);
+        }
+    }
+
+    // Outputs from the deepest region so most of the graph stays live.
+    let tail = pool.len().saturating_sub(config.outputs.max(config.window));
+    for i in 0..config.outputs {
+        let idx = if pool.is_empty() {
+            0
+        } else {
+            rng.gen_range(tail.min(pool.len() - 1)..pool.len())
+        };
+        let s = if pool.is_empty() {
+            Signal::FALSE
+        } else {
+            pool[idx]
+        };
+        let _ = i;
+        mig.add_output(s.complement_if(rng.gen_bool(config.complement_prob)));
+    }
+    mig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_interface() {
+        let cfg = RandomMigConfig {
+            inputs: 12,
+            outputs: 7,
+            gates: 200,
+            ..Default::default()
+        };
+        let mig = generate(&cfg, 1);
+        assert_eq!(mig.num_inputs(), 12);
+        assert_eq!(mig.num_outputs(), 7);
+        assert!(mig.num_gates() > 100, "should get close to target");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomMigConfig::default();
+        let a = generate(&cfg, 7);
+        let b = generate(&cfg, 7);
+        assert_eq!(a.num_gates(), b.num_gates());
+        assert_eq!(a.outputs(), b.outputs());
+        let c = generate(&cfg, 8);
+        // Different seed virtually always differs structurally.
+        assert!(a.num_gates() != c.num_gates() || a.outputs() != c.outputs());
+    }
+
+    #[test]
+    fn long_edges_affect_level_spread() {
+        let base = RandomMigConfig {
+            inputs: 16,
+            outputs: 8,
+            gates: 600,
+            long_edge_prob: 0.0,
+            ..Default::default()
+        };
+        let long = RandomMigConfig {
+            long_edge_prob: 0.6,
+            ..base.clone()
+        };
+        let a = generate(&base, 3);
+        let b = generate(&long, 3);
+        // More long edges → shallower graph for the same gate count.
+        assert!(b.depth() <= a.depth());
+    }
+
+    #[test]
+    fn zero_gate_config_is_valid() {
+        let cfg = RandomMigConfig {
+            inputs: 3,
+            outputs: 2,
+            gates: 0,
+            ..Default::default()
+        };
+        let mig = generate(&cfg, 0);
+        assert_eq!(mig.num_gates(), 0);
+        assert_eq!(mig.num_outputs(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Ω.A associativity reshaping: `⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩`.
+//!
+//! Swapping an outer operand with an inner one across a shared middle signal
+//! `u` does not change the function but reshapes the graph. The pass applies
+//! a swap only when the resulting inner gate *already exists* (a structural
+//! hash hit), which guarantees one node of sharing is gained and none is
+//! duplicated. This is the conservative, provably non-growing flavour used
+//! by both of the paper's rewriting schedules; in Algorithm 2 it is
+//! sandwiched between inverter-propagation passes so that freshly exposed
+//! single-inverter nodes create more hash hits.
+
+use crate::mig::Mig;
+use crate::rewrite::{gate_children, old_single_fanout, rebuild};
+use crate::signal::Signal;
+
+pub(crate) fn run(mig: &Mig) -> Mig {
+    rebuild(mig, |new, view, g, ch| {
+        let old_children = view.old.children(g);
+        // Try every child as the inner gate position.
+        for inner_idx in 0..3 {
+            let m = ch[inner_idx];
+            // The inner gate must be uncomplemented (Ω.A as stated) and
+            // about to die, otherwise restructuring duplicates it.
+            if m.is_complement() || !old_single_fanout(view, old_children[inner_idx]) {
+                continue;
+            }
+            let inner = match gate_children(new, m) {
+                Some(c) => c,
+                None => continue,
+            };
+            let outer: Vec<Signal> = (0..3).filter(|&i| i != inner_idx).map(|i| ch[i]).collect();
+            // Shared middle signal u: present both as an outer child and an
+            // inner child.
+            for &u in &outer {
+                if !inner.contains(&u) {
+                    continue;
+                }
+                let x = *outer.iter().find(|&&s| s != u).expect("two outer children");
+                let rest: Vec<Signal> = inner.iter().filter(|&&s| s != u).copied().collect();
+                if rest.len() != 2 {
+                    continue;
+                }
+                // ⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩; y and z are symmetric so
+                // try swapping x with either.
+                for (y, z) in [(rest[0], rest[1]), (rest[1], rest[0])] {
+                    if let Some(shared) = new.lookup_maj(y, u, x) {
+                        let top = new.add_maj(z, u, shared);
+                        return top;
+                    }
+                }
+            }
+        }
+        new.add_maj(ch[0], ch[1], ch[2])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::equiv_random;
+
+    #[test]
+    fn swap_creates_sharing() {
+        // f = ⟨x u ⟨y u z⟩⟩ and g = ⟨y u x⟩ both outputs. The swap rewrites
+        // f to reuse g: live gates drop from 3 to 2.
+        let mut mig = Mig::new(4);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let (x, u, y, z) = (s[0], s[1], s[2], s[3]);
+        let g = mig.add_maj(y, u, x);
+        let inner = mig.add_maj(y, u, z);
+        let f = mig.add_maj(x, u, inner);
+        mig.add_output(f);
+        mig.add_output(g);
+        assert_eq!(mig.num_live_gates(), 3);
+
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 21).is_equal());
+        assert_eq!(out.num_live_gates(), 2);
+    }
+
+    #[test]
+    fn no_hash_hit_means_no_change() {
+        let mut mig = Mig::new(4);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let inner = mig.add_maj(s[2], s[1], s[3]);
+        let f = mig.add_maj(s[0], s[1], inner);
+        mig.add_output(f);
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 22).is_equal());
+        assert_eq!(out.num_live_gates(), 2);
+    }
+
+    #[test]
+    fn shared_inner_gate_not_restructured() {
+        // The inner gate has another fanout: swapping would duplicate it.
+        let mut mig = Mig::new(4);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let g = mig.add_maj(s[2], s[1], s[0]);
+        let inner = mig.add_maj(s[2], s[1], s[3]);
+        let f = mig.add_maj(s[0], s[1], inner);
+        mig.add_output(f);
+        mig.add_output(g);
+        mig.add_output(inner); // extra fanout on inner
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 23).is_equal());
+        assert_eq!(out.num_live_gates(), 3);
+    }
+
+    #[test]
+    fn complemented_inner_not_restructured() {
+        let mut mig = Mig::new(4);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let g = mig.add_maj(s[2], s[1], s[0]);
+        let inner = mig.add_maj(s[2], s[1], s[3]);
+        let f = mig.add_maj(s[0], s[1], !inner);
+        mig.add_output(f);
+        mig.add_output(g);
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 24).is_equal());
+        assert_eq!(out.num_live_gates(), 3);
+    }
+
+    #[test]
+    fn symmetric_variant_found() {
+        // Hash hit requires swapping x with the *other* inner child.
+        let mut mig = Mig::new(4);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let (x, u, y, z) = (s[0], s[1], s[2], s[3]);
+        let g = mig.add_maj(z, u, x); // matches (y', u, x) with y' = z
+        let inner = mig.add_maj(y, u, z);
+        let f = mig.add_maj(x, u, inner);
+        mig.add_output(f);
+        mig.add_output(g);
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 25).is_equal());
+        assert_eq!(out.num_live_gates(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Ω.D applied right-to-left: `⟨⟨x y u⟩ ⟨x y v⟩ z⟩ → ⟨x y ⟨u v z⟩⟩`.
+//!
+//! Merging two inner gates that share two children saves one node whenever
+//! the inner gates are not otherwise used. The complemented variant
+//! `⟨⟨xyu⟩̄ ⟨xyv⟩̄ z⟩ = ⟨x̄ ȳ ⟨ū v̄ z⟩⟩` (both outer edges complemented) is
+//! handled by flipping through Ω.I first.
+
+use crate::mig::Mig;
+use crate::rewrite::{gate_children, old_single_fanout, rebuild, View};
+use crate::signal::Signal;
+
+/// Signals present in both sorted triples (exact match incl. complement).
+/// Children of a gate always reference three distinct nodes, so the
+/// intersection is duplicate-free.
+fn shared_signals(a: &[Signal; 3], b: &[Signal; 3]) -> Vec<Signal> {
+    a.iter().filter(|s| b.contains(s)).copied().collect()
+}
+
+/// The child of `t` that is not in `shared`.
+fn leftover(t: &[Signal; 3], shared: &[Signal]) -> Option<Signal> {
+    let mut it = t.iter().filter(|s| !shared.contains(s));
+    let first = it.next().copied();
+    if it.next().is_some() {
+        None
+    } else {
+        first
+    }
+}
+
+pub(crate) fn run(mig: &Mig) -> Mig {
+    rebuild(mig, |new, view, g: crate::signal::NodeId, ch| {
+        let old_children = view.old.children(g);
+        try_distribute(new, view, ch, old_children)
+            .unwrap_or_else(|| new.add_maj(ch[0], ch[1], ch[2]))
+    })
+}
+
+/// Attempts the right-to-left distributivity merge on one node.
+fn try_distribute(
+    new: &mut Mig,
+    view: &View<'_>,
+    ch: [Signal; 3],
+    old_children: [Signal; 3],
+) -> Option<Signal> {
+    // Consider each pair of children as the two inner gates.
+    for (i, j) in [(0usize, 1usize), (0, 2), (1, 2)] {
+        let (si, sj) = (ch[i], ch[j]);
+        let k = 3 - i - j;
+        let z = ch[k];
+        // Both uncomplemented gates or both complemented gates.
+        if si.is_complement() != sj.is_complement() {
+            continue;
+        }
+        let flipped = si.is_complement();
+        let (gi, gj) = match (gate_children(new, si), gate_children(new, sj)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => continue,
+        };
+        // Only profitable when the inner gates die after the merge. The
+        // mapped signals may not correspond 1:1 to the old children, so we
+        // conservatively require the *old* children at the same positions to
+        // be single-fanout gates too.
+        if !old_single_fanout(view, old_children[i]) || !old_single_fanout(view, old_children[j]) {
+            continue;
+        }
+        let shared = shared_signals(&gi, &gj);
+        if shared.len() != 2 {
+            continue;
+        }
+        let u = leftover(&gi, &shared)?;
+        let v = leftover(&gj, &shared)?;
+        let (x, y) = (shared[0], shared[1]);
+        if flipped {
+            // ⟨ḡi ḡj z⟩ with gi=⟨x y u⟩: ḡi = ⟨x̄ ȳ ū⟩, so
+            // pattern = ⟨⟨x̄ȳū⟩ ⟨x̄ȳv̄⟩ z⟩ = ⟨x̄ ȳ ⟨ū v̄ z⟩⟩.
+            let inner = new.add_maj(!u, !v, z);
+            return Some(new.add_maj(!x, !y, inner));
+        }
+        let inner = new.add_maj(u, v, z);
+        return Some(new.add_maj(x, y, inner));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::equiv_random;
+
+    #[test]
+    fn merges_shared_pair() {
+        let mut mig = Mig::new(5);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let g1 = mig.add_maj(s[0], s[1], s[2]);
+        let g2 = mig.add_maj(s[0], s[1], s[3]);
+        let top = mig.add_maj(g1, g2, s[4]);
+        mig.add_output(top);
+        assert_eq!(mig.num_gates(), 3);
+
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 11).is_equal());
+        assert_eq!(out.num_live_gates(), 2, "⟨xy⟨uvz⟩⟩ needs two gates");
+    }
+
+    #[test]
+    fn merges_complemented_pair() {
+        let mut mig = Mig::new(5);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let g1 = mig.add_maj(s[0], s[1], s[2]);
+        let g2 = mig.add_maj(s[0], s[1], s[3]);
+        let top = mig.add_maj(!g1, !g2, s[4]);
+        mig.add_output(top);
+
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 12).is_equal());
+        assert_eq!(out.num_live_gates(), 2);
+    }
+
+    #[test]
+    fn respects_shared_fanout() {
+        // g1 feeds both the top node and an extra output: merging would
+        // duplicate logic, so the pass must leave the structure alone.
+        let mut mig = Mig::new(5);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let g1 = mig.add_maj(s[0], s[1], s[2]);
+        let g2 = mig.add_maj(s[0], s[1], s[3]);
+        let top = mig.add_maj(g1, g2, s[4]);
+        mig.add_output(top);
+        mig.add_output(g1);
+
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 13).is_equal());
+        assert_eq!(out.num_live_gates(), 3);
+    }
+
+    #[test]
+    fn mixed_polarity_not_merged() {
+        let mut mig = Mig::new(5);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let g1 = mig.add_maj(s[0], s[1], s[2]);
+        let g2 = mig.add_maj(s[0], s[1], s[3]);
+        let top = mig.add_maj(g1, !g2, s[4]);
+        mig.add_output(top);
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 14).is_equal());
+        assert_eq!(out.num_live_gates(), 3);
+    }
+
+    #[test]
+    fn single_shared_signal_not_merged() {
+        let mut mig = Mig::new(6);
+        let s: Vec<Signal> = mig.inputs().collect();
+        let g1 = mig.add_maj(s[0], s[1], s[2]);
+        let g2 = mig.add_maj(s[0], s[3], s[4]);
+        let top = mig.add_maj(g1, g2, s[5]);
+        mig.add_output(top);
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 15).is_equal());
+        assert_eq!(out.num_live_gates(), 3);
+    }
+
+    #[test]
+    fn and_or_pattern_collapses() {
+        // (a∧b)∨(a∧c) = a∧(b∨c): AND = ⟨ab0⟩, OR = ⟨xy1⟩. The outer node is
+        // ⟨⟨ab0⟩⟨ac0⟩1⟩; shared pair {a, 0} → ⟨a 0 ⟨b c 1⟩⟩. One node saved.
+        let mut mig = Mig::new(3);
+        let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+        let t1 = mig.and(a, b);
+        let t2 = mig.and(a, c);
+        let top = mig.or(t1, t2);
+        mig.add_output(top);
+        let out = run(&mig);
+        assert!(equiv_random(&mig, &out, 16, 16).is_equal());
+        assert_eq!(out.num_live_gates(), 2);
+    }
+}

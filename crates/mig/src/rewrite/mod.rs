@@ -1,0 +1,338 @@
+//! MIG algebraic rewriting: the Ω/Ψ axioms and the paper's two rewriting
+//! algorithms.
+//!
+//! Every pass is a *rebuild*: it constructs a fresh [`Mig`] by walking the
+//! old graph in topological order, mapping each live gate through a
+//! rule-specific constructor. Structural hashing plus the Ω.M axiom run on
+//! every node insertion, so each pass also performs node minimisation and
+//! dead-node garbage collection. Functional equivalence of every pass is
+//! enforced by the test-suite via random simulation.
+//!
+//! * [`Pass`] — the individual axioms (Ω.M, Ω.D(R→L), Ω.A, Ψ.C, the
+//!   inverter-propagation family Ω.I(R→L)).
+//! * [`Algorithm::PlimCompiler`] — Algorithm 1 of the paper (the DAC'16
+//!   PLiM-compiler schedule).
+//! * [`Algorithm::EnduranceAware`] — Algorithm 2 of the paper (drops Ψ.C,
+//!   sandwiches Ω.A between inverter-propagation passes).
+
+mod associativity;
+mod distributivity;
+mod level_balance;
+mod inverters;
+mod psi;
+
+pub use inverters::InverterMode;
+
+use crate::mig::Mig;
+use crate::signal::{NodeId, Signal};
+
+/// One rewriting pass over the whole graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Ω.M + structural hashing only (node minimisation / cleanup).
+    Majority,
+    /// Ω.D applied right-to-left: `⟨⟨xyu⟩⟨xyv⟩z⟩ → ⟨xy⟨uvz⟩⟩`.
+    DistributivityRl,
+    /// Ω.A reshaping, applied only when it provably shares a node.
+    Associativity,
+    /// Ψ.C complementary associativity: `⟨x,u,⟨y,x̄,z⟩⟩ → ⟨x,u,⟨y,x,z⟩⟩`.
+    ComplementaryAssociativity,
+    /// Ω.I right-to-left, rules (1)–(3): flip nodes with ≥ 2 complemented
+    /// (non-constant) children.
+    InvertersTwoOrThree,
+    /// Ω.I right-to-left, rule (1) only: flip nodes with 3 complemented
+    /// children.
+    InvertersThreeOnly,
+    /// Level-balancing Ω.A (§III-B4 future work): swap deep inner signals
+    /// toward their consumers to narrow parent-child level gaps — the
+    /// structural source of blocked RRAMs.
+    LevelBalance,
+}
+
+impl Pass {
+    /// Runs this pass, producing a rewritten graph.
+    pub fn run(self, mig: &Mig) -> Mig {
+        match self {
+            Pass::Majority => rebuild(mig, |new, _, _, ch| new.add_maj(ch[0], ch[1], ch[2])),
+            Pass::DistributivityRl => distributivity::run(mig),
+            Pass::Associativity => associativity::run(mig),
+            Pass::ComplementaryAssociativity => psi::run(mig),
+            Pass::InvertersTwoOrThree => inverters::run(mig, InverterMode::TwoOrThree),
+            Pass::InvertersThreeOnly => inverters::run(mig, InverterMode::ThreeOnly),
+            Pass::LevelBalance => level_balance::run(mig),
+        }
+    }
+}
+
+/// The two pass schedules evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Paper Algorithm 1 — the baseline PLiM-compiler rewriting (DAC'16):
+    /// `Ω.M; Ω.D(R→L); Ω.A; Ψ.C; Ω.M; Ω.D(R→L); Ω.I(R→L)(1–3); Ω.I(R→L)`.
+    PlimCompiler,
+    /// Paper Algorithm 2 — endurance-aware rewriting: removes Ψ.C and
+    /// sandwiches Ω.A between inverter-propagation passes:
+    /// `Ω.M; Ω.D(R→L); Ω.I(1–3); Ω.I; Ω.A; Ω.I(1–3); Ω.I; Ω.M; Ω.D(R→L); Ω.I`.
+    #[default]
+    EnduranceAware,
+    /// Extension (paper §III-B4 future work): Algorithm 2 plus a final
+    /// level-balancing pass that keeps parent-child level differences low
+    /// to shorten blocked-RRAM storage durations, potentially at an
+    /// instruction-count cost.
+    LevelAware,
+}
+
+impl Algorithm {
+    /// The pass sequence executed once per effort cycle.
+    pub fn cycle(self) -> &'static [Pass] {
+        match self {
+            Algorithm::PlimCompiler => &[
+                Pass::Majority,
+                Pass::DistributivityRl,
+                Pass::Associativity,
+                Pass::ComplementaryAssociativity,
+                Pass::Majority,
+                Pass::DistributivityRl,
+                Pass::InvertersTwoOrThree,
+                Pass::InvertersThreeOnly,
+            ],
+            Algorithm::EnduranceAware => &[
+                Pass::Majority,
+                Pass::DistributivityRl,
+                Pass::InvertersTwoOrThree,
+                Pass::InvertersThreeOnly,
+                Pass::Associativity,
+                Pass::InvertersTwoOrThree,
+                Pass::InvertersThreeOnly,
+                Pass::Majority,
+                Pass::DistributivityRl,
+                Pass::InvertersThreeOnly,
+            ],
+            Algorithm::LevelAware => &[
+                Pass::Majority,
+                Pass::DistributivityRl,
+                Pass::InvertersTwoOrThree,
+                Pass::InvertersThreeOnly,
+                Pass::Associativity,
+                Pass::InvertersTwoOrThree,
+                Pass::InvertersThreeOnly,
+                Pass::Majority,
+                Pass::DistributivityRl,
+                Pass::InvertersThreeOnly,
+                Pass::LevelBalance,
+                Pass::InvertersThreeOnly,
+            ],
+        }
+    }
+}
+
+/// Runs `effort` cycles of the given algorithm (the paper uses `effort = 5`).
+///
+/// # Examples
+///
+/// ```
+/// use rlim_mig::{Mig, rewrite::{rewrite, Algorithm}};
+///
+/// let mut mig = Mig::new(3);
+/// let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+/// let x = mig.xor(a, b);
+/// let y = mig.xor(x, c);
+/// mig.add_output(y);
+/// let rewritten = rewrite(&mig, Algorithm::EnduranceAware, 5);
+/// assert!(rewritten.num_gates() <= mig.num_gates());
+/// ```
+pub fn rewrite(mig: &Mig, algorithm: Algorithm, effort: usize) -> Mig {
+    let mut current = Pass::Majority.run(mig);
+    for _ in 0..effort {
+        let before = (current.num_gates(), current.total_complemented_edges());
+        for pass in algorithm.cycle() {
+            current = pass.run(&current);
+        }
+        let after = (current.num_gates(), current.total_complemented_edges());
+        if before == after {
+            break; // fixed point reached early
+        }
+    }
+    current
+}
+
+/// Read-only context handed to rebuild transforms.
+pub(crate) struct View<'a> {
+    /// The graph being rebuilt.
+    pub old: &'a Mig,
+    /// Old-graph fanout counts (including PO references).
+    pub old_fanout: Vec<u32>,
+}
+
+/// Rebuilds `old` gate by gate. `transform(new, view, old_gate,
+/// mapped_children)` must return the new signal implementing the gate's
+/// (uncomplemented) function. Dead gates are skipped; outputs are remapped
+/// at the end.
+pub(crate) fn rebuild<F>(old: &Mig, mut transform: F) -> Mig
+where
+    F: FnMut(&mut Mig, &View<'_>, NodeId, [Signal; 3]) -> Signal,
+{
+    let view = View {
+        old,
+        old_fanout: old.fanout_counts(),
+    };
+    let live = old.live_mask();
+    let mut new = Mig::new(old.num_inputs());
+    // map[old node index] -> new signal for the node's uncomplemented value
+    let mut map: Vec<Signal> = vec![Signal::FALSE; old.num_nodes()];
+    for i in 0..old.num_inputs() {
+        map[i + 1] = new.input(i);
+    }
+    for g in old.gates() {
+        if !live[g.index()] {
+            continue;
+        }
+        let mapped = old.children(g).map(|s| map_signal(&map, s));
+        map[g.index()] = transform(&mut new, &view, g, mapped);
+    }
+    for &po in old.outputs() {
+        let s = map_signal(&map, po);
+        new.add_output(s);
+    }
+    new
+}
+
+/// Maps an old-graph signal through a node map, carrying the complement.
+#[inline]
+pub(crate) fn map_signal(map: &[Signal], s: Signal) -> Signal {
+    map[s.node().index()].complement_if(s.is_complement())
+}
+
+/// Returns the children of `s.node()` in graph `mig` if `s` points at a
+/// gate, regardless of complement.
+#[inline]
+pub(crate) fn gate_children(mig: &Mig, s: Signal) -> Option<[Signal; 3]> {
+    if mig.is_gate(s.node()) {
+        Some(mig.children(s.node()))
+    } else {
+        None
+    }
+}
+
+/// Whether the old-graph node behind this *old* signal had fanout 1 —
+/// used by restructuring passes to avoid duplicating shared logic.
+#[inline]
+pub(crate) fn old_single_fanout(view: &View<'_>, old_child: Signal) -> bool {
+    view.old_fanout[old_child.node().index()] <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::equiv_random;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Random layered MIG used to stress the passes.
+    pub(crate) fn random_mig(seed: u64, inputs: usize, gates: usize, outputs: usize) -> Mig {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut mig = Mig::new(inputs);
+        let mut pool: Vec<Signal> = mig.inputs().collect();
+        pool.push(Signal::FALSE);
+        while mig.num_gates() < gates {
+            let mut pick = || {
+                let s = pool[rng.gen_range(0..pool.len())];
+                s.complement_if(rng.gen_bool(0.35))
+            };
+            let (a, b, c) = (pick(), pick(), pick());
+            let g = mig.add_maj(a, b, c);
+            pool.push(g);
+        }
+        for _ in 0..outputs {
+            let s = pool[rng.gen_range(0..pool.len())];
+            mig.add_output(s.complement_if(rng.gen_bool(0.3)));
+        }
+        mig
+    }
+
+    #[test]
+    fn majority_pass_gc_and_preserves_function() {
+        let mig = random_mig(1, 8, 200, 6);
+        let out = Pass::Majority.run(&mig);
+        assert!(out.num_gates() <= mig.num_gates());
+        assert!(equiv_random(&mig, &out, 16, 99).is_equal());
+    }
+
+    #[test]
+    fn every_pass_preserves_function_on_random_graphs() {
+        for seed in 0..6 {
+            let mig = random_mig(seed, 10, 300, 8);
+            for pass in [
+                Pass::Majority,
+                Pass::DistributivityRl,
+                Pass::Associativity,
+                Pass::ComplementaryAssociativity,
+                Pass::InvertersTwoOrThree,
+                Pass::InvertersThreeOnly,
+            ] {
+                let out = pass.run(&mig);
+                assert!(
+                    equiv_random(&mig, &out, 16, seed ^ 0xABCD).is_equal(),
+                    "pass {pass:?} broke seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn algorithms_preserve_function_and_do_not_grow() {
+        for seed in [3, 17] {
+            let mig = random_mig(seed, 12, 400, 10);
+            let baseline = Pass::Majority.run(&mig).num_gates();
+            for alg in [Algorithm::PlimCompiler, Algorithm::EnduranceAware] {
+                let out = rewrite(&mig, alg, 5);
+                assert!(
+                    equiv_random(&mig, &out, 16, seed).is_equal(),
+                    "{alg:?} broke seed {seed}"
+                );
+                assert!(
+                    out.num_gates() <= baseline,
+                    "{alg:?} grew the graph on seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn endurance_rewriting_controls_complemented_edges() {
+        // After Algorithm 2, no gate should have ≥ 2 complemented
+        // non-constant children (the inverter passes flip them away).
+        let mig = random_mig(5, 10, 500, 8);
+        let out = rewrite(&mig, Algorithm::EnduranceAware, 5);
+        for g in out.gates() {
+            assert!(
+                out.complemented_edge_count(g) <= 1,
+                "gate {g} kept {} complemented edges",
+                out.complemented_edge_count(g)
+            );
+        }
+    }
+
+    #[test]
+    fn rewrite_is_deterministic() {
+        let mig = random_mig(9, 10, 300, 8);
+        let a = rewrite(&mig, Algorithm::EnduranceAware, 3);
+        let b = rewrite(&mig, Algorithm::EnduranceAware, 3);
+        assert_eq!(a.num_gates(), b.num_gates());
+        assert_eq!(a.outputs(), b.outputs());
+    }
+
+    #[test]
+    fn xor_chain_shrinks() {
+        let mut mig = Mig::new(6);
+        let mut acc = mig.input(0);
+        for i in 1..6 {
+            let x = mig.input(i);
+            acc = mig.xor(acc, x);
+        }
+        mig.add_output(acc);
+        let out = rewrite(&mig, Algorithm::EnduranceAware, 5);
+        assert!(equiv_random(&mig, &out, 16, 0).is_equal());
+        assert!(out.num_gates() <= mig.num_gates());
+    }
+}

@@ -1,0 +1,244 @@
+//! Node identifiers and complement-edge signals.
+//!
+//! A [`Signal`] is an edge in a Majority-Inverter Graph: a reference to a
+//! node together with an optional complement (inversion) attribute. MIGs owe
+//! much of their compactness to these complemented edges, and the DATE 2017
+//! endurance paper manipulates them explicitly (the `RM3` operation inverts
+//! exactly one operand, so a node with exactly one complemented child is the
+//! "ideal" case for PLiM compilation).
+
+use std::fmt;
+use std::ops::Not;
+
+/// Index of a node inside a [`crate::Mig`].
+///
+/// Node `0` is always the constant-false node; nodes `1..=num_inputs` are the
+/// primary inputs; all following nodes are majority gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant node (index 0). `Signal::FALSE`/`Signal::TRUE` point here.
+    pub const CONST: NodeId = NodeId(0);
+
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Raw index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw index as `u32`.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An edge pointing at a node, possibly complemented.
+///
+/// Packed as `index << 1 | complement` so a signal is a single `u32`.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_mig::{NodeId, Signal};
+///
+/// let s = Signal::new(NodeId::new(3), false);
+/// assert_eq!(s.node(), NodeId::new(3));
+/// assert!(!s.is_complement());
+/// assert_eq!((!s).node(), s.node());
+/// assert!((!s).is_complement());
+/// assert_eq!(!!s, s);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signal(u32);
+
+impl Signal {
+    /// Constant logic 0: the constant node, uncomplemented.
+    pub const FALSE: Signal = Signal(0);
+    /// Constant logic 1: the constant node, complemented.
+    pub const TRUE: Signal = Signal(1);
+
+    /// Creates a signal from a node and a complement flag.
+    #[inline]
+    pub fn new(node: NodeId, complement: bool) -> Self {
+        Signal(node.0 << 1 | complement as u32)
+    }
+
+    /// Creates a constant signal of the given value.
+    ///
+    /// ```
+    /// use rlim_mig::Signal;
+    /// assert_eq!(Signal::constant(true), Signal::TRUE);
+    /// assert_eq!(Signal::constant(false), Signal::FALSE);
+    /// ```
+    #[inline]
+    pub fn constant(value: bool) -> Self {
+        if value {
+            Signal::TRUE
+        } else {
+            Signal::FALSE
+        }
+    }
+
+    /// The node this signal points at.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the edge is complemented.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is one of the two constant signals.
+    #[inline]
+    pub fn is_constant(self) -> bool {
+        self.node() == NodeId::CONST
+    }
+
+    /// The constant value, if this is a constant signal.
+    #[inline]
+    pub fn constant_value(self) -> Option<bool> {
+        if self.is_constant() {
+            Some(self.is_complement())
+        } else {
+            None
+        }
+    }
+
+    /// Returns the same edge with the requested complement attribute.
+    #[inline]
+    pub fn with_complement(self, complement: bool) -> Self {
+        Signal(self.0 & !1 | complement as u32)
+    }
+
+    /// XORs the complement attribute with `flip`.
+    ///
+    /// ```
+    /// use rlim_mig::Signal;
+    /// let s = Signal::TRUE;
+    /// assert_eq!(s.complement_if(true), Signal::FALSE);
+    /// assert_eq!(s.complement_if(false), Signal::TRUE);
+    /// ```
+    #[inline]
+    pub fn complement_if(self, flip: bool) -> Self {
+        Signal(self.0 ^ flip as u32)
+    }
+
+    /// Raw packed representation (`index << 1 | complement`).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a signal from [`Signal::raw`].
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        Signal(raw)
+    }
+}
+
+impl Not for Signal {
+    type Output = Signal;
+
+    #[inline]
+    fn not(self) -> Signal {
+        Signal(self.0 ^ 1)
+    }
+}
+
+impl From<NodeId> for Signal {
+    /// The uncomplemented edge to `node`.
+    #[inline]
+    fn from(node: NodeId) -> Signal {
+        Signal::new(node, false)
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complement() {
+            write!(f, "!n{}", self.node().0)
+        } else {
+            write!(f, "n{}", self.node().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_the_const_node() {
+        assert_eq!(Signal::FALSE.node(), NodeId::CONST);
+        assert_eq!(Signal::TRUE.node(), NodeId::CONST);
+        assert!(!Signal::FALSE.is_complement());
+        assert!(Signal::TRUE.is_complement());
+        assert_eq!(!Signal::FALSE, Signal::TRUE);
+        assert_eq!(Signal::FALSE.constant_value(), Some(false));
+        assert_eq!(Signal::TRUE.constant_value(), Some(true));
+    }
+
+    #[test]
+    fn pack_round_trip() {
+        for idx in [0u32, 1, 2, 1000, u32::MAX >> 1] {
+            for c in [false, true] {
+                let s = Signal::new(NodeId::new(idx), c);
+                assert_eq!(s.node(), NodeId::new(idx));
+                assert_eq!(s.is_complement(), c);
+                assert_eq!(Signal::from_raw(s.raw()), s);
+            }
+        }
+    }
+
+    #[test]
+    fn complement_algebra() {
+        let s = Signal::new(NodeId::new(7), false);
+        assert_eq!(!!s, s);
+        assert_ne!(!s, s);
+        assert_eq!((!s).node(), s.node());
+        assert_eq!(s.complement_if(true), !s);
+        assert_eq!(s.complement_if(false), s);
+        assert_eq!(s.with_complement(true), !s);
+        assert_eq!((!s).with_complement(false), s);
+    }
+
+    #[test]
+    fn non_constant_signal_has_no_value() {
+        let s = Signal::new(NodeId::new(4), true);
+        assert!(!s.is_constant());
+        assert_eq!(s.constant_value(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Signal::new(NodeId::new(4), true);
+        assert_eq!(s.to_string(), "!n4");
+        assert_eq!((!s).to_string(), "n4");
+        assert_eq!(NodeId::new(4).to_string(), "n4");
+    }
+
+    #[test]
+    fn ordering_groups_by_node() {
+        let a = Signal::new(NodeId::new(1), false);
+        let b = Signal::new(NodeId::new(1), true);
+        let c = Signal::new(NodeId::new(2), false);
+        assert!(a < b && b < c);
+    }
+}

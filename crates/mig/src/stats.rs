@@ -1,0 +1,166 @@
+//! Structural MIG statistics used by the evaluation harness.
+
+use crate::mig::{Mig, NodeKind};
+
+/// Summary of the structural features that drive PLiM write traffic.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_mig::{Mig, stats::MigStats};
+///
+/// let mut mig = Mig::new(3);
+/// let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+/// let g = mig.add_maj(a, !b, c);
+/// mig.add_output(g);
+/// let stats = MigStats::of(&mig);
+/// assert_eq!(stats.gates, 1);
+/// assert_eq!(stats.complement_histogram[1], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigStats {
+    /// Number of majority gates.
+    pub gates: usize,
+    /// Number of live (output-reachable) gates.
+    pub live_gates: usize,
+    /// Graph depth (maximum output level).
+    pub depth: u32,
+    /// `complement_histogram[k]` = gates with exactly `k` complemented
+    /// non-constant children, `k ∈ 0..=3`.
+    pub complement_histogram: [usize; 4],
+    /// Gates with a constant child (AND/OR-style gates).
+    pub constant_child_gates: usize,
+    /// Gates that have at least one single-fanout non-constant child —
+    /// candidates for the free in-place RM3 destination.
+    pub gates_with_single_fanout_child: usize,
+    /// Mean over gates of (min fanout-target level − gate level); large
+    /// values indicate long storage durations ("blocked RRAMs", paper
+    /// Fig. 2).
+    pub mean_fanout_wait: f64,
+}
+
+impl MigStats {
+    /// Computes statistics for a graph.
+    pub fn of(mig: &Mig) -> Self {
+        let live = mig.live_mask();
+        let levels = mig.levels();
+        let fanout = mig.fanout_counts();
+        let parents = mig.parents();
+
+        let mut complement_histogram = [0usize; 4];
+        let mut constant_child_gates = 0usize;
+        let mut gates_with_single_fanout_child = 0usize;
+        let mut wait_sum = 0f64;
+        let mut wait_count = 0usize;
+
+        for g in mig.gates() {
+            if !live[g.index()] {
+                continue;
+            }
+            let ch = match mig.kind(g) {
+                NodeKind::Majority(ch) => ch,
+                _ => unreachable!("gates() yields majority nodes"),
+            };
+            complement_histogram[mig.complemented_edge_count(g)] += 1;
+            if ch.iter().any(|s| s.is_constant()) {
+                constant_child_gates += 1;
+            }
+            if ch
+                .iter()
+                .any(|s| !s.is_constant() && fanout[s.node().index()] == 1)
+            {
+                gates_with_single_fanout_child += 1;
+            }
+            if let Some(min_parent_level) = parents[g.index()]
+                .iter()
+                .map(|p| levels[p.index()])
+                .min()
+            {
+                wait_sum += (min_parent_level - levels[g.index()]) as f64;
+                wait_count += 1;
+            }
+        }
+
+        MigStats {
+            gates: mig.num_gates(),
+            live_gates: mig.num_live_gates(),
+            depth: mig.depth(),
+            complement_histogram,
+            constant_child_gates,
+            gates_with_single_fanout_child,
+            mean_fanout_wait: if wait_count == 0 {
+                0.0
+            } else {
+                wait_sum / wait_count as f64
+            },
+        }
+    }
+
+    /// Fraction of live gates in the "ideal" single-complemented-edge form
+    /// that RM3 computes in one instruction.
+    pub fn ideal_gate_fraction(&self) -> f64 {
+        if self.live_gates == 0 {
+            return 0.0;
+        }
+        self.complement_histogram[1] as f64 / self.live_gates as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mig;
+
+    #[test]
+    fn histogram_counts_polarities() {
+        let mut mig = Mig::new(4);
+        let s: Vec<_> = mig.inputs().collect();
+        let g0 = mig.add_maj(s[0], s[1], s[2]); // 0 complements
+        let g1 = mig.add_maj(!s[0], s[1], s[3]); // 1
+        let g2 = mig.add_maj(!s[1], !s[2], s[3]); // 2
+        let g3 = mig.add_maj(!g0, !g1, !g2); // 3
+        mig.add_output(g3);
+        let st = MigStats::of(&mig);
+        assert_eq!(st.complement_histogram, [1, 1, 1, 1]);
+        assert_eq!(st.live_gates, 4);
+        assert!((st.ideal_gate_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_gates_excluded_from_histogram() {
+        let mut mig = Mig::new(3);
+        let s: Vec<_> = mig.inputs().collect();
+        let live = mig.add_maj(s[0], s[1], s[2]);
+        let _dead = mig.add_maj(!s[0], !s[1], !s[2]);
+        mig.add_output(live);
+        let st = MigStats::of(&mig);
+        assert_eq!(st.gates, 2);
+        assert_eq!(st.live_gates, 1);
+        assert_eq!(st.complement_histogram, [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fanout_wait_measures_level_gap() {
+        let mut mig = Mig::new(4);
+        let s: Vec<_> = mig.inputs().collect();
+        let g0 = mig.add_maj(s[0], s[1], s[2]); // level 1
+        let g1 = mig.add_maj(g0, s[2], s[3]); // level 2, consumes g0 at gap 1
+        let g2 = mig.add_maj(g1, s[0], s[1]); // level 3
+        let g3 = mig.add_maj(g2, g0, s[3]); // level 4, consumes g0 at gap 3
+        mig.add_output(g3);
+        let st = MigStats::of(&mig);
+        // g0 waits min(2,4)-1 = 1; g1 waits 1; g2 waits 1; g3 has no parents
+        assert!((st.mean_fanout_wait - 1.0).abs() < 1e-12);
+        // only g2 (child g1) and g3 (child g2) have a single-fanout child
+        assert_eq!(st.gates_with_single_fanout_child, 2);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let mig = Mig::new(2);
+        let st = MigStats::of(&mig);
+        assert_eq!(st.gates, 0);
+        assert_eq!(st.ideal_gate_fraction(), 0.0);
+        assert_eq!(st.mean_fanout_wait, 0.0);
+    }
+}

@@ -1,0 +1,561 @@
+//! The self-hosted PLiM controller of Gaillardon et al. [11].
+//!
+//! [`Machine`](crate::Machine) executes a program held outside the array —
+//! convenient for experiments, but the real PLiM computer is *self-hosted*:
+//! "the controller … reads the instructions from the memory array and
+//! performs computing operations (RM3) within the memory array" (paper
+//! §III-A2), using a small finite state machine, a program counter and a
+//! few work registers.
+//!
+//! [`Controller`] models that faithfully at the bit level:
+//!
+//! * the program is **encoded into RRAM cells** (an instruction region in
+//!   the same crossbar as the data region), so loading the program wears
+//!   the instruction cells — one write each, visible in the wear map;
+//! * execution is driven by the FSM
+//!   `FetchP → FetchQ → FetchZ → ReadA → ReadB → Execute`, with the
+//!   program counter incremented after every completed write;
+//! * cycles are accounted per state transition, giving a latency model in
+//!   controller cycles rather than raw instruction counts.
+//!
+//! Each operand field is stored as a tag bit (constant vs cell) followed by
+//! `addr_bits` address bits; fetches read those cells (reads are wear-free).
+
+use rlim_rram::{CellId, Crossbar, EnduranceError};
+
+use crate::isa::{Operand, Program};
+
+/// FSM states of the PLiM controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum State {
+    /// Fetching the P operand field of the current instruction.
+    FetchP,
+    /// Fetching the Q operand field.
+    FetchQ,
+    /// Fetching the Z destination field.
+    FetchZ,
+    /// Reading operand A (P) from the array or a constant latch.
+    ReadA,
+    /// Reading operand B (Q).
+    ReadB,
+    /// Performing the RM3 write into Z.
+    Execute,
+    /// Program counter ran past the last instruction.
+    Halted,
+}
+
+/// A crossbar hosting both a program image and its data.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    array: Crossbar,
+    /// First cell of the instruction region.
+    code_base: usize,
+    /// Bits per operand field (1 tag + addr_bits).
+    field_bits: usize,
+    num_instructions: usize,
+    /// Data-region interface, copied from the source program.
+    input_cells: Vec<CellId>,
+    output_cells: Vec<CellId>,
+    pc: usize,
+    state: State,
+    cycles: u64,
+    /// Work registers A and B (the controller's operand latches).
+    reg_a: bool,
+    reg_b: bool,
+    /// Decoded fields of the in-flight instruction.
+    cur_p: Option<Operand>,
+    cur_q: Option<Operand>,
+    cur_z: Option<CellId>,
+}
+
+impl Controller {
+    /// Builds a self-hosted controller: allocates the data region, encodes
+    /// `program` into an instruction region above it, and resets the FSM.
+    ///
+    /// Writing the program image wears each instruction cell once (visible
+    /// in [`Controller::array`] wear counters); the paper's Table metrics
+    /// exclude this one-off cost, and so do ours, but the model makes it
+    /// inspectable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnduranceError`] if the array cannot absorb the program
+    /// image (only possible with an endurance limit below 1).
+    pub fn host(program: &Program) -> Result<Self, EnduranceError> {
+        Controller::host_on(program, Crossbar::new())
+    }
+
+    /// Like [`Controller::host`] with a caller-provided (possibly
+    /// endurance-limited) array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnduranceError`] if writing the program image exhausts a
+    /// cell.
+    pub fn host_on(program: &Program, mut array: Crossbar) -> Result<Self, EnduranceError> {
+        array.grow_to(program.num_cells);
+        let code_base = program.num_cells;
+        // Address space: data cells + 2 constant codes.
+        let addr_bits = usize::BITS as usize
+            - (program.num_cells.max(1) + 1).leading_zeros() as usize;
+        let field_bits = 1 + addr_bits;
+        array.grow_to(code_base + 3 * field_bits * program.instructions.len());
+
+        let mut controller = Controller {
+            array,
+            code_base,
+            field_bits,
+            num_instructions: program.instructions.len(),
+            input_cells: program.input_cells.clone(),
+            output_cells: program.output_cells.clone(),
+            pc: 0,
+            state: if program.instructions.is_empty() {
+                State::Halted
+            } else {
+                State::FetchP
+            },
+            cycles: 0,
+            reg_a: false,
+            reg_b: false,
+            cur_p: None,
+            cur_q: None,
+            cur_z: None,
+        };
+        for (i, inst) in program.instructions.iter().enumerate() {
+            controller.store_field(i, 0, encode_operand(inst.p))?;
+            controller.store_field(i, 1, encode_operand(inst.q))?;
+            controller.store_field(i, 2, encode_operand(Operand::Cell(inst.z)))?;
+        }
+        Ok(controller)
+    }
+
+    fn field_base(&self, instruction: usize, field: usize) -> usize {
+        self.code_base + (instruction * 3 + field) * self.field_bits
+    }
+
+    fn store_field(
+        &mut self,
+        instruction: usize,
+        field: usize,
+        bits: u64,
+    ) -> Result<(), EnduranceError> {
+        let base = self.field_base(instruction, field);
+        for k in 0..self.field_bits {
+            let cell = CellId::new((base + k) as u32);
+            self.array.write(cell, (bits >> k) & 1 == 1)?;
+        }
+        Ok(())
+    }
+
+    fn fetch_field(&mut self, field: usize) -> u64 {
+        let base = self.field_base(self.pc, field);
+        let mut bits = 0u64;
+        for k in 0..self.field_bits {
+            let cell = CellId::new((base + k) as u32);
+            bits |= (self.array.read(cell) as u64) << k;
+        }
+        bits
+    }
+
+    /// The hosting array (data region + instruction region).
+    pub fn array(&self) -> &Crossbar {
+        &self.array
+    }
+
+    /// First cell index of the instruction region.
+    pub fn code_base(&self) -> usize {
+        self.code_base
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Program counter (index of the in-flight instruction).
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Controller cycles elapsed (one per FSM transition).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Preloads the primary inputs into the data region (wear-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the program interface.
+    pub fn load_inputs(&mut self, inputs: &[bool]) {
+        assert_eq!(
+            inputs.len(),
+            self.input_cells.len(),
+            "input vector length must match the program interface"
+        );
+        for (&cell, &value) in self.input_cells.iter().zip(inputs) {
+            self.array.preload(cell, value);
+        }
+    }
+
+    /// Advances the FSM by one state (one cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnduranceError`] if the `Execute` write exhausts a cell.
+    pub fn step(&mut self) -> Result<State, EnduranceError> {
+        let next = match self.state {
+            State::Halted => State::Halted,
+            State::FetchP => {
+                let bits = self.fetch_field(0);
+                self.cur_p = Some(self.decode(bits));
+                State::FetchQ
+            }
+            State::FetchQ => {
+                let bits = self.fetch_field(1);
+                self.cur_q = Some(self.decode(bits));
+                State::FetchZ
+            }
+            State::FetchZ => {
+                let bits = self.fetch_field(2);
+                match self.decode(bits) {
+                    Operand::Cell(z) => self.cur_z = Some(z),
+                    Operand::Const(_) => unreachable!("Z is always a cell"),
+                }
+                State::ReadA
+            }
+            State::ReadA => {
+                self.reg_a = match self.cur_p.expect("fetched") {
+                    Operand::Const(b) => b,
+                    Operand::Cell(c) => self.array.read(c),
+                };
+                State::ReadB
+            }
+            State::ReadB => {
+                self.reg_b = match self.cur_q.expect("fetched") {
+                    Operand::Const(b) => b,
+                    Operand::Cell(c) => self.array.read(c),
+                };
+                State::Execute
+            }
+            State::Execute => {
+                let z = self.cur_z.expect("fetched");
+                let old = self.array.read(z);
+                let (p, q) = (self.reg_a, self.reg_b);
+                // RM3: Z ← ⟨P, Q̄, Z⟩.
+                let value = (p & !q) | (p & old) | (!q & old);
+                self.array.write(z, value)?;
+                self.pc += 1;
+                if self.pc >= self.num_instructions {
+                    State::Halted
+                } else {
+                    State::FetchP
+                }
+            }
+        };
+        if self.state != State::Halted {
+            self.cycles += 1;
+        }
+        self.state = next;
+        Ok(next)
+    }
+
+    fn decode(&self, bits: u64) -> Operand {
+        decode_operand(bits)
+    }
+
+    /// Runs to halt.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EnduranceError`] hit.
+    pub fn execute(&mut self) -> Result<(), EnduranceError> {
+        while self.state != State::Halted {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Reads the primary outputs from the data region.
+    pub fn outputs(&self) -> Vec<bool> {
+        self.output_cells.iter().map(|&c| self.array.read(c)).collect()
+    }
+
+    /// Convenience: load inputs, run to halt, read outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EnduranceError`] hit during execution.
+    pub fn run(&mut self, inputs: &[bool]) -> Result<Vec<bool>, EnduranceError> {
+        self.load_inputs(inputs);
+        self.execute()?;
+        Ok(self.outputs())
+    }
+}
+
+/// Field encoding: bit 0 = tag (1 ⇒ cell address follows, 0 ⇒ constant),
+/// bits 1.. = address or constant value.
+fn encode_operand(op: Operand) -> u64 {
+    match op {
+        Operand::Const(b) => (b as u64) << 1,
+        Operand::Cell(c) => 1 | ((c.index() as u64) << 1),
+    }
+}
+
+fn decode_operand(bits: u64) -> Operand {
+    if bits & 1 == 1 {
+        Operand::Cell(CellId::new((bits >> 1) as u32))
+    } else {
+        Operand::Const((bits >> 1) & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instruction;
+    use crate::machine::Machine;
+
+    fn c(i: u32) -> CellId {
+        CellId::new(i)
+    }
+
+    /// r2 ← 0; r2 ← ⟨r0, r̄1, r2⟩ (computes r0 ∧ ¬r1).
+    fn sample() -> Program {
+        Program {
+            instructions: vec![
+                Instruction {
+                    p: Operand::Const(false),
+                    q: Operand::Const(true),
+                    z: c(2),
+                },
+                Instruction {
+                    p: Operand::Cell(c(0)),
+                    q: Operand::Cell(c(1)),
+                    z: c(2),
+                },
+            ],
+            num_cells: 3,
+            input_cells: vec![c(0), c(1)],
+            output_cells: vec![c(2)],
+        }
+    }
+
+    #[test]
+    fn operand_encoding_round_trips() {
+        for op in [
+            Operand::Const(false),
+            Operand::Const(true),
+            Operand::Cell(c(0)),
+            Operand::Cell(c(1)),
+            Operand::Cell(c(4095)),
+        ] {
+            assert_eq!(decode_operand(encode_operand(op)), op);
+        }
+    }
+
+    #[test]
+    fn self_hosted_matches_external_machine() {
+        let program = sample();
+        for inputs in [[false, false], [false, true], [true, false], [true, true]] {
+            let mut machine = Machine::for_program(&program);
+            let external = machine.run(&program, &inputs).unwrap();
+            let mut controller = Controller::host(&program).unwrap();
+            let hosted = controller.run(&inputs).unwrap();
+            assert_eq!(hosted, external, "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn fsm_walks_the_documented_states() {
+        let program = sample();
+        let mut controller = Controller::host(&program).unwrap();
+        controller.load_inputs(&[true, false]);
+        let expect = [
+            State::FetchQ,
+            State::FetchZ,
+            State::ReadA,
+            State::ReadB,
+            State::Execute,
+            State::FetchP, // pc advanced to instruction 1
+        ];
+        assert_eq!(controller.state(), State::FetchP);
+        for e in expect {
+            assert_eq!(controller.step().unwrap(), e);
+        }
+        assert_eq!(controller.pc(), 1);
+    }
+
+    #[test]
+    fn cycle_count_is_six_per_instruction() {
+        let program = sample();
+        let mut controller = Controller::host(&program).unwrap();
+        controller.run(&[true, true]).unwrap();
+        assert_eq!(controller.cycles(), 12, "2 instructions × 6 FSM states");
+        assert_eq!(controller.state(), State::Halted);
+        // Stepping a halted controller is a no-op.
+        assert_eq!(controller.step().unwrap(), State::Halted);
+        assert_eq!(controller.cycles(), 12);
+    }
+
+    #[test]
+    fn program_image_lives_in_the_array_and_wears_it_once() {
+        let program = sample();
+        let controller = Controller::host(&program).unwrap();
+        let code_base = controller.code_base();
+        assert_eq!(code_base, 3, "instruction region sits above the data");
+        let counts = controller.array().write_counts();
+        assert!(counts.len() > 3, "array contains the program image");
+        for (i, &w) in counts.iter().enumerate() {
+            if i >= code_base {
+                assert_eq!(w, 1, "instruction cell {i} written exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_wear_matches_external_machine() {
+        let program = sample();
+        let inputs = [true, false];
+        let mut machine = Machine::for_program(&program);
+        machine.run(&program, &inputs).unwrap();
+        let external = machine.array().write_counts();
+
+        let mut controller = Controller::host(&program).unwrap();
+        controller.run(&inputs).unwrap();
+        let hosted = controller.array().write_counts();
+        // Data region wear identical; instruction region has its one-off
+        // program-load writes.
+        assert_eq!(&hosted[..program.num_cells], &external[..]);
+    }
+
+    #[test]
+    fn empty_program_halts_immediately() {
+        let program = Program {
+            instructions: vec![],
+            num_cells: 1,
+            input_cells: vec![c(0)],
+            output_cells: vec![c(0)],
+        };
+        let mut controller = Controller::host(&program).unwrap();
+        let out = controller.run(&[true]).unwrap();
+        assert_eq!(out, vec![true]);
+        assert_eq!(controller.cycles(), 0);
+    }
+
+    #[test]
+    fn hosted_on_compiled_benchmark() {
+        use rlim_mig::Mig;
+        // A real compiled program: 2-bit adder via the library quickstart
+        // path exercised against the controller.
+        let mut mig = Mig::new(4);
+        let (a0, b0) = (mig.input(0), mig.input(1));
+        let (a1, b1) = (mig.input(2), mig.input(3));
+        let (s0, c0) = mig.half_adder(a0, b0);
+        let (s1, c1) = mig.full_adder(a1, b1, c0);
+        mig.add_output(s0);
+        mig.add_output(s1);
+        mig.add_output(c1);
+        let result = rlim_compiler_shim::compile_naive(&mig);
+        for bits in 0..16u32 {
+            let inputs: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+            let mut controller = Controller::host(&result).unwrap();
+            let got = controller.run(&inputs).unwrap();
+            assert_eq!(got, mig.evaluate(&inputs), "bits {bits:04b}");
+        }
+    }
+
+    /// `rlim-plim` cannot depend on `rlim-compiler` (layering), so the one
+    /// test that wants a compiled program builds it through a tiny local
+    /// translator: straight-line RM3 emission good enough for a test.
+    mod rlim_compiler_shim {
+        use super::super::*;
+        use crate::isa::Instruction;
+        use rlim_mig::{Mig, Signal};
+
+        struct Emitter {
+            instructions: Vec<Instruction>,
+            cell_of: Vec<Option<CellId>>,
+            next: u32,
+        }
+
+        impl Emitter {
+            fn alloc(&mut self) -> CellId {
+                let c = CellId::new(self.next);
+                self.next += 1;
+                c
+            }
+
+            fn emit(&mut self, p: Operand, q: Operand, z: CellId) {
+                self.instructions.push(Instruction { p, q, z });
+            }
+
+            /// Operand holding the value of `s` (complements get a temp
+            /// loaded via set1 + inverse copy).
+            fn materialise(&mut self, s: Signal) -> Operand {
+                match s.constant_value() {
+                    Some(b) => Operand::Const(b),
+                    None => {
+                        let src = self.cell_of[s.node().index()].expect("computed");
+                        if s.is_complement() {
+                            let t = self.alloc();
+                            self.emit(Operand::Const(true), Operand::Const(false), t);
+                            self.emit(Operand::Const(false), Operand::Cell(src), t);
+                            Operand::Cell(t)
+                        } else {
+                            Operand::Cell(src)
+                        }
+                    }
+                }
+            }
+        }
+
+        pub fn compile_naive(mig: &Mig) -> Program {
+            let mut e = Emitter {
+                instructions: Vec::new(),
+                cell_of: vec![None; mig.num_nodes()],
+                next: 0,
+            };
+            let mut input_cells = Vec::new();
+            for i in 0..mig.num_inputs() {
+                let cell = e.alloc();
+                e.cell_of[mig.input(i).node().index()] = Some(cell);
+                input_cells.push(cell);
+            }
+            for g in mig.node_ids() {
+                if !mig.is_gate(g) {
+                    continue;
+                }
+                let [a, b, cch] = mig.children(g);
+                let pa = e.materialise(a);
+                // Q is inverted by RM3, so materialise ¬b.
+                let qb = e.materialise(!b);
+                let pc = e.materialise(cch);
+                // z ← 0; z ← value(c); z ← ⟨a, b̄, c⟩.
+                let z = e.alloc();
+                e.emit(Operand::Const(false), Operand::Const(true), z);
+                e.emit(pc, Operand::Const(false), z);
+                e.emit(pa, qb, z);
+                e.cell_of[g.index()] = Some(z);
+            }
+            let mut output_cells = Vec::new();
+            for &po in mig.outputs() {
+                let cell = match e.materialise(po) {
+                    Operand::Cell(cc) => cc,
+                    Operand::Const(b) => {
+                        let t = e.alloc();
+                        e.emit(Operand::Const(b), Operand::Const(!b), t);
+                        t
+                    }
+                };
+                output_cells.push(cell);
+            }
+            Program {
+                instructions: e.instructions,
+                num_cells: e.next as usize,
+                input_cells,
+                output_cells,
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The RM3 instruction set and program container.
+
+use std::fmt;
+
+use rlim_rram::CellId;
+
+/// A read operand of an RM3 instruction. The PLiM controller can feed each
+/// of `P` and `Q` either from a memory cell or from a hard-wired constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A constant logic level.
+    Const(bool),
+    /// The current value of a crossbar cell.
+    Cell(CellId),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(false) => write!(f, "0"),
+            Operand::Const(true) => write!(f, "1"),
+            Operand::Cell(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// One RM3 instruction: `Z ← ⟨P, Q̄, Z⟩`.
+///
+/// The destination `Z` is always a cell; its previous content is the third
+/// majority operand, and the result overwrites it (one RRAM write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// First operand, used uncomplemented.
+    pub p: Operand,
+    /// Second operand, complemented by the operation.
+    pub q: Operand,
+    /// Destination cell: third operand and write target.
+    pub z: CellId,
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RM3({}, {}, {})", self.p, self.q, self.z)
+    }
+}
+
+/// A compiled PLiM program.
+///
+/// Produced by `rlim-compiler`; executed by [`crate::Machine`]. The cell
+/// address space is `0..num_cells`. Input cells must be preloaded with the
+/// primary-input values before execution; after execution the primary
+/// outputs are read from `output_cells`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The RM3 instruction sequence.
+    pub instructions: Vec<Instruction>,
+    /// Number of RRAM cells the program addresses (the paper's `#R`).
+    pub num_cells: usize,
+    /// Cells holding the primary inputs at program start, in PI order.
+    pub input_cells: Vec<CellId>,
+    /// Cells holding the primary outputs at program end, in PO order.
+    pub output_cells: Vec<CellId>,
+}
+
+/// A structural problem detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// An instruction or I/O map references a cell `≥ num_cells`.
+    CellOutOfRange {
+        /// Where the reference occurred (human-readable).
+        site: String,
+        /// The offending cell.
+        cell: CellId,
+    },
+    /// Two primary inputs map to the same cell.
+    DuplicateInputCell(CellId),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::CellOutOfRange { site, cell } => {
+                write!(f, "cell {cell} out of range at {site}")
+            }
+            ProgramError::DuplicateInputCell(c) => {
+                write!(f, "duplicate input cell {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// The paper's `#I` metric: number of RM3 instructions.
+    pub fn num_instructions(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// The paper's `#R` metric: number of RRAM cells used.
+    pub fn num_rrams(&self) -> usize {
+        self.num_cells
+    }
+
+    /// Per-cell write counts implied by the destination sequence (static:
+    /// each instruction writes its destination exactly once).
+    pub fn write_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_cells];
+        for inst in &self.instructions {
+            counts[inst.z.index()] += 1;
+        }
+        counts
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found: an out-of-range cell in any
+    /// instruction or I/O map, or a duplicated input cell.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        let check = |site: String, cell: CellId| -> Result<(), ProgramError> {
+            if cell.index() >= self.num_cells {
+                Err(ProgramError::CellOutOfRange { site, cell })
+            } else {
+                Ok(())
+            }
+        };
+        for (i, inst) in self.instructions.iter().enumerate() {
+            if let Operand::Cell(c) = inst.p {
+                check(format!("instruction {i} operand P"), c)?;
+            }
+            if let Operand::Cell(c) = inst.q {
+                check(format!("instruction {i} operand Q"), c)?;
+            }
+            check(format!("instruction {i} destination"), inst.z)?;
+        }
+        let mut seen = vec![false; self.num_cells];
+        for (i, &c) in self.input_cells.iter().enumerate() {
+            check(format!("input {i}"), c)?;
+            if seen[c.index()] {
+                return Err(ProgramError::DuplicateInputCell(c));
+            }
+            seen[c.index()] = true;
+        }
+        for (i, &c) in self.output_cells.iter().enumerate() {
+            check(format!("output {i}"), c)?;
+        }
+        Ok(())
+    }
+
+    /// Human-readable disassembly, one instruction per line.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "; PLiM program: {} instructions, {} cells",
+            self.num_instructions(),
+            self.num_rrams()
+        );
+        for (i, inst) in self.instructions.iter().enumerate() {
+            let _ = writeln!(out, "{i:6}: {inst}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            instructions: vec![Instruction {
+                p: Operand::Cell(CellId::new(0)),
+                q: Operand::Const(true),
+                z: CellId::new(2),
+            }],
+            num_cells: 3,
+            input_cells: vec![CellId::new(0), CellId::new(1)],
+            output_cells: vec![CellId::new(2)],
+        }
+    }
+
+    #[test]
+    fn metrics() {
+        let p = sample();
+        assert_eq!(p.num_instructions(), 1);
+        assert_eq!(p.num_rrams(), 3);
+        assert_eq!(p.write_counts(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut p = sample();
+        p.instructions.push(Instruction {
+            p: Operand::Const(false),
+            q: Operand::Cell(CellId::new(9)),
+            z: CellId::new(0),
+        });
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::CellOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_inputs() {
+        let mut p = sample();
+        p.input_cells.push(CellId::new(0));
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::DuplicateInputCell(CellId::new(0)))
+        );
+    }
+
+    #[test]
+    fn validate_checks_output_range() {
+        let mut p = sample();
+        p.output_cells.push(CellId::new(7));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::CellOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn display_and_disassembly() {
+        let p = sample();
+        assert_eq!(p.instructions[0].to_string(), "RM3(r0, 1, r2)");
+        let text = p.disassemble();
+        assert!(text.contains("1 instructions"));
+        assert!(text.contains("RM3(r0, 1, r2)"));
+        assert_eq!(
+            Instruction {
+                p: Operand::Const(false),
+                q: Operand::Const(true),
+                z: CellId::new(1)
+            }
+            .to_string(),
+            "RM3(0, 1, r1)"
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ProgramError::DuplicateInputCell(CellId::new(4));
+        assert_eq!(e.to_string(), "duplicate input cell r4");
+    }
+}

@@ -1,0 +1,314 @@
+//! The PLiM machine: a controller FSM executing RM3 programs on a crossbar.
+//!
+//! The real PLiM controller is a wrapper around the RRAM array's read/write
+//! peripheral circuitry: it fetches an instruction, reads operands `P` and
+//! `Q` (memory or constants), and performs the majority write on `Z` in the
+//! same array. This model reproduces that behaviour cycle by cycle —
+//! every instruction is exactly one destination write — and surfaces
+//! endurance exhaustion as an error, enabling lifetime experiments.
+
+use rlim_rram::{Crossbar, EnduranceError};
+
+use crate::isa::{Instruction, Operand, Program};
+
+/// Bitwise majority of three booleans.
+#[inline]
+fn maj(a: bool, b: bool, c: bool) -> bool {
+    (a && b) || (a && c) || (b && c)
+}
+
+/// A PLiM machine owning a crossbar array.
+///
+/// The array persists across runs so wear accumulates, which is what the
+/// lifetime experiments need; use [`Machine::for_program`] to start fresh.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    array: Crossbar,
+    cycles: u64,
+}
+
+impl Machine {
+    /// A machine whose array is sized for `program`, without an endurance
+    /// limit. All cells start at logic 0 with zero wear.
+    pub fn for_program(program: &Program) -> Self {
+        let mut array = Crossbar::new();
+        array.grow_to(program.num_cells);
+        Machine { array, cycles: 0 }
+    }
+
+    /// Like [`Machine::for_program`] but cells fail after `limit` writes.
+    pub fn with_endurance(program: &Program, limit: u64) -> Self {
+        let mut array = Crossbar::with_endurance(limit);
+        array.grow_to(program.num_cells);
+        Machine { array, cycles: 0 }
+    }
+
+    /// The underlying crossbar (wear counters, stored values).
+    pub fn array(&self) -> &Crossbar {
+        &self.array
+    }
+
+    /// Total RM3 instructions executed since construction.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Preloads the primary inputs (wear-free, models the RAM load phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != program.input_cells.len()`.
+    pub fn load_inputs(&mut self, program: &Program, inputs: &[bool]) {
+        assert_eq!(
+            inputs.len(),
+            program.input_cells.len(),
+            "input value count must match the program's input cells"
+        );
+        for (&cell, &value) in program.input_cells.iter().zip(inputs) {
+            self.array.preload(cell, value);
+        }
+    }
+
+    /// Executes a single RM3 instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnduranceError`] if the destination cell is worn out; the
+    /// machine state is unchanged in that case.
+    pub fn step(&mut self, inst: &Instruction) -> Result<(), EnduranceError> {
+        let p = self.operand_value(inst.p);
+        let q = self.operand_value(inst.q);
+        let z = self.array.read(inst.z);
+        let result = maj(p, !q, z);
+        self.array.write(inst.z, result)?;
+        self.cycles += 1;
+        Ok(())
+    }
+
+    /// Executes all instructions of `program` in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first endurance failure and returns it.
+    pub fn execute(&mut self, program: &Program) -> Result<(), EnduranceError> {
+        for inst in &program.instructions {
+            self.step(inst)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the primary outputs.
+    pub fn outputs(&self, program: &Program) -> Vec<bool> {
+        program
+            .output_cells
+            .iter()
+            .map(|&c| self.array.read(c))
+            .collect()
+    }
+
+    /// Convenience: load inputs, execute, read outputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first endurance failure.
+    pub fn run(&mut self, program: &Program, inputs: &[bool]) -> Result<Vec<bool>, EnduranceError> {
+        self.load_inputs(program, inputs);
+        self.execute(program)?;
+        Ok(self.outputs(program))
+    }
+
+    fn operand_value(&self, op: Operand) -> bool {
+        match op {
+            Operand::Const(b) => b,
+            Operand::Cell(c) => self.array.read(c),
+        }
+    }
+}
+
+/// Executes `program` once on a fresh array and returns `(outputs, per-cell
+/// write counts)`. The standard entry point for one-shot evaluation.
+pub fn run_once(program: &Program, inputs: &[bool]) -> (Vec<bool>, Vec<u64>) {
+    let mut machine = Machine::for_program(program);
+    let outputs = machine
+        .run(program, inputs)
+        .expect("no endurance limit configured");
+    (outputs, machine.array().write_counts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlim_rram::CellId;
+
+    fn cell(i: u32) -> CellId {
+        CellId::new(i)
+    }
+
+    /// z starts 0; RM3(p=a, q=1, z) computes ⟨a, 0, z⟩ = a ∧ z; with z
+    /// preloaded by a previous set we can build AND/OR; here we check the
+    /// primitive recipes used by the compiler.
+    #[test]
+    fn rm3_primitive_semantics() {
+        let program = Program {
+            instructions: vec![],
+            num_cells: 2,
+            input_cells: vec![cell(0)],
+            output_cells: vec![cell(1)],
+        };
+        let mut m = Machine::for_program(&program);
+        // set1: RM3(1, 0, z) = ⟨1, 1, z⟩ = 1
+        m.step(&Instruction {
+            p: Operand::Const(true),
+            q: Operand::Const(false),
+            z: cell(1),
+        })
+        .unwrap();
+        assert!(m.array().read(cell(1)));
+        // set0: RM3(0, 1, z) = ⟨0, 0, z⟩ = 0
+        m.step(&Instruction {
+            p: Operand::Const(false),
+            q: Operand::Const(true),
+            z: cell(1),
+        })
+        .unwrap();
+        assert!(!m.array().read(cell(1)));
+        // load: with z = 0, RM3(v, 0, z) = ⟨v, 1, 0⟩ = v
+        m.load_inputs(&program, &[true]);
+        m.step(&Instruction {
+            p: Operand::Cell(cell(0)),
+            q: Operand::Const(false),
+            z: cell(1),
+        })
+        .unwrap();
+        assert!(m.array().read(cell(1)));
+        assert_eq!(m.cycles(), 3);
+    }
+
+    #[test]
+    fn load_complement_recipe() {
+        // set1 z; RM3(0, src, z) = ⟨0, !src, 1⟩ = !src
+        let program = Program {
+            instructions: vec![
+                Instruction {
+                    p: Operand::Const(true),
+                    q: Operand::Const(false),
+                    z: cell(1),
+                },
+                Instruction {
+                    p: Operand::Const(false),
+                    q: Operand::Cell(cell(0)),
+                    z: cell(1),
+                },
+            ],
+            num_cells: 2,
+            input_cells: vec![cell(0)],
+            output_cells: vec![cell(1)],
+        };
+        for v in [false, true] {
+            let mut m = Machine::for_program(&program);
+            let out = m.run(&program, &[v]).unwrap();
+            assert_eq!(out, vec![!v]);
+        }
+    }
+
+    #[test]
+    fn rm3_truth_table() {
+        // Exhaustive over p, q, z: result = maj(p, !q, z).
+        for bits in 0..8u32 {
+            let (p, q, z0) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let program = Program {
+                instructions: vec![Instruction {
+                    p: Operand::Const(p),
+                    q: Operand::Const(q),
+                    z: cell(0),
+                }],
+                num_cells: 1,
+                input_cells: vec![],
+                output_cells: vec![cell(0)],
+            };
+            let mut m = Machine::for_program(&program);
+            m.array.preload(cell(0), z0);
+            m.execute(&program).unwrap();
+            let expect = (p && !q) || (p && z0) || (!q && z0);
+            assert_eq!(m.outputs(&program), vec![expect], "p={p} q={q} z={z0}");
+        }
+    }
+
+    #[test]
+    fn wear_accumulates_across_runs() {
+        let program = Program {
+            instructions: vec![Instruction {
+                p: Operand::Const(true),
+                q: Operand::Const(false),
+                z: cell(0),
+            }],
+            num_cells: 1,
+            input_cells: vec![],
+            output_cells: vec![cell(0)],
+        };
+        let mut m = Machine::for_program(&program);
+        for _ in 0..5 {
+            m.run(&program, &[]).unwrap();
+        }
+        assert_eq!(m.array().writes(cell(0)), 5);
+        assert_eq!(m.cycles(), 5);
+    }
+
+    #[test]
+    fn endurance_failure_surfaces() {
+        let program = Program {
+            instructions: vec![Instruction {
+                p: Operand::Const(true),
+                q: Operand::Const(false),
+                z: cell(0),
+            }],
+            num_cells: 1,
+            input_cells: vec![],
+            output_cells: vec![cell(0)],
+        };
+        let mut m = Machine::with_endurance(&program, 3);
+        for _ in 0..3 {
+            m.run(&program, &[]).unwrap();
+        }
+        let err = m.run(&program, &[]).unwrap_err();
+        assert_eq!(err.cell, cell(0));
+        assert_eq!(err.limit, 3);
+    }
+
+    #[test]
+    fn run_once_reports_write_counts() {
+        let program = Program {
+            instructions: vec![
+                Instruction {
+                    p: Operand::Const(true),
+                    q: Operand::Const(false),
+                    z: cell(1),
+                },
+                Instruction {
+                    p: Operand::Const(true),
+                    q: Operand::Const(false),
+                    z: cell(1),
+                },
+            ],
+            num_cells: 2,
+            input_cells: vec![cell(0)],
+            output_cells: vec![cell(1)],
+        };
+        let (out, counts) = run_once(&program, &[false]);
+        assert_eq!(out, vec![true]);
+        assert_eq!(counts, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input value count")]
+    fn load_inputs_checks_arity() {
+        let program = Program {
+            instructions: vec![],
+            num_cells: 1,
+            input_cells: vec![cell(0)],
+            output_cells: vec![],
+        };
+        let mut m = Machine::for_program(&program);
+        m.load_inputs(&program, &[]);
+    }
+}

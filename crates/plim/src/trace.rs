@@ -1,0 +1,204 @@
+//! Execution tracing: per-instruction records of what the machine did to
+//! the array — the observability layer a hardware PLiM controller's debug
+//! port would provide.
+//!
+//! A [`Trace`] records, for every executed instruction, the destination
+//! cell, the value it held before and after, and whether the write
+//! actually switched the device. Traces answer questions the aggregate
+//! write counters cannot: *when* did the hot cell take its writes, and
+//! which instructions were redundant (non-switching) pulses?
+
+use rlim_rram::{CellId, EnduranceError};
+
+use crate::isa::Program;
+use crate::machine::Machine;
+
+/// One executed instruction's effect on the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Index of the instruction in the program.
+    pub pc: usize,
+    /// The destination cell that was written.
+    pub destination: CellId,
+    /// Value stored before the write.
+    pub before: bool,
+    /// Value stored after the write.
+    pub after: bool,
+}
+
+impl TraceRecord {
+    /// Whether this write flipped the device state.
+    pub fn switched(self) -> bool {
+        self.before != self.after
+    }
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Records in execution order, one per instruction.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Number of executed instructions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was executed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of writes that actually switched a device.
+    pub fn switching_writes(&self) -> usize {
+        self.records.iter().filter(|r| r.switched()).count()
+    }
+
+    /// Instruction indices that wrote `cell`, in execution order — the
+    /// cell's wear timeline.
+    pub fn writes_to(&self, cell: CellId) -> Vec<usize> {
+        self.records
+            .iter()
+            .filter(|r| r.destination == cell)
+            .map(|r| r.pc)
+            .collect()
+    }
+
+    /// The longest run of consecutive instructions writing one cell — the
+    /// paper's Fig. 1 pathology (the same destination rewritten
+    /// back-to-back) made measurable.
+    pub fn longest_same_cell_run(&self) -> usize {
+        let mut best = 0usize;
+        let mut run = 0usize;
+        let mut last: Option<CellId> = None;
+        for r in &self.records {
+            if Some(r.destination) == last {
+                run += 1;
+            } else {
+                run = 1;
+                last = Some(r.destination);
+            }
+            best = best.max(run);
+        }
+        best
+    }
+}
+
+impl Machine {
+    /// Like [`Machine::run`], additionally recording a [`Trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EnduranceError`] hit; the trace up to the
+    /// failing instruction is discarded with the error (use
+    /// [`Machine::array`] for post-mortem wear state).
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        inputs: &[bool],
+    ) -> Result<(Vec<bool>, Trace), EnduranceError> {
+        self.load_inputs(program, inputs);
+        let mut trace = Trace::default();
+        for (pc, inst) in program.instructions.iter().enumerate() {
+            let before = self.array().read(inst.z);
+            self.step(inst)?;
+            let after = self.array().read(inst.z);
+            trace.records.push(TraceRecord {
+                pc,
+                destination: inst.z,
+                before,
+                after,
+            });
+        }
+        Ok((self.outputs(program), trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instruction, Operand};
+
+    fn c(i: u32) -> CellId {
+        CellId::new(i)
+    }
+
+    /// Program: r2 ← 0; r2 ← ⟨r0, r̄1, r2⟩ (an AND of r0 and ¬r1… exact
+    /// function irrelevant — we care about the trace).
+    fn sample() -> Program {
+        Program {
+            instructions: vec![
+                Instruction {
+                    p: Operand::Const(false),
+                    q: Operand::Const(true),
+                    z: c(2),
+                },
+                Instruction {
+                    p: Operand::Cell(c(0)),
+                    q: Operand::Cell(c(1)),
+                    z: c(2),
+                },
+            ],
+            num_cells: 3,
+            input_cells: vec![c(0), c(1)],
+            output_cells: vec![c(2)],
+        }
+    }
+
+    #[test]
+    fn trace_records_every_instruction() {
+        let program = sample();
+        let mut machine = Machine::for_program(&program);
+        let (out, trace) = machine.run_traced(&program, &[true, false]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.records[0].pc, 0);
+        assert_eq!(trace.records[1].destination, c(2));
+    }
+
+    #[test]
+    fn switching_writes_counted() {
+        let program = sample();
+        let mut machine = Machine::for_program(&program);
+        let (_, trace) = machine.run_traced(&program, &[true, false]).unwrap();
+        // First write: cell starts false, set to 0 → no switch. Second:
+        // ⟨1, ¬0, 0⟩ = ⟨1,1,0⟩ = 1 → switch.
+        assert_eq!(trace.switching_writes(), 1);
+        assert!(!trace.records[0].switched());
+        assert!(trace.records[1].switched());
+    }
+
+    #[test]
+    fn wear_timeline_per_cell() {
+        let program = sample();
+        let mut machine = Machine::for_program(&program);
+        let (_, trace) = machine.run_traced(&program, &[false, false]).unwrap();
+        assert_eq!(trace.writes_to(c(2)), vec![0, 1]);
+        assert_eq!(trace.writes_to(c(0)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn same_cell_run_detected() {
+        let program = sample();
+        let mut machine = Machine::for_program(&program);
+        let (_, trace) = machine.run_traced(&program, &[false, true]).unwrap();
+        assert_eq!(trace.longest_same_cell_run(), 2);
+        let empty = Trace::default();
+        assert_eq!(empty.longest_same_cell_run(), 0);
+    }
+
+    #[test]
+    fn traced_and_untraced_agree() {
+        let program = sample();
+        for inputs in [[false, false], [false, true], [true, false], [true, true]] {
+            let mut m1 = Machine::for_program(&program);
+            let mut m2 = Machine::for_program(&program);
+            let plain = m1.run(&program, &inputs).unwrap();
+            let (traced, _) = m2.run_traced(&program, &inputs).unwrap();
+            assert_eq!(plain, traced);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The resistive crossbar array model.
+//!
+//! PLiM treats the whole crossbar as one flat address space, so the model is
+//! a growable vector of bipolar resistive switches (BRS). Each cell records
+//! its stored bit and the number of times it has been written. An optional
+//! endurance limit turns over-writing into a hard failure, which the
+//! test-suite uses for failure injection.
+
+use std::fmt;
+
+/// Index of a cell in a [`Crossbar`].
+///
+/// Newtype so cell addresses cannot be confused with MIG node ids or
+/// instruction indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(u32);
+
+impl CellId {
+    /// Creates a cell id from a raw index.
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        CellId(index)
+    }
+
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A write was attempted on a cell whose endurance is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnduranceError {
+    /// The worn-out cell.
+    pub cell: CellId,
+    /// The endurance limit that was exceeded.
+    pub limit: u64,
+}
+
+impl fmt::Display for EnduranceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {} exceeded its endurance limit of {} writes",
+            self.cell, self.limit
+        )
+    }
+}
+
+impl std::error::Error for EnduranceError {}
+
+/// One bipolar resistive switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cell {
+    value: bool,
+    writes: u64,
+    switches: u64,
+}
+
+/// A growable crossbar of RRAM cells with per-cell wear tracking.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_rram::Crossbar;
+///
+/// let mut array = Crossbar::with_endurance(2);
+/// let c = array.alloc(false);
+/// array.write(c, true).unwrap();
+/// array.write(c, true).unwrap(); // same value still wears the cell
+/// assert!(array.write(c, false).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Crossbar {
+    cells: Vec<Cell>,
+    endurance: Option<u64>,
+}
+
+impl Crossbar {
+    /// An empty array without an endurance limit.
+    pub fn new() -> Self {
+        Crossbar::default()
+    }
+
+    /// An empty array whose cells fail after `limit` writes.
+    pub fn with_endurance(limit: u64) -> Self {
+        Crossbar {
+            cells: Vec::new(),
+            endurance: Some(limit),
+        }
+    }
+
+    /// The configured endurance limit, if any.
+    pub fn endurance(&self) -> Option<u64> {
+        self.endurance
+    }
+
+    /// Number of cells in the array.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Appends a cell preloaded with `value`. Preloading does not count as a
+    /// write (the paper's accounting excludes input loading).
+    pub fn alloc(&mut self, value: bool) -> CellId {
+        let id = CellId(u32::try_from(self.cells.len()).expect("crossbar too large"));
+        self.cells.push(Cell {
+            value,
+            writes: 0,
+            switches: 0,
+        });
+        id
+    }
+
+    /// Grows the array to `len` cells, preloading new cells with `false`.
+    pub fn grow_to(&mut self, len: usize) {
+        while self.cells.len() < len {
+            self.alloc(false);
+        }
+    }
+
+    /// Reads a cell's stored bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[inline]
+    pub fn read(&self, cell: CellId) -> bool {
+        self.cells[cell.index()].value
+    }
+
+    /// Writes `value` into `cell`, incrementing its wear counter. RRAM
+    /// programming pulses stress the device regardless of whether the value
+    /// changes, so identical-value writes also count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnduranceError`] when the cell has already reached the
+    /// configured endurance limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn write(&mut self, cell: CellId, value: bool) -> Result<(), EnduranceError> {
+        let c = &mut self.cells[cell.index()];
+        if let Some(limit) = self.endurance {
+            if c.writes >= limit {
+                return Err(EnduranceError { cell, limit });
+            }
+        }
+        if c.value != value {
+            c.switches += 1;
+        }
+        c.value = value;
+        c.writes += 1;
+        Ok(())
+    }
+
+    /// Sets a cell's value **without** counting a write. Models the input
+    /// load phase, which the paper's accounting excludes (the array acts as
+    /// a plain RAM whose contents are given before computation starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[inline]
+    pub fn preload(&mut self, cell: CellId, value: bool) {
+        self.cells[cell.index()].value = value;
+    }
+
+    /// Write count of one cell.
+    #[inline]
+    pub fn writes(&self, cell: CellId) -> u64 {
+        self.cells[cell.index()].writes
+    }
+
+    /// Write counts of every cell, indexed by cell.
+    pub fn write_counts(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.writes).collect()
+    }
+
+    /// Switching count of one cell: programming pulses that actually
+    /// flipped the stored state. Real RRAM wear is dominated by these;
+    /// the compiler's write counts are a conservative upper bound.
+    #[inline]
+    pub fn switches(&self, cell: CellId) -> u64 {
+        self.cells[cell.index()].switches
+    }
+
+    /// Switching counts of every cell, indexed by cell.
+    pub fn switch_counts(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.switches).collect()
+    }
+
+    /// Stored values of every cell, indexed by cell.
+    pub fn values(&self) -> Vec<bool> {
+        self.cells.iter().map(|c| c.value).collect()
+    }
+
+    /// Resets all stored values and wear counters, keeping the cell count.
+    pub fn reset_wear(&mut self) {
+        for c in &mut self.cells {
+            c.writes = 0;
+            c.switches = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_preload_is_not_a_write() {
+        let mut array = Crossbar::new();
+        let c = array.alloc(true);
+        assert!(array.read(c));
+        assert_eq!(array.writes(c), 0);
+    }
+
+    #[test]
+    fn writes_update_value_and_wear() {
+        let mut array = Crossbar::new();
+        let c = array.alloc(false);
+        array.write(c, true).unwrap();
+        assert!(array.read(c));
+        array.write(c, true).unwrap();
+        assert!(array.read(c));
+        array.write(c, false).unwrap();
+        assert!(!array.read(c));
+        assert_eq!(array.writes(c), 3);
+    }
+
+    #[test]
+    fn endurance_limit_enforced() {
+        let mut array = Crossbar::with_endurance(2);
+        let c = array.alloc(false);
+        array.write(c, true).unwrap();
+        array.write(c, false).unwrap();
+        let err = array.write(c, true).unwrap_err();
+        assert_eq!(err.cell, c);
+        assert_eq!(err.limit, 2);
+        // The failed write must not change the stored value or wear.
+        assert!(!array.read(c));
+        assert_eq!(array.writes(c), 2);
+    }
+
+    #[test]
+    fn grow_to_extends_with_zeroes() {
+        let mut array = Crossbar::new();
+        array.alloc(true);
+        array.grow_to(4);
+        assert_eq!(array.len(), 4);
+        assert!(array.read(CellId::new(0)));
+        assert!(!array.read(CellId::new(3)));
+        array.grow_to(2); // never shrinks
+        assert_eq!(array.len(), 4);
+    }
+
+    #[test]
+    fn reset_wear_keeps_values() {
+        let mut array = Crossbar::new();
+        let c = array.alloc(false);
+        array.write(c, true).unwrap();
+        array.reset_wear();
+        assert!(array.read(c));
+        assert_eq!(array.writes(c), 0);
+    }
+
+    #[test]
+    fn switches_only_count_state_changes() {
+        let mut array = Crossbar::new();
+        let c = array.alloc(false);
+        array.write(c, true).unwrap(); // switch
+        array.write(c, true).unwrap(); // redundant pulse
+        array.write(c, false).unwrap(); // switch
+        assert_eq!(array.writes(c), 3);
+        assert_eq!(array.switches(c), 2);
+        assert_eq!(array.switch_counts(), vec![2]);
+        array.reset_wear();
+        assert_eq!(array.switches(c), 0);
+    }
+
+    #[test]
+    fn preload_does_not_switch() {
+        let mut array = Crossbar::new();
+        let c = array.alloc(false);
+        array.preload(c, true);
+        assert_eq!(array.switches(c), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = EnduranceError {
+            cell: CellId::new(3),
+            limit: 10,
+        };
+        assert_eq!(
+            err.to_string(),
+            "cell r3 exceeded its endurance limit of 10 writes"
+        );
+    }
+
+    #[test]
+    fn cell_id_ordering_and_display() {
+        assert!(CellId::new(1) < CellId::new(2));
+        assert_eq!(CellId::new(7).to_string(), "r7");
+        assert_eq!(CellId::new(7).index(), 7);
+    }
+}

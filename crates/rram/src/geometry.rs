@@ -1,0 +1,251 @@
+//! Physical crossbar geometry: mapping the compiler's flat cell space onto
+//! a rows × columns array, and rendering wear maps.
+//!
+//! The PLiM controller wraps a regular RRAM array ([11]): word lines select
+//! a row, bit lines a column, and the flat [`CellId`] space the compiler
+//! works in is laid out row-major across that grid. This module makes the
+//! physical view explicit so wear can be inspected where it actually lands
+//! on silicon.
+
+use std::fmt;
+
+use crate::crossbar::CellId;
+
+/// A rows × columns crossbar layout.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_rram::{CellId, Geometry};
+///
+/// let geo = Geometry::new(4, 8);
+/// assert_eq!(geo.cells(), 32);
+/// let (row, col) = geo.position(CellId::new(11));
+/// assert_eq!((row, col), (1, 3));
+/// assert_eq!(geo.cell_at(1, 3), CellId::new(11));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    rows: usize,
+    cols: usize,
+}
+
+impl Geometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "geometry dimensions must be positive");
+        Geometry { rows, cols }
+    }
+
+    /// The smallest square-ish geometry (cols = next power of two of √n)
+    /// that fits `cells` cells — a reasonable default for visualisation.
+    pub fn square_for(cells: usize) -> Self {
+        let cols = (cells.max(1) as f64).sqrt().ceil() as usize;
+        let cols = cols.next_power_of_two();
+        let rows = cells.max(1).div_ceil(cols);
+        Geometry { rows, cols }
+    }
+
+    /// Number of rows (word lines).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bit lines).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total capacity.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Row-major position of a flat cell id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is beyond the array capacity.
+    pub fn position(&self, cell: CellId) -> (usize, usize) {
+        let i = cell.index();
+        assert!(i < self.cells(), "cell r{i} outside {self}");
+        (i / self.cols, i % self.cols)
+    }
+
+    /// Flat cell id at a row-major position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of range.
+    pub fn cell_at(&self, row: usize, col: usize) -> CellId {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) outside {self}");
+        CellId::new((row * self.cols + col) as u32)
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} crossbar", self.rows, self.cols)
+    }
+}
+
+/// A wear map: per-cell write counts laid out on a [`Geometry`].
+///
+/// Renders as an ASCII heat map (`.` = untouched, `0`–`9` = decile of the
+/// maximum, `#` = the hottest cells) — enough to *see* the hot column a
+/// LIFO allocator produces versus the even field of the minimum-write
+/// strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearMap {
+    geometry: Geometry,
+    counts: Vec<u64>,
+}
+
+impl WearMap {
+    /// Builds a wear map from flat per-cell write counts.
+    ///
+    /// Cells beyond `counts.len()` (the unused tail of the last row) render
+    /// as blanks.
+    pub fn new(geometry: Geometry, counts: Vec<u64>) -> Self {
+        WearMap { geometry, counts }
+    }
+
+    /// Convenience: counts on an automatically sized square geometry.
+    pub fn square(counts: Vec<u64>) -> Self {
+        WearMap {
+            geometry: Geometry::square_for(counts.len()),
+            counts,
+        }
+    }
+
+    /// The layout in use.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The hottest cells, most-written first, as `(cell, writes)` pairs.
+    pub fn hottest(&self, n: usize) -> Vec<(CellId, u64)> {
+        let mut indexed: Vec<(CellId, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (CellId::new(i as u32), c))
+            .collect();
+        indexed.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        indexed.truncate(n);
+        indexed
+    }
+
+    /// Fraction of the array's total wear carried by the hottest `n` cells
+    /// (1.0 when all writes hit `n` or fewer cells).
+    pub fn concentration(&self, n: usize) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.hottest(n).iter().map(|&(_, c)| c).sum();
+        top as f64 / total as f64
+    }
+
+    fn glyph(&self, count: u64, max: u64) -> char {
+        if count == 0 {
+            return '.';
+        }
+        if count == max {
+            return '#';
+        }
+        let decile = (count * 10 / max.max(1)).min(9);
+        char::from_digit(decile as u32, 10).expect("decile < 10")
+    }
+}
+
+impl fmt::Display for WearMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        writeln!(f, "{} (max {} writes)", self.geometry, max)?;
+        for row in 0..self.geometry.rows() {
+            for col in 0..self.geometry.cols() {
+                let i = row * self.geometry.cols() + col;
+                let ch = match self.counts.get(i) {
+                    Some(&c) => self.glyph(c, max),
+                    None => ' ',
+                };
+                write!(f, "{ch}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_round_trip() {
+        let geo = Geometry::new(3, 5);
+        for i in 0..15u32 {
+            let (r, c) = geo.position(CellId::new(i));
+            assert_eq!(geo.cell_at(r, c), CellId::new(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn position_out_of_range_panics() {
+        Geometry::new(2, 2).position(CellId::new(4));
+    }
+
+    #[test]
+    fn square_geometry_fits() {
+        for n in [1usize, 5, 64, 100, 1000] {
+            let geo = Geometry::square_for(n);
+            assert!(geo.cells() >= n, "{n} cells need {geo}");
+            assert!(geo.cols().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn hottest_orders_by_count() {
+        let map = WearMap::square(vec![3, 9, 1, 9, 0]);
+        let top = map.hottest(3);
+        assert_eq!(top[0], (CellId::new(1), 9));
+        assert_eq!(top[1], (CellId::new(3), 9));
+        assert_eq!(top[2], (CellId::new(0), 3));
+    }
+
+    #[test]
+    fn concentration_math() {
+        let map = WearMap::square(vec![8, 1, 1]);
+        assert!((map.concentration(1) - 0.8).abs() < 1e-12);
+        assert!((map.concentration(3) - 1.0).abs() < 1e-12);
+        let empty = WearMap::square(vec![0, 0]);
+        assert_eq!(empty.concentration(1), 0.0);
+    }
+
+    #[test]
+    fn render_shows_hot_and_cold() {
+        let map = WearMap::new(Geometry::new(2, 2), vec![0, 10, 5, 10]);
+        let s = map.to_string();
+        assert!(s.contains(".#"), "cold then hottest: {s}");
+        assert!(s.contains("5#"), "half-worn renders as decile: {s}");
+    }
+
+    #[test]
+    fn render_pads_missing_tail() {
+        let map = WearMap::new(Geometry::new(1, 4), vec![1, 2]);
+        let line = map.to_string().lines().nth(1).unwrap().to_string();
+        assert_eq!(line.len(), 4);
+        assert!(line.ends_with("  "));
+    }
+
+    #[test]
+    fn display_geometry() {
+        assert_eq!(Geometry::new(4, 8).to_string(), "4x8 crossbar");
+    }
+}

@@ -1,0 +1,169 @@
+//! Write-traffic statistics — the paper's evaluation metrics.
+
+use std::fmt;
+
+/// Distribution summary of per-cell write counts.
+///
+/// The paper reports minimum, maximum and the standard deviation of write
+/// counts over all memory cells required to compute a function. We use the
+/// population standard deviation (σ); for the cell-count scales involved the
+/// sample/population distinction is negligible.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_rram::WriteStats;
+///
+/// let stats = WriteStats::from_counts([2, 4, 6, 8]);
+/// assert_eq!(stats.min, 2);
+/// assert_eq!(stats.max, 8);
+/// assert_eq!(stats.mean, 5.0);
+/// assert!((stats.stdev - 5.0_f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteStats {
+    /// Number of cells.
+    pub cells: usize,
+    /// Total writes across all cells.
+    pub total: u64,
+    /// Smallest per-cell write count.
+    pub min: u64,
+    /// Largest per-cell write count.
+    pub max: u64,
+    /// Mean writes per cell.
+    pub mean: f64,
+    /// Population standard deviation of write counts.
+    pub stdev: f64,
+}
+
+impl WriteStats {
+    /// Computes statistics over an iterator of per-cell write counts.
+    ///
+    /// Returns an all-zero summary for an empty iterator.
+    pub fn from_counts<I>(counts: I) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let counts: Vec<u64> = counts.into_iter().collect();
+        if counts.is_empty() {
+            return WriteStats {
+                cells: 0,
+                total: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                stdev: 0.0,
+            };
+        }
+        let cells = counts.len();
+        let total: u64 = counts.iter().sum();
+        let min = *counts.iter().min().expect("non-empty");
+        let max = *counts.iter().max().expect("non-empty");
+        let mean = total as f64 / cells as f64;
+        let var = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / cells as f64;
+        WriteStats {
+            cells,
+            total,
+            min,
+            max,
+            mean,
+            stdev: var.sqrt(),
+        }
+    }
+
+    /// Percentage improvement of this distribution's standard deviation over
+    /// a baseline, as reported in the paper's `impr.` columns
+    /// (`(base − self) / base × 100`; negative when this is worse).
+    pub fn improvement_over(&self, baseline: &WriteStats) -> f64 {
+        if baseline.stdev == 0.0 {
+            if self.stdev == 0.0 {
+                return 0.0;
+            }
+            return f64::NEG_INFINITY;
+        }
+        (baseline.stdev - self.stdev) / baseline.stdev * 100.0
+    }
+}
+
+impl fmt::Display for WriteStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells, {} writes, min/max {}/{}, stdev {:.2}",
+            self.cells, self.total, self.min, self.max, self.stdev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counts() {
+        let s = WriteStats::from_counts(std::iter::empty());
+        assert_eq!(s.cells, 0);
+        assert_eq!(s.stdev, 0.0);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn uniform_counts_have_zero_stdev() {
+        let s = WriteStats::from_counts([5, 5, 5, 5]);
+        assert_eq!(s.stdev, 0.0);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.total, 20);
+    }
+
+    #[test]
+    fn known_distribution() {
+        // counts 0 and 10: mean 5, population variance 25, stdev 5.
+        let s = WriteStats::from_counts([0, 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stdev, 5.0);
+    }
+
+    #[test]
+    fn single_cell() {
+        let s = WriteStats::from_counts([7]);
+        assert_eq!(s.cells, 1);
+        assert_eq!(s.stdev, 0.0);
+        assert_eq!(s.min, 7);
+        assert_eq!(s.max, 7);
+    }
+
+    #[test]
+    fn improvement_sign_convention() {
+        let base = WriteStats::from_counts([0, 10]); // stdev 5
+        let better = WriteStats::from_counts([4, 6]); // stdev 1
+        let worse = WriteStats::from_counts([0, 20]); // stdev 10
+        assert!((better.improvement_over(&base) - 80.0).abs() < 1e-12);
+        assert!((worse.improvement_over(&base) + 100.0).abs() < 1e-12);
+        assert_eq!(base.improvement_over(&base), 0.0);
+    }
+
+    #[test]
+    fn improvement_against_zero_baseline() {
+        let zero = WriteStats::from_counts([3, 3]);
+        let nonzero = WriteStats::from_counts([0, 10]);
+        assert_eq!(zero.improvement_over(&zero), 0.0);
+        assert_eq!(nonzero.improvement_over(&zero), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = WriteStats::from_counts([1, 3]);
+        let text = s.to_string();
+        assert!(text.contains("2 cells"));
+        assert!(text.contains("min/max 1/3"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Device-to-device endurance variability.
+//!
+//! The paper treats endurance as one number (10¹⁰–10¹¹ writes \[5\], \[6\]),
+//! but fabricated RRAM cells scatter around their rating — endurance is
+//! commonly modelled as lognormal across a die. This module samples
+//! per-cell endurance from a lognormal distribution and Monte-Carlo
+//! estimates the *array lifetime distribution* under a program's per-cell
+//! write profile, extending the deterministic model in
+//! [`lifetime`](crate::lifetime).
+//!
+//! The array fails at its weakest (endurance ÷ wear) cell, so variability
+//! interacts with write balance: a balanced profile is hurt less by an
+//! unlucky weak cell because no cell is disproportionately stressed.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Lognormal endurance model: `endurance = median · exp(σ · N(0,1))`.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_rram::variability::EnduranceModel;
+///
+/// let model = EnduranceModel::new(1e10, 0.3);
+/// let samples = model.sample(1000, 42);
+/// assert_eq!(samples.len(), 1000);
+/// assert!(samples.iter().all(|&e| e > 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    /// Median endurance in writes.
+    pub median: f64,
+    /// Lognormal shape parameter σ (0 = deterministic).
+    pub sigma: f64,
+}
+
+impl EnduranceModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `median > 0` and `sigma >= 0`.
+    pub fn new(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median endurance must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        EnduranceModel { median, sigma }
+    }
+
+    /// Samples `n` per-cell endurances, deterministically in `seed`.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| self.median * (self.sigma * standard_normal(&mut rng)).exp())
+            .collect()
+    }
+}
+
+/// One standard-normal variate via Box–Muller.
+fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Summary of a Monte-Carlo lifetime distribution (in program executions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeDistribution {
+    /// Mean lifetime.
+    pub mean: f64,
+    /// 5th percentile — the "guaranteed-ish" lifetime.
+    pub p5: f64,
+    /// Median lifetime.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+/// Monte-Carlo array lifetime under per-cell write counts per execution.
+///
+/// Each trial samples every cell's endurance from `model` and takes the
+/// minimum of `endurance / writes` over cells with non-zero wear. Cells
+/// that are never written cannot fail.
+///
+/// Returns an all-zero distribution if no cell is ever written or
+/// `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_rram::variability::{monte_carlo_lifetime, EnduranceModel};
+///
+/// let model = EnduranceModel::new(1e6, 0.0); // deterministic
+/// let d = monte_carlo_lifetime(&[10, 5, 0], &model, 100, 7);
+/// assert_eq!(d.p50, 1e5); // limited by the 10-writes/execution cell
+/// ```
+pub fn monte_carlo_lifetime(
+    counts_per_execution: &[u64],
+    model: &EnduranceModel,
+    trials: usize,
+    seed: u64,
+) -> LifetimeDistribution {
+    let worn: Vec<u64> = counts_per_execution
+        .iter()
+        .copied()
+        .filter(|&c| c > 0)
+        .collect();
+    if worn.is_empty() || trials == 0 {
+        return LifetimeDistribution {
+            mean: 0.0,
+            p5: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+        };
+    }
+    let mut lifetimes: Vec<f64> = (0..trials)
+        .map(|t| {
+            let endurances = model.sample(worn.len(), seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            worn.iter()
+                .zip(&endurances)
+                .map(|(&w, &e)| e / w as f64)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    lifetimes.sort_by(|a, b| a.partial_cmp(b).expect("finite lifetimes"));
+    let pct = |q: f64| -> f64 {
+        let idx = ((lifetimes.len() - 1) as f64 * q).round() as usize;
+        lifetimes[idx]
+    };
+    LifetimeDistribution {
+        mean: lifetimes.iter().sum::<f64>() / lifetimes.len() as f64,
+        p5: pct(0.05),
+        p50: pct(0.50),
+        p95: pct(0.95),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let model = EnduranceModel::new(1e9, 0.0);
+        let d = monte_carlo_lifetime(&[100, 50], &model, 50, 3);
+        assert_eq!(d.p5, d.p95);
+        assert_eq!(d.p50, 1e7);
+        assert_eq!(d.mean, 1e7);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let model = EnduranceModel::new(1e10, 0.5);
+        assert_eq!(model.sample(10, 7), model.sample(10, 7));
+        assert_ne!(model.sample(10, 7), model.sample(10, 8));
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_the_median() {
+        let model = EnduranceModel::new(1e10, 0.7);
+        let mut samples = model.sample(20_000, 11);
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = samples[samples.len() / 2];
+        assert!(
+            (median / 1e10 - 1.0).abs() < 0.05,
+            "sample median {median:.3e} should be near 1e10"
+        );
+    }
+
+    #[test]
+    fn unwritten_cells_cannot_fail() {
+        let model = EnduranceModel::new(100.0, 0.0);
+        let d = monte_carlo_lifetime(&[0, 0, 4], &model, 10, 1);
+        assert_eq!(d.p50, 25.0);
+        let none = monte_carlo_lifetime(&[0, 0, 0], &model, 10, 1);
+        assert_eq!(none.p50, 0.0);
+    }
+
+    #[test]
+    fn balanced_profiles_live_longer_under_variation() {
+        // Same total writes, one balanced and one with a hot cell.
+        let balanced = vec![10u64; 10];
+        let hot: Vec<u64> = std::iter::once(91u64).chain(std::iter::repeat(1).take(9)).collect();
+        let model = EnduranceModel::new(1e6, 0.4);
+        let db = monte_carlo_lifetime(&balanced, &model, 400, 5);
+        let dh = monte_carlo_lifetime(&hot, &model, 400, 5);
+        assert!(
+            db.p50 > dh.p50 * 2.0,
+            "balanced {:.0} should far outlive hot-celled {:.0}",
+            db.p50,
+            dh.p50
+        );
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let model = EnduranceModel::new(1e8, 0.6);
+        let d = monte_carlo_lifetime(&[3, 9, 27], &model, 300, 2);
+        assert!(d.p5 <= d.p50 && d.p50 <= d.p95);
+        assert!(d.mean > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "median endurance must be positive")]
+    fn zero_median_rejected() {
+        let _ = EnduranceModel::new(0.0, 0.1);
+    }
+}

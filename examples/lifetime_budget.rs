@@ -1,0 +1,67 @@
+//! Provisioning for a lifetime target: given an RRAM endurance rating and a
+//! required number of program executions, sweep the maximum-write budget W
+//! and report the smallest array that meets the target — the deployment
+//! question behind the paper's Table III trade-off.
+//!
+//! ```text
+//! cargo run --release --example lifetime_budget
+//! ```
+
+use rlim::benchmarks::Benchmark;
+use rlim::compiler::{compile, CompileOptions};
+use rlim::rram::lifetime::{executions_until_failure, ENDURANCE_HFOX};
+
+fn main() {
+    let mig = Benchmark::Priority.build();
+    println!(
+        "workload: `priority` ({} PI / {} PO), endurance rating 1e10 (HfOx)\n",
+        mig.num_inputs(),
+        mig.num_outputs()
+    );
+
+    // The deployment target: survive this many program executions.
+    let target_executions: u64 = 2_000_000_000;
+
+    let naive = compile(&mig, &CompileOptions::naive());
+    let naive_life =
+        executions_until_failure(naive.program.write_counts(), ENDURANCE_HFOX);
+    println!(
+        "naive compiler: {} cells, lifetime {naive_life} executions — {}",
+        naive.num_rrams(),
+        if naive_life >= target_executions { "meets target" } else { "FAILS target" }
+    );
+
+    println!("\n  W    #I     #R   max-writes  lifetime(executions)  meets 2e9?");
+    let mut chosen: Option<(u64, usize)> = None;
+    for budget in [100u64, 50, 20, 10, 5, 3] {
+        let r = compile(
+            &mig,
+            &CompileOptions::endurance_aware().with_max_writes(budget),
+        );
+        let counts = r.program.write_counts();
+        let life = executions_until_failure(counts.iter().copied(), ENDURANCE_HFOX);
+        let ok = life >= target_executions;
+        println!(
+            "  {budget:<4} {:<6} {:<5} {:<11} {life:<21} {}",
+            r.num_instructions(),
+            r.num_rrams(),
+            counts.iter().max().copied().unwrap_or(0),
+            if ok { "yes" } else { "no" }
+        );
+        if ok {
+            // Budgets are swept loosest-first, so the last passing budget
+            // is the tightest; remember the *loosest* passing one (fewest
+            // extra cells).
+            chosen.get_or_insert((budget, r.num_rrams()));
+        }
+    }
+
+    match chosen {
+        Some((budget, cells)) => {
+            println!(
+                "\nprovisioning answer: W={budget} meets the target with {cells} cells"
+            );
+        }
+        None => println!("\nno budget meets the target — need a bigger array or better RRAM"),
+    }
+}

@@ -1,0 +1,51 @@
+//! Visualising wear: renders ASCII heat maps of the per-cell write counts
+//! a program leaves on the physical crossbar, under the naive compiler and
+//! under full endurance management. The hot spots the naive compiler burns
+//! into the array are plainly visible.
+//!
+//! ```text
+//! cargo run --release --example wear_map
+//! ```
+
+use rlim::benchmarks::Benchmark;
+use rlim::compiler::{compile, CompileOptions};
+use rlim::rram::{Geometry, WearMap};
+
+fn show(label: &str, options: &CompileOptions, mig: &rlim::mig::Mig) {
+    let result = compile(mig, options);
+    let counts = result.program.write_counts();
+    let geometry = Geometry::square_for(counts.len());
+    let map = WearMap::new(geometry, counts);
+
+    println!("== {label} ==");
+    println!("{map}");
+    println!("hottest cells:");
+    for (cell, writes) in map.hottest(5) {
+        let (row, col) = geometry.position(cell);
+        println!("  r{:<4} at ({row:>2},{col:>2}): {writes} writes", cell.index());
+    }
+    println!(
+        "top-5 cells carry {:.1}% of all wear\n",
+        100.0 * map.concentration(5)
+    );
+}
+
+fn main() {
+    let mig = Benchmark::Cavlc.build();
+    println!(
+        "benchmark `cavlc`: {} gates compiled onto a crossbar\n",
+        mig.num_gates()
+    );
+    println!("legend: '.' untouched, 0-9 wear decile, '#' hottest cell\n");
+
+    show("naive compiler", &CompileOptions::naive(), &mig);
+    show(
+        "full endurance management (W=10)",
+        &CompileOptions::endurance_aware().with_max_writes(10),
+        &mig,
+    );
+
+    println!("The naive map shows a handful of '#'-grade cells doing almost");
+    println!("all the switching; under management the same workload spreads");
+    println!("into a flat field of low deciles.");
+}

@@ -1,0 +1,53 @@
+//! # rlim — Endurance management for resistive logic-in-memory computing
+//!
+//! Facade crate for the `rlim` workspace, a from-scratch Rust reproduction
+//! of *"Endurance Management for Resistive Logic-In-Memory Computing
+//! Architectures"* (Shirinzadeh et al., DATE 2017).
+//!
+//! The workspace re-exported here contains:
+//!
+//! * [`mig`] — Majority-Inverter Graph substrate plus the paper's rewriting
+//!   algorithms (Algorithm 1 = baseline PLiM-compiler schedule, Algorithm 2
+//!   = endurance-aware schedule).
+//! * [`rram`] — RRAM cell, crossbar array, write-traffic statistics and
+//!   lifetime model.
+//! * [`plim`] — the Programmable Logic-in-Memory machine: `RM3` instruction
+//!   set and executor.
+//! * [`compiler`] — the paper's contribution: the endurance-aware MIG→PLiM
+//!   compiler with its allocation policies (LIFO / minimum-write /
+//!   maximum-write) and node-selection policies (topological / area-aware /
+//!   endurance-aware).
+//! * [`imp`] — material-implication (IMPLY) logic-in-memory baseline: the
+//!   §II comparison point whose writes concentrate on work devices.
+//! * [`benchmarks`] — generators for the 18-benchmark evaluation suite.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rlim::compiler::{compile, CompileOptions};
+//! use rlim::mig::Mig;
+//!
+//! // Build a 2-bit adder.
+//! let mut mig = Mig::new(4);
+//! let [a0, a1, b0, b1] = [mig.input(0), mig.input(1), mig.input(2), mig.input(3)];
+//! let (s0, c0) = mig.half_adder(a0, b0);
+//! let (s1, c1) = mig.full_adder(a1, b1, c0);
+//! mig.add_output(s0);
+//! mig.add_output(s1);
+//! mig.add_output(c1);
+//!
+//! // Compile with full endurance management.
+//! let result = compile(&mig, &CompileOptions::endurance_aware());
+//! let stats = result.write_stats();
+//! assert!(stats.max >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rlim_benchmarks as benchmarks;
+pub use rlim_compiler as compiler;
+pub use rlim_imp as imp;
+pub use rlim_mig as mig;
+pub use rlim_plim as plim;
+pub use rlim_rram as rram;

@@ -1,0 +1,89 @@
+//! End-to-end BLIF pipeline: export a benchmark to BLIF, re-import it,
+//! compile both versions, and check functional equivalence all the way to
+//! the machine — the path an external user's circuit takes through the
+//! toolchain.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rlim::benchmarks::Benchmark;
+use rlim::compiler::{compile, CompileOptions};
+use rlim::mig::{blif, equiv_random};
+use rlim::plim::{asm, Machine};
+
+#[test]
+fn blif_round_trip_preserves_benchmarks() {
+    for &b in &[Benchmark::Int2float, Benchmark::Ctrl, Benchmark::Router] {
+        let mig = b.build();
+        let text = blif::write_blif(&mig, b.name());
+        let back = blif::parse_blif(&text).unwrap_or_else(|e| panic!("{b}: {e}"));
+        assert_eq!(back.num_inputs(), mig.num_inputs(), "{b}");
+        assert_eq!(back.num_outputs(), mig.num_outputs(), "{b}");
+        assert!(
+            equiv_random(&mig, &back, 8, b as u64).is_equal(),
+            "{b}: BLIF round trip changed the function"
+        );
+    }
+}
+
+#[test]
+fn imported_circuit_compiles_and_executes() {
+    let mig = Benchmark::Int2float.build();
+    let text = blif::write_blif(&mig, "int2float");
+    let imported = blif::parse_blif(&text).expect("parses");
+    let result = compile(&imported, &CompileOptions::endurance_aware());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB11F);
+    for _ in 0..8 {
+        let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
+        let mut machine = Machine::for_program(&result.program);
+        let got = machine.run(&result.program, &inputs).expect("no limit");
+        assert_eq!(got, mig.evaluate(&inputs), "imported circuit behaves identically");
+    }
+}
+
+#[test]
+fn assembly_round_trip_preserves_compiled_programs() {
+    for &b in &[Benchmark::Int2float, Benchmark::Dec] {
+        let mig = b.build();
+        for options in [CompileOptions::naive(), CompileOptions::endurance_aware()] {
+            let result = compile(&mig, &options);
+            let text = asm::to_text(&result.program);
+            let parsed = asm::parse_text(&text).unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert_eq!(parsed, result.program, "{b}: asm round trip");
+        }
+    }
+}
+
+#[test]
+fn full_text_pipeline_blif_to_plim_to_machine() {
+    // circuit (BLIF text) → MIG → compile → PLiM assembly text → parse →
+    // execute. Nothing but text artefacts between the stages.
+    let blif_text = "\
+.model vote3
+.inputs a b c
+.outputs maj odd
+.names a b c maj
+11- 1
+1-1 1
+-11 1
+.names a b x
+10 1
+01 1
+.names x c odd
+10 1
+01 1
+.end
+";
+    let mig = blif::parse_blif(blif_text).expect("parses");
+    let result = compile(&mig, &CompileOptions::endurance_aware());
+    let plim_text = asm::to_text(&result.program);
+    let program = asm::parse_text(&plim_text).expect("parses back");
+
+    for bits in 0..8u32 {
+        let inputs: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+        let ones = inputs.iter().filter(|&&x| x).count();
+        let mut machine = Machine::for_program(&program);
+        let out = machine.run(&program, &inputs).expect("no limit");
+        assert_eq!(out[0], ones >= 2, "majority, bits={bits:03b}");
+        assert_eq!(out[1], ones % 2 == 1, "parity, bits={bits:03b}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-crate checks of the IMP baseline against the RM3 flow: both
+//! compute the same functions, and the paper's §II claims about their
+//! relative costs hold on the benchmark suite.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rlim::benchmarks::Benchmark;
+use rlim::compiler::{compile, CompileOptions};
+use rlim::imp::{synthesize, ImpMachine, ImpSynthOptions};
+use rlim::plim::Machine;
+use rlim::rram::WriteStats;
+
+#[test]
+fn imp_and_rm3_agree_on_benchmarks() {
+    for &b in &[Benchmark::Int2float, Benchmark::Ctrl, Benchmark::Router] {
+        let mig = b.build();
+        let imp = synthesize(&mig, &ImpSynthOptions::min_write());
+        let rm3 = compile(&mig, &CompileOptions::min_write().with_effort(0));
+        let mut rng = ChaCha8Rng::seed_from_u64(0x1111 ^ b as u64);
+        for _ in 0..4 {
+            let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
+            let expect = mig.evaluate(&inputs);
+            let mut imp_machine = ImpMachine::for_program(&imp);
+            assert_eq!(imp_machine.run(&imp, &inputs).expect("no limit"), expect, "{b} IMP");
+            let mut plim_machine = Machine::for_program(&rm3.program);
+            assert_eq!(
+                plim_machine.run(&rm3.program, &inputs).expect("no limit"),
+                expect,
+                "{b} RM3"
+            );
+        }
+    }
+}
+
+#[test]
+fn rm3_needs_fewer_operations_than_imp() {
+    // §II / [19]: RM3 beats IMP on operation count; on these circuits the
+    // factor is at least 1.5× everywhere.
+    for &b in Benchmark::small() {
+        let mig = b.build();
+        let imp = synthesize(&mig, &ImpSynthOptions::min_write());
+        let rm3 = compile(&mig, &CompileOptions::min_write().with_effort(0));
+        assert!(
+            imp.num_ops() as f64 >= 1.5 * rm3.num_instructions() as f64,
+            "{b}: IMP {} ops vs RM3 {} instructions",
+            imp.num_ops(),
+            rm3.num_instructions()
+        );
+    }
+}
+
+#[test]
+fn imp_concentrates_writes_harder_than_rm3() {
+    // The work-cell effect: under the same allocation policy, IMP's
+    // maximum per-cell write count is at least as high as RM3's on every
+    // small benchmark (strictly higher on most).
+    let mut strictly_higher = 0;
+    for &b in Benchmark::small() {
+        let mig = b.build();
+        let imp = synthesize(&mig, &ImpSynthOptions::min_write());
+        let rm3 = compile(&mig, &CompileOptions::min_write().with_effort(0));
+        let imp_stats = WriteStats::from_counts(imp.write_counts());
+        let rm3_stats = rm3.write_stats();
+        assert!(
+            imp_stats.max >= rm3_stats.max,
+            "{b}: IMP max {} vs RM3 max {}",
+            imp_stats.max,
+            rm3_stats.max
+        );
+        if imp_stats.max > rm3_stats.max {
+            strictly_higher += 1;
+        }
+    }
+    assert!(strictly_higher >= 4, "IMP should be strictly worse on most");
+}
+
+#[test]
+fn imp_endurance_failure_injection() {
+    // With a tight endurance limit the IMP program dies on its hottest
+    // work cell; the RM3 program with the same limit survives.
+    let mig = Benchmark::Int2float.build();
+    let imp = synthesize(&mig, &ImpSynthOptions::min_write());
+    let rm3 = compile(&mig, &CompileOptions::min_write().with_effort(0));
+    let imp_max = WriteStats::from_counts(imp.write_counts()).max;
+    let rm3_max = rm3.write_stats().max;
+    assert!(imp_max > rm3_max, "test premise");
+    let limit = rm3_max; // enough for RM3, not for IMP
+
+    let inputs = vec![false; mig.num_inputs()];
+    let mut imp_machine = ImpMachine::with_endurance(&imp, limit);
+    assert!(imp_machine.run(&imp, &inputs).is_err(), "IMP exhausts a cell");
+
+    let mut plim_machine = Machine::with_endurance(&rm3.program, limit);
+    assert!(plim_machine.run(&rm3.program, &inputs).is_ok(), "RM3 survives");
+}

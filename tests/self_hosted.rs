@@ -1,0 +1,75 @@
+//! Cross-crate tests of the self-hosted PLiM controller: real compiled
+//! programs, hosted in the crossbar and executed by the FSM, must agree
+//! with the external machine and with MIG evaluation.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rlim::benchmarks::Benchmark;
+use rlim::compiler::{compile, CompileOptions};
+use rlim::plim::{Controller, Machine, State};
+
+#[test]
+fn hosted_execution_matches_machine_on_benchmarks() {
+    for &b in &[Benchmark::Int2float, Benchmark::Ctrl, Benchmark::Cavlc] {
+        let mig = b.build();
+        let result = compile(&mig, &CompileOptions::endurance_aware());
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5E1F ^ b as u64);
+        for _ in 0..4 {
+            let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
+            let mut machine = Machine::for_program(&result.program);
+            let external = machine.run(&result.program, &inputs).expect("no limit");
+            let mut controller = Controller::host(&result.program).expect("hosts");
+            let hosted = controller.run(&inputs).expect("no limit");
+            assert_eq!(hosted, external, "{b}");
+            assert_eq!(hosted, mig.evaluate(&inputs), "{b} vs golden model");
+            assert_eq!(controller.state(), State::Halted);
+        }
+    }
+}
+
+#[test]
+fn controller_cycle_model_is_six_per_instruction() {
+    let mig = Benchmark::Int2float.build();
+    let result = compile(&mig, &CompileOptions::naive());
+    let mut controller = Controller::host(&result.program).expect("hosts");
+    controller.run(&vec![false; mig.num_inputs()]).expect("no limit");
+    assert_eq!(
+        controller.cycles(),
+        6 * result.num_instructions() as u64,
+        "fetch×3 + read×2 + execute per RM3"
+    );
+}
+
+#[test]
+fn program_image_overhead_is_reported_in_the_array() {
+    let mig = Benchmark::Ctrl.build();
+    let result = compile(&mig, &CompileOptions::endurance_aware());
+    let controller = Controller::host(&result.program).expect("hosts");
+    let data_cells = result.num_rrams();
+    assert_eq!(controller.code_base(), data_cells);
+    assert!(
+        controller.array().len() > data_cells,
+        "instruction region allocated above the data region"
+    );
+    // Program-load wear: every code cell written exactly once before
+    // execution starts.
+    let counts = controller.array().write_counts();
+    assert!(counts[data_cells..].iter().all(|&w| w == 1));
+}
+
+#[test]
+fn data_region_wear_identical_to_external_machine() {
+    let mig = Benchmark::Int2float.build();
+    let result = compile(&mig, &CompileOptions::min_write());
+    let inputs = vec![true; mig.num_inputs()];
+
+    let mut machine = Machine::for_program(&result.program);
+    machine.run(&result.program, &inputs).expect("no limit");
+    let external = machine.array().write_counts();
+
+    let mut controller = Controller::host(&result.program).expect("hosts");
+    controller.run(&inputs).expect("no limit");
+    let hosted = controller.array().write_counts();
+
+    assert_eq!(&hosted[..result.num_rrams()], &external[..]);
+}
