@@ -56,5 +56,10 @@ fn bench_blif_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_imp_synthesis, bench_imp_execution, bench_blif_round_trip);
+criterion_group!(
+    benches,
+    bench_imp_synthesis,
+    bench_imp_execution,
+    bench_blif_round_trip
+);
 criterion_main!(benches);

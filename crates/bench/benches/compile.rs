@@ -15,7 +15,10 @@ fn policy_columns() -> Vec<(&'static str, CompileOptions)> {
         ("min_write", CompileOptions::min_write()),
         ("ea_rewriting", CompileOptions::endurance_rewriting()),
         ("ea_full", CompileOptions::endurance_aware()),
-        ("max_write_10", CompileOptions::endurance_aware().with_max_writes(10)),
+        (
+            "max_write_10",
+            CompileOptions::endurance_aware().with_max_writes(10),
+        ),
     ]
 }
 
@@ -24,11 +27,9 @@ fn bench_compile_policies(c: &mut Criterion) {
     for &bench in &[Benchmark::Cavlc, Benchmark::Priority, Benchmark::Dec] {
         let mig = bench.build();
         for (label, options) in policy_columns() {
-            group.bench_with_input(
-                BenchmarkId::new(label, bench.name()),
-                &mig,
-                |b, mig| b.iter(|| compile(black_box(mig), &options)),
-            );
+            group.bench_with_input(BenchmarkId::new(label, bench.name()), &mig, |b, mig| {
+                b.iter(|| compile(black_box(mig), &options))
+            });
         }
     }
     group.finish();

@@ -31,7 +31,9 @@ fn bench_execution(c: &mut Criterion) {
             |b, program| {
                 b.iter(|| {
                     let mut machine = Machine::with_endurance(program, u64::MAX);
-                    machine.run(program, black_box(&inputs)).expect("huge limit")
+                    machine
+                        .run(program, black_box(&inputs))
+                        .expect("huge limit")
                 })
             },
         );

@@ -88,7 +88,7 @@ fn multiply(mig: &mut Mig, a: &[Signal], b: &[Signal]) -> Vec<Signal> {
     let mut acc: Vec<Signal> = vec![Signal::FALSE; wa + wb];
     for (j, &bj) in b.iter().enumerate() {
         let row: Vec<Signal> = a.iter().map(|&ai| mig.and(ai, bj)).collect();
-        let (sum, carry) = ripple_add(mig, &acc[j..j + wa].to_vec(), &row, Signal::FALSE);
+        let (sum, carry) = ripple_add(mig, &acc[j..j + wa], &row, Signal::FALSE);
         acc[j..j + wa].copy_from_slice(&sum);
         // Bits above j + wa are still untouched zeros, so the row's carry
         // lands in an empty slot.

@@ -94,7 +94,9 @@ impl Benchmark {
     /// The random-control half of the suite (Table I's lower block).
     pub fn control() -> &'static [Benchmark] {
         use Benchmark::*;
-        &[Cavlc, Ctrl, Dec, I2c, Int2float, MemCtrl, Priority, Router, Voter]
+        &[
+            Cavlc, Ctrl, Dec, I2c, Int2float, MemCtrl, Priority, Router, Voter,
+        ]
     }
 
     /// A small subset that compiles in milliseconds — used by tests and

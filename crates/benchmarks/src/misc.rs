@@ -20,7 +20,10 @@ use crate::words::{
 ///
 /// Panics unless `width` is a power of two.
 pub fn bar_with_width(width: usize) -> Mig {
-    assert!(width.is_power_of_two(), "barrel width must be a power of two");
+    assert!(
+        width.is_power_of_two(),
+        "barrel width must be a power of two"
+    );
     let shift_bits = width.trailing_zeros() as usize;
     let mut mig = Mig::new(width + shift_bits);
     let data = input_word(&mig, 0, width);
@@ -145,7 +148,10 @@ pub fn dec() -> Mig {
 ///
 /// Panics unless `n` is a power of two.
 pub fn priority_with_inputs(n: usize) -> Mig {
-    assert!(n.is_power_of_two(), "priority encoder size must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "priority encoder size must be a power of two"
+    );
     let index_bits = n.trailing_zeros() as usize;
     let mut mig = Mig::new(n);
     let req = input_word(&mig, 0, n);
@@ -201,7 +207,7 @@ pub fn int2float() -> Mig {
 
     // Leading-one detection from the MSB down.
     let mut seen = Signal::FALSE;
-    let mut leading = vec![Signal::FALSE; MAG_BITS];
+    let mut leading = [Signal::FALSE; MAG_BITS];
     for p in (0..MAG_BITS).rev() {
         leading[p] = mig.and(mag[p], !seen);
         seen = mig.or(seen, mag[p]);
@@ -294,7 +300,10 @@ mod tests {
             let got_idx = from_bits(&out[width..]);
             let expect_max = *vals.iter().max().unwrap();
             assert_eq!(got_max, expect_max, "vals={vals:?}");
-            assert_eq!(vals[got_idx as usize], expect_max, "index points at a maximum");
+            assert_eq!(
+                vals[got_idx as usize], expect_max,
+                "index points at a maximum"
+            );
         }
     }
 

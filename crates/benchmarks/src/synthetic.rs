@@ -35,6 +35,9 @@ impl SyntheticProfile {
     }
 }
 
+// One argument per `RandomMigConfig` knob; bundling them would only move
+// the noise to every call site.
+#[allow(clippy::too_many_arguments)]
 fn profile(
     name: &'static str,
     seed: u64,

@@ -67,8 +67,17 @@ pub fn full_adder_gate_level(mig: &mut Mig, a: Signal, b: Signal, c: Signal) -> 
 /// # Panics
 ///
 /// Panics if the operand widths differ.
-pub fn ripple_add(mig: &mut Mig, a: &[Signal], b: &[Signal], carry_in: Signal) -> (Vec<Signal>, Signal) {
-    assert_eq!(a.len(), b.len(), "ripple_add operands must have equal width");
+pub fn ripple_add(
+    mig: &mut Mig,
+    a: &[Signal],
+    b: &[Signal],
+    carry_in: Signal,
+) -> (Vec<Signal>, Signal) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "ripple_add operands must have equal width"
+    );
     let mut carry = carry_in;
     let mut sum = Vec::with_capacity(a.len());
     for (&x, &y) in a.iter().zip(b) {
@@ -108,8 +117,17 @@ pub fn increment(mig: &mut Mig, a: &[Signal]) -> (Vec<Signal>, Signal) {
 /// # Panics
 ///
 /// Panics if the word widths differ.
-pub fn mux_word(mig: &mut Mig, sel: Signal, then_word: &[Signal], else_word: &[Signal]) -> Vec<Signal> {
-    assert_eq!(then_word.len(), else_word.len(), "mux_word widths must match");
+pub fn mux_word(
+    mig: &mut Mig,
+    sel: Signal,
+    then_word: &[Signal],
+    else_word: &[Signal],
+) -> Vec<Signal> {
+    assert_eq!(
+        then_word.len(),
+        else_word.len(),
+        "mux_word widths must match"
+    );
     then_word
         .iter()
         .zip(else_word)
@@ -213,7 +231,9 @@ pub fn rotate_left_barrel(mig: &mut Mig, a: &[Signal], shift: &[Signal]) -> Vec<
             // where log2(width) stages suffice).
             continue;
         }
-        let rotated: Vec<Signal> = (0..width).map(|i| word[(i + width - amount % width) % width]).collect();
+        let rotated: Vec<Signal> = (0..width)
+            .map(|i| word[(i + width - amount % width) % width])
+            .collect();
         word = mux_word(mig, bit, &rotated, &word);
     }
     word
@@ -300,12 +320,7 @@ mod tests {
         for _ in 0..50 {
             let a: u64 = rng.gen::<u64>() & 0xffff;
             let b: u64 = rng.gen::<u64>() & 0xffff;
-            let got = eval2(
-                16,
-                |mig, x, y| ripple_add(mig, x, y, Signal::FALSE).0,
-                a,
-                b,
-            );
+            let got = eval2(16, |mig, x, y| ripple_add(mig, x, y, Signal::FALSE).0, a, b);
             assert_eq!(got, (a + b) & 0xffff);
         }
     }
@@ -340,12 +355,7 @@ mod tests {
     #[test]
     fn sub_no_borrow_flag_is_geq() {
         for (a, b) in [(5u64, 3u64), (3, 5), (7, 7), (0, 1), (255, 0)] {
-            let got = eval2(
-                8,
-                |mig, x, y| vec![ripple_sub(mig, x, y).1],
-                a,
-                b,
-            );
+            let got = eval2(8, |mig, x, y| vec![ripple_sub(mig, x, y).1], a, b);
             assert_eq!(got == 1, a >= b, "a={a} b={b}");
         }
     }
@@ -362,7 +372,12 @@ mod tests {
         for v in 0..16u64 {
             let inputs: Vec<bool> = (0..4).map(|i| (v >> i) & 1 == 1).collect();
             let out = mig.evaluate(&inputs);
-            let got: u64 = out.iter().take(4).enumerate().map(|(i, &b)| (b as u64) << i).sum();
+            let got: u64 = out
+                .iter()
+                .take(4)
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
             assert_eq!(got, (v + 1) & 0xf);
             assert_eq!(out[4], v == 15, "carry at v={v}");
         }
@@ -428,7 +443,10 @@ mod tests {
     fn fixed_shift() {
         let w = constant_word(0b0110, 6);
         let shifted = shift_left_fixed(&w, 2);
-        let as_bits: Vec<bool> = shifted.iter().map(|s| s.constant_value().unwrap()).collect();
+        let as_bits: Vec<bool> = shifted
+            .iter()
+            .map(|s| s.constant_value().unwrap())
+            .collect();
         assert_eq!(as_bits, vec![false, false, false, true, true, false]);
     }
 
@@ -453,7 +471,7 @@ mod tests {
                 .collect();
             let out = mig.evaluate(&inputs);
             let got: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
-            let expect = ((v << sh) | (v >> (16 - sh) % 16)) & 0xffff;
+            let expect = ((v << sh) | (v >> ((16 - sh) % 16))) & 0xffff;
             let expect = if sh == 0 { v } else { expect };
             assert_eq!(got, expect, "v={v:#x} sh={sh}");
         }

@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use rlim_benchmarks::words::{
-    self, constant_word, input_word, mux_word, popcount, ripple_add, ripple_sub,
-    rotate_left_barrel,
+    self, constant_word, input_word, mux_word, popcount, ripple_add, ripple_sub, rotate_left_barrel,
 };
 use rlim_mig::{Mig, Signal};
 

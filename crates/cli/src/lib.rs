@@ -214,8 +214,8 @@ fn cmd_compile(args: &[String]) -> Result<String, CliError> {
     let [path] = opts.positional.as_slice() else {
         return Err(CliError::usage("compile needs exactly one BLIF file"));
     };
-    let text =
-        fs::read_to_string(path).map_err(|e| CliError::run(format!("cannot read `{path}`: {e}")))?;
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::run(format!("cannot read `{path}`: {e}")))?;
     let mig = blif::parse_blif(&text).map_err(|e| CliError::run(format!("{path}: {e}")))?;
     compile_report(&mig, &opts, path)
 }
@@ -223,7 +223,9 @@ fn cmd_compile(args: &[String]) -> Result<String, CliError> {
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let opts = parse_common(args)?;
     let [name] = opts.positional.as_slice() else {
-        return Err(CliError::usage("bench needs exactly one benchmark name (see `rlim list`)"));
+        return Err(CliError::usage(
+            "bench needs exactly one benchmark name (see `rlim list`)",
+        ));
     };
     let benchmark: Benchmark = name
         .parse()
@@ -233,8 +235,8 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
 }
 
 fn load_program(path: &str) -> Result<Program, CliError> {
-    let text =
-        fs::read_to_string(path).map_err(|e| CliError::run(format!("cannot read `{path}`: {e}")))?;
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::run(format!("cannot read `{path}`: {e}")))?;
     let program = asm::parse_text(&text).map_err(|e| CliError::run(format!("{path}: {e}")))?;
     program
         .validate()
@@ -367,11 +369,15 @@ mod tests {
     fn bench_rejects_unknown_name_and_policy() {
         assert_eq!(run_str(&["bench", "nonesuch"]).unwrap_err().code, 2);
         assert_eq!(
-            run_str(&["bench", "dec", "--policy", "yolo"]).unwrap_err().code,
+            run_str(&["bench", "dec", "--policy", "yolo"])
+                .unwrap_err()
+                .code,
             2
         );
         assert_eq!(
-            run_str(&["bench", "dec", "--max-writes", "1"]).unwrap_err().code,
+            run_str(&["bench", "dec", "--max-writes", "1"])
+                .unwrap_err()
+                .code,
             2
         );
     }
@@ -404,11 +410,15 @@ mod tests {
             ".cells 2\n.inputs r0\n.outputs r1\nRM3 0 1 r1\n",
         );
         assert_eq!(
-            run_str(&["run", &plim_path, "--inputs", "101"]).unwrap_err().code,
+            run_str(&["run", &plim_path, "--inputs", "101"])
+                .unwrap_err()
+                .code,
             2
         );
         assert_eq!(
-            run_str(&["run", &plim_path, "--inputs", "x"]).unwrap_err().code,
+            run_str(&["run", &plim_path, "--inputs", "x"])
+                .unwrap_err()
+                .code,
             2
         );
         remove_temp(&plim_path);

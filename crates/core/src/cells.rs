@@ -64,7 +64,8 @@ impl CellManager {
     pub fn record_write(&mut self, cell: CellId) {
         self.writes[cell.index()] += 1;
         debug_assert!(
-            self.max_writes.is_none_or(|w| self.writes[cell.index()] <= w),
+            self.max_writes
+                .is_none_or(|w| self.writes[cell.index()] <= w),
             "write budget violated on {cell}"
         );
     }
@@ -263,7 +264,7 @@ mod tests {
         write_n(&mut m, b, 3);
         m.release(a);
         m.release(b); // stack: [a, b], top = b
-        // budget 2: b (3+2>4) does not fit, a (1+2≤4) does.
+                      // budget 2: b (3+2>4) does not fit, a (1+2≤4) does.
         assert_eq!(m.alloc(2), a);
     }
 

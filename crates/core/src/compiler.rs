@@ -194,7 +194,8 @@ impl<'a> Compiler<'a> {
 
         // Resolve primary outputs; complemented or constant outputs need a
         // materialisation cell (shared per distinct signal).
-        let mut po_cache: std::collections::HashMap<Signal, CellId> = std::collections::HashMap::new();
+        let mut po_cache: std::collections::HashMap<Signal, CellId> =
+            std::collections::HashMap::new();
         let outputs: Vec<Signal> = self.mig.outputs().to_vec();
         let mut output_cells = Vec::with_capacity(outputs.len());
         for s in outputs {
@@ -310,8 +311,14 @@ impl<'a> Compiler<'a> {
         let ch = self.mig.children(n);
 
         // Enumerate all six role assignments; keep the cheapest.
-        const PERMS: [(usize, usize, usize); 6] =
-            [(0, 1, 2), (0, 2, 1), (1, 0, 2), (1, 2, 0), (2, 0, 1), (2, 1, 0)];
+        const PERMS: [(usize, usize, usize); 6] = [
+            (0, 1, 2),
+            (0, 2, 1),
+            (1, 0, 2),
+            (1, 2, 0),
+            (2, 0, 1),
+            (2, 1, 0),
+        ];
         let mut best: Option<(Cost, ReadPlan, ReadPlan, DestPlan)> = None;
         for (pi, qi, zi) in PERMS {
             let ((ip, cp), p_plan) = self.plan_p(ch[pi]);
@@ -380,7 +387,9 @@ impl<'a> Compiler<'a> {
                         self.cells.release(cell);
                     }
                 }
-                1 => self.scheduler.child_now_single(child, &self.fanout_remaining),
+                1 => self
+                    .scheduler
+                    .child_now_single(child, &self.fanout_remaining),
                 _ => {}
             }
         }

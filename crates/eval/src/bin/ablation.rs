@@ -45,8 +45,16 @@ fn main() {
         ];
     }
 
-    let rewritings = [None, Some(Algorithm::PlimCompiler), Some(Algorithm::EnduranceAware)];
-    let selections = [Selection::Topological, Selection::AreaAware, Selection::EnduranceAware];
+    let rewritings = [
+        None,
+        Some(Algorithm::PlimCompiler),
+        Some(Algorithm::EnduranceAware),
+    ];
+    let selections = [
+        Selection::Topological,
+        Selection::AreaAware,
+        Selection::EnduranceAware,
+    ];
     let allocations = [Allocation::Lifo, Allocation::MinWrite];
 
     for &b in &plan.benchmarks {

@@ -85,10 +85,22 @@ fn show(label: &str, mig: &Mig, options: &CompileOptions) {
 fn main() {
     println!("== Fig. 1: repeated in-place destination (area/latency pressure) ==");
     let fig1 = figure1();
-    println!("MIG: {} gates, {} complemented edges", fig1.num_gates(), fig1.total_complemented_edges());
-    show("PLiM compiler [21]:", &fig1, &CompileOptions::plim_compiler());
+    println!(
+        "MIG: {} gates, {} complemented edges",
+        fig1.num_gates(),
+        fig1.total_complemented_edges()
+    );
+    show(
+        "PLiM compiler [21]:",
+        &fig1,
+        &CompileOptions::plim_compiler(),
+    );
     show("+ min-write:", &fig1, &CompileOptions::min_write());
-    show("+ max-write W=3:", &fig1, &CompileOptions::min_write().with_max_writes(3));
+    show(
+        "+ max-write W=3:",
+        &fig1,
+        &CompileOptions::min_write().with_max_writes(3),
+    );
     println!();
     println!("The [21] column shows one hot cell absorbing the A→B→C chain;");
     println!("the W=3 budget forces fresh destinations at the cost of extra");
@@ -97,8 +109,16 @@ fn main() {
     println!("== Fig. 2: blocked RRAM (long storage duration) ==");
     let fig2 = figure2();
     println!("MIG: {} gates, depth {}", fig2.num_gates(), fig2.depth());
-    show("area-aware selection [21]:", &fig2, &CompileOptions::min_write());
-    show("endurance-aware (Alg. 3):", &fig2, &CompileOptions::endurance_aware());
+    show(
+        "area-aware selection [21]:",
+        &fig2,
+        &CompileOptions::min_write(),
+    );
+    show(
+        "endurance-aware (Alg. 3):",
+        &fig2,
+        &CompileOptions::endurance_aware(),
+    );
     println!();
     println!("Algorithm 3 computes the short-lived nodes (B, C) before the");
     println!("blocked node A, narrowing the gap between the most- and");

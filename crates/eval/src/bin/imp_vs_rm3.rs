@@ -59,7 +59,11 @@ fn main() {
         sums[2] += imp.num_rrams() as f64;
         sums[3] += rm3.num_rrams() as f64;
         sums[4] += ratio;
-        eprintln!("[{b}] IMP {} ops vs RM3 {} instructions", imp.num_ops(), rm3.num_instructions());
+        eprintln!(
+            "[{b}] IMP {} ops vs RM3 {} instructions",
+            imp.num_ops(),
+            rm3.num_instructions()
+        );
     }
 
     let n = plan.benchmarks.len().max(1) as f64;

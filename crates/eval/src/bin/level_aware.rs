@@ -59,8 +59,17 @@ fn main() {
     }
 
     let mut table = TextTable::new([
-        "benchmark", "algorithm", "gates", "depth", "gap", "#I", "#R", "max", "STDEV",
-        "mean span", "max blockage",
+        "benchmark",
+        "algorithm",
+        "gates",
+        "depth",
+        "gap",
+        "#I",
+        "#R",
+        "max",
+        "STDEV",
+        "mean span",
+        "max blockage",
     ]);
     for &b in &plan.benchmarks {
         let mig = b.build();

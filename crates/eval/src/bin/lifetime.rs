@@ -30,11 +30,7 @@ fn main() {
         ];
     }
 
-    let columns = [
-        Column::Naive,
-        Column::EnduranceAware,
-        Column::MaxWrite(10),
-    ];
+    let columns = [Column::Naive, Column::EnduranceAware, Column::MaxWrite(10)];
 
     let mut table = TextTable::new([
         "benchmark",
@@ -81,7 +77,12 @@ fn main() {
     // (σ = 0.5) around the rating — device-to-device variability.
     let model = EnduranceModel::new(ENDURANCE_HFOX as f64, 0.5);
     let mut mc = TextTable::new([
-        "benchmark", "config", "p5", "median", "p95", "median vs naive",
+        "benchmark",
+        "config",
+        "p5",
+        "median",
+        "p95",
+        "median vs naive",
     ]);
     for &b in &plan.benchmarks {
         let mig = b.build();

@@ -32,7 +32,14 @@ fn paper_naive(b: Benchmark) -> (usize, usize) {
 fn main() {
     let plan = RunPlan::from_env();
     let mut table = TextTable::new([
-        "benchmark", "PI/PO", "gates", "#I naive", "#I paper", "ratio", "#R naive", "#R paper",
+        "benchmark",
+        "PI/PO",
+        "gates",
+        "#I naive",
+        "#I paper",
+        "ratio",
+        "#R naive",
+        "#R paper",
         "secs",
     ]);
     for &b in &plan.benchmarks {

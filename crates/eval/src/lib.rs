@@ -188,7 +188,10 @@ pub struct BenchmarkReport {
 impl BenchmarkReport {
     /// Looks up one column's measurement.
     pub fn get(&self, column: Column) -> Option<&Measurement> {
-        self.columns.iter().find(|(c, _)| *c == column).map(|(_, m)| m)
+        self.columns
+            .iter()
+            .find(|(c, _)| *c == column)
+            .map(|(_, m)| m)
     }
 }
 
@@ -349,9 +352,8 @@ mod tests {
 
     #[test]
     fn plan_parses_bench_list_and_effort() {
-        let plan =
-            RunPlan::from_args(["--bench", "adder,dec", "--effort", "2"].map(String::from))
-                .unwrap();
+        let plan = RunPlan::from_args(["--bench", "adder,dec", "--effort", "2"].map(String::from))
+            .unwrap();
         assert_eq!(plan.benchmarks, vec![Benchmark::Adder, Benchmark::Dec]);
         assert_eq!(plan.effort, 2);
     }

@@ -91,7 +91,11 @@ impl fmt::Display for ImpProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImpProgramError::CellOutOfRange { op, cell } => {
-                write!(f, "instruction {op} references cell r{} out of range", cell.index())
+                write!(
+                    f,
+                    "instruction {op} references cell r{} out of range",
+                    cell.index()
+                )
             }
             ImpProgramError::InterfaceCellOutOfRange { cell } => {
                 write!(f, "interface cell r{} out of range", cell.index())
@@ -251,10 +255,7 @@ mod tests {
     fn recycling_dead_input_is_legal() {
         // r0 is a (dead) input recycled as a work cell, then read.
         let p = ImpProgram {
-            ops: vec![
-                ImpOp::False(c(0)),
-                ImpOp::Imply { p: c(0), q: c(1) },
-            ],
+            ops: vec![ImpOp::False(c(0)), ImpOp::Imply { p: c(0), q: c(1) }],
             num_cells: 2,
             input_cells: vec![c(0), c(1)],
             output_cells: vec![c(1)],

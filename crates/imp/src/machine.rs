@@ -116,7 +116,11 @@ impl ImpMachine {
     /// # Errors
     ///
     /// Returns the first [`EnduranceError`] hit during execution.
-    pub fn run(&mut self, program: &ImpProgram, inputs: &[bool]) -> Result<Vec<bool>, EnduranceError> {
+    pub fn run(
+        &mut self,
+        program: &ImpProgram,
+        inputs: &[bool],
+    ) -> Result<Vec<bool>, EnduranceError> {
         self.load_inputs(program, inputs);
         self.execute(program)?;
         Ok(self.outputs(program))

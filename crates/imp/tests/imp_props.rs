@@ -9,14 +9,8 @@ use rlim_mig::random::{generate, RandomMigConfig};
 use rlim_mig::Mig;
 
 fn mig_strategy() -> impl Strategy<Value = Mig> {
-    (
-        2usize..8,
-        1usize..6,
-        0usize..120,
-        0.0f64..0.6,
-        any::<u64>(),
-    )
-        .prop_map(|(inputs, outputs, gates, complement_prob, seed)| {
+    (2usize..8, 1usize..6, 0usize..120, 0.0f64..0.6, any::<u64>()).prop_map(
+        |(inputs, outputs, gates, complement_prob, seed)| {
             let cfg = RandomMigConfig {
                 inputs,
                 outputs,
@@ -25,7 +19,8 @@ fn mig_strategy() -> impl Strategy<Value = Mig> {
                 ..Default::default()
             };
             generate(&cfg, seed)
-        })
+        },
+    )
 }
 
 fn options_strategy() -> impl Strategy<Value = ImpSynthOptions> {

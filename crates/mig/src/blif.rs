@@ -121,7 +121,12 @@ pub fn write_blif(mig: &Mig, model: &str) -> String {
         ));
         // Majority on-set: at least two of three true, with per-column
         // polarity folding (a complemented edge flips its literal).
-        for cube in [[true, true, false], [true, false, true], [false, true, true], [true, true, true]] {
+        for cube in [
+            [true, true, false],
+            [true, false, true],
+            [false, true, true],
+            [true, true, true],
+        ] {
             for (bit, (_, compl)) in cube.iter().zip(&named) {
                 out.push(if bit ^ compl { '1' } else { '0' });
             }
@@ -215,9 +220,9 @@ pub fn parse_blif(text: &str) -> Result<Mig, ParseBlifError> {
             ".outputs" => outputs.extend(tokens.map(String::from)),
             ".names" => {
                 let mut wires: Vec<String> = tokens.map(String::from).collect();
-                let output = wires.pop().ok_or_else(|| {
-                    err(line, ".names needs at least an output wire".into())
-                })?;
+                let output = wires
+                    .pop()
+                    .ok_or_else(|| err(line, ".names needs at least an output wire".into()))?;
                 current = Some(Cover {
                     line,
                     inputs: wires,
@@ -258,7 +263,9 @@ pub fn parse_blif(text: &str) -> Result<Mig, ParseBlifError> {
                 if literals.chars().any(|c| !matches!(c, '0' | '1' | '-')) {
                     return Err(err(line, format!("bad cube literals `{literals}`")));
                 }
-                cover.cubes.push((literals, value.chars().next().expect("len 1")));
+                cover
+                    .cubes
+                    .push((literals, value.chars().next().expect("len 1")));
             }
         }
     }
@@ -290,8 +297,8 @@ pub fn parse_blif(text: &str) -> Result<Mig, ParseBlifError> {
                 continue;
             }
             let ins: Vec<Signal> = cover.inputs.iter().map(|w| wires[w]).collect();
-            let signal = build_cover(&mut mig, &ins, &cover.cubes)
-                .map_err(|m| err(cover.line, m))?;
+            let signal =
+                build_cover(&mut mig, &ins, &cover.cubes).map_err(|m| err(cover.line, m))?;
             if wires.insert(cover.output.clone(), signal).is_some() {
                 return Err(err(
                     cover.line,

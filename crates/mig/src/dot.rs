@@ -32,12 +32,7 @@ pub fn to_dot(mig: &Mig) -> String {
                 let _ = writeln!(out, "  n0 [label=\"0\", shape=box];");
             }
             NodeKind::Input(i) => {
-                let _ = writeln!(
-                    out,
-                    "  n{} [label=\"x{}\", shape=triangle];",
-                    n.index(),
-                    i
-                );
+                let _ = writeln!(out, "  n{} [label=\"x{}\", shape=triangle];", n.index(), i);
             }
             NodeKind::Majority(ch) => {
                 let _ = writeln!(out, "  n{} [label=\"M\"];", n.index());

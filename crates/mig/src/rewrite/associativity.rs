@@ -35,7 +35,11 @@ pub(crate) fn run(mig: &Mig) -> Mig {
                 if !inner.contains(&u) {
                     continue;
                 }
-                let x = *outer.iter().find(|&&s| s != u).expect("two outer children");
+                // Both outer children can collapse to `u` after remapping
+                // (the gate is then ⟨u,u,m⟩ = u): nothing to swap.
+                let Some(&x) = outer.iter().find(|&&s| s != u) else {
+                    continue;
+                };
                 let rest: Vec<Signal> = inner.iter().filter(|&&s| s != u).copied().collect();
                 if rest.len() != 2 {
                     continue;

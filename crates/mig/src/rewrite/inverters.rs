@@ -85,7 +85,11 @@ mod tests {
 
         let strict = run(&mig, InverterMode::ThreeOnly);
         let g0 = strict.gates().next().expect("gate");
-        assert_eq!(strict.complemented_edge_count(g0), 2, "rule 1 must not fire");
+        assert_eq!(
+            strict.complemented_edge_count(g0),
+            2,
+            "rule 1 must not fire"
+        );
 
         let loose = run(&mig, InverterMode::TwoOrThree);
         assert!(equiv_random(&mig, &loose, 8, 2).is_equal());

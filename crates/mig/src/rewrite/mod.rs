@@ -17,8 +17,8 @@
 
 mod associativity;
 mod distributivity;
-mod level_balance;
 mod inverters;
+mod level_balance;
 mod psi;
 
 pub use inverters::InverterMode;

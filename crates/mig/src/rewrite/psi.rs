@@ -55,7 +55,7 @@ mod tests {
     /// Exhaustive check of the axiom itself: ⟨x,u,⟨y,ū,z⟩⟩ = ⟨x,u,⟨y,x,z⟩⟩.
     #[test]
     fn axiom_truth_table() {
-        let maj = |a: bool, b: bool, c: bool| (a && b) || (a && c) || (b && c);
+        let maj = |a: bool, b: bool, c: bool| (a && b) || (c && (a || b));
         for p in 0..16u32 {
             let (x, u, y, z) = (p & 1 == 1, p & 2 == 2, p & 4 == 4, p & 8 == 8);
             let lhs = maj(x, u, maj(y, !u, z));

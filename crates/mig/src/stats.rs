@@ -71,10 +71,8 @@ impl MigStats {
             {
                 gates_with_single_fanout_child += 1;
             }
-            if let Some(min_parent_level) = parents[g.index()]
-                .iter()
-                .map(|p| levels[p.index()])
-                .min()
+            if let Some(min_parent_level) =
+                parents[g.index()].iter().map(|p| levels[p.index()]).min()
             {
                 wait_sum += (min_parent_level - levels[g.index()]) as f64;
                 wait_count += 1;

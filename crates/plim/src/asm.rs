@@ -130,8 +130,8 @@ pub fn parse_text(text: &str) -> Result<Program, ParseAsmError> {
                 let value = tokens
                     .next()
                     .ok_or_else(|| err(".cells needs a count".into()))?;
-                let count = usize::from_str(value)
-                    .map_err(|_| err(format!("bad cell count `{value}`")))?;
+                let count =
+                    usize::from_str(value).map_err(|_| err(format!("bad cell count `{value}`")))?;
                 if tokens.next().is_some() {
                     return Err(err("trailing tokens after .cells".into()));
                 }

@@ -96,8 +96,8 @@ impl Controller {
         array.grow_to(program.num_cells);
         let code_base = program.num_cells;
         // Address space: data cells + 2 constant codes.
-        let addr_bits = usize::BITS as usize
-            - (program.num_cells.max(1) + 1).leading_zeros() as usize;
+        let addr_bits =
+            usize::BITS as usize - (program.num_cells.max(1) + 1).leading_zeros() as usize;
         let field_bits = 1 + addr_bits;
         array.grow_to(code_base + 3 * field_bits * program.instructions.len());
 
@@ -278,7 +278,10 @@ impl Controller {
 
     /// Reads the primary outputs from the data region.
     pub fn outputs(&self) -> Vec<bool> {
-        self.output_cells.iter().map(|&c| self.array.read(c)).collect()
+        self.output_cells
+            .iter()
+            .map(|&c| self.array.read(c))
+            .collect()
     }
 
     /// Convenience: load inputs, run to halt, read outputs.

@@ -14,7 +14,7 @@ use crate::isa::{Instruction, Operand, Program};
 /// Bitwise majority of three booleans.
 #[inline]
 fn maj(a: bool, b: bool, c: bool) -> bool {
-    (a && b) || (a && c) || (b && c)
+    (a && b) || (c && (a || b))
 }
 
 /// A PLiM machine owning a crossbar array.
@@ -229,7 +229,7 @@ mod tests {
             let mut m = Machine::for_program(&program);
             m.array.preload(cell(0), z0);
             m.execute(&program).unwrap();
-            let expect = (p && !q) || (p && z0) || (!q && z0);
+            let expect = maj(p, !q, z0);
             assert_eq!(m.outputs(&program), vec![expect], "p={p} q={q} z={z0}");
         }
     }

@@ -82,7 +82,10 @@ impl Geometry {
     ///
     /// Panics if the position is out of range.
     pub fn cell_at(&self, row: usize, col: usize) -> CellId {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) outside {self}");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) outside {self}"
+        );
         CellId::new((row * self.cols + col) as u32)
     }
 }

@@ -115,7 +115,10 @@ pub fn monte_carlo_lifetime(
     }
     let mut lifetimes: Vec<f64> = (0..trials)
         .map(|t| {
-            let endurances = model.sample(worn.len(), seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let endurances = model.sample(
+                worn.len(),
+                seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
             worn.iter()
                 .zip(&endurances)
                 .map(|(&w, &e)| e / w as f64)
@@ -180,7 +183,9 @@ mod tests {
     fn balanced_profiles_live_longer_under_variation() {
         // Same total writes, one balanced and one with a hot cell.
         let balanced = vec![10u64; 10];
-        let hot: Vec<u64> = std::iter::once(91u64).chain(std::iter::repeat(1).take(9)).collect();
+        let hot: Vec<u64> = std::iter::once(91u64)
+            .chain(std::iter::repeat_n(1, 9))
+            .collect();
         let model = EnduranceModel::new(1e6, 0.4);
         let db = monte_carlo_lifetime(&balanced, &model, 400, 5);
         let dh = monte_carlo_lifetime(&hot, &model, 400, 5);

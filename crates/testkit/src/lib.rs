@@ -1,0 +1,495 @@
+//! # rlim-testkit — cross-backend differential verification
+//!
+//! The load-bearing invariant of the whole reproduction is that every
+//! backend computes the same Boolean function as the source
+//! Majority-Inverter Graph:
+//!
+//! * direct MIG evaluation (the golden model),
+//! * the compiled RM3 program executed on the external [`Machine`],
+//! * optionally the same program self-hosted in the crossbar and driven by
+//!   the [`Controller`] FSM,
+//! * the IMPLY baseline synthesised by `rlim-imp`.
+//!
+//! This crate machine-checks that invariant with two oracles:
+//!
+//! * an **exhaustive truth-table oracle** for circuits with at most
+//!   [`Oracle::exhaustive_limit`] primary inputs (default
+//!   [`DEFAULT_EXHAUSTIVE_LIMIT`]) — every one of the `2^n` input patterns
+//!   is driven through every backend;
+//! * a **seeded-RNG sampling oracle** above that limit — deterministic,
+//!   reproducible rounds of random patterns (always including the all-zero
+//!   and all-one patterns).
+//!
+//! The rewritten MIG inside every [`CompileResult`] is additionally checked
+//! against the source graph, exhaustively (64-way bit-parallel) when small
+//! enough and by random simulation otherwise.
+//!
+//! ## Example
+//!
+//! ```
+//! use rlim_benchmarks::Benchmark;
+//! use rlim_testkit::Oracle;
+//!
+//! // `ctrl` has 7 inputs: all 128 patterns × every compiler preset ×
+//! // every backend.
+//! let report = Oracle::new().verify(&Benchmark::Ctrl.build(), "ctrl");
+//! assert!(report.exhaustive);
+//! assert_eq!(report.patterns, 128);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use rlim_compiler::{compile, CompileOptions, CompileResult};
+use rlim_imp::{synthesize, ImpMachine, ImpProgram, ImpSynthOptions};
+use rlim_mig::{equiv_random, Mig};
+use rlim_plim::{Controller, Machine, Program};
+
+/// Largest input count that is verified exhaustively by default.
+///
+/// The issue's bar is "exhaustive for ≤ 10 inputs"; 11 keeps the historic
+/// `int2float` (11 PI, 2048 patterns) exhaustive as well, at negligible
+/// cost.
+pub const DEFAULT_EXHAUSTIVE_LIMIT: usize = 11;
+
+/// Default number of sampled patterns for circuits above the limit.
+pub const DEFAULT_SAMPLE_ROUNDS: usize = 24;
+
+/// The canonical compiler configurations: every `CompileOptions` preset
+/// constructor (the paper's Table I columns) plus two maximum-write
+/// budgets (Table III), under their conventional labels.
+pub fn presets() -> Vec<(&'static str, CompileOptions)> {
+    vec![
+        ("naive", CompileOptions::naive()),
+        ("plim_compiler", CompileOptions::plim_compiler()),
+        ("min_write", CompileOptions::min_write()),
+        ("endurance_rewriting", CompileOptions::endurance_rewriting()),
+        ("endurance_aware", CompileOptions::endurance_aware()),
+        (
+            "max_write_10",
+            CompileOptions::endurance_aware().with_max_writes(10),
+        ),
+        (
+            "max_write_3",
+            CompileOptions::endurance_aware().with_max_writes(3),
+        ),
+    ]
+}
+
+/// How a circuit's input space was covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverage {
+    /// All `2^n` patterns were driven.
+    Exhaustive {
+        /// Number of patterns (`2^n`).
+        patterns: usize,
+    },
+    /// A deterministic random sample was driven.
+    Sampled {
+        /// Number of sampled patterns.
+        rounds: usize,
+        /// Seed the sample derives from.
+        seed: u64,
+    },
+}
+
+/// What one oracle run proved; returned so suites can assert on scope.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Circuit label used in failure messages.
+    pub name: String,
+    /// Whether the truth table was covered exhaustively.
+    pub exhaustive: bool,
+    /// Input patterns driven through each backend.
+    pub patterns: usize,
+    /// Compiler presets verified.
+    pub presets: usize,
+    /// Individual output-vector comparisons performed.
+    pub comparisons: usize,
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} over {} patterns x {} presets ({} comparisons)",
+            self.name,
+            if self.exhaustive {
+                "exhaustive"
+            } else {
+                "sampled"
+            },
+            self.patterns,
+            self.presets,
+            self.comparisons
+        )
+    }
+}
+
+/// The differential verification oracle. Construct with [`Oracle::new`],
+/// tune with the builder methods, then call [`Oracle::verify`] (panics on
+/// the first divergence, like an assertion).
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    /// Inputs at or below this count get the exhaustive oracle.
+    pub exhaustive_limit: usize,
+    /// Patterns per circuit for the sampling oracle.
+    pub sample_rounds: usize,
+    /// Base seed for the sampling oracle.
+    pub seed: u64,
+    /// Also execute each compiled program through the self-hosted
+    /// [`Controller`] (slower; off by default).
+    pub hosted: bool,
+    /// Also synthesise and check the IMPLY baseline (both allocation
+    /// policies; on by default).
+    pub imp: bool,
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Self {
+            exhaustive_limit: DEFAULT_EXHAUSTIVE_LIMIT,
+            sample_rounds: DEFAULT_SAMPLE_ROUNDS,
+            seed: 0x0DA7_E201_7EAD_BEEF,
+            hosted: false,
+            imp: true,
+        }
+    }
+}
+
+impl Oracle {
+    /// The default oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the exhaustive-coverage input limit.
+    pub fn with_exhaustive_limit(mut self, limit: usize) -> Self {
+        self.exhaustive_limit = limit;
+        self
+    }
+
+    /// Sets the number of sampled patterns above the limit.
+    pub fn with_sample_rounds(mut self, rounds: usize) -> Self {
+        self.sample_rounds = rounds;
+        self
+    }
+
+    /// Sets the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the self-hosted controller backend.
+    pub fn with_hosted(mut self, hosted: bool) -> Self {
+        self.hosted = hosted;
+        self
+    }
+
+    /// Enables or disables the IMPLY baseline backend.
+    pub fn with_imp(mut self, imp: bool) -> Self {
+        self.imp = imp;
+        self
+    }
+
+    /// The coverage [`Oracle::verify`] will use for an `n`-input circuit.
+    pub fn coverage(&self, num_inputs: usize) -> Coverage {
+        if num_inputs <= self.exhaustive_limit {
+            Coverage::Exhaustive {
+                patterns: 1usize << num_inputs,
+            }
+        } else {
+            Coverage::Sampled {
+                rounds: self.sample_rounds,
+                seed: self.seed,
+            }
+        }
+    }
+
+    /// Materialises the input patterns for an `n`-input circuit.
+    pub fn inputs(&self, num_inputs: usize) -> Vec<Vec<bool>> {
+        match self.coverage(num_inputs) {
+            Coverage::Exhaustive { patterns } => (0..patterns)
+                .map(|p| (0..num_inputs).map(|i| (p >> i) & 1 == 1).collect())
+                .collect(),
+            Coverage::Sampled { rounds, seed } => sampled_inputs(num_inputs, rounds, seed),
+        }
+    }
+
+    /// Differentially verifies `mig` against every backend under every
+    /// compiler preset. Panics with a labelled message on the first
+    /// divergence; returns what was covered on success.
+    pub fn verify(&self, mig: &Mig, name: &str) -> VerifyReport {
+        let inputs = self.inputs(mig.num_inputs());
+        let reference: Vec<Vec<bool>> = inputs.iter().map(|v| mig.evaluate(v)).collect();
+        let preset_list = presets();
+        let mut comparisons = 0;
+
+        for (label, options) in &preset_list {
+            let result = compile(mig, options);
+            self.check_compile_result(mig, name, label, &result);
+            comparisons += self.check_rm3(name, label, &result.program, &inputs, &reference);
+        }
+
+        if self.imp {
+            for (label, options) in [
+                ("imp_lifo", ImpSynthOptions::lifo()),
+                ("imp_min_write", ImpSynthOptions::min_write()),
+            ] {
+                let program = synthesize(mig, &options);
+                comparisons += check_imp(name, label, &program, &inputs, &reference);
+            }
+        }
+
+        VerifyReport {
+            name: name.to_owned(),
+            exhaustive: matches!(self.coverage(mig.num_inputs()), Coverage::Exhaustive { .. }),
+            patterns: inputs.len(),
+            presets: preset_list.len(),
+            comparisons,
+        }
+    }
+
+    /// Verifies a single compiled program against the golden model over
+    /// this oracle's input coverage (used for programs that went through
+    /// extra stages, e.g. assembly or BLIF round trips).
+    pub fn verify_program(&self, mig: &Mig, name: &str, label: &str, program: &Program) -> usize {
+        let inputs = self.inputs(mig.num_inputs());
+        let reference: Vec<Vec<bool>> = inputs.iter().map(|v| mig.evaluate(v)).collect();
+        self.check_rm3(name, label, program, &inputs, &reference)
+    }
+
+    /// Checks the structural half of a [`CompileResult`]: the program
+    /// validates and the rewritten MIG is equivalent to the source.
+    fn check_compile_result(&self, mig: &Mig, name: &str, label: &str, result: &CompileResult) {
+        result
+            .program
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}/{label}: invalid program: {e}"));
+        if mig.num_inputs() <= self.exhaustive_limit {
+            if let Some(pattern) = equiv_exhaustive(mig, &result.mig) {
+                panic!(
+                    "{name}/{label}: rewriting changed the function \
+                     (first divergence at pattern {pattern})"
+                );
+            }
+        } else {
+            let check = equiv_random(mig, &result.mig, 8, self.seed ^ fnv1a(label));
+            assert!(
+                check.is_equal(),
+                "{name}/{label}: rewriting changed the function: {check:?}"
+            );
+        }
+    }
+
+    /// Runs `program` on the machine (and optionally the hosted
+    /// controller) for every pattern, comparing against `reference`.
+    fn check_rm3(
+        &self,
+        name: &str,
+        label: &str,
+        program: &Program,
+        inputs: &[Vec<bool>],
+        reference: &[Vec<bool>],
+    ) -> usize {
+        let mut comparisons = 0;
+        for (pattern, (input, expect)) in inputs.iter().zip(reference).enumerate() {
+            let mut machine = Machine::for_program(program);
+            let got = machine
+                .run(program, input)
+                .unwrap_or_else(|e| panic!("{name}/{label}: endurance error: {e}"));
+            assert_eq!(
+                &got, expect,
+                "{name}/{label}: RM3 machine diverges from MIG at pattern {pattern}"
+            );
+            comparisons += 1;
+            if self.hosted {
+                let mut controller = Controller::host(program)
+                    .unwrap_or_else(|e| panic!("{name}/{label}: hosting failed: {e}"));
+                let hosted = controller
+                    .run(input)
+                    .unwrap_or_else(|e| panic!("{name}/{label}: hosted endurance error: {e}"));
+                assert_eq!(
+                    &hosted, expect,
+                    "{name}/{label}: hosted controller diverges from MIG at pattern {pattern}"
+                );
+                comparisons += 1;
+            }
+        }
+        comparisons
+    }
+}
+
+/// Runs an IMPLY program for every pattern against the golden outputs.
+fn check_imp(
+    name: &str,
+    label: &str,
+    program: &ImpProgram,
+    inputs: &[Vec<bool>],
+    reference: &[Vec<bool>],
+) -> usize {
+    program
+        .validate()
+        .unwrap_or_else(|e| panic!("{name}/{label}: invalid IMP program: {e}"));
+    let mut comparisons = 0;
+    for (pattern, (input, expect)) in inputs.iter().zip(reference).enumerate() {
+        let mut machine = ImpMachine::for_program(program);
+        let got = machine
+            .run(program, input)
+            .unwrap_or_else(|e| panic!("{name}/{label}: endurance error: {e}"));
+        assert_eq!(
+            &got, expect,
+            "{name}/{label}: IMP machine diverges from MIG at pattern {pattern}"
+        );
+        comparisons += 1;
+    }
+    comparisons
+}
+
+/// Exhaustive 64-way bit-parallel equivalence check between two MIGs with
+/// identical interfaces. Returns the first diverging pattern index, or
+/// `None` when the graphs agree on all `2^n` patterns.
+///
+/// Patterns are packed 64 to a simulation word, so even the 2048-pattern
+/// `int2float` table costs only 32 simulation sweeps.
+pub fn equiv_exhaustive(a: &Mig, b: &Mig) -> Option<usize> {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "interface mismatch");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "interface mismatch");
+    let n = a.num_inputs();
+    assert!(
+        n < usize::BITS as usize,
+        "exhaustive check needs n < 64-ish"
+    );
+    let total: usize = 1 << n;
+    let mut base = 0usize;
+    while base < total {
+        let lanes = (total - base).min(64);
+        // Lane k simulates pattern `base + k`: input word i holds bit i of
+        // each lane's pattern index.
+        let words: Vec<u64> = (0..n)
+            .map(|i| (0..lanes).fold(0u64, |w, k| w | ((((base + k) >> i) & 1) as u64) << k))
+            .collect();
+        let oa = a.simulate(&words);
+        let ob = b.simulate(&words);
+        let mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        for (wa, wb) in oa.iter().zip(&ob) {
+            let diff = (wa ^ wb) & mask;
+            if diff != 0 {
+                return Some(base + diff.trailing_zeros() as usize);
+            }
+        }
+        base += lanes;
+    }
+    None
+}
+
+/// Deterministic sampled input patterns: the all-zero and all-one vectors
+/// first, then seeded random vectors.
+pub fn sampled_inputs(num_inputs: usize, rounds: usize, seed: u64) -> Vec<Vec<bool>> {
+    use rand::{Rng, SeedableRng};
+    let mut rng =
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ (num_inputs as u64).rotate_left(32));
+    let mut out = Vec::with_capacity(rounds);
+    if rounds > 0 {
+        out.push(vec![false; num_inputs]);
+    }
+    if rounds > 1 {
+        out.push(vec![true; num_inputs]);
+    }
+    while out.len() < rounds {
+        out.push((0..num_inputs).map(|_| rng.gen()).collect());
+    }
+    out
+}
+
+/// FNV-1a, for decorrelating per-label seeds.
+fn fnv1a(data: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in data.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor3() -> Mig {
+        let mut mig = Mig::new(3);
+        let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+        let x = mig.xor(a, b);
+        let f = mig.xor(x, c);
+        mig.add_output(f);
+        mig
+    }
+
+    #[test]
+    fn coverage_switches_at_the_limit() {
+        let oracle = Oracle::new();
+        assert_eq!(
+            oracle.coverage(DEFAULT_EXHAUSTIVE_LIMIT),
+            Coverage::Exhaustive {
+                patterns: 1 << DEFAULT_EXHAUSTIVE_LIMIT
+            }
+        );
+        assert!(matches!(
+            oracle.coverage(DEFAULT_EXHAUSTIVE_LIMIT + 1),
+            Coverage::Sampled { .. }
+        ));
+    }
+
+    #[test]
+    fn exhaustive_inputs_enumerate_every_pattern() {
+        let inputs = Oracle::new().inputs(4);
+        assert_eq!(inputs.len(), 16);
+        let as_ints: Vec<usize> = inputs
+            .iter()
+            .map(|v| v.iter().enumerate().map(|(i, &b)| (b as usize) << i).sum())
+            .collect();
+        assert_eq!(as_ints, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampled_inputs_are_deterministic_and_include_extremes() {
+        let a = sampled_inputs(20, 8, 42);
+        let b = sampled_inputs(20, 8, 42);
+        let c = sampled_inputs(20, 8, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a[0], vec![false; 20]);
+        assert_eq!(a[1], vec![true; 20]);
+    }
+
+    #[test]
+    fn equiv_exhaustive_agrees_and_finds_divergence() {
+        let mig = xor3();
+        assert_eq!(equiv_exhaustive(&mig, &mig), None);
+
+        // A graph with the same interface but a different function: the
+        // first divergence from xor3 must be reported at pattern 1.
+        let mut other = Mig::new(3);
+        let [a, b, c] = [other.input(0), other.input(1), other.input(2)];
+        let m = other.add_maj(a, b, c);
+        other.add_output(m);
+        assert_eq!(equiv_exhaustive(&mig, &other), Some(1));
+    }
+
+    #[test]
+    fn oracle_verifies_a_tiny_circuit_across_all_backends() {
+        let report = Oracle::new().with_hosted(true).verify(&xor3(), "xor3");
+        assert!(report.exhaustive);
+        assert_eq!(report.patterns, 8);
+        assert_eq!(report.presets, presets().len());
+        // RM3 + hosted per preset per pattern, plus two IMP allocations.
+        assert_eq!(report.comparisons, 8 * (2 * report.presets + 2));
+    }
+}

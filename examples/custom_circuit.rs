@@ -25,7 +25,7 @@ fn build_mac() -> Mig {
     let mut product: Vec<Signal> = vec![Signal::FALSE; 2 * W];
     for (j, &bj) in b.iter().enumerate() {
         let row: Vec<Signal> = a.iter().map(|&ai| mig.and(ai, bj)).collect();
-        let (sum, carry) = ripple_add(&mut mig, &product[j..j + W].to_vec(), &row, Signal::FALSE);
+        let (sum, carry) = ripple_add(&mut mig, &product[j..j + W], &row, Signal::FALSE);
         product[j..j + W].copy_from_slice(&sum);
         product[j + W] = carry;
     }

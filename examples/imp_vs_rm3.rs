@@ -22,7 +22,10 @@ fn main() {
     let b = input_word(&mig, W, W);
     let lt = less_than(&mut mig, &a, &b);
     mig.add_output(lt);
-    println!("circuit: {W}-bit comparator, {} majority gates\n", mig.num_gates());
+    println!(
+        "circuit: {W}-bit comparator, {} majority gates\n",
+        mig.num_gates()
+    );
 
     // Same input vector for both machines: 100 < 200.
     let inputs: Vec<bool> = (0..W)
@@ -35,7 +38,11 @@ fn main() {
     let mut imp_machine = ImpMachine::for_program(&imp);
     let imp_out = imp_machine.run(&imp, &inputs).expect("no endurance limit");
     let imp_stats = WriteStats::from_counts(imp.write_counts());
-    println!("IMP  (NAND synthesis):  {} ops, {} cells", imp.num_ops(), imp.num_rrams());
+    println!(
+        "IMP  (NAND synthesis):  {} ops, {} cells",
+        imp.num_ops(),
+        imp.num_rrams()
+    );
     println!(
         "     writes: min={} max={} stdev={:.2}",
         imp_stats.min, imp_stats.max, imp_stats.stdev

@@ -23,12 +23,15 @@ fn main() {
     let target_executions: u64 = 2_000_000_000;
 
     let naive = compile(&mig, &CompileOptions::naive());
-    let naive_life =
-        executions_until_failure(naive.program.write_counts(), ENDURANCE_HFOX);
+    let naive_life = executions_until_failure(naive.program.write_counts(), ENDURANCE_HFOX);
     println!(
         "naive compiler: {} cells, lifetime {naive_life} executions — {}",
         naive.num_rrams(),
-        if naive_life >= target_executions { "meets target" } else { "FAILS target" }
+        if naive_life >= target_executions {
+            "meets target"
+        } else {
+            "FAILS target"
+        }
     );
 
     println!("\n  W    #I     #R   max-writes  lifetime(executions)  meets 2e9?");
@@ -58,9 +61,7 @@ fn main() {
 
     match chosen {
         Some((budget, cells)) => {
-            println!(
-                "\nprovisioning answer: W={budget} meets the target with {cells} cells"
-            );
+            println!("\nprovisioning answer: W={budget} meets the target with {cells} cells");
         }
         None => println!("\nno budget meets the target — need a bigger array or better RRAM"),
     }

@@ -35,7 +35,11 @@ fn main() {
     println!("-- incremental technique stack (paper Table I) --");
     let naive = report("naive", &CompileOptions::naive(), &mig);
     report("PLiM compiler [21]", &CompileOptions::plim_compiler(), &mig);
-    report("+ minimum write strategy", &CompileOptions::min_write(), &mig);
+    report(
+        "+ minimum write strategy",
+        &CompileOptions::min_write(),
+        &mig,
+    );
     report(
         "+ endurance-aware rewriting (Alg. 2)",
         &CompileOptions::endurance_rewriting(),

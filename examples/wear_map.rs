@@ -22,7 +22,10 @@ fn show(label: &str, options: &CompileOptions, mig: &rlim::mig::Mig) {
     println!("hottest cells:");
     for (cell, writes) in map.hottest(5) {
         let (row, col) = geometry.position(cell);
-        println!("  r{:<4} at ({row:>2},{col:>2}): {writes} writes", cell.index());
+        println!(
+            "  r{:<4} at ({row:>2},{col:>2}): {writes} writes",
+            cell.index()
+        );
     }
     println!(
         "top-5 cells carry {:.1}% of all wear\n",

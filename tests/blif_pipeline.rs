@@ -3,12 +3,11 @@
 //! the machine — the path an external user's circuit takes through the
 //! toolchain.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use rlim::benchmarks::Benchmark;
 use rlim::compiler::{compile, CompileOptions};
 use rlim::mig::{blif, equiv_random};
 use rlim::plim::{asm, Machine};
+use rlim_testkit::{equiv_exhaustive, Oracle, DEFAULT_EXHAUSTIVE_LIMIT};
 
 #[test]
 fn blif_round_trip_preserves_benchmarks() {
@@ -18,10 +17,18 @@ fn blif_round_trip_preserves_benchmarks() {
         let back = blif::parse_blif(&text).unwrap_or_else(|e| panic!("{b}: {e}"));
         assert_eq!(back.num_inputs(), mig.num_inputs(), "{b}");
         assert_eq!(back.num_outputs(), mig.num_outputs(), "{b}");
-        assert!(
-            equiv_random(&mig, &back, 8, b as u64).is_equal(),
-            "{b}: BLIF round trip changed the function"
-        );
+        if mig.num_inputs() <= DEFAULT_EXHAUSTIVE_LIMIT {
+            assert_eq!(
+                equiv_exhaustive(&mig, &back),
+                None,
+                "{b}: BLIF round trip changed the function"
+            );
+        } else {
+            assert!(
+                equiv_random(&mig, &back, 8, b as u64).is_equal(),
+                "{b}: BLIF round trip changed the function"
+            );
+        }
     }
 }
 
@@ -31,13 +38,9 @@ fn imported_circuit_compiles_and_executes() {
     let text = blif::write_blif(&mig, "int2float");
     let imported = blif::parse_blif(&text).expect("parses");
     let result = compile(&imported, &CompileOptions::endurance_aware());
-    let mut rng = ChaCha8Rng::seed_from_u64(0xB11F);
-    for _ in 0..8 {
-        let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
-        let mut machine = Machine::for_program(&result.program);
-        let got = machine.run(&result.program, &inputs).expect("no limit");
-        assert_eq!(got, mig.evaluate(&inputs), "imported circuit behaves identically");
-    }
+    // Exhaustive: the program compiled from the *imported* graph must match
+    // the original MIG on all 2048 patterns.
+    Oracle::new().verify_program(&mig, "int2float", "blif_import", &result.program);
 }
 
 #[test]

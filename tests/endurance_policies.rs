@@ -89,7 +89,10 @@ fn endurance_exhaustion_fails_naive_before_managed() {
     // Pick an endurance budget between one naive execution and one managed
     // execution's worth of headroom.
     let endurance = managed_max * 3;
-    assert!(endurance < naive_max, "test premise: naive dies within one run");
+    assert!(
+        endurance < naive_max,
+        "test premise: naive dies within one run"
+    );
 
     let inputs = vec![false; mig.num_inputs()];
 

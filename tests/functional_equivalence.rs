@@ -2,67 +2,48 @@
 //! the compiled PLiM program executed on the crossbar machine must compute
 //! the same outputs as direct MIG evaluation — the load-bearing invariant
 //! of the whole reproduction (DESIGN.md §7).
+//!
+//! Coverage is delegated to `rlim-testkit`: circuits with few enough
+//! inputs are proven over their **entire truth table** (MIG ≡ RM3 ≡ IMPLY
+//! under every `CompileOptions` preset); larger ones get the deterministic
+//! sampling oracle.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use rlim::benchmarks::Benchmark;
-use rlim::compiler::{compile, CompileOptions};
 use rlim::mig::Mig;
-use rlim::plim::Machine;
-
-fn configs() -> Vec<(&'static str, CompileOptions)> {
-    vec![
-        ("naive", CompileOptions::naive()),
-        ("plim_compiler", CompileOptions::plim_compiler()),
-        ("min_write", CompileOptions::min_write()),
-        ("endurance_rewriting", CompileOptions::endurance_rewriting()),
-        ("endurance_aware", CompileOptions::endurance_aware()),
-        ("max_write_10", CompileOptions::endurance_aware().with_max_writes(10)),
-        ("max_write_3", CompileOptions::endurance_aware().with_max_writes(3)),
-    ]
-}
-
-/// Compiles `mig` under every configuration and cross-checks `rounds`
-/// random input vectors against MIG evaluation.
-fn assert_equivalent(name: &str, mig: &Mig, rounds: usize, seed: u64) {
-    for (label, options) in configs() {
-        let result = compile(mig, &options);
-        result
-            .program
-            .validate()
-            .unwrap_or_else(|e| panic!("{name}/{label}: invalid program: {e}"));
-        // The rewritten graph must itself be equivalent to the original.
-        let check = rlim::mig::equiv_random(mig, &result.mig, 4, seed);
-        assert!(
-            check.is_equal(),
-            "{name}/{label}: rewriting changed the function: {check:?}"
-        );
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        for round in 0..rounds {
-            let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
-            let expect = mig.evaluate(&inputs);
-            let mut machine = Machine::for_program(&result.program);
-            let got = machine
-                .run(&result.program, &inputs)
-                .unwrap_or_else(|e| panic!("{name}/{label}: endurance error: {e}"));
-            assert_eq!(got, expect, "{name}/{label} round {round}");
-        }
-    }
-}
+use rlim_testkit::{Oracle, DEFAULT_EXHAUSTIVE_LIMIT};
 
 #[test]
-fn small_control_benchmarks() {
+fn small_benchmarks_exhaustive_all_presets() {
+    // cavlc (10 PI), ctrl (7 PI), dec (8 PI) and int2float (11 PI) are
+    // proven over all 2^n patterns; priority (128 PI) and router (60 PI)
+    // fall back to the sampling oracle.
+    let oracle = Oracle::new();
+    let mut exhaustive = 0;
     for &b in Benchmark::small() {
-        assert_equivalent(b.name(), &b.build(), 6, 0xC0FFEE ^ b as u64);
+        let report = oracle.verify(&b.build(), b.name());
+        assert_eq!(
+            report.exhaustive,
+            b.interface().0 <= DEFAULT_EXHAUSTIVE_LIMIT,
+            "{b}: unexpected coverage tier"
+        );
+        if report.exhaustive {
+            assert_eq!(report.patterns, 1 << b.interface().0, "{b}");
+            exhaustive += 1;
+        }
     }
+    assert_eq!(
+        exhaustive, 4,
+        "cavlc, ctrl, dec and int2float are exhaustive"
+    );
 }
 
 #[test]
 fn synthetic_benchmarks_small() {
     // The smaller synthetic profiles; mem_ctrl/log2 are covered by the
     // release-mode eval binaries (too slow for debug-mode tests).
-    for &b in &[Benchmark::Ctrl, Benchmark::Router, Benchmark::Cavlc, Benchmark::Sin] {
-        assert_equivalent(b.name(), &b.build(), 4, 0xFACADE ^ b as u64);
+    let oracle = Oracle::new().with_sample_rounds(8);
+    for &b in &[Benchmark::Sin, Benchmark::Router] {
+        oracle.verify(&b.build(), b.name());
     }
 }
 
@@ -70,7 +51,8 @@ fn synthetic_benchmarks_small() {
 fn arithmetic_benchmarks_reduced_width() {
     use rlim::benchmarks::{arith, misc};
     // Same generators as the paper-size benchmarks, at widths that compile
-    // in debug-mode test time.
+    // in debug-mode test time. The ≤11-input ones (sqrt6, dec6) are
+    // exhaustive automatically.
     let cases: Vec<(&str, Mig)> = vec![
         ("adder16", arith::adder_with_width(16)),
         ("multiplier8", arith::multiplier_with_width(8)),
@@ -83,26 +65,17 @@ fn arithmetic_benchmarks_reduced_width() {
         ("dec6", misc::dec_with_width(6)),
         ("priority32", misc::priority_with_inputs(32)),
     ];
+    let oracle = Oracle::new().with_sample_rounds(6).with_seed(0xAB5E11);
     for (name, mig) in &cases {
-        assert_equivalent(name, mig, 4, 0xAB5E11);
+        oracle.verify(mig, name);
     }
 }
 
 #[test]
 fn full_size_adder_functional() {
     // One paper-size benchmark end-to-end (the cheapest arithmetic one).
-    let mig = Benchmark::Adder.build();
-    assert_equivalent("adder", &mig, 2, 0xADD);
-}
-
-#[test]
-fn int2float_exhaustive_naive_vs_machine() {
-    let mig = Benchmark::Int2float.build();
-    let result = compile(&mig, &CompileOptions::endurance_aware());
-    for raw in 0..(1u32 << 11) {
-        let inputs: Vec<bool> = (0..11).map(|i| (raw >> i) & 1 == 1).collect();
-        let mut machine = Machine::for_program(&result.program);
-        let got = machine.run(&result.program, &inputs).expect("no limit");
-        assert_eq!(got, mig.evaluate(&inputs), "raw={raw:#b}");
-    }
+    // IMP is deliberately skipped here: NAND-synthesising a 256-input
+    // adder is release-mode territory, and no other suite covers it.
+    let oracle = Oracle::new().with_sample_rounds(3).with_imp(false);
+    oracle.verify(&Benchmark::Adder.build(), "adder");
 }

@@ -2,33 +2,20 @@
 //! compute the same functions, and the paper's §II claims about their
 //! relative costs hold on the benchmark suite.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use rlim::benchmarks::Benchmark;
 use rlim::compiler::{compile, CompileOptions};
 use rlim::imp::{synthesize, ImpMachine, ImpSynthOptions};
 use rlim::plim::Machine;
 use rlim::rram::WriteStats;
+use rlim_testkit::Oracle;
 
 #[test]
 fn imp_and_rm3_agree_on_benchmarks() {
+    // The testkit oracle drives both backends (exhaustively for int2float
+    // and ctrl, sampled for router) under every compiler preset.
+    let oracle = Oracle::new().with_sample_rounds(8).with_seed(0x1111);
     for &b in &[Benchmark::Int2float, Benchmark::Ctrl, Benchmark::Router] {
-        let mig = b.build();
-        let imp = synthesize(&mig, &ImpSynthOptions::min_write());
-        let rm3 = compile(&mig, &CompileOptions::min_write().with_effort(0));
-        let mut rng = ChaCha8Rng::seed_from_u64(0x1111 ^ b as u64);
-        for _ in 0..4 {
-            let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
-            let expect = mig.evaluate(&inputs);
-            let mut imp_machine = ImpMachine::for_program(&imp);
-            assert_eq!(imp_machine.run(&imp, &inputs).expect("no limit"), expect, "{b} IMP");
-            let mut plim_machine = Machine::for_program(&rm3.program);
-            assert_eq!(
-                plim_machine.run(&rm3.program, &inputs).expect("no limit"),
-                expect,
-                "{b} RM3"
-            );
-        }
+        oracle.verify(&b.build(), b.name());
     }
 }
 
@@ -88,8 +75,14 @@ fn imp_endurance_failure_injection() {
 
     let inputs = vec![false; mig.num_inputs()];
     let mut imp_machine = ImpMachine::with_endurance(&imp, limit);
-    assert!(imp_machine.run(&imp, &inputs).is_err(), "IMP exhausts a cell");
+    assert!(
+        imp_machine.run(&imp, &inputs).is_err(),
+        "IMP exhausts a cell"
+    );
 
     let mut plim_machine = Machine::with_endurance(&rm3.program, limit);
-    assert!(plim_machine.run(&rm3.program, &inputs).is_ok(), "RM3 survives");
+    assert!(
+        plim_machine.run(&rm3.program, &inputs).is_ok(),
+        "RM3 survives"
+    );
 }

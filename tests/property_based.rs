@@ -22,17 +22,19 @@ fn mig_strategy() -> impl Strategy<Value = Mig> {
         0.0f64..0.5,  // long-edge probability
         any::<u64>(), // seed
     )
-        .prop_map(|(inputs, outputs, gates, complement_prob, long_edge_prob, seed)| {
-            let cfg = RandomMigConfig {
-                inputs,
-                outputs,
-                gates,
-                complement_prob,
-                long_edge_prob,
-                ..Default::default()
-            };
-            generate(&cfg, seed)
-        })
+        .prop_map(
+            |(inputs, outputs, gates, complement_prob, long_edge_prob, seed)| {
+                let cfg = RandomMigConfig {
+                    inputs,
+                    outputs,
+                    gates,
+                    complement_prob,
+                    long_edge_prob,
+                    ..Default::default()
+                };
+                generate(&cfg, seed)
+            },
+        )
 }
 
 fn any_options() -> impl Strategy<Value = CompileOptions> {

@@ -2,29 +2,37 @@
 //! programs, hosted in the crossbar and executed by the FSM, must agree
 //! with the external machine and with MIG evaluation.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use rlim::benchmarks::Benchmark;
 use rlim::compiler::{compile, CompileOptions};
 use rlim::plim::{Controller, Machine, State};
+use rlim_testkit::Oracle;
 
 #[test]
 fn hosted_execution_matches_machine_on_benchmarks() {
+    // With `hosted` enabled the oracle runs every compiled program both on
+    // the external machine and self-hosted under the controller FSM, so
+    // MIG ≡ RM3 ≡ hosted RM3 over the whole truth table of ctrl; cavlc and
+    // int2float sample (hosting 2^10+ patterns is release-mode territory).
+    let oracle = Oracle::new()
+        .with_hosted(true)
+        .with_imp(false)
+        .with_exhaustive_limit(8)
+        .with_sample_rounds(6)
+        .with_seed(0x5E1F);
     for &b in &[Benchmark::Int2float, Benchmark::Ctrl, Benchmark::Cavlc] {
-        let mig = b.build();
-        let result = compile(&mig, &CompileOptions::endurance_aware());
-        let mut rng = ChaCha8Rng::seed_from_u64(0x5E1F ^ b as u64);
-        for _ in 0..4 {
-            let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
-            let mut machine = Machine::for_program(&result.program);
-            let external = machine.run(&result.program, &inputs).expect("no limit");
-            let mut controller = Controller::host(&result.program).expect("hosts");
-            let hosted = controller.run(&inputs).expect("no limit");
-            assert_eq!(hosted, external, "{b}");
-            assert_eq!(hosted, mig.evaluate(&inputs), "{b} vs golden model");
-            assert_eq!(controller.state(), State::Halted);
-        }
+        oracle.verify(&b.build(), b.name());
     }
+}
+
+#[test]
+fn controller_halts_cleanly() {
+    let mig = Benchmark::Ctrl.build();
+    let result = compile(&mig, &CompileOptions::endurance_aware());
+    let mut controller = Controller::host(&result.program).expect("hosts");
+    controller
+        .run(&vec![false; mig.num_inputs()])
+        .expect("no limit");
+    assert_eq!(controller.state(), State::Halted);
 }
 
 #[test]
@@ -32,7 +40,9 @@ fn controller_cycle_model_is_six_per_instruction() {
     let mig = Benchmark::Int2float.build();
     let result = compile(&mig, &CompileOptions::naive());
     let mut controller = Controller::host(&result.program).expect("hosts");
-    controller.run(&vec![false; mig.num_inputs()]).expect("no limit");
+    controller
+        .run(&vec![false; mig.num_inputs()])
+        .expect("no limit");
     assert_eq!(
         controller.cycles(),
         6 * result.num_instructions() as u64,

@@ -1,0 +1,244 @@
+//! The case runner: config, RNG, regression-seed replay, env overrides.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::path::{Path, PathBuf};
+
+/// Per-suite configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property (before env overrides).
+    pub cases: u32,
+    /// Maximum number of `TestCaseError::Reject` outcomes tolerated.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// The RNG handed to strategies: deterministic per case seed.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn from_seed(seed: u64) -> Self {
+        Self(ChaCha8Rng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// The input was rejected (e.g. by `prop_assume!`); not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// Builds a rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// FNV-1a — a stable name hash so case seeds differ between properties but
+/// never between runs.
+fn fnv1a(data: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in data.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Locates `proptest-regressions/<stem>.txt` for a `file!()` path by probing
+/// the current directory and its ancestors (cargo runs test binaries from
+/// the package root, but `file!()` paths are workspace-relative).
+fn regression_path(source_file: &str) -> Option<PathBuf> {
+    let stem = Path::new(source_file)
+        .file_stem()?
+        .to_string_lossy()
+        .into_owned();
+    let rel = Path::new("proptest-regressions").join(format!("{stem}.txt"));
+    let mut base = std::env::current_dir().ok()?;
+    for _ in 0..5 {
+        let candidate = base.join(&rel);
+        if candidate.exists() {
+            return Some(candidate);
+        }
+        base = base.parent()?.to_path_buf();
+    }
+    None
+}
+
+/// Parses `xs <u64>` lines (decimal or `0x` hex); `#` starts a comment.
+fn regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("xs ")?;
+            let token = rest.split_whitespace().next()?;
+            match token.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => token.parse().ok(),
+            }
+        })
+        .collect()
+}
+
+/// The number of random cases to run: `PROPTEST_CASES` wins over the
+/// config so CI can run deeper than local without editing the suites.
+pub fn resolve_cases(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases)
+}
+
+/// Runs one property: regression seeds first, then `cases` random cases.
+/// Panics (test failure) on the first falsified case, reporting the seed to
+/// pin in the regression corpus.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, source_file: &str, f: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let regressions = regression_path(source_file);
+    let pinned = regressions
+        .as_deref()
+        .map(regression_seeds)
+        .unwrap_or_default();
+    let cases = resolve_cases(config);
+    let base = fnv1a(name) ^ fnv1a(source_file).rotate_left(17);
+    let random =
+        (0..cases as u64).map(|i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+
+    let mut rejects = 0u32;
+    for (kind, seed) in pinned
+        .iter()
+        .map(|&s| ("regression", s))
+        .chain(random.map(|s| ("random", s)))
+    {
+        let mut rng = TestRng::from_seed(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic with non-string payload");
+                Err(TestCaseError::fail(format!("case panicked: {msg}")))
+            });
+        match outcome {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "proptest {name}: too many rejected cases ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let corpus = regressions
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| format!("proptest-regressions/ for {source_file}"));
+                panic!(
+                    "proptest {name}: falsified by {kind} case, seed = 0x{seed:016x}\n\
+                     {msg}\n\
+                     To pin this case, add the line `xs 0x{seed:016x}` to {corpus}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_lines_parse_decimal_hex_and_comments() {
+        let dir = std::env::temp_dir().join("rlim-proptest-parse-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("corpus.txt");
+        std::fs::write(&file, "# comment\nxs 7\nxs 0x10\nbogus\nxs nonsense\n").unwrap();
+        assert_eq!(regression_seeds(&file), vec![7, 16]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pinned_seed_is_replayed_before_random_cases() {
+        // Build a corpus next to a fake source path under the temp dir,
+        // chdir there, and check the pinned seed reaches the property
+        // first and is reported as a regression case on failure.
+        let dir = std::env::temp_dir().join("rlim-proptest-replay-test");
+        let corpus_dir = dir.join("proptest-regressions");
+        std::fs::create_dir_all(&corpus_dir).unwrap();
+        std::fs::write(corpus_dir.join("fake_suite.txt"), "xs 0xdead\n").unwrap();
+        let original = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+
+        let config = ProptestConfig::with_cases(0);
+        let seen = std::cell::RefCell::new(Vec::new());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_proptest(&config, "pinned", "tests/fake_suite.rs", |rng| {
+                seen.borrow_mut().push(rng.next_u64());
+                Err(TestCaseError::fail("always fails"))
+            });
+        }));
+
+        std::env::set_current_dir(original).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        let message = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("regression case"), "{message}");
+        assert!(message.contains("0x000000000000dead"), "{message}");
+        assert_eq!(seen.borrow().len(), 1, "pinned seed ran exactly once");
+        assert_eq!(seen.borrow()[0], TestRng::from_seed(0xdead).next_u64());
+    }
+
+    #[test]
+    fn proptest_cases_env_overrides_config() {
+        // `cargo test` may run this crate's tests in parallel, but no other
+        // test in this crate reads PROPTEST_CASES.
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(resolve_cases(&ProptestConfig::with_cases(9)), 9);
+        std::env::set_var("PROPTEST_CASES", "33");
+        assert_eq!(resolve_cases(&ProptestConfig::with_cases(9)), 33);
+        std::env::remove_var("PROPTEST_CASES");
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline, API-compatible subset of `rand_chacha` 0.3.
+//!
+//! Implements the genuine ChaCha block function (Bernstein 2008) in counter
+//! mode, so [`ChaCha8Rng`] and friends are real cryptographic-quality
+//! deterministic generators — only the word order of the reference stream
+//! is simplified. Every consumer in this workspace seeds via
+//! `SeedableRng::seed_from_u64`, so cross-version stream compatibility with
+//! crates.io `rand_chacha` is not required, only self-consistency.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha generator with a configurable round count.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    /// Key + counter + nonce state matrix template.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 means "exhausted".
+    index: usize,
+}
+
+/// ChaCha with 8 rounds — the workspace's workhorse test RNG.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        let mut work = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut work, 0, 4, 8, 12);
+            quarter_round(&mut work, 1, 5, 9, 13);
+            quarter_round(&mut work, 2, 6, 10, 14);
+            quarter_round(&mut work, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut work, 0, 5, 10, 15);
+            quarter_round(&mut work, 1, 6, 11, 12);
+            quarter_round(&mut work, 2, 7, 8, 13);
+            quarter_round(&mut work, 3, 4, 9, 14);
+        }
+        for (w, s) in work.iter_mut().zip(&self.state) {
+            *w = w.wrapping_add(*s);
+        }
+        self.block = work;
+        self.index = 0;
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" sigma constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Words 12..16: block counter and nonce, all zero at start.
+        Self {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn blocks_differ() {
+        // 16 words per block: consecutive blocks must not repeat.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let block1: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let block2: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(block1, block2);
+    }
+
+    #[test]
+    fn bits_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        // 64_000 bits, expect ~32_000 ones; 6 sigma is ±760.
+        assert!((31_240..=32_760).contains(&ones), "ones = {ones}");
+    }
+}
