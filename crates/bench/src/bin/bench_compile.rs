@@ -1,0 +1,229 @@
+//! End-to-end `rewrite + compile` wall-clock benchmark runner.
+//!
+//! Times the full endurance-aware pipeline (Algorithm 2 rewriting at the
+//! paper's effort, then Algorithm 3 compilation) on the largest vendored
+//! benchmarks and writes the measurements to `BENCH_compile.json`, so the
+//! speedup trajectory is tracked from PR to PR.
+//!
+//! ```text
+//! cargo run --release -p rlim-bench --bin bench_compile
+//! cargo run --release -p rlim-bench --bin bench_compile -- --quick --out smoke.json
+//! cargo run --release -p rlim-bench --bin bench_compile -- --baseline BENCH_compile.json
+//! ```
+//!
+//! With `--baseline`, per-benchmark `speedup` fields are computed against
+//! the `total_seconds` of a previously written JSON file. The functional
+//! metrics (`instructions`, `rrams`) are recorded so that a perf regression
+//! that silently changes the emitted program is caught by diffing the file.
+
+use std::time::Instant;
+
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::{compile, CompileOptions};
+use rlim_mig::rewrite::{rewrite, Algorithm};
+
+/// The benchmarks worth timing: the largest graphs in the suite, where the
+/// ~50 rewriting passes dominate end-to-end compile time.
+const LARGE: &[Benchmark] = &[
+    Benchmark::Div,
+    Benchmark::Multiplier,
+    Benchmark::Square,
+    Benchmark::Sqrt,
+    Benchmark::Log2,
+    Benchmark::MemCtrl,
+    Benchmark::Voter,
+];
+
+/// Small set for CI smoke runs.
+const QUICK: &[Benchmark] = &[Benchmark::Cavlc, Benchmark::Priority, Benchmark::Dec];
+
+struct Row {
+    name: &'static str,
+    gates: usize,
+    rewritten_gates: usize,
+    rewrite_seconds: f64,
+    compile_seconds: f64,
+    instructions: usize,
+    rrams: usize,
+}
+
+impl Row {
+    fn total_seconds(&self) -> f64 {
+        self.rewrite_seconds + self.compile_seconds
+    }
+}
+
+fn measure(benchmark: Benchmark, effort: usize, repeat: usize) -> Row {
+    let mig = benchmark.build();
+    let mut best: Option<Row> = None;
+    for _ in 0..repeat.max(1) {
+        let t0 = Instant::now();
+        let rewritten = rewrite(&mig, Algorithm::EnduranceAware, effort);
+        let rewrite_seconds = t0.elapsed().as_secs_f64();
+
+        // The graph is already rewritten; compile without re-rewriting so
+        // the two phases are timed separately.
+        let options = CompileOptions {
+            rewriting: None,
+            ..CompileOptions::endurance_aware()
+        };
+        let t1 = Instant::now();
+        let result = compile(&rewritten, &options);
+        let compile_seconds = t1.elapsed().as_secs_f64();
+
+        let row = Row {
+            name: benchmark.name(),
+            gates: mig.num_gates(),
+            rewritten_gates: rewritten.num_gates(),
+            rewrite_seconds,
+            compile_seconds,
+            instructions: result.num_instructions(),
+            rrams: result.num_rrams(),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| row.total_seconds() < b.total_seconds())
+        {
+            best = Some(row);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+/// Reads `"name" ... "total_seconds": <x>` pairs out of a previously
+/// written report, without a JSON dependency. Good enough for files this
+/// binary wrote itself.
+fn baseline_totals(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\":") {
+            name = rest
+                .trim()
+                .trim_end_matches(',')
+                .trim_matches('"')
+                .to_owned()
+                .into();
+        } else if let Some(rest) = line.strip_prefix("\"total_seconds\":") {
+            if let (Some(n), Ok(v)) = (
+                name.take(),
+                rest.trim().trim_end_matches(',').parse::<f64>(),
+            ) {
+                out.push((n, v));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut benchmarks: Vec<Benchmark> = LARGE.to_vec();
+    let mut effort = 5usize;
+    let mut out_path = "BENCH_compile.json".to_owned();
+    let mut baseline: Option<String> = None;
+    let mut repeat = 1usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => benchmarks = QUICK.to_vec(),
+            "--bench" => {
+                let list = args.next().expect("--bench needs a comma-separated list");
+                benchmarks = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("unknown benchmark"))
+                    .collect();
+            }
+            "--effort" => {
+                effort = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--effort needs a number");
+            }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeat needs a number");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: bench_compile [--quick] [--bench a,b,c] [--effort N] \
+                     [--repeat N] [--out PATH] [--baseline PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline_rows = baseline.as_deref().map(baseline_totals);
+    let mut rows = Vec::with_capacity(benchmarks.len());
+    for &b in &benchmarks {
+        let row = measure(b, effort, repeat);
+        eprintln!(
+            "[{}] {} gates -> {}: rewrite {:.3}s + compile {:.3}s = {:.3}s (#I={} #R={})",
+            row.name,
+            row.gates,
+            row.rewritten_gates,
+            row.rewrite_seconds,
+            row.compile_seconds,
+            row.total_seconds(),
+            row.instructions,
+            row.rrams
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    json.push_str(&format!("  \"effort\": {effort},\n"));
+    json.push_str("  \"algorithm\": \"endurance_aware\",\n");
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let speedup = baseline_rows.as_ref().and_then(|b| {
+            b.iter()
+                .find(|(n, _)| n == row.name)
+                .map(|(_, secs)| secs / row.total_seconds())
+        });
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", row.name));
+        json.push_str(&format!("      \"gates\": {},\n", row.gates));
+        json.push_str(&format!(
+            "      \"rewritten_gates\": {},\n",
+            row.rewritten_gates
+        ));
+        json.push_str(&format!(
+            "      \"rewrite_seconds\": {:.6},\n",
+            row.rewrite_seconds
+        ));
+        json.push_str(&format!(
+            "      \"compile_seconds\": {:.6},\n",
+            row.compile_seconds
+        ));
+        json.push_str(&format!(
+            "      \"total_seconds\": {:.6},\n",
+            row.total_seconds()
+        ));
+        if let Some(s) = speedup {
+            json.push_str(&format!("      \"speedup_vs_baseline\": {s:.3},\n"));
+        }
+        json.push_str(&format!("      \"instructions\": {},\n", row.instructions));
+        json.push_str(&format!("      \"rrams\": {}\n", row.rrams));
+        json.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -139,10 +139,12 @@ struct Compiler<'a> {
 
 impl<'a> Compiler<'a> {
     fn new(mig: &'a Mig, options: &CompileOptions) -> Self {
-        let live = mig.live_mask();
+        // One structural view serves both the pending-use counts here and
+        // the scheduler's liveness/levels/parent queries.
+        let view = rlim_mig::StructuralView::of(mig);
         let mut fanout_remaining = vec![0u32; mig.num_nodes()];
         for g in mig.gates() {
-            if !live[g.index()] {
+            if !view.is_live(g) {
                 continue;
             }
             for s in mig.children(g) {
@@ -156,7 +158,7 @@ impl<'a> Compiler<'a> {
                 fanout_remaining[s.node().index()] += 1;
             }
         }
-        let scheduler = Scheduler::new(mig, options.selection, &fanout_remaining);
+        let scheduler = Scheduler::from_view(mig, options.selection, &fanout_remaining, view);
         Compiler {
             mig,
             cells: CellManager::new(options.allocation, options.max_writes),

@@ -18,7 +18,7 @@
 
 use std::collections::BinaryHeap;
 
-use rlim_mig::{Mig, NodeId};
+use rlim_mig::{Mig, NodeId, StructuralView};
 
 use crate::options::Selection;
 
@@ -30,13 +30,16 @@ type Key = (i64, i64, i64);
 pub(crate) struct Scheduler<'a> {
     mig: &'a Mig,
     selection: Selection,
-    /// Min level over gate parents; `u32::MAX` for nodes only feeding POs.
+    /// Levels, fanout, liveness, CSR parent index of `mig`. The CSR index
+    /// replaces the old per-node `Vec<Vec<NodeId>>` (one heap allocation
+    /// per node); dead parents stay in the index and are skipped on walk.
+    view: StructuralView,
+    /// Min level over live gate parents; `u32::MAX` for nodes only
+    /// feeding POs.
     fanout_level: Vec<u32>,
-    parents: Vec<Vec<NodeId>>,
     /// Uncomputed gate-children per gate.
     deps: Vec<u32>,
     computed: Vec<bool>,
-    live: Vec<bool>,
     heap: BinaryHeap<(Key, u32)>,
     /// Cursor for topological mode.
     cursor: usize,
@@ -45,27 +48,38 @@ pub(crate) struct Scheduler<'a> {
 impl<'a> Scheduler<'a> {
     /// Builds the scheduler over the live gates of `mig`.
     /// `fanout_remaining` must hold the initial pending-use counts.
+    /// (Production code shares the compiler's view via
+    /// [`Scheduler::from_view`] instead.)
+    #[cfg(test)]
     pub fn new(mig: &'a Mig, selection: Selection, fanout_remaining: &[u32]) -> Self {
-        let live = mig.live_mask();
-        let parents_all = mig.parents();
-        let levels = mig.levels();
+        Self::from_view(mig, selection, fanout_remaining, StructuralView::of(mig))
+    }
 
-        // Keep only live parents: dead gates are never computed.
-        let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); mig.num_nodes()];
-        for (idx, plist) in parents_all.iter().enumerate() {
-            parents[idx] = plist.iter().copied().filter(|p| live[p.index()]).collect();
-        }
-
+    /// Like [`Scheduler::new`], reusing an already-computed view of `mig`.
+    pub fn from_view(
+        mig: &'a Mig,
+        selection: Selection,
+        fanout_remaining: &[u32],
+        view: StructuralView,
+    ) -> Self {
         let mut fanout_level = vec![u32::MAX; mig.num_nodes()];
         for n in mig.node_ids() {
-            if let Some(min) = parents[n.index()].iter().map(|p| levels[p.index()]).min() {
+            // Dead gates are never computed, so they don't constrain the
+            // fanout level.
+            if let Some(min) = view
+                .parents_of(n)
+                .iter()
+                .filter(|p| view.is_live(**p))
+                .map(|p| view.level(*p))
+                .min()
+            {
                 fanout_level[n.index()] = min;
             }
         }
 
         let mut deps = vec![0u32; mig.num_nodes()];
         for g in mig.gates() {
-            if !live[g.index()] {
+            if !view.is_live(g) {
                 continue;
             }
             deps[g.index()] = mig
@@ -78,17 +92,16 @@ impl<'a> Scheduler<'a> {
         let mut sched = Scheduler {
             mig,
             selection,
+            view,
             fanout_level,
-            parents,
             deps,
             computed: vec![false; mig.num_nodes()],
-            live,
             heap: BinaryHeap::new(),
             cursor: 0,
         };
         if selection != Selection::Topological {
             for g in mig.gates() {
-                if sched.live[g.index()] && sched.deps[g.index()] == 0 {
+                if sched.view.is_live(g) && sched.deps[g.index()] == 0 {
                     sched.push(g, fanout_remaining);
                 }
             }
@@ -130,7 +143,7 @@ impl<'a> Scheduler<'a> {
             let mut i = self.cursor.max(first_gate);
             while i < total {
                 let n = NodeId::new(i as u32);
-                if self.live[i] && !self.computed[i] {
+                if self.view.is_live(n) && !self.computed[i] {
                     self.cursor = i + 1;
                     self.computed[i] = true;
                     return Some(n);
@@ -163,14 +176,17 @@ impl<'a> Scheduler<'a> {
         if self.selection == Selection::Topological {
             return;
         }
-        let parents = std::mem::take(&mut self.parents[n.index()]);
-        for &p in &parents {
+        let (lo, hi) = self.view.parent_bounds(n);
+        for i in lo..hi {
+            let p = self.view.parent_at(i);
+            if !self.view.is_live(p) {
+                continue;
+            }
             self.deps[p.index()] -= 1;
             if self.deps[p.index()] == 0 && !self.computed[p.index()] {
                 self.push(p, fanout_remaining);
             }
         }
-        self.parents[n.index()] = parents;
     }
 
     /// Signals that `child`'s pending-use count dropped to 1, improving the
@@ -179,13 +195,13 @@ impl<'a> Scheduler<'a> {
         if self.selection == Selection::Topological {
             return;
         }
-        let parents = std::mem::take(&mut self.parents[child.index()]);
-        for &p in &parents {
-            if !self.computed[p.index()] && self.deps[p.index()] == 0 {
+        let (lo, hi) = self.view.parent_bounds(child);
+        for i in lo..hi {
+            let p = self.view.parent_at(i);
+            if self.view.is_live(p) && !self.computed[p.index()] && self.deps[p.index()] == 0 {
                 self.push(p, fanout_remaining);
             }
         }
-        self.parents[child.index()] = parents;
     }
 }
 

@@ -6,14 +6,17 @@
 //! * the **maximum write budget W** (Table III samples {10, 20, 50, 100}):
 //!   the full endurance ↔ area curve at fine granularity.
 //!
-//! Output is CSV on stdout for direct plotting.
+//! The benchmark × sweep-point matrix is distributed across worker threads
+//! (`--threads N` / `RLIM_THREADS` to override, `1` to force serial); the
+//! CSV row order is deterministic either way. Output is CSV on stdout for
+//! direct plotting.
 //!
 //! ```text
 //! cargo run --release -p rlim-eval --bin sweep -- --bench bar,priority
 //! ```
 
 use rlim_benchmarks::Benchmark;
-use rlim_compiler::{compile, CompileOptions};
+use rlim_eval::sweep::{sweep_rows, CSV_HEADER};
 use rlim_eval::RunPlan;
 
 fn main() {
@@ -22,56 +25,8 @@ fn main() {
         plan.benchmarks = vec![Benchmark::Bar, Benchmark::Cavlc, Benchmark::Priority];
     }
 
-    println!("series,benchmark,x,instructions,rrams,max_writes,stdev");
-
-    // Series 1: rewriting effort 0..=8 under the full technique stack.
-    for &b in &plan.benchmarks {
-        let mig = b.build();
-        for effort in 0..=8usize {
-            let options = if effort == 0 {
-                // effort 0 = no rewriting at all (the naive graph).
-                CompileOptions {
-                    rewriting: None,
-                    ..CompileOptions::endurance_aware()
-                }
-            } else {
-                CompileOptions::endurance_aware().with_effort(effort)
-            };
-            let r = compile(&mig, &options);
-            let s = r.write_stats();
-            println!(
-                "effort,{},{effort},{},{},{},{:.4}",
-                b.name(),
-                r.num_instructions(),
-                r.num_rrams(),
-                s.max,
-                s.stdev
-            );
-        }
-        eprintln!("[{b}] effort sweep done");
-    }
-
-    // Series 2: write budget W from 3 to 200 (log-ish spacing).
-    let budgets: &[u64] = &[3, 4, 5, 6, 8, 10, 13, 16, 20, 28, 40, 56, 80, 100, 140, 200];
-    for &b in &plan.benchmarks {
-        let mig = b.build();
-        for &w in budgets {
-            let r = compile(
-                &mig,
-                &CompileOptions::endurance_aware()
-                    .with_effort(plan.effort)
-                    .with_max_writes(w),
-            );
-            let s = r.write_stats();
-            println!(
-                "budget,{},{w},{},{},{},{:.4}",
-                b.name(),
-                r.num_instructions(),
-                r.num_rrams(),
-                s.max,
-                s.stdev
-            );
-        }
-        eprintln!("[{b}] budget sweep done");
+    println!("{CSV_HEADER}");
+    for row in sweep_rows(&plan) {
+        println!("{row}");
     }
 }

@@ -12,14 +12,14 @@
 //! * `--quick` — the small fast subset (for smoke runs);
 //! * `--effort N` — override the rewriting effort (paper default 5).
 
-use std::collections::BTreeMap;
-use std::sync::Mutex;
 use std::time::Instant;
 
 use rlim_benchmarks::Benchmark;
 use rlim_compiler::{compile, CompileOptions, CompileResult};
 use rlim_mig::Mig;
 use rlim_rram::WriteStats;
+
+pub mod sweep;
 
 /// Which benchmarks to run and with what effort, parsed from `argv`.
 #[derive(Debug, Clone)]
@@ -28,10 +28,15 @@ pub struct RunPlan {
     pub benchmarks: Vec<Benchmark>,
     /// Rewriting effort (paper: 5).
     pub effort: usize,
+    /// Worker threads for the benchmark × preset matrix; `0` = one per
+    /// available core. Settable with `--threads N` or `RLIM_THREADS`.
+    pub threads: usize,
 }
 
 impl RunPlan {
     /// Parses command-line arguments (everything after the program name).
+    /// `RLIM_THREADS` provides the default worker count; `--threads`
+    /// overrides it.
     ///
     /// # Errors
     ///
@@ -40,6 +45,10 @@ impl RunPlan {
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut benchmarks: Option<Vec<Benchmark>> = None;
         let mut effort = 5usize;
+        let mut threads = std::env::var("RLIM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -54,12 +63,17 @@ impl RunPlan {
                     let v = it.next().ok_or("--effort needs a number")?;
                     effort = v.parse().map_err(|_| format!("bad effort `{v}`"))?;
                 }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a number")?;
+                    threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
         Ok(RunPlan {
             benchmarks: benchmarks.unwrap_or_else(|| Benchmark::all().to_vec()),
             effort,
+            threads,
         })
     }
 
@@ -70,12 +84,16 @@ impl RunPlan {
             Ok(plan) => plan,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: [--bench a,b,c] [--quick] [--effort N]");
+                eprintln!("usage: [--bench a,b,c] [--quick] [--effort N] [--threads N]");
                 std::process::exit(2);
             }
         }
     }
 }
+
+// The scoped worker pool behind every matrix in this crate — one policy,
+// defined once in the testkit and shared with the differential oracle.
+pub use rlim_testkit::parallel::{parallel_map, resolve_threads};
 
 /// One measured compilation: the paper's per-cell metrics.
 #[derive(Debug, Clone)]
@@ -195,70 +213,65 @@ impl BenchmarkReport {
     }
 }
 
-/// Runs `columns` over every benchmark in the plan, in parallel across
-/// benchmarks (each benchmark's columns run sequentially so per-column
-/// timings stay meaningful). Progress lines go to stderr.
+/// Runs `columns` over every benchmark in the plan, distributing the full
+/// **benchmark × column matrix** across scoped worker threads (graphs are
+/// built first, in parallel across benchmarks). Reports come back in plan
+/// order with columns in the requested order, independent of scheduling;
+/// per-cell compile timings are still measured per `compile` call.
+/// Progress lines go to stderr.
 pub fn run_suite(plan: &RunPlan, columns: &[Column]) -> Vec<BenchmarkReport> {
-    let jobs: Vec<Benchmark> = plan.benchmarks.clone();
-    let results: Mutex<BTreeMap<Benchmark, BenchmarkReport>> = Mutex::new(BTreeMap::new());
-    let next: Mutex<usize> = Mutex::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = {
-                    let mut guard = next.lock().expect("queue lock");
-                    let i = *guard;
-                    if i >= jobs.len() {
-                        return;
-                    }
-                    *guard += 1;
-                    jobs[i]
-                };
-                let report = run_benchmark(job, columns, plan.effort);
-                results.lock().expect("result lock").insert(job, report);
-            });
-        }
+    let migs: Vec<Mig> = parallel_map(plan.benchmarks.clone(), plan.threads, |b| {
+        let build_start = Instant::now();
+        let mig = b.build();
+        eprintln!(
+            "[{}] built: {} gates in {:.2}s",
+            b.name(),
+            mig.num_gates(),
+            build_start.elapsed().as_secs_f64()
+        );
+        mig
     });
 
-    let mut by_bench = results.into_inner().expect("no poisoned lock");
-    plan.benchmarks
-        .iter()
-        .filter_map(|b| by_bench.remove(b))
-        .collect()
-}
-
-/// Compiles one benchmark under every column.
-pub fn run_benchmark(benchmark: Benchmark, columns: &[Column], effort: usize) -> BenchmarkReport {
-    let build_start = Instant::now();
-    let mig = benchmark.build();
-    eprintln!(
-        "[{}] built: {} gates in {:.2}s",
-        benchmark.name(),
-        mig.num_gates(),
-        build_start.elapsed().as_secs_f64()
-    );
-    let mut measured = Vec::with_capacity(columns.len());
-    for &col in columns {
-        let m = Measurement::of(&mig, &col.options(effort));
+    let jobs: Vec<(usize, Column)> = (0..migs.len())
+        .flat_map(|i| columns.iter().map(move |&c| (i, c)))
+        .collect();
+    let cells: Vec<Measurement> = parallel_map(jobs, plan.threads, |(i, col)| {
+        let m = Measurement::of(&migs[i], &col.options(plan.effort));
         eprintln!(
             "[{}] {}: #I={} #R={} stdev={:.2} ({:.2}s)",
-            benchmark.name(),
+            plan.benchmarks[i].name(),
             col.label(),
             m.instructions,
             m.rrams,
             m.stats.stdev,
             m.seconds
         );
-        measured.push((col, m));
-    }
+        m
+    });
+
+    let mut cells = cells.into_iter();
+    plan.benchmarks
+        .iter()
+        .map(|&benchmark| BenchmarkReport {
+            benchmark,
+            columns: columns
+                .iter()
+                .map(|&c| (c, cells.next().expect("one cell per matrix entry")))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Compiles one benchmark under every column, sequentially on the calling
+/// thread.
+pub fn run_benchmark(benchmark: Benchmark, columns: &[Column], effort: usize) -> BenchmarkReport {
+    let mig = benchmark.build();
     BenchmarkReport {
         benchmark,
-        columns: measured,
+        columns: columns
+            .iter()
+            .map(|&col| (col, Measurement::of(&mig, &col.options(effort))))
+            .collect(),
     }
 }
 

@@ -1,0 +1,122 @@
+//! Parameter-sweep machinery behind the `sweep` binary: the benchmark ×
+//! sweep-point matrix, distributed over scoped worker threads with
+//! deterministic, byte-identical output ordering.
+//!
+//! Rows are returned (and printed) in the same nesting order the original
+//! sequential implementation used — effort series grouped by benchmark,
+//! then budget series grouped by benchmark — no matter how many workers
+//! computed them, so a forced single-thread run (`--threads 1` or
+//! `RLIM_THREADS=1`) produces the same CSV byte for byte.
+
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::{compile, CompileOptions};
+use rlim_mig::Mig;
+
+use crate::{parallel_map, RunPlan};
+
+/// CSV header of the sweep output.
+pub const CSV_HEADER: &str = "series,benchmark,x,instructions,rrams,max_writes,stdev";
+
+/// Rewriting efforts sampled by the effort series (0 = no rewriting).
+pub const EFFORTS: std::ops::RangeInclusive<usize> = 0..=8;
+
+/// Write budgets sampled by the budget series (log-ish spacing).
+pub const BUDGETS: &[u64] = &[3, 4, 5, 6, 8, 10, 13, 16, 20, 28, 40, 56, 80, 100, 140, 200];
+
+/// One cell of the sweep matrix.
+#[derive(Debug, Clone, Copy)]
+enum Point {
+    /// Rewriting effort `x` under the full technique stack.
+    Effort(usize),
+    /// Maximum write budget `x` at the plan's effort.
+    Budget(u64),
+}
+
+fn cell(mig: &Mig, benchmark: Benchmark, point: Point, plan_effort: usize) -> String {
+    let (series, x, options) = match point {
+        Point::Effort(0) => (
+            "effort",
+            0u64,
+            // effort 0 = no rewriting at all (the naive graph).
+            CompileOptions {
+                rewriting: None,
+                ..CompileOptions::endurance_aware()
+            },
+        ),
+        Point::Effort(e) => (
+            "effort",
+            e as u64,
+            CompileOptions::endurance_aware().with_effort(e),
+        ),
+        Point::Budget(w) => (
+            "budget",
+            w,
+            CompileOptions::endurance_aware()
+                .with_effort(plan_effort)
+                .with_max_writes(w),
+        ),
+    };
+    let r = compile(mig, &options);
+    let s = r.write_stats();
+    format!(
+        "{series},{},{x},{},{},{},{:.4}",
+        benchmark.name(),
+        r.num_instructions(),
+        r.num_rrams(),
+        s.max,
+        s.stdev
+    )
+}
+
+/// Computes every sweep row for the plan's benchmarks, distributing the
+/// benchmark × point matrix across `plan.threads` workers. The returned
+/// rows are in deterministic order: the effort series per benchmark, then
+/// the budget series per benchmark.
+pub fn sweep_rows(plan: &RunPlan) -> Vec<String> {
+    let migs: Vec<Mig> = parallel_map(plan.benchmarks.clone(), plan.threads, |b| b.build());
+
+    let mut jobs: Vec<(usize, Point)> = Vec::new();
+    for i in 0..migs.len() {
+        jobs.extend(EFFORTS.map(|e| (i, Point::Effort(e))));
+    }
+    for i in 0..migs.len() {
+        jobs.extend(BUDGETS.iter().map(|&w| (i, Point::Budget(w))));
+    }
+
+    parallel_map(jobs, plan.threads, |(i, point)| {
+        cell(&migs[i], plan.benchmarks[i], point, plan.effort)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan(threads: usize) -> RunPlan {
+        RunPlan {
+            benchmarks: vec![Benchmark::Ctrl, Benchmark::Int2float],
+            effort: 2,
+            threads,
+        }
+    }
+
+    /// The satellite determinism requirement: a forced single-thread run
+    /// produces byte-identical rows to a parallel run.
+    #[test]
+    fn parallel_rows_identical_to_single_thread() {
+        let serial = sweep_rows(&tiny_plan(1));
+        let parallel = sweep_rows(&tiny_plan(4));
+        assert_eq!(serial, parallel);
+        let expected = 2 * (EFFORTS.count() + BUDGETS.len());
+        assert_eq!(serial.len(), expected);
+    }
+
+    #[test]
+    fn rows_are_grouped_series_then_benchmark() {
+        let rows = sweep_rows(&tiny_plan(0));
+        assert!(rows[0].starts_with("effort,ctrl,0,"));
+        assert!(rows[EFFORTS.count()].starts_with("effort,int2float,0,"));
+        assert!(rows[2 * EFFORTS.count()].starts_with("budget,ctrl,3,"));
+        assert!(rows.last().unwrap().starts_with("budget,int2float,200,"));
+    }
+}

@@ -13,6 +13,8 @@
 //!   (endurance-aware rewriting).
 //! * [`simulate`] — 64-way bit-parallel simulation and
 //!   random equivalence checking (available as inherent methods on [`Mig`]).
+//! * [`view`] — reusable structural views: levels, fanout, bitset live
+//!   mask and a CSR parent index, derived together in two linear sweeps.
 //! * [`stats`] — structural statistics (complemented-edge histogram, level
 //!   spread) used by the evaluation harness.
 //! * [`random`] — seeded random-MIG generation for tests and synthetic
@@ -40,6 +42,7 @@
 
 mod mig;
 mod signal;
+mod strash;
 
 pub mod blif;
 pub mod dot;
@@ -47,7 +50,9 @@ pub mod random;
 pub mod rewrite;
 pub mod simulate;
 pub mod stats;
+pub mod view;
 
 pub use crate::mig::{Mig, NodeKind};
 pub use crate::signal::{NodeId, Signal};
 pub use crate::simulate::{equiv_random, Equivalence};
+pub use crate::view::{BitSet, StructuralView};

@@ -1,9 +1,9 @@
 //! The Majority-Inverter Graph container.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::signal::{NodeId, Signal};
+use crate::strash::StrashTable;
 
 /// Classification of a node inside a [`Mig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,7 +43,7 @@ pub struct Mig {
     nodes: Vec<[Signal; 3]>,
     num_inputs: u32,
     outputs: Vec<Signal>,
-    strash: HashMap<[Signal; 3], NodeId>,
+    strash: StrashTable,
 }
 
 impl Mig {
@@ -55,8 +55,23 @@ impl Mig {
             nodes,
             num_inputs,
             outputs: Vec::new(),
-            strash: HashMap::new(),
+            strash: StrashTable::new(),
         }
+    }
+
+    /// Clears the graph back to `num_inputs` fresh inputs and no gates,
+    /// **keeping every internal allocation** (node array, output list,
+    /// strash slots). This is what makes the rewrite engine's
+    /// double-buffering allocation-free: the ~50 rebuilds per `rewrite()`
+    /// call recycle two `Mig` buffers instead of constructing fresh ones.
+    pub fn reset(&mut self, num_inputs: usize) {
+        let num_inputs = u32::try_from(num_inputs).expect("too many inputs");
+        self.nodes.clear();
+        self.nodes
+            .resize(num_inputs as usize + 1, [Signal::FALSE; 3]);
+        self.num_inputs = num_inputs;
+        self.outputs.clear();
+        self.strash.clear();
     }
 
     /// Number of primary inputs.
@@ -106,8 +121,17 @@ impl Mig {
     }
 
     /// Registers `s` as the next primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` points past the last node — a dangling output would
+    /// otherwise surface only as an index panic in a later traversal.
     pub fn add_output(&mut self, s: Signal) {
-        debug_assert!(s.node().index() < self.nodes.len());
+        assert!(
+            s.node().index() < self.nodes.len(),
+            "dangling primary output {s}: graph has {} nodes",
+            self.nodes.len()
+        );
         self.outputs.push(s);
     }
 
@@ -180,9 +204,12 @@ impl Mig {
         if b == !c {
             return Ok(a);
         }
-        let mut key = [a, b, c];
-        key.sort_unstable();
-        Err(key)
+        // Three-element sorting network — cheaper than the generic slice
+        // sort on this hottest of paths (one call per add_maj).
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let (b, c) = if b <= c { (b, c) } else { (c, b) };
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        Err([a, b, c])
     }
 
     /// Adds (or finds) the majority gate `⟨a b c⟩`.
@@ -196,14 +223,15 @@ impl Mig {
         match Mig::simplify_maj(a, b, c) {
             Ok(s) => s,
             Err(key) => {
-                if let Some(&n) = self.strash.get(&key) {
-                    return Signal::new(n, false);
-                }
                 debug_assert!(key.iter().all(|s| s.node().index() < self.nodes.len()));
                 let id = NodeId::new(self.nodes.len() as u32);
-                self.nodes.push(key);
-                self.strash.insert(key, id);
-                Signal::new(id, false)
+                match self.strash.insert_or_get(&key, id, &self.nodes) {
+                    Some(existing) => Signal::new(existing, false),
+                    None => {
+                        self.nodes.push(key);
+                        Signal::new(id, false)
+                    }
+                }
             }
         }
     }
@@ -213,7 +241,10 @@ impl Mig {
     pub fn lookup_maj(&self, a: Signal, b: Signal, c: Signal) -> Option<Signal> {
         match Mig::simplify_maj(a, b, c) {
             Ok(s) => Some(s),
-            Err(key) => self.strash.get(&key).map(|&n| Signal::new(n, false)),
+            Err(key) => self
+                .strash
+                .get(&key, &self.nodes)
+                .map(|n| Signal::new(n, false)),
         }
     }
 
@@ -498,6 +529,69 @@ mod tests {
         mig.add_output(g1);
         assert_eq!(mig.num_gates(), 2);
         assert_eq!(mig.num_live_gates(), 1);
+    }
+
+    /// The open-addressing strash must dedup exactly like the `HashMap`
+    /// keyed on sorted triples that it replaced: same signal for every
+    /// child permutation, distinct nodes for distinct complement patterns.
+    #[test]
+    fn strash_matches_hashmap_model_on_random_triples() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+        for seed in 0..4u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut mig = Mig::new(6);
+            let mut model: HashMap<[Signal; 3], Signal> = HashMap::new();
+            let mut pool: Vec<Signal> = mig.inputs().collect();
+            pool.push(Signal::FALSE);
+            for _ in 0..3000 {
+                let pick = |rng: &mut rand_chacha::ChaCha8Rng| {
+                    let s = pool[rng.gen_range(0..pool.len())];
+                    s.complement_if(rng.gen_bool(0.4))
+                };
+                let (a, b, c) = (pick(&mut rng), pick(&mut rng), pick(&mut rng));
+                // Insert a random permutation of the triple; the strash
+                // must resolve every ordering to the same signal.
+                let perm: [Signal; 3] = [[a, b, c], [c, a, b], [b, c, a]][rng.gen_range(0..3usize)];
+                let got = mig.add_maj(perm[0], perm[1], perm[2]);
+                let expect = match Mig::simplify_maj(a, b, c) {
+                    Ok(s) => s,
+                    Err(key) => *model.entry(key).or_insert(got),
+                };
+                assert_eq!(got, expect, "seed {seed}: ⟨{a} {b} {c}⟩");
+                pool.push(got);
+            }
+            assert_eq!(mig.num_gates(), model.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reset_keeps_dedup_and_clears_state() {
+        let mut mig = Mig::new(3);
+        let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+        let g = mig.add_maj(a, b, c);
+        mig.add_output(g);
+
+        mig.reset(2);
+        assert_eq!(mig.num_inputs(), 2);
+        assert_eq!(mig.num_gates(), 0);
+        assert_eq!(mig.num_outputs(), 0);
+
+        // The recycled strash must not remember pre-reset gates, and must
+        // still dedup new ones.
+        let a2 = mig.input(0);
+        let b2 = mig.input(1);
+        let g1 = mig.and(a2, b2);
+        let g2 = mig.and(b2, a2);
+        assert_eq!(g1, g2);
+        assert_eq!(mig.num_gates(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling primary output")]
+    fn dangling_output_rejected() {
+        let mut mig = Mig::new(2);
+        mig.add_output(Signal::new(NodeId::new(40), false));
     }
 
     #[test]

@@ -10,11 +10,12 @@
 //! single-inverter nodes create more hash hits.
 
 use crate::mig::Mig;
-use crate::rewrite::{gate_children, old_single_fanout, rebuild};
+use crate::rewrite::{gate_children, old_single_fanout, other_two, rebuild_into, two_excluding};
 use crate::signal::Signal;
+use crate::view::StructuralView;
 
-pub(crate) fn run(mig: &Mig) -> Mig {
-    rebuild(mig, |new, view, g, ch| {
+pub(crate) fn run(old: &Mig, new: &mut Mig, view: &mut StructuralView, map: &mut Vec<Signal>) {
+    rebuild_into(old, new, view, map, |new, view, g, ch| {
         let old_children = view.old.children(g);
         // Try every child as the inner gate position.
         for inner_idx in 0..3 {
@@ -28,7 +29,7 @@ pub(crate) fn run(mig: &Mig) -> Mig {
                 Some(c) => c,
                 None => continue,
             };
-            let outer: Vec<Signal> = (0..3).filter(|&i| i != inner_idx).map(|i| ch[i]).collect();
+            let outer = other_two(ch, inner_idx);
             // Shared middle signal u: present both as an outer child and an
             // inner child.
             for &u in &outer {
@@ -40,13 +41,12 @@ pub(crate) fn run(mig: &Mig) -> Mig {
                 let Some(&x) = outer.iter().find(|&&s| s != u) else {
                     continue;
                 };
-                let rest: Vec<Signal> = inner.iter().filter(|&&s| s != u).copied().collect();
-                if rest.len() != 2 {
+                let Some([r0, r1]) = two_excluding(&inner, u) else {
                     continue;
-                }
+                };
                 // ⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩; y and z are symmetric so
                 // try swapping x with either.
-                for (y, z) in [(rest[0], rest[1]), (rest[1], rest[0])] {
+                for (y, z) in [(r0, r1), (r1, r0)] {
                     if let Some(shared) = new.lookup_maj(y, u, x) {
                         let top = new.add_maj(z, u, shared);
                         return top;
@@ -62,6 +62,11 @@ pub(crate) fn run(mig: &Mig) -> Mig {
 mod tests {
     use super::*;
     use crate::simulate::equiv_random;
+
+    /// Single-pass entry point (shadows the buffer-reusing `super::run`).
+    fn run(mig: &Mig) -> Mig {
+        crate::rewrite::Pass::Associativity.run(mig)
+    }
 
     #[test]
     fn swap_creates_sharing() {

@@ -6,14 +6,23 @@
 //! handled by flipping through Ω.I first.
 
 use crate::mig::Mig;
-use crate::rewrite::{gate_children, old_single_fanout, rebuild, View};
+use crate::rewrite::{gate_children, old_single_fanout, rebuild_into, View};
 use crate::signal::Signal;
+use crate::view::StructuralView;
 
-/// Signals present in both sorted triples (exact match incl. complement).
-/// Children of a gate always reference three distinct nodes, so the
-/// intersection is duplicate-free.
-fn shared_signals(a: &[Signal; 3], b: &[Signal; 3]) -> Vec<Signal> {
-    a.iter().filter(|s| b.contains(s)).copied().collect()
+/// Signals present in both sorted triples (exact match incl. complement),
+/// returned as `(buffer, count)`. Children of a gate always reference three
+/// distinct nodes, so the intersection is duplicate-free.
+fn shared_signals(a: &[Signal; 3], b: &[Signal; 3]) -> ([Signal; 3], usize) {
+    let mut out = [Signal::FALSE; 3];
+    let mut n = 0;
+    for &s in a {
+        if b.contains(&s) {
+            out[n] = s;
+            n += 1;
+        }
+    }
+    (out, n)
 }
 
 /// The child of `t` that is not in `shared`.
@@ -27,12 +36,18 @@ fn leftover(t: &[Signal; 3], shared: &[Signal]) -> Option<Signal> {
     }
 }
 
-pub(crate) fn run(mig: &Mig) -> Mig {
-    rebuild(mig, |new, view, g: crate::signal::NodeId, ch| {
-        let old_children = view.old.children(g);
-        try_distribute(new, view, ch, old_children)
-            .unwrap_or_else(|| new.add_maj(ch[0], ch[1], ch[2]))
-    })
+pub(crate) fn run(old: &Mig, new: &mut Mig, view: &mut StructuralView, map: &mut Vec<Signal>) {
+    rebuild_into(
+        old,
+        new,
+        view,
+        map,
+        |new, view, g: crate::signal::NodeId, ch| {
+            let old_children = view.old.children(g);
+            try_distribute(new, view, ch, old_children)
+                .unwrap_or_else(|| new.add_maj(ch[0], ch[1], ch[2]))
+        },
+    )
 }
 
 /// Attempts the right-to-left distributivity merge on one node.
@@ -63,12 +78,13 @@ fn try_distribute(
         if !old_single_fanout(view, old_children[i]) || !old_single_fanout(view, old_children[j]) {
             continue;
         }
-        let shared = shared_signals(&gi, &gj);
-        if shared.len() != 2 {
+        let (shared, num_shared) = shared_signals(&gi, &gj);
+        if num_shared != 2 {
             continue;
         }
-        let u = leftover(&gi, &shared)?;
-        let v = leftover(&gj, &shared)?;
+        let shared = &shared[..2];
+        let u = leftover(&gi, shared)?;
+        let v = leftover(&gj, shared)?;
         let (x, y) = (shared[0], shared[1]);
         if flipped {
             // ⟨ḡi ḡj z⟩ with gi=⟨x y u⟩: ḡi = ⟨x̄ ȳ ū⟩, so
@@ -86,6 +102,11 @@ fn try_distribute(
 mod tests {
     use super::*;
     use crate::simulate::equiv_random;
+
+    /// Single-pass entry point (shadows the buffer-reusing `super::run`).
+    fn run(mig: &Mig) -> Mig {
+        crate::rewrite::Pass::DistributivityRl.run(mig)
+    }
 
     #[test]
     fn merges_shared_pair() {

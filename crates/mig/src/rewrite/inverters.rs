@@ -14,8 +14,9 @@
 //! reads constants in either polarity for free.
 
 use crate::mig::Mig;
-use crate::rewrite::rebuild;
+use crate::rewrite::rebuild_into;
 use crate::signal::Signal;
+use crate::view::StructuralView;
 
 /// Which complement patterns trigger a flip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,8 +35,14 @@ fn complemented_count(children: &[Signal; 3]) -> usize {
         .count()
 }
 
-pub(crate) fn run(mig: &Mig, mode: InverterMode) -> Mig {
-    rebuild(mig, |new, _view, _old_gate, ch| {
+pub(crate) fn run(
+    old: &Mig,
+    new: &mut Mig,
+    view: &mut StructuralView,
+    map: &mut Vec<Signal>,
+    mode: InverterMode,
+) {
+    rebuild_into(old, new, view, map, |new, _view, _old_gate, ch| {
         let count = complemented_count(&ch);
         let flip = match mode {
             InverterMode::TwoOrThree => count >= 2,
@@ -54,6 +61,15 @@ mod tests {
     use super::*;
     use crate::signal::NodeId;
     use crate::simulate::equiv_random;
+
+    /// Single-pass entry point (shadows the buffer-reusing `super::run`).
+    fn run(mig: &Mig, mode: InverterMode) -> Mig {
+        match mode {
+            InverterMode::TwoOrThree => crate::rewrite::Pass::InvertersTwoOrThree,
+            InverterMode::ThreeOnly => crate::rewrite::Pass::InvertersThreeOnly,
+        }
+        .run(mig)
+    }
 
     fn three_complemented() -> Mig {
         let mut mig = Mig::new(3);

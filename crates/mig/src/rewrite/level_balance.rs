@@ -19,8 +19,9 @@
 //! single-fanout so the restructuring cannot duplicate logic.
 
 use crate::mig::Mig;
-use crate::rewrite::{gate_children, old_single_fanout, rebuild};
+use crate::rewrite::{gate_children, old_single_fanout, other_two, rebuild_into, two_excluding};
 use crate::signal::Signal;
+use crate::view::StructuralView;
 
 /// Level of a signal in the graph under construction, memoised per node.
 fn level_of(new: &Mig, cache: &mut Vec<u32>, s: Signal) -> u32 {
@@ -45,9 +46,15 @@ fn level_of(new: &Mig, cache: &mut Vec<u32>, s: Signal) -> u32 {
     level
 }
 
-pub(crate) fn run(mig: &Mig) -> Mig {
-    let mut levels: Vec<u32> = Vec::new();
-    rebuild(mig, move |new, view, g, ch| {
+pub(crate) fn run(
+    old: &Mig,
+    new: &mut Mig,
+    view: &mut StructuralView,
+    map: &mut Vec<Signal>,
+    levels: &mut Vec<u32>,
+) {
+    levels.clear();
+    rebuild_into(old, new, view, map, move |new, view, g, ch| {
         let old_children = view.old.children(g);
         for inner_idx in 0..3 {
             let m = ch[inner_idx];
@@ -58,28 +65,29 @@ pub(crate) fn run(mig: &Mig) -> Mig {
                 Some(c) => c,
                 None => continue,
             };
-            let outer: Vec<Signal> = (0..3).filter(|&i| i != inner_idx).map(|i| ch[i]).collect();
+            let outer = other_two(ch, inner_idx);
             for &u in &outer {
                 if !inner.contains(&u) {
                     continue;
                 }
-                let x = *outer.iter().find(|&&s| s != u).expect("two outer children");
-                let rest: Vec<Signal> = inner.iter().filter(|&&s| s != u).copied().collect();
-                if rest.len() != 2 {
+                let Some(&x) = outer.iter().find(|&&s| s != u) else {
                     continue;
-                }
+                };
+                let Some([r0, r1]) = two_excluding(&inner, u) else {
+                    continue;
+                };
                 // Pick the deeper of the two remaining inner children as z.
                 let (y, z) = {
-                    let l0 = level_of(new, &mut levels, rest[0]);
-                    let l1 = level_of(new, &mut levels, rest[1]);
+                    let l0 = level_of(new, levels, r0);
+                    let l1 = level_of(new, levels, r1);
                     if l0 >= l1 {
-                        (rest[1], rest[0])
+                        (r1, r0)
                     } else {
-                        (rest[0], rest[1])
+                        (r0, r1)
                     }
                 };
-                let lz = level_of(new, &mut levels, z);
-                let lx = level_of(new, &mut levels, x);
+                let lz = level_of(new, levels, z);
+                let lx = level_of(new, levels, x);
                 // Swap only when it strictly narrows the span: the hidden
                 // signal is deeper than the exposed one.
                 if lz > lx {
@@ -96,6 +104,11 @@ pub(crate) fn run(mig: &Mig) -> Mig {
 mod tests {
     use super::*;
     use crate::simulate::equiv_random;
+
+    /// Single-pass entry point (shadows the buffer-reusing `super::run`).
+    fn run(mig: &Mig) -> Mig {
+        crate::rewrite::Pass::LevelBalance.run(mig)
+    }
 
     #[test]
     fn deep_signal_is_pulled_up() {

@@ -1,12 +1,16 @@
 //! MIG algebraic rewriting: the Ω/Ψ axioms and the paper's two rewriting
 //! algorithms.
 //!
-//! Every pass is a *rebuild*: it constructs a fresh [`Mig`] by walking the
-//! old graph in topological order, mapping each live gate through a
-//! rule-specific constructor. Structural hashing plus the Ω.M axiom run on
-//! every node insertion, so each pass also performs node minimisation and
-//! dead-node garbage collection. Functional equivalence of every pass is
-//! enforced by the test-suite via random simulation.
+//! Every pass is a *rebuild*: it walks the old graph in topological order,
+//! mapping each live gate through a rule-specific constructor into a second
+//! graph buffer. Structural hashing plus the Ω.M axiom run on every node
+//! insertion, so each pass also performs node minimisation and dead-node
+//! garbage collection. [`rewrite`] double-buffers two recycled [`Mig`]s and
+//! a shared [`Workspace`] (structural view, signal map, level memo), so the
+//! ~50 passes of one call stay away from the allocator instead of
+//! constructing ~50 graphs, strash tables and derived-index vectors.
+//! Functional equivalence of every pass is enforced by the test-suite via
+//! random simulation.
 //!
 //! * [`Pass`] — the individual axioms (Ω.M, Ω.D(R→L), Ω.A, Ψ.C, the
 //!   inverter-propagation family Ω.I(R→L)).
@@ -25,6 +29,7 @@ pub use inverters::InverterMode;
 
 use crate::mig::Mig;
 use crate::signal::{NodeId, Signal};
+use crate::view::StructuralView;
 
 /// One rewriting pass over the whole graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,16 +55,31 @@ pub enum Pass {
 }
 
 impl Pass {
-    /// Runs this pass, producing a rewritten graph.
+    /// Runs this pass, producing a rewritten graph in fresh buffers.
     pub fn run(self, mig: &Mig) -> Mig {
+        let mut new = Mig::new(mig.num_inputs());
+        self.run_into(mig, &mut new, &mut Workspace::default());
+        new
+    }
+
+    /// Runs this pass, rebuilding `old` into the recycled `new` buffer
+    /// using `ws` for every piece of derived scratch state.
+    pub(crate) fn run_into(self, old: &Mig, new: &mut Mig, ws: &mut Workspace) {
+        let Workspace { view, map, levels } = ws;
         match self {
-            Pass::Majority => rebuild(mig, |new, _, _, ch| new.add_maj(ch[0], ch[1], ch[2])),
-            Pass::DistributivityRl => distributivity::run(mig),
-            Pass::Associativity => associativity::run(mig),
-            Pass::ComplementaryAssociativity => psi::run(mig),
-            Pass::InvertersTwoOrThree => inverters::run(mig, InverterMode::TwoOrThree),
-            Pass::InvertersThreeOnly => inverters::run(mig, InverterMode::ThreeOnly),
-            Pass::LevelBalance => level_balance::run(mig),
+            Pass::Majority => rebuild_into(old, new, view, map, |new, _, _, ch| {
+                new.add_maj(ch[0], ch[1], ch[2])
+            }),
+            Pass::DistributivityRl => distributivity::run(old, new, view, map),
+            Pass::Associativity => associativity::run(old, new, view, map),
+            Pass::ComplementaryAssociativity => psi::run(old, new, view, map),
+            Pass::InvertersTwoOrThree => {
+                inverters::run(old, new, view, map, InverterMode::TwoOrThree)
+            }
+            Pass::InvertersThreeOnly => {
+                inverters::run(old, new, view, map, InverterMode::ThreeOnly)
+            }
+            Pass::LevelBalance => level_balance::run(old, new, view, map, levels),
         }
     }
 }
@@ -142,59 +162,93 @@ impl Algorithm {
 /// assert!(rewritten.num_gates() <= mig.num_gates());
 /// ```
 pub fn rewrite(mig: &Mig, algorithm: Algorithm, effort: usize) -> Mig {
-    let mut current = Pass::Majority.run(mig);
+    let mut ws = Workspace::default();
+    let mut current = Mig::new(mig.num_inputs());
+    let mut spare = Mig::new(mig.num_inputs());
+    Pass::Majority.run_into(mig, &mut current, &mut ws);
+    let mut before = fingerprint(&current);
     for _ in 0..effort {
-        let before = (current.num_gates(), current.total_complemented_edges());
         for pass in algorithm.cycle() {
-            current = pass.run(&current);
+            pass.run_into(&current, &mut spare, &mut ws);
+            std::mem::swap(&mut current, &mut spare);
         }
-        let after = (current.num_gates(), current.total_complemented_edges());
-        if before == after {
+        let after = fingerprint(&current);
+        if after == before {
             break; // fixed point reached early
         }
+        before = after;
     }
     current
+}
+
+/// The convergence fingerprint of [`rewrite`]'s fixed-point check. Depth is
+/// included because a cycle containing [`Pass::LevelBalance`] can change
+/// depth while leaving both the gate count and the complemented-edge count
+/// untouched — comparing only those two would misclassify such a cycle as
+/// a fixed point.
+pub(crate) fn fingerprint(mig: &Mig) -> (usize, usize, u32) {
+    (mig.num_gates(), mig.total_complemented_edges(), mig.depth())
+}
+
+/// Reusable scratch shared by every pass of a [`rewrite`] call: the
+/// structural view of the pass's source graph, the old-node → new-signal
+/// map, and the level memo used by [`Pass::LevelBalance`]. Together with
+/// the two recycled [`Mig`] buffers (whose strash tables clear without
+/// deallocating), this keeps the ~50 rebuilds per call away from the
+/// allocator once buffers reach their high-water mark.
+#[derive(Debug, Default)]
+pub(crate) struct Workspace {
+    /// Structural view of the graph currently being rebuilt *from*.
+    view: StructuralView,
+    /// `map[old node index]` -> new signal for the node's value.
+    map: Vec<Signal>,
+    /// Level memo over the graph being built (LevelBalance only).
+    levels: Vec<u32>,
 }
 
 /// Read-only context handed to rebuild transforms.
 pub(crate) struct View<'a> {
     /// The graph being rebuilt.
     pub old: &'a Mig,
-    /// Old-graph fanout counts (including PO references).
-    pub old_fanout: Vec<u32>,
+    /// Structural view (levels, fanout, liveness, parents) of `old`.
+    pub structure: &'a StructuralView,
 }
 
-/// Rebuilds `old` gate by gate. `transform(new, view, old_gate,
-/// mapped_children)` must return the new signal implementing the gate's
-/// (uncomplemented) function. Dead gates are skipped; outputs are remapped
-/// at the end.
-pub(crate) fn rebuild<F>(old: &Mig, mut transform: F) -> Mig
-where
+/// Rebuilds `old` gate by gate into the recycled `new` buffer.
+/// `transform(new, view, old_gate, mapped_children)` must return the new
+/// signal implementing the gate's (uncomplemented) function. Dead gates are
+/// skipped; outputs are remapped at the end.
+pub(crate) fn rebuild_into<F>(
+    old: &Mig,
+    new: &mut Mig,
+    view_buf: &mut StructuralView,
+    map: &mut Vec<Signal>,
+    mut transform: F,
+) where
     F: FnMut(&mut Mig, &View<'_>, NodeId, [Signal; 3]) -> Signal,
 {
+    view_buf.compute_structure(old);
     let view = View {
         old,
-        old_fanout: old.fanout_counts(),
+        structure: view_buf,
     };
-    let live = old.live_mask();
-    let mut new = Mig::new(old.num_inputs());
-    // map[old node index] -> new signal for the node's uncomplemented value
-    let mut map: Vec<Signal> = vec![Signal::FALSE; old.num_nodes()];
+    new.reset(old.num_inputs());
+    map.clear();
+    map.resize(old.num_nodes(), Signal::FALSE);
     for i in 0..old.num_inputs() {
         map[i + 1] = new.input(i);
     }
     for g in old.gates() {
-        if !live[g.index()] {
+        if !view.structure.is_live(g) {
             continue;
         }
-        let mapped = old.children(g).map(|s| map_signal(&map, s));
-        map[g.index()] = transform(&mut new, &view, g, mapped);
+        let mapped = old.children(g).map(|s| map_signal(map, s));
+        map[g.index()] = transform(new, &view, g, mapped);
     }
     for &po in old.outputs() {
-        let s = map_signal(&map, po);
+        let s = map_signal(map, po);
         new.add_output(s);
     }
-    new
 }
 
 /// Maps an old-graph signal through a node map, carrying the complement.
@@ -218,11 +272,39 @@ pub(crate) fn gate_children(mig: &Mig, s: Signal) -> Option<[Signal; 3]> {
 /// used by restructuring passes to avoid duplicating shared logic.
 #[inline]
 pub(crate) fn old_single_fanout(view: &View<'_>, old_child: Signal) -> bool {
-    view.old_fanout[old_child.node().index()] <= 1
+    view.structure.fanout(old_child.node()) <= 1
+}
+
+/// The two children of `ch` other than `ch[skip]`, in order.
+#[inline]
+pub(crate) fn other_two(ch: [Signal; 3], skip: usize) -> [Signal; 2] {
+    match skip {
+        0 => [ch[1], ch[2]],
+        1 => [ch[0], ch[2]],
+        _ => [ch[0], ch[1]],
+    }
+}
+
+/// The children of `t` other than `exclude`, when there are exactly two
+/// (i.e. `exclude` occurs exactly once in the triple).
+#[inline]
+pub(crate) fn two_excluding(t: &[Signal; 3], exclude: Signal) -> Option<[Signal; 2]> {
+    let mut out = [Signal::FALSE; 2];
+    let mut n = 0;
+    for &s in t {
+        if s != exclude {
+            if n == 2 {
+                return None;
+            }
+            out[n] = s;
+            n += 1;
+        }
+    }
+    (n == 2).then_some(out)
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::simulate::equiv_random;
     use rand::{Rng, SeedableRng};
@@ -320,6 +402,50 @@ mod tests {
         let b = rewrite(&mig, Algorithm::EnduranceAware, 3);
         assert_eq!(a.num_gates(), b.num_gates());
         assert_eq!(a.outputs(), b.outputs());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_depth_only_changes() {
+        // The exact shape LevelBalance produces: same gate count, same
+        // complemented-edge count, different depth. The fixed-point check
+        // must not treat these as converged.
+        let mut a = Mig::new(5);
+        let s: Vec<Signal> = a.inputs().collect();
+        let d1 = a.add_maj(s[2], s[3], s[4]);
+        let z = a.add_maj(d1, s[3], !s[0]);
+        let inner = a.add_maj(s[2], s[1], z);
+        let f = a.add_maj(s[0], s[1], inner);
+        a.add_output(f);
+
+        // LevelBalance leaves the bypassed inner gate dead; a Majority
+        // (GC) pass removes it, as happens inside every real cycle.
+        let b = Pass::Majority.run(&Pass::LevelBalance.run(&a));
+        assert_eq!(a.num_gates(), b.num_gates());
+        assert_eq!(a.total_complemented_edges(), b.total_complemented_edges());
+        assert_ne!(a.depth(), b.depth());
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn repeated_rewrites_share_buffers_and_stay_equivalent() {
+        // The double-buffered engine must behave identically to the old
+        // fresh-allocation engine: run the same rewrite twice and against
+        // a per-pass reference composition.
+        let mig = random_mig(23, 10, 300, 8);
+        let out = rewrite(&mig, Algorithm::EnduranceAware, 2);
+        let mut reference = Pass::Majority.run(&mig);
+        for _ in 0..2 {
+            let before = fingerprint(&reference);
+            for pass in Algorithm::EnduranceAware.cycle() {
+                reference = pass.run(&reference);
+            }
+            if fingerprint(&reference) == before {
+                break;
+            }
+        }
+        assert_eq!(out.num_gates(), reference.num_gates());
+        assert_eq!(out.outputs(), reference.outputs());
+        assert!(equiv_random(&mig, &out, 16, 99).is_equal());
     }
 
     #[test]

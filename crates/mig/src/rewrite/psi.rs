@@ -13,11 +13,12 @@
 //! paper, and is validated by exhaustive truth-table tests below.)
 
 use crate::mig::Mig;
-use crate::rewrite::{gate_children, old_single_fanout, rebuild};
+use crate::rewrite::{gate_children, old_single_fanout, other_two, rebuild_into};
 use crate::signal::Signal;
+use crate::view::StructuralView;
 
-pub(crate) fn run(mig: &Mig) -> Mig {
-    rebuild(mig, |new, view, g, ch| {
+pub(crate) fn run(old: &Mig, new: &mut Mig, view: &mut StructuralView, map: &mut Vec<Signal>) {
+    rebuild_into(old, new, view, map, |new, view, g, ch| {
         let old_children = view.old.children(g);
         for inner_idx in 0..3 {
             let m = ch[inner_idx];
@@ -28,7 +29,7 @@ pub(crate) fn run(mig: &Mig) -> Mig {
                 Some(c) => c,
                 None => continue,
             };
-            let outer: Vec<Signal> = (0..3).filter(|&i| i != inner_idx).map(|i| ch[i]).collect();
+            let outer = other_two(ch, inner_idx);
             // Try both assignments of (x, u) to the outer pair: we need the
             // inner gate to contain ū.
             for (x, u) in [(outer[0], outer[1]), (outer[1], outer[0])] {
@@ -51,6 +52,11 @@ pub(crate) fn run(mig: &Mig) -> Mig {
 mod tests {
     use super::*;
     use crate::simulate::equiv_random;
+
+    /// Single-pass entry point (shadows the buffer-reusing `super::run`).
+    fn run(mig: &Mig) -> Mig {
+        crate::rewrite::Pass::ComplementaryAssociativity.run(mig)
+    }
 
     /// Exhaustive check of the axiom itself: ⟨x,u,⟨y,ū,z⟩⟩ = ⟨x,u,⟨y,x,z⟩⟩.
     #[test]

@@ -27,25 +27,39 @@ impl Mig {
     ///
     /// Panics if `inputs.len() != self.num_inputs()`.
     pub fn simulate_nodes(&self, inputs: &[u64]) -> Vec<u64> {
+        let mut values = Vec::new();
+        self.simulate_nodes_into(inputs, &mut values);
+        values
+    }
+
+    /// Like [`Mig::simulate_nodes`], writing into a caller-owned buffer so
+    /// repeated 64-pattern blocks (e.g. the rounds of
+    /// [`equiv_random`](crate::simulate::equiv_random)) reuse one
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn simulate_nodes_into(&self, inputs: &[u64], values: &mut Vec<u64>) {
         assert_eq!(
             inputs.len(),
             self.num_inputs(),
             "input word count must match the number of primary inputs"
         );
-        let mut values = vec![0u64; self.num_nodes()];
+        values.clear();
+        values.resize(self.num_nodes(), 0);
         for n in self.node_ids() {
             values[n.index()] = match self.kind(n) {
                 NodeKind::Constant => 0,
                 NodeKind::Input(i) => inputs[i as usize],
                 NodeKind::Majority([a, b, c]) => {
-                    let va = signal_value(&values, a);
-                    let vb = signal_value(&values, b);
-                    let vc = signal_value(&values, c);
+                    let va = signal_value(values, a);
+                    let vb = signal_value(values, b);
+                    let vc = signal_value(values, c);
                     maj_word(va, vb, vc)
                 }
             };
         }
-        values
     }
 
     /// Evaluates the primary outputs for 64 parallel input patterns.
@@ -112,17 +126,29 @@ pub fn equiv_random(a: &Mig, b: &Mig, rounds: usize, seed: u64) -> Equivalence {
         return Equivalence::InterfaceMismatch;
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // One input buffer and one node-value buffer per graph, reused across
+    // all rounds; outputs are compared straight out of the node values.
+    let mut inputs = vec![0u64; a.num_inputs()];
+    let mut va: Vec<u64> = Vec::new();
+    let mut vb: Vec<u64> = Vec::new();
     for round in 0..rounds {
-        let mut inputs: Vec<u64> = (0..a.num_inputs()).map(|_| rng.gen()).collect();
+        for w in inputs.iter_mut() {
+            *w = rng.gen();
+        }
         if round == 0 {
             // Force pattern 0 = all-zeros, pattern 1 = all-ones.
-            for w in &mut inputs {
+            for w in inputs.iter_mut() {
                 *w = (*w & !0b11) | 0b10;
             }
         }
-        let oa = a.simulate(&inputs);
-        let ob = b.simulate(&inputs);
-        if let Some(output) = oa.iter().zip(&ob).position(|(x, y)| x != y) {
+        a.simulate_nodes_into(&inputs, &mut va);
+        b.simulate_nodes_into(&inputs, &mut vb);
+        let mismatch = a
+            .outputs()
+            .iter()
+            .zip(b.outputs())
+            .position(|(&sa, &sb)| signal_value(&va, sa) != signal_value(&vb, sb));
+        if let Some(output) = mismatch {
             return Equivalence::NotEqual { round, output };
         }
     }

@@ -40,6 +40,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod parallel;
+
 use std::fmt;
 
 use rlim_compiler::{compile, CompileOptions, CompileResult};
@@ -145,6 +147,9 @@ pub struct Oracle {
     /// Also synthesise and check the IMPLY baseline (both allocation
     /// policies; on by default).
     pub imp: bool,
+    /// Worker threads for the preset × backend matrix: `0` = one per
+    /// available core (the default), `1` = serial.
+    pub threads: usize,
 }
 
 impl Default for Oracle {
@@ -155,6 +160,7 @@ impl Default for Oracle {
             seed: 0x0DA7_E201_7EAD_BEEF,
             hosted: false,
             imp: true,
+            threads: 0,
         }
     }
 }
@@ -195,6 +201,13 @@ impl Oracle {
         self
     }
 
+    /// Sets the worker-thread count for the preset × backend matrix
+    /// (`0` = one per core, `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The coverage [`Oracle::verify`] will use for an `n`-input circuit.
     pub fn coverage(&self, num_inputs: usize) -> Coverage {
         if num_inputs <= self.exhaustive_limit {
@@ -220,29 +233,34 @@ impl Oracle {
     }
 
     /// Differentially verifies `mig` against every backend under every
-    /// compiler preset. Panics with a labelled message on the first
-    /// divergence; returns what was covered on success.
+    /// compiler preset, distributing the preset × backend matrix across
+    /// scoped worker threads ([`Oracle::threads`]; a divergence found on
+    /// any worker propagates when the scope joins). The report is
+    /// independent of the thread count: every job runs either way and the
+    /// comparison count is an order-insensitive sum. Panics with a
+    /// labelled message on the first divergence; returns what was covered
+    /// on success.
     pub fn verify(&self, mig: &Mig, name: &str) -> VerifyReport {
         let inputs = self.inputs(mig.num_inputs());
         let reference: Vec<Vec<bool>> = inputs.iter().map(|v| mig.evaluate(v)).collect();
         let preset_list = presets();
-        let mut comparisons = 0;
 
-        for (label, options) in &preset_list {
-            let result = compile(mig, options);
-            self.check_compile_result(mig, name, label, &result);
-            comparisons += self.check_rm3(name, label, &result.program, &inputs, &reference);
-        }
-
-        if self.imp {
-            for (label, options) in [
-                ("imp_lifo", ImpSynthOptions::lifo()),
-                ("imp_min_write", ImpSynthOptions::min_write()),
-            ] {
-                let program = synthesize(mig, &options);
-                comparisons += check_imp(name, label, &program, &inputs, &reference);
+        let imp_backends: &[(&str, ImpSynthOptions)] = &[
+            ("imp_lifo", ImpSynthOptions::lifo()),
+            ("imp_min_write", ImpSynthOptions::min_write()),
+        ];
+        let num_jobs = preset_list.len() + if self.imp { imp_backends.len() } else { 0 };
+        let comparisons = parallel_sum(num_jobs, self.threads, |job| {
+            if let Some((label, options)) = preset_list.get(job) {
+                let result = compile(mig, options);
+                self.check_compile_result(mig, name, label, &result);
+                self.check_rm3(name, label, &result.program, &inputs, &reference)
+            } else {
+                let (label, options) = &imp_backends[job - preset_list.len()];
+                let program = synthesize(mig, options);
+                check_imp(name, label, &program, &inputs, &reference)
             }
-        }
+        });
 
         VerifyReport {
             name: name.to_owned(),
@@ -321,6 +339,18 @@ impl Oracle {
         }
         comparisons
     }
+}
+
+/// Runs `f(0..jobs)` across the shared worker pool and sums the results
+/// (an order-insensitive reduction, so the outcome is independent of the
+/// thread count).
+fn parallel_sum<F>(jobs: usize, threads: usize, f: F) -> usize
+where
+    F: Fn(usize) -> usize + Sync,
+{
+    parallel::parallel_map((0..jobs).collect(), threads, f)
+        .into_iter()
+        .sum()
 }
 
 /// Runs an IMPLY program for every pattern against the golden outputs.
@@ -491,5 +521,49 @@ mod tests {
         assert_eq!(report.presets, presets().len());
         // RM3 + hosted per preset per pattern, plus two IMP allocations.
         assert_eq!(report.comparisons, 8 * (2 * report.presets + 2));
+    }
+
+    /// Satellite determinism requirement: the parallel preset × backend
+    /// matrix reports exactly what a forced single-thread run reports.
+    #[test]
+    fn parallel_verify_matches_single_thread() {
+        let mig = xor3();
+        let serial = Oracle::new().with_threads(1).verify(&mig, "xor3");
+        let parallel = Oracle::new().with_threads(4).verify(&mig, "xor3");
+        assert_eq!(serial.exhaustive, parallel.exhaustive);
+        assert_eq!(serial.patterns, parallel.patterns);
+        assert_eq!(serial.presets, parallel.presets);
+        assert_eq!(serial.comparisons, parallel.comparisons);
+    }
+
+    /// The reduction behind `Oracle::verify`'s preset matrix must not
+    /// swallow worker panics: a divergence assertion raised on any job
+    /// has to reach the caller.
+    #[test]
+    fn parallel_sum_propagates_job_panics() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_sum(6, 3, |i| {
+                assert_ne!(i, 4, "synthetic divergence");
+                1
+            })
+        });
+        assert!(result.is_err(), "job panic must propagate");
+        assert_eq!(parallel_sum(6, 3, |_| 2), 12);
+    }
+
+    #[test]
+    fn divergent_program_panics() {
+        // A program computing a different function than the golden MIG
+        // must trip the oracle's assertion.
+        let mig = xor3();
+        let mut other = Mig::new(3);
+        let [a, b, c] = [other.input(0), other.input(1), other.input(2)];
+        let m = other.add_maj(a, b, c);
+        other.add_output(m);
+        let program = compile(&other, &rlim_compiler::CompileOptions::naive()).program;
+        let result = std::panic::catch_unwind(|| {
+            Oracle::new().verify_program(&mig, "xor3", "tampered", &program)
+        });
+        assert!(result.is_err(), "divergent program must panic");
     }
 }
