@@ -15,12 +15,18 @@
 //! the `total_seconds` of a previously written JSON file. The functional
 //! metrics (`instructions`, `rrams`) are recorded so that a perf regression
 //! that silently changes the emitted program is caught by diffing the file.
+//!
+//! The report also carries one `fleet` record: execution throughput
+//! (jobs/s, RM3 instructions/s) of an alternating naive/endurance-aware
+//! workload on a 4-array [`rlim_plim::Fleet`] under least-worn dispatch —
+//! the runtime-side counterpart to the compile-side rows above.
 
 use std::time::Instant;
 
 use rlim_benchmarks::Benchmark;
 use rlim_compiler::{compile, CompileOptions};
 use rlim_mig::rewrite::{rewrite, Algorithm};
+use rlim_plim::{Fleet, FleetConfig, Job};
 
 /// The benchmarks worth timing: the largest graphs in the suite, where the
 /// ~50 rewriting passes dominate end-to-end compile time.
@@ -88,6 +94,45 @@ fn measure(benchmark: Benchmark, effort: usize, repeat: usize) -> Row {
         }
     }
     best.expect("at least one repetition")
+}
+
+/// Fleet execution-throughput measurement.
+struct FleetRow {
+    name: &'static str,
+    arrays: usize,
+    jobs: usize,
+    instructions: u64,
+    seconds: f64,
+}
+
+/// Times an alternating naive/endurance-aware workload of `jobs` runs on
+/// a fresh 4-array least-worn fleet (threads: one per core). Returns the
+/// best of `repeat` wall-clock runs.
+fn measure_fleet(benchmark: Benchmark, effort: usize, jobs: usize, repeat: usize) -> FleetRow {
+    const ARRAYS: usize = 4;
+    let mig = benchmark.build();
+    let heavy = compile(&mig, &CompileOptions::naive());
+    let light = compile(&mig, &CompileOptions::endurance_aware().with_effort(effort));
+    let inputs = vec![false; mig.num_inputs()];
+    let job_list = Job::alternating(&heavy.program, &light.program, &inputs, jobs);
+    let instructions: u64 = job_list.iter().map(Job::cost).sum();
+
+    let mut best = f64::INFINITY;
+    for _ in 0..repeat.max(1) {
+        let mut fleet = Fleet::new(FleetConfig::new(ARRAYS));
+        let t0 = Instant::now();
+        fleet
+            .run_batch(&job_list, 0)
+            .expect("unbudgeted fleet cannot fail");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    FleetRow {
+        name: benchmark.name(),
+        arrays: ARRAYS,
+        jobs,
+        instructions,
+        seconds: best,
+    }
 }
 
 /// Reads `"name" ... "total_seconds": <x>` pairs out of a previously
@@ -222,7 +267,36 @@ fn main() {
             "    },\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // Fleet execution throughput on the largest benchmark of the set.
+    let fleet = measure_fleet(benchmarks[0], effort, 32, repeat);
+    eprintln!(
+        "[fleet:{}] {} jobs on {} arrays: {:.3}s ({:.0} jobs/s, {:.0} RM3/s)",
+        fleet.name,
+        fleet.jobs,
+        fleet.arrays,
+        fleet.seconds,
+        fleet.jobs as f64 / fleet.seconds,
+        fleet.instructions as f64 / fleet.seconds
+    );
+    json.push_str("  \"fleet\": {\n");
+    json.push_str(&format!("    \"benchmark\": \"{}\",\n", fleet.name));
+    json.push_str("    \"dispatch\": \"least-worn\",\n");
+    json.push_str("    \"workload\": \"alternating naive/endurance-aware\",\n");
+    json.push_str(&format!("    \"arrays\": {},\n", fleet.arrays));
+    json.push_str(&format!("    \"jobs\": {},\n", fleet.jobs));
+    json.push_str(&format!("    \"instructions\": {},\n", fleet.instructions));
+    json.push_str(&format!("    \"seconds\": {:.6},\n", fleet.seconds));
+    json.push_str(&format!(
+        "    \"jobs_per_second\": {:.1},\n",
+        fleet.jobs as f64 / fleet.seconds
+    ));
+    json.push_str(&format!(
+        "    \"instructions_per_second\": {:.0}\n",
+        fleet.instructions as f64 / fleet.seconds
+    ));
+    json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");

@@ -1,1 +1,3 @@
 //! Criterion benchmark crate; see benches/.
+
+#![warn(missing_docs)]

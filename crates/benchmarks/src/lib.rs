@@ -23,6 +23,8 @@
 //! assert_eq!(Benchmark::all().len(), 18);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arith;
 pub mod misc;
 pub mod synthetic;

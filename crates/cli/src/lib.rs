@@ -9,6 +9,7 @@
 //! rlim run     <prog.plim> --inputs 1011…            # execute on the simulated crossbar
 //! rlim stats   <prog.plim>                           # #I, #R, write distribution, wear map
 //! rlim bench   <name> [--policy P] [--max-writes W]  # compile a built-in benchmark
+//! rlim fleet   <name> [--arrays N] [--jobs J] [--dispatch D] [--write-budget W]
 //! rlim list                                          # list built-in benchmarks
 //! ```
 //!
@@ -70,9 +71,12 @@ usage:
   rlim run     <prog.plim> --inputs <bits>
   rlim stats   <prog.plim> [--wear-map]
   rlim bench   <benchmark> [--policy P] [--max-writes W] [--effort N] [-o out.plim]
+  rlim fleet   <benchmark> [--arrays N] [--jobs J] [--dispatch D] [--write-budget W]
+               [--effort N] [--threads N]
   rlim list
 
 policies: naive | plim21 | min-write | ea-rewriting | endurance-aware (default)
+dispatch: round-robin | least-worn (default)
 ";
 
 /// Runs the tool on `args` (without the program name), returning the text
@@ -88,6 +92,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("run") => cmd_run(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("list") => Ok(cmd_list()),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CliError::usage(format!(
@@ -232,6 +237,126 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         .map_err(|e| CliError::usage(format!("{e}; see `rlim list`")))?;
     let mig = benchmark.build();
     compile_report(&mig, &opts, name)
+}
+
+/// `rlim fleet`: run an alternating heavy/light workload of a built-in
+/// benchmark on a multi-crossbar fleet and report per-array wear.
+fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
+    use rlim_plim::{DispatchPolicy, Fleet, FleetConfig, Job};
+
+    let mut arrays = 4usize;
+    let mut jobs = 24usize;
+    let mut dispatch = DispatchPolicy::LeastWorn;
+    let mut write_budget: Option<u64> = None;
+    let mut effort = 5usize;
+    let mut threads = std::env::var("RLIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut positional = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+        };
+        let parse = |flag: &str, v: String| -> Result<usize, CliError> {
+            v.parse()
+                .map_err(|_| CliError::usage(format!("bad {flag} `{v}`")))
+        };
+        match arg.as_str() {
+            "--arrays" => arrays = parse("--arrays", value_of("--arrays")?)?,
+            "--jobs" => jobs = parse("--jobs", value_of("--jobs")?)?,
+            "--effort" => effort = parse("--effort", value_of("--effort")?)?,
+            "--threads" => threads = parse("--threads", value_of("--threads")?)?,
+            "--dispatch" => {
+                let v = value_of("--dispatch")?;
+                dispatch = v.parse().map_err(CliError::usage)?;
+            }
+            "--write-budget" => {
+                let v = value_of("--write-budget")?;
+                let w: u64 = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad --write-budget `{v}`")))?;
+                if w == 0 {
+                    return Err(CliError::usage("--write-budget must be positive"));
+                }
+                write_budget = Some(w);
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::usage(format!("unknown flag `{other}`")));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if arrays == 0 {
+        return Err(CliError::usage("--arrays must be positive"));
+    }
+    let [name] = positional.as_slice() else {
+        return Err(CliError::usage(
+            "fleet needs exactly one benchmark name (see `rlim list`)",
+        ));
+    };
+    let benchmark: Benchmark = name
+        .parse()
+        .map_err(|e| CliError::usage(format!("{e}; see `rlim list`")))?;
+
+    let mig = benchmark.build();
+    let heavy = compile(&mig, &CompileOptions::naive());
+    let light = compile(&mig, &CompileOptions::endurance_aware().with_effort(effort));
+    let inputs = vec![false; mig.num_inputs()];
+    let job_list = Job::alternating(&heavy.program, &light.program, &inputs, jobs);
+
+    let mut config = FleetConfig::new(arrays).with_policy(dispatch);
+    if let Some(w) = write_budget {
+        config = config.with_write_budget(w);
+    }
+    let mut fleet = Fleet::new(config);
+    let placed = match fleet.run_batch(&job_list, threads) {
+        Ok(outputs) => outputs.len(),
+        Err(e) => {
+            return Err(CliError::run(format!(
+                "fleet workload failed: {e} (try more arrays or a larger --write-budget)"
+            )));
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}: fleet of {arrays} arrays, {} dispatch, {placed} jobs (alternating naive / endurance-aware)",
+        dispatch.label()
+    );
+    let _ = writeln!(
+        out,
+        "job mix: naive #I={}, endurance-aware #I={}",
+        heavy.num_instructions(),
+        light.num_instructions()
+    );
+    for i in 0..fleet.num_arrays() {
+        let _ = writeln!(
+            out,
+            "array {i}: {} jobs, {} writes{}",
+            fleet.jobs_on(i),
+            fleet.total_writes(i),
+            if fleet.is_retired(i) { ", retired" } else { "" }
+        );
+    }
+    let stats = fleet.stats();
+    let _ = writeln!(out, "fleet: {}", stats.wear);
+    if write_budget.is_some() {
+        let cost = heavy.total_writes().max(light.total_writes());
+        let _ = writeln!(
+            out,
+            "budget: {} arrays retired, capacity for {} more heavy jobs (first retirement within {})",
+            stats.retired,
+            fleet.remaining_jobs(cost).expect("budget configured"),
+            fleet.first_retirement_horizon(cost).expect("budget configured"),
+        );
+    }
+    Ok(out)
 }
 
 fn load_program(path: &str) -> Result<Program, CliError> {
@@ -380,6 +505,80 @@ mod tests {
                 .code,
             2
         );
+    }
+
+    #[test]
+    fn fleet_reports_balanced_arrays() {
+        let out = run_str(&["fleet", "ctrl", "--arrays", "2", "--jobs", "8"]).unwrap();
+        assert!(out.contains("fleet of 2 arrays"), "{out}");
+        assert!(out.contains("least-worn dispatch"), "{out}");
+        assert!(out.contains("array 0:"), "{out}");
+        assert!(out.contains("array 1:"), "{out}");
+        assert!(out.contains("2 arrays, totals"), "{out}");
+    }
+
+    #[test]
+    fn fleet_budget_reports_retirement() {
+        // A budget that fits only a few ctrl executions per array.
+        let out = run_str(&[
+            "fleet",
+            "ctrl",
+            "--arrays",
+            "2",
+            "--jobs",
+            "4",
+            "--write-budget",
+            "2000",
+        ])
+        .unwrap();
+        assert!(out.contains("budget:"), "{out}");
+
+        // An impossible budget exhausts the fleet: operational error.
+        let err = run_str(&["fleet", "ctrl", "--jobs", "4", "--write-budget", "10"]).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("exhausted"), "{err}");
+    }
+
+    #[test]
+    fn fleet_rejects_bad_flags() {
+        assert_eq!(run_str(&["fleet"]).unwrap_err().code, 2);
+        assert_eq!(run_str(&["fleet", "nonesuch"]).unwrap_err().code, 2);
+        assert_eq!(
+            run_str(&["fleet", "ctrl", "--dispatch", "fifo"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_str(&["fleet", "ctrl", "--arrays", "0"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_str(&["fleet", "ctrl", "--write-budget", "0"])
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn fleet_round_robin_dispatch() {
+        let out = run_str(&[
+            "fleet",
+            "int2float",
+            "--arrays",
+            "3",
+            "--jobs",
+            "6",
+            "--dispatch",
+            "round-robin",
+        ])
+        .unwrap();
+        assert!(out.contains("round-robin dispatch"), "{out}");
+        // Round-robin over 3 arrays and 6 jobs: 2 jobs each.
+        assert!(out.contains("array 2: 2 jobs"), "{out}");
     }
 
     #[test]

@@ -19,6 +19,26 @@ use rlim_rram::CellId;
 use crate::options::Allocation;
 
 /// Compile-time model of the crossbar's allocation state.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_compiler::{Allocation, CellManager};
+///
+/// // Minimum write count strategy: freed cells come back least-worn first.
+/// let mut pool = CellManager::new(Allocation::MinWrite, None);
+/// let hot = pool.alloc(1);
+/// let cold = pool.alloc(1);
+/// for _ in 0..5 {
+///     pool.record_write(hot);
+/// }
+/// pool.record_write(cold);
+/// pool.release(hot);
+/// pool.release(cold);
+/// assert_eq!(pool.alloc(1), cold, "least-worn cell is handed out first");
+/// assert_eq!(pool.total_writes(), 6);
+/// assert_eq!(pool.peak_writes(), 5);
+/// ```
 #[derive(Debug, Clone)]
 pub struct CellManager {
     writes: Vec<u64>,
@@ -58,6 +78,26 @@ impl CellManager {
     /// All write counts, indexed by cell.
     pub fn write_counts(&self) -> &[u64] {
         &self.writes
+    }
+
+    /// Total writes recorded over all cells — the write cost one execution
+    /// of the compiled program inflicts on its array. The fleet dispatcher
+    /// budgets arrays in this unit.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// The hottest cell's write count — the per-execution peak that
+    /// determines array lifetime under a device endurance limit.
+    pub fn peak_writes(&self) -> u64 {
+        self.writes.iter().max().copied().unwrap_or(0)
+    }
+
+    /// Writes `cell` can still absorb under the maximum write count
+    /// strategy; `None` when the strategy is off (unbounded).
+    pub fn remaining_budget(&self, cell: CellId) -> Option<u64> {
+        self.max_writes
+            .map(|w| w.saturating_sub(self.writes[cell.index()]))
     }
 
     /// Records one write on `cell` (called for every emitted instruction).
@@ -274,5 +314,23 @@ mod tests {
         let a = m.alloc(1);
         write_n(&mut m, a, 1_000_000);
         assert!(m.fits_budget(a, u64::MAX / 2));
+    }
+
+    #[test]
+    fn aggregate_and_budget_accessors() {
+        let mut m = CellManager::new(Allocation::MinWrite, Some(10));
+        let a = m.alloc(1);
+        let b = m.alloc(1);
+        write_n(&mut m, a, 3);
+        write_n(&mut m, b, 7);
+        assert_eq!(m.total_writes(), 10);
+        assert_eq!(m.peak_writes(), 7);
+        assert_eq!(m.remaining_budget(a), Some(7));
+        assert_eq!(m.remaining_budget(b), Some(3));
+        let unbounded = CellManager::new(Allocation::Lifo, None);
+        assert_eq!(unbounded.peak_writes(), 0);
+        let mut u = unbounded;
+        let c = u.alloc(1);
+        assert_eq!(u.remaining_budget(c), None);
     }
 }

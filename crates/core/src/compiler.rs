@@ -64,6 +64,20 @@ impl CompileResult {
     pub fn num_rrams(&self) -> usize {
         self.program.num_rrams()
     }
+
+    /// Total writes one execution inflicts on its array (= `#I`; every
+    /// RM3 instruction is one destination write). This is the unit a
+    /// fleet's per-array write budget is expressed in.
+    pub fn total_writes(&self) -> u64 {
+        self.program.num_instructions() as u64
+    }
+
+    /// The hottest cell's per-execution write count — with a device
+    /// endurance `E`, one array survives `⌊E / peak⌋` executions of this
+    /// program (see `rlim_rram::lifetime`).
+    pub fn peak_writes(&self) -> u64 {
+        self.write_stats().max
+    }
 }
 
 /// Compiles an MIG into a PLiM program under the given options.

@@ -1,0 +1,103 @@
+//! Fleet sweep: fleet size × dispatch policy × endurance preset over the
+//! benchmark suite.
+//!
+//! Two tables:
+//!
+//! 1. **Dispatch balance** — each benchmark's workload alternates heavy
+//!    (naive) and light (endurance-aware) compilations of the same
+//!    circuit — periodic traffic, the canonical adversary for oblivious
+//!    striping — on fleets of 2/4/8 arrays under round-robin and
+//!    least-worn-first dispatch; the table reports the hottest array's
+//!    total writes and the per-array standard deviation.
+//!    Least-worn-first mirrors the paper's minimum write count strategy
+//!    at array granularity, and the `impr.` column is its reduction of
+//!    the hottest array's traffic.
+//! 2. **Endurance presets × lifetime** — per preset, the program's write
+//!    cost/peak and the executions one array and a fleet survive at the
+//!    HfOx device endurance (10¹⁰ writes).
+//!
+//! Every invocation renders the balance table twice — forced serial and
+//! parallel — and asserts byte-identity before printing.
+//!
+//! ```text
+//! cargo run --release -p rlim-eval --bin fleet -- [--quick] [--bench a,b]
+//!     [--jobs N] [--arrays 2,4,8] [--seed S] [--threads N] [--effort N]
+//! ```
+
+use rlim_eval::fleet::{balance_table, lifetime_table, DEFAULT_ARRAYS, DEFAULT_JOBS, DEFAULT_SEED};
+use rlim_eval::RunPlan;
+
+fn main() {
+    // Split the fleet-specific flags off, hand the rest to RunPlan.
+    let mut plan_args = Vec::new();
+    let mut jobs = DEFAULT_JOBS;
+    let mut arrays: Vec<usize> = DEFAULT_ARRAYS.to_vec();
+    let mut seed = DEFAULT_SEED;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                jobs = value_of("--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --jobs value");
+                    std::process::exit(2);
+                });
+            }
+            "--arrays" => {
+                arrays = value_of("--arrays")
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("error: bad --arrays list");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--seed" => {
+                seed = value_of("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --seed value");
+                    std::process::exit(2);
+                });
+            }
+            other => plan_args.push(other.to_string()),
+        }
+    }
+    let plan = match RunPlan::from_args(plan_args) {
+        Ok(plan) => plan,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: fleet [--bench a,b,c] [--quick] [--effort N] [--threads N] \
+                 [--jobs N] [--arrays 2,4,8] [--seed S]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    println!("Fleet dispatch balance (alternating naive/endurance-aware jobs, seed {seed:#x}, {jobs} jobs)");
+    println!("rr = round-robin, lw = least-worn-first; max/stdev over per-array total writes\n");
+    let parallel = balance_table(&plan, &arrays, jobs, seed);
+    let serial = {
+        let forced = RunPlan {
+            threads: 1,
+            ..plan.clone()
+        };
+        balance_table(&forced, &arrays, jobs, seed)
+    };
+    assert_eq!(
+        serial, parallel,
+        "forced-serial and parallel balance tables must be byte-identical"
+    );
+    print!("{parallel}");
+    println!("\ndeterminism: forced-serial (--threads 1) and parallel runs byte-identical: OK");
+
+    let fleet_arrays = arrays.iter().copied().max().unwrap_or(4);
+    println!("\nEndurance presets × lifetime (HfOx endurance 10^10 writes/cell)\n");
+    print!("{}", lifetime_table(&plan, fleet_arrays));
+}

@@ -1,0 +1,275 @@
+//! Fleet-evaluation machinery behind the `fleet` binary: seeded
+//! mixed-preset workloads, the fleet-size × dispatch-policy balance
+//! matrix, and the endurance-preset lifetime table.
+//!
+//! A PLiM program's write cost is static, so a fleet serving *identical*
+//! jobs is balanced by any policy; dispatch policies only separate on
+//! heterogeneous traffic. Each benchmark's workload therefore
+//! interleaves the same circuit compiled under two cost-distinct presets
+//! — heavy (naive) and light (endurance-aware) jobs alternating, as when
+//! unoptimised legacy traffic shares a fleet with endurance-aware
+//! traffic. Periodic traffic is the canonical adversary for oblivious
+//! striping: round-robin pins every heavy job onto the same subset of
+//! arrays whenever the traffic period divides the fleet size, while
+//! least-worn-first (wear feedback) is immune to the correlation — the
+//! fleet-level analogue of the paper's observation that unbalanced
+//! traffic, not total traffic, kills arrays.
+//!
+//! All rows are deterministic: workloads are seeded per benchmark, and
+//! [`Fleet::run_batch`] plans dispatch before executing, so a forced
+//! single-thread run renders byte-identical tables to a parallel one
+//! (asserted by the binary on every invocation).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::CompileResult;
+use rlim_plim::{DispatchPolicy, Fleet, FleetConfig, Job};
+use rlim_rram::lifetime::{
+    executions_until_failure, fleet_executions_until_exhaustion, ENDURANCE_HFOX,
+};
+
+use crate::{fmt_pct, fmt_stdev, improvement, Column, Measurement, RunPlan, TextTable};
+
+/// Presets reported by the lifetime table, chosen for their distinct
+/// write costs (naive ≫ min-write > endurance-aware on most circuits).
+pub const MIX: [Column; 3] = [Column::Naive, Column::MinWrite, Column::EnduranceAware];
+
+/// The two presets the balance workload alternates: heavy (naive) and
+/// light (endurance-aware). [`HEAVY`] / [`LIGHT`] index into the
+/// workload's `programs`.
+pub const BALANCE_MIX: [Column; 2] = [Column::Naive, Column::EnduranceAware];
+
+/// Index into [`BALANCE_MIX`] of the heavy preset.
+pub const HEAVY: usize = 0;
+
+/// Index into [`BALANCE_MIX`] of the light preset.
+pub const LIGHT: usize = 1;
+
+/// Dispatch policies compared by the balance table.
+pub const POLICIES: [DispatchPolicy; 2] = [DispatchPolicy::RoundRobin, DispatchPolicy::LeastWorn];
+
+/// Default job count per workload.
+pub const DEFAULT_JOBS: usize = 24;
+
+/// Default fleet sizes swept by the balance table.
+pub const DEFAULT_ARRAYS: [usize; 3] = [2, 4, 8];
+
+/// Default workload seed (any fixed value works; this one is stamped into
+/// the committed table so reruns reproduce it).
+pub const DEFAULT_SEED: u64 = 0xDA7E_2017;
+
+/// A seeded stream of mixed-preset jobs for one benchmark.
+pub struct FleetWorkload {
+    /// The benchmark the workload exercises.
+    pub benchmark: Benchmark,
+    /// One compilation per [`BALANCE_MIX`] preset.
+    pub programs: Vec<CompileResult>,
+    /// Per-job index into `programs`.
+    picks: Vec<usize>,
+    /// Per-job primary-input vector.
+    inputs: Vec<Vec<bool>>,
+}
+
+impl FleetWorkload {
+    /// Compiles `benchmark` under the [`BALANCE_MIX`] presets and builds
+    /// the alternating heavy/light job stream with seeded random inputs.
+    pub fn new(benchmark: Benchmark, effort: usize, jobs: usize, seed: u64) -> Self {
+        let mig = benchmark.build();
+        let programs: Vec<CompileResult> = BALANCE_MIX
+            .iter()
+            .map(|c| rlim_compiler::compile(&mig, &c.options(effort)))
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let picks: Vec<usize> = (0..jobs)
+            .map(|i| if i % 2 == 0 { HEAVY } else { LIGHT })
+            .collect();
+        let inputs: Vec<Vec<bool>> = (0..jobs)
+            .map(|_| (0..mig.num_inputs()).map(|_| rng.gen()).collect())
+            .collect();
+        FleetWorkload {
+            benchmark,
+            programs,
+            picks,
+            inputs,
+        }
+    }
+
+    /// The job stream, borrowing the compiled programs.
+    pub fn jobs(&self) -> Vec<Job<'_>> {
+        self.picks
+            .iter()
+            .zip(&self.inputs)
+            .map(|(&p, inputs)| Job::new(&self.programs[p].program, inputs))
+            .collect()
+    }
+}
+
+/// Per-array balance of one (fleet size, policy) cell: the maximum and
+/// standard deviation of total writes per array after the workload ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceCell {
+    /// Hottest array's total writes.
+    pub max: u64,
+    /// Standard deviation of per-array totals.
+    pub stdev: f64,
+}
+
+/// Runs `workload` on a fresh fleet of `arrays` crossbars under `policy`
+/// and reports the per-array balance. Panics if the fleet rejects the
+/// workload (no budgets are configured here, so it never does).
+pub fn run_balance(
+    workload: &FleetWorkload,
+    arrays: usize,
+    policy: DispatchPolicy,
+    threads: usize,
+) -> BalanceCell {
+    let mut fleet = Fleet::new(FleetConfig::new(arrays).with_policy(policy));
+    fleet
+        .run_batch(&workload.jobs(), threads)
+        .expect("unbudgeted fleet cannot be exhausted");
+    let wear = fleet.stats().wear;
+    BalanceCell {
+        max: wear.array_totals.max,
+        stdev: wear.array_totals.stdev,
+    }
+}
+
+/// Renders the fleet-size × dispatch-policy balance table over the plan's
+/// benchmarks. Rows are `benchmark × fleet size`; the `impr.` column is
+/// the least-worn reduction of the hottest array's writes vs round-robin.
+pub fn balance_table(plan: &RunPlan, arrays: &[usize], jobs: usize, seed: u64) -> String {
+    let mut table = TextTable::new([
+        "benchmark",
+        "arrays",
+        "jobs",
+        "rr max",
+        "rr stdev",
+        "lw max",
+        "lw stdev",
+        "impr.",
+    ]);
+    for (i, &benchmark) in plan.benchmarks.iter().enumerate() {
+        let workload = FleetWorkload::new(
+            benchmark,
+            plan.effort,
+            jobs,
+            seed.wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        for &n in arrays {
+            let rr = run_balance(&workload, n, DispatchPolicy::RoundRobin, plan.threads);
+            let lw = run_balance(&workload, n, DispatchPolicy::LeastWorn, plan.threads);
+            table.row([
+                benchmark.name().to_string(),
+                n.to_string(),
+                jobs.to_string(),
+                rr.max.to_string(),
+                fmt_stdev(rr.stdev),
+                lw.max.to_string(),
+                fmt_stdev(lw.stdev),
+                fmt_pct(improvement(rr.max as f64, lw.max as f64)),
+            ]);
+        }
+    }
+    table.render()
+}
+
+/// Renders the endurance-preset lifetime table: per benchmark × preset,
+/// the program's write cost and peak, and how many executions one array
+/// and a fleet of `fleet_arrays` survive at the HfOx device endurance.
+pub fn lifetime_table(plan: &RunPlan, fleet_arrays: usize) -> String {
+    let mut table = TextTable::new(vec![
+        "benchmark".to_string(),
+        "preset".to_string(),
+        "#I".to_string(),
+        "peak/run".to_string(),
+        "runs (1 array)".to_string(),
+        format!("runs (fleet of {fleet_arrays})"),
+    ]);
+    for &benchmark in &plan.benchmarks {
+        let mig = benchmark.build();
+        for preset in MIX {
+            let m = Measurement::of(&mig, &preset.options(plan.effort));
+            let peak = m.stats.max;
+            let single = executions_until_failure([peak], ENDURANCE_HFOX);
+            let fleet = fleet_executions_until_exhaustion(
+                std::iter::repeat_n(peak, fleet_arrays),
+                ENDURANCE_HFOX,
+            );
+            table.row([
+                benchmark.name().to_string(),
+                preset.label(),
+                m.instructions.to_string(),
+                peak.to_string(),
+                single.to_string(),
+                fleet.to_string(),
+            ]);
+        }
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan(threads: usize) -> RunPlan {
+        RunPlan {
+            benchmarks: vec![Benchmark::Ctrl, Benchmark::Int2float],
+            effort: 2,
+            threads,
+        }
+    }
+
+    /// The acceptance-critical determinism property: forced-serial and
+    /// parallel runs render byte-identical tables.
+    #[test]
+    fn balance_table_serial_equals_parallel() {
+        let serial = balance_table(&tiny_plan(1), &[2, 4], 12, DEFAULT_SEED);
+        let parallel = balance_table(&tiny_plan(0), &[2, 4], 12, DEFAULT_SEED);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn least_worn_beats_round_robin_on_periodic_traffic() {
+        for benchmark in [Benchmark::Ctrl, Benchmark::Router, Benchmark::Cavlc] {
+            let w = FleetWorkload::new(benchmark, 2, 24, DEFAULT_SEED);
+            for arrays in [2usize, 4] {
+                let rr = run_balance(&w, arrays, DispatchPolicy::RoundRobin, 1);
+                let lw = run_balance(&w, arrays, DispatchPolicy::LeastWorn, 1);
+                assert!(
+                    lw.max < rr.max,
+                    "{benchmark}/{arrays}: least-worn max {} !< round-robin max {}",
+                    lw.max,
+                    rr.max
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_seeded_and_alternating() {
+        let a = FleetWorkload::new(Benchmark::Ctrl, 1, 16, 7);
+        let b = FleetWorkload::new(Benchmark::Ctrl, 1, 16, 7);
+        assert_eq!(a.picks, b.picks);
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.programs.len(), BALANCE_MIX.len());
+        assert_eq!(&a.picks[..4], &[HEAVY, LIGHT, HEAVY, LIGHT]);
+        // The two presets must actually differ in cost, otherwise the
+        // policies cannot separate.
+        assert_ne!(
+            a.programs[HEAVY].num_instructions(),
+            a.programs[LIGHT].num_instructions()
+        );
+    }
+
+    #[test]
+    fn lifetime_table_contains_every_preset() {
+        let text = lifetime_table(&tiny_plan(1), 4);
+        for preset in MIX {
+            assert!(text.contains(&preset.label()), "{text}");
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! * `--quick` — the small fast subset (for smoke runs);
 //! * `--effort N` — override the rewriting effort (paper default 5).
 
+#![warn(missing_docs)]
+
 use std::time::Instant;
 
 use rlim_benchmarks::Benchmark;
@@ -19,6 +21,7 @@ use rlim_compiler::{compile, CompileOptions, CompileResult};
 use rlim_mig::Mig;
 use rlim_rram::WriteStats;
 
+pub mod fleet;
 pub mod sweep;
 
 /// Which benchmarks to run and with what effort, parsed from `argv`.

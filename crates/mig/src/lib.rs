@@ -15,6 +15,8 @@
 //!   random equivalence checking (available as inherent methods on [`Mig`]).
 //! * [`view`] — reusable structural views: levels, fanout, bitset live
 //!   mask and a CSR parent index, derived together in two linear sweeps.
+//! * [`strash`] — the open-addressing structural-hashing table behind
+//!   [`Mig::add_maj`] deduplication, reusable across graph rebuilds.
 //! * [`stats`] — structural statistics (complemented-edge histogram, level
 //!   spread) used by the evaluation harness.
 //! * [`random`] — seeded random-MIG generation for tests and synthetic
@@ -42,7 +44,7 @@
 
 mod mig;
 mod signal;
-mod strash;
+pub mod strash;
 
 pub mod blif;
 pub mod dot;
@@ -55,4 +57,5 @@ pub mod view;
 pub use crate::mig::{Mig, NodeKind};
 pub use crate::signal::{NodeId, Signal};
 pub use crate::simulate::{equiv_random, Equivalence};
+pub use crate::strash::Strash;
 pub use crate::view::{BitSet, StructuralView};

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::signal::{NodeId, Signal};
-use crate::strash::StrashTable;
+use crate::strash::Strash;
 
 /// Classification of a node inside a [`Mig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,7 +43,7 @@ pub struct Mig {
     nodes: Vec<[Signal; 3]>,
     num_inputs: u32,
     outputs: Vec<Signal>,
-    strash: StrashTable,
+    strash: Strash,
 }
 
 impl Mig {
@@ -55,7 +55,7 @@ impl Mig {
             nodes,
             num_inputs,
             outputs: Vec::new(),
-            strash: StrashTable::new(),
+            strash: Strash::new(),
         }
     }
 

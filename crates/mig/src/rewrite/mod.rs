@@ -6,7 +6,7 @@
 //! graph buffer. Structural hashing plus the Ω.M axiom run on every node
 //! insertion, so each pass also performs node minimisation and dead-node
 //! garbage collection. [`rewrite`] double-buffers two recycled [`Mig`]s and
-//! a shared [`Workspace`] (structural view, signal map, level memo), so the
+//! a shared internal `Workspace` (structural view, signal map, level memo), so the
 //! ~50 passes of one call stay away from the allocator instead of
 //! constructing ~50 graphs, strash tables and derived-index vectors.
 //! Functional equivalence of every pass is enforced by the test-suite via

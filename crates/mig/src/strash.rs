@@ -11,7 +11,7 @@
 //! * stores only `node index + 1` per slot (4 bytes; `0` = empty) and
 //!   re-reads the key from the graph's node array on probe, since a gate's
 //!   children *are* its key,
-//! * supports [`StrashTable::clear`], which zeroes the slots but keeps the
+//! * supports [`Strash::clear`], which zeroes the slots but keeps the
 //!   allocation, so a table can be reused across pass rebuilds.
 //!
 //! Deduplication semantics are exactly those of the `HashMap`: keys are the
@@ -42,8 +42,31 @@ fn mix(key: &[Signal; 3]) -> u64 {
 /// every collision in-slot instead of dereferencing the node array (a
 /// random cache miss per step — the dominant probe cost on large graphs,
 /// where a rebuild's inserts are nearly all misses walking short chains).
+///
+/// [`Mig`](crate::Mig) owns one internally; the type is public for
+/// callers building their own graph structures over [`Signal`] triples.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_mig::{NodeId, Signal, Strash};
+///
+/// // The node array *is* the key store: ids stored in the table index it.
+/// let mut nodes: Vec<[Signal; 3]> = vec![[Signal::FALSE; 3]; 3];
+/// let key = [
+///     Signal::new(NodeId::new(1), false),
+///     Signal::new(NodeId::new(2), true),
+///     Signal::new(NodeId::new(2), false),
+/// ];
+/// let mut table = Strash::new();
+/// let id = NodeId::new(nodes.len() as u32);
+/// assert_eq!(table.insert_or_get(&key, id, &nodes), None); // fresh gate
+/// nodes.push(key);
+/// assert_eq!(table.get(&key, &nodes), Some(id));           // deduplicated
+/// assert_eq!(table.len(), 1);
+/// ```
 #[derive(Debug, Clone, Default)]
-pub(crate) struct StrashTable {
+pub struct Strash {
     /// Low 32 bits: `raw node index + 1`, `0` = empty slot. High 32 bits:
     /// the key hash's upper half. Length is always a power of two.
     slots: Vec<u64>,
@@ -56,16 +79,20 @@ fn entry(hash: u64, id: u32) -> u64 {
     (hash & !0xFFFF_FFFF) | (id as u64 + 1)
 }
 
-impl StrashTable {
+impl Strash {
     /// An empty table; no allocation until the first insert.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Number of stored gates.
-    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Whether the table stores no gates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// Forgets every entry but keeps the slot allocation, so the table can
@@ -174,7 +201,7 @@ mod tests {
     #[test]
     fn get_insert_round_trip() {
         let mut nodes: Vec<[Signal; 3]> = vec![[Signal::FALSE; 3]; 4]; // const + 3 inputs
-        let mut table = StrashTable::new();
+        let mut table = Strash::new();
         let key = [sig(1, false), sig(2, true), sig(3, false)];
         assert_eq!(table.get(&key, &nodes), None);
         let id = NodeId::new(nodes.len() as u32);
@@ -193,7 +220,7 @@ mod tests {
     #[test]
     fn grows_past_initial_capacity_and_keeps_all_entries() {
         let mut nodes: Vec<[Signal; 3]> = vec![[Signal::FALSE; 3]; 3];
-        let mut table = StrashTable::new();
+        let mut table = Strash::new();
         let mut keys = Vec::new();
         for i in 0..1000u32 {
             let key = [sig(1, false), sig(2, i % 2 == 0), sig(3 + i, false)];
@@ -211,7 +238,7 @@ mod tests {
     #[test]
     fn clear_keeps_allocation_and_forgets_entries() {
         let mut nodes: Vec<[Signal; 3]> = vec![[Signal::FALSE; 3]; 2];
-        let mut table = StrashTable::new();
+        let mut table = Strash::new();
         let key = [sig(0, false), sig(1, true), sig(1, false)];
         let id = NodeId::new(nodes.len() as u32);
         assert_eq!(table.insert_or_get(&key, id, &nodes), None);

@@ -71,6 +71,23 @@ impl BitSet {
 
 /// Levels, fanout counts, live mask and CSR parent index of one graph,
 /// derived together in two linear sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_mig::{Mig, StructuralView};
+///
+/// let mut mig = Mig::new(3);
+/// let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+/// let m = mig.add_maj(a, b, c);
+/// mig.add_output(m);
+///
+/// let view = StructuralView::of(&mig);
+/// assert_eq!(view.level(m.node()), 1);
+/// assert_eq!(view.fanout(a.node()), 1);
+/// assert!(view.is_live(m.node()));
+/// assert_eq!(view.parents_of(a.node()), [m.node()]);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct StructuralView {
     /// Per-node logic level (constants and inputs are 0).

@@ -45,6 +45,31 @@ pub enum State {
 }
 
 /// A crossbar hosting both a program image and its data.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_plim::{Controller, Instruction, Operand, Program, State};
+/// use rlim_rram::CellId;
+///
+/// // r1 ← ⟨r0, 0̄, r1⟩ with r1 = 0: copies r0 into r1.
+/// let program = Program {
+///     instructions: vec![Instruction {
+///         p: Operand::Cell(CellId::new(0)),
+///         q: Operand::Const(false),
+///         z: CellId::new(1),
+///     }],
+///     num_cells: 2,
+///     input_cells: vec![CellId::new(0)],
+///     output_cells: vec![CellId::new(1)],
+/// };
+/// let mut controller = Controller::host(&program).unwrap();
+/// assert_eq!(controller.run(&[true]).unwrap(), vec![true]);
+/// assert_eq!(controller.state(), State::Halted);
+/// assert_eq!(controller.cycles(), 6, "six FSM states per instruction");
+/// // The program image lives in the same array, above the data region.
+/// assert_eq!(controller.code_base(), 2);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Controller {
     array: Crossbar,

@@ -1,0 +1,931 @@
+//! A fleet of PLiM crossbars with endurance-aware dispatch.
+//!
+//! The DATE 2017 paper balances write traffic *inside* one crossbar; this
+//! module lifts the same two allocation ideas to **array granularity** so
+//! a multi-crossbar system can serve a stream of compiled programs:
+//!
+//! * [`DispatchPolicy::LeastWorn`] mirrors the paper's *minimum write
+//!   count strategy*: each job goes to the live array with the fewest
+//!   accumulated writes, so heterogeneous programs cannot concentrate
+//!   wear on one array.
+//! * [`FleetConfig::with_write_budget`] mirrors the *maximum write count
+//!   strategy*: arrays whose remaining budget cannot fit a job are
+//!   skipped for it (never stranding budget a cheaper later job could
+//!   still use), and an array whose budget is fully consumed — it cannot
+//!   fit even a single write, exactly the paper's cell-retirement rule —
+//!   is **retired**: it never executes another write, and the remaining
+//!   arrays take over.
+//! * [`DispatchPolicy::RoundRobin`] is the oblivious baseline the
+//!   evaluation compares against.
+//!
+//! ## Determinism
+//!
+//! Dispatch is planned serially before anything executes: a PLiM program's
+//! write cost is static (every execution writes the same cells the same
+//! number of times), so the plan depends only on the job sequence and the
+//! fleet's accumulated wear — never on thread scheduling. Execution then
+//! runs each array's job list in plan order, arrays in parallel on a
+//! scoped worker pool following the workspace convention (`threads == 0`
+//! means one worker per core, `1` forces serial); arrays are disjoint, so
+//! serial and parallel runs are byte-identical.
+//!
+//! ## Example
+//!
+//! ```
+//! use rlim_plim::{DispatchPolicy, Fleet, FleetConfig, Instruction, Job, Operand, Program};
+//! use rlim_rram::CellId;
+//!
+//! // set1 r0 — a one-instruction program costing one write per run.
+//! let program = Program {
+//!     instructions: vec![Instruction {
+//!         p: Operand::Const(true),
+//!         q: Operand::Const(false),
+//!         z: CellId::new(0),
+//!     }],
+//!     num_cells: 1,
+//!     input_cells: vec![],
+//!     output_cells: vec![CellId::new(0)],
+//! };
+//! let mut fleet = Fleet::new(
+//!     FleetConfig::new(2).with_policy(DispatchPolicy::LeastWorn),
+//! );
+//! let jobs = vec![Job::new(&program, &[]); 4];
+//! let outputs = fleet.run_batch(&jobs, 1).unwrap();
+//! assert_eq!(outputs.len(), 4);
+//! // Four one-write jobs over two arrays: perfectly balanced.
+//! assert_eq!(fleet.total_writes(0), 2);
+//! assert_eq!(fleet.total_writes(1), 2);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rlim_rram::{Crossbar, EnduranceError, FleetWriteStats};
+
+use crate::isa::Program;
+use crate::machine::Machine;
+
+/// How the dispatcher chooses an array for the next job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DispatchPolicy {
+    /// Rotate through live arrays regardless of wear — the oblivious
+    /// baseline. Arrays that cannot fit the job are skipped.
+    RoundRobin,
+    /// The paper's minimum write count strategy at array granularity:
+    /// send the job to the live, fitting array with the fewest total
+    /// writes (ties broken by lowest array index).
+    #[default]
+    LeastWorn,
+}
+
+impl DispatchPolicy {
+    /// Short label used in tables and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastWorn => "least-worn",
+        }
+    }
+}
+
+impl std::str::FromStr for DispatchPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "round-robin" | "rr" => Ok(DispatchPolicy::RoundRobin),
+            "least-worn" | "lw" => Ok(DispatchPolicy::LeastWorn),
+            other => Err(format!(
+                "unknown dispatch policy `{other}` (round-robin | least-worn)"
+            )),
+        }
+    }
+}
+
+/// Configuration of a [`Fleet`].
+///
+/// # Examples
+///
+/// ```
+/// use rlim_plim::{DispatchPolicy, FleetConfig};
+///
+/// let config = FleetConfig::new(4)
+///     .with_policy(DispatchPolicy::RoundRobin)
+///     .with_write_budget(10_000);
+/// assert_eq!(config.arrays, 4);
+/// assert_eq!(config.write_budget, Some(10_000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of crossbar arrays.
+    pub arrays: usize,
+    /// Dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Per-array total-write budget `W`: arrays that cannot fit a job
+    /// within `W` total writes are skipped for it, and an array whose
+    /// budget is fully consumed is retired — the maximum write count
+    /// strategy lifted to arrays.
+    pub write_budget: Option<u64>,
+    /// Physical per-cell endurance limit of every array (writes fail with
+    /// [`EnduranceError`] beyond it), as in [`Machine::with_endurance`].
+    pub endurance: Option<u64>,
+}
+
+impl FleetConfig {
+    /// A fleet of `arrays` crossbars with least-worn dispatch, no write
+    /// budget and no physical endurance limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is zero.
+    pub fn new(arrays: usize) -> Self {
+        assert!(arrays > 0, "a fleet needs at least one array");
+        FleetConfig {
+            arrays,
+            policy: DispatchPolicy::default(),
+            write_budget: None,
+            endurance: None,
+        }
+    }
+
+    /// Sets the dispatch policy.
+    pub fn with_policy(mut self, policy: DispatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-array total-write budget `W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn with_write_budget(mut self, budget: u64) -> Self {
+        assert!(budget > 0, "write budget must be positive");
+        self.write_budget = Some(budget);
+        self
+    }
+
+    /// Sets the physical per-cell endurance limit.
+    pub fn with_endurance(mut self, limit: u64) -> Self {
+        self.endurance = Some(limit);
+        self
+    }
+}
+
+/// One unit of fleet work: a compiled program plus its input vector.
+#[derive(Debug, Clone, Copy)]
+pub struct Job<'a> {
+    /// The compiled PLiM program to execute.
+    pub program: &'a Program,
+    /// Primary-input values, in the program's PI order.
+    pub inputs: &'a [bool],
+}
+
+impl<'a> Job<'a> {
+    /// Bundles a program with its inputs.
+    pub fn new(program: &'a Program, inputs: &'a [bool]) -> Self {
+        Job { program, inputs }
+    }
+
+    /// The job's static write cost: one write per RM3 instruction.
+    pub fn cost(&self) -> u64 {
+        self.program.num_instructions() as u64
+    }
+
+    /// The standard heterogeneous evaluation stream: `count` jobs
+    /// alternating `heavy` and `light` (heavy first), all sharing one
+    /// input vector. Periodic traffic like this is what separates
+    /// wear-aware dispatch from oblivious striping; the CLI, the bench
+    /// runner and the test-suite use it directly, and the `fleet` eval
+    /// sweep builds the same alternation with per-job random inputs.
+    pub fn alternating(
+        heavy: &'a Program,
+        light: &'a Program,
+        inputs: &'a [bool],
+        count: usize,
+    ) -> Vec<Job<'a>> {
+        (0..count)
+            .map(|i| Job::new(if i % 2 == 0 { heavy } else { light }, inputs))
+            .collect()
+    }
+}
+
+/// A fleet batch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// No live array could absorb job `job` within its write budget; wear
+    /// from jobs before `job` in the batch was **not** applied (dispatch
+    /// is planned before anything executes).
+    Exhausted {
+        /// Index of the unplaceable job in the batch.
+        job: usize,
+    },
+    /// A physical endurance limit was hit while executing job `job`.
+    /// Writes performed before the failure (on this and other arrays)
+    /// persist, and the failed array is retired.
+    Endurance {
+        /// Index of the failing job in the batch.
+        job: usize,
+        /// The array the job was dispatched to.
+        array: usize,
+        /// The underlying cell failure.
+        error: EnduranceError,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Exhausted { job } => {
+                write!(f, "fleet exhausted: no array can absorb job {job}")
+            }
+            FleetError::Endurance { job, array, error } => {
+                write!(f, "job {job} on array {array}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One crossbar of the fleet plus its dispatch bookkeeping.
+#[derive(Debug, Clone)]
+struct Slot {
+    machine: Machine,
+    /// Total writes accumulated (plan-time mirror of the machine's wear).
+    total: u64,
+    /// Jobs ever dispatched to this array.
+    jobs: u64,
+    retired: bool,
+}
+
+/// Fleet-level wear summary returned by [`Fleet::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Write-traffic distributions per array and pooled per cell.
+    pub wear: FleetWriteStats,
+    /// Number of retired arrays.
+    pub retired: usize,
+    /// Jobs dispatched since construction.
+    pub jobs: u64,
+}
+
+/// A fleet of independent PLiM crossbars behind one dispatcher.
+///
+/// Construct with [`Fleet::new`], feed batches of [`Job`]s through
+/// [`Fleet::run_batch`], and read wear back with [`Fleet::stats`]. Arrays
+/// persist across batches, so wear (and retirement) accumulates exactly as
+/// in the single-machine lifetime experiments.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    slots: Vec<Slot>,
+    policy: DispatchPolicy,
+    write_budget: Option<u64>,
+    /// Round-robin scan position.
+    cursor: usize,
+    jobs_run: u64,
+}
+
+impl Fleet {
+    /// Builds the fleet: `config.arrays` empty crossbars with zero wear.
+    pub fn new(config: FleetConfig) -> Self {
+        let slots = (0..config.arrays)
+            .map(|_| Slot {
+                machine: Machine::with_array(match config.endurance {
+                    Some(limit) => Crossbar::with_endurance(limit),
+                    None => Crossbar::new(),
+                }),
+                total: 0,
+                jobs: 0,
+                retired: false,
+            })
+            .collect();
+        Fleet {
+            slots,
+            policy: config.policy,
+            write_budget: config.write_budget,
+            cursor: 0,
+            jobs_run: 0,
+        }
+    }
+
+    /// Number of arrays (live and retired).
+    pub fn num_arrays(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The dispatch policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// The per-array write budget, if any.
+    pub fn write_budget(&self) -> Option<u64> {
+        self.write_budget
+    }
+
+    /// Whether array `index` has been retired — by exhausting its write
+    /// budget or by a physical endurance failure. A retired array never
+    /// executes another write.
+    pub fn is_retired(&self, index: usize) -> bool {
+        self.slots[index].retired
+    }
+
+    /// The crossbar of array `index` (wear counters, stored values).
+    pub fn array(&self, index: usize) -> &Crossbar {
+        self.slots[index].machine.array()
+    }
+
+    /// Total writes executed on array `index`.
+    pub fn total_writes(&self, index: usize) -> u64 {
+        self.slots[index].total
+    }
+
+    /// Jobs dispatched to array `index` since construction (a job whose
+    /// array failed mid-batch still counts as dispatched).
+    pub fn jobs_on(&self, index: usize) -> u64 {
+        self.slots[index].jobs
+    }
+
+    /// Jobs dispatched fleet-wide since construction.
+    pub fn jobs_run(&self) -> u64 {
+        self.jobs_run
+    }
+
+    /// Fleet-level wear statistics: per-array totals/peaks and the pooled
+    /// per-cell distribution, plus retirement progress.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            wear: FleetWriteStats::from_arrays(
+                self.slots.iter().map(|s| s.machine.array().write_counts()),
+            ),
+            retired: self.slots.iter().filter(|s| s.retired).count(),
+            jobs: self.jobs_run,
+        }
+    }
+
+    /// How many more jobs of write cost `cost` the fleet can absorb before
+    /// every array is exhausted: `Σᵢ ⌊remainingᵢ / cost⌋` over live
+    /// arrays. `None` when no write budget is configured (unbounded);
+    /// `Some(u64::MAX)` for write-free jobs (`cost == 0`) while any array
+    /// is live, since such jobs consume no budget.
+    pub fn remaining_jobs(&self, cost: u64) -> Option<u64> {
+        let budget = self.write_budget?;
+        if cost == 0 {
+            let any_live = self.slots.iter().any(|s| !s.retired);
+            return Some(if any_live { u64::MAX } else { 0 });
+        }
+        Some(
+            self.slots
+                .iter()
+                .filter(|s| !s.retired)
+                .map(|s| budget.saturating_sub(s.total) / cost)
+                .sum(),
+        )
+    }
+
+    /// The first-retirement horizon: jobs of write cost `cost` the
+    /// most-worn live array can still absorb — the earliest point at which
+    /// the fleet can lose an array. `None` when no write budget is
+    /// configured; `Some(0)` when every array is retired;
+    /// `Some(u64::MAX)` for write-free jobs on a live fleet.
+    pub fn first_retirement_horizon(&self, cost: u64) -> Option<u64> {
+        let budget = self.write_budget?;
+        if cost == 0 {
+            let any_live = self.slots.iter().any(|s| !s.retired);
+            return Some(if any_live { u64::MAX } else { 0 });
+        }
+        Some(
+            self.slots
+                .iter()
+                .filter(|s| !s.retired)
+                .map(|s| budget.saturating_sub(s.total) / cost)
+                .min()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Dispatches and executes a batch of jobs, returning each job's
+    /// primary outputs in batch order.
+    ///
+    /// Dispatch is planned serially first (see the module docs), then each
+    /// array executes its assigned jobs in plan order, arrays in parallel
+    /// over `threads` scoped workers (`0` = one per available core, `1` =
+    /// forced serial). Serial and parallel runs produce identical outputs
+    /// and identical wear.
+    ///
+    /// # Errors
+    ///
+    /// * [`FleetError::Exhausted`] if some job cannot be placed within the
+    ///   write budget — detected at plan time, before any write executes.
+    /// * [`FleetError::Endurance`] if a physical endurance limit fails a
+    ///   write at run time. Earlier writes persist, the failed array is
+    ///   **retired** (later batches go to the survivors), and its wear
+    ///   bookkeeping is reconciled to the writes that actually executed.
+    ///   Outputs of jobs that did complete in the failed batch are not
+    ///   returned, so callers operating close to an endurance limit
+    ///   should prefer small batches (the lifetime experiments submit one
+    ///   job at a time) to avoid re-executing — and re-wearing — work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job's input vector does not match its program's
+    /// interface.
+    pub fn run_batch(
+        &mut self,
+        jobs: &[Job<'_>],
+        threads: usize,
+    ) -> Result<Vec<Vec<bool>>, FleetError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // ---- Plan (serial, deterministic, transactional) -----------------
+        // Planned state is committed only when every job places: a batch
+        // that exhausts the fleet leaves wear, retirement and the
+        // round-robin cursor untouched.
+        let costs: Vec<u64> = jobs.iter().map(Job::cost).collect();
+        let mut plan = Planner {
+            totals: self.slots.iter().map(|s| s.total).collect(),
+            job_counts: self.slots.iter().map(|s| s.jobs).collect(),
+            retired: self.slots.iter().map(|s| s.retired).collect(),
+            cursor: self.cursor,
+            policy: self.policy,
+            write_budget: self.write_budget,
+        };
+        plan.retire_spent();
+        let mut assignment = Vec::with_capacity(jobs.len());
+        for (j, &cost) in costs.iter().enumerate() {
+            let slot = plan.place(cost).ok_or(FleetError::Exhausted { job: j })?;
+            plan.totals[slot] += cost;
+            plan.job_counts[slot] += 1;
+            assignment.push(slot);
+            plan.retire_spent();
+        }
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.total = plan.totals[i];
+            slot.jobs = plan.job_counts[i];
+            slot.retired = plan.retired[i];
+        }
+        self.cursor = plan.cursor;
+        self.jobs_run += jobs.len() as u64;
+
+        // ---- Group by array and size the crossbars -----------------------
+        let mut per_array: Vec<Vec<usize>> = vec![Vec::new(); self.slots.len()];
+        for (j, &slot) in assignment.iter().enumerate() {
+            per_array[slot].push(j);
+        }
+        for (slot, list) in self.slots.iter_mut().zip(&per_array) {
+            let cells = list.iter().map(|&j| jobs[j].program.num_cells).max();
+            if let Some(cells) = cells {
+                slot.machine.ensure_cells(cells);
+            }
+        }
+
+        // ---- Execute: arrays in parallel, each array's jobs in order -----
+        type ResultSlot = Mutex<Option<Result<Vec<bool>, EnduranceError>>>;
+        type TaskSlot<'m> = Mutex<Option<(&'m mut Machine, &'m [usize])>>;
+        let results: Vec<ResultSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let tasks: Vec<TaskSlot<'_>> = self
+            .slots
+            .iter_mut()
+            .zip(&per_array)
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(slot, list)| Mutex::new(Some((&mut slot.machine, list.as_slice()))))
+            .collect();
+        let workers = resolve_threads(threads, tasks.len());
+        let run_task = |machine: &mut Machine, list: &[usize]| {
+            for &j in list {
+                let outcome = machine.run(jobs[j].program, jobs[j].inputs);
+                let failed = outcome.is_err();
+                *results[j].lock().expect("result lock") = Some(outcome);
+                if failed {
+                    return; // this array is dead; its later jobs never ran
+                }
+            }
+        };
+        if workers <= 1 {
+            for task in &tasks {
+                let (machine, list) = task.lock().expect("task lock").take().expect("task set");
+                run_task(machine, list);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            return;
+                        }
+                        let (machine, list) = tasks[i]
+                            .lock()
+                            .expect("task lock")
+                            .take()
+                            .expect("task set");
+                        run_task(machine, list);
+                    });
+                }
+            });
+        }
+
+        // ---- Aggregate in batch order ------------------------------------
+        let mut outputs = Vec::with_capacity(jobs.len());
+        let mut first_error: Option<FleetError> = None;
+        for (j, cell) in results.into_iter().enumerate() {
+            match cell.into_inner().expect("no poisoned lock") {
+                Some(Ok(out)) => outputs.push(out),
+                Some(Err(error)) => {
+                    // A dead cell is permanent: retire the array so later
+                    // batches go to the survivors, and replace its planned
+                    // wear with the writes that actually executed.
+                    let array = assignment[j];
+                    let slot = &mut self.slots[array];
+                    slot.retired = true;
+                    slot.total = slot.machine.array().write_counts().iter().sum();
+                    if first_error.is_none() {
+                        first_error = Some(FleetError::Endurance {
+                            job: j,
+                            array,
+                            error,
+                        });
+                    }
+                }
+                // Jobs queued behind a failed one on the same array never
+                // ran; the earliest failing job is the error reported.
+                None => {}
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(outputs),
+        }
+    }
+}
+
+/// Scratch dispatch state: a copy of the fleet's wear bookkeeping that a
+/// batch plan mutates, committed back only when every job places.
+struct Planner {
+    totals: Vec<u64>,
+    job_counts: Vec<u64>,
+    retired: Vec<bool>,
+    cursor: usize,
+    policy: DispatchPolicy,
+    write_budget: Option<u64>,
+}
+
+impl Planner {
+    /// Whether array `slot` can absorb `cost` more writes.
+    fn fits(&self, slot: usize, cost: u64) -> bool {
+        match self.write_budget {
+            None => true,
+            Some(w) => self.totals[slot] + cost <= w,
+        }
+    }
+
+    /// Chooses a live, fitting array for a job of write cost `cost`, or
+    /// `None` when the fleet is exhausted for this cost.
+    fn place(&mut self, cost: u64) -> Option<usize> {
+        let n = self.totals.len();
+        match self.policy {
+            DispatchPolicy::RoundRobin => {
+                for step in 0..n {
+                    let i = (self.cursor + step) % n;
+                    if !self.retired[i] && self.fits(i, cost) {
+                        self.cursor = (i + 1) % n;
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            DispatchPolicy::LeastWorn => (0..n)
+                .filter(|&i| !self.retired[i] && self.fits(i, cost))
+                .min_by_key(|&i| (self.totals[i], i)),
+        }
+    }
+
+    /// Retires every live array whose budget is fully consumed (it cannot
+    /// fit even a single write) — the array-level analogue of dropping
+    /// at-limit cells from the compile-time free pool. Arrays with budget
+    /// left are never retired here, only skipped by [`Planner::place`]
+    /// for jobs they cannot fit, so remaining capacity stays reachable
+    /// for cheaper later jobs.
+    fn retire_spent(&mut self) {
+        let Some(budget) = self.write_budget else {
+            return;
+        };
+        for (i, retired) in self.retired.iter_mut().enumerate() {
+            if !*retired && self.totals[i] >= budget {
+                *retired = true;
+            }
+        }
+    }
+}
+
+/// Worker-count resolution following `rlim-testkit`'s convention (`0` =
+/// one per available core, never more workers than tasks). Local copy:
+/// `rlim-plim` sits below the testkit in the crate graph.
+fn resolve_threads(requested: usize, tasks: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        requested
+    };
+    t.clamp(1, tasks.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instruction, Operand};
+    use rlim_rram::CellId;
+
+    /// A program of `writes` set1 instructions on distinct cells.
+    fn burn(writes: usize) -> Program {
+        Program {
+            instructions: (0..writes)
+                .map(|i| Instruction {
+                    p: Operand::Const(true),
+                    q: Operand::Const(false),
+                    z: CellId::new(i as u32),
+                })
+                .collect(),
+            num_cells: writes.max(1),
+            input_cells: vec![],
+            output_cells: vec![CellId::new(0)],
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let heavy = burn(4);
+        let mut fleet = Fleet::new(FleetConfig::new(3).with_policy(DispatchPolicy::RoundRobin));
+        let jobs = vec![Job::new(&heavy, &[]); 5];
+        fleet.run_batch(&jobs, 1).unwrap();
+        assert_eq!(
+            (0..3).map(|i| fleet.jobs_on(i)).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+    }
+
+    #[test]
+    fn least_worn_balances_heterogeneous_costs() {
+        let heavy = burn(10);
+        let light = burn(1);
+        let mut fleet = Fleet::new(FleetConfig::new(2).with_policy(DispatchPolicy::LeastWorn));
+        // heavy → array 0; the next ten light jobs must all avoid it.
+        let mut jobs = vec![Job::new(&heavy, &[])];
+        jobs.extend(std::iter::repeat_n(Job::new(&light, &[]), 10));
+        fleet.run_batch(&jobs, 1).unwrap();
+        assert_eq!(fleet.total_writes(0), 10);
+        assert_eq!(fleet.total_writes(1), 10);
+    }
+
+    #[test]
+    fn plan_totals_match_executed_wear() {
+        let a = burn(3);
+        let b = burn(7);
+        let mut fleet = Fleet::new(FleetConfig::new(3));
+        let jobs = [
+            Job::new(&a, &[]),
+            Job::new(&b, &[]),
+            Job::new(&a, &[]),
+            Job::new(&b, &[]),
+        ];
+        fleet.run_batch(&jobs, 0).unwrap();
+        for i in 0..3 {
+            let executed: u64 = fleet.array(i).write_counts().iter().sum();
+            assert_eq!(fleet.total_writes(i), executed, "array {i}");
+        }
+        assert_eq!(fleet.jobs_run(), 4);
+    }
+
+    #[test]
+    fn serial_and_parallel_identical() {
+        let a = burn(2);
+        let b = burn(5);
+        let jobs: Vec<Job<'_>> = (0..20)
+            .map(|i| Job::new(if i % 3 == 0 { &b } else { &a }, &[]))
+            .collect();
+        let mut serial = Fleet::new(FleetConfig::new(4));
+        let out_serial = serial.run_batch(&jobs, 1).unwrap();
+        let mut parallel = Fleet::new(FleetConfig::new(4));
+        let out_parallel = parallel.run_batch(&jobs, 0).unwrap();
+        assert_eq!(out_serial, out_parallel);
+        for i in 0..4 {
+            assert_eq!(
+                serial.array(i).write_counts(),
+                parallel.array(i).write_counts(),
+                "array {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhausts_without_stranding_capacity() {
+        let job = burn(4);
+        // W = 10: each array absorbs 2 cost-4 jobs (8 writes); remaining
+        // budget 2 cannot fit another cost-4 job…
+        let mut fleet = Fleet::new(FleetConfig::new(2).with_write_budget(10));
+        let jobs = vec![Job::new(&job, &[]); 4];
+        fleet.run_batch(&jobs, 1).unwrap();
+        assert_eq!(fleet.remaining_jobs(4), Some(0));
+        assert_eq!(fleet.first_retirement_horizon(4), Some(0));
+        let err = fleet.run_batch(&[Job::new(&job, &[])], 1).unwrap_err();
+        assert_eq!(err, FleetError::Exhausted { job: 0 });
+        // The failed batch executed nothing.
+        assert_eq!(fleet.total_writes(0), 8);
+        assert_eq!(fleet.total_writes(1), 8);
+        // …but the 2 remaining writes are NOT stranded: arrays with
+        // budget left stay live and serve cheaper jobs, retiring only
+        // once fully spent.
+        assert!(!fleet.is_retired(0) && !fleet.is_retired(1));
+        assert_eq!(fleet.remaining_jobs(2), Some(2));
+        let cheap = burn(2);
+        fleet.run_batch(&[Job::new(&cheap, &[]); 2], 1).unwrap();
+        assert_eq!(fleet.total_writes(0), 10);
+        assert_eq!(fleet.total_writes(1), 10);
+        assert!(fleet.is_retired(0) && fleet.is_retired(1));
+        assert_eq!(fleet.remaining_jobs(1), Some(0));
+    }
+
+    #[test]
+    fn zero_cost_jobs_have_unbounded_horizons() {
+        let mut fleet = Fleet::new(FleetConfig::new(1).with_write_budget(4));
+        assert_eq!(fleet.remaining_jobs(0), Some(u64::MAX));
+        assert_eq!(fleet.first_retirement_horizon(0), Some(u64::MAX));
+        // Spend the budget: the fleet retires and even write-free
+        // capacity reads as zero.
+        let job = burn(4);
+        fleet.run_batch(&[Job::new(&job, &[])], 1).unwrap();
+        assert!(fleet.is_retired(0));
+        assert_eq!(fleet.remaining_jobs(0), Some(0));
+        assert_eq!(fleet.first_retirement_horizon(0), Some(0));
+    }
+
+    #[test]
+    fn retired_array_never_written_again() {
+        let heavy = burn(6);
+        let light = burn(1);
+        let mut fleet = Fleet::new(FleetConfig::new(2).with_write_budget(6));
+        // Array 0 takes the heavy job and is exactly at budget → retired.
+        fleet.run_batch(&[Job::new(&heavy, &[])], 1).unwrap();
+        assert!(fleet.is_retired(0));
+        let frozen = fleet.array(0).write_counts();
+        for _ in 0..6 {
+            fleet.run_batch(&[Job::new(&light, &[])], 1).unwrap();
+        }
+        assert_eq!(fleet.array(0).write_counts(), frozen);
+        assert_eq!(fleet.total_writes(1), 6);
+    }
+
+    #[test]
+    fn exhausted_error_reports_job_index() {
+        let job = burn(5);
+        let mut fleet = Fleet::new(FleetConfig::new(1).with_write_budget(12));
+        let jobs = vec![Job::new(&job, &[]); 3];
+        let err = fleet.run_batch(&jobs, 1).unwrap_err();
+        // Two jobs fit (10 ≤ 12); the third does not.
+        assert_eq!(err, FleetError::Exhausted { job: 2 });
+        assert_eq!(
+            err.to_string(),
+            "fleet exhausted: no array can absorb job 2"
+        );
+    }
+
+    #[test]
+    fn physical_endurance_surfaces_with_job_context() {
+        let job = burn(1); // one write on cell r0 per run
+        let mut fleet = Fleet::new(FleetConfig::new(1).with_endurance(2));
+        fleet.run_batch(&[Job::new(&job, &[]); 2], 1).unwrap();
+        let err = fleet.run_batch(&[Job::new(&job, &[])], 1).unwrap_err();
+        match err {
+            FleetError::Endurance { job, array, error } => {
+                assert_eq!(job, 0);
+                assert_eq!(array, 0);
+                assert_eq!(error.limit, 2);
+            }
+            other => panic!("expected endurance failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn endurance_failure_retires_array_and_reconciles_wear() {
+        let job = burn(1); // one write on cell r0 per run
+                           // Two arrays, each cell endures 2 writes. Least-worn alternates,
+                           // so jobs 4 and 5 (the third run on each array) both fail.
+        let mut fleet = Fleet::new(FleetConfig::new(2).with_endurance(2));
+        let err = fleet.run_batch(&[Job::new(&job, &[]); 6], 1).unwrap_err();
+        assert!(
+            matches!(err, FleetError::Endurance { job: 4, .. }),
+            "{err:?}"
+        );
+        for i in 0..2 {
+            assert!(fleet.is_retired(i), "dead array {i} must retire");
+            // Planned totals (3 per array) reconciled to executed wear (2).
+            assert_eq!(fleet.total_writes(i), 2, "array {i}");
+        }
+        // A fully-dead fleet rejects further work at plan time.
+        let err = fleet.run_batch(&[Job::new(&job, &[])], 1).unwrap_err();
+        assert_eq!(err, FleetError::Exhausted { job: 0 });
+    }
+
+    #[test]
+    fn endurance_failure_shrinks_fleet_to_survivors() {
+        /// `writes` set1 instructions, all on cell `cell`.
+        fn burn_at(cell: u32, writes: usize) -> Program {
+            Program {
+                instructions: vec![
+                    Instruction {
+                        p: Operand::Const(true),
+                        q: Operand::Const(false),
+                        z: CellId::new(cell),
+                    };
+                    writes
+                ],
+                num_cells: cell as usize + 1,
+                input_cells: vec![],
+                output_cells: vec![CellId::new(cell)],
+            }
+        }
+        let heavy = burn_at(0, 2); // wears r0 at 2 writes/run
+        let light = burn_at(1, 1); // wears r1 at 1 write/run
+                                   // Round-robin over 2 arrays: array 0 serves every heavy job,
+                                   // array 1 every light job. Endurance 4 → r0 on array 0 dies on
+                                   // the third heavy run; r1 on array 1 survives four light runs.
+        let mut fleet = Fleet::new(
+            FleetConfig::new(2)
+                .with_policy(DispatchPolicy::RoundRobin)
+                .with_endurance(4),
+        );
+        let jobs = Job::alternating(&heavy, &light, &[], 4);
+        fleet.run_batch(&jobs, 1).unwrap(); // a0: r0=4, a1: r1=2
+        let err = fleet.run_batch(&jobs, 1).unwrap_err();
+        assert!(
+            matches!(err, FleetError::Endurance { array: 0, .. }),
+            "{err:?}"
+        );
+        assert!(fleet.is_retired(0));
+        assert!(!fleet.is_retired(1));
+        // The fleet keeps serving on the survivor instead of failing
+        // forever on the dead array.
+        let probe = burn_at(2, 1); // fresh cell: no wear conflict
+        let survivors_serve = Job::alternating(&probe, &probe, &[], 2);
+        fleet.run_batch(&survivors_serve, 1).unwrap();
+        assert_eq!(fleet.jobs_on(1), 2 + 2 + 2);
+    }
+
+    #[test]
+    fn stats_and_horizons() {
+        let job = burn(2);
+        let mut fleet = Fleet::new(
+            FleetConfig::new(2)
+                .with_policy(DispatchPolicy::LeastWorn)
+                .with_write_budget(10),
+        );
+        fleet.run_batch(&[Job::new(&job, &[]); 3], 1).unwrap();
+        let stats = fleet.stats();
+        assert_eq!(stats.jobs, 3);
+        assert_eq!(stats.retired, 0);
+        assert_eq!(stats.wear.arrays, 2);
+        assert_eq!(stats.wear.array_totals.max, 4);
+        assert_eq!(stats.wear.array_totals.min, 2);
+        // Remaining capacity: (10-4)/2 + (10-2)/2 = 3 + 4 = 7 jobs.
+        assert_eq!(fleet.remaining_jobs(2), Some(7));
+        assert_eq!(fleet.first_retirement_horizon(2), Some(3));
+        // Unbudgeted fleets have unbounded horizons.
+        let free = Fleet::new(FleetConfig::new(2));
+        assert_eq!(free.remaining_jobs(2), None);
+        assert_eq!(free.first_retirement_horizon(2), None);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut fleet = Fleet::new(FleetConfig::new(2));
+        assert_eq!(fleet.run_batch(&[], 0).unwrap(), Vec::<Vec<bool>>::new());
+        assert_eq!(fleet.jobs_run(), 0);
+    }
+
+    #[test]
+    fn policy_parsing_and_labels() {
+        assert_eq!(
+            "round-robin".parse::<DispatchPolicy>().unwrap(),
+            DispatchPolicy::RoundRobin
+        );
+        assert_eq!(
+            "lw".parse::<DispatchPolicy>().unwrap(),
+            DispatchPolicy::LeastWorn
+        );
+        assert!("fifo".parse::<DispatchPolicy>().is_err());
+        assert_eq!(DispatchPolicy::LeastWorn.label(), "least-worn");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one array")]
+    fn zero_array_fleet_rejected() {
+        let _ = FleetConfig::new(0);
+    }
+}

@@ -16,8 +16,10 @@
 //! balances.
 //!
 //! This crate provides the ISA ([`Instruction`], [`Operand`]), the
-//! [`Program`] container produced by `rlim-compiler`, and the [`Machine`]
-//! that executes programs against an [`rlim_rram::Crossbar`].
+//! [`Program`] container produced by `rlim-compiler`, the [`Machine`]
+//! that executes programs against an [`rlim_rram::Crossbar`], the
+//! self-hosted [`Controller`] FSM, and the multi-crossbar [`Fleet`]
+//! runtime with endurance-aware dispatch ([`DispatchPolicy`]).
 //!
 //! ## Example
 //!
@@ -55,11 +57,13 @@
 pub mod analysis;
 pub mod asm;
 mod controller;
+mod fleet;
 mod isa;
 mod machine;
 mod trace;
 
 pub use controller::{Controller, State};
+pub use fleet::{DispatchPolicy, Fleet, FleetConfig, FleetError, FleetStats, Job};
 pub use isa::{Instruction, Operand, Program, ProgramError};
 pub use machine::{run_once, Machine};
 pub use trace::{Trace, TraceRecord};

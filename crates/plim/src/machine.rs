@@ -21,6 +21,30 @@ fn maj(a: bool, b: bool, c: bool) -> bool {
 ///
 /// The array persists across runs so wear accumulates, which is what the
 /// lifetime experiments need; use [`Machine::for_program`] to start fresh.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_plim::{Instruction, Machine, Operand, Program};
+/// use rlim_rram::CellId;
+///
+/// // One instruction: set1 on cell r0 (RM3(1, 0, z) = ⟨1, 1, z⟩ = 1).
+/// let program = Program {
+///     instructions: vec![Instruction {
+///         p: Operand::Const(true),
+///         q: Operand::Const(false),
+///         z: CellId::new(0),
+///     }],
+///     num_cells: 1,
+///     input_cells: vec![],
+///     output_cells: vec![CellId::new(0)],
+/// };
+/// let mut machine = Machine::for_program(&program);
+/// assert_eq!(machine.run(&program, &[]).unwrap(), vec![true]);
+/// machine.run(&program, &[]).unwrap(); // wear accumulates across runs
+/// assert_eq!(machine.array().writes(CellId::new(0)), 2);
+/// assert_eq!(machine.cycles(), 2);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Machine {
     array: Crossbar,
@@ -41,6 +65,20 @@ impl Machine {
         let mut array = Crossbar::with_endurance(limit);
         array.grow_to(program.num_cells);
         Machine { array, cycles: 0 }
+    }
+
+    /// A machine executing on a caller-provided array — the entry point for
+    /// long-lived arrays whose wear spans many programs (see
+    /// [`Fleet`](crate::Fleet)). The array is grown on demand by
+    /// [`Machine::ensure_cells`]; existing wear and values are preserved.
+    pub fn with_array(array: Crossbar) -> Self {
+        Machine { array, cycles: 0 }
+    }
+
+    /// Grows the array to at least `num_cells` cells (new cells preloaded
+    /// with logic 0, zero wear). Never shrinks.
+    pub fn ensure_cells(&mut self, num_cells: usize) {
+        self.array.grow_to(num_cells);
     }
 
     /// The underlying crossbar (wear counters, stored values).

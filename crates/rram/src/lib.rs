@@ -11,6 +11,8 @@
 //!   per-cell write counters and an optional endurance limit.
 //! * [`WriteStats`] — min / max / standard deviation of write counts, the
 //!   paper's evaluation metrics.
+//! * [`FleetWriteStats`] — the same metrics aggregated over a fleet of
+//!   arrays, per array and pooled per cell.
 //! * [`Geometry`] / [`WearMap`] — the physical rows × columns view and an
 //!   ASCII wear heat map.
 //! * [`lifetime`] — how many program executions an array survives.
@@ -43,4 +45,4 @@ pub mod variability;
 
 pub use crossbar::{CellId, Crossbar, EnduranceError};
 pub use geometry::{Geometry, WearMap};
-pub use stats::WriteStats;
+pub use stats::{FleetWriteStats, WriteStats};

@@ -48,6 +48,51 @@ pub fn lifetime_extension_factor(baseline_max: u64, balanced_max: u64) -> f64 {
     baseline_max as f64 / balanced_max as f64
 }
 
+/// Executions a *fleet* of arrays survives before the **first** array
+/// loses a cell, given each array's per-execution peak write count (the
+/// hottest cell of the program it serves) and a shared device endurance.
+///
+/// This is the pessimistic fleet metric: the fleet is declared degraded as
+/// soon as one array wears out. Returns `u64::MAX` for an empty fleet or
+/// when no array is ever written.
+pub fn fleet_executions_until_first_failure<I>(peaks_per_execution: I, endurance: u64) -> u64
+where
+    I: IntoIterator<Item = u64>,
+{
+    peaks_per_execution
+        .into_iter()
+        .map(|peak| executions_until_failure([peak], endurance))
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+/// Total executions a fleet can serve when the dispatcher may steer every
+/// execution to any surviving array: `Σᵢ ⌊E / peakᵢ⌋`.
+///
+/// This is the fleet's aggregate write capacity — the quantity a
+/// wear-levelling dispatcher (least-worn-first) approaches, and the upper
+/// bound the round-robin policy falls short of on heterogeneous
+/// workloads. Saturates at `u64::MAX`.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_rram::lifetime::fleet_executions_until_exhaustion;
+///
+/// // Four identical arrays each surviving 20 runs → 80 fleet runs.
+/// assert_eq!(fleet_executions_until_exhaustion([5, 5, 5, 5], 100), 80);
+/// ```
+pub fn fleet_executions_until_exhaustion<I>(peaks_per_execution: I, endurance: u64) -> u64
+where
+    I: IntoIterator<Item = u64>,
+{
+    let mut total: u64 = 0;
+    for peak in peaks_per_execution {
+        total = total.saturating_add(executions_until_failure([peak], endurance));
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,6 +114,26 @@ mod tests {
         assert_eq!(lifetime_extension_factor(100, 10), 10.0);
         assert_eq!(lifetime_extension_factor(10, 10), 1.0);
         assert_eq!(lifetime_extension_factor(5, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn fleet_first_failure_is_worst_array() {
+        assert_eq!(fleet_executions_until_first_failure([10, 5, 2], 100), 10);
+        assert_eq!(fleet_executions_until_first_failure([0, 5], 100), 20);
+        assert_eq!(
+            fleet_executions_until_first_failure(std::iter::empty(), 100),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn fleet_exhaustion_sums_capacity() {
+        assert_eq!(fleet_executions_until_exhaustion([10, 5, 2], 100), 80);
+        assert_eq!(fleet_executions_until_exhaustion([0], 100), u64::MAX);
+        assert_eq!(
+            fleet_executions_until_exhaustion(std::iter::empty(), 100),
+            0
+        );
     }
 
     #[test]

@@ -102,6 +102,78 @@ impl fmt::Display for WriteStats {
     }
 }
 
+/// Fleet-level write-traffic statistics over several crossbar arrays.
+///
+/// Aggregates the per-cell write counts of every array in a fleet at two
+/// granularities: per **array** (the quantity the fleet dispatcher
+/// balances — an array-level mirror of the paper's per-cell metrics) and
+/// per **cell** pooled across all arrays (the quantity that decides when
+/// the first physical device fails).
+///
+/// # Examples
+///
+/// ```
+/// use rlim_rram::FleetWriteStats;
+///
+/// // Two arrays: one hot (10 writes total), one cold (2 writes total).
+/// let stats = FleetWriteStats::from_arrays([vec![4, 6], vec![1, 1]]);
+/// assert_eq!(stats.arrays, 2);
+/// assert_eq!(stats.array_totals.max, 10);
+/// assert_eq!(stats.array_totals.min, 2);
+/// assert_eq!(stats.array_peaks.max, 6);
+/// assert_eq!(stats.cells.cells, 4);
+/// assert_eq!(stats.cells.max, 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetWriteStats {
+    /// Number of arrays aggregated.
+    pub arrays: usize,
+    /// Distribution of **total** writes per array (max/mean/stdev over
+    /// arrays) — the dispatcher's balancing target.
+    pub array_totals: WriteStats,
+    /// Distribution of each array's **hottest cell** (max per-cell write
+    /// count per array) — the lifetime-critical quantity.
+    pub array_peaks: WriteStats,
+    /// Pooled per-cell distribution over every cell of every array.
+    pub cells: WriteStats,
+}
+
+impl FleetWriteStats {
+    /// Aggregates per-array per-cell write counts (one `Vec<u64>` of cell
+    /// counts per array). Returns an all-zero summary for an empty fleet.
+    pub fn from_arrays<I>(arrays: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<u64>>,
+    {
+        let arrays: Vec<Vec<u64>> = arrays.into_iter().collect();
+        let totals: Vec<u64> = arrays.iter().map(|a| a.iter().sum()).collect();
+        let peaks: Vec<u64> = arrays
+            .iter()
+            .map(|a| a.iter().max().copied().unwrap_or(0))
+            .collect();
+        FleetWriteStats {
+            arrays: arrays.len(),
+            array_totals: WriteStats::from_counts(totals),
+            array_peaks: WriteStats::from_counts(peaks),
+            cells: WriteStats::from_counts(arrays.into_iter().flatten()),
+        }
+    }
+}
+
+impl fmt::Display for FleetWriteStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} arrays, totals min/max {}/{} (stdev {:.2}), peak cell {}",
+            self.arrays,
+            self.array_totals.min,
+            self.array_totals.max,
+            self.array_totals.stdev,
+            self.cells.max
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +237,33 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("2 cells"));
         assert!(text.contains("min/max 1/3"));
+    }
+
+    #[test]
+    fn fleet_stats_empty() {
+        let s = FleetWriteStats::from_arrays(std::iter::empty());
+        assert_eq!(s.arrays, 0);
+        assert_eq!(s.array_totals.max, 0);
+        assert_eq!(s.cells.cells, 0);
+    }
+
+    #[test]
+    fn fleet_stats_aggregate_both_granularities() {
+        let s = FleetWriteStats::from_arrays([vec![0, 10], vec![5, 5], vec![2, 2, 2]]);
+        assert_eq!(s.arrays, 3);
+        assert_eq!(s.array_totals.min, 6);
+        assert_eq!(s.array_totals.max, 10);
+        assert_eq!(s.array_peaks.max, 10);
+        assert_eq!(s.array_peaks.min, 2);
+        assert_eq!(s.cells.cells, 7);
+        assert_eq!(s.cells.total, 26);
+    }
+
+    #[test]
+    fn fleet_stats_display() {
+        let s = FleetWriteStats::from_arrays([vec![1, 2], vec![3]]);
+        let text = s.to_string();
+        assert!(text.contains("2 arrays"), "{text}");
+        assert!(text.contains("peak cell 3"), "{text}");
     }
 }

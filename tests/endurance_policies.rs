@@ -1,10 +1,11 @@
 //! Cross-crate behavioural tests of the endurance-management policies:
-//! write-bound guarantees, policy cost relationships the paper states, and
-//! failure injection with physical endurance limits.
+//! write-bound guarantees, policy cost relationships the paper states,
+//! failure injection with physical endurance limits, and the fleet
+//! dispatcher's array-granularity versions of the same guarantees.
 
 use rlim::benchmarks::Benchmark;
 use rlim::compiler::{compile, CompileOptions};
-use rlim::plim::Machine;
+use rlim::plim::{DispatchPolicy, Fleet, FleetConfig, Job, Machine};
 use rlim::rram::lifetime::executions_until_failure;
 
 #[test]
@@ -153,6 +154,139 @@ fn rewriting_reduces_instructions_on_synthesised_circuits() {
             naive.num_instructions()
         );
     }
+}
+
+#[test]
+fn fleet_serial_and_parallel_runs_are_identical() {
+    let mig = Benchmark::Ctrl.build();
+    let heavy = compile(&mig, &CompileOptions::naive());
+    let light = compile(&mig, &CompileOptions::endurance_aware());
+    let inputs: Vec<bool> = (0..mig.num_inputs()).map(|i| i % 3 == 0).collect();
+    let jobs = Job::alternating(&heavy.program, &light.program, &inputs, 20);
+
+    for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LeastWorn] {
+        let mut serial = Fleet::new(FleetConfig::new(4).with_policy(policy));
+        let out_serial = serial.run_batch(&jobs, 1).expect("serial run");
+        let mut parallel = Fleet::new(FleetConfig::new(4).with_policy(policy));
+        let out_parallel = parallel.run_batch(&jobs, 0).expect("parallel run");
+
+        // Byte-identical outputs, in job order, matching the MIG.
+        assert_eq!(out_serial, out_parallel, "{policy:?}");
+        let expect = mig.evaluate(&inputs);
+        for out in &out_serial {
+            assert_eq!(out, &expect, "{policy:?}");
+        }
+        // Identical per-cell wear on every array.
+        for i in 0..4 {
+            assert_eq!(
+                serial.array(i).write_counts(),
+                parallel.array(i).write_counts(),
+                "{policy:?} array {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn least_worn_minimizes_max_array_wear_vs_round_robin() {
+    // Periodic heavy/light traffic: round-robin pins every heavy job on
+    // the same arrays; least-worn must strictly reduce the hottest
+    // array's total writes on each of these benchmarks.
+    for &b in &[Benchmark::Cavlc, Benchmark::Ctrl, Benchmark::Router] {
+        let mig = b.build();
+        let heavy = compile(&mig, &CompileOptions::naive());
+        let light = compile(&mig, &CompileOptions::endurance_aware());
+        let inputs = vec![false; mig.num_inputs()];
+        let jobs = Job::alternating(&heavy.program, &light.program, &inputs, 24);
+
+        let max_total = |policy: DispatchPolicy| -> u64 {
+            let mut fleet = Fleet::new(FleetConfig::new(4).with_policy(policy));
+            fleet.run_batch(&jobs, 0).expect("no budget configured");
+            fleet.stats().wear.array_totals.max
+        };
+        let rr = max_total(DispatchPolicy::RoundRobin);
+        let lw = max_total(DispatchPolicy::LeastWorn);
+        assert!(
+            lw < rr,
+            "{b}: least-worn max {lw} should beat round-robin max {rr}"
+        );
+    }
+}
+
+#[test]
+fn fleet_write_budget_retires_arrays_without_further_writes() {
+    let mig = Benchmark::Int2float.build();
+    let program = compile(&mig, &CompileOptions::endurance_aware()).program;
+    let cost = program.num_instructions() as u64;
+    let inputs = vec![false; mig.num_inputs()];
+    // Budget fits exactly two jobs per array, with nothing left over, so
+    // every array retires once its second job lands.
+    let budget = 2 * cost;
+    let mut fleet = Fleet::new(FleetConfig::new(3).with_write_budget(budget));
+
+    // Capacity: 3 arrays × 2 jobs. Run them one batch at a time so
+    // retirement is observable between batches.
+    for _ in 0..6 {
+        fleet
+            .run_batch(&[Job::new(&program, &inputs)], 1)
+            .expect("within fleet capacity");
+    }
+    assert_eq!(fleet.remaining_jobs(cost), Some(0));
+    let frozen: Vec<Vec<u64>> = (0..3).map(|i| fleet.array(i).write_counts()).collect();
+    for i in 0..3 {
+        assert!(fleet.is_retired(i), "array {i} must be retired at budget");
+        assert!(
+            fleet.total_writes(i) <= budget,
+            "array {i} exceeded its write budget"
+        );
+    }
+
+    // The next job cannot be placed, and no retired array gains a write.
+    let err = fleet
+        .run_batch(&[Job::new(&program, &inputs)], 1)
+        .unwrap_err();
+    assert_eq!(err, rlim::plim::FleetError::Exhausted { job: 0 });
+    for (i, counts) in frozen.iter().enumerate() {
+        assert_eq!(
+            &fleet.array(i).write_counts(),
+            counts,
+            "retired array {i} was written"
+        );
+    }
+}
+
+#[test]
+fn fleet_outlives_single_crossbar_under_endurance_limit() {
+    // The examples/fleet_sim.rs claim, asserted: with a physical per-cell
+    // endurance, a least-worn fleet of 4 serves ~4x the jobs one array
+    // serves before the first cell failure.
+    let mig = Benchmark::Ctrl.build();
+    let heavy = compile(&mig, &CompileOptions::naive());
+    let light = compile(&mig, &CompileOptions::endurance_aware());
+    let inputs = vec![false; mig.num_inputs()];
+
+    let jobs_until_failure = |arrays: usize| -> usize {
+        let mut fleet = Fleet::new(
+            FleetConfig::new(arrays)
+                .with_policy(DispatchPolicy::LeastWorn)
+                .with_endurance(1_000),
+        );
+        let jobs = Job::alternating(&heavy.program, &light.program, &inputs, 2);
+        for round in 0..10_000 {
+            if fleet.run_batch(&[jobs[round % 2]], 1).is_err() {
+                return round;
+            }
+        }
+        panic!("workload never exhausted the endurance limit");
+    };
+
+    let single = jobs_until_failure(1);
+    let fleet = jobs_until_failure(4);
+    // ≥ 3.5x: the ideal 4x minus batching boundary effects.
+    assert!(
+        2 * fleet >= 7 * single,
+        "fleet of 4 ({fleet} jobs) should serve ~4x one array ({single} jobs)"
+    );
 }
 
 #[test]

@@ -9,7 +9,7 @@ use rlim::compiler::{compile, CompileOptions};
 use rlim::mig::random::{generate, RandomMigConfig};
 use rlim::mig::rewrite::{rewrite, Algorithm};
 use rlim::mig::{equiv_random, Mig};
-use rlim::plim::Machine;
+use rlim::plim::{DispatchPolicy, Fleet, FleetConfig, Job, Machine};
 
 /// Strategy: a seeded random MIG configuration small enough for debug-mode
 /// compile+execute rounds.
@@ -129,5 +129,97 @@ proptest! {
         let result = compile(&mig, &options);
         let counts = result.program.write_counts();
         prop_assert_eq!(counts.iter().sum::<u64>() as usize, result.num_instructions());
+    }
+
+    /// (h) Fleet dispatch invariants on arbitrary graphs and workloads:
+    /// outputs equal direct MIG evaluation in job order for every policy
+    /// and thread count, serial == parallel (outputs and per-array wear),
+    /// and per-array totals match the dispatched programs' static costs.
+    #[test]
+    fn fleet_dispatch_is_correct_and_deterministic(
+        mig in mig_strategy(),
+        arrays in 1usize..5,
+        jobs in 1usize..12,
+        policy_lw in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let heavy = compile(&mig, &CompileOptions::naive());
+        let light = compile(&mig, &CompileOptions::endurance_aware().with_effort(1));
+        let policy = if policy_lw { DispatchPolicy::LeastWorn } else { DispatchPolicy::RoundRobin };
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let input_sets: Vec<Vec<bool>> = (0..jobs)
+            .map(|_| (0..mig.num_inputs()).map(|_| rng.gen()).collect())
+            .collect();
+        let picks: Vec<bool> = (0..jobs).map(|_| rng.gen()).collect();
+        let job_list: Vec<Job<'_>> = picks
+            .iter()
+            .zip(&input_sets)
+            .map(|(&h, inputs)| Job::new(if h { &heavy.program } else { &light.program }, inputs))
+            .collect();
+
+        let mut serial = Fleet::new(FleetConfig::new(arrays).with_policy(policy));
+        let out_serial = serial.run_batch(&job_list, 1).expect("no limits configured");
+        let mut parallel = Fleet::new(FleetConfig::new(arrays).with_policy(policy));
+        let out_parallel = parallel.run_batch(&job_list, 0).expect("no limits configured");
+
+        prop_assert_eq!(&out_serial, &out_parallel);
+        for (out, inputs) in out_serial.iter().zip(&input_sets) {
+            prop_assert_eq!(out, &mig.evaluate(inputs));
+        }
+        let mut planned_total = 0u64;
+        for job in &job_list {
+            planned_total += job.cost();
+        }
+        let mut executed_total = 0u64;
+        for i in 0..arrays {
+            prop_assert_eq!(
+                serial.array(i).write_counts(),
+                parallel.array(i).write_counts()
+            );
+            let executed: u64 = serial.array(i).write_counts().iter().sum();
+            prop_assert_eq!(serial.total_writes(i), executed);
+            executed_total += executed;
+        }
+        prop_assert_eq!(executed_total, planned_total);
+    }
+
+    /// (i) The fleet write budget is a hard per-array bound, and retired
+    /// arrays stay frozen.
+    #[test]
+    fn fleet_budget_is_a_hard_bound(
+        mig in mig_strategy(),
+        arrays in 1usize..4,
+        capacity in 1u64..6,
+        policy_lw in any::<bool>(),
+    ) {
+        let result = compile(&mig, &CompileOptions::endurance_aware().with_effort(1));
+        if result.num_instructions() == 0 {
+            // A write-free program never exhausts any budget.
+            return Ok(());
+        }
+        let cost = result.total_writes();
+        let budget = capacity * cost;
+        let policy = if policy_lw { DispatchPolicy::LeastWorn } else { DispatchPolicy::RoundRobin };
+        let mut fleet = Fleet::new(
+            FleetConfig::new(arrays)
+                .with_policy(policy)
+                .with_write_budget(budget),
+        );
+        let inputs = vec![false; mig.num_inputs()];
+        let job = Job::new(&result.program, &inputs);
+
+        // Run to exhaustion, one job at a time.
+        let mut served = 0u64;
+        while fleet.run_batch(&[job], 1).is_ok() {
+            served += 1;
+            prop_assert!(served <= arrays as u64 * capacity, "served past fleet capacity");
+        }
+        prop_assert_eq!(served, arrays as u64 * capacity);
+        prop_assert_eq!(fleet.remaining_jobs(cost), Some(0));
+        for i in 0..arrays {
+            prop_assert!(fleet.total_writes(i) <= budget, "array {} over budget", i);
+            prop_assert!(fleet.is_retired(i));
+        }
     }
 }
