@@ -51,6 +51,9 @@ struct Row {
     compile_seconds: f64,
     instructions: usize,
     rrams: usize,
+    /// Same compilation with the peephole write-elision pass enabled.
+    peephole_seconds: f64,
+    peephole_instructions: usize,
 }
 
 impl Row {
@@ -77,6 +80,12 @@ fn measure(benchmark: Benchmark, effort: usize, repeat: usize) -> Row {
         let result = compile(&rewritten, &options);
         let compile_seconds = t1.elapsed().as_secs_f64();
 
+        // The peephole on/off pair shares the rewritten graph, so the
+        // delta isolates the elision pass itself.
+        let t2 = Instant::now();
+        let peephole = compile(&rewritten, &options.with_peephole(true));
+        let peephole_seconds = t2.elapsed().as_secs_f64();
+
         let row = Row {
             name: benchmark.name(),
             gates: mig.num_gates(),
@@ -85,6 +94,8 @@ fn measure(benchmark: Benchmark, effort: usize, repeat: usize) -> Row {
             compile_seconds,
             instructions: result.num_instructions(),
             rrams: result.num_rrams(),
+            peephole_seconds,
+            peephole_instructions: peephole.num_instructions(),
         };
         if best
             .as_ref()
@@ -212,7 +223,8 @@ fn main() {
     for &b in &benchmarks {
         let row = measure(b, effort, repeat);
         eprintln!(
-            "[{}] {} gates -> {}: rewrite {:.3}s + compile {:.3}s = {:.3}s (#I={} #R={})",
+            "[{}] {} gates -> {}: rewrite {:.3}s + compile {:.3}s = {:.3}s \
+             (#I={} #R={}; peephole #I={} in {:.3}s)",
             row.name,
             row.gates,
             row.rewritten_gates,
@@ -220,7 +232,9 @@ fn main() {
             row.compile_seconds,
             row.total_seconds(),
             row.instructions,
-            row.rrams
+            row.rrams,
+            row.peephole_instructions,
+            row.peephole_seconds
         );
         rows.push(row);
     }
@@ -260,7 +274,15 @@ fn main() {
             json.push_str(&format!("      \"speedup_vs_baseline\": {s:.3},\n"));
         }
         json.push_str(&format!("      \"instructions\": {},\n", row.instructions));
-        json.push_str(&format!("      \"rrams\": {}\n", row.rrams));
+        json.push_str(&format!("      \"rrams\": {},\n", row.rrams));
+        json.push_str(&format!(
+            "      \"peephole_seconds\": {:.6},\n",
+            row.peephole_seconds
+        ));
+        json.push_str(&format!(
+            "      \"peephole_instructions\": {}\n",
+            row.peephole_instructions
+        ));
         json.push_str(if i + 1 == rows.len() {
             "    }\n"
         } else {

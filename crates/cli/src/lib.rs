@@ -5,7 +5,8 @@
 //! library so it can be tested without spawning processes.
 //!
 //! ```text
-//! rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [-o prog.plim]
+//! rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [--peephole]
+//!              [-o prog.plim]
 //! rlim run     <prog.plim> --inputs 1011…            # execute on the simulated crossbar
 //! rlim stats   <prog.plim>                           # #I, #R, write distribution, wear map
 //! rlim bench   <name> [--policy P] [--max-writes W]  # compile a built-in benchmark
@@ -24,9 +25,9 @@ use std::fs;
 use std::path::Path;
 
 use rlim_benchmarks::Benchmark;
-use rlim_compiler::{compile, CompileOptions};
+use rlim_compiler::{compile, Backend, CompileOptions, Rm3Backend};
 use rlim_mig::{blif, Mig};
-use rlim_plim::{asm, Machine, Program};
+use rlim_plim::{asm, Program};
 use rlim_rram::{WearMap, WriteStats};
 
 /// A command-line failure: message for stderr plus the exit code.
@@ -67,16 +68,19 @@ pub const USAGE: &str = "\
 rlim — endurance-aware logic-in-memory toolchain (DATE 2017 reproduction)
 
 usage:
-  rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [-o out.plim]
+  rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [--peephole]
+               [-o out.plim]
   rlim run     <prog.plim> --inputs <bits>
   rlim stats   <prog.plim> [--wear-map]
-  rlim bench   <benchmark> [--policy P] [--max-writes W] [--effort N] [-o out.plim]
+  rlim bench   <benchmark> [--policy P] [--max-writes W] [--effort N] [--peephole]
+               [-o out.plim]
   rlim fleet   <benchmark> [--arrays N] [--jobs J] [--dispatch D] [--write-budget W]
                [--effort N] [--threads N]
   rlim list
 
 policies: naive | plim21 | min-write | ea-rewriting | endurance-aware (default)
 dispatch: round-robin | least-worn (default)
+--peephole runs the write-elision pass (never increases #I or any cell's writes)
 ";
 
 /// Runs the tool on `args` (without the program name), returning the text
@@ -118,6 +122,7 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
     let mut positional = Vec::new();
     let mut inputs = None;
     let mut wear_map = false;
+    let mut peephole = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -145,6 +150,7 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
             "-o" | "--output" => output = Some(value_of("-o")?),
             "--inputs" => inputs = Some(value_of("--inputs")?),
             "--wear-map" => wear_map = true,
+            "--peephole" => peephole = true,
             other if other.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown flag `{other}`")));
             }
@@ -172,6 +178,9 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
     }
     if let Some(e) = effort {
         policy = policy.with_effort(e);
+    }
+    if peephole {
+        policy = policy.with_peephole(true);
     }
     Ok(CommonOpts {
         policy,
@@ -304,10 +313,10 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
         .map_err(|e| CliError::usage(format!("{e}; see `rlim list`")))?;
 
     let mig = benchmark.build();
-    let heavy = compile(&mig, &CompileOptions::naive());
-    let light = compile(&mig, &CompileOptions::endurance_aware().with_effort(effort));
+    let heavy = Rm3Backend.compile(&mig, &CompileOptions::naive());
+    let light = Rm3Backend.compile(&mig, &CompileOptions::endurance_aware().with_effort(effort));
     let inputs = vec![false; mig.num_inputs()];
-    let job_list = Job::alternating(&heavy.program, &light.program, &inputs, jobs);
+    let job_list = Job::alternating(&heavy, &light, &inputs, jobs);
 
     let mut config = FleetConfig::new(arrays).with_policy(dispatch);
     if let Some(w) = write_budget {
@@ -394,9 +403,8 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             inputs.len()
         )));
     }
-    let mut machine = Machine::for_program(&program);
-    let outputs = machine
-        .run(&program, &inputs)
+    let outputs = Rm3Backend
+        .execute(&program, &inputs)
         .map_err(|e| CliError::run(e.to_string()))?;
     let rendered: String = outputs.iter().map(|&b| if b { '1' } else { '0' }).collect();
     Ok(format!("outputs: {rendered}\n"))
@@ -488,6 +496,17 @@ mod tests {
         assert!(out.contains("11 PI / 7 PO"), "{out}");
         assert!(out.contains("compiled:"), "{out}");
         assert!(out.contains(".cells"), "inline assembly listing expected");
+    }
+
+    #[test]
+    fn bench_peephole_never_reports_more_instructions() {
+        let count = |out: &str| -> usize {
+            let line = out.lines().find(|l| l.starts_with("compiled:")).unwrap();
+            line.split_whitespace().nth(1).unwrap().parse().unwrap()
+        };
+        let off = run_str(&["bench", "ctrl", "--policy", "naive"]).unwrap();
+        let on = run_str(&["bench", "ctrl", "--policy", "naive", "--peephole"]).unwrap();
+        assert!(count(&on) <= count(&off), "peephole may only shrink #I");
     }
 
     #[test]

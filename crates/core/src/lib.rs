@@ -51,11 +51,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 pub mod cells;
 mod compiler;
 mod options;
+mod peephole;
+mod pipeline;
 mod select;
+mod translate;
 
+pub use backend::{Backend, HostedRm3Backend, ImpBackend, Rm3Backend};
 pub use cells::CellManager;
 pub use compiler::{compile, CompileResult};
 pub use options::{Allocation, CompileOptions, Selection};
+pub use peephole::{elide_dead_writes, elide_redundant_writes, PeepholePass};
+pub use pipeline::{FinalizePass, Pass, PassManager, PipelineState, RewritePass, SchedulePass};
+pub use translate::TranslatePass;

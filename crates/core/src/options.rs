@@ -44,7 +44,7 @@ pub enum Selection {
 /// assert_eq!(opts.selection, Selection::EnduranceAware);
 /// assert_eq!(opts.max_writes, Some(20));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompileOptions {
     /// MIG rewriting to apply before translation; `None` compiles the graph
     /// as given (the naive baseline).
@@ -60,6 +60,12 @@ pub struct CompileOptions {
     /// cells allocated instead. Must be ≥ 3 so that the copy recipes
     /// (initialise + load + destination write) fit in one cell's budget.
     pub max_writes: Option<u64>,
+    /// Run the peephole write-elision pass over the emitted program,
+    /// deleting provably redundant destination writes. Off by default so
+    /// the emitted programs stay bit-for-bit comparable with the paper's
+    /// configuration columns; turning it on can only shrink `#I` and
+    /// per-cell write counts, never grow them.
+    pub peephole: bool,
 }
 
 impl Default for CompileOptions {
@@ -78,6 +84,7 @@ impl CompileOptions {
             selection: Selection::Topological,
             allocation: Allocation::Lifo,
             max_writes: None,
+            peephole: false,
         }
     }
 
@@ -90,6 +97,7 @@ impl CompileOptions {
             selection: Selection::AreaAware,
             allocation: Allocation::Lifo,
             max_writes: None,
+            peephole: false,
         }
     }
 
@@ -137,6 +145,12 @@ impl CompileOptions {
     /// Sets the rewriting effort.
     pub fn with_effort(mut self, effort: usize) -> Self {
         self.effort = effort;
+        self
+    }
+
+    /// Enables or disables the peephole write-elision pass.
+    pub fn with_peephole(mut self, peephole: bool) -> Self {
+        self.peephole = peephole;
         self
     }
 }
@@ -197,5 +211,20 @@ mod tests {
     fn with_effort() {
         let o = CompileOptions::plim_compiler().with_effort(2);
         assert_eq!(o.effort, 2);
+    }
+
+    #[test]
+    fn peephole_defaults_off_in_every_preset() {
+        for preset in [
+            CompileOptions::naive(),
+            CompileOptions::plim_compiler(),
+            CompileOptions::min_write(),
+            CompileOptions::endurance_rewriting(),
+            CompileOptions::endurance_aware(),
+        ] {
+            assert!(!preset.peephole, "paper columns exclude the peephole");
+        }
+        let on = CompileOptions::endurance_aware().with_peephole(true);
+        assert!(on.peephole);
     }
 }

@@ -1,0 +1,369 @@
+//! The compilation pass pipeline: a small pass manager driving explicit
+//! stages over a shared [`PipelineState`].
+//!
+//! The standard RM3 pipeline is
+//!
+//! 1. **rewrite** ([`RewritePass`]) — apply the configured MIG rewriting
+//!    algorithm (paper Algorithm 1 or 2) to the source graph;
+//! 2. **schedule** ([`SchedulePass`]) — fix the node translation order
+//!    under the configured selection policy (topological / area-aware /
+//!    endurance-aware, paper Algorithm 3);
+//! 3. **translate** ([`crate::translate::TranslatePass`]) — allocate cells
+//!    and emit RM3 instructions in schedule order (allocation policies:
+//!    LIFO / minimum-write / maximum-write);
+//! 4. **peephole** ([`crate::peephole::PeepholePass`], optional) — elide
+//!    provably redundant destination writes from the emitted program;
+//! 5. **finalize** ([`FinalizePass`]) — debug-validate the program.
+//!
+//! Every paper technique plugs into exactly one pass, so baselines are
+//! pipelines with passes swapped or dropped rather than separate
+//! compilers.
+
+use rlim_mig::rewrite::rewrite;
+use rlim_mig::{Mig, NodeId, StructuralView};
+use rlim_plim::Program;
+
+use crate::compiler::CompileResult;
+use crate::options::CompileOptions;
+use crate::select::Scheduler;
+
+/// Shared state the passes read and write: the blackboard of the pipeline.
+#[derive(Debug)]
+pub struct PipelineState<'a> {
+    /// The source graph, untouched.
+    pub source: &'a Mig,
+    /// The options driving every pass.
+    pub options: &'a CompileOptions,
+    /// The (possibly rewritten) graph the later passes compile. `None`
+    /// until the rewrite pass ran; [`PipelineState::graph`] falls back to
+    /// the source.
+    pub mig: Option<Mig>,
+    /// Initial pending-use counts per node (live gate-children edges plus
+    /// PO references), shared between scheduling and translation.
+    pub fanout: Option<Vec<u32>>,
+    /// The node translation order fixed by the schedule pass.
+    pub schedule: Option<Vec<NodeId>>,
+    /// The emitted program.
+    pub program: Option<Program>,
+}
+
+impl<'a> PipelineState<'a> {
+    /// Fresh state for one compilation.
+    pub fn new(source: &'a Mig, options: &'a CompileOptions) -> Self {
+        PipelineState {
+            source,
+            options,
+            mig: None,
+            fanout: None,
+            schedule: None,
+            program: None,
+        }
+    }
+
+    /// The graph the downstream passes operate on: the rewritten graph if
+    /// the rewrite pass ran, the source otherwise.
+    pub fn graph(&self) -> &Mig {
+        self.mig.as_ref().unwrap_or(self.source)
+    }
+}
+
+/// One pipeline stage.
+///
+/// Passes are deterministic functions of the [`PipelineState`]; the order
+/// they run in is fixed by the [`PassManager`] that holds them.
+pub trait Pass {
+    /// Short stage name, used in pipeline listings and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Executes the stage, reading and writing the shared state.
+    fn run(&self, state: &mut PipelineState<'_>);
+}
+
+/// An ordered list of passes: the compiler is `PassManager::standard`
+/// applied to a graph.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_compiler::{CompileOptions, PassManager};
+/// use rlim_mig::Mig;
+///
+/// // The naive baseline skips rewriting; the peephole is opt-in.
+/// let naive = PassManager::standard(&CompileOptions::naive());
+/// assert_eq!(naive.pass_names(), ["schedule", "translate", "finalize"]);
+///
+/// let full = PassManager::standard(
+///     &CompileOptions::endurance_aware().with_peephole(true),
+/// );
+/// assert_eq!(
+///     full.pass_names(),
+///     ["rewrite", "schedule", "translate", "peephole", "finalize"],
+/// );
+///
+/// // Running the pipeline compiles the graph.
+/// let mut mig = Mig::new(2);
+/// let (a, b) = (mig.input(0), mig.input(1));
+/// let g = mig.and(a, b);
+/// mig.add_output(g);
+/// let options = CompileOptions::naive();
+/// let result = PassManager::standard(&options).run(&mig, &options);
+/// assert_eq!(result.num_instructions(), 1);
+/// ```
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// An empty pipeline (build your own with [`PassManager::push`]).
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// The standard pipeline for `options`: rewrite (when configured) →
+    /// schedule → translate → peephole (when enabled) → finalize.
+    pub fn standard(options: &CompileOptions) -> Self {
+        let mut manager = PassManager::new();
+        if options.rewriting.is_some() {
+            manager.push(Box::new(RewritePass));
+        }
+        manager.push(Box::new(SchedulePass));
+        manager.push(Box::new(crate::translate::TranslatePass));
+        if options.peephole {
+            manager.push(Box::new(crate::peephole::PeepholePass));
+        }
+        manager.push(Box::new(FinalizePass));
+        manager
+    }
+
+    /// The baseline pipeline regardless of `options.rewriting` /
+    /// `options.peephole`: schedule → translate → finalize on the graph
+    /// as given. This is what the naive column and the self-hosted
+    /// controller's reference translator use.
+    pub fn baseline() -> Self {
+        let mut manager = PassManager::new();
+        manager.push(Box::new(SchedulePass));
+        manager.push(Box::new(crate::translate::TranslatePass));
+        manager.push(Box::new(FinalizePass));
+        manager
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// The stage names in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass over a fresh state and packages the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline contains no pass that emits a program.
+    pub fn run(&self, mig: &Mig, options: &CompileOptions) -> CompileResult {
+        let mut state = PipelineState::new(mig, options);
+        for pass in &self.passes {
+            pass.run(&mut state);
+        }
+        let program = state
+            .program
+            .take()
+            .expect("pipeline must contain a translate pass");
+        let graph = match state.mig.take() {
+            Some(rewritten) => rewritten,
+            None => mig.clone(),
+        };
+        CompileResult {
+            program,
+            mig: graph,
+            options: *options,
+        }
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::standard(&CompileOptions::default())
+    }
+}
+
+/// Initial pending-use counts per node: one per live gate-children edge
+/// plus one per PO reference (PO references are never consumed, pinning PO
+/// cells forever).
+pub(crate) fn initial_fanout(mig: &Mig, view: &StructuralView) -> Vec<u32> {
+    let mut fanout = vec![0u32; mig.num_nodes()];
+    for g in mig.gates() {
+        if !view.is_live(g) {
+            continue;
+        }
+        for s in mig.children(g) {
+            if !s.is_constant() {
+                fanout[s.node().index()] += 1;
+            }
+        }
+    }
+    for s in mig.outputs() {
+        if !s.is_constant() {
+            fanout[s.node().index()] += 1;
+        }
+    }
+    fanout
+}
+
+/// Applies the configured MIG rewriting algorithm (paper Algorithm 1/2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RewritePass;
+
+impl Pass for RewritePass {
+    fn name(&self) -> &'static str {
+        "rewrite"
+    }
+
+    fn run(&self, state: &mut PipelineState<'_>) {
+        if let Some(algorithm) = state.options.rewriting {
+            state.mig = Some(rewrite(state.source, algorithm, state.options.effort));
+        }
+    }
+}
+
+/// Fixes the node translation order under the configured selection policy.
+///
+/// The pass replays exactly the interleaving the translator will perform:
+/// after a node is picked, each non-constant child loses one pending use
+/// (refreshing the releasing counts of candidates) before the node's
+/// parents are unlocked — so the schedule is identical to the one the old
+/// monolithic compile loop produced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulePass;
+
+impl Pass for SchedulePass {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(&self, state: &mut PipelineState<'_>) {
+        let graph = state.graph();
+        // One structural view serves both the pending-use counts and the
+        // scheduler's liveness/levels/parent queries.
+        let view = StructuralView::of(graph);
+        let initial = initial_fanout(graph, &view);
+        let mut fanout = initial.clone();
+        let mut scheduler = Scheduler::from_view(graph, state.options.selection, &fanout, view);
+        let mut schedule = Vec::with_capacity(graph.num_live_gates());
+        while let Some(n) = scheduler.pop(&fanout) {
+            schedule.push(n);
+            for s in graph.children(n) {
+                if s.is_constant() {
+                    continue;
+                }
+                let child = s.node();
+                fanout[child.index()] -= 1;
+                if fanout[child.index()] == 1 {
+                    scheduler.child_now_single(child, &fanout);
+                }
+            }
+            scheduler.after_compute(n, &fanout);
+        }
+        state.fanout = Some(initial);
+        state.schedule = Some(schedule);
+    }
+}
+
+/// Debug-validates the emitted program (structural well-formedness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FinalizePass;
+
+impl Pass for FinalizePass {
+    fn name(&self) -> &'static str {
+        "finalize"
+    }
+
+    fn run(&self, state: &mut PipelineState<'_>) {
+        let program = state.program.as_ref().expect("finalize needs a program");
+        debug_assert_eq!(program.validate(), Ok(()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn adder() -> Mig {
+        let mut mig = Mig::new(3);
+        let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+        let (sum, carry) = mig.full_adder(a, b, c);
+        mig.add_output(sum);
+        mig.add_output(carry);
+        mig
+    }
+
+    #[test]
+    fn standard_pipeline_orders_passes() {
+        assert_eq!(
+            PassManager::standard(&CompileOptions::naive()).pass_names(),
+            ["schedule", "translate", "finalize"]
+        );
+        assert_eq!(
+            PassManager::standard(&CompileOptions::endurance_aware()).pass_names(),
+            ["rewrite", "schedule", "translate", "finalize"]
+        );
+        assert_eq!(
+            PassManager::standard(&CompileOptions::endurance_aware().with_peephole(true))
+                .pass_names(),
+            ["rewrite", "schedule", "translate", "peephole", "finalize"]
+        );
+        assert_eq!(
+            PassManager::baseline().pass_names(),
+            ["schedule", "translate", "finalize"]
+        );
+    }
+
+    #[test]
+    fn pipeline_matches_compile_entry_point() {
+        let mig = adder();
+        for options in [
+            CompileOptions::naive(),
+            CompileOptions::endurance_aware(),
+            CompileOptions::endurance_aware().with_max_writes(5),
+        ] {
+            let direct = compile(&mig, &options);
+            let piped = PassManager::standard(&options).run(&mig, &options);
+            assert_eq!(direct.program, piped.program, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_pipeline_ignores_rewriting_config() {
+        let mig = adder();
+        let options = CompileOptions::endurance_aware();
+        let baseline = PassManager::baseline().run(&mig, &options);
+        // The baseline compiled the source graph, not a rewritten one.
+        assert_eq!(baseline.mig.num_gates(), mig.num_gates());
+    }
+
+    #[test]
+    fn schedule_pass_emits_every_live_gate_once() {
+        let mig = adder();
+        let options = CompileOptions::endurance_aware();
+        let mut state = PipelineState::new(&mig, &options);
+        SchedulePass.run(&mut state);
+        let schedule = state.schedule.expect("schedule produced");
+        assert_eq!(schedule.len(), mig.num_live_gates());
+        let mut seen = std::collections::HashSet::new();
+        for n in &schedule {
+            assert!(seen.insert(*n), "{n} scheduled twice");
+        }
+        assert!(state.fanout.is_some(), "fanout shared with translation");
+    }
+
+    #[test]
+    fn graph_falls_back_to_source() {
+        let mig = adder();
+        let options = CompileOptions::naive();
+        let state = PipelineState::new(&mig, &options);
+        assert_eq!(state.graph().num_gates(), mig.num_gates());
+    }
+}

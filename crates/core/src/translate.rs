@@ -1,0 +1,351 @@
+//! The allocate-and-translate pass: MIG nodes → RM3 instructions.
+//!
+//! ## Node translation
+//!
+//! A majority gate `n = ⟨s_a, s_b, s_c⟩` is computed by one main RM3
+//! instruction whose three roles must be filled from the child signals:
+//!
+//! * `P` is read as stored — free for constants and uncomplemented children;
+//!   a complemented child needs its inverse materialised (2 instructions,
+//!   1 cell).
+//! * `Q` is inverted by the operation — free for constants and *complemented*
+//!   children (this is why a node with exactly one complemented edge is
+//!   ideal); an uncomplemented child needs its inverse materialised.
+//! * `Z` must be a cell currently holding the third operand's value, and is
+//!   overwritten. An uncomplemented child at its **last pending use** (and,
+//!   under the maximum write count strategy, with budget left) is consumed
+//!   in place for free; otherwise the value is copied into an allocated cell
+//!   (2 instructions, 1 cell).
+//!
+//! The translator tries all six role assignments and emits the cheapest.
+//!
+//! ## Micro-op recipes (cost in instructions)
+//!
+//! | recipe | sequence | writes on target |
+//! |---|---|---|
+//! | `set0(c)` | `RM3(0, 1, c)` | 1 |
+//! | `set1(c)` | `RM3(1, 0, c)` | 1 |
+//! | `copy(c ← s)` | `set0(c); RM3(s, 0, c)` | 2 |
+//! | `copy_inv(c ← s)` | `set1(c); RM3(0, s, c)` | 2 |
+//!
+//! The translation order is an input: [`TranslatePass`] consumes the
+//! schedule produced by [`crate::pipeline::SchedulePass`] and is otherwise
+//! oblivious to the selection policy.
+
+use rlim_mig::{Mig, NodeId, Signal};
+use rlim_plim::{Instruction, Operand, Program};
+use rlim_rram::CellId;
+
+use crate::cells::CellManager;
+use crate::options::CompileOptions;
+use crate::pipeline::{initial_fanout, Pass, PipelineState};
+
+/// Translates the scheduled nodes into an RM3 [`Program`], allocating
+/// cells as it goes (the *allocate + translate* pipeline stage).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TranslatePass;
+
+impl Pass for TranslatePass {
+    fn name(&self) -> &'static str {
+        "translate"
+    }
+
+    fn run(&self, state: &mut PipelineState<'_>) {
+        let schedule = state
+            .schedule
+            .take()
+            .expect("translate pass needs a schedule");
+        // The schedule pass leaves the initial pending-use counts behind so
+        // the structural view is computed only once per compilation.
+        let fanout = state.fanout.take().unwrap_or_else(|| {
+            let graph = state.graph();
+            initial_fanout(graph, &rlim_mig::StructuralView::of(graph))
+        });
+        let program = Translator::new(state.graph(), state.options, fanout).run(&schedule);
+        state.program = Some(program);
+    }
+}
+
+/// Role-assignment cost: `(extra instructions, extra cells)`; the main RM3
+/// itself is not included (it is always 1 instruction).
+type Cost = (u32, u32);
+
+/// How each role will be realised, decided before any emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadPlan {
+    /// Pass a constant operand.
+    Const(bool),
+    /// Read the child's cell directly.
+    Direct(NodeId),
+    /// Materialise the complement of the child's value in a temp cell.
+    MaterialiseInverse(NodeId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DestPlan {
+    /// Overwrite the cell of this child (its last pending use).
+    InPlace(NodeId),
+    /// Allocate a cell and set it to a constant.
+    LoadConst(bool),
+    /// Allocate a cell and copy the child's value into it.
+    CopyValue(NodeId),
+    /// Allocate a cell and copy the child's complement into it.
+    CopyInverse(NodeId),
+}
+
+struct Translator<'a> {
+    mig: &'a Mig,
+    cells: CellManager,
+    instructions: Vec<Instruction>,
+    /// Cell currently holding each node's (uncomplemented) value.
+    node_cell: Vec<Option<CellId>>,
+    /// Pending uses per node: live gate-children edges + PO references.
+    /// PO references are never consumed, pinning PO cells forever.
+    fanout_remaining: Vec<u32>,
+    input_cells: Vec<CellId>,
+}
+
+impl<'a> Translator<'a> {
+    fn new(mig: &'a Mig, options: &CompileOptions, fanout_remaining: Vec<u32>) -> Self {
+        Translator {
+            mig,
+            cells: CellManager::new(options.allocation, options.max_writes),
+            instructions: Vec::new(),
+            node_cell: vec![None; mig.num_nodes()],
+            fanout_remaining,
+            input_cells: Vec::new(),
+        }
+    }
+
+    fn run(mut self, schedule: &[NodeId]) -> Program {
+        // Primary inputs are preloaded into the first cells (wear-free).
+        for i in 0..self.mig.num_inputs() {
+            let cell = self.cells.alloc_fresh();
+            let node = self.mig.input(i).node();
+            self.node_cell[node.index()] = Some(cell);
+            self.input_cells.push(cell);
+            // Inputs nothing ever reads can be recycled immediately.
+            if self.fanout_remaining[node.index()] == 0 {
+                self.node_cell[node.index()] = None;
+                self.cells.release(cell);
+            }
+        }
+
+        // Translate nodes in schedule order.
+        for &n in schedule {
+            self.translate(n);
+        }
+
+        // Resolve primary outputs; complemented or constant outputs need a
+        // materialisation cell (shared per distinct signal).
+        let mut po_cache: std::collections::HashMap<Signal, CellId> =
+            std::collections::HashMap::new();
+        let outputs: Vec<Signal> = self.mig.outputs().to_vec();
+        let mut output_cells = Vec::with_capacity(outputs.len());
+        for s in outputs {
+            let cell = if let Some(&c) = po_cache.get(&s) {
+                c
+            } else {
+                let c = match s.constant_value() {
+                    Some(bit) => {
+                        let c = self.cells.alloc(1);
+                        self.set_const(c, bit);
+                        c
+                    }
+                    None if !s.is_complement() => self.node_cell[s.node().index()]
+                        .expect("primary output node must have been computed"),
+                    None => {
+                        let src = self.node_cell[s.node().index()]
+                            .expect("primary output node must have been computed");
+                        let c = self.cells.alloc(2);
+                        self.copy_inv(c, src);
+                        c
+                    }
+                };
+                po_cache.insert(s, c);
+                c
+            };
+            output_cells.push(cell);
+        }
+
+        Program {
+            instructions: self.instructions,
+            num_cells: self.cells.num_cells(),
+            input_cells: self.input_cells,
+            output_cells,
+        }
+    }
+
+    // ---- Emission primitives ------------------------------------------
+
+    fn emit(&mut self, p: Operand, q: Operand, z: CellId) {
+        self.instructions.push(Instruction { p, q, z });
+        self.cells.record_write(z);
+    }
+
+    /// `c ← bit` (1 instruction).
+    fn set_const(&mut self, c: CellId, bit: bool) {
+        if bit {
+            // ⟨1, !0, z⟩ = 1
+            self.emit(Operand::Const(true), Operand::Const(false), c);
+        } else {
+            // ⟨0, !1, z⟩ = 0
+            self.emit(Operand::Const(false), Operand::Const(true), c);
+        }
+    }
+
+    /// `c ← value(src)` (2 instructions).
+    fn copy(&mut self, c: CellId, src: CellId) {
+        self.set_const(c, false);
+        // ⟨v, !0, 0⟩ = ⟨v, 1, 0⟩ = v
+        self.emit(Operand::Cell(src), Operand::Const(false), c);
+    }
+
+    /// `c ← !value(src)` (2 instructions).
+    fn copy_inv(&mut self, c: CellId, src: CellId) {
+        self.set_const(c, true);
+        // ⟨0, !v, 1⟩ = !v
+        self.emit(Operand::Const(false), Operand::Cell(src), c);
+    }
+
+    // ---- Node translation ---------------------------------------------
+
+    /// Cost and plan of using `s` as the P operand.
+    fn plan_p(&self, s: Signal) -> (Cost, ReadPlan) {
+        match s.constant_value() {
+            Some(bit) => ((0, 0), ReadPlan::Const(bit)),
+            None if !s.is_complement() => ((0, 0), ReadPlan::Direct(s.node())),
+            None => ((2, 1), ReadPlan::MaterialiseInverse(s.node())),
+        }
+    }
+
+    /// Cost and plan of using `s` as the Q operand (RM3 inverts Q, so the
+    /// stored value must be the complement of the desired signal).
+    fn plan_q(&self, s: Signal) -> (Cost, ReadPlan) {
+        match s.constant_value() {
+            // Need Q̄ = bit ⇒ Q = !bit.
+            Some(bit) => ((0, 0), ReadPlan::Const(!bit)),
+            // Complemented child: the stored value *is* the inverse. Free.
+            None if s.is_complement() => ((0, 0), ReadPlan::Direct(s.node())),
+            // Uncomplemented: materialise the inverse.
+            None => ((2, 1), ReadPlan::MaterialiseInverse(s.node())),
+        }
+    }
+
+    /// Cost and plan of using `s` as the destination Z.
+    fn plan_z(&self, s: Signal) -> (Cost, DestPlan) {
+        match s.constant_value() {
+            Some(bit) => ((1, 1), DestPlan::LoadConst(bit)),
+            None if s.is_complement() => ((2, 1), DestPlan::CopyInverse(s.node())),
+            None => {
+                let node = s.node();
+                let consumable = self.fanout_remaining[node.index()] == 1
+                    && self.node_cell[node.index()].is_some_and(|c| self.cells.fits_budget(c, 1));
+                if consumable {
+                    ((0, 0), DestPlan::InPlace(node))
+                } else {
+                    ((2, 1), DestPlan::CopyValue(node))
+                }
+            }
+        }
+    }
+
+    /// Translates one majority gate into RM3 instructions.
+    fn translate(&mut self, n: NodeId) {
+        let ch = self.mig.children(n);
+
+        // Enumerate all six role assignments; keep the cheapest.
+        const PERMS: [(usize, usize, usize); 6] = [
+            (0, 1, 2),
+            (0, 2, 1),
+            (1, 0, 2),
+            (1, 2, 0),
+            (2, 0, 1),
+            (2, 1, 0),
+        ];
+        let mut best: Option<(Cost, ReadPlan, ReadPlan, DestPlan)> = None;
+        for (pi, qi, zi) in PERMS {
+            let ((ip, cp), p_plan) = self.plan_p(ch[pi]);
+            let ((iq, cq), q_plan) = self.plan_q(ch[qi]);
+            let ((iz, cz), z_plan) = self.plan_z(ch[zi]);
+            let cost = (ip + iq + iz, cp + cq + cz);
+            if best.is_none_or(|(c, _, _, _)| cost < c) {
+                best = Some((cost, p_plan, q_plan, z_plan));
+            }
+        }
+        let (_, p_plan, q_plan, z_plan) = best.expect("six permutations evaluated");
+
+        // Materialise read operands first (their recipes must not disturb
+        // the destination).
+        let mut temps: Vec<CellId> = Vec::new();
+        let p_op = self.realise_read(p_plan, &mut temps);
+        let q_op = self.realise_read(q_plan, &mut temps);
+
+        // Prepare the destination.
+        let (dest, in_place_child) = match z_plan {
+            DestPlan::InPlace(child) => {
+                let cell = self.node_cell[child.index()].expect("in-place child has a cell");
+                (cell, Some(child))
+            }
+            DestPlan::LoadConst(bit) => {
+                let cell = self.cells.alloc(2); // set + main write
+                self.set_const(cell, bit);
+                (cell, None)
+            }
+            DestPlan::CopyValue(child) => {
+                let src = self.node_cell[child.index()].expect("computed child has a cell");
+                let cell = self.cells.alloc(3); // set + load + main write
+                self.copy(cell, src);
+                (cell, None)
+            }
+            DestPlan::CopyInverse(child) => {
+                let src = self.node_cell[child.index()].expect("computed child has a cell");
+                let cell = self.cells.alloc(3);
+                self.copy_inv(cell, src);
+                (cell, None)
+            }
+        };
+
+        // The main RM3 operation.
+        self.emit(p_op, q_op, dest);
+        self.node_cell[n.index()] = Some(dest);
+
+        // Temps die immediately after the main op.
+        for t in temps {
+            self.cells.release(t);
+        }
+
+        // Consume one pending use per child; release cells that reached
+        // their last use (the in-place child's cell now belongs to `n`).
+        for s in ch {
+            if s.is_constant() {
+                continue;
+            }
+            let child = s.node();
+            self.fanout_remaining[child.index()] -= 1;
+            if self.fanout_remaining[child.index()] == 0 {
+                if in_place_child == Some(child) {
+                    self.node_cell[child.index()] = None;
+                } else if let Some(cell) = self.node_cell[child.index()].take() {
+                    self.cells.release(cell);
+                }
+            }
+        }
+    }
+
+    fn realise_read(&mut self, plan: ReadPlan, temps: &mut Vec<CellId>) -> Operand {
+        match plan {
+            ReadPlan::Const(bit) => Operand::Const(bit),
+            ReadPlan::Direct(node) => {
+                Operand::Cell(self.node_cell[node.index()].expect("computed child has a cell"))
+            }
+            ReadPlan::MaterialiseInverse(node) => {
+                let src = self.node_cell[node.index()].expect("computed child has a cell");
+                let temp = self.cells.alloc(2);
+                self.copy_inv(temp, src);
+                temps.push(temp);
+                Operand::Cell(temp)
+            }
+        }
+    }
+}

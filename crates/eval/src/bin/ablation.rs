@@ -69,6 +69,7 @@ fn main() {
                         selection: sel,
                         allocation: alloc,
                         max_writes: None,
+                        peephole: false,
                     };
                     let r = compile(&mig, &options);
                     let s = r.write_stats();

@@ -11,10 +11,8 @@
 //! cargo run --release -p rlim-eval --bin imp_vs_rm3
 //! ```
 
-use rlim_compiler::compile;
-use rlim_eval::{fmt_stdev, Column, RunPlan, TextTable};
-use rlim_imp::{synthesize, ImpSynthOptions};
-use rlim_rram::WriteStats;
+use rlim_compiler::{Allocation, CompileOptions, ImpBackend, Rm3Backend};
+use rlim_eval::{fmt_stdev, Column, Measurement, RunPlan, TextTable};
 
 fn main() {
     let plan = RunPlan::from_env();
@@ -31,38 +29,41 @@ fn main() {
         "ops ratio",
     ]);
 
+    // Like for like: both backends get minimum-write allocation through
+    // the shared options space; IMP gets no rewriting (isolating the
+    // computing-style difference, as in the paper's §II comparison).
+    let imp_options = CompileOptions {
+        allocation: Allocation::MinWrite,
+        ..CompileOptions::naive()
+    };
+
     let mut sums = [0.0f64; 5];
     for &b in &plan.benchmarks {
         let mig = b.build();
-        // Like for like: both flows get minimum-write allocation and no
-        // rewriting (isolating the computing-style difference).
-        let imp = synthesize(&mig, &ImpSynthOptions::min_write());
-        let imp_stats = WriteStats::from_counts(imp.write_counts());
-        let rm3 = compile(&mig, &Column::MinWrite.options(0).clone());
-        let rm3_stats = rm3.write_stats();
+        let imp = Measurement::of_backend(&ImpBackend, &mig, &imp_options);
+        let rm3 = Measurement::of_backend(&Rm3Backend, &mig, &Column::MinWrite.options(0));
 
-        let ratio = imp.num_ops() as f64 / rm3.num_instructions() as f64;
+        let ratio = imp.instructions as f64 / rm3.instructions as f64;
         table.row([
             b.name().to_string(),
-            imp.num_ops().to_string(),
-            imp.num_rrams().to_string(),
-            imp_stats.max.to_string(),
-            fmt_stdev(imp_stats.stdev),
-            rm3.num_instructions().to_string(),
-            rm3.num_rrams().to_string(),
-            rm3_stats.max.to_string(),
-            fmt_stdev(rm3_stats.stdev),
+            imp.instructions.to_string(),
+            imp.rrams.to_string(),
+            imp.stats.max.to_string(),
+            fmt_stdev(imp.stats.stdev),
+            rm3.instructions.to_string(),
+            rm3.rrams.to_string(),
+            rm3.stats.max.to_string(),
+            fmt_stdev(rm3.stats.stdev),
             format!("{ratio:.2}"),
         ]);
-        sums[0] += imp.num_ops() as f64;
-        sums[1] += rm3.num_instructions() as f64;
-        sums[2] += imp.num_rrams() as f64;
-        sums[3] += rm3.num_rrams() as f64;
+        sums[0] += imp.instructions as f64;
+        sums[1] += rm3.instructions as f64;
+        sums[2] += imp.rrams as f64;
+        sums[3] += rm3.rrams as f64;
         sums[4] += ratio;
         eprintln!(
             "[{b}] IMP {} ops vs RM3 {} instructions",
-            imp.num_ops(),
-            rm3.num_instructions()
+            imp.instructions, rm3.instructions
         );
     }
 

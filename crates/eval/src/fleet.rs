@@ -24,8 +24,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use rlim_benchmarks::Benchmark;
-use rlim_compiler::CompileResult;
-use rlim_plim::{DispatchPolicy, Fleet, FleetConfig, Job};
+use rlim_compiler::{Backend, Rm3Backend};
+use rlim_plim::{DispatchPolicy, Fleet, FleetConfig, Job, Program};
 use rlim_rram::lifetime::{
     executions_until_failure, fleet_executions_until_exhaustion, ENDURANCE_HFOX,
 };
@@ -64,8 +64,9 @@ pub const DEFAULT_SEED: u64 = 0xDA7E_2017;
 pub struct FleetWorkload {
     /// The benchmark the workload exercises.
     pub benchmark: Benchmark,
-    /// One compilation per [`BALANCE_MIX`] preset.
-    pub programs: Vec<CompileResult>,
+    /// One compiled program per [`BALANCE_MIX`] preset, produced through
+    /// the RM3 [`Backend`].
+    pub programs: Vec<Program>,
     /// Per-job index into `programs`.
     picks: Vec<usize>,
     /// Per-job primary-input vector.
@@ -77,9 +78,9 @@ impl FleetWorkload {
     /// the alternating heavy/light job stream with seeded random inputs.
     pub fn new(benchmark: Benchmark, effort: usize, jobs: usize, seed: u64) -> Self {
         let mig = benchmark.build();
-        let programs: Vec<CompileResult> = BALANCE_MIX
+        let programs: Vec<Program> = BALANCE_MIX
             .iter()
-            .map(|c| rlim_compiler::compile(&mig, &c.options(effort)))
+            .map(|c| Rm3Backend.compile(&mig, &c.options(effort)))
             .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let picks: Vec<usize> = (0..jobs)
@@ -101,7 +102,7 @@ impl FleetWorkload {
         self.picks
             .iter()
             .zip(&self.inputs)
-            .map(|(&p, inputs)| Job::new(&self.programs[p].program, inputs))
+            .map(|(&p, inputs)| Job::new(&self.programs[p], inputs))
             .collect()
     }
 }

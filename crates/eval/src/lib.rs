@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use rlim_benchmarks::Benchmark;
-use rlim_compiler::{compile, CompileOptions, CompileResult};
+use rlim_compiler::{Backend, CompileOptions, Rm3Backend};
 use rlim_mig::Mig;
 use rlim_rram::WriteStats;
 
@@ -112,20 +112,22 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    /// Measures a compilation under `options`.
+    /// Measures an RM3 compilation under `options`.
     pub fn of(mig: &Mig, options: &CompileOptions) -> Self {
-        let start = Instant::now();
-        let result = compile(mig, options);
-        Measurement::from_result(&result, start.elapsed().as_secs_f64())
+        Measurement::of_backend(&Rm3Backend, mig, options)
     }
 
-    /// Extracts the metrics of an existing compile result.
-    pub fn from_result(result: &CompileResult, seconds: f64) -> Self {
+    /// Measures a compilation through any [`Backend`] — the per-cell
+    /// metrics (`#I`, `#R`, write distribution) come from the shared
+    /// program container, so RM3 and IMP rows are directly comparable.
+    pub fn of_backend<B: Backend>(backend: &B, mig: &Mig, options: &CompileOptions) -> Self {
+        let start = Instant::now();
+        let program = backend.compile(mig, options);
         Measurement {
-            instructions: result.num_instructions(),
-            rrams: result.num_rrams(),
-            stats: result.write_stats(),
-            seconds,
+            instructions: program.num_instructions(),
+            rrams: program.num_rrams(),
+            stats: program.write_stats(),
+            seconds: start.elapsed().as_secs_f64(),
         }
     }
 

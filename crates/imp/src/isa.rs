@@ -1,4 +1,5 @@
-//! The stateful material-implication instruction set.
+//! The stateful material-implication instruction set, plugged into the
+//! shared [`rlim_isa`] program container.
 //!
 //! IMPLY logic [Borghetti et al., Nature 2010] computes with two
 //! operations on resistive cells:
@@ -14,6 +15,7 @@
 
 use std::fmt;
 
+use rlim_isa::{Isa, Reads};
 use rlim_rram::CellId;
 
 /// One IMPLY-logic instruction.
@@ -30,15 +32,6 @@ pub enum ImpOp {
     },
 }
 
-impl ImpOp {
-    /// The cell this operation writes.
-    pub fn destination(self) -> CellId {
-        match self {
-            ImpOp::False(q) | ImpOp::Imply { q, .. } => q,
-        }
-    }
-}
-
 impl fmt::Display for ImpOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -48,143 +41,43 @@ impl fmt::Display for ImpOp {
     }
 }
 
-/// A compiled IMPLY program with its memory map.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct ImpProgram {
-    /// Instructions in execution order.
-    pub ops: Vec<ImpOp>,
-    /// Total number of cells the program touches.
-    pub num_cells: usize,
-    /// Cells holding the primary inputs (preloaded before execution).
-    pub input_cells: Vec<CellId>,
-    /// Cells holding the primary outputs after execution.
-    pub output_cells: Vec<CellId>,
-}
+impl Isa for ImpOp {
+    const NAME: &'static str = "IMPLY";
+    // An IMP read of a never-written, non-input cell would observe
+    // whatever the array happened to hold, so validation rejects it.
+    const REQUIRES_DEFINED_READS: bool = true;
 
-/// Validation failure for [`ImpProgram::validate`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ImpProgramError {
-    /// An instruction references a cell past `num_cells`.
-    CellOutOfRange {
-        /// Index of the offending instruction.
-        op: usize,
-        /// The out-of-range cell.
-        cell: CellId,
-    },
-    /// An input or output cell is past `num_cells`.
-    InterfaceCellOutOfRange {
-        /// The out-of-range cell.
-        cell: CellId,
-    },
-    /// An instruction reads a cell that is neither a primary input nor the
-    /// destination of any earlier instruction — its value would be
-    /// whatever the array happened to hold.
-    UndefinedRead {
-        /// Index of the reading instruction.
-        op: usize,
-        /// The undefined cell.
-        cell: CellId,
-    },
-}
+    fn destination(&self) -> CellId {
+        match *self {
+            ImpOp::False(q) | ImpOp::Imply { q, .. } => q,
+        }
+    }
 
-impl fmt::Display for ImpProgramError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ImpProgramError::CellOutOfRange { op, cell } => {
-                write!(
-                    f,
-                    "instruction {op} references cell r{} out of range",
-                    cell.index()
-                )
-            }
-            ImpProgramError::InterfaceCellOutOfRange { cell } => {
-                write!(f, "interface cell r{} out of range", cell.index())
-            }
-            ImpProgramError::UndefinedRead { op, cell } => write!(
-                f,
-                "instruction {op} reads cell r{} before it is defined",
-                cell.index()
-            ),
+    fn reads(&self) -> Reads {
+        match *self {
+            // FALSE is unconditional: no data dependency.
+            ImpOp::False(_) => Reads::new(),
+            // IMP reads the condition and the work cell's previous value.
+            ImpOp::Imply { p, q } => [p, q].into_iter().collect(),
         }
     }
 }
 
-impl std::error::Error for ImpProgramError {}
-
-impl ImpProgram {
-    /// Number of instructions (`#ops`, the IMP analogue of the paper's #I).
-    pub fn num_ops(&self) -> usize {
-        self.ops.len()
-    }
-
-    /// Number of cells (the IMP analogue of the paper's #R).
-    pub fn num_rrams(&self) -> usize {
-        self.num_cells
-    }
-
-    /// Per-cell write counts implied by the instruction stream: one write
-    /// per instruction, on its destination.
-    pub fn write_counts(&self) -> Vec<u64> {
-        let mut counts = vec![0u64; self.num_cells];
-        for op in &self.ops {
-            counts[op.destination().index()] += 1;
-        }
-        counts
-    }
-
-    /// Structural well-formedness check.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`ImpProgramError`] found.
-    pub fn validate(&self) -> Result<(), ImpProgramError> {
-        let in_range = |c: CellId| c.index() < self.num_cells;
-        for (i, op) in self.ops.iter().enumerate() {
-            let cells: [CellId; 2] = match *op {
-                ImpOp::False(q) => [q, q],
-                ImpOp::Imply { p, q } => [p, q],
-            };
-            for cell in cells {
-                if !in_range(cell) {
-                    return Err(ImpProgramError::CellOutOfRange { op: i, cell });
-                }
-            }
-        }
-        for &cell in self.input_cells.iter().chain(&self.output_cells) {
-            if !in_range(cell) {
-                return Err(ImpProgramError::InterfaceCellOutOfRange { cell });
-            }
-        }
-        // Every read must observe a defined value: primary inputs are
-        // preloaded, everything else must have been a destination first.
-        // (Dead input cells *may* be recycled as work cells — writing them
-        // is legal; reading garbage is not.)
-        let mut defined = vec![false; self.num_cells];
-        for &c in &self.input_cells {
-            defined[c.index()] = true;
-        }
-        for (i, op) in self.ops.iter().enumerate() {
-            if let ImpOp::Imply { p, q } = *op {
-                for cell in [p, q] {
-                    if !defined[cell.index()] {
-                        return Err(ImpProgramError::UndefinedRead { op: i, cell });
-                    }
-                }
-            }
-            defined[op.destination().index()] = true;
-        }
-        Ok(())
-    }
-
-    /// Human-readable listing.
-    pub fn disassemble(&self) -> String {
-        let mut out = String::new();
-        for (i, op) in self.ops.iter().enumerate() {
-            out.push_str(&format!("{i:6}: {op}\n"));
-        }
-        out
+impl ImpOp {
+    /// The cell this operation writes (inherent mirror of
+    /// [`Isa::destination`] so callers don't need the trait in scope).
+    pub fn destination(self) -> CellId {
+        Isa::destination(&self)
     }
 }
+
+/// A compiled IMPLY program: the shared container instantiated at the
+/// IMPLY instruction set, giving it the same `write_counts()` /
+/// `write_stats()` accounting surface as the RM3 program.
+pub type ImpProgram = rlim_isa::Program<ImpOp>;
+
+/// Structural validation error of an [`ImpProgram`] (shared across ISAs).
+pub use rlim_isa::ProgramError as ImpProgramError;
 
 #[cfg(test)]
 mod tests {
@@ -205,9 +98,18 @@ mod tests {
     }
 
     #[test]
+    fn reads_model_imp_data_dependencies() {
+        assert!(ImpOp::False(c(3)).reads().is_empty());
+        assert_eq!(
+            ImpOp::Imply { p: c(1), q: c(2) }.reads().as_slice(),
+            &[c(1), c(2)]
+        );
+    }
+
+    #[test]
     fn write_counts_count_destinations() {
         let p = ImpProgram {
-            ops: vec![
+            instructions: vec![
                 ImpOp::False(c(2)),
                 ImpOp::Imply { p: c(0), q: c(2) },
                 ImpOp::Imply { p: c(1), q: c(2) },
@@ -218,21 +120,22 @@ mod tests {
         };
         assert_eq!(p.write_counts(), vec![0, 0, 3]);
         assert_eq!(p.validate(), Ok(()));
-        assert_eq!(p.num_ops(), 3);
+        assert_eq!(p.num_instructions(), 3);
         assert_eq!(p.num_rrams(), 3);
+        assert_eq!(p.write_stats().max, 3, "shared WriteStats surface");
     }
 
     #[test]
     fn validate_rejects_out_of_range() {
         let p = ImpProgram {
-            ops: vec![ImpOp::False(c(5))],
+            instructions: vec![ImpOp::False(c(5))],
             num_cells: 3,
             input_cells: vec![],
             output_cells: vec![],
         };
         assert!(matches!(
             p.validate(),
-            Err(ImpProgramError::CellOutOfRange { op: 0, .. })
+            Err(ImpProgramError::CellOutOfRange { .. })
         ));
     }
 
@@ -240,7 +143,7 @@ mod tests {
     fn validate_rejects_undefined_read() {
         // r1 is read before anything defines it.
         let p = ImpProgram {
-            ops: vec![ImpOp::Imply { p: c(1), q: c(0) }],
+            instructions: vec![ImpOp::Imply { p: c(1), q: c(0) }],
             num_cells: 2,
             input_cells: vec![c(0)],
             output_cells: vec![],
@@ -255,7 +158,7 @@ mod tests {
     fn recycling_dead_input_is_legal() {
         // r0 is a (dead) input recycled as a work cell, then read.
         let p = ImpProgram {
-            ops: vec![ImpOp::False(c(0)), ImpOp::Imply { p: c(0), q: c(1) }],
+            instructions: vec![ImpOp::False(c(0)), ImpOp::Imply { p: c(0), q: c(1) }],
             num_cells: 2,
             input_cells: vec![c(0), c(1)],
             output_cells: vec![c(1)],

@@ -14,7 +14,7 @@ use crate::isa::{ImpOp, ImpProgram};
 ///
 /// // q ← NOT a   (FALSE q; a IMP q)
 /// let program = ImpProgram {
-///     ops: vec![
+///     instructions: vec![
 ///         ImpOp::False(CellId::new(1)),
 ///         ImpOp::Imply { p: CellId::new(0), q: CellId::new(1) },
 ///     ],
@@ -96,7 +96,7 @@ impl ImpMachine {
     ///
     /// Returns the first [`EnduranceError`] hit.
     pub fn execute(&mut self, program: &ImpProgram) -> Result<(), EnduranceError> {
-        for op in &program.ops {
+        for op in &program.instructions {
             self.step(op)?;
         }
         Ok(())
@@ -139,7 +139,7 @@ mod tests {
     /// NAND into a fresh cell: FALSE s; a IMP s; b IMP s.
     fn nand_program() -> ImpProgram {
         ImpProgram {
-            ops: vec![
+            instructions: vec![
                 ImpOp::False(c(2)),
                 ImpOp::Imply { p: c(0), q: c(2) },
                 ImpOp::Imply { p: c(1), q: c(2) },
@@ -166,7 +166,7 @@ mod tests {
         // Direct check of the IMP step semantics.
         for (p, q) in [(false, false), (false, true), (true, false), (true, true)] {
             let program = ImpProgram {
-                ops: vec![ImpOp::Imply { p: c(0), q: c(1) }],
+                instructions: vec![ImpOp::Imply { p: c(0), q: c(1) }],
                 num_cells: 2,
                 input_cells: vec![c(0), c(1)],
                 output_cells: vec![c(1)],

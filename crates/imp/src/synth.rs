@@ -155,7 +155,7 @@ impl<'a> Synthesiser<'a> {
         let output_cells = outputs.iter().map(|&s| self.resolve(s)).collect();
 
         ImpProgram {
-            ops: self.ops,
+            instructions: self.ops,
             num_cells: self.write_counts.len(),
             input_cells: self.input_cells,
             output_cells,
@@ -344,7 +344,7 @@ mod tests {
         mig.add_output(m);
         let program = synthesize(&mig, &ImpSynthOptions::lifo());
         // 3 pairwise NANDs (3 ops each) + final 3-input NAND (4 ops).
-        assert_eq!(program.num_ops(), 13);
+        assert_eq!(program.num_instructions(), 13);
         assert_functional(&mig, &ImpSynthOptions::lifo(), 2);
     }
 
@@ -384,7 +384,7 @@ mod tests {
         let program = synthesize(&mig, &ImpSynthOptions::lifo());
         // NOT a (2 ops) + 2 × AND (5 ops each) = 12; a second NOT would
         // make it 14.
-        assert_eq!(program.num_ops(), 12);
+        assert_eq!(program.num_instructions(), 12);
         assert_functional(&mig, &ImpSynthOptions::lifo(), 4);
     }
 
@@ -419,7 +419,11 @@ mod tests {
             let minw = synthesize(&mig, &ImpSynthOptions::min_write());
             let sl = WriteStats::from_counts(lifo.write_counts());
             let sm = WriteStats::from_counts(minw.write_counts());
-            assert_eq!(lifo.num_ops(), minw.num_ops(), "allocation is cost-neutral");
+            assert_eq!(
+                lifo.num_instructions(),
+                minw.num_instructions(),
+                "allocation is cost-neutral"
+            );
             if sm.stdev <= sl.stdev {
                 improved += 1;
             }
@@ -441,6 +445,10 @@ mod tests {
         // Inputs still holding their value at program end were never
         // recycled; such cells must show zero writes unless reused.
         let total: u64 = counts.iter().sum();
-        assert_eq!(total as usize, program.num_ops(), "one write per op");
+        assert_eq!(
+            total as usize,
+            program.num_instructions(),
+            "one write per op"
+        );
     }
 }

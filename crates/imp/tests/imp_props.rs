@@ -53,7 +53,7 @@ proptest! {
         let program = synthesize(&mig, &options);
         let counts = program.write_counts();
         prop_assert_eq!(counts.len(), program.num_rrams());
-        prop_assert_eq!(counts.iter().sum::<u64>() as usize, program.num_ops());
+        prop_assert_eq!(counts.iter().sum::<u64>() as usize, program.num_instructions());
     }
 
     /// Allocation policy never changes op or cell *counts*, only which
@@ -63,7 +63,7 @@ proptest! {
     fn allocation_is_cost_neutral(mig in mig_strategy()) {
         let lifo = synthesize(&mig, &ImpSynthOptions { allocation: ImpAllocation::Lifo });
         let minw = synthesize(&mig, &ImpSynthOptions { allocation: ImpAllocation::MinWrite });
-        prop_assert_eq!(lifo.num_ops(), minw.num_ops());
+        prop_assert_eq!(lifo.num_instructions(), minw.num_instructions());
         prop_assert_eq!(lifo.num_rrams(), minw.num_rrams());
     }
 

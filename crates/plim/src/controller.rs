@@ -471,119 +471,8 @@ mod tests {
         assert_eq!(controller.cycles(), 0);
     }
 
-    #[test]
-    fn hosted_on_compiled_benchmark() {
-        use rlim_mig::Mig;
-        // A real compiled program: 2-bit adder via the library quickstart
-        // path exercised against the controller.
-        let mut mig = Mig::new(4);
-        let (a0, b0) = (mig.input(0), mig.input(1));
-        let (a1, b1) = (mig.input(2), mig.input(3));
-        let (s0, c0) = mig.half_adder(a0, b0);
-        let (s1, c1) = mig.full_adder(a1, b1, c0);
-        mig.add_output(s0);
-        mig.add_output(s1);
-        mig.add_output(c1);
-        let result = rlim_compiler_shim::compile_naive(&mig);
-        for bits in 0..16u32 {
-            let inputs: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
-            let mut controller = Controller::host(&result).unwrap();
-            let got = controller.run(&inputs).unwrap();
-            assert_eq!(got, mig.evaluate(&inputs), "bits {bits:04b}");
-        }
-    }
-
-    /// `rlim-plim` cannot depend on `rlim-compiler` (layering), so the one
-    /// test that wants a compiled program builds it through a tiny local
-    /// translator: straight-line RM3 emission good enough for a test.
-    mod rlim_compiler_shim {
-        use super::super::*;
-        use crate::isa::Instruction;
-        use rlim_mig::{Mig, Signal};
-
-        struct Emitter {
-            instructions: Vec<Instruction>,
-            cell_of: Vec<Option<CellId>>,
-            next: u32,
-        }
-
-        impl Emitter {
-            fn alloc(&mut self) -> CellId {
-                let c = CellId::new(self.next);
-                self.next += 1;
-                c
-            }
-
-            fn emit(&mut self, p: Operand, q: Operand, z: CellId) {
-                self.instructions.push(Instruction { p, q, z });
-            }
-
-            /// Operand holding the value of `s` (complements get a temp
-            /// loaded via set1 + inverse copy).
-            fn materialise(&mut self, s: Signal) -> Operand {
-                match s.constant_value() {
-                    Some(b) => Operand::Const(b),
-                    None => {
-                        let src = self.cell_of[s.node().index()].expect("computed");
-                        if s.is_complement() {
-                            let t = self.alloc();
-                            self.emit(Operand::Const(true), Operand::Const(false), t);
-                            self.emit(Operand::Const(false), Operand::Cell(src), t);
-                            Operand::Cell(t)
-                        } else {
-                            Operand::Cell(src)
-                        }
-                    }
-                }
-            }
-        }
-
-        pub fn compile_naive(mig: &Mig) -> Program {
-            let mut e = Emitter {
-                instructions: Vec::new(),
-                cell_of: vec![None; mig.num_nodes()],
-                next: 0,
-            };
-            let mut input_cells = Vec::new();
-            for i in 0..mig.num_inputs() {
-                let cell = e.alloc();
-                e.cell_of[mig.input(i).node().index()] = Some(cell);
-                input_cells.push(cell);
-            }
-            for g in mig.node_ids() {
-                if !mig.is_gate(g) {
-                    continue;
-                }
-                let [a, b, cch] = mig.children(g);
-                let pa = e.materialise(a);
-                // Q is inverted by RM3, so materialise ¬b.
-                let qb = e.materialise(!b);
-                let pc = e.materialise(cch);
-                // z ← 0; z ← value(c); z ← ⟨a, b̄, c⟩.
-                let z = e.alloc();
-                e.emit(Operand::Const(false), Operand::Const(true), z);
-                e.emit(pc, Operand::Const(false), z);
-                e.emit(pa, qb, z);
-                e.cell_of[g.index()] = Some(z);
-            }
-            let mut output_cells = Vec::new();
-            for &po in mig.outputs() {
-                let cell = match e.materialise(po) {
-                    Operand::Cell(cc) => cc,
-                    Operand::Const(b) => {
-                        let t = e.alloc();
-                        e.emit(Operand::Const(b), Operand::Const(!b), t);
-                        t
-                    }
-                };
-                output_cells.push(cell);
-            }
-            Program {
-                instructions: e.instructions,
-                num_cells: e.next as usize,
-                input_cells,
-                output_cells,
-            }
-        }
-    }
+    // Hosting a *compiled* benchmark is covered by the cross-crate suite
+    // (`tests/self_hosted.rs::hosted_runs_baseline_pipeline_output`),
+    // which drives the controller with real pipeline output instead of
+    // the hand-rolled translation loop this module used to carry.
 }

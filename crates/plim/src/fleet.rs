@@ -190,7 +190,7 @@ impl<'a> Job<'a> {
 
     /// The job's static write cost: one write per RM3 instruction.
     pub fn cost(&self) -> u64 {
-        self.program.num_instructions() as u64
+        self.program.total_writes()
     }
 
     /// The standard heterogeneous evaluation stream: `count` jobs

@@ -1,7 +1,9 @@
-//! The RM3 instruction set and program container.
+//! The RM3 instruction set, plugged into the shared [`rlim_isa`] program
+//! container.
 
 use std::fmt;
 
+use rlim_isa::{Isa, Reads};
 use rlim_rram::CellId;
 
 /// A read operand of an RM3 instruction. The PLiM controller can feed each
@@ -38,133 +40,58 @@ pub struct Instruction {
     pub z: CellId,
 }
 
+impl Instruction {
+    /// Whether the result is independent of the destination's previous
+    /// value. True exactly for the constant-set recipes `set0` =
+    /// `RM3(0, 1, z)` and `set1` = `RM3(1, 0, z)`: `⟨b, b, z⟩ = b`.
+    pub fn ignores_old_destination(&self) -> bool {
+        matches!(
+            (self.p, self.q),
+            (Operand::Const(p), Operand::Const(q)) if p != q
+        )
+    }
+}
+
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "RM3({}, {}, {})", self.p, self.q, self.z)
     }
 }
 
-/// A compiled PLiM program.
+impl Isa for Instruction {
+    const NAME: &'static str = "PLiM";
+    // RM3 programs establish destination values with set0/set1 recipes, so
+    // reading an untouched cell through the Z operand is by design.
+    const REQUIRES_DEFINED_READS: bool = false;
+
+    fn destination(&self) -> CellId {
+        self.z
+    }
+
+    fn reads(&self) -> Reads {
+        let mut reads = Reads::new();
+        if let Operand::Cell(c) = self.p {
+            reads.push(c);
+        }
+        if let Operand::Cell(c) = self.q {
+            reads.push(c);
+        }
+        if !self.ignores_old_destination() {
+            reads.push(self.z);
+        }
+        reads
+    }
+}
+
+/// A compiled PLiM program: the shared container instantiated at the RM3
+/// instruction set.
 ///
-/// Produced by `rlim-compiler`; executed by [`crate::Machine`]. The cell
-/// address space is `0..num_cells`. Input cells must be preloaded with the
-/// primary-input values before execution; after execution the primary
-/// outputs are read from `output_cells`.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Program {
-    /// The RM3 instruction sequence.
-    pub instructions: Vec<Instruction>,
-    /// Number of RRAM cells the program addresses (the paper's `#R`).
-    pub num_cells: usize,
-    /// Cells holding the primary inputs at program start, in PI order.
-    pub input_cells: Vec<CellId>,
-    /// Cells holding the primary outputs at program end, in PO order.
-    pub output_cells: Vec<CellId>,
-}
+/// Produced by `rlim-compiler`; executed by [`crate::Machine`]. See
+/// [`rlim_isa::Program`] for the accounting and validation surface.
+pub type Program = rlim_isa::Program<Instruction>;
 
-/// A structural problem detected by [`Program::validate`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ProgramError {
-    /// An instruction or I/O map references a cell `≥ num_cells`.
-    CellOutOfRange {
-        /// Where the reference occurred (human-readable).
-        site: String,
-        /// The offending cell.
-        cell: CellId,
-    },
-    /// Two primary inputs map to the same cell.
-    DuplicateInputCell(CellId),
-}
-
-impl fmt::Display for ProgramError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ProgramError::CellOutOfRange { site, cell } => {
-                write!(f, "cell {cell} out of range at {site}")
-            }
-            ProgramError::DuplicateInputCell(c) => {
-                write!(f, "duplicate input cell {c}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ProgramError {}
-
-impl Program {
-    /// The paper's `#I` metric: number of RM3 instructions.
-    pub fn num_instructions(&self) -> usize {
-        self.instructions.len()
-    }
-
-    /// The paper's `#R` metric: number of RRAM cells used.
-    pub fn num_rrams(&self) -> usize {
-        self.num_cells
-    }
-
-    /// Per-cell write counts implied by the destination sequence (static:
-    /// each instruction writes its destination exactly once).
-    pub fn write_counts(&self) -> Vec<u64> {
-        let mut counts = vec![0u64; self.num_cells];
-        for inst in &self.instructions {
-            counts[inst.z.index()] += 1;
-        }
-        counts
-    }
-
-    /// Checks internal consistency.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`ProgramError`] found: an out-of-range cell in any
-    /// instruction or I/O map, or a duplicated input cell.
-    pub fn validate(&self) -> Result<(), ProgramError> {
-        let check = |site: String, cell: CellId| -> Result<(), ProgramError> {
-            if cell.index() >= self.num_cells {
-                Err(ProgramError::CellOutOfRange { site, cell })
-            } else {
-                Ok(())
-            }
-        };
-        for (i, inst) in self.instructions.iter().enumerate() {
-            if let Operand::Cell(c) = inst.p {
-                check(format!("instruction {i} operand P"), c)?;
-            }
-            if let Operand::Cell(c) = inst.q {
-                check(format!("instruction {i} operand Q"), c)?;
-            }
-            check(format!("instruction {i} destination"), inst.z)?;
-        }
-        let mut seen = vec![false; self.num_cells];
-        for (i, &c) in self.input_cells.iter().enumerate() {
-            check(format!("input {i}"), c)?;
-            if seen[c.index()] {
-                return Err(ProgramError::DuplicateInputCell(c));
-            }
-            seen[c.index()] = true;
-        }
-        for (i, &c) in self.output_cells.iter().enumerate() {
-            check(format!("output {i}"), c)?;
-        }
-        Ok(())
-    }
-
-    /// Human-readable disassembly, one instruction per line.
-    pub fn disassemble(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "; PLiM program: {} instructions, {} cells",
-            self.num_instructions(),
-            self.num_rrams()
-        );
-        for (i, inst) in self.instructions.iter().enumerate() {
-            let _ = writeln!(out, "{i:6}: {inst}");
-        }
-        out
-    }
-}
+/// Structural validation error of a [`Program`] (shared across ISAs).
+pub use rlim_isa::ProgramError;
 
 #[cfg(test)]
 mod tests {
@@ -235,6 +162,7 @@ mod tests {
         let p = sample();
         assert_eq!(p.instructions[0].to_string(), "RM3(r0, 1, r2)");
         let text = p.disassemble();
+        assert!(text.contains("PLiM program"));
         assert!(text.contains("1 instructions"));
         assert!(text.contains("RM3(r0, 1, r2)"));
         assert_eq!(
@@ -246,6 +174,31 @@ mod tests {
             .to_string(),
             "RM3(0, 1, r1)"
         );
+    }
+
+    #[test]
+    fn reads_model_rm3_data_dependencies() {
+        use rlim_isa::Isa as _;
+        let set0 = Instruction {
+            p: Operand::Const(false),
+            q: Operand::Const(true),
+            z: CellId::new(4),
+        };
+        assert!(set0.ignores_old_destination());
+        assert!(set0.reads().is_empty(), "set0 is value-independent");
+
+        let general = Instruction {
+            p: Operand::Cell(CellId::new(0)),
+            q: Operand::Cell(CellId::new(1)),
+            z: CellId::new(2),
+        };
+        assert!(!general.ignores_old_destination());
+        assert_eq!(
+            general.reads().as_slice(),
+            &[CellId::new(0), CellId::new(1), CellId::new(2)],
+            "general RM3 reads P, Q and the old destination"
+        );
+        assert_eq!(general.destination(), CellId::new(2));
     }
 
     #[test]

@@ -15,11 +15,13 @@
 //! destination sequence — the quantity the DATE 2017 endurance paper
 //! balances.
 //!
-//! This crate provides the ISA ([`Instruction`], [`Operand`]), the
-//! [`Program`] container produced by `rlim-compiler`, the [`Machine`]
-//! that executes programs against an [`rlim_rram::Crossbar`], the
-//! self-hosted [`Controller`] FSM, and the multi-crossbar [`Fleet`]
-//! runtime with endurance-aware dispatch ([`DispatchPolicy`]).
+//! This crate provides the RM3 ISA ([`Instruction`], [`Operand`],
+//! implementing [`rlim_isa::Isa`]), the [`Program`] container (the shared
+//! [`rlim_isa::Program`] instantiated at RM3, produced by
+//! `rlim-compiler`), the [`Machine`] that executes programs against an
+//! [`rlim_rram::Crossbar`], the self-hosted [`Controller`] FSM, and the
+//! multi-crossbar [`Fleet`] runtime with endurance-aware dispatch
+//! ([`DispatchPolicy`]).
 //!
 //! ## Example
 //!

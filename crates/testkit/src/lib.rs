@@ -5,10 +5,12 @@
 //! Majority-Inverter Graph:
 //!
 //! * direct MIG evaluation (the golden model),
-//! * the compiled RM3 program executed on the external [`Machine`],
+//! * the compiled RM3 program executed on the external machine
+//!   ([`Rm3Backend`]),
 //! * optionally the same program self-hosted in the crossbar and driven by
-//!   the [`Controller`] FSM,
-//! * the IMPLY baseline synthesised by `rlim-imp`.
+//!   the controller FSM ([`HostedRm3Backend`]),
+//! * the IMPLY baseline synthesised through
+//!   [`ImpBackend`].
 //!
 //! This crate machine-checks that invariant with two oracles:
 //!
@@ -44,10 +46,12 @@ pub mod parallel;
 
 use std::fmt;
 
-use rlim_compiler::{compile, CompileOptions, CompileResult};
-use rlim_imp::{synthesize, ImpMachine, ImpProgram, ImpSynthOptions};
+use rlim_compiler::{
+    compile, Backend, CompileOptions, CompileResult, HostedRm3Backend, ImpBackend, Rm3Backend,
+};
+use rlim_isa::Program as IsaProgram;
 use rlim_mig::{equiv_random, Mig};
-use rlim_plim::{Controller, Machine, Program};
+use rlim_plim::Program;
 
 /// Largest input count that is verified exhaustively by default.
 ///
@@ -61,7 +65,8 @@ pub const DEFAULT_SAMPLE_ROUNDS: usize = 24;
 
 /// The canonical compiler configurations: every `CompileOptions` preset
 /// constructor (the paper's Table I columns) plus two maximum-write
-/// budgets (Table III), under their conventional labels.
+/// budgets (Table III) and two peephole variants, under their
+/// conventional labels.
 pub fn presets() -> Vec<(&'static str, CompileOptions)> {
     vec![
         ("naive", CompileOptions::naive()),
@@ -76,6 +81,14 @@ pub fn presets() -> Vec<(&'static str, CompileOptions)> {
         (
             "max_write_3",
             CompileOptions::endurance_aware().with_max_writes(3),
+        ),
+        (
+            "naive_peephole",
+            CompileOptions::naive().with_peephole(true),
+        ),
+        (
+            "endurance_aware_peephole",
+            CompileOptions::endurance_aware().with_peephole(true),
         ),
     ]
 }
@@ -142,7 +155,7 @@ pub struct Oracle {
     /// Base seed for the sampling oracle.
     pub seed: u64,
     /// Also execute each compiled program through the self-hosted
-    /// [`Controller`] (slower; off by default).
+    /// controller backend (slower; off by default).
     pub hosted: bool,
     /// Also synthesise and check the IMPLY baseline (both allocation
     /// policies; on by default).
@@ -233,32 +246,63 @@ impl Oracle {
     }
 
     /// Differentially verifies `mig` against every backend under every
-    /// compiler preset, distributing the preset × backend matrix across
-    /// scoped worker threads ([`Oracle::threads`]; a divergence found on
-    /// any worker propagates when the scope joins). The report is
-    /// independent of the thread count: every job runs either way and the
-    /// comparison count is an order-insensitive sum. Panics with a
-    /// labelled message on the first divergence; returns what was covered
-    /// on success.
+    /// compiler preset — all through the shared [`Backend`] API —
+    /// distributing the preset ×
+    /// backend matrix across scoped worker threads ([`Oracle::threads`]; a
+    /// divergence found on any worker propagates when the scope joins).
+    /// The report is independent of the thread count: every job runs
+    /// either way and the comparison count is an order-insensitive sum.
+    /// Panics with a labelled message on the first divergence; returns
+    /// what was covered on success.
     pub fn verify(&self, mig: &Mig, name: &str) -> VerifyReport {
         let inputs = self.inputs(mig.num_inputs());
         let reference: Vec<Vec<bool>> = inputs.iter().map(|v| mig.evaluate(v)).collect();
         let preset_list = presets();
 
-        let imp_backends: &[(&str, ImpSynthOptions)] = &[
-            ("imp_lifo", ImpSynthOptions::lifo()),
-            ("imp_min_write", ImpSynthOptions::min_write()),
+        // The IMP baseline's two allocation policies, expressed in the
+        // shared options space (no rewriting, like the paper's §II
+        // comparison).
+        let imp_configs: &[(&str, CompileOptions)] = &[
+            ("imp_lifo", CompileOptions::naive()),
+            (
+                "imp_min_write",
+                CompileOptions {
+                    allocation: rlim_compiler::Allocation::MinWrite,
+                    ..CompileOptions::naive()
+                },
+            ),
         ];
-        let num_jobs = preset_list.len() + if self.imp { imp_backends.len() } else { 0 };
+        let num_jobs = preset_list.len() + if self.imp { imp_configs.len() } else { 0 };
         let comparisons = parallel_sum(num_jobs, self.threads, |job| {
             if let Some((label, options)) = preset_list.get(job) {
+                // The RM3 pipeline is compiled once per preset; its program
+                // is shared between the external and the self-hosted
+                // backend (which compile identically by construction).
                 let result = compile(mig, options);
-                self.check_compile_result(mig, name, label, &result);
-                self.check_rm3(name, label, &result.program, &inputs, &reference)
+                self.check_rewrite(mig, name, label, &result);
+                let mut n = self.check_backend(
+                    &Rm3Backend,
+                    name,
+                    label,
+                    &result.program,
+                    &inputs,
+                    &reference,
+                );
+                if self.hosted {
+                    n += self.check_backend(
+                        &HostedRm3Backend,
+                        name,
+                        label,
+                        &result.program,
+                        &inputs,
+                        &reference,
+                    );
+                }
+                n
             } else {
-                let (label, options) = &imp_backends[job - preset_list.len()];
-                let program = synthesize(mig, options);
-                check_imp(name, label, &program, &inputs, &reference)
+                let (label, options) = &imp_configs[job - preset_list.len()];
+                let program = ImpBackend.compile(mig, options);
+                self.check_backend(&ImpBackend, name, label, &program, &inputs, &reference)
             }
         });
 
@@ -277,16 +321,12 @@ impl Oracle {
     pub fn verify_program(&self, mig: &Mig, name: &str, label: &str, program: &Program) -> usize {
         let inputs = self.inputs(mig.num_inputs());
         let reference: Vec<Vec<bool>> = inputs.iter().map(|v| mig.evaluate(v)).collect();
-        self.check_rm3(name, label, program, &inputs, &reference)
+        self.check_backend(&Rm3Backend, name, label, program, &inputs, &reference)
     }
 
-    /// Checks the structural half of a [`CompileResult`]: the program
-    /// validates and the rewritten MIG is equivalent to the source.
-    fn check_compile_result(&self, mig: &Mig, name: &str, label: &str, result: &CompileResult) {
-        result
-            .program
-            .validate()
-            .unwrap_or_else(|e| panic!("{name}/{label}: invalid program: {e}"));
+    /// Checks that the rewritten MIG inside a [`CompileResult`] is
+    /// equivalent to the source graph.
+    fn check_rewrite(&self, mig: &Mig, name: &str, label: &str, result: &CompileResult) {
         if mig.num_inputs() <= self.exhaustive_limit {
             if let Some(pattern) = equiv_exhaustive(mig, &result.mig) {
                 panic!(
@@ -303,39 +343,33 @@ impl Oracle {
         }
     }
 
-    /// Runs `program` on the machine (and optionally the hosted
-    /// controller) for every pattern, comparing against `reference`.
-    fn check_rm3(
+    /// Validates `program` and runs it through `backend` for every
+    /// pattern, comparing against `reference` — the single per-backend
+    /// check behind the whole matrix.
+    fn check_backend<B: Backend>(
         &self,
+        backend: &B,
         name: &str,
         label: &str,
-        program: &Program,
+        program: &IsaProgram<B::Instr>,
         inputs: &[Vec<bool>],
         reference: &[Vec<bool>],
     ) -> usize {
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}/{label}: invalid {} program: {e}", B::NAME));
         let mut comparisons = 0;
         for (pattern, (input, expect)) in inputs.iter().zip(reference).enumerate() {
-            let mut machine = Machine::for_program(program);
-            let got = machine
-                .run(program, input)
-                .unwrap_or_else(|e| panic!("{name}/{label}: endurance error: {e}"));
+            let got = backend
+                .execute(program, input)
+                .unwrap_or_else(|e| panic!("{name}/{label}: {} endurance error: {e}", B::NAME));
             assert_eq!(
-                &got, expect,
-                "{name}/{label}: RM3 machine diverges from MIG at pattern {pattern}"
+                &got,
+                expect,
+                "{name}/{label}: {} backend diverges from MIG at pattern {pattern}",
+                B::NAME
             );
             comparisons += 1;
-            if self.hosted {
-                let mut controller = Controller::host(program)
-                    .unwrap_or_else(|e| panic!("{name}/{label}: hosting failed: {e}"));
-                let hosted = controller
-                    .run(input)
-                    .unwrap_or_else(|e| panic!("{name}/{label}: hosted endurance error: {e}"));
-                assert_eq!(
-                    &hosted, expect,
-                    "{name}/{label}: hosted controller diverges from MIG at pattern {pattern}"
-                );
-                comparisons += 1;
-            }
         }
         comparisons
     }
@@ -351,32 +385,6 @@ where
     parallel::parallel_map((0..jobs).collect(), threads, f)
         .into_iter()
         .sum()
-}
-
-/// Runs an IMPLY program for every pattern against the golden outputs.
-fn check_imp(
-    name: &str,
-    label: &str,
-    program: &ImpProgram,
-    inputs: &[Vec<bool>],
-    reference: &[Vec<bool>],
-) -> usize {
-    program
-        .validate()
-        .unwrap_or_else(|e| panic!("{name}/{label}: invalid IMP program: {e}"));
-    let mut comparisons = 0;
-    for (pattern, (input, expect)) in inputs.iter().zip(reference).enumerate() {
-        let mut machine = ImpMachine::for_program(program);
-        let got = machine
-            .run(program, input)
-            .unwrap_or_else(|e| panic!("{name}/{label}: endurance error: {e}"));
-        assert_eq!(
-            &got, expect,
-            "{name}/{label}: IMP machine diverges from MIG at pattern {pattern}"
-        );
-        comparisons += 1;
-    }
-    comparisons
 }
 
 /// Exhaustive 64-way bit-parallel equivalence check between two MIGs with

@@ -40,7 +40,7 @@ fn main() {
     let imp_stats = WriteStats::from_counts(imp.write_counts());
     println!(
         "IMP  (NAND synthesis):  {} ops, {} cells",
-        imp.num_ops(),
+        imp.num_instructions(),
         imp.num_rrams()
     );
     println!(
@@ -71,6 +71,6 @@ fn main() {
     println!("\nboth machines report 100 < 200 = true");
     println!(
         "\nRM3 needs {:.1}x fewer operations — the majority operation does in\none write what the IMP NAND cascade spreads over several, which is\nwhy the paper builds its endurance management on the PLiM computer.",
-        imp.num_ops() as f64 / rm3.num_instructions() as f64
+        imp.num_instructions() as f64 / rm3.num_instructions() as f64
     );
 }

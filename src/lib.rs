@@ -11,12 +11,17 @@
 //!   = endurance-aware schedule).
 //! * [`rram`] — RRAM cell, crossbar array, write-traffic statistics and
 //!   lifetime model.
+//! * [`isa`] — the generic logic-in-memory ISA abstraction: the `Isa`
+//!   trait and the shared `Program<I>` container every backend's write
+//!   accounting flows through.
 //! * [`plim`] — the Programmable Logic-in-Memory machine: `RM3` instruction
 //!   set and executor.
-//! * [`compiler`] — the paper's contribution: the endurance-aware MIG→PLiM
-//!   compiler with its allocation policies (LIFO / minimum-write /
-//!   maximum-write) and node-selection policies (topological / area-aware /
-//!   endurance-aware).
+//! * [`compiler`] — the paper's contribution as a pass-pipeline compiler
+//!   (rewrite → schedule → translate → peephole → finalize) with its
+//!   allocation policies (LIFO / minimum-write / maximum-write),
+//!   node-selection policies (topological / area-aware /
+//!   endurance-aware), and the generic `Backend` trait unifying the RM3,
+//!   hosted-RM3 and IMPLY flows.
 //! * [`imp`] — material-implication (IMPLY) logic-in-memory baseline: the
 //!   §II comparison point whose writes concentrate on work devices.
 //! * [`benchmarks`] — generators for the 18-benchmark evaluation suite.
@@ -48,6 +53,7 @@
 pub use rlim_benchmarks as benchmarks;
 pub use rlim_compiler as compiler;
 pub use rlim_imp as imp;
+pub use rlim_isa as isa;
 pub use rlim_mig as mig;
 pub use rlim_plim as plim;
 pub use rlim_rram as rram;

