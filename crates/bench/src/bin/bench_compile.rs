@@ -16,17 +16,26 @@
 //! metrics (`instructions`, `rrams`) are recorded so that a perf regression
 //! that silently changes the emitted program is caught by diffing the file.
 //!
+//! The runner is a thin client of [`rlim_service`]: each benchmark's
+//! compile (and peephole twin) is a [`JobSpec`] batch over the shared
+//! pre-rewritten graph, the fleet throughput record executes programs
+//! compiled once through a service batch, and the JSON file is emitted
+//! through the service's [`Json`] writer instead of hand-concatenated
+//! strings.
+//!
 //! The report also carries one `fleet` record: execution throughput
 //! (jobs/s, RM3 instructions/s) of an alternating naive/endurance-aware
 //! workload on a 4-array [`rlim_plim::Fleet`] under least-worn dispatch —
 //! the runtime-side counterpart to the compile-side rows above.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rlim_benchmarks::Benchmark;
-use rlim_compiler::{compile, CompileOptions};
+use rlim_compiler::CompileOptions;
 use rlim_mig::rewrite::{rewrite, Algorithm};
-use rlim_plim::{Fleet, FleetConfig, Job};
+use rlim_service::json::Json;
+use rlim_service::{JobSpec, Service};
 
 /// The benchmarks worth timing: the largest graphs in the suite, where the
 /// ~50 rewriting passes dominate end-to-end compile time.
@@ -60,42 +69,69 @@ impl Row {
     fn total_seconds(&self) -> f64 {
         self.rewrite_seconds + self.compile_seconds
     }
+
+    fn to_json(&self, speedup: Option<f64>) -> Json {
+        let mut entries = vec![
+            ("name", Json::from(self.name)),
+            ("gates", Json::from(self.gates)),
+            ("rewritten_gates", Json::from(self.rewritten_gates)),
+            ("rewrite_seconds", Json::float(self.rewrite_seconds, 6)),
+            ("compile_seconds", Json::float(self.compile_seconds, 6)),
+            ("total_seconds", Json::float(self.total_seconds(), 6)),
+        ];
+        if let Some(s) = speedup {
+            entries.push(("speedup_vs_baseline", Json::float(s, 3)));
+        }
+        entries.extend([
+            ("instructions", Json::from(self.instructions)),
+            ("rrams", Json::from(self.rrams)),
+            ("peephole_seconds", Json::float(self.peephole_seconds, 6)),
+            (
+                "peephole_instructions",
+                Json::from(self.peephole_instructions),
+            ),
+        ]);
+        Json::object(entries)
+    }
 }
 
-fn measure(benchmark: Benchmark, effort: usize, repeat: usize) -> Row {
+fn measure(service: &Service, benchmark: Benchmark, effort: usize, repeat: usize) -> Row {
     let mig = benchmark.build();
     let mut best: Option<Row> = None;
     for _ in 0..repeat.max(1) {
         let t0 = Instant::now();
-        let rewritten = rewrite(&mig, Algorithm::EnduranceAware, effort);
+        let rewritten = Arc::new(rewrite(&mig, Algorithm::EnduranceAware, effort));
         let rewrite_seconds = t0.elapsed().as_secs_f64();
 
         // The graph is already rewritten; compile without re-rewriting so
-        // the two phases are timed separately.
+        // the two phases are timed separately. The peephole on/off pair
+        // shares the rewritten graph, so the delta isolates the elision
+        // pass itself.
         let options = CompileOptions {
             rewriting: None,
             ..CompileOptions::endurance_aware()
         };
-        let t1 = Instant::now();
-        let result = compile(&rewritten, &options);
-        let compile_seconds = t1.elapsed().as_secs_f64();
-
-        // The peephole on/off pair shares the rewritten graph, so the
-        // delta isolates the elision pass itself.
-        let t2 = Instant::now();
-        let peephole = compile(&rewritten, &options.with_peephole(true));
-        let peephole_seconds = t2.elapsed().as_secs_f64();
+        let specs = [
+            JobSpec::shared_mig(Arc::clone(&rewritten)).with_options(options),
+            JobSpec::shared_mig(Arc::clone(&rewritten)).with_options(options.with_peephole(true)),
+        ];
+        let reports = service
+            .run_batch(&specs)
+            .expect("in-memory compilations cannot fail");
+        let [plain, peephole] = &reports[..] else {
+            unreachable!("one report per spec");
+        };
 
         let row = Row {
             name: benchmark.name(),
             gates: mig.num_gates(),
             rewritten_gates: rewritten.num_gates(),
             rewrite_seconds,
-            compile_seconds,
-            instructions: result.num_instructions(),
-            rrams: result.num_rrams(),
-            peephole_seconds,
-            peephole_instructions: peephole.num_instructions(),
+            compile_seconds: plain.seconds,
+            instructions: plain.instructions,
+            rrams: plain.rrams,
+            peephole_seconds: peephole.seconds,
+            peephole_instructions: peephole.instructions,
         };
         if best
             .as_ref()
@@ -116,16 +152,63 @@ struct FleetRow {
     seconds: f64,
 }
 
+impl FleetRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("benchmark", Json::from(self.name)),
+            ("dispatch", Json::from("least-worn")),
+            ("workload", Json::from("alternating naive/endurance-aware")),
+            ("arrays", Json::from(self.arrays)),
+            ("jobs", Json::from(self.jobs)),
+            ("instructions", Json::from(self.instructions)),
+            ("seconds", Json::float(self.seconds, 6)),
+            (
+                "jobs_per_second",
+                Json::float(self.jobs as f64 / self.seconds, 1),
+            ),
+            (
+                "instructions_per_second",
+                Json::float(self.instructions as f64 / self.seconds, 0),
+            ),
+        ])
+    }
+}
+
 /// Times an alternating naive/endurance-aware workload of `jobs` runs on
-/// a fresh 4-array least-worn fleet (threads: one per core). Returns the
-/// best of `repeat` wall-clock runs.
-fn measure_fleet(benchmark: Benchmark, effort: usize, jobs: usize, repeat: usize) -> FleetRow {
+/// a fresh 4-array least-worn fleet (threads: one per core). The heavy
+/// and light programs are compiled **once**, as a service batch whose
+/// reports carry the parseable listings; only the fleet execution is
+/// repeated and timed, best of `repeat` wall-clock runs.
+fn measure_fleet(
+    service: &Service,
+    benchmark: Benchmark,
+    effort: usize,
+    jobs: usize,
+    repeat: usize,
+) -> FleetRow {
+    use rlim_plim::{asm, Fleet, FleetConfig, Job};
     const ARRAYS: usize = 4;
-    let mig = benchmark.build();
-    let heavy = compile(&mig, &CompileOptions::naive());
-    let light = compile(&mig, &CompileOptions::endurance_aware().with_effort(effort));
-    let inputs = vec![false; mig.num_inputs()];
-    let job_list = Job::alternating(&heavy.program, &light.program, &inputs, jobs);
+
+    let specs = [
+        JobSpec::benchmark(benchmark)
+            .with_options(CompileOptions::naive())
+            .with_program_text(true),
+        JobSpec::benchmark(benchmark)
+            .with_options(CompileOptions::endurance_aware().with_effort(effort))
+            .with_program_text(true),
+    ];
+    let reports = service
+        .run_batch(&specs)
+        .expect("benchmark compilations cannot fail");
+    let [heavy, light] = reports
+        .iter()
+        .map(|r| asm::parse_text(r.program.as_deref().expect("listing requested")))
+        .collect::<Result<Vec<_>, _>>()
+        .expect("service listings parse")
+        .try_into()
+        .expect("one program per spec");
+    let inputs = vec![false; reports[0].circuit.inputs];
+    let job_list = Job::alternating(&heavy, &light, &inputs, jobs);
     let instructions: u64 = job_list.iter().map(Job::cost).sum();
 
     let mut best = f64::INFINITY;
@@ -218,10 +301,13 @@ fn main() {
         }
     }
 
+    // A forced-serial service: timings must not fight other compiles for
+    // cores, and the compile/peephole pair must run back to back.
+    let service = Service::new().with_threads(1);
     let baseline_rows = baseline.as_deref().map(baseline_totals);
     let mut rows = Vec::with_capacity(benchmarks.len());
     for &b in &benchmarks {
-        let row = measure(b, effort, repeat);
+        let row = measure(&service, b, effort, repeat);
         eprintln!(
             "[{}] {} gates -> {}: rewrite {:.3}s + compile {:.3}s = {:.3}s \
              (#I={} #R={}; peephole #I={} in {:.3}s)",
@@ -239,60 +325,20 @@ fn main() {
         rows.push(row);
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"schema\": 1,\n");
-    json.push_str(&format!("  \"effort\": {effort},\n"));
-    json.push_str("  \"algorithm\": \"endurance_aware\",\n");
-    json.push_str("  \"benchmarks\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let speedup = baseline_rows.as_ref().and_then(|b| {
-            b.iter()
-                .find(|(n, _)| n == row.name)
-                .map(|(_, secs)| secs / row.total_seconds())
-        });
-        json.push_str("    {\n");
-        json.push_str(&format!("      \"name\": \"{}\",\n", row.name));
-        json.push_str(&format!("      \"gates\": {},\n", row.gates));
-        json.push_str(&format!(
-            "      \"rewritten_gates\": {},\n",
-            row.rewritten_gates
-        ));
-        json.push_str(&format!(
-            "      \"rewrite_seconds\": {:.6},\n",
-            row.rewrite_seconds
-        ));
-        json.push_str(&format!(
-            "      \"compile_seconds\": {:.6},\n",
-            row.compile_seconds
-        ));
-        json.push_str(&format!(
-            "      \"total_seconds\": {:.6},\n",
-            row.total_seconds()
-        ));
-        if let Some(s) = speedup {
-            json.push_str(&format!("      \"speedup_vs_baseline\": {s:.3},\n"));
-        }
-        json.push_str(&format!("      \"instructions\": {},\n", row.instructions));
-        json.push_str(&format!("      \"rrams\": {},\n", row.rrams));
-        json.push_str(&format!(
-            "      \"peephole_seconds\": {:.6},\n",
-            row.peephole_seconds
-        ));
-        json.push_str(&format!(
-            "      \"peephole_instructions\": {}\n",
-            row.peephole_instructions
-        ));
-        json.push_str(if i + 1 == rows.len() {
-            "    }\n"
-        } else {
-            "    },\n"
-        });
-    }
-    json.push_str("  ],\n");
+    let benchmark_records: Vec<Json> = rows
+        .iter()
+        .map(|row| {
+            let speedup = baseline_rows.as_ref().and_then(|b| {
+                b.iter()
+                    .find(|(n, _)| n == row.name)
+                    .map(|(_, secs)| secs / row.total_seconds())
+            });
+            row.to_json(speedup)
+        })
+        .collect();
 
     // Fleet execution throughput on the largest benchmark of the set.
-    let fleet = measure_fleet(benchmarks[0], effort, 32, repeat);
+    let fleet = measure_fleet(&service, benchmarks[0], effort, 32, repeat);
     eprintln!(
         "[fleet:{}] {} jobs on {} arrays: {:.3}s ({:.0} jobs/s, {:.0} RM3/s)",
         fleet.name,
@@ -302,23 +348,16 @@ fn main() {
         fleet.jobs as f64 / fleet.seconds,
         fleet.instructions as f64 / fleet.seconds
     );
-    json.push_str("  \"fleet\": {\n");
-    json.push_str(&format!("    \"benchmark\": \"{}\",\n", fleet.name));
-    json.push_str("    \"dispatch\": \"least-worn\",\n");
-    json.push_str("    \"workload\": \"alternating naive/endurance-aware\",\n");
-    json.push_str(&format!("    \"arrays\": {},\n", fleet.arrays));
-    json.push_str(&format!("    \"jobs\": {},\n", fleet.jobs));
-    json.push_str(&format!("    \"instructions\": {},\n", fleet.instructions));
-    json.push_str(&format!("    \"seconds\": {:.6},\n", fleet.seconds));
-    json.push_str(&format!(
-        "    \"jobs_per_second\": {:.1},\n",
-        fleet.jobs as f64 / fleet.seconds
-    ));
-    json.push_str(&format!(
-        "    \"instructions_per_second\": {:.0}\n",
-        fleet.instructions as f64 / fleet.seconds
-    ));
-    json.push_str("  }\n}\n");
+
+    let document = Json::object([
+        ("schema", Json::from(1u64)),
+        ("effort", Json::from(effort)),
+        ("algorithm", Json::from("endurance_aware")),
+        ("benchmarks", Json::Array(benchmark_records)),
+        ("fleet", fleet.to_json()),
+    ]);
+    let mut json = document.render();
+    json.push('\n');
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");

@@ -2,11 +2,15 @@
 //!
 //! The binary front end is a thin wrapper around [`run`]; everything —
 //! argument parsing, command dispatch, output formatting — lives in the
-//! library so it can be tested without spawning processes.
+//! library so it can be tested without spawning processes. The CLI is a
+//! **thin client of [`rlim_service`]**: each compiling subcommand maps
+//! its argv onto a [`JobSpec`], submits it to a [`Service`], and formats
+//! the returned [`Report`].
 //!
 //! ```text
 //! rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [--peephole]
 //!              [-o prog.plim]
+//! rlim report  <benchmark|circuit.blif> [--policy P] [--backend B] [--json] …
 //! rlim run     <prog.plim> --inputs 1011…            # execute on the simulated crossbar
 //! rlim stats   <prog.plim>                           # #I, #R, write distribution, wear map
 //! rlim bench   <name> [--policy P] [--max-writes W]  # compile a built-in benchmark
@@ -25,10 +29,10 @@ use std::fs;
 use std::path::Path;
 
 use rlim_benchmarks::Benchmark;
-use rlim_compiler::{compile, Backend, CompileOptions, Rm3Backend};
-use rlim_mig::{blif, Mig};
+use rlim_compiler::{Backend, CompileOptions, Rm3Backend};
 use rlim_plim::{asm, Program};
 use rlim_rram::{WearMap, WriteStats};
+use rlim_service::{BackendKind, Error, FleetSpec, JobSpec, Report, Service, Source};
 
 /// A command-line failure: message for stderr plus the exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +67,30 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// Service errors map onto the CLI's exit-code split: invalid requests
+/// are usage errors (2), everything else is operational (1).
+impl From<Error> for CliError {
+    fn from(e: Error) -> Self {
+        if e.is_usage() {
+            CliError::usage(e.to_string())
+        } else {
+            CliError::run(e.to_string())
+        }
+    }
+}
+
+/// The reverse bridge, so service-level code can absorb CLI failures
+/// without flattening their usage/operational distinction.
+impl From<CliError> for Error {
+    fn from(e: CliError) -> Self {
+        if e.code == 2 {
+            Error::InvalidRequest(e.message)
+        } else {
+            Error::Run(e.message)
+        }
+    }
+}
+
 /// Usage text printed on `--help` or argument errors.
 pub const USAGE: &str = "\
 rlim — endurance-aware logic-in-memory toolchain (DATE 2017 reproduction)
@@ -70,6 +98,8 @@ rlim — endurance-aware logic-in-memory toolchain (DATE 2017 reproduction)
 usage:
   rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [--peephole]
                [-o out.plim]
+  rlim report  <benchmark|circuit.blif> [--policy P] [--max-writes W] [--effort N]
+               [--peephole] [--backend B] [--arrays N] [--program] [--json]
   rlim run     <prog.plim> --inputs <bits>
   rlim stats   <prog.plim> [--wear-map]
   rlim bench   <benchmark> [--policy P] [--max-writes W] [--effort N] [--peephole]
@@ -79,8 +109,10 @@ usage:
   rlim list
 
 policies: naive | plim21 | min-write | ea-rewriting | endurance-aware (default)
+backends: rm3 (default) | hosted-rm3 | imp
 dispatch: round-robin | least-worn (default)
 --peephole runs the write-elision pass (never increases #I or any cell's writes)
+--json renders the report through the service's stable JSON schema
 ";
 
 /// Runs the tool on `args` (without the program name), returning the text
@@ -93,6 +125,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("compile") => cmd_compile(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -158,18 +191,7 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
         }
     }
 
-    let mut policy = match policy_name.as_str() {
-        "naive" => CompileOptions::naive(),
-        "plim21" => CompileOptions::plim_compiler(),
-        "min-write" => CompileOptions::min_write(),
-        "ea-rewriting" => CompileOptions::endurance_rewriting(),
-        "endurance-aware" => CompileOptions::endurance_aware(),
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown policy `{other}` (naive | plim21 | min-write | ea-rewriting | endurance-aware)"
-            )));
-        }
-    };
+    let mut policy = parse_policy(&policy_name)?;
     if let Some(w) = max_writes {
         if w < 3 {
             return Err(CliError::usage("--max-writes must be at least 3"));
@@ -191,34 +213,42 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
     })
 }
 
-fn compile_report(mig: &Mig, opts: &CommonOpts, source: &str) -> Result<String, CliError> {
-    let result = compile(mig, &opts.policy);
-    let stats = result.write_stats();
-    let text = asm::to_text(&result.program);
+/// Maps a `--policy` value onto its [`CompileOptions`] preset.
+fn parse_policy(name: &str) -> Result<CompileOptions, CliError> {
+    CompileOptions::preset(name).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown policy `{name}` (naive | plim21 | min-write | ea-rewriting | endurance-aware)"
+        ))
+    })
+}
+
+/// Renders the `compile`/`bench` output from a service [`Report`]: the
+/// circuit interface, the headline metrics, then the program listing
+/// (inline or written to `output`).
+fn render_compiled(report: &Report, output: Option<&str>) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{source}: {} PI / {} PO / {} gates",
-        mig.num_inputs(),
-        mig.num_outputs(),
-        mig.num_gates()
+        "{}: {} PI / {} PO / {} gates",
+        report.label, report.circuit.inputs, report.circuit.outputs, report.circuit.gates
     );
     let _ = writeln!(
         out,
         "compiled: {} instructions, {} cells, writes min={} max={} stdev={:.2}",
-        result.num_instructions(),
-        result.num_rrams(),
-        stats.min,
-        stats.max,
-        stats.stdev
+        report.instructions,
+        report.rrams,
+        report.writes.min,
+        report.writes.max,
+        report.writes.stdev
     );
-    match &opts.output {
+    let text = report.program.as_deref().expect("listing always requested");
+    match output {
         Some(path) => {
-            fs::write(path, &text)
+            fs::write(path, text)
                 .map_err(|e| CliError::run(format!("cannot write `{path}`: {e}")))?;
             let _ = writeln!(out, "wrote {path}");
         }
-        None => out.push_str(&text),
+        None => out.push_str(text),
     }
     Ok(out)
 }
@@ -228,10 +258,11 @@ fn cmd_compile(args: &[String]) -> Result<String, CliError> {
     let [path] = opts.positional.as_slice() else {
         return Err(CliError::usage("compile needs exactly one BLIF file"));
     };
-    let text = fs::read_to_string(path)
-        .map_err(|e| CliError::run(format!("cannot read `{path}`: {e}")))?;
-    let mig = blif::parse_blif(&text).map_err(|e| CliError::run(format!("{path}: {e}")))?;
-    compile_report(&mig, &opts, path)
+    let spec = JobSpec::blif_path(path)
+        .with_options(opts.policy)
+        .with_program_text(true);
+    let report = Service::new().run(&spec)?;
+    render_compiled(&report, opts.output.as_deref())
 }
 
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
@@ -241,17 +272,222 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
             "bench needs exactly one benchmark name (see `rlim list`)",
         ));
     };
-    let benchmark: Benchmark = name
-        .parse()
-        .map_err(|e| CliError::usage(format!("{e}; see `rlim list`")))?;
-    let mig = benchmark.build();
-    compile_report(&mig, &opts, name)
+    let spec = JobSpec::named_benchmark(name)
+        .map_err(|e| CliError::usage(format!("{e}; see `rlim list`")))?
+        .with_options(opts.policy)
+        .with_program_text(true);
+    let report = Service::new().run(&spec)?;
+    render_compiled(&report, opts.output.as_deref())
+}
+
+/// Parses `rlim report` arguments (everything after the subcommand,
+/// `--json` excluded) into a [`JobSpec`].
+///
+/// The positional argument is resolved as a benchmark name first and a
+/// BLIF path otherwise. The compiler-configuration flags
+/// (`--policy/--effort/--max-writes/--peephole`) are the shared
+/// vocabulary of [`parse_common`], so `report` can never drift from
+/// `compile`/`bench`; `--backend` selects the flow, `--program`
+/// includes the listing, and `--arrays` sets the lifetime projection's
+/// fleet size. [`report_argv`] is the exact inverse on canonical specs.
+///
+/// # Errors
+///
+/// Returns a usage [`CliError`] for unknown flags or malformed values.
+pub fn parse_report_spec(args: &[String]) -> Result<JobSpec, CliError> {
+    // Split off the report-only flags, hand the rest to the shared
+    // compile-options parser.
+    let mut backend = BackendKind::Rm3;
+    let mut program = false;
+    let mut arrays: Option<usize> = None;
+    let mut rest: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--backend" => {
+                let v = value_of("--backend")?;
+                backend = v.parse().map_err(CliError::usage)?;
+            }
+            "--arrays" => {
+                let v = value_of("--arrays")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad --arrays `{v}`")))?;
+                if n == 0 {
+                    return Err(CliError::usage("--arrays must be positive"));
+                }
+                arrays = Some(n);
+            }
+            "--program" => program = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    let opts = parse_common(&rest)?;
+    if opts.output.is_some() || opts.inputs.is_some() || opts.wear_map {
+        return Err(CliError::usage(
+            "report does not accept -o, --inputs or --wear-map",
+        ));
+    }
+    let [source] = opts.positional.as_slice() else {
+        return Err(CliError::usage(
+            "report needs exactly one benchmark name or BLIF path",
+        ));
+    };
+
+    let mut spec = JobSpec::named_benchmark(source).unwrap_or_else(|_| JobSpec::blif_path(source));
+    spec = spec
+        .with_backend(backend)
+        .with_options(opts.policy)
+        .with_program_text(program);
+    if let Some(n) = arrays {
+        spec = spec.with_projection_arrays(n);
+    }
+    Ok(spec)
+}
+
+/// The canonical `rlim` argv for a report spec — the inverse of
+/// [`parse_report_spec`]: `parse_report_spec(&report_argv(spec)?[1..])`
+/// reconstructs `spec` exactly. Defaults are omitted, so the argv is
+/// minimal.
+///
+/// # Errors
+///
+/// Returns a usage [`CliError`] for specs the command line cannot
+/// express: in-memory MIG sources, fleet riders, and option sets that
+/// match no named policy preset.
+pub fn report_argv(spec: &JobSpec) -> Result<Vec<String>, CliError> {
+    let mut argv = vec!["report".to_string()];
+    match spec.source() {
+        Source::Benchmark(b) => argv.push(b.name().to_string()),
+        Source::BlifPath(p) => argv.push(p.display().to_string()),
+        Source::Mig(_) => {
+            return Err(CliError::usage(
+                "in-memory MIG sources have no command-line form",
+            ));
+        }
+    }
+    if spec.fleet().is_some() {
+        return Err(CliError::usage(
+            "fleet riders have no `report` command-line form (use `rlim fleet`)",
+        ));
+    }
+    let options = spec.options();
+    let preset_name = options
+        .preset_name()
+        .ok_or_else(|| CliError::usage("options match no named policy preset"))?;
+    let preset = CompileOptions::preset(preset_name).expect("canonical name resolves");
+    if preset_name != "endurance-aware" {
+        argv.push("--policy".to_string());
+        argv.push(preset_name.to_string());
+    }
+    if options.effort != preset.effort {
+        argv.push("--effort".to_string());
+        argv.push(options.effort.to_string());
+    }
+    if let Some(w) = options.max_writes {
+        argv.push("--max-writes".to_string());
+        argv.push(w.to_string());
+    }
+    if options.peephole {
+        argv.push("--peephole".to_string());
+    }
+    if spec.backend() != BackendKind::Rm3 {
+        argv.push("--backend".to_string());
+        argv.push(spec.backend().name().to_string());
+    }
+    if spec.includes_program() {
+        argv.push("--program".to_string());
+    }
+    if spec.projection_arrays() != rlim_service::DEFAULT_PROJECTION_ARRAYS {
+        argv.push("--arrays".to_string());
+        argv.push(spec.projection_arrays().to_string());
+    }
+    Ok(argv)
+}
+
+/// Renders a report as human-readable text (the `--json` alternative).
+fn render_report_text(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} PI / {} PO / {} gates",
+        report.label, report.circuit.inputs, report.circuit.outputs, report.circuit.gates
+    );
+    let policy = report.options.preset_name().unwrap_or("custom");
+    let _ = writeln!(
+        out,
+        "backend {}, policy {}, effort {}{}{}",
+        report.backend,
+        policy,
+        report.options.effort,
+        match report.options.max_writes {
+            Some(w) => format!(", max-writes {w}"),
+            None => String::new(),
+        },
+        if report.options.peephole {
+            ", peephole"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(
+        out,
+        "compiled: {} instructions, {} cells, writes min={} max={} stdev={:.2}",
+        report.instructions,
+        report.rrams,
+        report.writes.min,
+        report.writes.max,
+        report.writes.stdev
+    );
+    let _ = writeln!(
+        out,
+        "lifetime: {} runs on one array, {} on a fleet of {} (endurance {} writes/cell)",
+        report.lifetime.single_array_runs,
+        report.lifetime.fleet_runs,
+        report.lifetime.fleet_arrays,
+        report.lifetime.endurance
+    );
+    if let Some(program) = &report.program {
+        out.push_str(program);
+    }
+    out
+}
+
+/// `rlim report`: one job through the service, rendered as text or as
+/// the stable JSON schema.
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    let mut json = false;
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    let spec = parse_report_spec(&rest)?;
+    let report = Service::new().run(&spec)?;
+    if json {
+        Ok(report.to_json_string())
+    } else {
+        Ok(render_report_text(&report))
+    }
 }
 
 /// `rlim fleet`: run an alternating heavy/light workload of a built-in
 /// benchmark on a multi-crossbar fleet and report per-array wear.
 fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
-    use rlim_plim::{DispatchPolicy, Fleet, FleetConfig, Job};
+    use rlim_plim::DispatchPolicy;
 
     let mut arrays = 4usize;
     let mut jobs = 24usize;
@@ -308,61 +544,55 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
             "fleet needs exactly one benchmark name (see `rlim list`)",
         ));
     };
-    let benchmark: Benchmark = name
-        .parse()
-        .map_err(|e| CliError::usage(format!("{e}; see `rlim list`")))?;
-
-    let mig = benchmark.build();
-    let heavy = Rm3Backend.compile(&mig, &CompileOptions::naive());
-    let light = Rm3Backend.compile(&mig, &CompileOptions::endurance_aware().with_effort(effort));
-    let inputs = vec![false; mig.num_inputs()];
-    let job_list = Job::alternating(&heavy, &light, &inputs, jobs);
-
-    let mut config = FleetConfig::new(arrays).with_policy(dispatch);
+    let mut fleet_spec = FleetSpec::new(arrays)
+        .with_jobs(jobs)
+        .with_dispatch(dispatch);
     if let Some(w) = write_budget {
-        config = config.with_write_budget(w);
+        fleet_spec = fleet_spec.with_write_budget(w);
     }
-    let mut fleet = Fleet::new(config);
-    let placed = match fleet.run_batch(&job_list, threads) {
-        Ok(outputs) => outputs.len(),
-        Err(e) => {
-            return Err(CliError::run(format!(
+    let spec = JobSpec::named_benchmark(name)
+        .map_err(|e| CliError::usage(format!("{e}; see `rlim list`")))?
+        .with_options(CompileOptions::endurance_aware().with_effort(effort))
+        .with_fleet(fleet_spec);
+    let report = Service::new()
+        .with_threads(threads)
+        .run(&spec)
+        .map_err(|e| match e {
+            Error::Fleet(e) => CliError::run(format!(
                 "fleet workload failed: {e} (try more arrays or a larger --write-budget)"
-            )));
-        }
-    };
+            )),
+            other => CliError::from(other),
+        })?;
+    let fleet = report.fleet.as_ref().expect("fleet rider requested");
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{name}: fleet of {arrays} arrays, {} dispatch, {placed} jobs (alternating naive / endurance-aware)",
-        dispatch.label()
+        "{name}: fleet of {arrays} arrays, {} dispatch, {} jobs (alternating naive / endurance-aware)",
+        fleet.dispatch, fleet.jobs
     );
     let _ = writeln!(
         out,
         "job mix: naive #I={}, endurance-aware #I={}",
-        heavy.num_instructions(),
-        light.num_instructions()
+        fleet.heavy_instructions, fleet.light_instructions
     );
-    for i in 0..fleet.num_arrays() {
+    for (i, array) in fleet.per_array.iter().enumerate() {
         let _ = writeln!(
             out,
             "array {i}: {} jobs, {} writes{}",
-            fleet.jobs_on(i),
-            fleet.total_writes(i),
-            if fleet.is_retired(i) { ", retired" } else { "" }
+            array.jobs,
+            array.writes,
+            if array.retired { ", retired" } else { "" }
         );
     }
-    let stats = fleet.stats();
-    let _ = writeln!(out, "fleet: {}", stats.wear);
+    let _ = writeln!(out, "fleet: {}", fleet.wear);
     if write_budget.is_some() {
-        let cost = heavy.total_writes().max(light.total_writes());
         let _ = writeln!(
             out,
             "budget: {} arrays retired, capacity for {} more heavy jobs (first retirement within {})",
-            stats.retired,
-            fleet.remaining_jobs(cost).expect("budget configured"),
-            fleet.first_retirement_horizon(cost).expect("budget configured"),
+            fleet.retired,
+            fleet.remaining_jobs.expect("budget configured"),
+            fleet.first_retirement_horizon.expect("budget configured"),
         );
     }
     Ok(out)
@@ -374,7 +604,7 @@ fn load_program(path: &str) -> Result<Program, CliError> {
     let program = asm::parse_text(&text).map_err(|e| CliError::run(format!("{path}: {e}")))?;
     program
         .validate()
-        .map_err(|e| CliError::run(format!("{path}: invalid program: {e}")))?;
+        .map_err(|e| CliError::run(format!("{path}: {}", Error::from(e))))?;
     Ok(program)
 }
 
@@ -655,5 +885,88 @@ mod tests {
     fn missing_file_is_an_operational_error() {
         let err = run_str(&["stats", "/nonexistent/x.plim"]).unwrap_err();
         assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let text = run_str(&["report", "int2float", "--policy", "naive"]).unwrap();
+        assert!(text.contains("11 PI / 7 PO"), "{text}");
+        assert!(text.contains("policy naive"), "{text}");
+        assert!(text.contains("lifetime:"), "{text}");
+
+        let json = run_str(&["report", "int2float", "--policy", "naive", "--json"]).unwrap();
+        assert!(json.starts_with("{\n  \"schema\": 1,"), "{json}");
+        assert!(json.contains("\"label\": \"int2float\""), "{json}");
+        assert!(json.contains("\"preset\": \"naive\""), "{json}");
+        assert!(json.ends_with("}\n"), "trailing newline expected");
+    }
+
+    #[test]
+    fn report_accepts_blif_paths_and_backends() {
+        let blif_path = write_temp("rep.blif", ".inputs a b\n.outputs f\n.names a b f\n11 1\n");
+        let out = run_str(&[
+            "report",
+            &blif_path,
+            "--policy",
+            "naive",
+            "--backend",
+            "imp",
+        ])
+        .unwrap();
+        assert!(out.contains("backend imp"), "{out}");
+        remove_temp(&blif_path);
+    }
+
+    #[test]
+    fn report_rejects_bad_flags() {
+        assert_eq!(run_str(&["report"]).unwrap_err().code, 2);
+        assert_eq!(
+            run_str(&["report", "div", "--backend", "riscv"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_str(&["report", "div", "--arrays", "0"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        // An unknown benchmark falls back to a BLIF path, which is an
+        // operational (file) error, not a usage one.
+        assert_eq!(run_str(&["report", "nonesuch"]).unwrap_err().code, 1);
+    }
+
+    #[test]
+    fn report_argv_is_the_parse_inverse() {
+        let spec = parse_report_spec(&[
+            "div".to_string(),
+            "--policy".to_string(),
+            "min-write".to_string(),
+            "--effort".to_string(),
+            "3".to_string(),
+            "--peephole".to_string(),
+            "--program".to_string(),
+        ])
+        .unwrap();
+        let argv = report_argv(&spec).unwrap();
+        assert_eq!(argv[0], "report");
+        let back = parse_report_spec(&argv[1..]).unwrap();
+        assert_eq!(back, spec);
+        // Defaults produce the minimal argv.
+        let plain = parse_report_spec(&["div".to_string()]).unwrap();
+        assert_eq!(report_argv(&plain).unwrap(), vec!["report", "div"]);
+    }
+
+    #[test]
+    fn error_bridges_preserve_the_exit_code_split() {
+        let usage: CliError = Error::InvalidRequest("bad".into()).into();
+        assert_eq!(usage.code, 2);
+        let run: CliError = Error::Run("boom".into()).into();
+        assert_eq!(run.code, 1);
+        let back: Error = CliError::usage("x").into();
+        assert!(back.is_usage());
+        let back: Error = CliError::run("y").into();
+        assert!(!back.is_usage());
     }
 }

@@ -153,6 +153,59 @@ impl CompileOptions {
         self.peephole = peephole;
         self
     }
+
+    /// The canonical preset names, in the paper's Table I column order.
+    /// These are the strings accepted by [`CompileOptions::preset`] and
+    /// produced by [`CompileOptions::preset_name`], and the vocabulary the
+    /// CLI's `--policy` flag speaks.
+    pub fn preset_names() -> &'static [&'static str] {
+        &[
+            "naive",
+            "plim21",
+            "min-write",
+            "ea-rewriting",
+            "endurance-aware",
+        ]
+    }
+
+    /// Looks up a preset by its canonical name (see
+    /// [`CompileOptions::preset_names`]); `None` for unknown names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlim_compiler::CompileOptions;
+    ///
+    /// assert_eq!(
+    ///     CompileOptions::preset("endurance-aware"),
+    ///     Some(CompileOptions::endurance_aware())
+    /// );
+    /// assert_eq!(CompileOptions::preset("yolo"), None);
+    /// ```
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "naive" => Some(CompileOptions::naive()),
+            "plim21" => Some(CompileOptions::plim_compiler()),
+            "min-write" => Some(CompileOptions::min_write()),
+            "ea-rewriting" => Some(CompileOptions::endurance_rewriting()),
+            "endurance-aware" => Some(CompileOptions::endurance_aware()),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of the preset this configuration is based on,
+    /// judged by the technique triple (rewriting algorithm, selection,
+    /// allocation) — the knobs that define the paper's columns. Effort,
+    /// write budget and the peephole pass are per-run modifiers and do not
+    /// affect the answer. Returns `None` for hand-rolled combinations that
+    /// match no column.
+    pub fn preset_name(&self) -> Option<&'static str> {
+        Self::preset_names().iter().copied().find(|name| {
+            let p = Self::preset(name).expect("every canonical name resolves");
+            (self.rewriting, self.selection, self.allocation)
+                == (p.rewriting, p.selection, p.allocation)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +264,30 @@ mod tests {
     fn with_effort() {
         let o = CompileOptions::plim_compiler().with_effort(2);
         assert_eq!(o.effort, 2);
+    }
+
+    #[test]
+    fn preset_roundtrips_through_its_name() {
+        for &name in CompileOptions::preset_names() {
+            let preset = CompileOptions::preset(name).unwrap();
+            assert_eq!(preset.preset_name(), Some(name), "{name}");
+            // Per-run modifiers keep the preset identity.
+            assert_eq!(preset.with_effort(9).preset_name(), Some(name));
+            assert_eq!(preset.with_peephole(true).preset_name(), Some(name));
+            assert_eq!(preset.with_max_writes(20).preset_name(), Some(name));
+        }
+        assert_eq!(CompileOptions::preset("nonesuch"), None);
+    }
+
+    #[test]
+    fn hand_rolled_options_have_no_preset_name() {
+        // The sweep's effort-0 point: endurance-aware techniques without
+        // rewriting matches no Table I column.
+        let o = CompileOptions {
+            rewriting: None,
+            ..CompileOptions::endurance_aware()
+        };
+        assert_eq!(o.preset_name(), None);
     }
 
     #[test]

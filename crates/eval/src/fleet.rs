@@ -1,6 +1,7 @@
 //! Fleet-evaluation machinery behind the `fleet` binary: seeded
 //! mixed-preset workloads, the fleet-size × dispatch-policy balance
-//! matrix, and the endurance-preset lifetime table.
+//! matrix, and the endurance-preset lifetime table — all expressed as
+//! [`Service`] job batches.
 //!
 //! A PLiM program's write cost is static, so a fleet serving *identical*
 //! jobs is balanced by any policy; dispatch policies only separate on
@@ -8,44 +9,30 @@
 //! interleaves the same circuit compiled under two cost-distinct presets
 //! — heavy (naive) and light (endurance-aware) jobs alternating, as when
 //! unoptimised legacy traffic shares a fleet with endurance-aware
-//! traffic. Periodic traffic is the canonical adversary for oblivious
-//! striping: round-robin pins every heavy job onto the same subset of
-//! arrays whenever the traffic period divides the fleet size, while
-//! least-worn-first (wear feedback) is immune to the correlation — the
-//! fleet-level analogue of the paper's observation that unbalanced
-//! traffic, not total traffic, kills arrays.
+//! traffic. That alternation is the service's standard fleet rider
+//! ([`FleetSpec`]); each cell of the balance matrix is one [`JobSpec`]
+//! with a seeded rider, and the whole matrix is one
+//! [`Service::run_batch`] call. Periodic traffic is the canonical
+//! adversary for oblivious striping: round-robin pins every heavy job
+//! onto the same subset of arrays whenever the traffic period divides
+//! the fleet size, while least-worn-first (wear feedback) is immune to
+//! the correlation — the fleet-level analogue of the paper's observation
+//! that unbalanced traffic, not total traffic, kills arrays.
 //!
-//! All rows are deterministic: workloads are seeded per benchmark, and
-//! [`Fleet::run_batch`] plans dispatch before executing, so a forced
-//! single-thread run renders byte-identical tables to a parallel one
-//! (asserted by the binary on every invocation).
-
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+//! All rows are deterministic: workloads are seeded per benchmark, the
+//! fleet plans dispatch before executing, and reports come back in spec
+//! order, so a forced single-thread run renders byte-identical tables to
+//! a parallel one (asserted by the binary on every invocation).
 
 use rlim_benchmarks::Benchmark;
-use rlim_compiler::{Backend, Rm3Backend};
-use rlim_plim::{DispatchPolicy, Fleet, FleetConfig, Job, Program};
-use rlim_rram::lifetime::{
-    executions_until_failure, fleet_executions_until_exhaustion, ENDURANCE_HFOX,
-};
+use rlim_plim::DispatchPolicy;
+use rlim_service::{FleetSpec, JobSpec, Service};
 
-use crate::{fmt_pct, fmt_stdev, improvement, Column, Measurement, RunPlan, TextTable};
+use crate::{fmt_pct, fmt_stdev, improvement, Column, RunPlan, TextTable};
 
 /// Presets reported by the lifetime table, chosen for their distinct
 /// write costs (naive ≫ min-write > endurance-aware on most circuits).
 pub const MIX: [Column; 3] = [Column::Naive, Column::MinWrite, Column::EnduranceAware];
-
-/// The two presets the balance workload alternates: heavy (naive) and
-/// light (endurance-aware). [`HEAVY`] / [`LIGHT`] index into the
-/// workload's `programs`.
-pub const BALANCE_MIX: [Column; 2] = [Column::Naive, Column::EnduranceAware];
-
-/// Index into [`BALANCE_MIX`] of the heavy preset.
-pub const HEAVY: usize = 0;
-
-/// Index into [`BALANCE_MIX`] of the light preset.
-pub const LIGHT: usize = 1;
 
 /// Dispatch policies compared by the balance table.
 pub const POLICIES: [DispatchPolicy; 2] = [DispatchPolicy::RoundRobin, DispatchPolicy::LeastWorn];
@@ -60,87 +47,53 @@ pub const DEFAULT_ARRAYS: [usize; 3] = [2, 4, 8];
 /// the committed table so reruns reproduce it).
 pub const DEFAULT_SEED: u64 = 0xDA7E_2017;
 
-/// A seeded stream of mixed-preset jobs for one benchmark.
-pub struct FleetWorkload {
-    /// The benchmark the workload exercises.
-    pub benchmark: Benchmark,
-    /// One compiled program per [`BALANCE_MIX`] preset, produced through
-    /// the RM3 [`Backend`].
-    pub programs: Vec<Program>,
-    /// Per-job index into `programs`.
-    picks: Vec<usize>,
-    /// Per-job primary-input vector.
-    inputs: Vec<Vec<bool>>,
+/// The per-benchmark workload seed: the table seed, decorrelated across
+/// benchmark indices.
+pub fn workload_seed(base: u64, benchmark_index: usize) -> u64 {
+    base.wrapping_add(benchmark_index as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-impl FleetWorkload {
-    /// Compiles `benchmark` under the [`BALANCE_MIX`] presets and builds
-    /// the alternating heavy/light job stream with seeded random inputs.
-    pub fn new(benchmark: Benchmark, effort: usize, jobs: usize, seed: u64) -> Self {
-        let mig = benchmark.build();
-        let programs: Vec<Program> = BALANCE_MIX
-            .iter()
-            .map(|c| Rm3Backend.compile(&mig, &c.options(effort)))
-            .collect();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let picks: Vec<usize> = (0..jobs)
-            .map(|i| if i % 2 == 0 { HEAVY } else { LIGHT })
-            .collect();
-        let inputs: Vec<Vec<bool>> = (0..jobs)
-            .map(|_| (0..mig.num_inputs()).map(|_| rng.gen()).collect())
-            .collect();
-        FleetWorkload {
-            benchmark,
-            programs,
-            picks,
-            inputs,
-        }
-    }
-
-    /// The job stream, borrowing the compiled programs.
-    pub fn jobs(&self) -> Vec<Job<'_>> {
-        self.picks
-            .iter()
-            .zip(&self.inputs)
-            .map(|(&p, inputs)| Job::new(&self.programs[p], inputs))
-            .collect()
-    }
-}
-
-/// Per-array balance of one (fleet size, policy) cell: the maximum and
-/// standard deviation of total writes per array after the workload ran.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct BalanceCell {
-    /// Hottest array's total writes.
-    pub max: u64,
-    /// Standard deviation of per-array totals.
-    pub stdev: f64,
-}
-
-/// Runs `workload` on a fresh fleet of `arrays` crossbars under `policy`
-/// and reports the per-array balance. Panics if the fleet rejects the
-/// workload (no budgets are configured here, so it never does).
-pub fn run_balance(
-    workload: &FleetWorkload,
+/// The balance-matrix cell spec: `benchmark` compiled heavy (naive) and
+/// light (endurance-aware at `effort`), alternating over `jobs` seeded
+/// random-input executions on `arrays` crossbars under `policy`.
+pub fn balance_spec(
+    benchmark: Benchmark,
+    effort: usize,
     arrays: usize,
+    jobs: usize,
     policy: DispatchPolicy,
-    threads: usize,
-) -> BalanceCell {
-    let mut fleet = Fleet::new(FleetConfig::new(arrays).with_policy(policy));
-    fleet
-        .run_batch(&workload.jobs(), threads)
-        .expect("unbudgeted fleet cannot be exhausted");
-    let wear = fleet.stats().wear;
-    BalanceCell {
-        max: wear.array_totals.max,
-        stdev: wear.array_totals.stdev,
-    }
+    seed: u64,
+) -> JobSpec {
+    JobSpec::benchmark(benchmark)
+        .with_options(Column::EnduranceAware.options(effort))
+        .with_fleet(
+            FleetSpec::new(arrays)
+                .with_jobs(jobs)
+                .with_dispatch(policy)
+                .with_input_seed(seed),
+        )
 }
 
 /// Renders the fleet-size × dispatch-policy balance table over the plan's
-/// benchmarks. Rows are `benchmark × fleet size`; the `impr.` column is
-/// the least-worn reduction of the hottest array's writes vs round-robin.
+/// benchmarks, as one service batch. Rows are `benchmark × fleet size`;
+/// the `impr.` column is the least-worn reduction of the hottest array's
+/// writes vs round-robin.
 pub fn balance_table(plan: &RunPlan, arrays: &[usize], jobs: usize, seed: u64) -> String {
+    let mut cells: Vec<JobSpec> = Vec::new();
+    for (i, &benchmark) in plan.benchmarks.iter().enumerate() {
+        let seed = workload_seed(seed, i);
+        for &n in arrays {
+            for policy in POLICIES {
+                cells.push(balance_spec(benchmark, plan.effort, n, jobs, policy, seed));
+            }
+        }
+    }
+    let reports = Service::new()
+        .with_threads(plan.threads)
+        .run_batch(&cells)
+        .expect("unbudgeted fleets cannot be exhausted");
+
     let mut table = TextTable::new([
         "benchmark",
         "arrays",
@@ -151,26 +104,24 @@ pub fn balance_table(plan: &RunPlan, arrays: &[usize], jobs: usize, seed: u64) -
         "lw stdev",
         "impr.",
     ]);
-    for (i, &benchmark) in plan.benchmarks.iter().enumerate() {
-        let workload = FleetWorkload::new(
-            benchmark,
-            plan.effort,
-            jobs,
-            seed.wrapping_add(i as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+    let mut rows = reports.iter();
+    for &benchmark in &plan.benchmarks {
         for &n in arrays {
-            let rr = run_balance(&workload, n, DispatchPolicy::RoundRobin, plan.threads);
-            let lw = run_balance(&workload, n, DispatchPolicy::LeastWorn, plan.threads);
+            let rr = rows.next().expect("one report per cell").fleet.as_ref();
+            let lw = rows.next().expect("one report per cell").fleet.as_ref();
+            let (rr, lw) = (rr.expect("fleet rider"), lw.expect("fleet rider"));
             table.row([
                 benchmark.name().to_string(),
                 n.to_string(),
                 jobs.to_string(),
-                rr.max.to_string(),
-                fmt_stdev(rr.stdev),
-                lw.max.to_string(),
-                fmt_stdev(lw.stdev),
-                fmt_pct(improvement(rr.max as f64, lw.max as f64)),
+                rr.wear.array_totals.max.to_string(),
+                fmt_stdev(rr.wear.array_totals.stdev),
+                lw.wear.array_totals.max.to_string(),
+                fmt_stdev(lw.wear.array_totals.stdev),
+                fmt_pct(improvement(
+                    rr.wear.array_totals.max as f64,
+                    lw.wear.array_totals.max as f64,
+                )),
             ]);
         }
     }
@@ -179,8 +130,26 @@ pub fn balance_table(plan: &RunPlan, arrays: &[usize], jobs: usize, seed: u64) -
 
 /// Renders the endurance-preset lifetime table: per benchmark × preset,
 /// the program's write cost and peak, and how many executions one array
-/// and a fleet of `fleet_arrays` survive at the HfOx device endurance.
+/// and a fleet of `fleet_arrays` survive at the HfOx device endurance —
+/// straight off each report's lifetime projection.
 pub fn lifetime_table(plan: &RunPlan, fleet_arrays: usize) -> String {
+    let mut cells: Vec<(Benchmark, Column)> = Vec::new();
+    for &benchmark in &plan.benchmarks {
+        cells.extend(MIX.map(|preset| (benchmark, preset)));
+    }
+    let specs: Vec<JobSpec> = cells
+        .iter()
+        .map(|&(b, preset)| {
+            JobSpec::benchmark(b)
+                .with_options(preset.options(plan.effort))
+                .with_projection_arrays(fleet_arrays)
+        })
+        .collect();
+    let reports = Service::new()
+        .with_threads(plan.threads)
+        .run_batch(&specs)
+        .expect("benchmark compilations cannot fail");
+
     let mut table = TextTable::new(vec![
         "benchmark".to_string(),
         "preset".to_string(),
@@ -189,25 +158,15 @@ pub fn lifetime_table(plan: &RunPlan, fleet_arrays: usize) -> String {
         "runs (1 array)".to_string(),
         format!("runs (fleet of {fleet_arrays})"),
     ]);
-    for &benchmark in &plan.benchmarks {
-        let mig = benchmark.build();
-        for preset in MIX {
-            let m = Measurement::of(&mig, &preset.options(plan.effort));
-            let peak = m.stats.max;
-            let single = executions_until_failure([peak], ENDURANCE_HFOX);
-            let fleet = fleet_executions_until_exhaustion(
-                std::iter::repeat_n(peak, fleet_arrays),
-                ENDURANCE_HFOX,
-            );
-            table.row([
-                benchmark.name().to_string(),
-                preset.label(),
-                m.instructions.to_string(),
-                peak.to_string(),
-                single.to_string(),
-                fleet.to_string(),
-            ]);
-        }
+    for ((benchmark, preset), report) in cells.iter().zip(&reports) {
+        table.row([
+            benchmark.name().to_string(),
+            preset.label(),
+            report.instructions.to_string(),
+            report.writes.max.to_string(),
+            report.lifetime.single_array_runs.to_string(),
+            report.lifetime.fleet_runs.to_string(),
+        ]);
     }
     table.render()
 }
@@ -235,16 +194,19 @@ mod tests {
 
     #[test]
     fn least_worn_beats_round_robin_on_periodic_traffic() {
+        let service = Service::new();
         for benchmark in [Benchmark::Ctrl, Benchmark::Router, Benchmark::Cavlc] {
-            let w = FleetWorkload::new(benchmark, 2, 24, DEFAULT_SEED);
             for arrays in [2usize, 4] {
-                let rr = run_balance(&w, arrays, DispatchPolicy::RoundRobin, 1);
-                let lw = run_balance(&w, arrays, DispatchPolicy::LeastWorn, 1);
+                let cell = |policy| {
+                    let spec = balance_spec(benchmark, 2, arrays, 24, policy, DEFAULT_SEED);
+                    let report = service.run(&spec).unwrap();
+                    report.fleet.unwrap().wear.array_totals.max
+                };
+                let rr = cell(DispatchPolicy::RoundRobin);
+                let lw = cell(DispatchPolicy::LeastWorn);
                 assert!(
-                    lw.max < rr.max,
-                    "{benchmark}/{arrays}: least-worn max {} !< round-robin max {}",
-                    lw.max,
-                    rr.max
+                    lw < rr,
+                    "{benchmark}/{arrays}: least-worn max {lw} !< round-robin max {rr}"
                 );
             }
         }
@@ -252,17 +214,20 @@ mod tests {
 
     #[test]
     fn workload_is_seeded_and_alternating() {
-        let a = FleetWorkload::new(Benchmark::Ctrl, 1, 16, 7);
-        let b = FleetWorkload::new(Benchmark::Ctrl, 1, 16, 7);
-        assert_eq!(a.picks, b.picks);
-        assert_eq!(a.inputs, b.inputs);
-        assert_eq!(a.programs.len(), BALANCE_MIX.len());
-        assert_eq!(&a.picks[..4], &[HEAVY, LIGHT, HEAVY, LIGHT]);
+        let spec = balance_spec(Benchmark::Ctrl, 1, 2, 16, DispatchPolicy::LeastWorn, 7);
+        let a = Service::new().run(&spec).unwrap();
+        let b = Service::new().run(&spec).unwrap();
+        // Same seed, same wear — the serialized report (which excludes
+        // wall-clock timings) is fully reproducible.
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        let fleet = a.fleet.expect("fleet rider");
         // The two presets must actually differ in cost, otherwise the
         // policies cannot separate.
-        assert_ne!(
-            a.programs[HEAVY].num_instructions(),
-            a.programs[LIGHT].num_instructions()
+        assert_ne!(fleet.heavy_instructions, fleet.light_instructions);
+        // Alternating heavy-first over 16 jobs: 8 heavy + 8 light.
+        assert_eq!(
+            fleet.stream_writes,
+            8 * (fleet.heavy_instructions + fleet.light_instructions) as u64
         );
     }
 

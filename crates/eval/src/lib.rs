@@ -2,8 +2,9 @@
 //! paper's tables and figures.
 //!
 //! Each binary (`table1`, `table2`, `table3`, `figures`, `lifetime`,
-//! `sizes`) uses this library to build benchmarks, compile them under the
-//! paper's configuration columns, and print fixed-width text tables that
+//! `sizes`) uses this library to describe benchmark × configuration
+//! matrices as [`rlim_service::JobSpec`] batches, submit them to the
+//! [`rlim_service::Service`], and print fixed-width text tables that
 //! mirror the paper's layout.
 //!
 //! Binaries accept a common command line:
@@ -20,6 +21,7 @@ use rlim_benchmarks::Benchmark;
 use rlim_compiler::{Backend, CompileOptions, Rm3Backend};
 use rlim_mig::Mig;
 use rlim_rram::WriteStats;
+use rlim_service::{JobSpec, Service};
 
 pub mod fleet;
 pub mod sweep;
@@ -94,9 +96,10 @@ impl RunPlan {
     }
 }
 
-// The scoped worker pool behind every matrix in this crate — one policy,
-// defined once in the testkit and shared with the differential oracle.
-pub use rlim_testkit::parallel::{parallel_map, resolve_threads};
+// The benchmark × configuration matrices previously distributed
+// themselves over the testkit's worker pool; the service owns that now.
+// The raw pool stays available as `rlim_testkit::parallel` for the
+// oracle and any bespoke experiment.
 
 /// One measured compilation: the paper's per-cell metrics.
 #[derive(Debug, Clone)]
@@ -128,6 +131,16 @@ impl Measurement {
             rrams: program.num_rrams(),
             stats: program.write_stats(),
             seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The same metrics lifted out of a service [`rlim_service::Report`].
+    pub fn from_report(report: &rlim_service::Report) -> Self {
+        Measurement {
+            instructions: report.instructions,
+            rrams: report.rrams,
+            stats: report.writes,
+            seconds: report.seconds,
         }
     }
 
@@ -218,33 +231,33 @@ impl BenchmarkReport {
     }
 }
 
-/// Runs `columns` over every benchmark in the plan, distributing the full
-/// **benchmark × column matrix** across scoped worker threads (graphs are
-/// built first, in parallel across benchmarks). Reports come back in plan
-/// order with columns in the requested order, independent of scheduling;
-/// per-cell compile timings are still measured per `compile` call.
-/// Progress lines go to stderr.
+/// Runs `columns` over every benchmark in the plan as one
+/// [`Service::run_batch`] call: the full **benchmark × column matrix**
+/// becomes a [`JobSpec`] batch distributed across the service's scoped
+/// worker pool (each distinct benchmark graph is built once). Reports
+/// come back in plan order with columns in the requested order,
+/// independent of scheduling; per-cell compile timings are still
+/// measured per compile. Progress lines go to stderr.
 pub fn run_suite(plan: &RunPlan, columns: &[Column]) -> Vec<BenchmarkReport> {
-    let migs: Vec<Mig> = parallel_map(plan.benchmarks.clone(), plan.threads, |b| {
-        let build_start = Instant::now();
-        let mig = b.build();
-        eprintln!(
-            "[{}] built: {} gates in {:.2}s",
-            b.name(),
-            mig.num_gates(),
-            build_start.elapsed().as_secs_f64()
-        );
-        mig
-    });
-
-    let jobs: Vec<(usize, Column)> = (0..migs.len())
-        .flat_map(|i| columns.iter().map(move |&c| (i, c)))
+    let cells: Vec<(Benchmark, Column)> = plan
+        .benchmarks
+        .iter()
+        .flat_map(|&b| columns.iter().map(move |&c| (b, c)))
         .collect();
-    let cells: Vec<Measurement> = parallel_map(jobs, plan.threads, |(i, col)| {
-        let m = Measurement::of(&migs[i], &col.options(plan.effort));
+    let specs: Vec<JobSpec> = cells
+        .iter()
+        .map(|&(b, c)| JobSpec::benchmark(b).with_options(c.options(plan.effort)))
+        .collect();
+    let reports = Service::new()
+        .with_threads(plan.threads)
+        .run_batch(&specs)
+        .expect("benchmark compilations cannot fail");
+
+    let mut measurements = cells.iter().zip(&reports).map(|(&(b, col), report)| {
+        let m = Measurement::from_report(report);
         eprintln!(
             "[{}] {}: #I={} #R={} stdev={:.2} ({:.2}s)",
-            plan.benchmarks[i].name(),
+            b.name(),
             col.label(),
             m.instructions,
             m.rrams,
@@ -253,31 +266,16 @@ pub fn run_suite(plan: &RunPlan, columns: &[Column]) -> Vec<BenchmarkReport> {
         );
         m
     });
-
-    let mut cells = cells.into_iter();
     plan.benchmarks
         .iter()
         .map(|&benchmark| BenchmarkReport {
             benchmark,
             columns: columns
                 .iter()
-                .map(|&c| (c, cells.next().expect("one cell per matrix entry")))
+                .map(|&c| (c, measurements.next().expect("one cell per matrix entry")))
                 .collect(),
         })
         .collect()
-}
-
-/// Compiles one benchmark under every column, sequentially on the calling
-/// thread.
-pub fn run_benchmark(benchmark: Benchmark, columns: &[Column], effort: usize) -> BenchmarkReport {
-    let mig = benchmark.build();
-    BenchmarkReport {
-        benchmark,
-        columns: columns
-            .iter()
-            .map(|&col| (col, Measurement::of(&mig, &col.options(effort))))
-            .collect(),
-    }
 }
 
 // ---- Text-table rendering ------------------------------------------------

@@ -1,18 +1,19 @@
 //! Parameter-sweep machinery behind the `sweep` binary: the benchmark ×
-//! sweep-point matrix, distributed over scoped worker threads with
-//! deterministic, byte-identical output ordering.
+//! sweep-point matrix as one [`Service::run_batch`] job batch.
 //!
-//! Rows are returned (and printed) in the same nesting order the original
-//! sequential implementation used — effort series grouped by benchmark,
-//! then budget series grouped by benchmark — no matter how many workers
-//! computed them, so a forced single-thread run (`--threads 1` or
-//! `RLIM_THREADS=1`) produces the same CSV byte for byte.
+//! Each sweep point is a [`JobSpec`] over the benchmark; the service
+//! builds every distinct benchmark once, distributes the batch over its
+//! scoped worker pool, and returns reports in spec order — so rows come
+//! back (and print) in the same nesting order the original sequential
+//! implementation used: effort series grouped by benchmark, then budget
+//! series grouped by benchmark. A forced single-thread run (`--threads 1`
+//! or `RLIM_THREADS=1`) produces the same CSV byte for byte.
 
 use rlim_benchmarks::Benchmark;
-use rlim_compiler::{compile, CompileOptions};
-use rlim_mig::Mig;
+use rlim_compiler::CompileOptions;
+use rlim_service::{JobSpec, Report, Service};
 
-use crate::{parallel_map, RunPlan};
+use crate::RunPlan;
 
 /// CSV header of the sweep output.
 pub const CSV_HEADER: &str = "series,benchmark,x,instructions,rrams,max_writes,stdev";
@@ -32,60 +33,77 @@ enum Point {
     Budget(u64),
 }
 
-fn cell(mig: &Mig, benchmark: Benchmark, point: Point, plan_effort: usize) -> String {
-    let (series, x, options) = match point {
-        Point::Effort(0) => (
-            "effort",
-            0u64,
+impl Point {
+    fn series(self) -> &'static str {
+        match self {
+            Point::Effort(_) => "effort",
+            Point::Budget(_) => "budget",
+        }
+    }
+
+    fn x(self) -> u64 {
+        match self {
+            Point::Effort(e) => e as u64,
+            Point::Budget(w) => w,
+        }
+    }
+
+    /// The compiler configuration this point submits.
+    fn options(self, plan_effort: usize) -> CompileOptions {
+        match self {
             // effort 0 = no rewriting at all (the naive graph).
-            CompileOptions {
+            Point::Effort(0) => CompileOptions {
                 rewriting: None,
                 ..CompileOptions::endurance_aware()
             },
-        ),
-        Point::Effort(e) => (
-            "effort",
-            e as u64,
-            CompileOptions::endurance_aware().with_effort(e),
-        ),
-        Point::Budget(w) => (
-            "budget",
-            w,
-            CompileOptions::endurance_aware()
+            Point::Effort(e) => CompileOptions::endurance_aware().with_effort(e),
+            Point::Budget(w) => CompileOptions::endurance_aware()
                 .with_effort(plan_effort)
                 .with_max_writes(w),
-        ),
-    };
-    let r = compile(mig, &options);
-    let s = r.write_stats();
+        }
+    }
+}
+
+fn row(benchmark: Benchmark, point: Point, report: &Report) -> String {
     format!(
-        "{series},{},{x},{},{},{},{:.4}",
+        "{},{},{},{},{},{},{:.4}",
+        point.series(),
         benchmark.name(),
-        r.num_instructions(),
-        r.num_rrams(),
-        s.max,
-        s.stdev
+        point.x(),
+        report.instructions,
+        report.rrams,
+        report.writes.max,
+        report.writes.stdev
     )
 }
 
-/// Computes every sweep row for the plan's benchmarks, distributing the
-/// benchmark × point matrix across `plan.threads` workers. The returned
-/// rows are in deterministic order: the effort series per benchmark, then
-/// the budget series per benchmark.
+/// Computes every sweep row for the plan's benchmarks as one service
+/// batch distributed over `plan.threads` workers. The returned rows are
+/// in deterministic order: the effort series per benchmark, then the
+/// budget series per benchmark.
 pub fn sweep_rows(plan: &RunPlan) -> Vec<String> {
-    let migs: Vec<Mig> = parallel_map(plan.benchmarks.clone(), plan.threads, |b| b.build());
-
-    let mut jobs: Vec<(usize, Point)> = Vec::new();
-    for i in 0..migs.len() {
-        jobs.extend(EFFORTS.map(|e| (i, Point::Effort(e))));
+    let mut cells: Vec<(Benchmark, Point)> = Vec::new();
+    for &b in &plan.benchmarks {
+        cells.extend(EFFORTS.map(|e| (b, Point::Effort(e))));
     }
-    for i in 0..migs.len() {
-        jobs.extend(BUDGETS.iter().map(|&w| (i, Point::Budget(w))));
+    for &b in &plan.benchmarks {
+        cells.extend(BUDGETS.iter().map(|&w| (b, Point::Budget(w))));
     }
 
-    parallel_map(jobs, plan.threads, |(i, point)| {
-        cell(&migs[i], plan.benchmarks[i], point, plan.effort)
-    })
+    let specs: Vec<JobSpec> = cells
+        .iter()
+        .map(|&(b, point)| JobSpec::benchmark(b).with_options(point.options(plan.effort)))
+        .collect();
+    let reports = Service::new()
+        .with_threads(plan.threads)
+        .run_batch(&specs)
+        .expect("benchmark sweeps cannot fail");
+
+    cells
+        .iter()
+        .zip(&reports)
+        .map(|(&(b, point), report)| row(b, point, report))
+        .collect()
 }
 
 #[cfg(test)]

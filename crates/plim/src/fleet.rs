@@ -260,6 +260,20 @@ struct Slot {
     retired: bool,
 }
 
+/// One array's dispatch bookkeeping, as reported by
+/// [`Fleet::array_stats`]: the per-array rows behind the pooled
+/// [`FleetStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayStats {
+    /// Jobs ever dispatched to this array.
+    pub jobs: u64,
+    /// Total writes executed on this array.
+    pub writes: u64,
+    /// Whether the array has been retired (budget spent or endurance
+    /// failure).
+    pub retired: bool,
+}
+
 /// Fleet-level wear summary returned by [`Fleet::stats`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetStats {
@@ -351,6 +365,19 @@ impl Fleet {
     /// Jobs dispatched fleet-wide since construction.
     pub fn jobs_run(&self) -> u64 {
         self.jobs_run
+    }
+
+    /// Per-array dispatch bookkeeping in array order: jobs, total writes
+    /// and retirement, the rows a service report renders per array.
+    pub fn array_stats(&self) -> Vec<ArrayStats> {
+        self.slots
+            .iter()
+            .map(|s| ArrayStats {
+                jobs: s.jobs,
+                writes: s.total,
+                retired: s.retired,
+            })
+            .collect()
     }
 
     /// Fleet-level wear statistics: per-array totals/peaks and the pooled

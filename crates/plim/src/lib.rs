@@ -65,7 +65,7 @@ mod machine;
 mod trace;
 
 pub use controller::{Controller, State};
-pub use fleet::{DispatchPolicy, Fleet, FleetConfig, FleetError, FleetStats, Job};
+pub use fleet::{ArrayStats, DispatchPolicy, Fleet, FleetConfig, FleetError, FleetStats, Job};
 pub use isa::{Instruction, Operand, Program, ProgramError};
 pub use machine::{run_once, Machine};
 pub use trace::{Trace, TraceRecord};

@@ -1,0 +1,160 @@
+//! The one typed error every service consumer sees.
+//!
+//! Before this module existed each entry point invented its own failure
+//! story: the CLI wrapped everything in stringly `CliError::run(...)`,
+//! the eval binaries called `std::process::exit`, and library errors
+//! (`ProgramError`, `ParseBlifError`, `FleetError`) were flattened into
+//! text at the first opportunity. [`Error`] keeps them typed end to end;
+//! the CLI converts at its outermost boundary only.
+
+use std::fmt;
+
+use rlim_isa::ProgramError;
+use rlim_mig::blif::ParseBlifError;
+use rlim_plim::FleetError;
+
+/// Any failure the service (or a thin client built on it) can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A request that can never succeed: unknown names, malformed values,
+    /// contradictory options. Maps to a usage error (exit code 2) in the
+    /// CLI.
+    InvalidRequest(String),
+    /// A benchmark name that is not in the suite.
+    UnknownBenchmark(String),
+    /// Reading or writing a file failed (`std::io::Error` flattened to
+    /// text so the error stays `Clone + PartialEq`).
+    Io {
+        /// The offending path.
+        path: String,
+        /// The I/O error text.
+        message: String,
+    },
+    /// A BLIF netlist failed to parse.
+    Blif {
+        /// The source path (or a synthetic label for in-memory text).
+        path: String,
+        /// The parse failure, with its source line.
+        error: ParseBlifError,
+    },
+    /// A program failed structural validation.
+    Program(ProgramError),
+    /// A fleet workload could not be placed or failed mid-run.
+    Fleet(FleetError),
+    /// Any other operational failure (exit code 1 in the CLI).
+    Run(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidRequest(msg) => write!(f, "{msg}"),
+            Error::UnknownBenchmark(name) => write!(f, "unknown benchmark `{name}`"),
+            Error::Io { path, message } => write!(f, "{path}: {message}"),
+            Error::Blif { path, error } => write!(f, "{path}: {error}"),
+            Error::Program(e) => write!(f, "invalid program: {e}"),
+            Error::Fleet(e) => write!(f, "{e}"),
+            Error::Run(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Blif { error, .. } => Some(error),
+            Error::Program(e) => Some(e),
+            Error::Fleet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for Error {
+    fn from(e: ProgramError) -> Self {
+        Error::Program(e)
+    }
+}
+
+impl From<FleetError> for Error {
+    fn from(e: FleetError) -> Self {
+        Error::Fleet(e)
+    }
+}
+
+impl From<ParseBlifError> for Error {
+    fn from(e: ParseBlifError) -> Self {
+        Error::Blif {
+            path: "<blif>".to_string(),
+            error: e,
+        }
+    }
+}
+
+impl Error {
+    /// Attaches an I/O failure to its path.
+    pub fn io(path: impl Into<String>, e: &std::io::Error) -> Self {
+        Error::Io {
+            path: path.into(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Whether the failure is a usage problem (the request itself is
+    /// wrong) rather than an operational one — the CLI's exit-code split.
+    pub fn is_usage(&self) -> bool {
+        matches!(self, Error::InvalidRequest(_) | Error::UnknownBenchmark(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlim_rram::CellId;
+
+    #[test]
+    fn displays_are_stable() {
+        assert_eq!(
+            Error::UnknownBenchmark("nonesuch".into()).to_string(),
+            "unknown benchmark `nonesuch`"
+        );
+        assert_eq!(
+            Error::Io {
+                path: "x.blif".into(),
+                message: "gone".into()
+            }
+            .to_string(),
+            "x.blif: gone"
+        );
+        let blif = Error::Blif {
+            path: "y.blif".into(),
+            error: ParseBlifError {
+                line: 3,
+                message: "unsupported directive `.latch`".into(),
+            },
+        };
+        assert_eq!(
+            blif.to_string(),
+            "y.blif: line 3: unsupported directive `.latch`"
+        );
+    }
+
+    #[test]
+    fn from_impls_preserve_the_source() {
+        let p = ProgramError::DuplicateInputCell(CellId::new(4));
+        let e: Error = p.clone().into();
+        assert_eq!(e, Error::Program(p));
+        let fl = FleetError::Exhausted { job: 2 };
+        let e: Error = fl.clone().into();
+        assert_eq!(e, Error::Fleet(fl));
+        assert!(e.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn usage_split() {
+        assert!(Error::InvalidRequest("bad".into()).is_usage());
+        assert!(Error::UnknownBenchmark("x".into()).is_usage());
+        assert!(!Error::Run("boom".into()).is_usage());
+        assert!(!Error::Fleet(FleetError::Exhausted { job: 0 }).is_usage());
+    }
+}

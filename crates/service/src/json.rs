@@ -1,0 +1,289 @@
+//! A minimal in-tree JSON writer.
+//!
+//! The build environment has no registry access, so serde is out of
+//! reach; every JSON document in the workspace — the [`crate::Report`]
+//! serialization and `bench_compile`'s `BENCH_compile.json` — is emitted
+//! through this one module instead of hand-concatenated strings.
+//!
+//! The model is a tree of [`Json`] values with **ordered** object keys
+//! (documents render exactly in insertion order, so committed files stay
+//! diff-friendly) and per-value float precision (measurement files pin
+//! `{:.6}`-style formatting; statistics pin `{:.4}`). Rendering is
+//! pretty-printed with two-space indentation.
+
+use std::fmt::Write as _;
+
+/// One JSON value.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_service::json::Json;
+///
+/// let doc = Json::object([
+///     ("name", Json::from("div")),
+///     ("gates", Json::from(25237u64)),
+///     ("seconds", Json::float(1.25, 3)),
+/// ]);
+/// assert_eq!(
+///     doc.render(),
+///     "{\n  \"name\": \"div\",\n  \"gates\": 25237,\n  \"seconds\": 1.250\n}"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float rendered with a fixed number of decimal places
+    /// (`precision == 0` renders as an integer literal, matching
+    /// `format!("{v:.0}")`). Non-finite values render as `null`.
+    Float {
+        /// The value.
+        value: f64,
+        /// Decimal places.
+        precision: usize,
+    },
+    /// A string (escaped on rendering).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with keys in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Json::Null)
+    }
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, keys kept in order.
+    pub fn object<K: Into<String>, V: Into<Json>, I: IntoIterator<Item = (K, V)>>(
+        entries: I,
+    ) -> Self {
+        Json::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// An array from values.
+    pub fn array<V: Into<Json>, I: IntoIterator<Item = V>>(values: I) -> Self {
+        Json::Array(values.into_iter().map(Into::into).collect())
+    }
+
+    /// A float with a fixed decimal precision.
+    pub fn float(value: f64, precision: usize) -> Self {
+        Json::Float { value, precision }
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent, no
+    /// trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float { value, precision } => {
+                if value.is_finite() {
+                    let _ = write!(out, "{value:.precision$}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                    out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    indent(out, depth + 1);
+                    escape_into(key, out);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                    out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string literal.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escapes `s` as a standalone JSON string literal (with quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(s, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json_literals() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Bool(false).render(), "false");
+        assert_eq!(Json::UInt(42).render(), "42");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn float_precision_matches_format_spec() {
+        assert_eq!(Json::float(1.0 / 3.0, 6).render(), "0.333333");
+        assert_eq!(Json::float(2.5, 3).render(), "2.500");
+        assert_eq!(Json::float(1234.56, 1).render(), "1234.6");
+        // precision 0 renders without a decimal point, like {:.0}.
+        assert_eq!(Json::float(214e6, 0).render(), "214000000");
+        // Non-finite values cannot appear in JSON.
+        assert_eq!(Json::float(f64::NAN, 2).render(), "null");
+        assert_eq!(Json::float(f64::INFINITY, 2).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(
+            escape("line\nbreak\ttab\rret"),
+            "\"line\\nbreak\\ttab\\rret\""
+        );
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        assert_eq!(escape("Ω.A"), "\"Ω.A\"");
+    }
+
+    #[test]
+    fn nested_document_renders_with_two_space_indent() {
+        let doc = Json::object([
+            ("schema", Json::from(1u64)),
+            (
+                "benchmarks",
+                Json::Array(vec![
+                    Json::object([("name", Json::from("a")), ("n", Json::from(1u64))]),
+                    Json::object([("name", Json::from("b")), ("n", Json::from(2u64))]),
+                ]),
+            ),
+            ("fleet", Json::Null),
+        ]);
+        let expect = "{\n  \"schema\": 1,\n  \"benchmarks\": [\n    {\n      \"name\": \"a\",\n      \"n\": 1\n    },\n    {\n      \"name\": \"b\",\n      \"n\": 2\n    }\n  ],\n  \"fleet\": null\n}";
+        assert_eq!(doc.render(), expect);
+    }
+
+    #[test]
+    fn empty_containers_render_compact() {
+        assert_eq!(Json::Array(Vec::new()).render(), "[]");
+        assert_eq!(Json::Object(Vec::new()).render(), "{}");
+        assert_eq!(
+            Json::object([("xs", Json::Array(Vec::new()))]).render(),
+            "{\n  \"xs\": []\n}"
+        );
+    }
+
+    #[test]
+    fn option_conversion() {
+        assert_eq!(Json::from(Some(3u64)), Json::UInt(3));
+        assert_eq!(Json::from(None::<u64>), Json::Null);
+    }
+}

@@ -1,0 +1,605 @@
+//! # rlim-service — the typed job/report API in front of the toolchain
+//!
+//! Every consumer of the compiler used to reinvent its own entry point:
+//! the CLI parsed strings straight into ad-hoc calls, the evaluation
+//! binaries hand-assembled benchmark × preset matrices, and the bench
+//! runner concatenated JSON by hand. This crate puts **one** typed
+//! request/response API in front of the whole paper reproduction:
+//!
+//! * [`JobSpec`] — a builder-first job description: circuit source
+//!   (named benchmark, BLIF path, in-memory MIG), backend selection,
+//!   [`CompileOptions`] preset + overrides, optional [`FleetSpec`] rider;
+//! * [`Service`] — runs specs ([`Service::run`]) or whole batches
+//!   ([`Service::run_batch`]) on the workspace's scoped worker pool with
+//!   deterministic ordering (serial and parallel runs are byte-identical);
+//! * [`Report`] — the structured answer: programs, `#I` / `#R`,
+//!   [`WriteStats`], lifetime projections and fleet wear, with a stable
+//!   JSON serialization through the in-tree [`json`] writer;
+//! * [`Error`] — the one typed error every client maps to its own
+//!   surface.
+//!
+//! The CLI, `rlim-eval`'s sweep/fleet binaries and the bench runner are
+//! thin clients of this API; future scaling work (sharding, async,
+//! caching) targets this seam.
+//!
+//! ## Example
+//!
+//! ```
+//! use rlim_benchmarks::Benchmark;
+//! use rlim_compiler::CompileOptions;
+//! use rlim_service::{JobSpec, Service};
+//!
+//! let spec = JobSpec::benchmark(Benchmark::Int2float)
+//!     .with_options(CompileOptions::endurance_aware().with_effort(1));
+//! let report = Service::new().run(&spec)?;
+//! assert!(report.instructions > 0);
+//! assert_eq!(report.writes.cells, report.rrams);
+//! # Ok::<(), rlim_service::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+mod error;
+mod report;
+mod spec;
+
+pub use error::Error;
+pub use report::{CircuitSummary, FleetReport, LifetimeProjection, Report, REPORT_SCHEMA_VERSION};
+pub use spec::{BackendKind, FleetSpec, JobSpec, Source, DEFAULT_PROJECTION_ARRAYS};
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::{Backend, CompileOptions, ImpBackend, Rm3Backend};
+use rlim_imp::ImpOp;
+use rlim_isa::Program;
+use rlim_mig::{blif, Mig};
+use rlim_plim::{asm, Fleet, FleetConfig, Instruction, Job};
+use rlim_rram::lifetime::{
+    executions_until_failure, fleet_executions_until_exhaustion, ENDURANCE_HFOX,
+};
+use rlim_rram::WriteStats;
+use rlim_testkit::parallel::parallel_map;
+
+/// The service front end: compiles [`JobSpec`]s into [`Report`]s.
+///
+/// A `Service` is cheap to construct and stateless between calls; it
+/// carries only run-wide configuration (worker threads, the endurance
+/// constant used for lifetime projections).
+#[derive(Debug, Clone, Copy)]
+pub struct Service {
+    threads: usize,
+    endurance: u64,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new()
+    }
+}
+
+/// The compile-flow a backend kind routes through: RM3 and hosted-RM3
+/// produce identical programs, so they share one compile cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompileClass {
+    Rm3,
+    Imp,
+}
+
+impl BackendKind {
+    fn class(self) -> CompileClass {
+        match self {
+            BackendKind::Rm3 | BackendKind::HostedRm3 => CompileClass::Rm3,
+            BackendKind::Imp => CompileClass::Imp,
+        }
+    }
+}
+
+/// One compiled program, type-erased over the two instruction sets.
+enum Compiled {
+    Rm3(Program<Instruction>),
+    Imp(Program<ImpOp>),
+}
+
+impl Compiled {
+    fn num_instructions(&self) -> usize {
+        match self {
+            Compiled::Rm3(p) => p.num_instructions(),
+            Compiled::Imp(p) => p.num_instructions(),
+        }
+    }
+
+    fn num_rrams(&self) -> usize {
+        match self {
+            Compiled::Rm3(p) => p.num_rrams(),
+            Compiled::Imp(p) => p.num_rrams(),
+        }
+    }
+
+    fn total_writes(&self) -> u64 {
+        match self {
+            Compiled::Rm3(p) => p.total_writes(),
+            Compiled::Imp(p) => p.total_writes(),
+        }
+    }
+
+    fn write_stats(&self) -> WriteStats {
+        match self {
+            Compiled::Rm3(p) => p.write_stats(),
+            Compiled::Imp(p) => p.write_stats(),
+        }
+    }
+
+    /// The program listing: parseable `.plim` assembly for RM3 (the
+    /// format `rlim run` accepts back), a disassembly for IMPLY.
+    fn listing(&self) -> String {
+        match self {
+            Compiled::Rm3(p) => asm::to_text(p),
+            Compiled::Imp(p) => p.disassemble(),
+        }
+    }
+
+    fn as_rm3(&self) -> &Program<Instruction> {
+        match self {
+            Compiled::Rm3(p) => p,
+            Compiled::Imp(_) => unreachable!("fleet jobs are validated to be RM3"),
+        }
+    }
+}
+
+/// Identity of a spec's circuit source, for build deduplication.
+/// In-memory graphs are identified by the address of their shared
+/// allocation (compared only, never dereferenced).
+#[derive(Debug, Clone, PartialEq)]
+enum SourceKey {
+    Bench(Benchmark),
+    Path(std::path::PathBuf),
+    Mig(usize),
+}
+
+fn source_key(source: &Source) -> SourceKey {
+    match source {
+        Source::Benchmark(b) => SourceKey::Bench(*b),
+        Source::BlifPath(p) => SourceKey::Path(p.clone()),
+        Source::Mig(m) => SourceKey::Mig(Arc::as_ptr(m) as usize),
+    }
+}
+
+fn load_blif(path: &Path) -> Result<Mig, Error> {
+    let label = path.display().to_string();
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(label.clone(), &e))?;
+    blif::parse_blif(&text).map_err(|error| Error::Blif { path: label, error })
+}
+
+impl Service {
+    /// A service with default configuration: one worker per available
+    /// core and HfOx endurance (10¹⁰ writes/cell) for lifetime
+    /// projections.
+    pub fn new() -> Self {
+        Service {
+            threads: 0,
+            endurance: ENDURANCE_HFOX,
+        }
+    }
+
+    /// Sets the worker-thread count for batch runs (and for the fleet
+    /// rider of a single-spec run): `0` = one per available core, `1` =
+    /// forced serial. Serial and parallel runs produce byte-identical
+    /// reports.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the per-cell endurance assumed by lifetime projections.
+    pub fn with_endurance(mut self, endurance: u64) -> Self {
+        self.endurance = endurance;
+        self
+    }
+
+    /// The configured worker-thread count (`0` = one per core).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the spec is invalid, its source cannot be
+    /// loaded, or its fleet workload fails.
+    pub fn run(&self, spec: &JobSpec) -> Result<Report, Error> {
+        let mut reports = self.run_batch(std::slice::from_ref(spec))?;
+        Ok(reports.pop().expect("one report per spec"))
+    }
+
+    /// Runs a batch of jobs, returning one report per spec **in spec
+    /// order**, independent of scheduling.
+    ///
+    /// The batch is executed in three deterministic stages on the
+    /// workspace's scoped worker pool: distinct sources are built once,
+    /// distinct (source, backend, options) combinations are compiled
+    /// once (RM3 and hosted-RM3 share entries; a parameter sweep over
+    /// one graph never rebuilds it), then per-spec reports are
+    /// assembled — so a forced-serial run (`with_threads(1)`) yields
+    /// byte-identical serialized reports to a parallel one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing spec's [`Error`] (in spec order).
+    pub fn run_batch(&self, specs: &[JobSpec]) -> Result<Vec<Report>, Error> {
+        // Validate requests before doing any work.
+        for spec in specs {
+            if let Some(fleet) = spec.fleet() {
+                if spec.backend() == BackendKind::Imp {
+                    return Err(Error::InvalidRequest(
+                        "fleet workloads require an RM3 backend (the fleet executes \
+                         RM3 programs)"
+                            .to_string(),
+                    ));
+                }
+                if fleet.arrays == 0 {
+                    return Err(Error::InvalidRequest(
+                        "a fleet needs at least one array".to_string(),
+                    ));
+                }
+            }
+        }
+
+        // ---- Stage 1: build every distinct source once ------------------
+        let mut keys: Vec<SourceKey> = Vec::new();
+        let mut src_of: Vec<usize> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let key = source_key(spec.source());
+            let idx = keys.iter().position(|k| *k == key).unwrap_or_else(|| {
+                keys.push(key.clone());
+                keys.len() - 1
+            });
+            src_of.push(idx);
+        }
+        let loaders: Vec<(usize, SourceKey)> = keys.into_iter().enumerate().collect();
+        let sources: Vec<&Source> = {
+            // First spec mentioning each key, for Arc'd MIG access.
+            let mut by_key: Vec<&Source> = Vec::with_capacity(loaders.len());
+            for (spec, &idx) in specs.iter().zip(&src_of) {
+                if idx == by_key.len() {
+                    by_key.push(spec.source());
+                }
+            }
+            by_key
+        };
+        let built: Vec<Result<Arc<Mig>, Error>> =
+            parallel_map(loaders, self.threads, |(idx, key)| match key {
+                SourceKey::Bench(b) => Ok(Arc::new(b.build())),
+                SourceKey::Path(p) => load_blif(&p).map(Arc::new),
+                SourceKey::Mig(_) => match sources[idx] {
+                    Source::Mig(m) => Ok(Arc::clone(m)),
+                    _ => unreachable!("key kind matches source kind"),
+                },
+            });
+        let mut migs: Vec<Arc<Mig>> = Vec::with_capacity(built.len());
+        for result in built {
+            migs.push(result?);
+        }
+
+        // ---- Stage 2: compile every distinct job once -------------------
+        type CompileKey = (usize, CompileClass, CompileOptions);
+        let mut compile_keys: Vec<CompileKey> = Vec::new();
+        let mut dedup = |key: CompileKey| -> usize {
+            compile_keys
+                .iter()
+                .position(|k| *k == key)
+                .unwrap_or_else(|| {
+                    compile_keys.push(key);
+                    compile_keys.len() - 1
+                })
+        };
+        let mut main_of: Vec<usize> = Vec::with_capacity(specs.len());
+        let mut heavy_of: Vec<Option<usize>> = Vec::with_capacity(specs.len());
+        for (spec, &src) in specs.iter().zip(&src_of) {
+            main_of.push(dedup((src, spec.backend().class(), *spec.options())));
+            heavy_of.push(spec.fleet().map(|_| {
+                // The fleet's heavy twin: the same circuit compiled naive.
+                dedup((src, CompileClass::Rm3, CompileOptions::naive()))
+            }));
+        }
+        let compiled: Vec<(Compiled, f64)> =
+            parallel_map(compile_keys, self.threads, |(src, class, options)| {
+                let mig = &migs[src];
+                let start = Instant::now();
+                let program = match class {
+                    CompileClass::Rm3 => Compiled::Rm3(Rm3Backend.compile(mig, &options)),
+                    CompileClass::Imp => Compiled::Imp(ImpBackend.compile(mig, &options)),
+                };
+                (program, start.elapsed().as_secs_f64())
+            });
+
+        // ---- Stage 3: assemble reports, one per spec --------------------
+        // A single-spec run gives its fleet rider the full worker pool;
+        // in a batch the specs themselves are the parallel axis.
+        let fleet_threads = if specs.len() == 1 { self.threads } else { 1 };
+        let jobs: Vec<usize> = (0..specs.len()).collect();
+        let assembled: Vec<Result<Report, Error>> = parallel_map(jobs, self.threads, |i| {
+            self.assemble(
+                &specs[i],
+                &migs[src_of[i]],
+                &compiled[main_of[i]],
+                heavy_of[i].map(|h| &compiled[h].0),
+                fleet_threads,
+            )
+        });
+        assembled.into_iter().collect()
+    }
+
+    fn assemble(
+        &self,
+        spec: &JobSpec,
+        mig: &Mig,
+        main: &(Compiled, f64),
+        heavy: Option<&Compiled>,
+        fleet_threads: usize,
+    ) -> Result<Report, Error> {
+        let (program, seconds) = main;
+        let writes = program.write_stats();
+        let peak = writes.max;
+        let fleet_arrays = spec.projection_arrays();
+        let lifetime = LifetimeProjection {
+            endurance: self.endurance,
+            single_array_runs: executions_until_failure([peak], self.endurance),
+            fleet_arrays,
+            fleet_runs: fleet_executions_until_exhaustion(
+                std::iter::repeat_n(peak, fleet_arrays),
+                self.endurance,
+            ),
+        };
+        let fleet = match spec.fleet() {
+            None => None,
+            Some(fs) => Some(self.run_fleet(
+                fs,
+                heavy.expect("fleet specs enqueue a heavy twin").as_rm3(),
+                program.as_rm3(),
+                mig.num_inputs(),
+                fleet_threads,
+            )?),
+        };
+        Ok(Report {
+            label: spec.label(),
+            backend: spec.backend().name(),
+            options: *spec.options(),
+            circuit: CircuitSummary {
+                inputs: mig.num_inputs(),
+                outputs: mig.num_outputs(),
+                gates: mig.num_gates(),
+            },
+            instructions: program.num_instructions(),
+            rrams: program.num_rrams(),
+            total_writes: program.total_writes(),
+            writes,
+            lifetime,
+            program: spec.includes_program().then(|| program.listing()),
+            fleet,
+            seconds: *seconds,
+        })
+    }
+
+    /// Runs the alternating heavy/light workload on a fresh fleet.
+    fn run_fleet(
+        &self,
+        fs: &FleetSpec,
+        heavy: &Program<Instruction>,
+        light: &Program<Instruction>,
+        num_inputs: usize,
+        threads: usize,
+    ) -> Result<FleetReport, Error> {
+        // Build the job stream. With a seed, every job gets ChaCha8
+        // random inputs (the eval fleet's seeded workload); without, all
+        // jobs share the all-false vector (the CLI's workload).
+        let shared_inputs = vec![false; num_inputs];
+        let seeded_inputs: Vec<Vec<bool>> = match fs.input_seed {
+            None => Vec::new(),
+            Some(seed) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                (0..fs.jobs)
+                    .map(|_| (0..num_inputs).map(|_| rng.gen()).collect())
+                    .collect()
+            }
+        };
+        let jobs: Vec<Job<'_>> = (0..fs.jobs)
+            .map(|i| {
+                let program = if i % 2 == 0 { heavy } else { light };
+                let inputs = if fs.input_seed.is_some() {
+                    &seeded_inputs[i]
+                } else {
+                    &shared_inputs
+                };
+                Job::new(program, inputs)
+            })
+            .collect();
+        let stream_writes: u64 = jobs.iter().map(Job::cost).sum();
+
+        let mut config = FleetConfig::new(fs.arrays).with_policy(fs.dispatch);
+        if let Some(budget) = fs.write_budget {
+            config = config.with_write_budget(budget);
+        }
+        let mut fleet = Fleet::new(config);
+        let start = Instant::now();
+        fleet.run_batch(&jobs, threads)?;
+        let seconds = start.elapsed().as_secs_f64();
+
+        let stats = fleet.stats();
+        let cost = heavy.total_writes().max(light.total_writes());
+        Ok(FleetReport {
+            arrays: fs.arrays,
+            dispatch: fs.dispatch.label(),
+            jobs: fs.jobs,
+            heavy_instructions: heavy.num_instructions(),
+            light_instructions: light.num_instructions(),
+            stream_writes,
+            per_array: fleet.array_stats(),
+            wear: stats.wear,
+            retired: stats.retired,
+            remaining_jobs: fleet.remaining_jobs(cost),
+            first_retirement_horizon: fleet.first_retirement_horizon(cost),
+            seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlim_compiler::compile;
+    use rlim_plim::DispatchPolicy;
+
+    #[test]
+    fn report_matches_direct_compilation() {
+        let options = CompileOptions::endurance_aware().with_effort(1);
+        let spec = JobSpec::benchmark(Benchmark::Int2float).with_options(options);
+        let report = Service::new().run(&spec).unwrap();
+        let direct = compile(&Benchmark::Int2float.build(), &options);
+        assert_eq!(report.instructions, direct.num_instructions());
+        assert_eq!(report.rrams, direct.num_rrams());
+        assert_eq!(report.writes, direct.write_stats());
+        assert_eq!(report.total_writes, direct.total_writes());
+        assert_eq!(report.label, "int2float");
+        assert_eq!(report.backend, "rm3");
+        assert_eq!(report.circuit.inputs, 11);
+        assert_eq!(report.circuit.outputs, 7);
+        assert!(report.lifetime.single_array_runs > 0);
+        assert!(report.lifetime.fleet_runs >= report.lifetime.single_array_runs);
+        assert!(report.program.is_none());
+        assert!(report.fleet.is_none());
+    }
+
+    #[test]
+    fn program_listing_is_the_parseable_assembly() {
+        let spec = JobSpec::benchmark(Benchmark::Ctrl)
+            .with_options(CompileOptions::naive())
+            .with_program_text(true);
+        let report = Service::new().run(&spec).unwrap();
+        let text = report.program.expect("listing requested");
+        let parsed = asm::parse_text(&text).expect("listing parses back");
+        assert_eq!(parsed.num_instructions(), report.instructions);
+    }
+
+    #[test]
+    fn imp_backend_reports_through_the_same_surface() {
+        let spec = JobSpec::benchmark(Benchmark::Int2float)
+            .with_options(CompileOptions::naive())
+            .with_backend(BackendKind::Imp)
+            .with_program_text(true);
+        let report = Service::new().run(&spec).unwrap();
+        assert_eq!(report.backend, "imp");
+        assert!(report.instructions > 0);
+        assert!(report.program.unwrap().contains("IMPLY"));
+    }
+
+    #[test]
+    fn blif_sources_load_and_missing_files_error() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rlim-service-test-{}.blif", std::process::id()));
+        std::fs::write(&path, ".inputs a b\n.outputs f\n.names a b f\n11 1\n").unwrap();
+        let spec = JobSpec::blif_path(&path).with_options(CompileOptions::naive());
+        let report = Service::new().run(&spec).unwrap();
+        assert_eq!(report.circuit.inputs, 2);
+        std::fs::remove_file(&path).unwrap();
+
+        let err = Service::new()
+            .run(&JobSpec::blif_path("/nonexistent/x.blif"))
+            .unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "{err:?}");
+
+        let bad = dir.join(format!("rlim-service-bad-{}.blif", std::process::id()));
+        std::fs::write(&bad, ".inputs a\n.outputs f\n.latch a f\n").unwrap();
+        let err = Service::new().run(&JobSpec::blif_path(&bad)).unwrap_err();
+        assert!(matches!(err, Error::Blif { .. }), "{err:?}");
+        std::fs::remove_file(&bad).unwrap();
+    }
+
+    #[test]
+    fn fleet_rider_reports_wear_and_budget() {
+        let spec = JobSpec::benchmark(Benchmark::Ctrl)
+            .with_options(CompileOptions::endurance_aware().with_effort(1))
+            .with_fleet(
+                FleetSpec::new(2)
+                    .with_jobs(8)
+                    .with_dispatch(DispatchPolicy::LeastWorn)
+                    .with_write_budget(2000),
+            );
+        let report = Service::new().run(&spec).unwrap();
+        let fleet = report.fleet.expect("fleet rider");
+        assert_eq!(fleet.arrays, 2);
+        assert_eq!(fleet.per_array.len(), 2);
+        assert_eq!(fleet.jobs, 8);
+        assert_eq!(
+            fleet.per_array.iter().map(|a| a.jobs).sum::<u64>(),
+            8,
+            "every job dispatched"
+        );
+        assert!(fleet.remaining_jobs.is_some());
+        assert!(fleet.first_retirement_horizon.is_some());
+        assert_eq!(
+            fleet.stream_writes,
+            fleet.per_array.iter().map(|a| a.writes).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn fleet_on_imp_backend_is_rejected() {
+        let spec = JobSpec::benchmark(Benchmark::Ctrl)
+            .with_backend(BackendKind::Imp)
+            .with_fleet(FleetSpec::new(2));
+        let err = Service::new().run(&spec).unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
+    }
+
+    #[test]
+    fn exhausted_fleet_surfaces_the_typed_error() {
+        let spec = JobSpec::benchmark(Benchmark::Ctrl)
+            .with_options(CompileOptions::naive())
+            .with_fleet(FleetSpec::new(1).with_jobs(4).with_write_budget(10));
+        let err = Service::new().run(&spec).unwrap_err();
+        assert!(matches!(err, Error::Fleet(_)), "{err:?}");
+    }
+
+    #[test]
+    fn batch_reports_come_back_in_spec_order() {
+        let specs = vec![
+            JobSpec::benchmark(Benchmark::Ctrl).with_options(CompileOptions::naive()),
+            JobSpec::benchmark(Benchmark::Int2float).with_options(CompileOptions::naive()),
+            JobSpec::benchmark(Benchmark::Ctrl)
+                .with_options(CompileOptions::endurance_aware().with_effort(1)),
+        ];
+        let reports = Service::new().run_batch(&specs).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].label, "ctrl");
+        assert_eq!(reports[1].label, "int2float");
+        assert_eq!(reports[2].label, "ctrl");
+        assert_ne!(reports[0].instructions, reports[2].instructions);
+    }
+
+    #[test]
+    fn shared_mig_sweep_compiles_each_option_set_once() {
+        let mig = Arc::new(Benchmark::Int2float.build());
+        let specs: Vec<JobSpec> = [3u64, 4, 5]
+            .iter()
+            .map(|&w| {
+                JobSpec::shared_mig(Arc::clone(&mig))
+                    .with_options(CompileOptions::naive().with_max_writes(w))
+            })
+            .collect();
+        let reports = Service::new().run_batch(&specs).unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(r.writes.max <= r.options.max_writes.unwrap());
+        }
+    }
+}

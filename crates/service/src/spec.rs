@@ -1,0 +1,397 @@
+//! The typed job description: what to compile, through which backend,
+//! with which options — and optionally which fleet workload to run.
+//!
+//! A [`JobSpec`] is built with a fluent builder and submitted to
+//! [`crate::Service`]; every consumer of the toolchain (the CLI, the
+//! evaluation binaries, the bench runner, library users) describes work
+//! in this one vocabulary instead of hand-assembling compiler calls.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rlim_benchmarks::Benchmark;
+use rlim_compiler::CompileOptions;
+use rlim_mig::Mig;
+use rlim_plim::DispatchPolicy;
+
+/// Where the circuit comes from.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// A named benchmark of the paper's 18-circuit suite.
+    Benchmark(Benchmark),
+    /// A BLIF netlist on disk, read and parsed by the service.
+    BlifPath(PathBuf),
+    /// An in-memory graph. Shared by `Arc` so one graph can back many
+    /// specs (a parameter sweep) without cloning.
+    Mig(Arc<Mig>),
+}
+
+impl PartialEq for Source {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Source::Benchmark(a), Source::Benchmark(b)) => a == b,
+            (Source::BlifPath(a), Source::BlifPath(b)) => a == b,
+            // In-memory graphs compare by identity: two specs are "the
+            // same job" only when they share the same graph.
+            (Source::Mig(a), Source::Mig(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Source {
+    /// A short human-readable label: the benchmark name, the path, or
+    /// `<mig>` for in-memory graphs.
+    pub fn label(&self) -> String {
+        match self {
+            Source::Benchmark(b) => b.name().to_string(),
+            Source::BlifPath(p) => p.display().to_string(),
+            Source::Mig(_) => "<mig>".to_string(),
+        }
+    }
+}
+
+/// Which compile-and-execute flow serves the job.
+///
+/// This is the runtime-selectable face of the compiler's static
+/// `Backend` trait: a `JobSpec` travels through channels (argv, batch
+/// files) where a generic parameter cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The PLiM/RM3 flow through the standard pass pipeline (default).
+    #[default]
+    Rm3,
+    /// The same RM3 programs, self-hosted in the crossbar and driven by
+    /// the controller FSM.
+    HostedRm3,
+    /// The material-implication (IMPLY) baseline.
+    Imp,
+}
+
+impl BackendKind {
+    /// The stable name used in reports and on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Rm3 => "rm3",
+            BackendKind::HostedRm3 => "hosted-rm3",
+            BackendKind::Imp => "imp",
+        }
+    }
+
+    /// Every backend kind, in display order.
+    pub fn all() -> &'static [BackendKind] {
+        &[BackendKind::Rm3, BackendKind::HostedRm3, BackendKind::Imp]
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rm3" => Ok(BackendKind::Rm3),
+            "hosted-rm3" => Ok(BackendKind::HostedRm3),
+            "imp" => Ok(BackendKind::Imp),
+            other => Err(format!(
+                "unknown backend `{other}` (rm3 | hosted-rm3 | imp)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fleet workload rider: run the compiled program (as the *light*
+/// preset) interleaved with a naive-compiled *heavy* twin on a
+/// multi-crossbar fleet, and report per-array wear.
+///
+/// The workload is the standard heterogeneous stream the whole workspace
+/// evaluates with: `jobs` executions alternating heavy/light (heavy
+/// first). With [`FleetSpec::input_seed`] unset every job drives the
+/// all-false input vector; with a seed, each job gets ChaCha8-seeded
+/// random inputs — byte-reproducible for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Number of crossbar arrays.
+    pub arrays: usize,
+    /// Number of jobs in the workload.
+    pub jobs: usize,
+    /// Dispatch policy.
+    pub dispatch: DispatchPolicy,
+    /// Per-array total-write budget (the array-granular maximum write
+    /// count strategy); `None` = unbounded.
+    pub write_budget: Option<u64>,
+    /// Seed for per-job random primary inputs; `None` drives all-false
+    /// inputs on every job.
+    pub input_seed: Option<u64>,
+}
+
+impl FleetSpec {
+    /// A fleet of `arrays` crossbars with least-worn dispatch, no budget
+    /// and all-false job inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is zero.
+    pub fn new(arrays: usize) -> Self {
+        assert!(arrays > 0, "a fleet needs at least one array");
+        FleetSpec {
+            arrays,
+            jobs: 24,
+            dispatch: DispatchPolicy::LeastWorn,
+            write_budget: None,
+            input_seed: None,
+        }
+    }
+
+    /// Sets the job count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the dispatch policy.
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Sets the per-array write budget.
+    pub fn with_write_budget(mut self, budget: u64) -> Self {
+        self.write_budget = Some(budget);
+        self
+    }
+
+    /// Seeds per-job random primary inputs.
+    pub fn with_input_seed(mut self, seed: u64) -> Self {
+        self.input_seed = Some(seed);
+        self
+    }
+}
+
+/// Default array count used for the fleet-lifetime projection in every
+/// [`crate::Report`].
+pub const DEFAULT_PROJECTION_ARRAYS: usize = 4;
+
+/// One typed request to the service: a circuit source, a backend, the
+/// compiler configuration, and optional riders (program listing, fleet
+/// workload, lifetime-projection fleet size).
+///
+/// # Examples
+///
+/// ```
+/// use rlim_benchmarks::Benchmark;
+/// use rlim_compiler::CompileOptions;
+/// use rlim_service::{BackendKind, JobSpec};
+///
+/// let spec = JobSpec::benchmark(Benchmark::Int2float)
+///     .with_options(CompileOptions::endurance_aware().with_effort(2))
+///     .with_backend(BackendKind::Rm3);
+/// assert_eq!(spec.label(), "int2float");
+/// assert_eq!(spec.options().effort, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    source: Source,
+    backend: BackendKind,
+    options: CompileOptions,
+    fleet: Option<FleetSpec>,
+    include_program: bool,
+    projection_arrays: usize,
+}
+
+impl JobSpec {
+    fn new(source: Source) -> Self {
+        JobSpec {
+            source,
+            backend: BackendKind::Rm3,
+            options: CompileOptions::endurance_aware(),
+            fleet: None,
+            include_program: false,
+            projection_arrays: DEFAULT_PROJECTION_ARRAYS,
+        }
+    }
+
+    /// A job over a named benchmark of the suite.
+    pub fn benchmark(benchmark: Benchmark) -> Self {
+        JobSpec::new(Source::Benchmark(benchmark))
+    }
+
+    /// A job over a benchmark looked up by name — the entry point for
+    /// clients that receive names over a wire (argv, request bodies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownBenchmark`] when `name` is not in the
+    /// suite.
+    pub fn named_benchmark(name: &str) -> Result<Self, crate::Error> {
+        name.parse::<Benchmark>()
+            .map(JobSpec::benchmark)
+            .map_err(|_| crate::Error::UnknownBenchmark(name.to_string()))
+    }
+
+    /// A job over a BLIF netlist on disk.
+    pub fn blif_path(path: impl Into<PathBuf>) -> Self {
+        JobSpec::new(Source::BlifPath(path.into()))
+    }
+
+    /// A job over an in-memory graph.
+    pub fn mig(mig: Mig) -> Self {
+        JobSpec::new(Source::Mig(Arc::new(mig)))
+    }
+
+    /// A job over a shared in-memory graph; specs sharing one `Arc`
+    /// compile the graph once per distinct option set.
+    pub fn shared_mig(mig: Arc<Mig>) -> Self {
+        JobSpec::new(Source::Mig(mig))
+    }
+
+    /// Selects the backend (default: [`BackendKind::Rm3`]).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the full compiler configuration (default:
+    /// [`CompileOptions::endurance_aware`]).
+    pub fn with_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attaches a fleet workload rider.
+    pub fn with_fleet(mut self, fleet: FleetSpec) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Requests the program listing in the report (the parseable `.plim`
+    /// assembly for RM3 backends, the disassembly for IMPLY).
+    pub fn with_program_text(mut self, include: bool) -> Self {
+        self.include_program = include;
+        self
+    }
+
+    /// Sets the fleet size assumed by the report's lifetime projection
+    /// (default [`DEFAULT_PROJECTION_ARRAYS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is zero.
+    pub fn with_projection_arrays(mut self, arrays: usize) -> Self {
+        assert!(arrays > 0, "a lifetime projection needs at least one array");
+        self.projection_arrays = arrays;
+        self
+    }
+
+    /// The circuit source.
+    pub fn source(&self) -> &Source {
+        &self.source
+    }
+
+    /// The selected backend.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The compiler configuration.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// The fleet rider, if any.
+    pub fn fleet(&self) -> Option<&FleetSpec> {
+        self.fleet.as_ref()
+    }
+
+    /// Whether the report will carry the program listing.
+    pub fn includes_program(&self) -> bool {
+        self.include_program
+    }
+
+    /// The lifetime projection's fleet size.
+    pub fn projection_arrays(&self) -> usize {
+        self.projection_arrays
+    }
+
+    /// The source's human-readable label (used as the report label).
+    pub fn label(&self) -> String {
+        self.source.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let spec = JobSpec::benchmark(Benchmark::Ctrl);
+        assert_eq!(spec.backend(), BackendKind::Rm3);
+        assert_eq!(spec.options(), &CompileOptions::endurance_aware());
+        assert!(spec.fleet().is_none());
+        assert!(!spec.includes_program());
+        assert_eq!(spec.projection_arrays(), DEFAULT_PROJECTION_ARRAYS);
+    }
+
+    #[test]
+    fn sources_compare_by_value_or_identity() {
+        assert_eq!(
+            JobSpec::benchmark(Benchmark::Div),
+            JobSpec::benchmark(Benchmark::Div)
+        );
+        assert_ne!(
+            JobSpec::benchmark(Benchmark::Div),
+            JobSpec::benchmark(Benchmark::Ctrl)
+        );
+        assert_eq!(JobSpec::blif_path("a.blif"), JobSpec::blif_path("a.blif"));
+        let mig = Arc::new(Mig::new(1));
+        assert_eq!(
+            JobSpec::shared_mig(Arc::clone(&mig)),
+            JobSpec::shared_mig(Arc::clone(&mig))
+        );
+        // Distinct graphs are distinct jobs even if structurally equal.
+        assert_ne!(JobSpec::mig(Mig::new(1)), JobSpec::mig(Mig::new(1)));
+    }
+
+    #[test]
+    fn named_benchmark_lookup() {
+        let spec = JobSpec::named_benchmark("ctrl").unwrap();
+        assert_eq!(spec, JobSpec::benchmark(Benchmark::Ctrl));
+        let err = JobSpec::named_benchmark("nonesuch").unwrap_err();
+        assert_eq!(err, crate::Error::UnknownBenchmark("nonesuch".into()));
+        assert!(err.is_usage());
+    }
+
+    #[test]
+    fn backend_names_roundtrip() {
+        for &k in BackendKind::all() {
+            assert_eq!(k.name().parse::<BackendKind>().unwrap(), k);
+        }
+        assert!("nonesuch".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn fleet_spec_builder() {
+        let f = FleetSpec::new(4)
+            .with_jobs(10)
+            .with_dispatch(DispatchPolicy::RoundRobin)
+            .with_write_budget(500)
+            .with_input_seed(7);
+        assert_eq!(f.arrays, 4);
+        assert_eq!(f.jobs, 10);
+        assert_eq!(f.dispatch, DispatchPolicy::RoundRobin);
+        assert_eq!(f.write_budget, Some(500));
+        assert_eq!(f.input_seed, Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one array")]
+    fn zero_array_fleet_rejected() {
+        let _ = FleetSpec::new(0);
+    }
+}

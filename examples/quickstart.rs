@@ -1,14 +1,15 @@
-//! Quickstart: build a Boolean function as an MIG, compile it to a PLiM
-//! program with endurance management, execute it on the simulated RRAM
-//! crossbar, and inspect the write traffic.
+//! Quickstart: build a Boolean function as an MIG, submit it to the
+//! `rlim` service as a typed job, and read the structured report —
+//! then drop down to the machine level to execute the program.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use rlim::compiler::{compile, CompileOptions};
+use rlim::compiler::CompileOptions;
 use rlim::mig::Mig;
-use rlim::plim::{Controller, Machine};
+use rlim::plim::{asm, Controller, Machine};
+use rlim::{JobSpec, Service};
 
 fn main() {
     // 1. Describe the function: a 1-bit full adder with an extra
@@ -19,6 +20,7 @@ fn main() {
     let gated = mig.and(carry, valid);
     mig.add_output(sum);
     mig.add_output(gated);
+    let reference = mig.clone(); // keep a copy for the equivalence check
     println!(
         "MIG: {} inputs, {} outputs, {} majority gates",
         mig.num_inputs(),
@@ -26,45 +28,60 @@ fn main() {
         mig.num_gates()
     );
 
-    // 2. Compile with the paper's full endurance-aware pipeline
+    // 2. Describe the job — the paper's full endurance-aware pipeline
     //    (Algorithm 2 rewriting + Algorithm 3 node selection + minimum
-    //    write count allocation).
-    let result = compile(&mig, &CompileOptions::endurance_aware());
+    //    write count allocation) — and submit it to the service.
+    let spec = JobSpec::mig(mig)
+        .with_options(CompileOptions::endurance_aware())
+        .with_program_text(true);
+    let report = Service::new()
+        .run(&spec)
+        .expect("in-memory job cannot fail");
     println!(
         "compiled: {} RM3 instructions over {} RRAM cells",
-        result.num_instructions(),
-        result.num_rrams()
+        report.instructions, report.rrams
     );
-    println!("\nprogram:\n{}", result.program.disassemble());
+    let listing = report.program.as_deref().expect("listing requested");
+    println!("\nprogram:\n{listing}");
 
-    // 3. Execute on the simulated crossbar for one input vector.
+    // 3. Execute on the simulated crossbar for one input vector. The
+    //    report's listing is the parseable `.plim` assembly.
+    let program = asm::parse_text(listing).expect("service listings parse");
     let inputs = [true, true, false, true]; // a=1 b=1 cin=0 valid=1
-    let mut machine = Machine::for_program(&result.program);
+    let mut machine = Machine::for_program(&program);
     let outputs = machine
-        .run(&result.program, &inputs)
+        .run(&program, &inputs)
         .expect("no endurance limit configured");
     println!("inputs  {inputs:?}");
     println!("outputs {outputs:?} (sum=0 carry=1 expected)");
-    assert_eq!(outputs, mig.evaluate(&inputs), "machine matches the MIG");
+    assert_eq!(
+        outputs,
+        reference.evaluate(&inputs),
+        "machine matches the MIG"
+    );
 
-    // 4. Inspect the write traffic — the paper's Table I metrics.
-    let stats = result.write_stats();
+    // 4. Inspect the write traffic — the paper's Table I metrics — and
+    //    the lifetime projection, straight off the report.
     println!(
         "\nwrite traffic: min={} max={} stdev={:.2} over {} cells",
-        stats.min, stats.max, stats.stdev, stats.cells
+        report.writes.min, report.writes.max, report.writes.stdev, report.writes.cells
+    );
+    println!(
+        "lifetime: {} runs on one array, {} on a fleet of {} (endurance 10^10)",
+        report.lifetime.single_array_runs, report.lifetime.fleet_runs, report.lifetime.fleet_arrays
     );
 
     // 5. The same program, self-hosted: the instruction stream encoded
     //    into the crossbar itself and executed by the PLiM controller FSM
     //    (fetch → read A → read B → execute), as in the original PLiM
     //    computer.
-    let mut controller = Controller::host(&result.program).expect("array hosts the image");
+    let mut controller = Controller::host(&program).expect("array hosts the image");
     let hosted = controller.run(&inputs).expect("no endurance limit");
     assert_eq!(hosted, outputs);
     println!(
         "self-hosted: {} cells ({} data + code image), {} controller cycles",
         controller.array().len(),
-        result.num_rrams(),
+        report.rrams,
         controller.cycles()
     );
 }

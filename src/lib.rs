@@ -25,12 +25,20 @@
 //! * [`imp`] — material-implication (IMPLY) logic-in-memory baseline: the
 //!   §II comparison point whose writes concentrate on work devices.
 //! * [`benchmarks`] — generators for the 18-benchmark evaluation suite.
+//! * [`service`] — the typed job/report front end: a [`JobSpec`] built
+//!   with a fluent builder goes in, a structured [`Report`] (with a
+//!   stable JSON serialization) comes out. The CLI, the evaluation
+//!   binaries and the bench runner are thin clients of this API.
 //!
 //! ## Quickstart
 //!
+//! Describe the job — circuit, backend, policy — and let the service
+//! compile it into a structured report:
+//!
 //! ```
-//! use rlim::compiler::{compile, CompileOptions};
+//! use rlim::compiler::CompileOptions;
 //! use rlim::mig::Mig;
+//! use rlim::{JobSpec, Service};
 //!
 //! // Build a 2-bit adder.
 //! let mut mig = Mig::new(4);
@@ -41,10 +49,29 @@
 //! mig.add_output(s1);
 //! mig.add_output(c1);
 //!
-//! // Compile with full endurance management.
-//! let result = compile(&mig, &CompileOptions::endurance_aware());
-//! let stats = result.write_stats();
-//! assert!(stats.max >= 1);
+//! // Submit it with full endurance management.
+//! let spec = JobSpec::mig(mig).with_options(CompileOptions::endurance_aware());
+//! let report = Service::new().run(&spec)?;
+//! assert!(report.writes.max >= 1);
+//! assert_eq!(report.writes.cells, report.rrams);
+//! assert!(report.lifetime.single_array_runs > 0);
+//! # Ok::<(), rlim::Error>(())
+//! ```
+//!
+//! Named benchmarks, BLIF files on disk, backend selection and batches
+//! work the same way — see [`service`] for the full surface:
+//!
+//! ```
+//! use rlim::benchmarks::Benchmark;
+//! use rlim::{JobSpec, Service};
+//!
+//! let reports = Service::new().run_batch(&[
+//!     JobSpec::benchmark(Benchmark::Int2float),
+//!     JobSpec::benchmark(Benchmark::Ctrl),
+//! ])?;
+//! assert_eq!(reports.len(), 2);
+//! assert_eq!(reports[0].label, "int2float");
+//! # Ok::<(), rlim::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,3 +84,6 @@ pub use rlim_isa as isa;
 pub use rlim_mig as mig;
 pub use rlim_plim as plim;
 pub use rlim_rram as rram;
+pub use rlim_service as service;
+
+pub use rlim_service::{BackendKind, Error, FleetSpec, JobSpec, Report, Service};

@@ -1,0 +1,331 @@
+//! The service-layer contract: the argv ↔ [`JobSpec`] round-trip, the
+//! pinned [`Report`] JSON schema, and the batch determinism guarantee
+//! (`run_batch` serial == parallel, order-stable).
+
+use proptest::prelude::*;
+use rlim::benchmarks::Benchmark;
+use rlim::compiler::CompileOptions;
+use rlim::service::json::Json;
+use rlim::service::FleetSpec;
+use rlim::{BackendKind, JobSpec, Service};
+use rlim_cli::{parse_report_spec, report_argv};
+
+// ---- Golden JSON schema ---------------------------------------------------
+
+/// Flattens a JSON value into `path: type` lines, arrays described by
+/// their first element. Key order is the serialization order, so the
+/// golden below also pins field ordering.
+fn schema_lines(value: &Json, path: &str, out: &mut Vec<String>) {
+    match value {
+        Json::Null => out.push(format!("{path}: null")),
+        Json::Bool(_) => out.push(format!("{path}: bool")),
+        Json::UInt(_) | Json::Int(_) => out.push(format!("{path}: int")),
+        Json::Float { .. } => out.push(format!("{path}: float")),
+        Json::Str(_) => out.push(format!("{path}: string")),
+        Json::Array(items) => match items.first() {
+            None => out.push(format!("{path}: array(empty)")),
+            Some(first) => schema_lines(first, &format!("{path}[]"), out),
+        },
+        Json::Object(entries) => {
+            for (key, value) in entries {
+                schema_lines(value, &format!("{path}.{key}"), out);
+            }
+        }
+    }
+}
+
+fn schema_of(report: &rlim::Report) -> String {
+    let mut lines = Vec::new();
+    schema_lines(&report.to_json(), "$", &mut lines);
+    lines.join("\n")
+}
+
+/// The pinned schema of a plain (fleet-less, listing-less) report — what
+/// `rlim report --json <benchmark>` emits. Bump
+/// `rlim::service::REPORT_SCHEMA_VERSION` when this changes.
+const REPORT_SCHEMA: &str = "\
+$.schema: int
+$.label: string
+$.backend: string
+$.policy.preset: string
+$.policy.rewriting: null
+$.policy.selection: string
+$.policy.allocation: string
+$.policy.effort: int
+$.policy.max_writes: null
+$.policy.peephole: bool
+$.circuit.inputs: int
+$.circuit.outputs: int
+$.circuit.gates: int
+$.instructions: int
+$.rrams: int
+$.total_writes: int
+$.writes.min: int
+$.writes.max: int
+$.writes.mean: float
+$.writes.stdev: float
+$.writes.cells: int
+$.lifetime.endurance: int
+$.lifetime.single_array_runs: int
+$.lifetime.fleet_arrays: int
+$.lifetime.fleet_runs: int
+$.program: null
+$.fleet: null";
+
+/// The additional shape when a fleet rider ran and a listing was
+/// requested: `program` becomes a string and `fleet` an object.
+const FLEET_SCHEMA_SUFFIX: &str = "\
+$.program: string
+$.fleet.arrays: int
+$.fleet.dispatch: string
+$.fleet.jobs: int
+$.fleet.heavy_instructions: int
+$.fleet.light_instructions: int
+$.fleet.stream_writes: int
+$.fleet.per_array[].jobs: int
+$.fleet.per_array[].writes: int
+$.fleet.per_array[].retired: bool
+$.fleet.wear.arrays: int
+$.fleet.wear.array_totals.min: int
+$.fleet.wear.array_totals.max: int
+$.fleet.wear.array_totals.mean: float
+$.fleet.wear.array_totals.stdev: float
+$.fleet.wear.array_totals.cells: int
+$.fleet.wear.array_peaks.min: int
+$.fleet.wear.array_peaks.max: int
+$.fleet.wear.array_peaks.mean: float
+$.fleet.wear.array_peaks.stdev: float
+$.fleet.wear.array_peaks.cells: int
+$.fleet.wear.cells.min: int
+$.fleet.wear.cells.max: int
+$.fleet.wear.cells.mean: float
+$.fleet.wear.cells.stdev: float
+$.fleet.wear.cells.cells: int
+$.fleet.retired: int
+$.fleet.remaining_jobs: int
+$.fleet.first_retirement_horizon: int";
+
+/// The acceptance gate: `rlim report --json` on `div` matches the pinned
+/// schema, and the schema is benchmark-independent.
+#[test]
+fn report_json_schema_is_pinned_on_div() {
+    let spec = JobSpec::benchmark(Benchmark::Div).with_options(CompileOptions::naive());
+    let report = Service::new().run(&spec).unwrap();
+    assert_eq!(schema_of(&report), REPORT_SCHEMA);
+
+    // The same schema serves every benchmark; a rewriting preset only
+    // turns the `rewriting` null into a string.
+    let other = JobSpec::benchmark(Benchmark::Int2float)
+        .with_options(CompileOptions::endurance_aware().with_effort(1));
+    let report = Service::new().run(&other).unwrap();
+    assert_eq!(
+        schema_of(&report),
+        REPORT_SCHEMA.replace("$.policy.rewriting: null", "$.policy.rewriting: string")
+    );
+}
+
+#[test]
+fn report_json_schema_with_fleet_and_program() {
+    let spec = JobSpec::benchmark(Benchmark::Ctrl)
+        .with_options(CompileOptions::naive())
+        .with_program_text(true)
+        .with_fleet(
+            FleetSpec::new(2)
+                .with_jobs(6)
+                .with_write_budget(100_000)
+                .with_input_seed(7),
+        );
+    let report = Service::new().run(&spec).unwrap();
+    // The base schema with its trailing `program`/`fleet` nulls replaced
+    // by the expanded shapes.
+    let base: Vec<&str> = REPORT_SCHEMA.lines().collect();
+    assert_eq!(base[base.len() - 2..], ["$.program: null", "$.fleet: null"]);
+    let expect = format!(
+        "{}\n{}",
+        base[..base.len() - 2].join("\n"),
+        FLEET_SCHEMA_SUFFIX
+    );
+    assert_eq!(schema_of(&report), expect);
+}
+
+/// The exact `rlim report --json` text for a tiny deterministic job —
+/// freezes value formatting (float precision, null rendering, nesting),
+/// complementing the key/type pin above.
+#[test]
+fn report_json_golden_document() {
+    let spec = JobSpec::benchmark(Benchmark::Int2float).with_options(CompileOptions::naive());
+    let report = Service::new().run(&spec).unwrap();
+    let json = report.to_json_string();
+    for needle in [
+        "\"schema\": 1,\n",
+        "\"label\": \"int2float\",\n",
+        "\"backend\": \"rm3\",\n",
+        "\"preset\": \"naive\",\n",
+        "\"rewriting\": null,\n",
+        "\"endurance\": 10000000000,\n",
+        "\"program\": null,\n",
+        "\"fleet\": null\n",
+    ] {
+        assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+    }
+    // Serialization is deterministic run to run.
+    let again = Service::new().run(&spec).unwrap();
+    assert_eq!(json, again.to_json_string());
+}
+
+// ---- Batch determinism ----------------------------------------------------
+
+fn determinism_batch() -> Vec<JobSpec> {
+    let mut specs = vec![
+        JobSpec::benchmark(Benchmark::Ctrl).with_options(CompileOptions::naive()),
+        JobSpec::benchmark(Benchmark::Int2float)
+            .with_options(CompileOptions::endurance_aware().with_effort(1)),
+        JobSpec::benchmark(Benchmark::Ctrl)
+            .with_options(CompileOptions::endurance_aware().with_effort(1))
+            .with_backend(BackendKind::Imp),
+        JobSpec::benchmark(Benchmark::Dec)
+            .with_options(CompileOptions::min_write().with_effort(1))
+            .with_program_text(true),
+    ];
+    specs.push(
+        JobSpec::benchmark(Benchmark::Router)
+            .with_options(CompileOptions::endurance_aware().with_effort(1))
+            .with_fleet(FleetSpec::new(3).with_jobs(9).with_input_seed(42)),
+    );
+    specs
+}
+
+/// The tentpole guarantee: a forced-serial batch and a parallel batch
+/// serialize byte-identically, in spec order.
+#[test]
+fn run_batch_serial_equals_parallel_byte_identical() {
+    let specs = determinism_batch();
+    let serial: Vec<String> = Service::new()
+        .with_threads(1)
+        .run_batch(&specs)
+        .unwrap()
+        .iter()
+        .map(|r| r.to_json_string())
+        .collect();
+    for threads in [0, 2, 8] {
+        let parallel: Vec<String> = Service::new()
+            .with_threads(threads)
+            .run_batch(&specs)
+            .unwrap()
+            .iter()
+            .map(|r| r.to_json_string())
+            .collect();
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+    // Order is stable: report labels follow spec order.
+    assert_eq!(
+        serial
+            .iter()
+            .map(|json| {
+                json.lines()
+                    .find(|l| l.contains("\"label\""))
+                    .unwrap()
+                    .to_string()
+            })
+            .collect::<Vec<_>>(),
+        [
+            "  \"label\": \"ctrl\",",
+            "  \"label\": \"int2float\",",
+            "  \"label\": \"ctrl\",",
+            "  \"label\": \"dec\",",
+            "  \"label\": \"router\","
+        ]
+    );
+}
+
+// ---- argv ↔ JobSpec round-trip -------------------------------------------
+
+fn preset_strategy() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("naive"),
+        Just("plim21"),
+        Just("min-write"),
+        Just("ea-rewriting"),
+        Just("endurance-aware"),
+    ]
+}
+
+fn backend_strategy() -> impl Strategy<Value = BackendKind> {
+    prop_oneof![
+        Just(BackendKind::Rm3),
+        Just(BackendKind::HostedRm3),
+        Just(BackendKind::Imp),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = JobSpec> {
+    (
+        0usize..18,
+        preset_strategy(),
+        backend_strategy(),
+        (any::<bool>(), 0usize..10).prop_map(|(some, v)| some.then_some(v)),
+        (any::<bool>(), 3u64..200).prop_map(|(some, v)| some.then_some(v)),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+        1usize..9,
+    )
+        .prop_map(
+            |(bench, preset, backend, effort, max_writes, (peephole, program, blif), arrays)| {
+                let mut options = CompileOptions::preset(preset).expect("canonical preset");
+                if let Some(e) = effort {
+                    options = options.with_effort(e);
+                }
+                if let Some(w) = max_writes {
+                    options = options.with_max_writes(w);
+                }
+                options = options.with_peephole(peephole);
+                let benchmark = Benchmark::all()[bench];
+                let mut spec = if blif {
+                    // Path sources round-trip too (the file need not exist
+                    // to parse; the service opens it only at run time).
+                    JobSpec::blif_path(format!("/tmp/{}.blif", benchmark.name()))
+                } else {
+                    JobSpec::benchmark(benchmark)
+                };
+                spec = spec
+                    .with_backend(backend)
+                    .with_options(options)
+                    .with_program_text(program)
+                    .with_projection_arrays(arrays);
+                spec
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satellite: `argv → JobSpec → argv` is the identity on canonical
+    /// argvs, and `JobSpec → argv → JobSpec` reconstructs the spec.
+    #[test]
+    fn report_argv_roundtrip(spec in spec_strategy()) {
+        let argv = report_argv(&spec).expect("canonical specs have an argv");
+        prop_assert_eq!(argv[0].as_str(), "report");
+        let reparsed = parse_report_spec(&argv[1..]).expect("own argv parses");
+        prop_assert_eq!(&reparsed, &spec);
+        // Idempotence: the argv of the reparsed spec is the same argv.
+        let argv2 = report_argv(&reparsed).expect("still canonical");
+        prop_assert_eq!(argv, argv2);
+    }
+}
+
+#[test]
+fn argv_roundtrip_rejects_inexpressible_specs() {
+    use rlim::mig::Mig;
+    // In-memory sources have no command-line form.
+    assert!(report_argv(&JobSpec::mig(Mig::new(1))).is_err());
+    // Hand-rolled option sets match no preset.
+    let custom = CompileOptions {
+        rewriting: None,
+        ..CompileOptions::endurance_aware()
+    };
+    let spec = JobSpec::benchmark(Benchmark::Ctrl).with_options(custom);
+    assert!(report_argv(&spec).is_err());
+    // Fleet riders belong to `rlim fleet`.
+    let spec = JobSpec::benchmark(Benchmark::Ctrl).with_fleet(FleetSpec::new(2));
+    assert!(report_argv(&spec).is_err());
+}
