@@ -1,4 +1,5 @@
-//! End-to-end `rewrite + compile` wall-clock benchmark runner.
+//! End-to-end `rewrite + compile` wall-clock benchmark runner and
+//! fleet-throughput trend tracker.
 //!
 //! Times the full endurance-aware pipeline (Algorithm 2 rewriting at the
 //! paper's effort, then Algorithm 3 compilation) on the largest vendored
@@ -9,12 +10,23 @@
 //! cargo run --release -p rlim-bench --bin bench_compile
 //! cargo run --release -p rlim-bench --bin bench_compile -- --quick --out smoke.json
 //! cargo run --release -p rlim-bench --bin bench_compile -- --baseline BENCH_compile.json
+//! cargo run --release -p rlim-bench --bin bench_compile -- --db BENCH_db.json --gate
 //! ```
 //!
-//! With `--baseline`, per-benchmark `speedup` fields are computed against
-//! the `total_seconds` of a previously written JSON file. The functional
-//! metrics (`instructions`, `rrams`) are recorded so that a perf regression
-//! that silently changes the emitted program is caught by diffing the file.
+//! With `--baseline`, per-benchmark `speedup_vs_prev_commit` fields are
+//! computed against the `total_seconds` of a previously **committed**
+//! JSON file (see `rlim_bench`'s crate docs for the exact semantics).
+//! The functional metrics (`instructions`, `rrams`) are recorded so that
+//! a perf regression that silently changes the emitted program is caught
+//! by diffing the file.
+//!
+//! With `--db`, the fleet throughput measurement — the scalar
+//! `run_batch` path and the word-level `run_batch_simd` path over the
+//! same workload — is appended as one record to the append-only bench
+//! database (`rlim_bench::db`), and checked against the last committed
+//! record by the regression gate: `--gate` fails the process on a
+//! regression beyond `--gate-tolerance` (default 0.5), `--gate-dry-run`
+//! reports it without failing.
 //!
 //! The runner is a thin client of [`rlim_service`]: each benchmark's
 //! compile (and peephole twin) is a [`JobSpec`] batch over the shared
@@ -22,15 +34,12 @@
 //! compiled once through a service batch, and the JSON file is emitted
 //! through the service's [`Json`] writer instead of hand-concatenated
 //! strings.
-//!
-//! The report also carries one `fleet` record: execution throughput
-//! (jobs/s, RM3 instructions/s) of an alternating naive/endurance-aware
-//! workload on a 4-array [`rlim_plim::Fleet`] under least-worn dispatch —
-//! the runtime-side counterpart to the compile-side rows above.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use rlim_bench::db::{self, BenchRecord, DEFAULT_GATE_TOLERANCE};
+use rlim_bench::{baseline_totals, speedup_vs_prev_commit};
 use rlim_benchmarks::Benchmark;
 use rlim_compiler::CompileOptions;
 use rlim_mig::rewrite::{rewrite, Algorithm};
@@ -80,7 +89,7 @@ impl Row {
             ("total_seconds", Json::float(self.total_seconds(), 6)),
         ];
         if let Some(s) = speedup {
-            entries.push(("speedup_vs_baseline", Json::float(s, 3)));
+            entries.push(("speedup_vs_prev_commit", Json::float(s, 3)));
         }
         entries.extend([
             ("instructions", Json::from(self.instructions)),
@@ -143,13 +152,15 @@ fn measure(service: &Service, benchmark: Benchmark, effort: usize, repeat: usize
     best.expect("at least one repetition")
 }
 
-/// Fleet execution-throughput measurement.
+/// Fleet execution-throughput measurement: the same alternating
+/// naive/endurance-aware workload timed on both execution paths.
 struct FleetRow {
     name: &'static str,
     arrays: usize,
     jobs: usize,
     instructions: u64,
-    seconds: f64,
+    scalar_seconds: f64,
+    simd_seconds: f64,
 }
 
 impl FleetRow {
@@ -161,24 +172,46 @@ impl FleetRow {
             ("arrays", Json::from(self.arrays)),
             ("jobs", Json::from(self.jobs)),
             ("instructions", Json::from(self.instructions)),
-            ("seconds", Json::float(self.seconds, 6)),
+            ("scalar_seconds", Json::float(self.scalar_seconds, 6)),
             (
-                "jobs_per_second",
-                Json::float(self.jobs as f64 / self.seconds, 1),
+                "scalar_instructions_per_second",
+                Json::float(self.instructions as f64 / self.scalar_seconds, 0),
+            ),
+            ("simd_seconds", Json::float(self.simd_seconds, 6)),
+            (
+                "simd_instructions_per_second",
+                Json::float(self.instructions as f64 / self.simd_seconds, 0),
             ),
             (
-                "instructions_per_second",
-                Json::float(self.instructions as f64 / self.seconds, 0),
+                "simd_speedup",
+                Json::float(self.scalar_seconds / self.simd_seconds, 3),
             ),
         ])
+    }
+
+    fn to_record(&self, run: u64) -> BenchRecord {
+        BenchRecord {
+            run,
+            benchmark: self.name.to_owned(),
+            arrays: self.arrays,
+            jobs: self.jobs,
+            instructions: self.instructions,
+            scalar_seconds: self.scalar_seconds,
+            scalar_ops_per_second: self.instructions as f64 / self.scalar_seconds,
+            simd_seconds: self.simd_seconds,
+            simd_ops_per_second: self.instructions as f64 / self.simd_seconds,
+            speedup: self.scalar_seconds / self.simd_seconds,
+        }
     }
 }
 
 /// Times an alternating naive/endurance-aware workload of `jobs` runs on
-/// a fresh 4-array least-worn fleet (threads: one per core). The heavy
-/// and light programs are compiled **once**, as a service batch whose
-/// reports carry the parseable listings; only the fleet execution is
-/// repeated and timed, best of `repeat` wall-clock runs.
+/// a fresh 4-array least-worn fleet (threads: one per core), once
+/// through the scalar dispatcher and once SIMD-batched into word-level
+/// lane groups. The heavy and light programs are compiled **once**, as a
+/// service batch whose reports carry the parseable listings; only the
+/// fleet execution is repeated and timed, best of `repeat` wall-clock
+/// runs per path.
 fn measure_fleet(
     service: &Service,
     benchmark: Benchmark,
@@ -211,51 +244,31 @@ fn measure_fleet(
     let job_list = Job::alternating(&heavy, &light, &inputs, jobs);
     let instructions: u64 = job_list.iter().map(Job::cost).sum();
 
-    let mut best = f64::INFINITY;
+    let mut scalar_seconds = f64::INFINITY;
+    let mut simd_seconds = f64::INFINITY;
     for _ in 0..repeat.max(1) {
         let mut fleet = Fleet::new(FleetConfig::new(ARRAYS));
         let t0 = Instant::now();
         fleet
             .run_batch(&job_list, 0)
             .expect("unbudgeted fleet cannot fail");
-        best = best.min(t0.elapsed().as_secs_f64());
+        scalar_seconds = scalar_seconds.min(t0.elapsed().as_secs_f64());
+
+        let mut fleet = Fleet::new(FleetConfig::new(ARRAYS));
+        let t0 = Instant::now();
+        fleet
+            .run_batch_simd(&job_list, 0)
+            .expect("unbudgeted fleet cannot fail");
+        simd_seconds = simd_seconds.min(t0.elapsed().as_secs_f64());
     }
     FleetRow {
         name: benchmark.name(),
         arrays: ARRAYS,
         jobs,
         instructions,
-        seconds: best,
+        scalar_seconds,
+        simd_seconds,
     }
-}
-
-/// Reads `"name" ... "total_seconds": <x>` pairs out of a previously
-/// written report, without a JSON dependency. Good enough for files this
-/// binary wrote itself.
-fn baseline_totals(path: &str) -> Vec<(String, f64)> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-    let mut out = Vec::new();
-    let mut name: Option<String> = None;
-    for line in text.lines() {
-        let line = line.trim();
-        if let Some(rest) = line.strip_prefix("\"name\":") {
-            name = rest
-                .trim()
-                .trim_end_matches(',')
-                .trim_matches('"')
-                .to_owned()
-                .into();
-        } else if let Some(rest) = line.strip_prefix("\"total_seconds\":") {
-            if let (Some(n), Ok(v)) = (
-                name.take(),
-                rest.trim().trim_end_matches(',').parse::<f64>(),
-            ) {
-                out.push((n, v));
-            }
-        }
-    }
-    out
 }
 
 fn main() {
@@ -264,6 +277,11 @@ fn main() {
     let mut out_path = "BENCH_compile.json".to_owned();
     let mut baseline: Option<String> = None;
     let mut repeat = 1usize;
+    let mut fleet_jobs = 256usize;
+    let mut db_path: Option<String> = None;
+    let mut gate = false;
+    let mut gate_dry_run = false;
+    let mut gate_tolerance = DEFAULT_GATE_TOLERANCE;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -288,13 +306,29 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--repeat needs a number");
             }
+            "--jobs" => {
+                fleet_jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a number");
+            }
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--db" => db_path = Some(args.next().expect("--db needs a path")),
+            "--gate" => gate = true,
+            "--gate-dry-run" => gate_dry_run = true,
+            "--gate-tolerance" => {
+                gate_tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--gate-tolerance needs a number");
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench_compile [--quick] [--bench a,b,c] [--effort N] \
-                     [--repeat N] [--out PATH] [--baseline PATH]"
+                     [--repeat N] [--jobs N] [--out PATH] [--baseline PATH] \
+                     [--db PATH] [--gate | --gate-dry-run] [--gate-tolerance X]"
                 );
                 std::process::exit(2);
             }
@@ -304,7 +338,11 @@ fn main() {
     // A forced-serial service: timings must not fight other compiles for
     // cores, and the compile/peephole pair must run back to back.
     let service = Service::new().with_threads(1);
-    let baseline_rows = baseline.as_deref().map(baseline_totals);
+    let baseline_rows = baseline.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        baseline_totals(&text)
+    });
     let mut rows = Vec::with_capacity(benchmarks.len());
     for &b in &benchmarks {
         let row = measure(&service, b, effort, repeat);
@@ -328,29 +366,31 @@ fn main() {
     let benchmark_records: Vec<Json> = rows
         .iter()
         .map(|row| {
-            let speedup = baseline_rows.as_ref().and_then(|b| {
-                b.iter()
-                    .find(|(n, _)| n == row.name)
-                    .map(|(_, secs)| secs / row.total_seconds())
-            });
+            let speedup = baseline_rows
+                .as_ref()
+                .and_then(|b| speedup_vs_prev_commit(b, row.name, row.total_seconds()));
             row.to_json(speedup)
         })
         .collect();
 
-    // Fleet execution throughput on the largest benchmark of the set.
-    let fleet = measure_fleet(&service, benchmarks[0], effort, 32, repeat);
+    // Fleet execution throughput on the largest benchmark of the set,
+    // scalar vs word-level SIMD.
+    let fleet = measure_fleet(&service, benchmarks[0], effort, fleet_jobs, repeat);
     eprintln!(
-        "[fleet:{}] {} jobs on {} arrays: {:.3}s ({:.0} jobs/s, {:.0} RM3/s)",
+        "[fleet:{}] {} jobs on {} arrays: scalar {:.3}s ({:.0} RM3/s), \
+         simd {:.3}s ({:.0} RM3/s, {:.2}x)",
         fleet.name,
         fleet.jobs,
         fleet.arrays,
-        fleet.seconds,
-        fleet.jobs as f64 / fleet.seconds,
-        fleet.instructions as f64 / fleet.seconds
+        fleet.scalar_seconds,
+        fleet.instructions as f64 / fleet.scalar_seconds,
+        fleet.simd_seconds,
+        fleet.instructions as f64 / fleet.simd_seconds,
+        fleet.scalar_seconds / fleet.simd_seconds
     );
 
     let document = Json::object([
-        ("schema", Json::from(1u64)),
+        ("schema", Json::from(2u64)),
         ("effort", Json::from(effort)),
         ("algorithm", Json::from("endurance_aware")),
         ("benchmarks", Json::Array(benchmark_records)),
@@ -361,4 +401,27 @@ fn main() {
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    if let Some(db_path) = db_path {
+        let db_path = std::path::Path::new(&db_path);
+        let history = db::records(db_path)
+            .unwrap_or_else(|e| panic!("cannot read bench DB {}: {e}", db_path.display()));
+        let record = fleet.to_record(db::next_run(&history));
+        if let Some(previous) = history.last() {
+            match db::regression_gate(previous, &record, gate_tolerance) {
+                Ok(()) => eprintln!("gate: ok vs run {} ({previous})", previous.run),
+                Err(msg) if gate_dry_run => eprintln!("gate (dry-run, not enforced): {msg}"),
+                Err(msg) if gate => {
+                    eprintln!("gate: FAIL: {msg}");
+                    std::process::exit(1);
+                }
+                Err(msg) => eprintln!("gate (pass --gate to enforce): {msg}"),
+            }
+        } else {
+            eprintln!("gate: no previous record, nothing to compare against");
+        }
+        db::append(db_path, &record)
+            .unwrap_or_else(|e| panic!("cannot append to {}: {e}", db_path.display()));
+        eprintln!("appended to {}: {record}", db_path.display());
+    }
 }

@@ -1,0 +1,348 @@
+//! The on-disk bench database: an **append-only** JSON array of per-run
+//! fleet-throughput records, written through the workspace's in-tree
+//! [`Json`] writer, plus the regression gate that compares a fresh
+//! measurement against the last committed record.
+//!
+//! The file format is deliberately boring — a pretty-printed JSON array
+//! whose element shape (field order, float precision) is pinned by the
+//! golden test in `tests/service_api.rs` — and appends are **text
+//! splices**: a new record is added by replacing the trailing `\n]\n`
+//! with `,\n<record>\n]\n`, so committed history is never reformatted
+//! and `git diff` shows exactly one new record per run.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use rlim_service::json::Json;
+
+/// Default relative throughput drop tolerated by the regression gate
+/// (`0.5` = the new run may be up to 50% slower than the last committed
+/// record before the gate trips; wall-clock noise on shared CI runners
+/// is large, so the gate is a safety net against order-of-magnitude
+/// regressions, not a ±5% tripwire).
+pub const DEFAULT_GATE_TOLERANCE: f64 = 0.5;
+
+/// One committed fleet-throughput measurement.
+///
+/// `*_ops_per_second` count executed RM3 instructions — on the SIMD
+/// path each word pass retires one instruction *per active lane*, so the
+/// two columns are directly comparable (same logical work, different
+/// wall-clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Monotonic run index (1-based; previous committed record + 1).
+    pub run: u64,
+    /// Benchmark whose programs made up the workload.
+    pub benchmark: String,
+    /// Fleet size.
+    pub arrays: usize,
+    /// Jobs in the alternating heavy/light workload.
+    pub jobs: usize,
+    /// Total RM3 instructions the workload executes (logical, both paths).
+    pub instructions: u64,
+    /// Best wall-clock seconds for the scalar `run_batch` path.
+    pub scalar_seconds: f64,
+    /// `instructions / scalar_seconds`.
+    pub scalar_ops_per_second: f64,
+    /// Best wall-clock seconds for the word-level `run_batch_simd` path.
+    pub simd_seconds: f64,
+    /// `instructions / simd_seconds`.
+    pub simd_ops_per_second: f64,
+    /// `scalar_seconds / simd_seconds` — the word-level win this run.
+    pub speedup: f64,
+}
+
+impl BenchRecord {
+    /// The record's pinned JSON shape (field order and float precision
+    /// are frozen by the golden schema test).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("run", Json::from(self.run)),
+            ("benchmark", Json::from(self.benchmark.as_str())),
+            ("arrays", Json::from(self.arrays)),
+            ("jobs", Json::from(self.jobs)),
+            ("instructions", Json::from(self.instructions)),
+            ("scalar_seconds", Json::float(self.scalar_seconds, 6)),
+            (
+                "scalar_ops_per_second",
+                Json::float(self.scalar_ops_per_second, 0),
+            ),
+            ("simd_seconds", Json::float(self.simd_seconds, 6)),
+            (
+                "simd_ops_per_second",
+                Json::float(self.simd_ops_per_second, 0),
+            ),
+            ("speedup", Json::float(self.speedup, 3)),
+        ])
+    }
+}
+
+impl fmt::Display for BenchRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run {}: {} x{} jobs on {} arrays, scalar {:.0} ops/s, simd {:.0} ops/s ({:.2}x)",
+            self.run,
+            self.benchmark,
+            self.jobs,
+            self.arrays,
+            self.scalar_ops_per_second,
+            self.simd_ops_per_second,
+            self.speedup
+        )
+    }
+}
+
+/// Renders a record as it appears inside the DB array: the object
+/// rendered at depth 1 (every line indented two spaces).
+fn render_entry(record: &BenchRecord) -> String {
+    record
+        .to_json()
+        .render()
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Appends `record` to the DB at `path`, creating the file if missing.
+///
+/// Append-only by construction: an existing file is extended by splicing
+/// the new entry before the closing bracket — earlier records are kept
+/// byte-identical (asserted by the golden test).
+pub fn append(path: &Path, record: &BenchRecord) -> io::Result<()> {
+    let entry = render_entry(record);
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let base = text.strip_suffix("\n]\n").ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: not a bench DB (missing trailing `]`)", path.display()),
+                )
+            })?;
+            format!("{base},\n{entry}\n]\n")
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => format!("[\n{entry}\n]\n"),
+        Err(e) => return Err(e),
+    };
+    std::fs::write(path, text)
+}
+
+/// Reads every record back out of a DB file. Line-scrapes the pinned
+/// format (the workspace has no JSON parser dependency); the shape is
+/// frozen by the golden test, so this is exact for files [`append`]
+/// wrote.
+pub fn records(path: &Path) -> io::Result<Vec<BenchRecord>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    parse_records(&text).map_err(|msg| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {msg}", path.display()),
+        )
+    })
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.trim()
+        .strip_prefix("\"")?
+        .strip_prefix(key)?
+        .strip_prefix("\": ")
+        .map(|rest| rest.trim_end_matches(','))
+}
+
+fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut out = Vec::new();
+    let mut current: Option<BenchRecord> = None;
+    for line in text.lines() {
+        if line.trim() == "{" {
+            current = Some(BenchRecord {
+                run: 0,
+                benchmark: String::new(),
+                arrays: 0,
+                jobs: 0,
+                instructions: 0,
+                scalar_seconds: 0.0,
+                scalar_ops_per_second: 0.0,
+                simd_seconds: 0.0,
+                simd_ops_per_second: 0.0,
+                speedup: 0.0,
+            });
+            continue;
+        }
+        if matches!(line.trim(), "}" | "},") {
+            if let Some(r) = current.take() {
+                out.push(r);
+            }
+            continue;
+        }
+        let Some(r) = current.as_mut() else { continue };
+        let num = |v: &str| v.parse::<f64>().map_err(|e| format!("bad number {v}: {e}"));
+        if let Some(v) = field(line, "run") {
+            r.run = num(v)? as u64;
+        } else if let Some(v) = field(line, "benchmark") {
+            r.benchmark = v.trim_matches('"').to_owned();
+        } else if let Some(v) = field(line, "arrays") {
+            r.arrays = num(v)? as usize;
+        } else if let Some(v) = field(line, "jobs") {
+            r.jobs = num(v)? as usize;
+        } else if let Some(v) = field(line, "instructions") {
+            r.instructions = num(v)? as u64;
+        } else if let Some(v) = field(line, "scalar_seconds") {
+            r.scalar_seconds = num(v)?;
+        } else if let Some(v) = field(line, "scalar_ops_per_second") {
+            r.scalar_ops_per_second = num(v)?;
+        } else if let Some(v) = field(line, "simd_seconds") {
+            r.simd_seconds = num(v)?;
+        } else if let Some(v) = field(line, "simd_ops_per_second") {
+            r.simd_ops_per_second = num(v)?;
+        } else if let Some(v) = field(line, "speedup") {
+            r.speedup = num(v)?;
+        }
+    }
+    if current.is_some() {
+        return Err("unterminated record".to_owned());
+    }
+    Ok(out)
+}
+
+/// The run index the next appended record should carry.
+pub fn next_run(records: &[BenchRecord]) -> u64 {
+    records.last().map_or(1, |r| r.run + 1)
+}
+
+/// The regression gate: `current` may not be more than `tolerance`
+/// (relative) slower than `previous` on either execution path. Returns
+/// the human-readable failure description on a regression.
+pub fn regression_gate(
+    previous: &BenchRecord,
+    current: &BenchRecord,
+    tolerance: f64,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for (label, prev, cur) in [
+        (
+            "scalar",
+            previous.scalar_ops_per_second,
+            current.scalar_ops_per_second,
+        ),
+        (
+            "simd",
+            previous.simd_ops_per_second,
+            current.simd_ops_per_second,
+        ),
+    ] {
+        let floor = prev * (1.0 - tolerance);
+        if cur < floor {
+            failures.push(format!(
+                "{label} throughput regressed: {cur:.0} ops/s < {floor:.0} \
+                 (run {} recorded {prev:.0}, tolerance {tolerance})",
+                previous.run
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn record(run: u64, scalar: f64, simd: f64) -> BenchRecord {
+        BenchRecord {
+            run,
+            benchmark: "div".to_owned(),
+            arrays: 4,
+            jobs: 256,
+            instructions: 25_000_000,
+            scalar_seconds: 25_000_000.0 / scalar,
+            scalar_ops_per_second: scalar,
+            simd_seconds: 25_000_000.0 / simd,
+            simd_ops_per_second: simd,
+            speedup: simd / scalar,
+        }
+    }
+
+    fn temp_db(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("rlim_bench_db_{}_{name}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn append_then_read_back_round_trips() {
+        let path = temp_db("roundtrip");
+        let a = record(1, 2.0e8, 4.0e9);
+        let b = record(2, 2.1e8, 4.2e9);
+        append(&path, &a).unwrap();
+        append(&path, &b).unwrap();
+        let back = records(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].run, 1);
+        assert_eq!(back[1].run, 2);
+        assert_eq!(back[0].benchmark, "div");
+        assert_eq!(back[1].scalar_ops_per_second, 2.1e8);
+        assert_eq!(back[1].simd_ops_per_second, 4.2e9);
+        assert_eq!(next_run(&back), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_is_a_pure_suffix_splice() {
+        let path = temp_db("suffix");
+        append(&path, &record(1, 1.0e8, 1.0e9)).unwrap();
+        let before = std::fs::read_to_string(&path).unwrap();
+        append(&path, &record(2, 1.0e8, 1.0e9)).unwrap();
+        let after = std::fs::read_to_string(&path).unwrap();
+        // Everything up to the closing bracket is byte-identical.
+        let stem = before.strip_suffix("\n]\n").unwrap();
+        assert!(after.starts_with(stem));
+        assert!(after.ends_with("\n]\n"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_db_reads_empty_and_counts_from_one() {
+        let path = temp_db("missing");
+        assert_eq!(records(&path).unwrap(), Vec::new());
+        assert_eq!(next_run(&[]), 1);
+    }
+
+    #[test]
+    fn corrupt_db_is_rejected_not_clobbered() {
+        let path = temp_db("corrupt");
+        std::fs::write(&path, "not a db").unwrap();
+        let err = append(&path, &record(1, 1.0, 1.0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "not a db");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gate_trips_only_beyond_the_tolerance() {
+        let prev = record(1, 2.0e8, 4.0e9);
+        // Within tolerance (50% floor): fine, even when slower.
+        assert!(regression_gate(&prev, &record(2, 1.1e8, 2.1e9), 0.5).is_ok());
+        // Simd path collapsed: trips, and names the path.
+        let err = regression_gate(&prev, &record(2, 2.0e8, 1.0e9), 0.5).unwrap_err();
+        assert!(err.contains("simd throughput regressed"), "{err}");
+        assert!(!err.contains("scalar throughput regressed"), "{err}");
+        // Both paths collapsed: both named.
+        let err = regression_gate(&prev, &record(2, 1.0e7, 1.0e9), 0.5).unwrap_err();
+        assert!(err.contains("scalar throughput regressed"), "{err}");
+        assert!(err.contains("simd throughput regressed"), "{err}");
+        // Zero tolerance is a strict monotonicity gate.
+        assert!(regression_gate(&prev, &prev, 0.0).is_ok());
+        assert!(regression_gate(&prev, &record(2, 1.9e8, 4.0e9), 0.0).is_err());
+    }
+}

@@ -105,13 +105,14 @@ usage:
   rlim bench   <benchmark> [--policy P] [--max-writes W] [--effort N] [--peephole]
                [-o out.plim]
   rlim fleet   <benchmark> [--arrays N] [--jobs J] [--dispatch D] [--write-budget W]
-               [--effort N] [--threads N]
+               [--effort N] [--threads N] [--simd]
   rlim list
 
 policies: naive | plim21 | min-write | ea-rewriting | endurance-aware (default)
-backends: rm3 (default) | hosted-rm3 | imp
+backends: rm3 (default) | hosted-rm3 | rm3-wide | imp
 dispatch: round-robin | least-worn (default)
 --peephole runs the write-elision pass (never increases #I or any cell's writes)
+--simd packs same-program fleet jobs into 64-lane word-level passes
 --json renders the report through the service's stable JSON schema
 ";
 
@@ -286,7 +287,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
 /// The positional argument is resolved as a benchmark name first and a
 /// BLIF path otherwise. The compiler-configuration flags
 /// (`--policy/--effort/--max-writes/--peephole`) are the shared
-/// vocabulary of [`parse_common`], so `report` can never drift from
+/// vocabulary of `parse_common`, so `report` can never drift from
 /// `compile`/`bench`; `--backend` selects the flow, `--program`
 /// includes the listing, and `--arrays` sets the lifetime projection's
 /// fleet size. [`report_argv`] is the exact inverse on canonical specs.
@@ -493,6 +494,7 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
     let mut jobs = 24usize;
     let mut dispatch = DispatchPolicy::LeastWorn;
     let mut write_budget: Option<u64> = None;
+    let mut simd = false;
     let mut effort = 5usize;
     let mut threads = std::env::var("RLIM_THREADS")
         .ok()
@@ -530,6 +532,7 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
                 }
                 write_budget = Some(w);
             }
+            "--simd" => simd = true,
             other if other.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown flag `{other}`")));
             }
@@ -546,7 +549,8 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
     };
     let mut fleet_spec = FleetSpec::new(arrays)
         .with_jobs(jobs)
-        .with_dispatch(dispatch);
+        .with_dispatch(dispatch)
+        .with_simd(simd);
     if let Some(w) = write_budget {
         fleet_spec = fleet_spec.with_write_budget(w);
     }
@@ -568,8 +572,10 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{name}: fleet of {arrays} arrays, {} dispatch, {} jobs (alternating naive / endurance-aware)",
-        fleet.dispatch, fleet.jobs
+        "{name}: fleet of {arrays} arrays, {} dispatch{}, {} jobs (alternating naive / endurance-aware)",
+        fleet.dispatch,
+        if fleet.simd { " (simd)" } else { "" },
+        fleet.jobs
     );
     let _ = writeln!(
         out,
@@ -831,6 +837,22 @@ mod tests {
     }
 
     #[test]
+    fn fleet_simd_flag_is_wear_neutral() {
+        let base = &["fleet", "int2float", "--arrays", "3", "--jobs", "9"];
+        let scalar = run_str(base).unwrap();
+        let mut with_simd: Vec<&str> = base.to_vec();
+        with_simd.push("--simd");
+        let simd = run_str(&with_simd).unwrap();
+        assert!(simd.contains("least-worn dispatch (simd)"), "{simd}");
+        assert!(!scalar.contains("(simd)"), "{scalar}");
+        // Identical dispatch and wear, line for line, below the header.
+        assert_eq!(
+            scalar.lines().skip(1).collect::<Vec<_>>(),
+            simd.lines().skip(1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn compile_run_stats_pipeline() {
         // AND gate in BLIF → compile to a temp .plim → run → stats.
         let blif_path = write_temp("and.blif", ".inputs a b\n.outputs f\n.names a b f\n11 1\n");
@@ -895,7 +917,7 @@ mod tests {
         assert!(text.contains("lifetime:"), "{text}");
 
         let json = run_str(&["report", "int2float", "--policy", "naive", "--json"]).unwrap();
-        assert!(json.starts_with("{\n  \"schema\": 1,"), "{json}");
+        assert!(json.starts_with("{\n  \"schema\": 2,"), "{json}");
         assert!(json.contains("\"label\": \"int2float\""), "{json}");
         assert!(json.contains("\"preset\": \"naive\""), "{json}");
         assert!(json.ends_with("}\n"), "trailing newline expected");

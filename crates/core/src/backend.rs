@@ -9,6 +9,9 @@
 //!   pipeline, executed on the external `Machine`;
 //! * [`HostedRm3Backend`] — the same programs, self-hosted in the
 //!   crossbar and driven by the `Controller` FSM (paper §III-A2);
+//! * [`WideRm3Backend`] — the same programs again, executed bit-parallel
+//!   on the word-level `WideMachine` (one `u64` word per cell, up to 64
+//!   input vectors per instruction, wear accounted per logical write);
 //! * [`ImpBackend`] — the material-implication NAND-synthesis baseline
 //!   (paper §II), executed on the `ImpMachine`.
 //!
@@ -21,7 +24,7 @@ use rlim_imp::{synthesize, ImpAllocation, ImpMachine, ImpOp, ImpSynthOptions};
 use rlim_isa::{Isa, Program};
 use rlim_mig::rewrite::rewrite;
 use rlim_mig::Mig;
-use rlim_plim::{Controller, Instruction, Machine};
+use rlim_plim::{Controller, Instruction, Machine, WideMachine};
 use rlim_rram::EnduranceError;
 
 use crate::options::{Allocation, CompileOptions};
@@ -123,6 +126,54 @@ impl Backend for HostedRm3Backend {
     }
 }
 
+/// The word-level PLiM flow: identical programs to [`Rm3Backend`],
+/// executed bit-parallel on the [`WideMachine`] — the [`Backend`]
+/// interface runs one lane per call, and [`WideRm3Backend::execute_many`]
+/// packs whole pattern batches 64 to the word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WideRm3Backend;
+
+impl WideRm3Backend {
+    /// Executes `program` once per input vector, packed into word-level
+    /// passes of up to 64 lanes, returning each vector's primary outputs
+    /// in order. One RM3 instruction advances a full chunk, so this is
+    /// the high-throughput path the fleet's SIMD dispatch builds on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input vector does not match the program's interface.
+    pub fn execute_many(
+        &self,
+        program: &Program<Instruction>,
+        input_vectors: &[&[bool]],
+    ) -> Vec<Vec<bool>> {
+        let mut outputs = Vec::with_capacity(input_vectors.len());
+        for chunk in input_vectors.chunks(64) {
+            outputs.extend(rlim_plim::run_once_wide(program, chunk).0);
+        }
+        outputs
+    }
+}
+
+impl Backend for WideRm3Backend {
+    type Instr = Instruction;
+    const NAME: &'static str = "rm3-wide";
+
+    fn compile(&self, mig: &Mig, options: &CompileOptions) -> Program<Instruction> {
+        Rm3Backend.compile(mig, options)
+    }
+
+    fn execute(
+        &self,
+        program: &Program<Instruction>,
+        inputs: &[bool],
+    ) -> Result<Vec<bool>, EnduranceError> {
+        let mut machine = WideMachine::for_program(program, 1);
+        let mut outputs = machine.run(program, &[inputs])?;
+        Ok(outputs.swap_remove(0))
+    }
+}
+
 /// The material-implication baseline: NAND synthesis over the (optionally
 /// rewritten) graph, executed on the IMPLY machine.
 #[derive(Debug, Clone, Copy, Default)]
@@ -196,6 +247,31 @@ mod tests {
                 assert_eq!(HostedRm3Backend.execute(&hosted, &inputs).unwrap(), expect);
                 assert_eq!(ImpBackend.execute(&imp, &inputs).unwrap(), expect);
             }
+        }
+    }
+
+    /// The wide backend compiles the identical program and agrees with the
+    /// scalar machine pattern by pattern, one lane or many.
+    #[test]
+    fn wide_backend_matches_scalar_lane_by_lane() {
+        let mig = sample_mig(11);
+        let options = CompileOptions::endurance_aware().with_effort(1);
+        let program = WideRm3Backend.compile(&mig, &options);
+        assert_eq!(program, Rm3Backend.compile(&mig, &options));
+        let patterns: Vec<Vec<bool>> = (0..(1u32 << mig.num_inputs()))
+            .map(|pattern| {
+                (0..mig.num_inputs())
+                    .map(|i| (pattern >> i) & 1 == 1)
+                    .collect()
+            })
+            .collect();
+        let vectors: Vec<&[bool]> = patterns.iter().map(Vec::as_slice).collect();
+        let packed = WideRm3Backend.execute_many(&program, &vectors);
+        assert_eq!(packed.len(), vectors.len());
+        for (inputs, wide_out) in vectors.iter().zip(&packed) {
+            let expect = Rm3Backend.execute(&program, inputs).unwrap();
+            assert_eq!(wide_out, &expect);
+            assert_eq!(WideRm3Backend.execute(&program, inputs).unwrap(), expect);
         }
     }
 

@@ -60,7 +60,7 @@ mod pipeline;
 mod select;
 mod translate;
 
-pub use backend::{Backend, HostedRm3Backend, ImpBackend, Rm3Backend};
+pub use backend::{Backend, HostedRm3Backend, ImpBackend, Rm3Backend, WideRm3Backend};
 pub use cells::CellManager;
 pub use compiler::{compile, CompileResult};
 pub use options::{Allocation, CompileOptions, Selection};

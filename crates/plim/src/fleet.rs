@@ -61,10 +61,11 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use rlim_rram::{Crossbar, EnduranceError, FleetWriteStats};
+use rlim_rram::{Crossbar, EnduranceError, FleetWriteStats, WideCrossbar};
 
 use crate::isa::Program;
 use crate::machine::Machine;
+use crate::wide::WideMachine;
 
 /// How the dispatcher chooses an array for the next job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -467,11 +468,100 @@ impl Fleet {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
+        let (assignment, per_array) = self.prepare_batch(jobs)?;
+        let results: Vec<ResultSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        self.execute_arrays(&per_array, threads, |machine, list| {
+            for &j in list {
+                let outcome = machine.run(jobs[j].program, jobs[j].inputs);
+                let failed = outcome.is_err();
+                *results[j].lock().expect("result lock") = Some(outcome);
+                if failed {
+                    return; // this array is dead; its later jobs never ran
+                }
+            }
+        });
+        self.collect_results(&assignment, results)
+    }
 
-        // ---- Plan (serial, deterministic, transactional) -----------------
-        // Planned state is committed only when every job places: a batch
-        // that exhausts the fleet leaves wear, retirement and the
-        // round-robin cursor untouched.
+    /// [`Fleet::run_batch`] with the batch packed into SIMD lanes: jobs
+    /// dispatched to the same array that share a program are executed as
+    /// one word-level [`WideMachine`] pass of up to 64 lanes per
+    /// instruction, instead of one scalar run per job.
+    ///
+    /// Dispatch, job outputs and wear are unchanged: the plan is the one
+    /// [`Fleet::run_batch`] would produce, word writes charge one logical
+    /// write per lane so every array's per-cell write counts (and thus all
+    /// [`FleetStats`]) equal the unbatched run's, and serial and parallel
+    /// invocations stay byte-identical. Lane groups commit in order of
+    /// their last dispatched job, so each cell's final stored value is the
+    /// serial last writer's. Two observable deviations, both outside the
+    /// endurance evaluation: per-cell *switch* counts may differ (a word
+    /// store cannot observe per-lane flips), and an endurance failure is
+    /// reported for the first job of the failing lane group — word writes
+    /// fail atomically, never exceeding the serial run's wear.
+    ///
+    /// Programs are assumed state-insensitive — every work cell is
+    /// established (`set0`/`set1`) before it is read, which `rlim-compiler`
+    /// output guarantees and the differential suite asserts. A hand-written
+    /// program that reads a cell it never established may observe different
+    /// garbage lane values than a scalar run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::run_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job's input vector does not match its program's
+    /// interface.
+    pub fn run_batch_simd(
+        &mut self,
+        jobs: &[Job<'_>],
+        threads: usize,
+    ) -> Result<Vec<Vec<bool>>, FleetError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (assignment, per_array) = self.prepare_batch(jobs)?;
+        let results: Vec<ResultSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        self.execute_arrays(&per_array, threads, |machine, list| {
+            for group in lane_groups(jobs, list) {
+                let lanes = group.len();
+                let program = jobs[group[0]].program;
+                let lane_inputs: Vec<&[bool]> = group.iter().map(|&j| jobs[j].inputs).collect();
+                let overlay = WideCrossbar::from_scalar(machine.array());
+                let mut wide = WideMachine::with_array(overlay, lanes);
+                let outcome = wide.run(program, &lane_inputs);
+                // Commit even on failure: wear performed before the failing
+                // word write persists, as in the scalar path.
+                wide.array().commit_into(machine.array_mut(), lanes - 1);
+                match outcome {
+                    Ok(lane_outputs) => {
+                        for (&j, out) in group.iter().zip(lane_outputs) {
+                            *results[j].lock().expect("result lock") = Some(Ok(out));
+                        }
+                    }
+                    Err(error) => {
+                        *results[group[0]].lock().expect("result lock") = Some(Err(error));
+                        return; // this array is dead; later groups never ran
+                    }
+                }
+            }
+        });
+        self.collect_results(&assignment, results)
+    }
+
+    /// Plans a batch and commits the plan: wear totals, job counts,
+    /// retirement and the round-robin cursor. Returns the job → array
+    /// assignment and each array's job list (in dispatch order), with
+    /// every involved crossbar grown to its largest program.
+    ///
+    /// Planning is serial, deterministic and transactional — a batch that
+    /// exhausts the fleet leaves all bookkeeping untouched.
+    fn prepare_batch(
+        &mut self,
+        jobs: &[Job<'_>],
+    ) -> Result<(Vec<usize>, Vec<Vec<usize>>), FleetError> {
         let costs: Vec<u64> = jobs.iter().map(Job::cost).collect();
         let mut plan = Planner {
             totals: self.slots.iter().map(|s| s.total).collect(),
@@ -498,7 +588,6 @@ impl Fleet {
         self.cursor = plan.cursor;
         self.jobs_run += jobs.len() as u64;
 
-        // ---- Group by array and size the crossbars -----------------------
         let mut per_array: Vec<Vec<usize>> = vec![Vec::new(); self.slots.len()];
         for (j, &slot) in assignment.iter().enumerate() {
             per_array[slot].push(j);
@@ -509,29 +598,26 @@ impl Fleet {
                 slot.machine.ensure_cells(cells);
             }
         }
+        Ok((assignment, per_array))
+    }
 
-        // ---- Execute: arrays in parallel, each array's jobs in order -----
-        type ResultSlot = Mutex<Option<Result<Vec<bool>, EnduranceError>>>;
+    /// Runs `run_task` once per non-empty array job list, arrays in
+    /// parallel over `threads` scoped workers (`0` = one per available
+    /// core, `1` = forced serial). Arrays are disjoint, so serial and
+    /// parallel schedules produce identical state.
+    fn execute_arrays<F>(&mut self, per_array: &[Vec<usize>], threads: usize, run_task: F)
+    where
+        F: Fn(&mut Machine, &[usize]) + Sync,
+    {
         type TaskSlot<'m> = Mutex<Option<(&'m mut Machine, &'m [usize])>>;
-        let results: Vec<ResultSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let tasks: Vec<TaskSlot<'_>> = self
             .slots
             .iter_mut()
-            .zip(&per_array)
+            .zip(per_array)
             .filter(|(_, list)| !list.is_empty())
             .map(|(slot, list)| Mutex::new(Some((&mut slot.machine, list.as_slice()))))
             .collect();
         let workers = resolve_threads(threads, tasks.len());
-        let run_task = |machine: &mut Machine, list: &[usize]| {
-            for &j in list {
-                let outcome = machine.run(jobs[j].program, jobs[j].inputs);
-                let failed = outcome.is_err();
-                *results[j].lock().expect("result lock") = Some(outcome);
-                if failed {
-                    return; // this array is dead; its later jobs never ran
-                }
-            }
-        };
         if workers <= 1 {
             for task in &tasks {
                 let (machine, list) = task.lock().expect("task lock").take().expect("task set");
@@ -556,9 +642,17 @@ impl Fleet {
                 }
             });
         }
+    }
 
-        // ---- Aggregate in batch order ------------------------------------
-        let mut outputs = Vec::with_capacity(jobs.len());
+    /// Aggregates per-job outcomes in batch order, retiring arrays that
+    /// failed on endurance and reconciling their planned wear to the
+    /// writes that actually executed.
+    fn collect_results(
+        &mut self,
+        assignment: &[usize],
+        results: Vec<ResultSlot>,
+    ) -> Result<Vec<Vec<bool>>, FleetError> {
+        let mut outputs = Vec::with_capacity(results.len());
         let mut first_error: Option<FleetError> = None;
         for (j, cell) in results.into_iter().enumerate() {
             match cell.into_inner().expect("no poisoned lock") {
@@ -589,6 +683,38 @@ impl Fleet {
             None => Ok(outputs),
         }
     }
+}
+
+/// Per-job outcome slot shared between the planner thread and the array
+/// workers.
+type ResultSlot = Mutex<Option<Result<Vec<bool>, EnduranceError>>>;
+
+/// Packs one array's planned job list into SIMD lane groups: jobs sharing
+/// a program (by reference identity), up to [`WideCrossbar::LANES`] per
+/// group, in dispatch order within each group.
+///
+/// Groups are returned ordered by their *last* member's batch index, so
+/// that the group committing last on any cell contains the serial last
+/// writer of that cell: a program always writes the same cell set, and a
+/// cell a group's program never writes commits as a no-op (it still holds
+/// the snapshot of the previous commit).
+fn lane_groups(jobs: &[Job<'_>], list: &[usize]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &j in list {
+        let key = std::ptr::from_ref(jobs[j].program) as usize;
+        // Only the newest group of a program can be open (earlier ones
+        // were closed at 64 lanes), so scanning from the back finds it.
+        match groups
+            .iter_mut()
+            .rev()
+            .find(|(k, g)| *k == key && g.len() < WideCrossbar::LANES)
+        {
+            Some((_, group)) => group.push(j),
+            None => groups.push((key, vec![j])),
+        }
+    }
+    groups.sort_by_key(|(_, g)| *g.last().expect("groups are non-empty"));
+    groups.into_iter().map(|(_, g)| g).collect()
 }
 
 /// Scratch dispatch state: a copy of the fleet's wear bookkeeping that a
@@ -927,6 +1053,112 @@ mod tests {
         let free = Fleet::new(FleetConfig::new(2));
         assert_eq!(free.remaining_jobs(2), None);
         assert_eq!(free.first_retirement_horizon(2), None);
+    }
+
+    /// A one-instruction program storing `value` into cell r0.
+    fn set_prog(value: bool) -> Program {
+        Program {
+            instructions: vec![Instruction {
+                p: Operand::Const(value),
+                q: Operand::Const(!value),
+                z: CellId::new(0),
+            }],
+            num_cells: 1,
+            input_cells: vec![],
+            output_cells: vec![CellId::new(0)],
+        }
+    }
+
+    #[test]
+    fn simd_batch_matches_scalar_batch() {
+        let a = burn(2);
+        let b = burn(5);
+        let jobs: Vec<Job<'_>> = (0..70)
+            .map(|i| Job::new(if i % 3 == 0 { &b } else { &a }, &[]))
+            .collect();
+        let mut scalar = Fleet::new(FleetConfig::new(3));
+        let out_scalar = scalar.run_batch(&jobs, 1).unwrap();
+        let mut simd = Fleet::new(FleetConfig::new(3));
+        let out_simd = simd.run_batch_simd(&jobs, 1).unwrap();
+        let mut simd_par = Fleet::new(FleetConfig::new(3));
+        let out_par = simd_par.run_batch_simd(&jobs, 0).unwrap();
+        assert_eq!(out_scalar, out_simd);
+        assert_eq!(out_simd, out_par);
+        for i in 0..3 {
+            assert_eq!(
+                scalar.array(i).write_counts(),
+                simd.array(i).write_counts(),
+                "array {i} wear must not depend on batching"
+            );
+            assert_eq!(
+                simd.array(i).write_counts(),
+                simd_par.array(i).write_counts(),
+                "array {i} serial vs parallel"
+            );
+            assert_eq!(scalar.jobs_on(i), simd.jobs_on(i), "array {i} dispatch");
+        }
+    }
+
+    #[test]
+    fn simd_groups_cap_at_64_lanes() {
+        let job = burn(1);
+        let mut fleet = Fleet::new(FleetConfig::new(1));
+        let jobs = vec![Job::new(&job, &[]); 130];
+        let out = fleet.run_batch_simd(&jobs, 1).unwrap();
+        assert_eq!(out.len(), 130);
+        // 130 jobs = 64 + 64 + 2 lane groups, all wear on cell r0.
+        assert_eq!(fleet.total_writes(0), 130);
+        assert_eq!(fleet.array(0).write_counts()[0], 130);
+    }
+
+    #[test]
+    fn simd_commit_preserves_serial_last_writer() {
+        let ones = set_prog(true);
+        let zeros = set_prog(false);
+        // Jobs [1, 0, 1] group as ones{0, 2} and zeros{1}; ordering groups
+        // by last member commits ones last, matching the serial final
+        // value. A scalar fleet run agrees.
+        for jobs in [
+            vec![Job::new(&ones, &[]), Job::new(&zeros, &[])],
+            vec![
+                Job::new(&ones, &[]),
+                Job::new(&zeros, &[]),
+                Job::new(&ones, &[]),
+            ],
+        ] {
+            let mut simd = Fleet::new(FleetConfig::new(1));
+            simd.run_batch_simd(&jobs, 1).unwrap();
+            let mut scalar = Fleet::new(FleetConfig::new(1));
+            scalar.run_batch(&jobs, 1).unwrap();
+            assert_eq!(
+                simd.array(0).values(),
+                scalar.array(0).values(),
+                "{} jobs",
+                jobs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn simd_endurance_failure_is_atomic_per_group() {
+        let job = burn(1);
+        let mut fleet = Fleet::new(FleetConfig::new(1).with_endurance(2));
+        // A 3-lane group needs 3 writes on r0; 3 > 2 fails the whole word
+        // write before any lane executes (conservative: never more wear
+        // than the serial run), reported for the group's first job.
+        let err = fleet
+            .run_batch_simd(&[Job::new(&job, &[]); 3], 1)
+            .unwrap_err();
+        match err {
+            FleetError::Endurance { job, array, error } => {
+                assert_eq!(job, 0);
+                assert_eq!(array, 0);
+                assert_eq!(error.limit, 2);
+            }
+            other => panic!("expected endurance failure, got {other:?}"),
+        }
+        assert!(fleet.is_retired(0));
+        assert_eq!(fleet.total_writes(0), 0, "no lane executed");
     }
 
     #[test]

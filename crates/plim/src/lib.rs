@@ -19,9 +19,11 @@
 //! implementing [`rlim_isa::Isa`]), the [`Program`] container (the shared
 //! [`rlim_isa::Program`] instantiated at RM3, produced by
 //! `rlim-compiler`), the [`Machine`] that executes programs against an
-//! [`rlim_rram::Crossbar`], the self-hosted [`Controller`] FSM, and the
-//! multi-crossbar [`Fleet`] runtime with endurance-aware dispatch
-//! ([`DispatchPolicy`]).
+//! [`rlim_rram::Crossbar`], the bit-parallel [`WideMachine`] that runs up
+//! to 64 input vectors per instruction with identical wear accounting,
+//! the self-hosted [`Controller`] FSM, and the multi-crossbar [`Fleet`]
+//! runtime with endurance-aware dispatch ([`DispatchPolicy`]), including
+//! SIMD-batched dispatch ([`Fleet::run_batch_simd`]).
 //!
 //! ## Example
 //!
@@ -63,9 +65,11 @@ mod fleet;
 mod isa;
 mod machine;
 mod trace;
+mod wide;
 
 pub use controller::{Controller, State};
 pub use fleet::{ArrayStats, DispatchPolicy, Fleet, FleetConfig, FleetError, FleetStats, Job};
 pub use isa::{Instruction, Operand, Program, ProgramError};
 pub use machine::{run_once, Machine};
 pub use trace::{Trace, TraceRecord};
+pub use wide::{run_once_wide, WideMachine};

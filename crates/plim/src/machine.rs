@@ -86,6 +86,13 @@ impl Machine {
         &self.array
     }
 
+    /// Mutable access for the fleet's SIMD path, which commits word-level
+    /// overlays back into the machine's array. Not public: all other wear
+    /// mutation flows through [`Machine::step`].
+    pub(crate) fn array_mut(&mut self) -> &mut Crossbar {
+        &mut self.array
+    }
+
     /// Total RM3 instructions executed since construction.
     pub fn cycles(&self) -> u64 {
         self.cycles

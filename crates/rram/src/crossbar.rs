@@ -180,6 +180,17 @@ impl Crossbar {
         self.cells[cell.index()].value = value;
     }
 
+    /// Overwrites a cell's stored value and write counter in one step —
+    /// the commit path of [`crate::WideCrossbar`], whose lane-accurate
+    /// wear accounting is the only caller allowed to set counters
+    /// directly. Switch counters are untouched (per-lane switching is not
+    /// observable at word level).
+    pub(crate) fn commit(&mut self, cell: CellId, value: bool, writes: u64) {
+        let c = &mut self.cells[cell.index()];
+        c.value = value;
+        c.writes = writes;
+    }
+
     /// Write count of one cell.
     #[inline]
     pub fn writes(&self, cell: CellId) -> u64 {

@@ -9,6 +9,9 @@
 //!
 //! * [`Crossbar`] — a growable array of bipolar resistive switches with
 //!   per-cell write counters and an optional endurance limit.
+//! * [`WideCrossbar`] — the 64-lane word-level overlay of a [`Crossbar`]
+//!   with per-cell *logical* write accounting, behind the bit-parallel
+//!   execution path.
 //! * [`WriteStats`] — min / max / standard deviation of write counts, the
 //!   paper's evaluation metrics.
 //! * [`FleetWriteStats`] — the same metrics aggregated over a fleet of
@@ -39,6 +42,7 @@
 mod crossbar;
 mod geometry;
 mod stats;
+mod wide;
 
 pub mod lifetime;
 pub mod variability;
@@ -46,3 +50,4 @@ pub mod variability;
 pub use crossbar::{CellId, Crossbar, EnduranceError};
 pub use geometry::{Geometry, WearMap};
 pub use stats::{FleetWriteStats, WriteStats};
+pub use wide::WideCrossbar;

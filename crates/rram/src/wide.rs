@@ -1,0 +1,285 @@
+//! The word-level (bit-parallel) crossbar overlay.
+//!
+//! A [`WideCrossbar`] stores a 64-lane `u64` word per cell instead of one
+//! bit: lane `k` of every word is an independent copy of the array serving
+//! input vector `k`, so one word write advances up to 64 executions at
+//! once. Wear is accounted per *logical* write — a word write with `L`
+//! active lanes adds `L` to the cell's write counter — so the endurance
+//! numbers are identical to running the `L` lanes one at a time on a
+//! scalar [`Crossbar`].
+//!
+//! The overlay is transient by design: [`WideCrossbar::from_scalar`]
+//! snapshots a scalar array (values broadcast to every lane, wear copied),
+//! the word-level machine runs on the overlay, and
+//! [`WideCrossbar::commit_into`] folds one lane's values plus the
+//! accumulated wear back into the scalar array. The scalar crossbar stays
+//! the single source of truth for stored state and endurance bookkeeping
+//! between word-level runs.
+
+use crate::crossbar::{CellId, Crossbar, EnduranceError};
+
+/// A crossbar whose cells hold one 64-lane word each, with per-cell
+/// logical-write counters.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_rram::{CellId, WideCrossbar};
+///
+/// let mut array = WideCrossbar::new();
+/// array.grow_to(1);
+/// let c = CellId::new(0);
+/// // One word write over 3 active lanes = 3 logical writes.
+/// array.write_word(c, 0b101, 3).unwrap();
+/// assert_eq!(array.read_word(c), 0b101);
+/// assert_eq!(array.writes(c), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WideCrossbar {
+    values: Vec<u64>,
+    writes: Vec<u64>,
+    endurance: Option<u64>,
+}
+
+impl WideCrossbar {
+    /// Lanes carried by one word-level cell.
+    pub const LANES: usize = 64;
+
+    /// An empty word-level array without an endurance limit.
+    pub fn new() -> Self {
+        WideCrossbar::default()
+    }
+
+    /// An empty word-level array whose cells fail once their *logical*
+    /// write count would exceed `limit`.
+    pub fn with_endurance(limit: u64) -> Self {
+        WideCrossbar {
+            values: Vec::new(),
+            writes: Vec::new(),
+            endurance: Some(limit),
+        }
+    }
+
+    /// Snapshots a scalar array as a word-level overlay: every stored bit
+    /// is broadcast to all 64 lanes, and wear counters and the endurance
+    /// limit carry over unchanged.
+    pub fn from_scalar(array: &Crossbar) -> Self {
+        WideCrossbar {
+            values: array
+                .values()
+                .iter()
+                .map(|&v| if v { u64::MAX } else { 0 })
+                .collect(),
+            writes: array.write_counts(),
+            endurance: array.endurance(),
+        }
+    }
+
+    /// The configured endurance limit, if any.
+    pub fn endurance(&self) -> Option<u64> {
+        self.endurance
+    }
+
+    /// Number of cells in the array.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the array has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Grows the array to `len` cells, preloading new cells with all-zero
+    /// words and zero wear. Never shrinks.
+    pub fn grow_to(&mut self, len: usize) {
+        if self.values.len() < len {
+            self.values.resize(len, 0);
+            self.writes.resize(len, 0);
+        }
+    }
+
+    /// Reads a cell's stored word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[inline]
+    pub fn read_word(&self, cell: CellId) -> u64 {
+        self.values[cell.index()]
+    }
+
+    /// Writes `word` into `cell`, charging one logical write per active
+    /// lane. Bits above `lanes` are stored as given but carry no wear —
+    /// they are garbage lanes the caller masks out at unpack time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnduranceError`] when the `lanes` logical writes would
+    /// push the cell past the configured endurance limit. The check is
+    /// conservative and atomic: a failing word write performs none of its
+    /// lane writes, whereas the equivalent lane-serial scalar run would
+    /// perform those below the limit before failing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range or `lanes` is not in `1..=64`.
+    pub fn write_word(
+        &mut self,
+        cell: CellId,
+        word: u64,
+        lanes: usize,
+    ) -> Result<(), EnduranceError> {
+        assert!(
+            (1..=Self::LANES).contains(&lanes),
+            "active lane count must be in 1..=64"
+        );
+        let writes = &mut self.writes[cell.index()];
+        if let Some(limit) = self.endurance {
+            if *writes + lanes as u64 > limit {
+                return Err(EnduranceError { cell, limit });
+            }
+        }
+        *writes += lanes as u64;
+        self.values[cell.index()] = word;
+        Ok(())
+    }
+
+    /// Sets a cell's word **without** counting writes — the word-level
+    /// analogue of [`Crossbar::preload`], used for the input load phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[inline]
+    pub fn preload_word(&mut self, cell: CellId, word: u64) {
+        self.values[cell.index()] = word;
+    }
+
+    /// Logical write count of one cell.
+    #[inline]
+    pub fn writes(&self, cell: CellId) -> u64 {
+        self.writes[cell.index()]
+    }
+
+    /// Logical write counts of every cell, indexed by cell.
+    pub fn write_counts(&self) -> Vec<u64> {
+        self.writes.clone()
+    }
+
+    /// Folds the overlay back into a scalar array: every cell's stored
+    /// value becomes its bit at `lane`, and its write counter becomes the
+    /// overlay's logical write count. Cells the word-level run never wrote
+    /// still hold the broadcast snapshot, so committing them is a no-op.
+    ///
+    /// Scalar *switch* counters are left untouched: a word write stores
+    /// all 64 lanes at once, so per-lane switching activity is not
+    /// observable at word level (write counts — the paper's conservative
+    /// wear metric — are, and they are what this commits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is not below [`WideCrossbar::LANES`].
+    pub fn commit_into(&self, target: &mut Crossbar, lane: usize) {
+        assert!(lane < Self::LANES, "lane must be in 0..64");
+        target.grow_to(self.len());
+        for (i, (&word, &writes)) in self.values.iter().zip(&self.writes).enumerate() {
+            let cell = CellId::new(u32::try_from(i).expect("crossbar too large"));
+            target.commit(cell, (word >> lane) & 1 == 1, writes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wear_is_per_logical_write() {
+        let mut array = WideCrossbar::new();
+        array.grow_to(2);
+        let c = CellId::new(1);
+        array.write_word(c, u64::MAX, 64).unwrap();
+        array.write_word(c, 0, 5).unwrap();
+        assert_eq!(array.writes(c), 69);
+        assert_eq!(array.write_counts(), vec![0, 69]);
+    }
+
+    #[test]
+    fn from_scalar_broadcasts_values_and_copies_wear() {
+        let mut scalar = Crossbar::new();
+        let a = scalar.alloc(true);
+        let b = scalar.alloc(false);
+        scalar.write(b, true).unwrap();
+        let wide = WideCrossbar::from_scalar(&scalar);
+        assert_eq!(wide.read_word(a), u64::MAX);
+        assert_eq!(wide.read_word(b), u64::MAX);
+        assert_eq!(wide.writes(a), 0);
+        assert_eq!(wide.writes(b), 1);
+    }
+
+    #[test]
+    fn commit_restores_lane_values_and_wear() {
+        let mut scalar = Crossbar::new();
+        let a = scalar.alloc(false);
+        let b = scalar.alloc(true);
+        let mut wide = WideCrossbar::from_scalar(&scalar);
+        // Lane 0 writes a=1; lane 1 writes a=0. Cell b is never written.
+        wide.write_word(a, 0b01, 2).unwrap();
+        wide.commit_into(&mut scalar, 1);
+        assert!(!scalar.read(a), "lane 1 stored 0");
+        assert_eq!(scalar.writes(a), 2, "two logical writes");
+        assert!(scalar.read(b), "unwritten cell keeps its snapshot value");
+        assert_eq!(scalar.writes(b), 0);
+        let mut other = Crossbar::new();
+        wide.commit_into(&mut other, 0);
+        assert!(other.read(a), "lane 0 stored 1");
+    }
+
+    #[test]
+    fn conservative_endurance_check_is_atomic() {
+        let mut array = WideCrossbar::with_endurance(10);
+        array.grow_to(1);
+        let c = CellId::new(0);
+        array.write_word(c, 1, 8).unwrap();
+        // 8 + 3 > 10: the word write fails without performing any lane.
+        let err = array.write_word(c, 0, 3).unwrap_err();
+        assert_eq!(err.cell, c);
+        assert_eq!(err.limit, 10);
+        assert_eq!(array.writes(c), 8);
+        assert_eq!(array.read_word(c), 1);
+        // 8 + 2 = 10 still fits exactly.
+        array.write_word(c, 0, 2).unwrap();
+        assert_eq!(array.writes(c), 10);
+    }
+
+    #[test]
+    fn endurance_carries_through_snapshot() {
+        let mut scalar = Crossbar::with_endurance(3);
+        let c = scalar.alloc(false);
+        scalar.write(c, true).unwrap();
+        let mut wide = WideCrossbar::from_scalar(&scalar);
+        assert_eq!(wide.endurance(), Some(3));
+        assert!(wide.write_word(c, 0, 3).is_err(), "1 + 3 > 3");
+        wide.write_word(c, 0, 2).unwrap();
+    }
+
+    #[test]
+    fn grow_to_never_shrinks() {
+        let mut array = WideCrossbar::new();
+        array.grow_to(3);
+        array.write_word(CellId::new(2), 7, 1).unwrap();
+        array.grow_to(1);
+        assert_eq!(array.len(), 3);
+        assert_eq!(array.read_word(CellId::new(2)), 7);
+        assert!(!array.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "active lane count")]
+    fn zero_lane_write_rejected() {
+        let mut array = WideCrossbar::new();
+        array.grow_to(1);
+        let _ = array.write_word(CellId::new(0), 0, 0);
+    }
+}

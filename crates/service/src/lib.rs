@@ -97,7 +97,7 @@ enum CompileClass {
 impl BackendKind {
     fn class(self) -> CompileClass {
         match self {
-            BackendKind::Rm3 | BackendKind::HostedRm3 => CompileClass::Rm3,
+            BackendKind::Rm3 | BackendKind::HostedRm3 | BackendKind::WideRm3 => CompileClass::Rm3,
             BackendKind::Imp => CompileClass::Imp,
         }
     }
@@ -431,7 +431,11 @@ impl Service {
         }
         let mut fleet = Fleet::new(config);
         let start = Instant::now();
-        fleet.run_batch(&jobs, threads)?;
+        if fs.simd {
+            fleet.run_batch_simd(&jobs, threads)?;
+        } else {
+            fleet.run_batch(&jobs, threads)?;
+        }
         let seconds = start.elapsed().as_secs_f64();
 
         let stats = fleet.stats();
@@ -439,6 +443,7 @@ impl Service {
         Ok(FleetReport {
             arrays: fs.arrays,
             dispatch: fs.dispatch.label(),
+            simd: fs.simd,
             jobs: fs.jobs,
             heavy_instructions: heavy.num_instructions(),
             light_instructions: light.num_instructions(),

@@ -64,6 +64,9 @@ pub enum BackendKind {
     /// The same RM3 programs, self-hosted in the crossbar and driven by
     /// the controller FSM.
     HostedRm3,
+    /// The same RM3 programs, executed bit-parallel on the word-level
+    /// machine (64 lanes per instruction, identical wear accounting).
+    WideRm3,
     /// The material-implication (IMPLY) baseline.
     Imp,
 }
@@ -74,13 +77,19 @@ impl BackendKind {
         match self {
             BackendKind::Rm3 => "rm3",
             BackendKind::HostedRm3 => "hosted-rm3",
+            BackendKind::WideRm3 => "rm3-wide",
             BackendKind::Imp => "imp",
         }
     }
 
     /// Every backend kind, in display order.
     pub fn all() -> &'static [BackendKind] {
-        &[BackendKind::Rm3, BackendKind::HostedRm3, BackendKind::Imp]
+        &[
+            BackendKind::Rm3,
+            BackendKind::HostedRm3,
+            BackendKind::WideRm3,
+            BackendKind::Imp,
+        ]
     }
 }
 
@@ -91,9 +100,10 @@ impl std::str::FromStr for BackendKind {
         match s {
             "rm3" => Ok(BackendKind::Rm3),
             "hosted-rm3" => Ok(BackendKind::HostedRm3),
+            "rm3-wide" => Ok(BackendKind::WideRm3),
             "imp" => Ok(BackendKind::Imp),
             other => Err(format!(
-                "unknown backend `{other}` (rm3 | hosted-rm3 | imp)"
+                "unknown backend `{other}` (rm3 | hosted-rm3 | rm3-wide | imp)"
             )),
         }
     }
@@ -128,6 +138,11 @@ pub struct FleetSpec {
     /// Seed for per-job random primary inputs; `None` drives all-false
     /// inputs on every job.
     pub input_seed: Option<u64>,
+    /// Whether dispatch is SIMD-batched: same-program jobs on an array
+    /// execute as one word-level pass of up to 64 lanes
+    /// (`Fleet::run_batch_simd`), with identical dispatch, outputs and
+    /// per-cell write counts.
+    pub simd: bool,
 }
 
 impl FleetSpec {
@@ -145,6 +160,7 @@ impl FleetSpec {
             dispatch: DispatchPolicy::LeastWorn,
             write_budget: None,
             input_seed: None,
+            simd: false,
         }
     }
 
@@ -169,6 +185,12 @@ impl FleetSpec {
     /// Seeds per-job random primary inputs.
     pub fn with_input_seed(mut self, seed: u64) -> Self {
         self.input_seed = Some(seed);
+        self
+    }
+
+    /// Enables (or disables) SIMD-batched dispatch.
+    pub fn with_simd(mut self, simd: bool) -> Self {
+        self.simd = simd;
         self
     }
 }
@@ -226,7 +248,7 @@ impl JobSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownBenchmark`] when `name` is not in the
+    /// Returns [`crate::Error::UnknownBenchmark`] when `name` is not in the
     /// suite.
     pub fn named_benchmark(name: &str) -> Result<Self, crate::Error> {
         name.parse::<Benchmark>()

@@ -9,6 +9,10 @@
 //!   ([`Rm3Backend`]),
 //! * optionally the same program self-hosted in the crossbar and driven by
 //!   the controller FSM ([`HostedRm3Backend`]),
+//! * the same program executed bit-parallel on the word-level machine,
+//!   64 input patterns per pass, including the wear-equivalence
+//!   invariant: per-cell logical write counts must equal `lanes ×` the
+//!   scalar machine's per-run counts,
 //! * the IMPLY baseline synthesised through
 //!   [`ImpBackend`].
 //!
@@ -51,7 +55,8 @@ use rlim_compiler::{
 };
 use rlim_isa::Program as IsaProgram;
 use rlim_mig::{equiv_random, Mig};
-use rlim_plim::Program;
+use rlim_plim::{run_once, run_once_wide, Program};
+use rlim_rram::WideCrossbar;
 
 /// Largest input count that is verified exhaustively by default.
 ///
@@ -160,6 +165,10 @@ pub struct Oracle {
     /// Also synthesise and check the IMPLY baseline (both allocation
     /// policies; on by default).
     pub imp: bool,
+    /// Also execute each compiled RM3 program on the word-level
+    /// bit-parallel machine, 64 patterns per pass, and check per-cell
+    /// logical write counts against the scalar machine (on by default).
+    pub wide: bool,
     /// Worker threads for the preset × backend matrix: `0` = one per
     /// available core (the default), `1` = serial.
     pub threads: usize,
@@ -173,6 +182,7 @@ impl Default for Oracle {
             seed: 0x0DA7_E201_7EAD_BEEF,
             hosted: false,
             imp: true,
+            wide: true,
             threads: 0,
         }
     }
@@ -211,6 +221,12 @@ impl Oracle {
     /// Enables or disables the IMPLY baseline backend.
     pub fn with_imp(mut self, imp: bool) -> Self {
         self.imp = imp;
+        self
+    }
+
+    /// Enables or disables the word-level bit-parallel check.
+    pub fn with_wide(mut self, wide: bool) -> Self {
+        self.wide = wide;
         self
     }
 
@@ -298,6 +314,9 @@ impl Oracle {
                         &reference,
                     );
                 }
+                if self.wide {
+                    n += self.check_wide(name, label, &result.program, &inputs, &reference);
+                }
                 n
             } else {
                 let (label, options) = &imp_configs[job - preset_list.len()];
@@ -341,6 +360,56 @@ impl Oracle {
                 "{name}/{label}: rewriting changed the function: {check:?}"
             );
         }
+    }
+
+    /// Executes the compiled RM3 program on the word-level bit-parallel
+    /// machine, packing up to 64 input patterns into each pass, and
+    /// checks (a) that every lane reproduces the golden model and
+    /// (b) the wear-equivalence invariant of the word-level backend:
+    /// per-cell *logical* write counts after a `lanes`-wide pass equal
+    /// exactly `lanes ×` the scalar machine's per-run counts. The scalar
+    /// baseline is input-independent — every RM3 instruction writes its
+    /// destination exactly once regardless of data — so a single scalar
+    /// run anchors every chunk.
+    fn check_wide(
+        &self,
+        name: &str,
+        label: &str,
+        program: &Program,
+        inputs: &[Vec<bool>],
+        reference: &[Vec<bool>],
+    ) -> usize {
+        let (_, scalar_counts) = run_once(program, &inputs[0]);
+        let mut comparisons = 0;
+        for (chunk_index, chunk) in inputs.chunks(WideCrossbar::LANES).enumerate() {
+            let lane_inputs: Vec<&[bool]> = chunk.iter().map(Vec::as_slice).collect();
+            let (outputs, wide_counts) = run_once_wide(program, &lane_inputs);
+            let base = chunk_index * WideCrossbar::LANES;
+            for (k, got) in outputs.iter().enumerate() {
+                assert_eq!(
+                    got,
+                    &reference[base + k],
+                    "{name}/{label}: rm3-wide lane {k} diverges from MIG at pattern {}",
+                    base + k
+                );
+                comparisons += 1;
+            }
+            assert_eq!(
+                wide_counts.len(),
+                scalar_counts.len(),
+                "{name}/{label}: rm3-wide array size diverges from scalar"
+            );
+            for (cell, (&wide, &scalar)) in wide_counts.iter().zip(&scalar_counts).enumerate() {
+                assert_eq!(
+                    wide,
+                    chunk.len() as u64 * scalar,
+                    "{name}/{label}: cell {cell} wear diverges: a {}-lane word pass \
+                     must cost exactly lanes x the scalar per-run writes",
+                    chunk.len()
+                );
+            }
+        }
+        comparisons
     }
 
     /// Validates `program` and runs it through `backend` for every
@@ -527,8 +596,22 @@ mod tests {
         assert!(report.exhaustive);
         assert_eq!(report.patterns, 8);
         assert_eq!(report.presets, presets().len());
-        // RM3 + hosted per preset per pattern, plus two IMP allocations.
-        assert_eq!(report.comparisons, 8 * (2 * report.presets + 2));
+        // RM3 + hosted + word-level per preset per pattern, plus two IMP
+        // allocations.
+        assert_eq!(report.comparisons, 8 * (3 * report.presets + 2));
+    }
+
+    /// The word-level check is on by default and contributes exactly one
+    /// lane comparison per pattern per preset; disabling it removes
+    /// precisely that share of the matrix.
+    #[test]
+    fn wide_check_rides_along_per_preset() {
+        let with = Oracle::new().verify(&xor3(), "xor3");
+        let without = Oracle::new().with_wide(false).verify(&xor3(), "xor3");
+        assert_eq!(
+            with.comparisons - without.comparisons,
+            with.patterns * with.presets
+        );
     }
 
     /// Satellite determinism requirement: the parallel preset × backend

@@ -188,6 +188,54 @@ fn fleet_serial_and_parallel_runs_are_identical() {
 }
 
 #[test]
+fn simd_batched_fleet_matches_unbatched_dispatch() {
+    // SIMD lane-batching is a pure execution optimisation: on the same
+    // alternating heavy/light workload it must produce byte-identical
+    // outputs serial vs parallel, and the fleet's wear bookkeeping —
+    // per-cell counts, per-array stats, FleetStats totals — must match
+    // the unbatched dispatcher exactly (wear is counted per *logical*
+    // write, so packing 64 jobs into one word pass changes nothing).
+    let mig = Benchmark::Ctrl.build();
+    let heavy = compile(&mig, &CompileOptions::naive());
+    let light = compile(&mig, &CompileOptions::endurance_aware());
+    let inputs: Vec<bool> = (0..mig.num_inputs()).map(|i| i % 3 == 0).collect();
+    let jobs = Job::alternating(&heavy.program, &light.program, &inputs, 20);
+
+    for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LeastWorn] {
+        let mut scalar = Fleet::new(FleetConfig::new(4).with_policy(policy));
+        let out_scalar = scalar.run_batch(&jobs, 1).expect("unbatched run");
+        let mut serial = Fleet::new(FleetConfig::new(4).with_policy(policy));
+        let out_serial = serial.run_batch_simd(&jobs, 1).expect("simd serial run");
+        let mut parallel = Fleet::new(FleetConfig::new(4).with_policy(policy));
+        let out_parallel = parallel
+            .run_batch_simd(&jobs, 0)
+            .expect("simd parallel run");
+
+        assert_eq!(out_serial, out_parallel, "{policy:?}");
+        assert_eq!(out_serial, out_scalar, "{policy:?}");
+        let expect = mig.evaluate(&inputs);
+        for out in &out_serial {
+            assert_eq!(out, &expect, "{policy:?}");
+        }
+        // Wear totals and distributions match the unbatched dispatcher.
+        assert_eq!(serial.stats().wear, scalar.stats().wear, "{policy:?}");
+        assert_eq!(parallel.stats().wear, scalar.stats().wear, "{policy:?}");
+        for i in 0..4 {
+            assert_eq!(
+                serial.array(i).write_counts(),
+                scalar.array(i).write_counts(),
+                "{policy:?} array {i} serial"
+            );
+            assert_eq!(
+                parallel.array(i).write_counts(),
+                scalar.array(i).write_counts(),
+                "{policy:?} array {i} parallel"
+            );
+        }
+    }
+}
+
+#[test]
 fn least_worn_minimizes_max_array_wear_vs_round_robin() {
     // Periodic heavy/light traffic: round-robin pins every heavy job on
     // the same arrays; least-worn must strictly reduce the hottest
