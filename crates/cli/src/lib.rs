@@ -32,7 +32,7 @@ use rlim_benchmarks::Benchmark;
 use rlim_compiler::{Backend, CompileOptions, Rm3Backend};
 use rlim_plim::{asm, Program};
 use rlim_rram::{WearMap, WriteStats};
-use rlim_service::{BackendKind, Error, FleetSpec, JobSpec, Report, Service, Source};
+use rlim_service::{BackendKind, ChaosSpec, Error, FleetSpec, JobSpec, Report, Service, Source};
 
 /// A command-line failure: message for stderr plus the exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +106,7 @@ usage:
                [-o out.plim]
   rlim fleet   <benchmark> [--arrays N] [--jobs J] [--dispatch D] [--write-budget W]
                [--effort N] [--threads N] [--simd]
+               [--chaos] [--fault-seed N] [--no-recovery]
   rlim list
 
 policies: naive | plim21 | min-write | ea-rewriting | endurance-aware (default)
@@ -113,6 +114,9 @@ backends: rm3 (default) | hosted-rm3 | rm3-wide | imp
 dispatch: round-robin | least-worn (default)
 --peephole runs the write-elision pass (never increases #I or any cell's writes)
 --simd packs same-program fleet jobs into 64-lane word-level passes
+--chaos injects seeded device faults (endurance variability + stuck-at cells);
+        the fleet remaps broken cells to spares and retires faulty arrays,
+        unless --no-recovery turns the healing off (first fault then aborts)
 --json renders the report through the service's stable JSON schema
 ";
 
@@ -495,6 +499,9 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
     let mut dispatch = DispatchPolicy::LeastWorn;
     let mut write_budget: Option<u64> = None;
     let mut simd = false;
+    let mut chaos = false;
+    let mut fault_seed: Option<u64> = None;
+    let mut no_recovery = false;
     let mut effort = 5usize;
     let mut threads = std::env::var("RLIM_THREADS")
         .ok()
@@ -533,6 +540,15 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
                 write_budget = Some(w);
             }
             "--simd" => simd = true,
+            "--chaos" => chaos = true,
+            "--fault-seed" => {
+                let v = value_of("--fault-seed")?;
+                fault_seed = Some(
+                    v.parse()
+                        .map_err(|_| CliError::usage(format!("bad --fault-seed `{v}`")))?,
+                );
+            }
+            "--no-recovery" => no_recovery = true,
             other if other.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown flag `{other}`")));
             }
@@ -541,6 +557,11 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
     }
     if arrays == 0 {
         return Err(CliError::usage("--arrays must be positive"));
+    }
+    if (fault_seed.is_some() || no_recovery) && !chaos {
+        return Err(CliError::usage(
+            "--fault-seed and --no-recovery require --chaos",
+        ));
     }
     let [name] = positional.as_slice() else {
         return Err(CliError::usage(
@@ -554,6 +575,10 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
     if let Some(w) = write_budget {
         fleet_spec = fleet_spec.with_write_budget(w);
     }
+    if chaos {
+        fleet_spec = fleet_spec
+            .with_chaos(ChaosSpec::new(fault_seed.unwrap_or(0)).with_recovery(!no_recovery));
+    }
     let spec = JobSpec::named_benchmark(name)
         .map_err(|e| CliError::usage(format!("{e}; see `rlim list`")))?
         .with_options(CompileOptions::endurance_aware().with_effort(effort))
@@ -562,9 +587,14 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
         .with_threads(threads)
         .run(&spec)
         .map_err(|e| match e {
-            Error::Fleet(e) => CliError::run(format!(
-                "fleet workload failed: {e} (try more arrays or a larger --write-budget)"
-            )),
+            Error::Fleet(e) => {
+                let hint = if chaos && no_recovery {
+                    "drop --no-recovery to let the fleet heal"
+                } else {
+                    "try more arrays or a larger --write-budget"
+                };
+                CliError::run(format!("fleet workload failed: {e} ({hint})"))
+            }
             other => CliError::from(other),
         })?;
     let fleet = report.fleet.as_ref().expect("fleet rider requested");
@@ -600,6 +630,21 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
             fleet.remaining_jobs.expect("budget configured"),
             fleet.first_retirement_horizon.expect("budget configured"),
         );
+    }
+    if let Some(fault) = &fleet.fault {
+        let _ = writeln!(
+            out,
+            "chaos: seed {}, median endurance {:.0} writes (sigma {}), stuck probability {}",
+            fault.seed, fault.endurance_median, fault.endurance_sigma, fault.stuck_probability
+        );
+        let _ = writeln!(
+            out,
+            "faults: {} detected ({} worn, {} stuck), {} remapped to spares, {} arrays retired",
+            fault.faults, fault.worn, fault.stuck, fault.remaps, fault.retirements
+        );
+        for event in &fault.events {
+            let _ = writeln!(out, "  {event}");
+        }
     }
     Ok(out)
 }
@@ -795,6 +840,40 @@ mod tests {
     }
 
     #[test]
+    fn fleet_chaos_reports_the_fault_section() {
+        let out = run_str(&["fleet", "ctrl", "--chaos", "--fault-seed", "7"]).unwrap();
+        assert!(out.contains("chaos: seed 7"), "{out}");
+        assert!(out.contains("faults:"), "{out}");
+        // Deterministic: the same seed renders the same report.
+        let again = run_str(&["fleet", "ctrl", "--chaos", "--fault-seed", "7"]).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn fleet_chaos_flags_require_each_other() {
+        // --fault-seed / --no-recovery are chaos-mode modifiers.
+        assert_eq!(
+            run_str(&["fleet", "ctrl", "--fault-seed", "7"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_str(&["fleet", "ctrl", "--no-recovery"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        // Chaos needs per-write readback, which SIMD batches lack.
+        assert_eq!(
+            run_str(&["fleet", "ctrl", "--chaos", "--simd"])
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
     fn fleet_rejects_bad_flags() {
         assert_eq!(run_str(&["fleet"]).unwrap_err().code, 2);
         assert_eq!(run_str(&["fleet", "nonesuch"]).unwrap_err().code, 2);
@@ -917,7 +996,7 @@ mod tests {
         assert!(text.contains("lifetime:"), "{text}");
 
         let json = run_str(&["report", "int2float", "--policy", "naive", "--json"]).unwrap();
-        assert!(json.starts_with("{\n  \"schema\": 2,"), "{json}");
+        assert!(json.starts_with("{\n  \"schema\": 3,"), "{json}");
         assert!(json.contains("\"label\": \"int2float\""), "{json}");
         assert!(json.contains("\"preset\": \"naive\""), "{json}");
         assert!(json.ends_with("}\n"), "trailing newline expected");

@@ -25,7 +25,7 @@ use rlim_isa::{Isa, Program};
 use rlim_mig::rewrite::rewrite;
 use rlim_mig::Mig;
 use rlim_plim::{Controller, Instruction, Machine, WideMachine};
-use rlim_rram::EnduranceError;
+use rlim_rram::WriteFault;
 
 use crate::options::{Allocation, CompileOptions};
 use crate::peephole::elide_dead_writes;
@@ -73,13 +73,14 @@ pub trait Backend {
     ///
     /// # Errors
     ///
-    /// Returns [`EnduranceError`] if an endurance-limited execution wears
-    /// out a cell.
+    /// Returns a [`WriteFault`] if an endurance-limited execution wears
+    /// out a cell, or — on a fault-injected crossbar — if write-verify
+    /// readback catches a stuck-at cell.
     fn execute(
         &self,
         program: &Program<Self::Instr>,
         inputs: &[bool],
-    ) -> Result<Vec<bool>, EnduranceError>;
+    ) -> Result<Vec<bool>, WriteFault>;
 }
 
 /// The PLiM/RM3 flow: the standard pass pipeline plus the external
@@ -99,7 +100,7 @@ impl Backend for Rm3Backend {
         &self,
         program: &Program<Instruction>,
         inputs: &[bool],
-    ) -> Result<Vec<bool>, EnduranceError> {
+    ) -> Result<Vec<bool>, WriteFault> {
         Machine::for_program(program).run(program, inputs)
     }
 }
@@ -121,8 +122,8 @@ impl Backend for HostedRm3Backend {
         &self,
         program: &Program<Instruction>,
         inputs: &[bool],
-    ) -> Result<Vec<bool>, EnduranceError> {
-        Controller::host(program)?.run(inputs)
+    ) -> Result<Vec<bool>, WriteFault> {
+        Ok(Controller::host(program)?.run(inputs)?)
     }
 }
 
@@ -167,7 +168,7 @@ impl Backend for WideRm3Backend {
         &self,
         program: &Program<Instruction>,
         inputs: &[bool],
-    ) -> Result<Vec<bool>, EnduranceError> {
+    ) -> Result<Vec<bool>, WriteFault> {
         let mut machine = WideMachine::for_program(program, 1);
         let mut outputs = machine.run(program, &[inputs])?;
         Ok(outputs.swap_remove(0))
@@ -201,12 +202,8 @@ impl Backend for ImpBackend {
         program
     }
 
-    fn execute(
-        &self,
-        program: &Program<ImpOp>,
-        inputs: &[bool],
-    ) -> Result<Vec<bool>, EnduranceError> {
-        ImpMachine::for_program(program).run(program, inputs)
+    fn execute(&self, program: &Program<ImpOp>, inputs: &[bool]) -> Result<Vec<bool>, WriteFault> {
+        Ok(ImpMachine::for_program(program).run(program, inputs)?)
     }
 }
 

@@ -23,6 +23,7 @@ use rlim_mig::Mig;
 use rlim_rram::WriteStats;
 use rlim_service::{JobSpec, Service};
 
+pub mod chaos;
 pub mod fleet;
 pub mod sweep;
 

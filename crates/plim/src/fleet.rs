@@ -17,6 +17,13 @@
 //!   arrays take over.
 //! * [`DispatchPolicy::RoundRobin`] is the oblivious baseline the
 //!   evaluation compares against.
+//! * [`FleetConfig::with_faults`] injects a deterministic per-cell
+//!   [`FaultModel`] (sampled endurance, seeded stuck-at faults) into
+//!   every array, and [`FleetConfig::with_recovery`] turns detected
+//!   faults into spare-cell remaps, retries and watchdog retirements
+//!   instead of batch failures — see [`RecoveryConfig`],
+//!   [`patch_program`] and [`Fleet::fault_log`] for the building blocks
+//!   and the event log.
 //!
 //! ## Determinism
 //!
@@ -57,14 +64,19 @@
 //! assert_eq!(fleet.total_writes(1), 2);
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use rlim_rram::{Crossbar, EnduranceError, FleetWriteStats, WideCrossbar};
+use rlim_rram::{CellId, Crossbar, FaultModel, FleetWriteStats, WideCrossbar, WriteFault};
 
 use crate::isa::Program;
 use crate::machine::Machine;
+use crate::recovery::{
+    patch_program, remap_target, FaultEvent, FaultKind, FaultRecorder, RecoveryAction,
+    RecoveryConfig,
+};
 use crate::wide::WideMachine;
 
 /// How the dispatcher chooses an array for the next job.
@@ -117,7 +129,7 @@ impl std::str::FromStr for DispatchPolicy {
 /// assert_eq!(config.arrays, 4);
 /// assert_eq!(config.write_budget, Some(10_000));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
     /// Number of crossbar arrays.
     pub arrays: usize,
@@ -129,8 +141,19 @@ pub struct FleetConfig {
     /// strategy lifted to arrays.
     pub write_budget: Option<u64>,
     /// Physical per-cell endurance limit of every array (writes fail with
-    /// [`EnduranceError`] beyond it), as in [`Machine::with_endurance`].
+    /// [`rlim_rram::EnduranceError`] beyond it), as in
+    /// [`Machine::with_endurance`].
     pub endurance: Option<u64>,
+    /// Device-faithful fault injection: every array runs on a
+    /// [`Crossbar::with_faults`] crossbar seeded per array via
+    /// [`FaultModel::for_array`], with write-verify readback enabled.
+    /// Per-cell sampled endurance limits override the uniform
+    /// `endurance` limit.
+    pub faults: Option<FaultModel>,
+    /// Online recovery policy. `None` leaves the fleet naive: the first
+    /// detected fault aborts the batch and retires the array, exactly as
+    /// a plain endurance failure does.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl FleetConfig {
@@ -147,6 +170,8 @@ impl FleetConfig {
             policy: DispatchPolicy::default(),
             write_budget: None,
             endurance: None,
+            faults: None,
+            recovery: None,
         }
     }
 
@@ -170,6 +195,24 @@ impl FleetConfig {
     /// Sets the physical per-cell endurance limit.
     pub fn with_endurance(mut self, limit: u64) -> Self {
         self.endurance = Some(limit);
+        self
+    }
+
+    /// Enables fault injection: array `i` runs under
+    /// `model.for_array(i)`, so per-cell endurance is sampled (not
+    /// uniform) and seeded stuck-at faults can appear mid-job, detected
+    /// by write-verify readback.
+    pub fn with_faults(mut self, model: FaultModel) -> Self {
+        self.faults = Some(model);
+        self
+    }
+
+    /// Enables online recovery: detected faults are remapped to spare
+    /// cells and the job retried; the watchdog retires arrays that
+    /// exceed `recovery`'s budgets and their work re-dispatches to the
+    /// survivors.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = Some(recovery);
         self
     }
 }
@@ -221,44 +264,102 @@ pub enum FleetError {
     Exhausted {
         /// Index of the unplaceable job in the batch.
         job: usize,
+        /// The job's static write cost that no array could fit.
+        cost: u64,
+        /// Live (unretired) arrays at the failed placement — `0` means
+        /// the whole fleet is dead, not merely out of budget headroom.
+        live_arrays: usize,
     },
-    /// A physical endurance limit was hit while executing job `job`.
-    /// Writes performed before the failure (on this and other arrays)
-    /// persist, and the failed array is retired.
-    Endurance {
+    /// A device fault — an exhausted cell or a write-verify mismatch —
+    /// failed job `job` at run time. Writes performed before the failure
+    /// (on this and other arrays) persist, and the failed array is
+    /// retired.
+    Fault {
         /// Index of the failing job in the batch.
         job: usize,
         /// The array the job was dispatched to.
         array: usize,
-        /// The underlying cell failure.
-        error: EnduranceError,
+        /// The underlying cell failure, naming the exact cell.
+        fault: WriteFault,
     },
+}
+
+impl FleetError {
+    /// The batch index of the failing job.
+    pub fn job(&self) -> usize {
+        match self {
+            FleetError::Exhausted { job, .. } | FleetError::Fault { job, .. } => *job,
+        }
+    }
+
+    /// The failing array, for run-time faults.
+    pub fn array(&self) -> Option<usize> {
+        match self {
+            FleetError::Exhausted { .. } => None,
+            FleetError::Fault { array, .. } => Some(*array),
+        }
+    }
+
+    /// The failing cell, for run-time faults.
+    pub fn cell(&self) -> Option<CellId> {
+        match self {
+            FleetError::Exhausted { .. } => None,
+            FleetError::Fault { fault, .. } => Some(fault.cell()),
+        }
+    }
 }
 
 impl fmt::Display for FleetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FleetError::Exhausted { job } => {
-                write!(f, "fleet exhausted: no array can absorb job {job}")
+            FleetError::Exhausted {
+                job,
+                cost,
+                live_arrays,
+            } => {
+                write!(
+                    f,
+                    "fleet exhausted: none of {live_arrays} live arrays can absorb \
+                     job {job} ({cost} writes)"
+                )
             }
-            FleetError::Endurance { job, array, error } => {
-                write!(f, "job {job} on array {array}: {error}")
+            FleetError::Fault { job, array, fault } => {
+                write!(f, "job {job} on array {array}: {fault}")
             }
         }
     }
 }
 
-impl std::error::Error for FleetError {}
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Exhausted { .. } => None,
+            FleetError::Fault { fault, .. } => Some(fault),
+        }
+    }
+}
 
 /// One crossbar of the fleet plus its dispatch bookkeeping.
 #[derive(Debug, Clone)]
 struct Slot {
     machine: Machine,
-    /// Total writes accumulated (plan-time mirror of the machine's wear).
+    /// Total writes accumulated (plan-time mirror of the machine's wear;
+    /// reconciled to executed wear whenever recovery retries jobs).
     total: u64,
     /// Jobs ever dispatched to this array.
     jobs: u64,
     retired: bool,
+    /// Physical cells confirmed broken, in detection order.
+    broken: Vec<CellId>,
+    /// Faults detected on this array (the watchdog's counter).
+    faults: u64,
+    /// Patched programs keyed by original program identity; cleared when
+    /// `broken` grows (every cached binding is stale then).
+    patches: HashMap<usize, Program>,
+    /// Fault events of the in-flight round, drained into the fleet's
+    /// [`FaultRecorder`] after the parallel phase (merged in job order,
+    /// keeping the log deterministic under any thread schedule).
+    events: Vec<FaultEvent>,
 }
 
 /// One array's dispatch bookkeeping, as reported by
@@ -297,6 +398,9 @@ pub struct Fleet {
     slots: Vec<Slot>,
     policy: DispatchPolicy,
     write_budget: Option<u64>,
+    faults: Option<FaultModel>,
+    recovery: Option<RecoveryConfig>,
+    recorder: FaultRecorder,
     /// Round-robin scan position.
     cursor: usize,
     jobs_run: u64,
@@ -306,20 +410,28 @@ impl Fleet {
     /// Builds the fleet: `config.arrays` empty crossbars with zero wear.
     pub fn new(config: FleetConfig) -> Self {
         let slots = (0..config.arrays)
-            .map(|_| Slot {
-                machine: Machine::with_array(match config.endurance {
-                    Some(limit) => Crossbar::with_endurance(limit),
-                    None => Crossbar::new(),
+            .map(|i| Slot {
+                machine: Machine::with_array(match (config.faults, config.endurance) {
+                    (Some(model), _) => Crossbar::with_faults(model.for_array(i)),
+                    (None, Some(limit)) => Crossbar::with_endurance(limit),
+                    (None, None) => Crossbar::new(),
                 }),
                 total: 0,
                 jobs: 0,
                 retired: false,
+                broken: Vec::new(),
+                faults: 0,
+                patches: HashMap::new(),
+                events: Vec::new(),
             })
             .collect();
         Fleet {
             slots,
             policy: config.policy,
             write_budget: config.write_budget,
+            faults: config.faults,
+            recovery: config.recovery,
+            recorder: FaultRecorder::new(config.recovery.map_or(256, |r| r.log_capacity)),
             cursor: 0,
             jobs_run: 0,
         }
@@ -338,6 +450,28 @@ impl Fleet {
     /// The per-array write budget, if any.
     pub fn write_budget(&self) -> Option<u64> {
         self.write_budget
+    }
+
+    /// The injected fault model, if the fleet runs under chaos.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.faults.as_ref()
+    }
+
+    /// The recovery policy, if online recovery is enabled.
+    pub fn recovery(&self) -> Option<&RecoveryConfig> {
+        self.recovery.as_ref()
+    }
+
+    /// The fleet-wide fault log: every detected fault and what recovery
+    /// did about it, in deterministic job order.
+    pub fn fault_log(&self) -> &FaultRecorder {
+        &self.recorder
+    }
+
+    /// Physical cells of array `index` confirmed broken and remapped
+    /// around, in detection order.
+    pub fn broken_cells(&self, index: usize) -> &[CellId] {
+        &self.slots[index].broken
     }
 
     /// Whether array `index` has been retired — by exhausting its write
@@ -447,14 +581,27 @@ impl Fleet {
     ///
     /// * [`FleetError::Exhausted`] if some job cannot be placed within the
     ///   write budget — detected at plan time, before any write executes.
-    /// * [`FleetError::Endurance`] if a physical endurance limit fails a
-    ///   write at run time. Earlier writes persist, the failed array is
-    ///   **retired** (later batches go to the survivors), and its wear
-    ///   bookkeeping is reconciled to the writes that actually executed.
-    ///   Outputs of jobs that did complete in the failed batch are not
-    ///   returned, so callers operating close to an endurance limit
-    ///   should prefer small batches (the lifetime experiments submit one
-    ///   job at a time) to avoid re-executing — and re-wearing — work.
+    /// * [`FleetError::Fault`] if a device fault (worn-out cell, or a
+    ///   stuck-at cell caught by write-verify readback) fails a write at
+    ///   run time **and recovery is off**. Earlier writes persist, the
+    ///   failed array is **retired** (later batches go to the survivors),
+    ///   and its wear bookkeeping is reconciled to the writes that
+    ///   actually executed. Outputs of jobs that did complete in the
+    ///   failed batch are not returned, so callers operating close to an
+    ///   endurance limit should prefer small batches (the lifetime
+    ///   experiments submit one job at a time) to avoid re-executing —
+    ///   and re-wearing — work.
+    ///
+    /// With [`FleetConfig::with_recovery`], a detected fault does not
+    /// fail the batch: the broken cell is remapped to a spare via
+    /// [`patch_program`] and the job retried on the same array; when the
+    /// watchdog retires an array instead, its unfinished jobs re-dispatch
+    /// to the survivors in follow-up planning rounds. The batch then only
+    /// fails with [`FleetError::Exhausted`], once no live array remains
+    /// for some job. Completed outputs equal a fault-free run's byte for
+    /// byte: a write that slips through verification stored the intended
+    /// value by definition, and remapping never changes the instruction
+    /// sequence.
     ///
     /// # Panics
     ///
@@ -468,11 +615,14 @@ impl Fleet {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
+        if self.recovery.is_some() {
+            return self.run_batch_recovering(jobs, threads);
+        }
         let (assignment, per_array) = self.prepare_batch(jobs)?;
         let results: Vec<ResultSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
-        self.execute_arrays(&per_array, threads, |machine, list| {
+        self.execute_arrays(&per_array, threads, |_, slot, list| {
             for &j in list {
-                let outcome = machine.run(jobs[j].program, jobs[j].inputs);
+                let outcome = slot.machine.run(jobs[j].program, jobs[j].inputs);
                 let failed = outcome.is_err();
                 *results[j].lock().expect("result lock") = Some(outcome);
                 if failed {
@@ -481,6 +631,75 @@ impl Fleet {
             }
         });
         self.collect_results(&assignment, results)
+    }
+
+    /// The recovering batch path: plan, execute with per-array
+    /// remap-and-retry, then re-plan whatever a retired array left
+    /// unfinished onto the survivors. Each round either finishes every
+    /// pending job or retires at least one array, so the loop runs at
+    /// most `arrays + 1` rounds.
+    fn run_batch_recovering(
+        &mut self,
+        jobs: &[Job<'_>],
+        threads: usize,
+    ) -> Result<Vec<Vec<bool>>, FleetError> {
+        let recovery = self.recovery.expect("recovery configured");
+        let mut outputs: Vec<Option<Vec<bool>>> = jobs.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..jobs.len()).collect();
+        while !pending.is_empty() {
+            let round: Vec<Job<'_>> = pending.iter().map(|&j| jobs[j]).collect();
+            let (_, per_array) = self.prepare_batch(&round).map_err(|e| match e {
+                // Report the unplaceable job under its original batch index.
+                FleetError::Exhausted {
+                    job,
+                    cost,
+                    live_arrays,
+                } => FleetError::Exhausted {
+                    job: pending[job],
+                    cost,
+                    live_arrays,
+                },
+                other => other,
+            })?;
+            let results: Vec<Mutex<Option<Vec<bool>>>> =
+                round.iter().map(|_| Mutex::new(None)).collect();
+            let global = pending.as_slice();
+            self.execute_arrays(&per_array, threads, |array, slot, list| {
+                for &r in list {
+                    match run_with_recovery(slot, array, global[r], round[r], recovery) {
+                        Some(out) => *results[r].lock().expect("result lock") = Some(out),
+                        // Watchdog retired the array; this job and the
+                        // rest of the list wait for the next round.
+                        None => return,
+                    }
+                }
+            });
+            // Drain per-array fault events into the recorder, merged in
+            // job order (each job runs on exactly one array, so a stable
+            // sort by job keeps per-job retry order), and reconcile the
+            // planned wear totals with what retries actually wrote.
+            let mut round_events = Vec::new();
+            for slot in &mut self.slots {
+                round_events.append(&mut slot.events);
+                slot.total = slot.machine.array().write_counts().iter().sum();
+            }
+            round_events.sort_by_key(|e| e.job);
+            for event in round_events {
+                self.recorder.record(event);
+            }
+            let mut still = Vec::new();
+            for (r, result) in results.into_iter().enumerate() {
+                match result.into_inner().expect("no poisoned lock") {
+                    Some(out) => outputs[pending[r]] = Some(out),
+                    None => still.push(pending[r]),
+                }
+            }
+            pending = still;
+        }
+        Ok(outputs
+            .into_iter()
+            .map(|o| o.expect("every job completed or the loop errored"))
+            .collect())
     }
 
     /// [`Fleet::run_batch`] with the batch packed into SIMD lanes: jobs
@@ -506,6 +725,11 @@ impl Fleet {
     /// program that reads a cell it never established may observe different
     /// garbage lane values than a scalar run.
     ///
+    /// Fault injection is a scalar-path feature: a word-level write has
+    /// no per-lane readback to verify against, so a fleet configured with
+    /// [`FleetConfig::with_faults`] or [`FleetConfig::with_recovery`]
+    /// transparently falls back to the scalar [`Fleet::run_batch`].
+    ///
     /// # Errors
     ///
     /// As [`Fleet::run_batch`].
@@ -522,19 +746,23 @@ impl Fleet {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
+        if self.faults.is_some() || self.recovery.is_some() {
+            return self.run_batch(jobs, threads);
+        }
         let (assignment, per_array) = self.prepare_batch(jobs)?;
         let results: Vec<ResultSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
-        self.execute_arrays(&per_array, threads, |machine, list| {
+        self.execute_arrays(&per_array, threads, |_, slot, list| {
             for group in lane_groups(jobs, list) {
                 let lanes = group.len();
                 let program = jobs[group[0]].program;
                 let lane_inputs: Vec<&[bool]> = group.iter().map(|&j| jobs[j].inputs).collect();
-                let overlay = WideCrossbar::from_scalar(machine.array());
+                let overlay = WideCrossbar::from_scalar(slot.machine.array());
                 let mut wide = WideMachine::with_array(overlay, lanes);
                 let outcome = wide.run(program, &lane_inputs);
                 // Commit even on failure: wear performed before the failing
                 // word write persists, as in the scalar path.
-                wide.array().commit_into(machine.array_mut(), lanes - 1);
+                wide.array()
+                    .commit_into(slot.machine.array_mut(), lanes - 1);
                 match outcome {
                     Ok(lane_outputs) => {
                         for (&j, out) in group.iter().zip(lane_outputs) {
@@ -542,7 +770,7 @@ impl Fleet {
                         }
                     }
                     Err(error) => {
-                        *results[group[0]].lock().expect("result lock") = Some(Err(error));
+                        *results[group[0]].lock().expect("result lock") = Some(Err(error.into()));
                         return; // this array is dead; later groups never ran
                     }
                 }
@@ -574,7 +802,11 @@ impl Fleet {
         plan.retire_spent();
         let mut assignment = Vec::with_capacity(jobs.len());
         for (j, &cost) in costs.iter().enumerate() {
-            let slot = plan.place(cost).ok_or(FleetError::Exhausted { job: j })?;
+            let slot = plan.place(cost).ok_or_else(|| FleetError::Exhausted {
+                job: j,
+                cost,
+                live_arrays: plan.retired.iter().filter(|r| !**r).count(),
+            })?;
             plan.totals[slot] += cost;
             plan.job_counts[slot] += 1;
             assignment.push(slot);
@@ -607,21 +839,22 @@ impl Fleet {
     /// parallel schedules produce identical state.
     fn execute_arrays<F>(&mut self, per_array: &[Vec<usize>], threads: usize, run_task: F)
     where
-        F: Fn(&mut Machine, &[usize]) + Sync,
+        F: Fn(usize, &mut Slot, &[usize]) + Sync,
     {
-        type TaskSlot<'m> = Mutex<Option<(&'m mut Machine, &'m [usize])>>;
+        type TaskSlot<'m> = Mutex<Option<(usize, &'m mut Slot, &'m [usize])>>;
         let tasks: Vec<TaskSlot<'_>> = self
             .slots
             .iter_mut()
+            .enumerate()
             .zip(per_array)
             .filter(|(_, list)| !list.is_empty())
-            .map(|(slot, list)| Mutex::new(Some((&mut slot.machine, list.as_slice()))))
+            .map(|((i, slot), list)| Mutex::new(Some((i, slot, list.as_slice()))))
             .collect();
         let workers = resolve_threads(threads, tasks.len());
         if workers <= 1 {
             for task in &tasks {
-                let (machine, list) = task.lock().expect("task lock").take().expect("task set");
-                run_task(machine, list);
+                let (i, slot, list) = task.lock().expect("task lock").take().expect("task set");
+                run_task(i, slot, list);
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -632,12 +865,12 @@ impl Fleet {
                         if i >= tasks.len() {
                             return;
                         }
-                        let (machine, list) = tasks[i]
+                        let (array, slot, list) = tasks[i]
                             .lock()
                             .expect("task lock")
                             .take()
                             .expect("task set");
-                        run_task(machine, list);
+                        run_task(array, slot, list);
                     });
                 }
             });
@@ -645,7 +878,7 @@ impl Fleet {
     }
 
     /// Aggregates per-job outcomes in batch order, retiring arrays that
-    /// failed on endurance and reconciling their planned wear to the
+    /// failed on a device fault and reconciling their planned wear to the
     /// writes that actually executed.
     fn collect_results(
         &mut self,
@@ -657,7 +890,7 @@ impl Fleet {
         for (j, cell) in results.into_iter().enumerate() {
             match cell.into_inner().expect("no poisoned lock") {
                 Some(Ok(out)) => outputs.push(out),
-                Some(Err(error)) => {
+                Some(Err(fault)) => {
                     // A dead cell is permanent: retire the array so later
                     // batches go to the survivors, and replace its planned
                     // wear with the writes that actually executed.
@@ -666,10 +899,10 @@ impl Fleet {
                     slot.retired = true;
                     slot.total = slot.machine.array().write_counts().iter().sum();
                     if first_error.is_none() {
-                        first_error = Some(FleetError::Endurance {
+                        first_error = Some(FleetError::Fault {
                             job: j,
                             array,
-                            error,
+                            fault,
                         });
                     }
                 }
@@ -687,7 +920,62 @@ impl Fleet {
 
 /// Per-job outcome slot shared between the planner thread and the array
 /// workers.
-type ResultSlot = Mutex<Option<Result<Vec<bool>, EnduranceError>>>;
+type ResultSlot = Mutex<Option<Result<Vec<bool>, WriteFault>>>;
+
+/// Runs one job on one array with remap-and-retry recovery. Returns the
+/// job's outputs, or `None` when the watchdog retired the array instead
+/// (the fault budget or the spare budget is spent).
+///
+/// Every detected fault appends a [`FaultEvent`] to `slot.events` under
+/// the job's original batch index `job_index`; the fleet merges the
+/// per-array logs deterministically after the parallel phase.
+fn run_with_recovery(
+    slot: &mut Slot,
+    array: usize,
+    job_index: usize,
+    job: Job<'_>,
+    recovery: RecoveryConfig,
+) -> Option<Vec<bool>> {
+    loop {
+        let key = std::ptr::from_ref(job.program) as usize;
+        if !slot.broken.is_empty() && !slot.patches.contains_key(&key) {
+            slot.patches
+                .insert(key, patch_program(job.program, &slot.broken));
+        }
+        let program = slot.patches.get(&key).unwrap_or(job.program);
+        slot.machine.ensure_cells(program.num_cells);
+        match slot.machine.run(program, job.inputs) {
+            Ok(out) => return Some(out),
+            Err(fault) => {
+                slot.faults += 1;
+                let cell = fault.cell();
+                let kind = FaultKind::of(&fault);
+                if slot.faults > recovery.max_faults || slot.broken.len() >= recovery.spares {
+                    slot.retired = true;
+                    slot.events.push(FaultEvent {
+                        job: job_index,
+                        array,
+                        cell,
+                        kind,
+                        action: RecoveryAction::Retired,
+                    });
+                    return None;
+                }
+                slot.broken.push(cell);
+                // Every cached binding is stale now; rebuild on demand.
+                slot.patches.clear();
+                let spare = remap_target(&slot.broken, cell);
+                slot.events.push(FaultEvent {
+                    job: job_index,
+                    array,
+                    cell,
+                    kind,
+                    action: RecoveryAction::Remapped { spare },
+                });
+            }
+        }
+    }
+}
 
 /// Packs one array's planned job list into SIMD lane groups: jobs sharing
 /// a program (by reference identity), up to [`WideCrossbar::LANES`] per
@@ -888,7 +1176,14 @@ mod tests {
         assert_eq!(fleet.remaining_jobs(4), Some(0));
         assert_eq!(fleet.first_retirement_horizon(4), Some(0));
         let err = fleet.run_batch(&[Job::new(&job, &[])], 1).unwrap_err();
-        assert_eq!(err, FleetError::Exhausted { job: 0 });
+        assert_eq!(
+            err,
+            FleetError::Exhausted {
+                job: 0,
+                cost: 4,
+                live_arrays: 2
+            }
+        );
         // The failed batch executed nothing.
         assert_eq!(fleet.total_writes(0), 8);
         assert_eq!(fleet.total_writes(1), 8);
@@ -942,11 +1237,21 @@ mod tests {
         let jobs = vec![Job::new(&job, &[]); 3];
         let err = fleet.run_batch(&jobs, 1).unwrap_err();
         // Two jobs fit (10 ≤ 12); the third does not.
-        assert_eq!(err, FleetError::Exhausted { job: 2 });
+        assert_eq!(
+            err,
+            FleetError::Exhausted {
+                job: 2,
+                cost: 5,
+                live_arrays: 1
+            }
+        );
         assert_eq!(
             err.to_string(),
-            "fleet exhausted: no array can absorb job 2"
+            "fleet exhausted: none of 1 live arrays can absorb job 2 (5 writes)"
         );
+        assert_eq!(err.job(), 2);
+        assert_eq!(err.array(), None);
+        assert_eq!(err.cell(), None);
     }
 
     #[test]
@@ -955,8 +1260,18 @@ mod tests {
         let mut fleet = Fleet::new(FleetConfig::new(1).with_endurance(2));
         fleet.run_batch(&[Job::new(&job, &[]); 2], 1).unwrap();
         let err = fleet.run_batch(&[Job::new(&job, &[])], 1).unwrap_err();
+        assert_eq!(err.array(), Some(0));
+        assert_eq!(err.cell(), Some(CellId::new(0)));
+        assert!(
+            err.to_string().contains("array 0") && err.to_string().contains("r0"),
+            "a fleet failure names the array and the cell: {err}"
+        );
         match err {
-            FleetError::Endurance { job, array, error } => {
+            FleetError::Fault {
+                job,
+                array,
+                fault: WriteFault::Worn(error),
+            } => {
                 assert_eq!(job, 0);
                 assert_eq!(array, 0);
                 assert_eq!(error.limit, 2);
@@ -972,10 +1287,7 @@ mod tests {
                            // so jobs 4 and 5 (the third run on each array) both fail.
         let mut fleet = Fleet::new(FleetConfig::new(2).with_endurance(2));
         let err = fleet.run_batch(&[Job::new(&job, &[]); 6], 1).unwrap_err();
-        assert!(
-            matches!(err, FleetError::Endurance { job: 4, .. }),
-            "{err:?}"
-        );
+        assert!(matches!(err, FleetError::Fault { job: 4, .. }), "{err:?}");
         for i in 0..2 {
             assert!(fleet.is_retired(i), "dead array {i} must retire");
             // Planned totals (3 per array) reconciled to executed wear (2).
@@ -983,7 +1295,14 @@ mod tests {
         }
         // A fully-dead fleet rejects further work at plan time.
         let err = fleet.run_batch(&[Job::new(&job, &[])], 1).unwrap_err();
-        assert_eq!(err, FleetError::Exhausted { job: 0 });
+        assert_eq!(
+            err,
+            FleetError::Exhausted {
+                job: 0,
+                cost: 1,
+                live_arrays: 0
+            }
+        );
     }
 
     #[test]
@@ -1017,10 +1336,7 @@ mod tests {
         let jobs = Job::alternating(&heavy, &light, &[], 4);
         fleet.run_batch(&jobs, 1).unwrap(); // a0: r0=4, a1: r1=2
         let err = fleet.run_batch(&jobs, 1).unwrap_err();
-        assert!(
-            matches!(err, FleetError::Endurance { array: 0, .. }),
-            "{err:?}"
-        );
+        assert!(matches!(err, FleetError::Fault { array: 0, .. }), "{err:?}");
         assert!(fleet.is_retired(0));
         assert!(!fleet.is_retired(1));
         // The fleet keeps serving on the survivor instead of failing
@@ -1150,7 +1466,11 @@ mod tests {
             .run_batch_simd(&[Job::new(&job, &[]); 3], 1)
             .unwrap_err();
         match err {
-            FleetError::Endurance { job, array, error } => {
+            FleetError::Fault {
+                job,
+                array,
+                fault: WriteFault::Worn(error),
+            } => {
                 assert_eq!(job, 0);
                 assert_eq!(array, 0);
                 assert_eq!(error.limit, 2);
@@ -1186,5 +1506,219 @@ mod tests {
     #[should_panic(expected = "at least one array")]
     fn zero_array_fleet_rejected() {
         let _ = FleetConfig::new(0);
+    }
+
+    use rlim_rram::variability::EnduranceModel;
+
+    /// A deterministic wear-only fault model: every cell endures exactly
+    /// `limit` writes, no stuck-at faults.
+    fn wear_only(limit: f64) -> FaultModel {
+        FaultModel::new(EnduranceModel::new(limit, 0.0), 0.0, 11)
+    }
+
+    #[test]
+    fn recovery_remaps_and_completes_where_naive_fleet_aborts() {
+        let job = burn(1); // one write on r0 per run
+        let jobs = vec![Job::new(&job, &[]); 10];
+        let model = wear_only(4.0);
+
+        let mut naive = Fleet::new(FleetConfig::new(1).with_faults(model));
+        let err = naive.run_batch(&jobs, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            FleetError::Fault {
+                job: 4,
+                array: 0,
+                fault: WriteFault::Worn(_)
+            }
+        ));
+
+        let mut healing = Fleet::new(
+            FleetConfig::new(1)
+                .with_faults(model)
+                .with_recovery(RecoveryConfig::new().with_spares(4)),
+        );
+        let out = healing.run_batch(&jobs, 1).unwrap();
+        // Outputs are byte-identical to a fault-free fleet's.
+        let mut clean = Fleet::new(FleetConfig::new(1));
+        assert_eq!(out, clean.run_batch(&jobs, 1).unwrap());
+        // r0 wore out after 4 writes (job 4 remapped to r1), r1 after 4
+        // more (job 8 remapped to r2); the array stays in service.
+        assert!(!healing.is_retired(0));
+        assert_eq!(healing.broken_cells(0), &[CellId::new(0), CellId::new(1)]);
+        let log = healing.fault_log();
+        assert_eq!(log.worn(), 2);
+        assert_eq!(log.remaps(), 2);
+        assert_eq!(log.retirements(), 0);
+        let events: Vec<String> = log.events().map(|e| e.to_string()).collect();
+        assert_eq!(
+            events,
+            vec![
+                "job 4 on array 0: cell r0 worn, remapped to r1",
+                "job 8 on array 0: cell r1 worn, remapped to r2",
+            ]
+        );
+        // Wear totals reflect the retries that actually executed.
+        let executed: u64 = healing.array(0).write_counts().iter().sum();
+        assert_eq!(healing.total_writes(0), executed);
+    }
+
+    #[test]
+    fn watchdog_retires_arrays_and_redispatches_to_survivors() {
+        let job = burn(1);
+        let model = wear_only(2.0);
+        // spares = 1: each array survives one remap (2 + 2 writes), then
+        // the second fault retires it.
+        let config = FleetConfig::new(2)
+            .with_faults(model)
+            .with_recovery(RecoveryConfig::new().with_spares(1));
+        let mut fleet = Fleet::new(config.clone());
+        // Fleet capacity is exactly 8 jobs (2 cells × 2 writes × 2 arrays).
+        let out = fleet.run_batch(&[Job::new(&job, &[]); 8], 1).unwrap();
+        assert_eq!(out.len(), 8);
+        assert!(!fleet.is_retired(0) && !fleet.is_retired(1));
+        // The next jobs fault both arrays past their spare budget: the
+        // watchdog retires them and the re-dispatch finds no survivor.
+        let err = fleet.run_batch(&[Job::new(&job, &[]); 2], 1).unwrap_err();
+        assert_eq!(
+            err,
+            FleetError::Exhausted {
+                job: 0,
+                cost: 1,
+                live_arrays: 0
+            }
+        );
+        assert!(fleet.is_retired(0) && fleet.is_retired(1));
+        assert_eq!(fleet.fault_log().retirements(), 2);
+    }
+
+    #[test]
+    fn retired_arrays_jobs_redispatch_to_survivors() {
+        /// `writes` set1 instructions, all on cell `cell`.
+        fn burn_at(cell: u32, writes: usize) -> Program {
+            Program {
+                instructions: vec![
+                    Instruction {
+                        p: Operand::Const(true),
+                        q: Operand::Const(false),
+                        z: CellId::new(cell),
+                    };
+                    writes
+                ],
+                num_cells: cell as usize + 1,
+                input_cells: vec![],
+                output_cells: vec![CellId::new(cell)],
+            }
+        }
+        // Round-robin sends every heavy job (2 writes on r0) to array 0
+        // and every light job (1 write on r1) to array 1. With a 4-write
+        // cell limit and zero spares, array 0's third heavy job trips the
+        // watchdog mid-batch — and must then complete on array 1, whose
+        // own r0 is untouched.
+        let heavy = burn_at(0, 2);
+        let light = burn_at(1, 1);
+        let mut fleet = Fleet::new(
+            FleetConfig::new(2)
+                .with_policy(DispatchPolicy::RoundRobin)
+                .with_faults(wear_only(4.0))
+                .with_recovery(RecoveryConfig::new().with_spares(0)),
+        );
+        let jobs = Job::alternating(&heavy, &light, &[], 6);
+        let out = fleet.run_batch(&jobs, 1).unwrap();
+        assert_eq!(out.len(), 6);
+        assert!(fleet.is_retired(0));
+        assert!(!fleet.is_retired(1));
+        let log = fleet.fault_log();
+        assert_eq!(log.retirements(), 1);
+        let event = log.events().next().expect("one event");
+        assert_eq!(
+            (event.job, event.array, event.cell, event.action),
+            (4, 0, CellId::new(0), RecoveryAction::Retired)
+        );
+        // The survivor served its three light jobs plus the re-dispatch.
+        assert_eq!(fleet.jobs_on(1), 4);
+        // Outputs still match a fault-free fleet's, byte for byte.
+        let mut clean = Fleet::new(FleetConfig::new(2).with_policy(DispatchPolicy::RoundRobin));
+        assert_eq!(out, clean.run_batch(&jobs, 1).unwrap());
+    }
+
+    #[test]
+    fn stuck_faults_are_detected_remapped_and_outputs_stay_correct() {
+        // Alternating set1/set0 traffic on cells that all go stuck at
+        // some write within their (ample) 64-write endurance: the onset
+        // is sampled in `1..=limit`, the values alternate, so
+        // write-verify catches the first disagreeing store; recovery
+        // remaps, and the outputs still match a clean fleet.
+        let ones = set_prog(true);
+        let zeros = set_prog(false);
+        let model = FaultModel::new(EnduranceModel::new(64.0, 0.0), 1.0, 5);
+        let jobs: Vec<Job<'_>> = (0..48)
+            .map(|i| Job::new(if i % 2 == 0 { &ones } else { &zeros }, &[]))
+            .collect();
+        let mut healing = Fleet::new(
+            FleetConfig::new(1)
+                .with_faults(model)
+                .with_recovery(RecoveryConfig::new()),
+        );
+        let out = healing.run_batch(&jobs, 1).unwrap();
+        let mut clean = Fleet::new(FleetConfig::new(1));
+        assert_eq!(out, clean.run_batch(&jobs, 1).unwrap());
+        let log = healing.fault_log();
+        assert!(log.stuck() >= 1, "stuck-at faults must surface: {log:?}");
+        assert_eq!(log.worn(), 0, "endurance is ample here");
+        assert_eq!(log.remaps(), log.total_faults());
+    }
+
+    #[test]
+    fn chaos_recovery_is_deterministic_serial_vs_parallel() {
+        let heavy = burn(3);
+        let light = burn(1);
+        let model = FaultModel::new(EnduranceModel::new(16.0, 0.4), 0.05, 7);
+        let config = || {
+            FleetConfig::new(4)
+                .with_faults(model)
+                .with_recovery(RecoveryConfig::new())
+        };
+        let jobs = Job::alternating(&heavy, &light, &[], 40);
+        let mut serial = Fleet::new(config());
+        let out_serial = serial.run_batch(&jobs, 1).unwrap();
+        let mut parallel = Fleet::new(config());
+        let out_parallel = parallel.run_batch(&jobs, 0).unwrap();
+        assert_eq!(out_serial, out_parallel);
+        for i in 0..4 {
+            assert_eq!(
+                serial.array(i).write_counts(),
+                parallel.array(i).write_counts(),
+                "array {i} wear"
+            );
+            assert_eq!(
+                serial.broken_cells(i),
+                parallel.broken_cells(i),
+                "array {i}"
+            );
+        }
+        assert_eq!(serial.fault_log(), parallel.fault_log());
+        assert!(
+            serial.fault_log().total_faults() > 0,
+            "the scenario must actually exercise recovery"
+        );
+    }
+
+    #[test]
+    fn chaos_simd_batches_fall_back_to_the_scalar_path() {
+        let job = burn(1);
+        let jobs = vec![Job::new(&job, &[]); 10];
+        let model = wear_only(4.0);
+        let config = || {
+            FleetConfig::new(1)
+                .with_faults(model)
+                .with_recovery(RecoveryConfig::new().with_spares(4))
+        };
+        let mut simd = Fleet::new(config());
+        let out_simd = simd.run_batch_simd(&jobs, 1).unwrap();
+        let mut scalar = Fleet::new(config());
+        assert_eq!(out_simd, scalar.run_batch(&jobs, 1).unwrap());
+        assert_eq!(simd.fault_log(), scalar.fault_log());
+        assert_eq!(simd.array(0).write_counts(), scalar.array(0).write_counts());
     }
 }

@@ -23,7 +23,9 @@
 //! to 64 input vectors per instruction with identical wear accounting,
 //! the self-hosted [`Controller`] FSM, and the multi-crossbar [`Fleet`]
 //! runtime with endurance-aware dispatch ([`DispatchPolicy`]), including
-//! SIMD-batched dispatch ([`Fleet::run_batch_simd`]).
+//! SIMD-batched dispatch ([`Fleet::run_batch_simd`]) and online fault
+//! recovery ([`RecoveryConfig`], [`FaultRecorder`], [`patch_program`])
+//! over injected device faults ([`rlim_rram::FaultModel`]).
 //!
 //! ## Example
 //!
@@ -64,6 +66,7 @@ mod controller;
 mod fleet;
 mod isa;
 mod machine;
+mod recovery;
 mod trace;
 mod wide;
 
@@ -71,5 +74,8 @@ pub use controller::{Controller, State};
 pub use fleet::{ArrayStats, DispatchPolicy, Fleet, FleetConfig, FleetError, FleetStats, Job};
 pub use isa::{Instruction, Operand, Program, ProgramError};
 pub use machine::{run_once, Machine};
+pub use recovery::{
+    patch_program, FaultEvent, FaultKind, FaultRecorder, RecoveryAction, RecoveryConfig,
+};
 pub use trace::{Trace, TraceRecord};
 pub use wide::{run_once_wide, WideMachine};

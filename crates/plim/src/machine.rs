@@ -4,10 +4,12 @@
 //! peripheral circuitry: it fetches an instruction, reads operands `P` and
 //! `Q` (memory or constants), and performs the majority write on `Z` in the
 //! same array. This model reproduces that behaviour cycle by cycle —
-//! every instruction is exactly one destination write — and surfaces
-//! endurance exhaustion as an error, enabling lifetime experiments.
+//! every instruction is exactly one destination write, performed as a
+//! write-verify cycle — and surfaces endurance exhaustion and stuck-at
+//! faults as [`WriteFault`] errors, enabling lifetime and chaos
+//! experiments.
 
-use rlim_rram::{Crossbar, EnduranceError};
+use rlim_rram::{Crossbar, FaultModel, WriteFault};
 
 use crate::isa::{Instruction, Operand, Program};
 
@@ -67,6 +69,14 @@ impl Machine {
         Machine { array, cycles: 0 }
     }
 
+    /// Like [`Machine::for_program`] but under fault injection: per-cell
+    /// endurance limits and latent stuck-at faults sampled from `model`.
+    pub fn with_faults(program: &Program, model: FaultModel) -> Self {
+        let mut array = Crossbar::with_faults(model);
+        array.grow_to(program.num_cells);
+        Machine { array, cycles: 0 }
+    }
+
     /// A machine executing on a caller-provided array — the entry point for
     /// long-lived arrays whose wear spans many programs (see
     /// [`Fleet`](crate::Fleet)). The array is grown on demand by
@@ -98,34 +108,44 @@ impl Machine {
         self.cycles
     }
 
-    /// Preloads the primary inputs (wear-free, models the RAM load phase).
+    /// Preloads the primary inputs (wear-free, models the RAM load phase),
+    /// verifying each cell by readback so stuck input cells surface
+    /// instead of silently corrupting the computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WriteFault::Stuck`] for the first input cell whose
+    /// readback disagrees with the loaded value.
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != program.input_cells.len()`.
-    pub fn load_inputs(&mut self, program: &Program, inputs: &[bool]) {
+    pub fn load_inputs(&mut self, program: &Program, inputs: &[bool]) -> Result<(), WriteFault> {
         assert_eq!(
             inputs.len(),
             program.input_cells.len(),
             "input value count must match the program's input cells"
         );
         for (&cell, &value) in program.input_cells.iter().zip(inputs) {
-            self.array.preload(cell, value);
+            self.array.preload_verified(cell, value)?;
         }
+        Ok(())
     }
 
-    /// Executes a single RM3 instruction.
+    /// Executes a single RM3 instruction as a write-verify cycle.
     ///
     /// # Errors
     ///
-    /// Returns [`EnduranceError`] if the destination cell is worn out; the
-    /// machine state is unchanged in that case.
-    pub fn step(&mut self, inst: &Instruction) -> Result<(), EnduranceError> {
+    /// Returns [`WriteFault::Worn`] if the destination cell is worn out
+    /// (machine state unchanged), or [`WriteFault::Stuck`] when the
+    /// readback disagrees with the majority result (the pulse was
+    /// absorbed, so wear advanced).
+    pub fn step(&mut self, inst: &Instruction) -> Result<(), WriteFault> {
         let p = self.operand_value(inst.p);
         let q = self.operand_value(inst.q);
         let z = self.array.read(inst.z);
         let result = maj(p, !q, z);
-        self.array.write(inst.z, result)?;
+        self.array.write_verified(inst.z, result)?;
         self.cycles += 1;
         Ok(())
     }
@@ -134,8 +154,8 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Stops at the first endurance failure and returns it.
-    pub fn execute(&mut self, program: &Program) -> Result<(), EnduranceError> {
+    /// Stops at the first write fault and returns it.
+    pub fn execute(&mut self, program: &Program) -> Result<(), WriteFault> {
         for inst in &program.instructions {
             self.step(inst)?;
         }
@@ -155,9 +175,9 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Propagates the first endurance failure.
-    pub fn run(&mut self, program: &Program, inputs: &[bool]) -> Result<Vec<bool>, EnduranceError> {
-        self.load_inputs(program, inputs);
+    /// Propagates the first write fault.
+    pub fn run(&mut self, program: &Program, inputs: &[bool]) -> Result<Vec<bool>, WriteFault> {
+        self.load_inputs(program, inputs)?;
         self.execute(program)?;
         Ok(self.outputs(program))
     }
@@ -218,7 +238,7 @@ mod tests {
         .unwrap();
         assert!(!m.array().read(cell(1)));
         // load: with z = 0, RM3(v, 0, z) = ⟨v, 1, 0⟩ = v
-        m.load_inputs(&program, &[true]);
+        m.load_inputs(&program, &[true]).unwrap();
         m.step(&Instruction {
             p: Operand::Cell(cell(0)),
             q: Operand::Const(false),
@@ -316,8 +336,61 @@ mod tests {
             m.run(&program, &[]).unwrap();
         }
         let err = m.run(&program, &[]).unwrap_err();
-        assert_eq!(err.cell, cell(0));
-        assert_eq!(err.limit, 3);
+        assert_eq!(err.cell(), cell(0));
+        match err {
+            WriteFault::Worn(e) => assert_eq!(e.limit, 3),
+            WriteFault::Stuck(_) => panic!("a uniform limit cannot stick"),
+        }
+    }
+
+    /// Under a fault model, the machine's write-verify cycle surfaces a
+    /// stuck destination as `WriteFault::Stuck`, and a stuck *input* cell
+    /// surfaces at load time.
+    #[test]
+    fn stuck_fault_surfaces_with_faulty_cells() {
+        use rlim_rram::variability::EnduranceModel;
+        let program = Program {
+            instructions: vec![
+                Instruction {
+                    p: Operand::Const(true),
+                    q: Operand::Const(false),
+                    z: cell(1),
+                },
+                Instruction {
+                    p: Operand::Const(false),
+                    q: Operand::Const(true),
+                    z: cell(1),
+                },
+            ],
+            num_cells: 2,
+            input_cells: vec![cell(0)],
+            output_cells: vec![cell(1)],
+        };
+        // Every cell stuck, generous endurance: the set1/set0 alternation
+        // must eventually disagree with the frozen value.
+        let model = FaultModel::new(EnduranceModel::new(1e6, 0.0), 1.0, 3);
+        let mut m = Machine::with_faults(&program, model);
+        let fault = loop {
+            match m.run(&program, &[false]) {
+                Ok(_) => continue,
+                Err(f) => break f,
+            }
+        };
+        assert!(matches!(fault, WriteFault::Stuck(_)), "{fault:?}");
+        // An input cell frozen at 1 rejects a load of 0.
+        let stuck_inputs = {
+            let mut probe = Machine::with_faults(&program, model);
+            // Wear the input cell past its onset via direct writes.
+            let onset = model.profile(0).stuck.unwrap().onset;
+            for _ in 0..onset {
+                probe
+                    .array_mut()
+                    .write(cell(0), model.profile(0).stuck.unwrap().value)
+                    .unwrap();
+            }
+            probe.load_inputs(&program, &[!model.profile(0).stuck.unwrap().value])
+        };
+        assert!(matches!(stuck_inputs, Err(WriteFault::Stuck(_))));
     }
 
     #[test]
@@ -354,6 +427,6 @@ mod tests {
             output_cells: vec![],
         };
         let mut m = Machine::for_program(&program);
-        m.load_inputs(&program, &[]);
+        let _ = m.load_inputs(&program, &[]);
     }
 }

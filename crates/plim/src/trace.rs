@@ -8,7 +8,7 @@
 //! write counters cannot: *when* did the hot cell take its writes, and
 //! which instructions were redundant (non-switching) pulses?
 
-use rlim_rram::{CellId, EnduranceError};
+use rlim_rram::{CellId, WriteFault};
 
 use crate::isa::Program;
 use crate::machine::Machine;
@@ -91,15 +91,15 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns the first [`EnduranceError`] hit; the trace up to the
+    /// Returns the first [`WriteFault`] hit; the trace up to the
     /// failing instruction is discarded with the error (use
     /// [`Machine::array`] for post-mortem wear state).
     pub fn run_traced(
         &mut self,
         program: &Program,
         inputs: &[bool],
-    ) -> Result<(Vec<bool>, Trace), EnduranceError> {
-        self.load_inputs(program, inputs);
+    ) -> Result<(Vec<bool>, Trace), WriteFault> {
+        self.load_inputs(program, inputs)?;
         let mut trace = Trace::default();
         for (pc, inst) in program.instructions.iter().enumerate() {
             let before = self.array().read(inst.z);

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::fault::{CellProfile, FaultModel, StuckAtError, WriteFault};
+
 /// Index of a cell in a [`Crossbar`].
 ///
 /// Newtype so cell addresses cannot be confused with MIG node ids or
@@ -81,6 +83,16 @@ struct Cell {
 pub struct Crossbar {
     cells: Vec<Cell>,
     endurance: Option<u64>,
+    faults: Option<Faults>,
+}
+
+/// Per-cell fault state, grown in lockstep with `cells` so profile
+/// sampling happens once per cell at allocation time, off the hot write
+/// path.
+#[derive(Debug, Clone)]
+struct Faults {
+    model: FaultModel,
+    profiles: Vec<CellProfile>,
 }
 
 impl Crossbar {
@@ -94,12 +106,40 @@ impl Crossbar {
         Crossbar {
             cells: Vec::new(),
             endurance: Some(limit),
+            faults: None,
+        }
+    }
+
+    /// An empty array under fault injection: each cell's endurance limit
+    /// and latent stuck-at fault are sampled from `model` at allocation
+    /// time (deterministic per `(seed, cell index)`), overriding any
+    /// uniform limit.
+    pub fn with_faults(model: FaultModel) -> Self {
+        Crossbar {
+            cells: Vec::new(),
+            endurance: None,
+            faults: Some(Faults {
+                model,
+                profiles: Vec::new(),
+            }),
         }
     }
 
     /// The configured endurance limit, if any.
     pub fn endurance(&self) -> Option<u64> {
         self.endurance
+    }
+
+    /// The fault-injection model, when this array runs under one.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.faults.as_ref().map(|f| &f.model)
+    }
+
+    /// The value cell `cell` is currently frozen at, if its latent
+    /// stuck-at fault has manifested (its wear reached the fault onset).
+    pub fn stuck_at(&self, cell: CellId) -> Option<bool> {
+        let stuck = self.faults.as_ref()?.profiles[cell.index()].stuck?;
+        (self.cells[cell.index()].writes >= stuck.onset).then_some(stuck.value)
     }
 
     /// Number of cells in the array.
@@ -116,6 +156,9 @@ impl Crossbar {
     /// write (the paper's accounting excludes input loading).
     pub fn alloc(&mut self, value: bool) -> CellId {
         let id = CellId(u32::try_from(self.cells.len()).expect("crossbar too large"));
+        if let Some(f) = &mut self.faults {
+            f.profiles.push(f.model.profile(id.index()));
+        }
         self.cells.push(Cell {
             value,
             writes: 0,
@@ -154,17 +197,52 @@ impl Crossbar {
     ///
     /// Panics if `cell` is out of range.
     pub fn write(&mut self, cell: CellId, value: bool) -> Result<(), EnduranceError> {
+        let profile = self.faults.as_ref().map(|f| f.profiles[cell.index()]);
+        let limit = profile.map(|p| p.limit).or(self.endurance);
         let c = &mut self.cells[cell.index()];
-        if let Some(limit) = self.endurance {
+        if let Some(limit) = limit {
             if c.writes >= limit {
                 return Err(EnduranceError { cell, limit });
             }
         }
-        if c.value != value {
+        // The pulse is applied (and wears the cell) even when a stuck-at
+        // fault keeps the stored state frozen — absorption, not rejection.
+        c.writes += 1;
+        let stored = match profile.and_then(|p| p.stuck) {
+            Some(s) if c.writes >= s.onset => s.value,
+            _ => value,
+        };
+        if c.value != stored {
             c.switches += 1;
         }
-        c.value = value;
-        c.writes += 1;
+        c.value = stored;
+        Ok(())
+    }
+
+    /// Writes `value` into `cell`, then reads it back — the write-verify
+    /// cycle that detects stuck-at faults. Wear accounting matches
+    /// [`write`](Self::write): a worn-out cell rejects the pulse without
+    /// wearing, a stuck cell absorbs it (and wears) but fails
+    /// verification. A stuck cell written with its frozen value verifies
+    /// clean (the fault is latent until the other state is needed).
+    ///
+    /// # Errors
+    ///
+    /// [`WriteFault::Worn`] when endurance is exhausted,
+    /// [`WriteFault::Stuck`] when the readback disagrees with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn write_verified(&mut self, cell: CellId, value: bool) -> Result<(), WriteFault> {
+        self.write(cell, value)?;
+        let stored = self.read(cell);
+        if stored != value {
+            return Err(WriteFault::Stuck(StuckAtError {
+                cell,
+                stuck: stored,
+            }));
+        }
         Ok(())
     }
 
@@ -177,7 +255,33 @@ impl Crossbar {
     /// Panics if `cell` is out of range.
     #[inline]
     pub fn preload(&mut self, cell: CellId, value: bool) {
-        self.cells[cell.index()].value = value;
+        let stored = self.stuck_at(cell).unwrap_or(value);
+        self.cells[cell.index()].value = stored;
+    }
+
+    /// Preloads `cell` and reads it back, like
+    /// [`write_verified`](Self::write_verified) but wear-free — the
+    /// input-load phase's
+    /// detection primitive. A manifest stuck-at fault on an input cell
+    /// surfaces here instead of silently corrupting the computation.
+    ///
+    /// # Errors
+    ///
+    /// [`StuckAtError`] when the readback disagrees with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn preload_verified(&mut self, cell: CellId, value: bool) -> Result<(), StuckAtError> {
+        self.preload(cell, value);
+        let stored = self.read(cell);
+        if stored != value {
+            return Err(StuckAtError {
+                cell,
+                stuck: stored,
+            });
+        }
+        Ok(())
     }
 
     /// Overwrites a cell's stored value and write counter in one step —
@@ -221,6 +325,9 @@ impl Crossbar {
     }
 
     /// Resets all stored values and wear counters, keeping the cell count.
+    /// Under fault injection this models a factory-fresh device: latent
+    /// stuck-at faults un-manifest because their wear-count onsets are no
+    /// longer reached.
     pub fn reset_wear(&mut self) {
         for c in &mut self.cells {
             c.writes = 0;
@@ -329,5 +436,119 @@ mod tests {
         assert!(CellId::new(1) < CellId::new(2));
         assert_eq!(CellId::new(7).to_string(), "r7");
         assert_eq!(CellId::new(7).index(), 7);
+    }
+
+    // ---- Fault injection ---------------------------------------------
+
+    use crate::fault::FaultModel;
+    use crate::variability::EnduranceModel;
+
+    /// A model whose every cell is stuck (p = 1) with a tiny sampled
+    /// endurance spread, so faults manifest within a few writes.
+    fn chaotic(seed: u64) -> FaultModel {
+        FaultModel::new(EnduranceModel::new(8.0, 0.3), 1.0, seed)
+    }
+
+    #[test]
+    fn per_cell_limits_override_the_uniform_limit() {
+        let model = FaultModel::new(EnduranceModel::new(4.0, 0.0), 0.0, 1);
+        let mut array = Crossbar::with_faults(model);
+        let c = array.alloc(false);
+        for i in 0..4 {
+            array.write(c, i % 2 == 0).unwrap();
+        }
+        let err = array.write(c, true).unwrap_err();
+        assert_eq!(err.cell, c);
+        assert_eq!(err.limit, 4);
+        assert_eq!(array.writes(c), 4, "rejected pulses do not wear");
+    }
+
+    #[test]
+    fn stuck_cell_absorbs_pulses_and_fails_verification() {
+        let mut array = Crossbar::with_faults(chaotic(7));
+        let c = array.alloc(false);
+        let stuck = array.fault_model().unwrap().profile(0).stuck.unwrap();
+        assert_eq!(array.stuck_at(c), None, "fresh cells are never stuck");
+        // Drive the cell toward its onset always intending the opposite
+        // of the frozen value: the onset write is the first to disagree
+        // with its readback.
+        let mut fault = None;
+        for _ in 0..stuck.onset {
+            if let Err(f) = array.write_verified(c, !stuck.value) {
+                fault = Some(f);
+                break;
+            }
+        }
+        match fault.expect("the onset write must trip the fault") {
+            WriteFault::Stuck(e) => {
+                assert_eq!(e.cell, c);
+                assert_eq!(e.stuck, stuck.value);
+            }
+            WriteFault::Worn(_) => panic!("onset ≤ limit, so the stuck fault fires first"),
+        }
+        assert_eq!(array.writes(c), stuck.onset, "fault fired at onset");
+        assert_eq!(array.stuck_at(c), Some(stuck.value));
+        assert_eq!(array.read(c), stuck.value);
+        // The pulse was absorbed: wear advanced on the failing write.
+        let before = array.writes(c);
+        let _ = array.write_verified(c, !stuck.value);
+        assert_eq!(array.writes(c), before + 1);
+    }
+
+    #[test]
+    fn latent_stuck_write_verifies_clean() {
+        let mut array = Crossbar::with_faults(chaotic(11));
+        let c = array.alloc(false);
+        let stuck = array.fault_model().unwrap().profile(0).stuck.unwrap();
+        for _ in 0..stuck.onset {
+            array.write(c, stuck.value).unwrap();
+        }
+        // Manifest, but writing the frozen value verifies clean.
+        assert_eq!(array.stuck_at(c), Some(stuck.value));
+        array.write_verified(c, stuck.value).unwrap();
+        assert!(array.write_verified(c, !stuck.value).is_err());
+    }
+
+    #[test]
+    fn preload_respects_manifest_faults() {
+        let mut array = Crossbar::with_faults(chaotic(13));
+        let c = array.alloc(false);
+        let stuck = array.fault_model().unwrap().profile(0).stuck.unwrap();
+        // Fresh cell: preload works and verifies for either value.
+        array.preload_verified(c, !stuck.value).unwrap();
+        for _ in 0..stuck.onset {
+            array.write(c, stuck.value).unwrap();
+        }
+        let wear = array.writes(c);
+        array.preload(c, !stuck.value);
+        assert_eq!(array.read(c), stuck.value, "preload cannot unfreeze");
+        let err = array.preload_verified(c, !stuck.value).unwrap_err();
+        assert_eq!(
+            err,
+            StuckAtError {
+                cell: c,
+                stuck: stuck.value
+            }
+        );
+        array.preload_verified(c, stuck.value).unwrap();
+        assert_eq!(array.writes(c), wear, "preload stays wear-free");
+    }
+
+    #[test]
+    fn fault_profiles_are_stable_under_growth_order() {
+        let model = chaotic(5);
+        let mut one = Crossbar::with_faults(model);
+        one.grow_to(8);
+        let mut two = Crossbar::with_faults(model);
+        for _ in 0..3 {
+            two.alloc(true);
+        }
+        two.grow_to(8);
+        for i in 0..8 {
+            let c = CellId::new(i);
+            one.write(c, true).unwrap();
+            two.write(c, true).unwrap();
+            assert_eq!(one.stuck_at(c), two.stuck_at(c));
+        }
     }
 }

@@ -1,0 +1,305 @@
+//! Device-faithful fault injection: per-cell endurance variability and
+//! seeded stuck-at faults.
+//!
+//! The plain [`Crossbar`](crate::Crossbar) endurance limit is uniform —
+//! every cell fails at exactly the same write count. Fabricated RRAM is
+//! messier: endurance scatters lognormally across a die (the
+//! [`EnduranceModel`] in [`variability`](crate::variability)) and cells
+//! develop *stuck-at* faults mid-life, where the switch freezes in one
+//! resistance state and silently ignores programming pulses. A
+//! [`FaultModel`] injects both behind one deterministic seed: each cell's
+//! fault profile (sampled endurance limit, optional stuck-at onset) is a
+//! pure function of `(seed, cell index)`, so two arrays built from the
+//! same model are byte-identical regardless of allocation order or growth
+//! pattern, and a chaos run replays exactly.
+//!
+//! Detection is **write-verify readback** — the standard RRAM
+//! program-then-read cycle. A worn-out cell still *rejects* the pulse
+//! loudly ([`EnduranceError`], as before), but a stuck cell absorbs the
+//! pulse (wear still accrues) and the readback disagrees with the intended
+//! value: [`Crossbar::write_verified`](crate::Crossbar::write_verified)
+//! surfaces that as [`WriteFault::Stuck`]. Note the latent case: a write
+//! of the value the cell is stuck *at* verifies clean — faults are only
+//! observable when the computation actually needs the other state, exactly
+//! as on hardware.
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::crossbar::{CellId, EnduranceError};
+use crate::variability::EnduranceModel;
+
+/// A verified write read back the wrong value: the cell is stuck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckAtError {
+    /// The faulty cell.
+    pub cell: CellId,
+    /// The value the cell is frozen at.
+    pub stuck: bool,
+}
+
+impl fmt::Display for StuckAtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {} is stuck at {}",
+            self.cell,
+            if self.stuck { 1 } else { 0 }
+        )
+    }
+}
+
+impl std::error::Error for StuckAtError {}
+
+/// A write failed verification: the cell is either worn out (the pulse
+/// was rejected) or stuck (the pulse was absorbed but the readback
+/// disagrees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The cell reached its (uniform or per-cell sampled) endurance limit.
+    Worn(EnduranceError),
+    /// The cell is frozen in one state and ignored the pulse.
+    Stuck(StuckAtError),
+}
+
+impl WriteFault {
+    /// The failing cell, whichever way it failed.
+    pub fn cell(&self) -> CellId {
+        match self {
+            WriteFault::Worn(e) => e.cell,
+            WriteFault::Stuck(e) => e.cell,
+        }
+    }
+}
+
+impl fmt::Display for WriteFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteFault::Worn(e) => e.fmt(f),
+            WriteFault::Stuck(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WriteFault {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WriteFault::Worn(e) => Some(e),
+            WriteFault::Stuck(e) => Some(e),
+        }
+    }
+}
+
+impl From<EnduranceError> for WriteFault {
+    fn from(e: EnduranceError) -> Self {
+        WriteFault::Worn(e)
+    }
+}
+
+impl From<StuckAtError> for WriteFault {
+    fn from(e: StuckAtError) -> Self {
+        WriteFault::Stuck(e)
+    }
+}
+
+/// A latent stuck-at fault: after `onset` lifetime writes the cell
+/// freezes at `value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckFault {
+    /// The write count at which the fault manifests (≥ 1, so fresh cells
+    /// are never born stuck — faults appear mid-job as wear accrues).
+    pub onset: u64,
+    /// The frozen value.
+    pub value: bool,
+}
+
+/// One cell's sampled fault profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellProfile {
+    /// This cell's endurance limit in writes (lognormally sampled).
+    pub limit: u64,
+    /// An optional latent stuck-at fault.
+    pub stuck: Option<StuckFault>,
+}
+
+/// Deterministic per-cell fault injection for a [`Crossbar`](crate::Crossbar).
+///
+/// Combines lognormal endurance variability with seeded stuck-at-0/1
+/// faults. Each cell's [`CellProfile`] is derived from an independent
+/// ChaCha8 stream keyed by `(seed, cell index)`, so profiles are stable
+/// under array growth and identical across clones.
+///
+/// # Examples
+///
+/// ```
+/// use rlim_rram::variability::EnduranceModel;
+/// use rlim_rram::FaultModel;
+///
+/// let model = FaultModel::new(EnduranceModel::new(1e4, 0.3), 0.05, 42);
+/// let p = model.profile(7);
+/// assert!(p.limit >= 1);
+/// assert_eq!(p, model.profile(7)); // pure in (seed, cell)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    endurance: EnduranceModel,
+    stuck_probability: f64,
+    seed: u64,
+}
+
+impl FaultModel {
+    /// Creates a fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stuck_probability` is in `[0, 1]` (the endurance
+    /// model validates itself).
+    pub fn new(endurance: EnduranceModel, stuck_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&stuck_probability),
+            "stuck probability must be in [0, 1]"
+        );
+        FaultModel {
+            endurance,
+            stuck_probability,
+            seed,
+        }
+    }
+
+    /// The endurance variability distribution.
+    pub fn endurance(&self) -> &EnduranceModel {
+        &self.endurance
+    }
+
+    /// Per-cell probability of a latent stuck-at fault.
+    pub fn stuck_probability(&self) -> f64 {
+        self.stuck_probability
+    }
+
+    /// The model seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives a model for array `index` from this one: same
+    /// distributions, decorrelated seed. Fleets use this so every array
+    /// draws independent faults from one user-facing seed.
+    pub fn for_array(&self, index: usize) -> Self {
+        FaultModel {
+            seed: self
+                .seed
+                .wrapping_add(index as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..*self
+        }
+    }
+
+    /// Samples cell `cell`'s fault profile — a pure function of the model
+    /// and the cell index.
+    pub fn profile(&self, cell: usize) -> CellProfile {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (cell as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+        );
+        let draw = (self.endurance.sigma * crate::variability::standard_normal(&mut rng)).exp();
+        let limit = (self.endurance.median * draw).max(1.0) as u64;
+        let stuck = if rng.gen_range(0.0..1.0) < self.stuck_probability {
+            Some(StuckFault {
+                onset: rng.gen_range(1..=limit),
+                value: rng.gen::<bool>(),
+            })
+        } else {
+            None
+        };
+        CellProfile { limit, stuck }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(sigma: f64, stuck_p: f64) -> FaultModel {
+        FaultModel::new(EnduranceModel::new(1e3, sigma), stuck_p, 0xFA_17)
+    }
+
+    #[test]
+    fn profiles_are_pure_in_seed_and_cell() {
+        let m = model(0.4, 0.3);
+        for cell in 0..32 {
+            assert_eq!(m.profile(cell), m.profile(cell));
+        }
+        let other = FaultModel::new(EnduranceModel::new(1e3, 0.4), 0.3, 0xFA_18);
+        assert!(
+            (0..32).any(|c| m.profile(c) != other.profile(c)),
+            "different seeds must draw different profiles"
+        );
+    }
+
+    #[test]
+    fn zero_sigma_zero_stuck_is_the_uniform_limit() {
+        let m = model(0.0, 0.0);
+        for cell in 0..16 {
+            let p = m.profile(cell);
+            assert_eq!(p.limit, 1000);
+            assert_eq!(p.stuck, None);
+        }
+    }
+
+    #[test]
+    fn stuck_probability_one_marks_every_cell() {
+        let m = model(0.2, 1.0);
+        for cell in 0..16 {
+            let p = m.profile(cell);
+            let s = p.stuck.expect("p=1 guarantees a fault");
+            assert!((1..=p.limit).contains(&s.onset), "onset within lifetime");
+        }
+    }
+
+    #[test]
+    fn limits_scatter_under_sigma() {
+        let m = model(0.5, 0.0);
+        let limits: Vec<u64> = (0..64).map(|c| m.profile(c).limit).collect();
+        assert!(limits.iter().any(|&l| l != limits[0]));
+        assert!(limits.iter().all(|&l| l >= 1));
+    }
+
+    #[test]
+    fn for_array_decorrelates_seeds() {
+        let m = model(0.4, 0.5);
+        assert_ne!(m.for_array(0).seed(), m.for_array(1).seed());
+        assert_eq!(m.for_array(3), m.for_array(3));
+        assert_eq!(m.for_array(2).endurance(), m.endurance());
+    }
+
+    #[test]
+    fn error_display_and_sources() {
+        let stuck = StuckAtError {
+            cell: CellId::new(5),
+            stuck: true,
+        };
+        assert_eq!(stuck.to_string(), "cell r5 is stuck at 1");
+        let fault = WriteFault::from(stuck);
+        assert_eq!(fault.to_string(), "cell r5 is stuck at 1");
+        assert_eq!(fault.cell(), CellId::new(5));
+        let worn = WriteFault::from(EnduranceError {
+            cell: CellId::new(3),
+            limit: 10,
+        });
+        assert_eq!(
+            worn.to_string(),
+            "cell r3 exceeded its endurance limit of 10 writes"
+        );
+        assert_eq!(worn.cell(), CellId::new(3));
+        use std::error::Error;
+        assert!(fault.source().is_some());
+        assert!(worn.source().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck probability must be in [0, 1]")]
+    fn bad_probability_rejected() {
+        let _ = FaultModel::new(EnduranceModel::new(1e3, 0.1), 1.5, 0);
+    }
+}

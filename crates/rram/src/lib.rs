@@ -19,6 +19,9 @@
 //! * [`Geometry`] / [`WearMap`] — the physical rows × columns view and an
 //!   ASCII wear heat map.
 //! * [`lifetime`] — how many program executions an array survives.
+//! * [`FaultModel`] / [`WriteFault`] — deterministic per-cell fault
+//!   injection (sampled endurance limits, mid-life stuck-at faults) with
+//!   write-verify readback as the detection primitive.
 //!
 //! ## Example
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod crossbar;
+mod fault;
 mod geometry;
 mod stats;
 mod wide;
@@ -48,6 +52,7 @@ pub mod lifetime;
 pub mod variability;
 
 pub use crossbar::{CellId, Crossbar, EnduranceError};
+pub use fault::{CellProfile, FaultModel, StuckAtError, StuckFault, WriteFault};
 pub use geometry::{Geometry, WearMap};
 pub use stats::{FleetWriteStats, WriteStats};
 pub use wide::WideCrossbar;

@@ -57,7 +57,7 @@ impl EnduranceModel {
 }
 
 /// One standard-normal variate via Box–Muller.
-fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+pub(crate) fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
@@ -126,16 +126,22 @@ pub fn monte_carlo_lifetime(
         })
         .collect();
     lifetimes.sort_by(|a, b| a.partial_cmp(b).expect("finite lifetimes"));
-    let pct = |q: f64| -> f64 {
-        let idx = ((lifetimes.len() - 1) as f64 * q).round() as usize;
-        lifetimes[idx]
-    };
     LifetimeDistribution {
         mean: lifetimes.iter().sum::<f64>() / lifetimes.len() as f64,
-        p5: pct(0.05),
-        p50: pct(0.50),
-        p95: pct(0.95),
+        p5: nearest_rank(&lifetimes, 0.05),
+        p50: nearest_rank(&lifetimes, 0.50),
+        p95: nearest_rank(&lifetimes, 0.95),
     }
+}
+
+/// Nearest-rank percentile of a sorted, non-empty sample: the value at
+/// the 1-indexed rank `⌈q·n⌉` (clamped into `1..=n`). This is the
+/// textbook definition — no interpolation — so `q = 0.05` over 100
+/// trials selects exactly the 5th-smallest lifetime.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((n as f64 * q).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
 }
 
 #[cfg(test)]
@@ -203,6 +209,50 @@ mod tests {
         let d = monte_carlo_lifetime(&[3, 9, 27], &model, 300, 2);
         assert!(d.p5 <= d.p50 && d.p50 <= d.p95);
         assert!(d.mean > 0.0);
+    }
+
+    /// Nearest-rank semantics on small samples: rank `⌈q·n⌉`, never the
+    /// rounded interpolation index. At `n = 100`, `p5` must be the
+    /// 5th-smallest value (index 4) — the old `.round()` rule picked
+    /// index 5.
+    #[test]
+    fn nearest_rank_is_exact_on_small_samples() {
+        let sorted: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        assert_eq!(nearest_rank(&sorted, 0.05), 1.0); // rank ⌈0.5⌉ = 1
+        assert_eq!(nearest_rank(&sorted, 0.50), 5.0); // rank ⌈5⌉ = 5
+        assert_eq!(nearest_rank(&sorted, 0.95), 10.0); // rank ⌈9.5⌉ = 10
+        assert_eq!(nearest_rank(&sorted, 1.0), 10.0);
+        assert_eq!(nearest_rank(&sorted, 0.0), 1.0); // clamped to rank 1
+        let hundred: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(nearest_rank(&hundred, 0.05), 5.0); // index 4, not 5
+        assert_eq!(nearest_rank(&hundred, 0.95), 95.0);
+        assert_eq!(nearest_rank(&[42.0], 0.05), 42.0);
+    }
+
+    /// Regression for the off-by-one: replicate the Monte-Carlo trial
+    /// loop by hand and check `p5`/`p95` hit the documented ranks of the
+    /// sorted trial lifetimes at a small trial count.
+    #[test]
+    fn percentiles_use_nearest_rank_at_small_trial_counts() {
+        let counts = [3u64, 9, 27];
+        let model = EnduranceModel::new(1e8, 0.6);
+        let (trials, seed) = (100usize, 2u64);
+        let mut expected: Vec<f64> = (0..trials)
+            .map(|t| {
+                let endurances =
+                    model.sample(3, seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                counts
+                    .iter()
+                    .zip(&endurances)
+                    .map(|(&w, &e)| e / w as f64)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let d = monte_carlo_lifetime(&counts, &model, trials, seed);
+        assert_eq!(d.p5, expected[4]); // rank ⌈0.05·100⌉ = 5 → index 4
+        assert_eq!(d.p50, expected[49]);
+        assert_eq!(d.p95, expected[94]);
     }
 
     #[test]

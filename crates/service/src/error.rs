@@ -144,7 +144,11 @@ mod tests {
         let p = ProgramError::DuplicateInputCell(CellId::new(4));
         let e: Error = p.clone().into();
         assert_eq!(e, Error::Program(p));
-        let fl = FleetError::Exhausted { job: 2 };
+        let fl = FleetError::Exhausted {
+            job: 2,
+            cost: 5,
+            live_arrays: 1,
+        };
         let e: Error = fl.clone().into();
         assert_eq!(e, Error::Fleet(fl));
         assert!(e.to_string().contains("exhausted"));
@@ -155,6 +159,11 @@ mod tests {
         assert!(Error::InvalidRequest("bad".into()).is_usage());
         assert!(Error::UnknownBenchmark("x".into()).is_usage());
         assert!(!Error::Run("boom".into()).is_usage());
-        assert!(!Error::Fleet(FleetError::Exhausted { job: 0 }).is_usage());
+        let exhausted = FleetError::Exhausted {
+            job: 0,
+            cost: 1,
+            live_arrays: 0,
+        };
+        assert!(!Error::Fleet(exhausted).is_usage());
     }
 }

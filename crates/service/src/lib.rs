@@ -47,8 +47,10 @@ mod report;
 mod spec;
 
 pub use error::Error;
-pub use report::{CircuitSummary, FleetReport, LifetimeProjection, Report, REPORT_SCHEMA_VERSION};
-pub use spec::{BackendKind, FleetSpec, JobSpec, Source, DEFAULT_PROJECTION_ARRAYS};
+pub use report::{
+    CircuitSummary, FaultSummary, FleetReport, LifetimeProjection, Report, REPORT_SCHEMA_VERSION,
+};
+pub use spec::{BackendKind, ChaosSpec, FleetSpec, JobSpec, Source, DEFAULT_PROJECTION_ARRAYS};
 
 use std::path::Path;
 use std::sync::Arc;
@@ -62,11 +64,12 @@ use rlim_compiler::{Backend, CompileOptions, ImpBackend, Rm3Backend};
 use rlim_imp::ImpOp;
 use rlim_isa::Program;
 use rlim_mig::{blif, Mig};
-use rlim_plim::{asm, Fleet, FleetConfig, Instruction, Job};
+use rlim_plim::{asm, Fleet, FleetConfig, Instruction, Job, RecoveryConfig};
 use rlim_rram::lifetime::{
     executions_until_failure, fleet_executions_until_exhaustion, ENDURANCE_HFOX,
 };
-use rlim_rram::WriteStats;
+use rlim_rram::variability::EnduranceModel;
+use rlim_rram::{FaultModel, WriteStats};
 use rlim_testkit::parallel::parallel_map;
 
 /// The service front end: compiles [`JobSpec`]s into [`Report`]s.
@@ -251,6 +254,13 @@ impl Service {
                         "a fleet needs at least one array".to_string(),
                     ));
                 }
+                if fleet.chaos.is_some() && fleet.simd {
+                    return Err(Error::InvalidRequest(
+                        "chaos mode requires scalar dispatch (word-level writes have \
+                         no per-lane readback, so SIMD batches cannot write-verify)"
+                            .to_string(),
+                    ));
+                }
             }
         }
 
@@ -429,6 +439,21 @@ impl Service {
         if let Some(budget) = fs.write_budget {
             config = config.with_write_budget(budget);
         }
+        if let Some(chaos) = &fs.chaos {
+            let devices = EnduranceModel::new(chaos.endurance_median, chaos.endurance_sigma);
+            config = config.with_faults(FaultModel::new(
+                devices,
+                chaos.stuck_probability,
+                chaos.fault_seed,
+            ));
+            if chaos.recovery {
+                config = config.with_recovery(
+                    RecoveryConfig::new()
+                        .with_spares(chaos.spares)
+                        .with_max_faults(chaos.max_faults),
+                );
+            }
+        }
         let mut fleet = Fleet::new(config);
         let start = Instant::now();
         if fs.simd {
@@ -440,6 +465,25 @@ impl Service {
 
         let stats = fleet.stats();
         let cost = heavy.total_writes().max(light.total_writes());
+        let fault = fs.chaos.as_ref().map(|chaos| {
+            let log = fleet.fault_log();
+            FaultSummary {
+                seed: chaos.fault_seed,
+                endurance_median: chaos.endurance_median,
+                endurance_sigma: chaos.endurance_sigma,
+                stuck_probability: chaos.stuck_probability,
+                recovery: chaos.recovery,
+                faults: log.total_faults(),
+                worn: log.worn(),
+                stuck: log.stuck(),
+                remaps: log.remaps(),
+                retirements: log.retirements(),
+                broken_cells: (0..fs.arrays)
+                    .map(|i| fleet.broken_cells(i).len() as u64)
+                    .sum(),
+                events: log.events().map(|e| e.to_string()).collect(),
+            }
+        });
         Ok(FleetReport {
             arrays: fs.arrays,
             dispatch: fs.dispatch.label(),
@@ -453,6 +497,7 @@ impl Service {
             retired: stats.retired,
             remaining_jobs: fleet.remaining_jobs(cost),
             first_retirement_horizon: fleet.first_retirement_horizon(cost),
+            fault,
             seconds,
         })
     }
@@ -555,6 +600,59 @@ mod tests {
             fleet.stream_writes,
             fleet.per_array.iter().map(|a| a.writes).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn chaos_fleet_reports_faults_and_recovers() {
+        let chaos = ChaosSpec::new(7)
+            .with_endurance_median(160.0)
+            .with_endurance_sigma(0.3)
+            .with_stuck_probability(0.02);
+        let spec = JobSpec::benchmark(Benchmark::Ctrl)
+            .with_options(CompileOptions::endurance_aware().with_effort(1))
+            .with_fleet(FleetSpec::new(4).with_jobs(24).with_chaos(chaos));
+        let report = Service::new().run(&spec).unwrap();
+        let fleet = report.fleet.as_ref().expect("fleet rider");
+        let fault = fleet.fault.as_ref().expect("chaos records a fault summary");
+        assert_eq!(fault.seed, 7);
+        assert!(fault.recovery);
+        assert!(fault.faults > 0, "median-48 devices fault under 24 jobs");
+        assert_eq!(fault.faults, fault.worn + fault.stuck);
+        assert_eq!(fault.remaps + fault.retirements, fault.faults);
+        assert_eq!(fault.events.len() as u64, fault.faults);
+        assert_eq!(
+            fleet.per_array.iter().map(|a| a.jobs).sum::<u64>(),
+            24,
+            "recovery completes the whole workload"
+        );
+        // Chaos runs are deterministic: the serialized report is stable.
+        let again = Service::new().run(&spec).unwrap();
+        assert_eq!(report.to_json_string(), again.to_json_string());
+    }
+
+    #[test]
+    fn chaos_without_recovery_surfaces_the_fault_error() {
+        let chaos = ChaosSpec::new(7)
+            .with_endurance_median(160.0)
+            .with_endurance_sigma(0.3)
+            .with_stuck_probability(0.02)
+            .with_recovery(false);
+        let spec = JobSpec::benchmark(Benchmark::Ctrl)
+            .with_options(CompileOptions::endurance_aware().with_effort(1))
+            .with_fleet(FleetSpec::new(4).with_jobs(24).with_chaos(chaos));
+        let err = Service::new().run(&spec).unwrap_err();
+        assert!(matches!(err, Error::Fleet(_)), "{err:?}");
+    }
+
+    #[test]
+    fn chaos_with_simd_is_rejected() {
+        let spec = JobSpec::benchmark(Benchmark::Ctrl).with_fleet(
+            FleetSpec::new(2)
+                .with_simd(true)
+                .with_chaos(ChaosSpec::new(1)),
+        );
+        let err = Service::new().run(&spec).unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::json::Json;
 /// JSON schema version stamped into every serialized report. Bump when a
 /// key is added, removed or re-typed; the golden schema test pins the
 /// current shape.
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// The circuit interface behind a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +38,37 @@ pub struct LifetimeProjection {
     /// Executions a fleet of `fleet_arrays` identical arrays absorbs
     /// before every array is exhausted.
     pub fleet_runs: u64,
+}
+
+/// Fault-injection outcome of a chaos-mode fleet workload: what the
+/// fault model threw at the fleet and how recovery absorbed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSummary {
+    /// The master fault seed the per-array models derived from.
+    pub seed: u64,
+    /// Median per-cell endurance of the injected device population.
+    pub endurance_median: f64,
+    /// Log-normal endurance spread of the injected device population.
+    pub endurance_sigma: f64,
+    /// Per-cell stuck-at fault probability of the injected population.
+    pub stuck_probability: f64,
+    /// Whether online recovery was enabled.
+    pub recovery: bool,
+    /// Total detected write faults (worn + stuck).
+    pub faults: u64,
+    /// Faults from cells exceeding their sampled endurance.
+    pub worn: u64,
+    /// Faults from stuck-at cells caught by write-verify readback.
+    pub stuck: u64,
+    /// Faults healed by remapping the broken cell to a spare row.
+    pub remaps: u64,
+    /// Arrays retired by the fault watchdog.
+    pub retirements: u64,
+    /// Broken physical cells across all live arrays.
+    pub broken_cells: u64,
+    /// The fault log, one rendered [`rlim_plim::FaultEvent`] per line
+    /// (a bounded ring buffer; oldest events may have been dropped).
+    pub events: Vec<String>,
 }
 
 /// Wear outcome of a fleet workload rider.
@@ -69,6 +100,8 @@ pub struct FleetReport {
     /// Heavy jobs until the most-worn live array retires (`None` when
     /// unbudgeted).
     pub first_retirement_horizon: Option<u64>,
+    /// Chaos-mode fault/recovery outcome; `None` on ideal devices.
+    pub fault: Option<FaultSummary>,
     /// Wall-clock seconds the workload execution took. Excluded from the
     /// JSON serialization, which is fully deterministic.
     pub seconds: f64,
@@ -144,6 +177,26 @@ fn write_stats_json(s: &WriteStats) -> Json {
     ])
 }
 
+fn fault_summary_json(f: &FaultSummary) -> Json {
+    Json::object([
+        ("seed", Json::from(f.seed)),
+        ("endurance_median", Json::float(f.endurance_median, 1)),
+        ("endurance_sigma", Json::float(f.endurance_sigma, 4)),
+        ("stuck_probability", Json::float(f.stuck_probability, 4)),
+        ("recovery", Json::from(f.recovery)),
+        ("faults", Json::from(f.faults)),
+        ("worn", Json::from(f.worn)),
+        ("stuck", Json::from(f.stuck)),
+        ("remaps", Json::from(f.remaps)),
+        ("retirements", Json::from(f.retirements)),
+        ("broken_cells", Json::from(f.broken_cells)),
+        (
+            "events",
+            Json::Array(f.events.iter().map(|e| Json::from(e.as_str())).collect()),
+        ),
+    ])
+}
+
 fn fleet_wear_json(w: &FleetWriteStats) -> Json {
     Json::object([
         ("arrays", Json::from(w.arrays)),
@@ -213,6 +266,10 @@ impl Report {
                 (
                     "first_retirement_horizon",
                     Json::from(f.first_retirement_horizon),
+                ),
+                (
+                    "fault",
+                    f.fault.as_ref().map_or(Json::Null, fault_summary_json),
                 ),
             ]),
         };

@@ -115,6 +115,87 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
+/// Chaos-mode parameters for a fleet workload: a device fault model
+/// (per-cell endurance variability plus stuck-at faults, all derived
+/// from one seed) and the online recovery policy that absorbs the
+/// resulting write faults.
+///
+/// With `recovery` on (the default) the fleet remaps broken cells to
+/// spare rows and retires arrays whose fault count crosses the
+/// watchdog threshold; with it off, the first detected fault aborts the
+/// workload — the naive baseline chaos mode exists to beat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// Master fault seed; per-array models derive deterministically.
+    pub fault_seed: u64,
+    /// Median per-cell endurance (writes before wear-out).
+    pub endurance_median: f64,
+    /// Log-normal endurance spread (`0.0` = every cell at the median).
+    pub endurance_sigma: f64,
+    /// Per-cell probability of carrying a latent stuck-at fault.
+    pub stuck_probability: f64,
+    /// Whether the fleet recovers online (remap + watchdog) instead of
+    /// aborting on the first detected fault.
+    pub recovery: bool,
+    /// Spare rows available per array for remapping.
+    pub spares: usize,
+    /// Watchdog threshold: faults an array absorbs before retirement.
+    pub max_faults: u64,
+}
+
+impl ChaosSpec {
+    /// Chaos parameters for `fault_seed` with the standard demo device:
+    /// median endurance 4096 writes, σ = 0.25, 1% stuck-at probability,
+    /// recovery on with 8 spares and a 64-fault watchdog.
+    pub fn new(fault_seed: u64) -> Self {
+        ChaosSpec {
+            fault_seed,
+            endurance_median: 4096.0,
+            endurance_sigma: 0.25,
+            stuck_probability: 0.01,
+            recovery: true,
+            spares: 8,
+            max_faults: 64,
+        }
+    }
+
+    /// Sets the median per-cell endurance.
+    pub fn with_endurance_median(mut self, median: f64) -> Self {
+        self.endurance_median = median;
+        self
+    }
+
+    /// Sets the log-normal endurance spread.
+    pub fn with_endurance_sigma(mut self, sigma: f64) -> Self {
+        self.endurance_sigma = sigma;
+        self
+    }
+
+    /// Sets the per-cell stuck-at fault probability.
+    pub fn with_stuck_probability(mut self, probability: f64) -> Self {
+        self.stuck_probability = probability;
+        self
+    }
+
+    /// Enables (or disables) online recovery.
+    pub fn with_recovery(mut self, recovery: bool) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the per-array spare-row count.
+    pub fn with_spares(mut self, spares: usize) -> Self {
+        self.spares = spares;
+        self
+    }
+
+    /// Sets the watchdog's fault-count retirement threshold.
+    pub fn with_max_faults(mut self, max_faults: u64) -> Self {
+        self.max_faults = max_faults;
+        self
+    }
+}
+
 /// A fleet workload rider: run the compiled program (as the *light*
 /// preset) interleaved with a naive-compiled *heavy* twin on a
 /// multi-crossbar fleet, and report per-array wear.
@@ -124,7 +205,7 @@ impl std::fmt::Display for BackendKind {
 /// first). With [`FleetSpec::input_seed`] unset every job drives the
 /// all-false input vector; with a seed, each job gets ChaCha8-seeded
 /// random inputs — byte-reproducible for a given seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetSpec {
     /// Number of crossbar arrays.
     pub arrays: usize,
@@ -143,6 +224,9 @@ pub struct FleetSpec {
     /// (`Fleet::run_batch_simd`), with identical dispatch, outputs and
     /// per-cell write counts.
     pub simd: bool,
+    /// Chaos mode: inject device faults (and, unless disabled, recover
+    /// from them online); `None` runs on ideal devices.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl FleetSpec {
@@ -161,6 +245,7 @@ impl FleetSpec {
             write_budget: None,
             input_seed: None,
             simd: false,
+            chaos: None,
         }
     }
 
@@ -191,6 +276,14 @@ impl FleetSpec {
     /// Enables (or disables) SIMD-batched dispatch.
     pub fn with_simd(mut self, simd: bool) -> Self {
         self.simd = simd;
+        self
+    }
+
+    /// Enables chaos mode: the fleet's devices follow `chaos`'s fault
+    /// model, and (unless `chaos.recovery` is off) the fleet recovers
+    /// online from the faults it detects.
+    pub fn with_chaos(mut self, chaos: ChaosSpec) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -409,6 +502,28 @@ mod tests {
         assert_eq!(f.dispatch, DispatchPolicy::RoundRobin);
         assert_eq!(f.write_budget, Some(500));
         assert_eq!(f.input_seed, Some(7));
+        assert!(f.chaos.is_none());
+    }
+
+    #[test]
+    fn chaos_spec_builder() {
+        let c = ChaosSpec::new(7)
+            .with_endurance_median(512.0)
+            .with_endurance_sigma(0.4)
+            .with_stuck_probability(0.05)
+            .with_spares(3)
+            .with_max_faults(10);
+        assert_eq!(c.fault_seed, 7);
+        assert_eq!(c.endurance_median, 512.0);
+        assert_eq!(c.endurance_sigma, 0.4);
+        assert_eq!(c.stuck_probability, 0.05);
+        assert!(c.recovery);
+        assert_eq!(c.spares, 3);
+        assert_eq!(c.max_faults, 10);
+        let naive = c.with_recovery(false);
+        assert!(!naive.recovery);
+        let f = FleetSpec::new(2).with_chaos(c);
+        assert_eq!(f.chaos, Some(c));
     }
 
     #[test]

@@ -98,7 +98,9 @@ fn endurance_exhaustion_fails_naive_before_managed() {
     let inputs = vec![false; mig.num_inputs()];
 
     let mut machine = Machine::with_endurance(&naive.program, endurance);
-    machine.load_inputs(&naive.program, &inputs);
+    machine
+        .load_inputs(&naive.program, &inputs)
+        .expect("input preload is wear-free");
     let err = machine
         .execute(&naive.program)
         .expect_err("naive must exhaust a cell");
@@ -293,7 +295,10 @@ fn fleet_write_budget_retires_arrays_without_further_writes() {
     let err = fleet
         .run_batch(&[Job::new(&program, &inputs)], 1)
         .unwrap_err();
-    assert_eq!(err, rlim::plim::FleetError::Exhausted { job: 0 });
+    assert!(
+        matches!(err, rlim::plim::FleetError::Exhausted { job: 0, .. }),
+        "{err:?}"
+    );
     for (i, counts) in frozen.iter().enumerate() {
         assert_eq!(
             &fleet.array(i).write_counts(),

@@ -104,7 +104,23 @@ $.fleet.wear.cells.stdev: float
 $.fleet.wear.cells.cells: int
 $.fleet.retired: int
 $.fleet.remaining_jobs: int
-$.fleet.first_retirement_horizon: int";
+$.fleet.first_retirement_horizon: int
+$.fleet.fault: null";
+
+/// The chaos-mode expansion of that trailing `fault` null.
+const CHAOS_SCHEMA_SUFFIX: &str = "\
+$.fleet.fault.seed: int
+$.fleet.fault.endurance_median: float
+$.fleet.fault.endurance_sigma: float
+$.fleet.fault.stuck_probability: float
+$.fleet.fault.recovery: bool
+$.fleet.fault.faults: int
+$.fleet.fault.worn: int
+$.fleet.fault.stuck: int
+$.fleet.fault.remaps: int
+$.fleet.fault.retirements: int
+$.fleet.fault.broken_cells: int
+$.fleet.fault.events[]: string";
 
 /// The acceptance gate: `rlim report --json` on `div` matches the pinned
 /// schema, and the schema is benchmark-independent.
@@ -149,6 +165,47 @@ fn report_json_schema_with_fleet_and_program() {
     assert_eq!(schema_of(&report), expect);
 }
 
+/// Chaos mode expands the fleet's trailing `fault` null into the fault
+/// summary object (seed, fault-model parameters, detection/recovery
+/// counters, and the rendered event log).
+#[test]
+fn report_json_schema_with_chaos_fleet() {
+    let chaos = rlim::service::ChaosSpec::new(7)
+        .with_endurance_median(160.0)
+        .with_endurance_sigma(0.3)
+        .with_stuck_probability(0.02);
+    let spec = JobSpec::benchmark(Benchmark::Ctrl)
+        .with_options(CompileOptions::endurance_aware().with_effort(1))
+        .with_program_text(true)
+        .with_fleet(FleetSpec::new(4).with_jobs(24).with_chaos(chaos));
+    let report = Service::new().run(&spec).unwrap();
+    let fault = report
+        .fleet
+        .as_ref()
+        .and_then(|f| f.fault.as_ref())
+        .expect("chaos fleet records a fault summary");
+    assert!(!fault.events.is_empty(), "median-160 devices fault");
+    let base: Vec<&str> = REPORT_SCHEMA.lines().collect();
+    // Endurance-aware presets name a rewriting algorithm, the unbudgeted
+    // fleet has null horizons, and chaos expands the `fault` null.
+    let expect = format!(
+        "{}\n{}",
+        base[..base.len() - 2].join("\n"),
+        FLEET_SCHEMA_SUFFIX
+            .replace(
+                "$.fleet.remaining_jobs: int",
+                "$.fleet.remaining_jobs: null"
+            )
+            .replace(
+                "$.fleet.first_retirement_horizon: int",
+                "$.fleet.first_retirement_horizon: null"
+            )
+            .replace("$.fleet.fault: null", CHAOS_SCHEMA_SUFFIX)
+    )
+    .replace("$.policy.rewriting: null", "$.policy.rewriting: string");
+    assert_eq!(schema_of(&report), expect);
+}
+
 /// The exact `rlim report --json` text for a tiny deterministic job —
 /// freezes value formatting (float precision, null rendering, nesting),
 /// complementing the key/type pin above.
@@ -158,7 +215,7 @@ fn report_json_golden_document() {
     let report = Service::new().run(&spec).unwrap();
     let json = report.to_json_string();
     for needle in [
-        "\"schema\": 2,\n",
+        "\"schema\": 3,\n",
         "\"label\": \"int2float\",\n",
         "\"backend\": \"rm3\",\n",
         "\"preset\": \"naive\",\n",
