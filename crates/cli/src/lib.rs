@@ -10,11 +10,14 @@
 //! ```text
 //! rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [--peephole]
 //!              [-o prog.plim]
-//! rlim report  <benchmark|circuit.blif> [--policy P] [--backend B] [--json] …
+//! rlim report  <benchmark|circuit.blif> [--policy P] [--backend B] [--json]
+//!              [--remote ADDR] …                     # --remote goes through a daemon
 //! rlim run     <prog.plim> --inputs 1011…            # execute on the simulated crossbar
 //! rlim stats   <prog.plim>                           # #I, #R, write distribution, wear map
 //! rlim bench   <name> [--policy P] [--max-writes W]  # compile a built-in benchmark
 //! rlim fleet   <name> [--arrays N] [--jobs J] [--dispatch D] [--write-budget W]
+//! rlim serve   [--addr A] [--workers N] [--queue-depth D]   # run the rlimd daemon
+//! rlim daemon  <addr> <metrics|healthz|shutdown>     # poke a running daemon
 //! rlim list                                          # list built-in benchmarks
 //! ```
 //!
@@ -100,6 +103,7 @@ usage:
                [-o out.plim]
   rlim report  <benchmark|circuit.blif> [--policy P] [--max-writes W] [--effort N]
                [--peephole] [--backend B] [--arrays N] [--program] [--json]
+               [--remote ADDR]
   rlim run     <prog.plim> --inputs <bits>
   rlim stats   <prog.plim> [--wear-map]
   rlim bench   <benchmark> [--policy P] [--max-writes W] [--effort N] [--peephole]
@@ -107,6 +111,9 @@ usage:
   rlim fleet   <benchmark> [--arrays N] [--jobs J] [--dispatch D] [--write-budget W]
                [--effort N] [--threads N] [--simd]
                [--chaos] [--fault-seed N] [--no-recovery]
+  rlim serve   [--addr A] [--workers N] [--queue-depth D] [--cache-capacity C]
+               [--watch-stdin]
+  rlim daemon  <addr> <metrics|healthz|shutdown>
   rlim list
 
 policies: naive | plim21 | min-write | ea-rewriting | endurance-aware (default)
@@ -118,6 +125,13 @@ dispatch: round-robin | least-worn (default)
         the fleet remaps broken cells to spares and retires faulty arrays,
         unless --no-recovery turns the healing off (first fault then aborts)
 --json renders the report through the service's stable JSON schema
+--remote submits the report job to a running `rlim serve` daemon instead of
+        compiling in-process; repeat jobs come from the daemon's compile cache
+        (`\"cached\": true` in --json output)
+`rlim serve` prints `rlimd listening on <addr>` (with the OS-chosen port when
+        --addr ends in :0) and runs until a shutdown request drains it
+--watch-stdin additionally shuts the daemon down when stdin reaches EOF, so a
+        supervisor can manage it through a pipe
 ";
 
 /// Runs the tool on `args` (without the program name), returning the text
@@ -135,6 +149,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("daemon") => cmd_daemon(&args[1..]),
         Some("list") => Ok(cmd_list()),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CliError::usage(format!(
@@ -464,29 +480,163 @@ fn render_report_text(report: &Report) -> String {
     out
 }
 
-/// `rlim report`: one job through the service, rendered as text or as
-/// the stable JSON schema.
+/// `rlim report`: one job through the service — in-process, or through
+/// a running `rlim serve` daemon with `--remote ADDR` — rendered as
+/// text or as the stable JSON schema.
+///
+/// The two paths produce identical output for the same spec, except
+/// that the daemon may answer from its compile cache (`"cached": true`
+/// in the JSON rendering).
 fn cmd_report(args: &[String]) -> Result<String, CliError> {
     let mut json = false;
-    let rest: Vec<String> = args
-        .iter()
-        .filter(|a| {
-            if a.as_str() == "--json" {
-                json = true;
-                false
-            } else {
-                true
+    let mut remote: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--remote" => {
+                remote = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::usage("--remote needs a value"))?,
+                );
             }
-        })
-        .cloned()
-        .collect();
-    let spec = parse_report_spec(&rest)?;
-    let report = Service::new().run(&spec)?;
-    if json {
-        Ok(report.to_json_string())
-    } else {
-        Ok(render_report_text(&report))
+            other => rest.push(other.to_string()),
+        }
     }
+    let spec = parse_report_spec(&rest)?;
+    let Some(addr) = remote else {
+        let report = Service::new().run(&spec)?;
+        return if json {
+            Ok(report.to_json_string())
+        } else {
+            Ok(render_report_text(&report))
+        };
+    };
+    let mut client = rlim_daemon::Client::connect(addr.as_str())?;
+    match client.submit(&spec)? {
+        rlim_daemon::Response::Report(line) => {
+            if json {
+                // Re-render the wire line pretty: the parser preserves
+                // key order and float precision, so this matches the
+                // in-process rendering byte for byte (modulo `cached`).
+                let mut out = line.json.render();
+                out.push('\n');
+                Ok(out)
+            } else {
+                Ok(render_report_text(&line.decode()?))
+            }
+        }
+        rlim_daemon::Response::Rejected {
+            queue_depth,
+            queue_capacity,
+            message,
+        } => Err(CliError::run(format!(
+            "daemon rejected the job: {message} (queue {queue_depth}/{queue_capacity})"
+        ))),
+        rlim_daemon::Response::Error { message, usage } => Err(if usage {
+            CliError::usage(message)
+        } else {
+            CliError::run(message)
+        }),
+        other => Err(CliError::run(format!(
+            "daemon answered the job with an unrelated response: {other:?}"
+        ))),
+    }
+}
+
+/// `rlim serve`: run the `rlimd` compile-job daemon in the foreground.
+///
+/// Prints `rlimd listening on <addr>` (flushed, so wrappers can read
+/// the OS-chosen port) as soon as the socket is bound, then blocks
+/// until a `shutdown` request — or stdin EOF under `--watch-stdin` —
+/// drains the queue. Returns a final one-line summary, so a graceful
+/// shutdown exits 0.
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let mut config = rlim_daemon::DaemonConfig::default();
+    let mut watch_stdin = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+        };
+        let parse = |flag: &str, v: String| -> Result<usize, CliError> {
+            v.parse()
+                .map_err(|_| CliError::usage(format!("bad {flag} `{v}`")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value_of("--addr")?,
+            "--workers" => config.workers = parse("--workers", value_of("--workers")?)?,
+            "--queue-depth" => {
+                config.queue_depth = parse("--queue-depth", value_of("--queue-depth")?)?;
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = parse("--cache-capacity", value_of("--cache-capacity")?)?;
+            }
+            "--watch-stdin" => watch_stdin = true,
+            other => {
+                return Err(CliError::usage(format!("unknown serve argument `{other}`")));
+            }
+        }
+    }
+    if config.queue_depth == 0 {
+        return Err(CliError::usage("--queue-depth must be positive"));
+    }
+    if config.cache_capacity == 0 {
+        return Err(CliError::usage("--cache-capacity must be positive"));
+    }
+    let handle = rlim_daemon::serve(config)
+        .map_err(|e| CliError::run(format!("cannot start daemon: {e}")))?;
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(stdout, "rlimd listening on {}", handle.addr());
+        let _ = stdout.flush();
+    }
+    if watch_stdin {
+        // The supervisor-pipe substitute for a SIGTERM handler: when
+        // whoever holds our stdin closes it, drain and exit cleanly.
+        let trigger = handle.trigger();
+        std::thread::spawn(move || {
+            use std::io::Read as _;
+            let mut sink = Vec::new();
+            let _ = std::io::stdin().lock().read_to_end(&mut sink);
+            trigger.shutdown();
+        });
+    }
+    let last = handle.join();
+    Ok(format!(
+        "rlimd drained: {} jobs served ({} failed, {} rejected), cache {} hits / {} misses\n",
+        last.jobs_served, last.jobs_failed, last.jobs_rejected, last.cache.hits, last.cache.misses
+    ))
+}
+
+/// `rlim daemon <addr> <verb>`: send one control verb to a running
+/// daemon and print the raw response line (exactly what travelled on
+/// the wire — handy for scripts and CI greps).
+fn cmd_daemon(args: &[String]) -> Result<String, CliError> {
+    let [addr, verb] = args else {
+        return Err(CliError::usage(
+            "daemon needs an address and a verb: rlim daemon <addr> <metrics|healthz|shutdown>",
+        ));
+    };
+    let request = match verb.as_str() {
+        "metrics" => rlim_daemon::Request::Metrics,
+        "healthz" => rlim_daemon::Request::Healthz,
+        "shutdown" => rlim_daemon::Request::Shutdown,
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown daemon verb `{other}` (metrics | healthz | shutdown)"
+            )));
+        }
+    };
+    let line = rlim_daemon::encode_request(&request)?;
+    let mut client = rlim_daemon::Client::connect(addr.as_str())?;
+    let reply = client.request_line(&line)?;
+    Ok(format!("{reply}\n"))
 }
 
 /// `rlim fleet`: run an alternating heavy/light workload of a built-in
@@ -996,10 +1146,79 @@ mod tests {
         assert!(text.contains("lifetime:"), "{text}");
 
         let json = run_str(&["report", "int2float", "--policy", "naive", "--json"]).unwrap();
-        assert!(json.starts_with("{\n  \"schema\": 3,"), "{json}");
+        assert!(json.starts_with("{\n  \"schema\": 4,"), "{json}");
         assert!(json.contains("\"label\": \"int2float\""), "{json}");
         assert!(json.contains("\"preset\": \"naive\""), "{json}");
+        assert!(json.contains("\"cached\": false"), "{json}");
         assert!(json.ends_with("}\n"), "trailing newline expected");
+    }
+
+    #[test]
+    fn report_remote_goes_through_a_daemon() {
+        let handle = rlim_daemon::serve(rlim_daemon::DaemonConfig {
+            workers: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+
+        let local = run_str(&["report", "ctrl", "--policy", "naive", "--json"]).unwrap();
+        let first = run_str(&[
+            "report", "ctrl", "--policy", "naive", "--json", "--remote", &addr,
+        ])
+        .unwrap();
+        let second = run_str(&[
+            "report", "ctrl", "--policy", "naive", "--json", "--remote", &addr,
+        ])
+        .unwrap();
+        // First remote answer is a compile, byte-identical to the local
+        // rendering; the repeat is the same bytes from the cache, modulo
+        // the flipped `cached` line.
+        assert_eq!(first, local);
+        assert!(first.contains("\"cached\": false"), "{first}");
+        assert!(second.contains("\"cached\": true"), "{second}");
+        assert_eq!(
+            first.replace("\"cached\": false", "\"cached\": true"),
+            second
+        );
+        // The text rendering decodes the same wire line.
+        let text = run_str(&["report", "ctrl", "--policy", "naive", "--remote", &addr]).unwrap();
+        assert_eq!(
+            text,
+            run_str(&["report", "ctrl", "--policy", "naive"]).unwrap()
+        );
+
+        // Three jobs went through: one compile, two cache hits.
+        let metrics = run_str(&["daemon", &addr, "metrics"]).unwrap();
+        assert!(metrics.contains("\"hits\":2,\"misses\":1"), "{metrics}");
+        let healthz = run_str(&["daemon", &addr, "healthz"]).unwrap();
+        assert!(healthz.contains("\"accepting\":true"), "{healthz}");
+
+        let bye = run_str(&["daemon", &addr, "shutdown"]).unwrap();
+        assert!(bye.contains("\"draining\":true"), "{bye}");
+        handle.join();
+        // The socket now refuses connections: remote jobs fail cleanly.
+        let err = run_str(&["report", "ctrl", "--remote", &addr]).unwrap_err();
+        assert_eq!(err.code, 1);
+
+        assert_eq!(run_str(&["daemon", &addr]).unwrap_err().code, 2);
+        assert_eq!(run_str(&["daemon", &addr, "reboot"]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert_eq!(
+            run_str(&["serve", "--queue-depth", "0"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run_str(&["serve", "--cache-capacity", "0"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(run_str(&["serve", "extra"]).unwrap_err().code, 2);
+        assert_eq!(run_str(&["serve", "--workers", "two"]).unwrap_err().code, 2);
     }
 
     #[test]

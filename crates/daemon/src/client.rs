@@ -1,0 +1,148 @@
+//! A blocking JSON-lines client for the daemon.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time: write a line, read a line. The CLI's `--remote` mode and the
+//! black-box protocol tests both go through this type, so anything the
+//! daemon can say must decode here.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use rlim_service::{Error, JobSpec};
+
+use crate::metrics::{Health, MetricsSnapshot};
+use crate::wire::{self, Request, Response};
+
+/// A connected daemon client. Requests are strictly sequential; clone
+/// nothing — open one client per concurrent caller, as the daemon is
+/// happy to serve many connections.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Run`] when the address does not resolve or the
+    /// connection is refused (daemon not running, or already shut down).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, Error> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| Error::Run(format!("cannot connect to daemon: {e}")))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (neither carries the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Run`] on socket failures, including the daemon
+    /// closing the connection mid-request.
+    pub fn request_line(&mut self, line: &str) -> Result<String, Error> {
+        // `Write` is implemented for `&TcpStream`, so the read half's
+        // BufReader can keep owning the stream.
+        let mut stream = self.reader.get_ref();
+        let mut out = String::with_capacity(line.len() + 1);
+        out.push_str(line);
+        out.push('\n');
+        stream
+            .write_all(out.as_bytes())
+            .map_err(|e| Error::Run(format!("cannot write to daemon: {e}")))?;
+        let mut reply = String::new();
+        let read = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| Error::Run(format!("cannot read from daemon: {e}")))?;
+        if read == 0 {
+            return Err(Error::Run("connection closed by daemon".to_string()));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+
+    /// Sends a typed request and decodes the response.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, encode failures (a `mig` source is not
+    /// wire-expressible) and undecodable response lines.
+    pub fn request(&mut self, request: &Request) -> Result<Response, Error> {
+        let line = wire::encode_request(request)?;
+        let reply = self.request_line(&line)?;
+        wire::decode_response(&reply)
+    }
+
+    /// Submits one job and returns the daemon's response — a report,
+    /// a `rejected` notice, or an error.
+    ///
+    /// # Errors
+    ///
+    /// Socket/encode failures, or a response of an unrelated kind.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<Response, Error> {
+        let response = self.request(&Request::Job(Box::new(spec.clone())))?;
+        match response {
+            Response::Report(_) | Response::Rejected { .. } | Response::Error { .. } => {
+                Ok(response)
+            }
+            other => Err(unexpected("job", &other)),
+        }
+    }
+
+    /// Fetches the daemon's counters snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, or a response that is not a metrics payload.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, Error> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            Response::Error { message, .. } => Err(Error::Run(message)),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Probes the daemon's health.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, or a response that is not a health payload.
+    pub fn healthz(&mut self) -> Result<Health, Error> {
+        match self.request(&Request::Healthz)? {
+            Response::Healthz(health) => Ok(health),
+            Response::Error { message, .. } => Err(Error::Run(message)),
+            other => Err(unexpected("healthz", &other)),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully; returns once the daemon
+    /// acknowledged it is draining.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, or a response that is not the acknowledgement.
+    pub fn shutdown(&mut self) -> Result<(), Error> {
+        match self.request(&Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            Response::Error { message, .. } => Err(Error::Run(message)),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}
+
+fn unexpected(verb: &str, response: &Response) -> Error {
+    let kind = match response {
+        Response::Report(_) => "a report",
+        Response::Rejected { .. } => "a rejection",
+        Response::Error { .. } => "an error",
+        Response::Metrics(_) => "a metrics payload",
+        Response::Healthz(_) => "a health payload",
+        Response::Shutdown => "a shutdown acknowledgement",
+    };
+    Error::Run(format!("daemon answered `{verb}` with {kind}"))
+}

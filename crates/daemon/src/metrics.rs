@@ -1,0 +1,202 @@
+//! Typed payloads for the daemon's introspection verbs.
+//!
+//! `metrics` answers with a [`MetricsSnapshot`], `healthz` with a
+//! [`Health`] probe. Both serialize through the in-tree JSON writer and
+//! decode back on the client side; the field sets are pinned
+//! byte-for-byte by the wire-protocol goldens in `tests/service_api.rs`.
+
+use rlim_service::json::Json;
+use rlim_service::Error;
+
+use crate::cache::CacheStats;
+
+/// One point-in-time counters snapshot: queue, workers, jobs, cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Whole seconds since the daemon booted.
+    pub uptime_ticks: u64,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Workers executing a job right now.
+    pub workers_busy: usize,
+    /// Jobs admitted and waiting for a worker.
+    pub queue_depth: usize,
+    /// The queue's admission limit.
+    pub queue_capacity: usize,
+    /// Job requests answered (reports and error responses alike).
+    pub jobs_served: u64,
+    /// Job requests that failed with an error response.
+    pub jobs_failed: u64,
+    /// Job requests refused at admission (queue full or draining).
+    pub jobs_rejected: u64,
+    /// Compile-cache counters.
+    pub cache: CacheStats,
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str, ctx: &str) -> Result<&'a Json, Error> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::Run(format!("{ctx}: missing key `{key}`")))
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str, ctx: &str) -> Result<u64, Error> {
+    match get(obj, key, ctx)? {
+        Json::UInt(v) => Ok(*v),
+        _ => Err(Error::Run(format!("{ctx}.{key}: expected an integer"))),
+    }
+}
+
+fn get_usize(obj: &[(String, Json)], key: &str, ctx: &str) -> Result<usize, Error> {
+    usize::try_from(get_u64(obj, key, ctx)?)
+        .map_err(|_| Error::Run(format!("{ctx}.{key}: value out of range")))
+}
+
+fn get_bool(obj: &[(String, Json)], key: &str, ctx: &str) -> Result<bool, Error> {
+    match get(obj, key, ctx)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(Error::Run(format!("{ctx}.{key}: expected a boolean"))),
+    }
+}
+
+fn as_object<'a>(json: &'a Json, ctx: &str) -> Result<&'a [(String, Json)], Error> {
+    match json {
+        Json::Object(entries) => Ok(entries),
+        _ => Err(Error::Run(format!("{ctx}: expected an object"))),
+    }
+}
+
+impl MetricsSnapshot {
+    /// The `metrics` payload (the object inside the envelope).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("uptime_ticks", Json::from(self.uptime_ticks)),
+            ("workers", Json::from(self.workers)),
+            ("workers_busy", Json::from(self.workers_busy)),
+            ("queue_depth", Json::from(self.queue_depth)),
+            ("queue_capacity", Json::from(self.queue_capacity)),
+            ("jobs_served", Json::from(self.jobs_served)),
+            ("jobs_failed", Json::from(self.jobs_failed)),
+            ("jobs_rejected", Json::from(self.jobs_rejected)),
+            (
+                "cache",
+                Json::object([
+                    ("entries", Json::from(self.cache.entries)),
+                    ("capacity", Json::from(self.cache.capacity)),
+                    ("hits", Json::from(self.cache.hits)),
+                    ("misses", Json::from(self.cache.misses)),
+                    ("evictions", Json::from(self.cache.evictions)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Decodes a `metrics` payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Run`] when the payload does not have the pinned
+    /// shape.
+    pub fn from_json(json: &Json) -> Result<Self, Error> {
+        let obj = as_object(json, "metrics")?;
+        let cache = as_object(get(obj, "cache", "metrics")?, "metrics.cache")?;
+        Ok(MetricsSnapshot {
+            uptime_ticks: get_u64(obj, "uptime_ticks", "metrics")?,
+            workers: get_usize(obj, "workers", "metrics")?,
+            workers_busy: get_usize(obj, "workers_busy", "metrics")?,
+            queue_depth: get_usize(obj, "queue_depth", "metrics")?,
+            queue_capacity: get_usize(obj, "queue_capacity", "metrics")?,
+            jobs_served: get_u64(obj, "jobs_served", "metrics")?,
+            jobs_failed: get_u64(obj, "jobs_failed", "metrics")?,
+            jobs_rejected: get_u64(obj, "jobs_rejected", "metrics")?,
+            cache: CacheStats {
+                entries: get_usize(cache, "entries", "cache")?,
+                capacity: get_usize(cache, "capacity", "cache")?,
+                hits: get_u64(cache, "hits", "cache")?,
+                misses: get_u64(cache, "misses", "cache")?,
+                evictions: get_u64(cache, "evictions", "cache")?,
+            },
+        })
+    }
+}
+
+/// The `healthz` probe: alive, and (still) taking work?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Health {
+    /// Always `true` on a reply — a dead daemon cannot answer.
+    pub ok: bool,
+    /// Whether new connections and jobs are admitted (`false` while
+    /// draining for shutdown).
+    pub accepting: bool,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Jobs admitted and waiting for a worker.
+    pub queue_depth: usize,
+}
+
+impl Health {
+    /// The `healthz` payload (the object inside the envelope).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("ok", Json::from(self.ok)),
+            ("accepting", Json::from(self.accepting)),
+            ("workers", Json::from(self.workers)),
+            ("queue_depth", Json::from(self.queue_depth)),
+        ])
+    }
+
+    /// Decodes a `healthz` payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Run`] when the payload does not have the pinned
+    /// shape.
+    pub fn from_json(json: &Json) -> Result<Self, Error> {
+        let obj = as_object(json, "healthz")?;
+        Ok(Health {
+            ok: get_bool(obj, "ok", "healthz")?,
+            accepting: get_bool(obj, "accepting", "healthz")?,
+            workers: get_usize(obj, "workers", "healthz")?,
+            queue_depth: get_usize(obj, "queue_depth", "healthz")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_round_trip() {
+        let snapshot = MetricsSnapshot {
+            uptime_ticks: 12,
+            workers: 4,
+            workers_busy: 2,
+            queue_depth: 1,
+            queue_capacity: 8,
+            jobs_served: 100,
+            jobs_failed: 3,
+            jobs_rejected: 7,
+            cache: CacheStats {
+                entries: 5,
+                capacity: 256,
+                hits: 90,
+                misses: 10,
+                evictions: 0,
+            },
+        };
+        assert_eq!(
+            MetricsSnapshot::from_json(&snapshot.to_json()).unwrap(),
+            snapshot
+        );
+        let health = Health {
+            ok: true,
+            accepting: false,
+            workers: 4,
+            queue_depth: 1,
+        };
+        assert_eq!(Health::from_json(&health.to_json()).unwrap(), health);
+        assert!(MetricsSnapshot::from_json(&Json::Null).is_err());
+        assert!(Health::from_json(&Json::object([("ok", true)])).is_err());
+    }
+}

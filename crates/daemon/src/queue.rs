@@ -1,0 +1,185 @@
+//! A bounded multi-producer / multi-consumer job queue with admission
+//! control.
+//!
+//! Connection threads [`BoundedQueue::try_push`] jobs and get an
+//! immediate [`PushError::Full`] when the queue is at capacity — the
+//! daemon turns that into a structured `rejected` response instead of
+//! blocking the socket or disturbing in-flight work. Worker threads
+//! block in [`BoundedQueue::pop`]; closing the queue
+//! ([`BoundedQueue::close`]) refuses new admissions while letting the
+//! workers drain everything already accepted, which is exactly the
+//! graceful-shutdown drain.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why [`BoundedQueue::try_push`] refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue already holds `capacity` items.
+    Full,
+    /// The queue was closed for shutdown; it drains but admits nothing.
+    Closed,
+}
+
+/// The bounded queue. All methods take `&self`; the queue is shared by
+/// reference-counting and synchronizes internally.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    takers: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-depth queue could never
+    /// admit a job.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            takers: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A panicking worker must not wedge the whole daemon: recover
+        // the guard instead of propagating the poison.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The admission limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (admitted, not yet claimed by a worker).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Admits `item`, or refuses immediately — never blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and claims it, or returns
+    /// `None` once the queue is closed **and** drained — the worker's
+    /// signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .takers
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: refuses every future admission, wakes all
+    /// blocked workers, lets queued items drain. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.takers.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admission_control_refuses_at_capacity() {
+        let q = BoundedQueue::new(2);
+        assert!(q.is_empty());
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.try_push(4), Err(PushError::Full));
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed));
+        // Queued work still drains in order…
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        // …then pops report exhaustion.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push_or_close() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(blocked.join().unwrap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

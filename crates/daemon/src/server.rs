@@ -1,0 +1,451 @@
+//! The server: acceptor, per-connection reader threads, and the worker
+//! pool draining the bounded job queue.
+//!
+//! ## Thread layout
+//!
+//! * one **acceptor** owning the [`TcpListener`];
+//! * one reader thread per live **connection**, answering `metrics` /
+//!   `healthz` / `shutdown` inline and pushing `job` requests onto the
+//!   queue (a connection therefore has at most one job in flight);
+//! * `N` **workers** blocking on the queue, each running jobs through a
+//!   single-threaded [`Service`] — the worker pool is the parallelism
+//!   axis, exactly like a batch run's per-spec axis.
+//!
+//! ## Shutdown state machine
+//!
+//! `accepting → draining → stopped`. A `shutdown` verb (or
+//! [`ShutdownTrigger::shutdown`]) atomically flips `accepting` off,
+//! closes the queue (new jobs get `rejected`, queued jobs keep
+//! draining) and wakes the acceptor, which drops the listener — the
+//! socket refuses connections from that point. [`DaemonHandle::join`]
+//! then waits for the workers to drain the queue and for every pending
+//! response to be written back before returning the final counters; the
+//! CLI turns that return into exit code 0.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rlim_mig::Mig;
+use rlim_service::{Error, JobSpec, Report, Service, Source};
+
+use crate::cache::{cache_key, ReportCache};
+use crate::metrics::{Health, MetricsSnapshot};
+use crate::queue::{BoundedQueue, PushError};
+use crate::wire::{self, Request};
+
+/// Server configuration with production-shaped defaults.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; port `0` asks the OS for an ephemeral port (read
+    /// the bound one back from [`DaemonHandle::addr`]).
+    pub addr: String,
+    /// Worker-pool size; `0` = one per available core.
+    pub workers: usize,
+    /// Bounded job-queue depth (the admission limit).
+    pub queue_depth: usize,
+    /// Compile-cache capacity, in reports.
+    pub cache_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// One admitted job: the decoded spec plus the channel its response
+/// line travels back through.
+struct QueuedJob {
+    spec: JobSpec,
+    reply: SyncSender<String>,
+}
+
+/// Counts requests between admission and the moment their response hit
+/// the socket, so [`DaemonHandle::join`] never returns with a reply
+/// still unwritten.
+#[derive(Default)]
+struct PendingReplies {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl PendingReplies {
+    fn enter(&self) {
+        *self.count.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+    }
+
+    fn exit(&self) {
+        let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
+        *count -= 1;
+        if *count == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
+        while *count > 0 {
+            count = self
+                .zero
+                .wait(count)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+struct Shared {
+    service: Service,
+    queue: BoundedQueue<QueuedJob>,
+    cache: Mutex<ReportCache>,
+    /// Benchmark graphs built once per daemon lifetime, with their
+    /// fingerprints (keyed by benchmark name).
+    sources: Mutex<HashMap<String, (Arc<Mig>, u128)>>,
+    started: Instant,
+    local_addr: SocketAddr,
+    accepting: AtomicBool,
+    workers_total: usize,
+    workers_busy: AtomicUsize,
+    jobs_served: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    pending: PendingReplies,
+}
+
+/// Triggers graceful shutdown from anywhere: another thread, a signal
+/// substitute (the CLI's `--watch-stdin` supervisor pipe), a test.
+#[derive(Clone)]
+pub struct ShutdownTrigger {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownTrigger {
+    /// Stops accepting, closes the queue for draining, wakes the
+    /// acceptor so the listener drops. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`DaemonHandle::shutdown`] (or send the `shutdown` verb) and
+/// then [`DaemonHandle::join`].
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The bound address (with the OS-assigned port when the config
+    /// asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// A cloneable shutdown trigger decoupled from the handle.
+    pub fn trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The current counters snapshot (same payload as the `metrics`
+    /// verb).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics()
+    }
+
+    /// Initiates graceful shutdown (see [`ShutdownTrigger::shutdown`]).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for shutdown to complete: the acceptor has dropped the
+    /// listener, the workers have drained the queue, and every pending
+    /// response has been written back. Returns the final counters.
+    ///
+    /// Blocks until something triggers shutdown — the `shutdown` verb,
+    /// [`DaemonHandle::shutdown`], or a [`ShutdownTrigger`].
+    pub fn join(self) -> MetricsSnapshot {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        self.shared.pending.wait_zero();
+        self.shared.metrics()
+    }
+}
+
+/// Binds the listener and spawns the daemon's threads.
+///
+/// # Errors
+///
+/// Returns the bind/spawn I/O error; the daemon either starts fully or
+/// not at all.
+pub fn serve(config: DaemonConfig) -> std::io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let workers_total = if config.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.workers
+    };
+    let shared = Arc::new(Shared {
+        // Each job runs single-threaded: the worker pool is the
+        // parallelism axis, and reports stay byte-identical to a direct
+        // `Service` run regardless of thread counts.
+        service: Service::new().with_threads(1),
+        queue: BoundedQueue::new(config.queue_depth),
+        cache: Mutex::new(ReportCache::new(config.cache_capacity)),
+        sources: Mutex::new(HashMap::new()),
+        started: Instant::now(),
+        local_addr,
+        accepting: AtomicBool::new(true),
+        workers_total,
+        workers_busy: AtomicUsize::new(0),
+        jobs_served: AtomicU64::new(0),
+        jobs_failed: AtomicU64::new(0),
+        jobs_rejected: AtomicU64::new(0),
+        pending: PendingReplies::default(),
+    });
+
+    let mut workers = Vec::with_capacity(workers_total);
+    for i in 0..workers_total {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("rlimd-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("rlimd-acceptor".to_string())
+            .spawn(move || accept_loop(listener, &shared))?
+    };
+    Ok(DaemonHandle {
+        shared,
+        acceptor,
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        // Checked after every wakeup: `begin_shutdown` self-connects to
+        // get us here, and the break drops the listener, so the socket
+        // refuses connections from this point on.
+        if !shared.accepting.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("rlimd-conn".to_string())
+            .spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.pending.enter();
+        let reply = shared.respond(&line);
+        let written = writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        shared.pending.exit();
+        if written.is_err() {
+            break;
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.workers_busy.fetch_add(1, Ordering::SeqCst);
+        // A panicking job (a compiler bug on some exotic input) must
+        // cost one response, not one worker: catch it and answer with a
+        // structured error.
+        let reply = match catch_unwind(AssertUnwindSafe(|| shared.run_job(&job.spec))) {
+            Ok(Ok(line)) => line,
+            Ok(Err(error)) => {
+                shared.jobs_failed.fetch_add(1, Ordering::SeqCst);
+                wire::error_line(&error)
+            }
+            Err(_) => {
+                shared.jobs_failed.fetch_add(1, Ordering::SeqCst);
+                wire::error_line(&Error::Run("internal: job panicked".to_string()))
+            }
+        };
+        shared.jobs_served.fetch_add(1, Ordering::SeqCst);
+        shared.workers_busy.fetch_sub(1, Ordering::SeqCst);
+        let _ = job.reply.send(reply);
+    }
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.accepting.swap(false, Ordering::SeqCst) {
+            self.queue.close();
+            // Wake the acceptor out of `accept` so it can observe the
+            // flag and drop the listener.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+
+    fn respond(self: &Arc<Self>, line: &str) -> String {
+        match wire::decode_request(line) {
+            Err(error) => wire::error_line(&error),
+            Ok(Request::Healthz) => wire::healthz_line(&self.health()),
+            Ok(Request::Metrics) => wire::metrics_line(&self.metrics()),
+            Ok(Request::Shutdown) => {
+                self.begin_shutdown();
+                wire::shutdown_line()
+            }
+            Ok(Request::Job(spec)) => self.serve_job(*spec),
+        }
+    }
+
+    fn serve_job(&self, spec: JobSpec) -> String {
+        let (reply, response) = std::sync::mpsc::sync_channel(1);
+        match self.queue.try_push(QueuedJob { spec, reply }) {
+            Err(refusal) => {
+                self.jobs_rejected.fetch_add(1, Ordering::SeqCst);
+                let message = match refusal {
+                    PushError::Full => "job queue full",
+                    PushError::Closed => "daemon is draining",
+                };
+                wire::rejected_line(self.queue.len(), self.queue.capacity(), message)
+            }
+            Ok(()) => response.recv().unwrap_or_else(|_| {
+                wire::error_line(&Error::Run("internal: worker dropped the job".to_string()))
+            }),
+        }
+    }
+
+    /// Loads (or reuses) the spec's source graph and its fingerprint.
+    fn load_source(&self, spec: &JobSpec) -> Result<(Arc<Mig>, u128), Error> {
+        match spec.source() {
+            Source::Benchmark(b) => {
+                let sources = &self.sources;
+                if let Some(entry) = sources
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(b.name())
+                {
+                    return Ok(entry.clone());
+                }
+                // Build outside the lock so a large benchmark's first
+                // touch doesn't serialize the other workers; a racing
+                // builder's entry wins and becomes the canonical Arc.
+                let mig = Arc::new(b.build());
+                let fingerprint = mig.fingerprint();
+                Ok(sources
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entry(b.name().to_string())
+                    .or_insert((mig, fingerprint))
+                    .clone())
+            }
+            Source::BlifPath(path) => {
+                let label = path.display().to_string();
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| Error::io(label.clone(), &e))?;
+                let mig = rlim_mig::blif::parse_blif(&text)
+                    .map_err(|error| Error::Blif { path: label, error })?;
+                let fingerprint = mig.fingerprint();
+                Ok((Arc::new(mig), fingerprint))
+            }
+            Source::Mig(mig) => Ok((Arc::clone(mig), mig.fingerprint())),
+        }
+    }
+
+    fn run_job(&self, spec: &JobSpec) -> Result<String, Error> {
+        let (mig, fingerprint) = self.load_source(spec)?;
+        let key = cache_key(fingerprint, spec);
+        let hit = self
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .lookup(&key);
+        if let Some(mut report) = hit {
+            self.personalize(&mut report, spec, true);
+            return Ok(report.to_json().render_compact());
+        }
+        let mut run_spec = JobSpec::shared_mig(mig)
+            .with_backend(spec.backend())
+            .with_options(*spec.options())
+            .with_program_text(spec.includes_program())
+            .with_projection_arrays(spec.projection_arrays());
+        if let Some(fleet) = spec.fleet() {
+            run_spec = run_spec.with_fleet(*fleet);
+        }
+        let mut report = self.service.run(&run_spec)?;
+        self.personalize(&mut report, spec, false);
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, report.clone());
+        Ok(report.to_json().render_compact())
+    }
+
+    /// Rewrites the per-request fields: `label` (the daemon compiles
+    /// through an in-memory graph whose label would read `<mig>`),
+    /// `backend` (class-sharing cache hits may have been produced by a
+    /// sibling backend) and `cached`.
+    fn personalize(&self, report: &mut Report, spec: &JobSpec, cached: bool) {
+        report.label = spec.label();
+        report.backend = spec.backend().name();
+        report.cached = cached;
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime_ticks: self.started.elapsed().as_secs(),
+            workers: self.workers_total,
+            workers_busy: self.workers_busy.load(Ordering::SeqCst),
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            jobs_served: self.jobs_served.load(Ordering::SeqCst),
+            jobs_failed: self.jobs_failed.load(Ordering::SeqCst),
+            jobs_rejected: self.jobs_rejected.load(Ordering::SeqCst),
+            cache: self
+                .cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .stats(),
+        }
+    }
+
+    fn health(&self) -> Health {
+        Health {
+            ok: true,
+            accepting: self.accepting.load(Ordering::SeqCst),
+            workers: self.workers_total,
+            queue_depth: self.queue.len(),
+        }
+    }
+}

@@ -1,0 +1,885 @@
+//! The JSON-lines wire protocol: how a [`JobSpec`] travels to the
+//! daemon and how every response travels back.
+//!
+//! One request is exactly one compact JSON line (see
+//! [`Json::render_compact`]) terminated by `\n`; one response is exactly
+//! one line back. A `job` request answers with a bare [`Report`]
+//! document (recognizable by its `schema` key); every other response is
+//! a single-key envelope — `rejected`, `error`, `metrics`, `healthz` or
+//! `shutdown` — so a client can classify a line by its first key alone.
+//!
+//! The codec is a strict inverse pair: [`decode_spec`] accepts exactly
+//! the documents [`encode_spec`] produces (any key order, but the exact
+//! key set), and re-encoding a decoded spec reproduces the canonical
+//! line byte-for-byte. That property is pinned by a proptest mirroring
+//! the CLI's argv ↔ `JobSpec` round-trip.
+
+use rlim_compiler::{Allocation, CompileOptions, Selection};
+use rlim_mig::rewrite::Algorithm;
+use rlim_plim::DispatchPolicy;
+use rlim_rram::WriteStats;
+use rlim_service::json::{self, Json};
+use rlim_service::{
+    BackendKind, ChaosSpec, CircuitSummary, Error, FleetSpec, JobSpec, LifetimeProjection, Report,
+    Source,
+};
+
+use crate::metrics::{Health, MetricsSnapshot};
+
+/// Decimal places used for the chaos floats on the wire (matches the
+/// report's `fault` section: median at 1, spreads at 4).
+const MEDIAN_PRECISION: usize = 1;
+const SIGMA_PRECISION: usize = 4;
+
+/// One request line, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `{"verb":"job","spec":…}` — compile (or hit the cache) and reply
+    /// with one report line.
+    Job(Box<JobSpec>),
+    /// `{"verb":"metrics"}` — reply with a counters snapshot.
+    Metrics,
+    /// `{"verb":"healthz"}` — reply with a liveness probe.
+    Healthz,
+    /// `{"verb":"shutdown"}` — acknowledge, stop accepting, drain and
+    /// exit.
+    Shutdown,
+}
+
+/// One response line, classified and decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A bare report document (the answer to a `job` request).
+    Report(ReportLine),
+    /// The job was refused at admission: the queue is full (or the
+    /// daemon is draining). In-flight jobs are unaffected.
+    Rejected {
+        /// Queued jobs at the moment of rejection.
+        queue_depth: usize,
+        /// The queue's admission limit.
+        queue_capacity: usize,
+        /// Why: `"job queue full"` or `"daemon is draining"`.
+        message: String,
+    },
+    /// The request failed: malformed line, unknown benchmark, compile
+    /// or fleet failure.
+    Error {
+        /// The failure text.
+        message: String,
+        /// Whether the request itself was wrong (the CLI's exit-code-2
+        /// class) as opposed to an operational failure.
+        usage: bool,
+    },
+    /// The counters snapshot answering a `metrics` request.
+    Metrics(MetricsSnapshot),
+    /// The liveness probe answering a `healthz` request.
+    Healthz(Health),
+    /// The acknowledgement of a `shutdown` request: the daemon has
+    /// stopped accepting and is draining its queue.
+    Shutdown,
+}
+
+/// A report as it came off the wire: the raw line plus its parsed tree.
+///
+/// Byte-level consumers (tests, `--json` passthrough) use
+/// [`ReportLine::line`]; typed consumers call [`ReportLine::decode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportLine {
+    /// The exact response line (no trailing newline).
+    pub line: String,
+    /// The parsed document.
+    pub json: Json,
+}
+
+fn invalid(message: impl Into<String>) -> Error {
+    Error::InvalidRequest(message.into())
+}
+
+// ---- field access helpers ----------------------------------------------
+
+fn entries<'a>(json: &'a Json, ctx: &str) -> Result<&'a [(String, Json)], Error> {
+    match json {
+        Json::Object(entries) => Ok(entries),
+        _ => Err(invalid(format!("{ctx}: expected an object"))),
+    }
+}
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str, ctx: &str) -> Result<&'a Json, Error> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| invalid(format!("{ctx}: missing key `{key}`")))
+}
+
+/// Strictness check: every present key must be expected (missing keys
+/// are caught by [`field`]), so typos fail loudly instead of silently
+/// falling back to defaults.
+fn expect_keys(obj: &[(String, Json)], expected: &[&str], ctx: &str) -> Result<(), Error> {
+    for (key, _) in obj {
+        if !expected.contains(&key.as_str()) {
+            return Err(invalid(format!("{ctx}: unknown key `{key}`")));
+        }
+    }
+    Ok(())
+}
+
+fn as_u64(json: &Json, ctx: &str) -> Result<u64, Error> {
+    match json {
+        Json::UInt(v) => Ok(*v),
+        _ => Err(invalid(format!("{ctx}: expected an unsigned integer"))),
+    }
+}
+
+fn as_usize(json: &Json, ctx: &str) -> Result<usize, Error> {
+    usize::try_from(as_u64(json, ctx)?).map_err(|_| invalid(format!("{ctx}: value out of range")))
+}
+
+fn as_bool(json: &Json, ctx: &str) -> Result<bool, Error> {
+    match json {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(invalid(format!("{ctx}: expected a boolean"))),
+    }
+}
+
+fn as_str<'a>(json: &'a Json, ctx: &str) -> Result<&'a str, Error> {
+    match json {
+        Json::Str(s) => Ok(s),
+        _ => Err(invalid(format!("{ctx}: expected a string"))),
+    }
+}
+
+fn as_f64(json: &Json, ctx: &str) -> Result<f64, Error> {
+    match json {
+        Json::Float { value, .. } => Ok(*value),
+        Json::UInt(v) => Ok(*v as f64),
+        Json::Int(v) => Ok(*v as f64),
+        _ => Err(invalid(format!("{ctx}: expected a number"))),
+    }
+}
+
+fn opt<T>(
+    json: &Json,
+    convert: impl FnOnce(&Json) -> Result<T, Error>,
+) -> Result<Option<T>, Error> {
+    match json {
+        Json::Null => Ok(None),
+        other => convert(other).map(Some),
+    }
+}
+
+// ---- option / policy vocabularies --------------------------------------
+
+pub(crate) fn algorithm_name(a: Algorithm) -> &'static str {
+    match a {
+        Algorithm::PlimCompiler => "plim-compiler",
+        Algorithm::EnduranceAware => "endurance-aware",
+        Algorithm::LevelAware => "level-aware",
+    }
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, Error> {
+    match s {
+        "plim-compiler" => Ok(Algorithm::PlimCompiler),
+        "endurance-aware" => Ok(Algorithm::EnduranceAware),
+        "level-aware" => Ok(Algorithm::LevelAware),
+        other => Err(invalid(format!("unknown rewriting algorithm `{other}`"))),
+    }
+}
+
+pub(crate) fn selection_name(s: Selection) -> &'static str {
+    match s {
+        Selection::Topological => "topological",
+        Selection::AreaAware => "area-aware",
+        Selection::EnduranceAware => "endurance-aware",
+    }
+}
+
+fn parse_selection(s: &str) -> Result<Selection, Error> {
+    match s {
+        "topological" => Ok(Selection::Topological),
+        "area-aware" => Ok(Selection::AreaAware),
+        "endurance-aware" => Ok(Selection::EnduranceAware),
+        other => Err(invalid(format!("unknown selection policy `{other}`"))),
+    }
+}
+
+pub(crate) fn allocation_name(a: Allocation) -> &'static str {
+    match a {
+        Allocation::Lifo => "lifo",
+        Allocation::MinWrite => "min-write",
+    }
+}
+
+fn parse_allocation(s: &str) -> Result<Allocation, Error> {
+    match s {
+        "lifo" => Ok(Allocation::Lifo),
+        "min-write" => Ok(Allocation::MinWrite),
+        other => Err(invalid(format!("unknown allocation policy `{other}`"))),
+    }
+}
+
+// ---- spec encoding ------------------------------------------------------
+
+fn options_json(o: &CompileOptions) -> Json {
+    Json::object([
+        ("rewriting", Json::from(o.rewriting.map(algorithm_name))),
+        ("effort", Json::from(o.effort)),
+        ("selection", Json::from(selection_name(o.selection))),
+        ("allocation", Json::from(allocation_name(o.allocation))),
+        ("max_writes", Json::from(o.max_writes)),
+        ("peephole", Json::from(o.peephole)),
+    ])
+}
+
+fn chaos_json(c: &ChaosSpec) -> Json {
+    Json::object([
+        ("fault_seed", Json::from(c.fault_seed)),
+        (
+            "endurance_median",
+            Json::float(c.endurance_median, MEDIAN_PRECISION),
+        ),
+        (
+            "endurance_sigma",
+            Json::float(c.endurance_sigma, SIGMA_PRECISION),
+        ),
+        (
+            "stuck_probability",
+            Json::float(c.stuck_probability, SIGMA_PRECISION),
+        ),
+        ("recovery", Json::from(c.recovery)),
+        ("spares", Json::from(c.spares)),
+        ("max_faults", Json::from(c.max_faults)),
+    ])
+}
+
+fn fleet_json(f: &FleetSpec) -> Json {
+    Json::object([
+        ("arrays", Json::from(f.arrays)),
+        ("jobs", Json::from(f.jobs)),
+        ("dispatch", Json::from(f.dispatch.label())),
+        ("write_budget", Json::from(f.write_budget)),
+        ("input_seed", Json::from(f.input_seed)),
+        ("simd", Json::from(f.simd)),
+        ("chaos", f.chaos.as_ref().map_or(Json::Null, chaos_json)),
+    ])
+}
+
+/// Encodes a spec as the wire's canonical `spec` object.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidRequest`] for in-memory
+/// [`Source::Mig`] sources — a graph has no wire representation; send a
+/// benchmark name or a BLIF path instead.
+pub fn encode_spec(spec: &JobSpec) -> Result<Json, Error> {
+    let source = match spec.source() {
+        Source::Benchmark(b) => Json::object([("benchmark", Json::from(b.name()))]),
+        Source::BlifPath(p) => Json::object([("blif", Json::from(p.display().to_string()))]),
+        Source::Mig(_) => {
+            return Err(invalid(
+                "in-memory MIG sources cannot travel over the wire; \
+                 send a benchmark name or a BLIF path",
+            ))
+        }
+    };
+    Ok(Json::object([
+        ("source", source),
+        ("backend", Json::from(spec.backend().name())),
+        ("options", options_json(spec.options())),
+        ("fleet", spec.fleet().map_or(Json::Null, fleet_json)),
+        ("program", Json::from(spec.includes_program())),
+        ("projection_arrays", Json::from(spec.projection_arrays())),
+    ]))
+}
+
+/// Encodes a request as one compact wire line (no trailing newline).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidRequest`] when a job spec cannot be encoded
+/// (see [`encode_spec`]).
+pub fn encode_request(request: &Request) -> Result<String, Error> {
+    let doc = match request {
+        Request::Job(spec) => {
+            Json::object([("verb", Json::from("job")), ("spec", encode_spec(spec)?)])
+        }
+        Request::Metrics => Json::object([("verb", Json::from("metrics"))]),
+        Request::Healthz => Json::object([("verb", Json::from("healthz"))]),
+        Request::Shutdown => Json::object([("verb", Json::from("shutdown"))]),
+    };
+    Ok(doc.render_compact())
+}
+
+// ---- spec decoding ------------------------------------------------------
+
+fn decode_options(json: &Json) -> Result<CompileOptions, Error> {
+    let obj = entries(json, "options")?;
+    expect_keys(
+        obj,
+        &[
+            "rewriting",
+            "effort",
+            "selection",
+            "allocation",
+            "max_writes",
+            "peephole",
+        ],
+        "options",
+    )?;
+    let rewriting = opt(field(obj, "rewriting", "options")?, |j| {
+        parse_algorithm(as_str(j, "options.rewriting")?)
+    })?;
+    let max_writes = opt(field(obj, "max_writes", "options")?, |j| {
+        as_u64(j, "options.max_writes")
+    })?;
+    if let Some(w) = max_writes {
+        if w < 3 {
+            return Err(invalid("options.max_writes must be at least 3"));
+        }
+    }
+    Ok(CompileOptions {
+        rewriting,
+        effort: as_usize(field(obj, "effort", "options")?, "options.effort")?,
+        selection: parse_selection(as_str(
+            field(obj, "selection", "options")?,
+            "options.selection",
+        )?)?,
+        allocation: parse_allocation(as_str(
+            field(obj, "allocation", "options")?,
+            "options.allocation",
+        )?)?,
+        max_writes,
+        peephole: as_bool(field(obj, "peephole", "options")?, "options.peephole")?,
+    })
+}
+
+fn decode_chaos(json: &Json) -> Result<ChaosSpec, Error> {
+    let obj = entries(json, "chaos")?;
+    expect_keys(
+        obj,
+        &[
+            "fault_seed",
+            "endurance_median",
+            "endurance_sigma",
+            "stuck_probability",
+            "recovery",
+            "spares",
+            "max_faults",
+        ],
+        "chaos",
+    )?;
+    Ok(ChaosSpec {
+        fault_seed: as_u64(field(obj, "fault_seed", "chaos")?, "chaos.fault_seed")?,
+        endurance_median: as_f64(
+            field(obj, "endurance_median", "chaos")?,
+            "chaos.endurance_median",
+        )?,
+        endurance_sigma: as_f64(
+            field(obj, "endurance_sigma", "chaos")?,
+            "chaos.endurance_sigma",
+        )?,
+        stuck_probability: as_f64(
+            field(obj, "stuck_probability", "chaos")?,
+            "chaos.stuck_probability",
+        )?,
+        recovery: as_bool(field(obj, "recovery", "chaos")?, "chaos.recovery")?,
+        spares: as_usize(field(obj, "spares", "chaos")?, "chaos.spares")?,
+        max_faults: as_u64(field(obj, "max_faults", "chaos")?, "chaos.max_faults")?,
+    })
+}
+
+fn decode_fleet(json: &Json) -> Result<FleetSpec, Error> {
+    let obj = entries(json, "fleet")?;
+    expect_keys(
+        obj,
+        &[
+            "arrays",
+            "jobs",
+            "dispatch",
+            "write_budget",
+            "input_seed",
+            "simd",
+            "chaos",
+        ],
+        "fleet",
+    )?;
+    let arrays = as_usize(field(obj, "arrays", "fleet")?, "fleet.arrays")?;
+    if arrays == 0 {
+        return Err(invalid("fleet.arrays must be at least 1"));
+    }
+    let dispatch: DispatchPolicy = as_str(field(obj, "dispatch", "fleet")?, "fleet.dispatch")?
+        .parse()
+        .map_err(Error::InvalidRequest)?;
+    Ok(FleetSpec {
+        arrays,
+        jobs: as_usize(field(obj, "jobs", "fleet")?, "fleet.jobs")?,
+        dispatch,
+        write_budget: opt(field(obj, "write_budget", "fleet")?, |j| {
+            as_u64(j, "fleet.write_budget")
+        })?,
+        input_seed: opt(field(obj, "input_seed", "fleet")?, |j| {
+            as_u64(j, "fleet.input_seed")
+        })?,
+        simd: as_bool(field(obj, "simd", "fleet")?, "fleet.simd")?,
+        chaos: opt(field(obj, "chaos", "fleet")?, decode_chaos)?,
+    })
+}
+
+/// Decodes the wire's `spec` object back into a [`JobSpec`] — the exact
+/// inverse of [`encode_spec`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidRequest`] on shape violations (wrong types,
+/// missing or unknown keys, out-of-range values) and
+/// [`Error::UnknownBenchmark`] for benchmark names not in the suite.
+pub fn decode_spec(json: &Json) -> Result<JobSpec, Error> {
+    let obj = entries(json, "spec")?;
+    expect_keys(
+        obj,
+        &[
+            "source",
+            "backend",
+            "options",
+            "fleet",
+            "program",
+            "projection_arrays",
+        ],
+        "spec",
+    )?;
+
+    let source = entries(field(obj, "source", "spec")?, "spec.source")?;
+    let mut spec = match source {
+        [(key, value)] if key == "benchmark" => {
+            JobSpec::named_benchmark(as_str(value, "source.benchmark")?)?
+        }
+        [(key, value)] if key == "blif" => JobSpec::blif_path(as_str(value, "source.blif")?),
+        _ => {
+            return Err(invalid(
+                "spec.source must be exactly {\"benchmark\":NAME} or {\"blif\":PATH}",
+            ))
+        }
+    };
+
+    let backend: BackendKind = as_str(field(obj, "backend", "spec")?, "spec.backend")?
+        .parse()
+        .map_err(Error::InvalidRequest)?;
+    spec = spec
+        .with_backend(backend)
+        .with_options(decode_options(field(obj, "options", "spec")?)?)
+        .with_program_text(as_bool(field(obj, "program", "spec")?, "spec.program")?);
+
+    let projection_arrays = as_usize(
+        field(obj, "projection_arrays", "spec")?,
+        "spec.projection_arrays",
+    )?;
+    if projection_arrays == 0 {
+        return Err(invalid("spec.projection_arrays must be at least 1"));
+    }
+    spec = spec.with_projection_arrays(projection_arrays);
+
+    if let Some(fleet) = opt(field(obj, "fleet", "spec")?, decode_fleet)? {
+        spec = spec.with_fleet(fleet);
+    }
+    Ok(spec)
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidRequest`] on anything that is not exactly one
+/// well-formed request object — the daemon answers these with a
+/// structured `error` line instead of dying or hanging.
+pub fn decode_request(line: &str) -> Result<Request, Error> {
+    let doc = json::parse(line).map_err(|e| invalid(format!("malformed request: {e}")))?;
+    let obj = entries(&doc, "request")?;
+    expect_keys(obj, &["verb", "spec"], "request")?;
+    let verb = as_str(field(obj, "verb", "request")?, "request.verb")?;
+    match verb {
+        "job" => {
+            let spec = decode_spec(field(obj, "spec", "request")?)?;
+            Ok(Request::Job(Box::new(spec)))
+        }
+        "metrics" | "healthz" | "shutdown" => {
+            if obj.len() != 1 {
+                return Err(invalid(format!("`{verb}` requests carry no other keys")));
+            }
+            Ok(match verb {
+                "metrics" => Request::Metrics,
+                "healthz" => Request::Healthz,
+                _ => Request::Shutdown,
+            })
+        }
+        other => Err(invalid(format!(
+            "unknown verb `{other}` (job | metrics | healthz | shutdown)"
+        ))),
+    }
+}
+
+// ---- response encoding --------------------------------------------------
+
+/// The `rejected` envelope: admission control refused the job.
+pub fn rejected_line(queue_depth: usize, queue_capacity: usize, message: &str) -> String {
+    Json::object([(
+        "rejected",
+        Json::object([
+            ("queue_depth", Json::from(queue_depth)),
+            ("queue_capacity", Json::from(queue_capacity)),
+            ("message", Json::from(message)),
+        ]),
+    )])
+    .render_compact()
+}
+
+/// The `error` envelope for a failed request.
+pub fn error_line(error: &Error) -> String {
+    Json::object([(
+        "error",
+        Json::object([
+            ("message", Json::from(error.to_string())),
+            ("usage", Json::from(error.is_usage())),
+        ]),
+    )])
+    .render_compact()
+}
+
+/// The `metrics` envelope.
+pub fn metrics_line(snapshot: &MetricsSnapshot) -> String {
+    Json::object([("metrics", snapshot.to_json())]).render_compact()
+}
+
+/// The `healthz` envelope.
+pub fn healthz_line(health: &Health) -> String {
+    Json::object([("healthz", health.to_json())]).render_compact()
+}
+
+/// The `shutdown` acknowledgement envelope.
+pub fn shutdown_line() -> String {
+    Json::object([("shutdown", Json::object([("draining", Json::Bool(true))]))]).render_compact()
+}
+
+// ---- response decoding --------------------------------------------------
+
+/// Classifies and decodes one response line.
+///
+/// # Errors
+///
+/// Returns [`Error::Run`] when the line is not valid JSON or not one of
+/// the protocol's response shapes — a daemon bug or a non-daemon peer.
+pub fn decode_response(line: &str) -> Result<Response, Error> {
+    let doc = json::parse(line).map_err(|e| Error::Run(format!("malformed response line: {e}")))?;
+    let obj = match &doc {
+        Json::Object(entries) => entries,
+        _ => return Err(Error::Run("response is not a JSON object".to_string())),
+    };
+    if obj.iter().any(|(k, _)| k == "schema") {
+        return Ok(Response::Report(ReportLine {
+            line: line.to_string(),
+            json: doc,
+        }));
+    }
+    let run = |e: Error| Error::Run(format!("malformed response envelope: {e}"));
+    match obj.first().map(|(k, _)| k.as_str()) {
+        Some("rejected") if obj.len() == 1 => {
+            let body = entries(&obj[0].1, "rejected").map_err(run)?;
+            Ok(Response::Rejected {
+                queue_depth: as_usize(
+                    field(body, "queue_depth", "rejected").map_err(run)?,
+                    "rejected.queue_depth",
+                )
+                .map_err(run)?,
+                queue_capacity: as_usize(
+                    field(body, "queue_capacity", "rejected").map_err(run)?,
+                    "rejected.queue_capacity",
+                )
+                .map_err(run)?,
+                message: as_str(
+                    field(body, "message", "rejected").map_err(run)?,
+                    "rejected.message",
+                )
+                .map_err(run)?
+                .to_string(),
+            })
+        }
+        Some("error") if obj.len() == 1 => {
+            let body = entries(&obj[0].1, "error").map_err(run)?;
+            Ok(Response::Error {
+                message: as_str(
+                    field(body, "message", "error").map_err(run)?,
+                    "error.message",
+                )
+                .map_err(run)?
+                .to_string(),
+                usage: as_bool(field(body, "usage", "error").map_err(run)?, "error.usage")
+                    .map_err(run)?,
+            })
+        }
+        Some("metrics") if obj.len() == 1 => MetricsSnapshot::from_json(&obj[0].1)
+            .map(Response::Metrics)
+            .map_err(run),
+        Some("healthz") if obj.len() == 1 => Health::from_json(&obj[0].1)
+            .map(Response::Healthz)
+            .map_err(run),
+        Some("shutdown") if obj.len() == 1 => Ok(Response::Shutdown),
+        _ => Err(Error::Run(
+            "unrecognized response envelope (expected a report or one of \
+             rejected/error/metrics/healthz/shutdown)"
+                .to_string(),
+        )),
+    }
+}
+
+// ---- report decoding ----------------------------------------------------
+
+impl ReportLine {
+    /// Decodes the compile-side report fields back into a typed
+    /// [`Report`].
+    ///
+    /// The `fleet` section is **not** reconstructed (it stays `None`) —
+    /// fleet riders are batch/CLI workloads whose consumers read the
+    /// JSON tree directly via [`ReportLine::json`]. `seconds` is always
+    /// `0.0`: wall-clock timings never travel over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Run`] when the document does not have the pinned
+    /// report schema.
+    pub fn decode(&self) -> Result<Report, Error> {
+        decode_report(&self.json)
+    }
+}
+
+fn decode_report(doc: &Json) -> Result<Report, Error> {
+    let run = |e: Error| Error::Run(format!("malformed report: {e}"));
+    let obj = entries(doc, "report").map_err(run)?;
+    let get = |key: &str| field(obj, key, "report").map_err(run);
+
+    let schema = as_u64(get("schema")?, "report.schema").map_err(run)?;
+    if schema != rlim_service::REPORT_SCHEMA_VERSION {
+        return Err(Error::Run(format!(
+            "report schema {schema} does not match this client (expected {})",
+            rlim_service::REPORT_SCHEMA_VERSION
+        )));
+    }
+    let backend: BackendKind = as_str(get("backend")?, "report.backend")
+        .map_err(run)?
+        .parse()
+        .map_err(Error::Run)?;
+
+    let policy = entries(get("policy")?, "report.policy").map_err(run)?;
+    let pol = |key: &str| field(policy, key, "report.policy").map_err(run);
+    let options = CompileOptions {
+        rewriting: opt(pol("rewriting")?, |j| {
+            parse_algorithm(as_str(j, "policy.rewriting")?)
+        })
+        .map_err(run)?,
+        effort: as_usize(pol("effort")?, "policy.effort").map_err(run)?,
+        selection: parse_selection(as_str(pol("selection")?, "policy.selection").map_err(run)?)
+            .map_err(run)?,
+        allocation: parse_allocation(as_str(pol("allocation")?, "policy.allocation").map_err(run)?)
+            .map_err(run)?,
+        max_writes: opt(pol("max_writes")?, |j| as_u64(j, "policy.max_writes")).map_err(run)?,
+        peephole: as_bool(pol("peephole")?, "policy.peephole").map_err(run)?,
+    };
+
+    let circuit = entries(get("circuit")?, "report.circuit").map_err(run)?;
+    let cir = |key: &str| field(circuit, key, "report.circuit").map_err(run);
+    let circuit = CircuitSummary {
+        inputs: as_usize(cir("inputs")?, "circuit.inputs").map_err(run)?,
+        outputs: as_usize(cir("outputs")?, "circuit.outputs").map_err(run)?,
+        gates: as_usize(cir("gates")?, "circuit.gates").map_err(run)?,
+    };
+
+    let writes = entries(get("writes")?, "report.writes").map_err(run)?;
+    let wr = |key: &str| field(writes, key, "report.writes").map_err(run);
+    let writes = WriteStats {
+        min: as_u64(wr("min")?, "writes.min").map_err(run)?,
+        max: as_u64(wr("max")?, "writes.max").map_err(run)?,
+        mean: as_f64(wr("mean")?, "writes.mean").map_err(run)?,
+        stdev: as_f64(wr("stdev")?, "writes.stdev").map_err(run)?,
+        cells: as_usize(wr("cells")?, "writes.cells").map_err(run)?,
+        total: as_u64(get("total_writes")?, "report.total_writes").map_err(run)?,
+    };
+
+    let lifetime = entries(get("lifetime")?, "report.lifetime").map_err(run)?;
+    let lt = |key: &str| field(lifetime, key, "report.lifetime").map_err(run);
+    let lifetime = LifetimeProjection {
+        endurance: as_u64(lt("endurance")?, "lifetime.endurance").map_err(run)?,
+        single_array_runs: as_u64(lt("single_array_runs")?, "lifetime.single_array_runs")
+            .map_err(run)?,
+        fleet_arrays: as_usize(lt("fleet_arrays")?, "lifetime.fleet_arrays").map_err(run)?,
+        fleet_runs: as_u64(lt("fleet_runs")?, "lifetime.fleet_runs").map_err(run)?,
+    };
+
+    Ok(Report {
+        label: as_str(get("label")?, "report.label")
+            .map_err(run)?
+            .to_string(),
+        backend: backend.name(),
+        options,
+        circuit,
+        instructions: as_usize(get("instructions")?, "report.instructions").map_err(run)?,
+        rrams: as_usize(get("rrams")?, "report.rrams").map_err(run)?,
+        total_writes: writes.total,
+        writes,
+        lifetime,
+        program: opt(get("program")?, |j| {
+            as_str(j, "report.program").map(str::to_string)
+        })
+        .map_err(run)?,
+        fleet: None,
+        cached: as_bool(get("cached")?, "report.cached").map_err(run)?,
+        seconds: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlim_benchmarks::Benchmark;
+    use rlim_service::Service;
+
+    fn chaos_fleet_spec() -> JobSpec {
+        JobSpec::benchmark(Benchmark::Ctrl)
+            .with_backend(BackendKind::HostedRm3)
+            .with_options(CompileOptions::min_write().with_effort(2))
+            .with_program_text(true)
+            .with_projection_arrays(6)
+            .with_fleet(
+                FleetSpec::new(3)
+                    .with_jobs(12)
+                    .with_dispatch(DispatchPolicy::RoundRobin)
+                    .with_write_budget(9000)
+                    .with_input_seed(11)
+                    .with_chaos(
+                        ChaosSpec::new(7)
+                            .with_endurance_median(512.0)
+                            .with_endurance_sigma(0.375)
+                            .with_stuck_probability(0.02),
+                    ),
+            )
+    }
+
+    #[test]
+    fn spec_round_trip_is_exact() {
+        for spec in [
+            JobSpec::benchmark(Benchmark::Int2float),
+            JobSpec::blif_path("/tmp/adder.blif").with_backend(BackendKind::Imp),
+            chaos_fleet_spec(),
+        ] {
+            let line = encode_request(&Request::Job(Box::new(spec.clone()))).unwrap();
+            let decoded = match decode_request(&line).unwrap() {
+                Request::Job(decoded) => *decoded,
+                other => panic!("expected a job request, got {other:?}"),
+            };
+            assert_eq!(decoded, spec);
+            let again = encode_request(&Request::Job(Box::new(decoded))).unwrap();
+            assert_eq!(again, line, "re-encoding is byte-identical");
+        }
+    }
+
+    #[test]
+    fn verbs_round_trip() {
+        for (request, verb) in [
+            (Request::Metrics, "{\"verb\":\"metrics\"}"),
+            (Request::Healthz, "{\"verb\":\"healthz\"}"),
+            (Request::Shutdown, "{\"verb\":\"shutdown\"}"),
+        ] {
+            let line = encode_request(&request).unwrap();
+            assert_eq!(line, verb);
+            assert_eq!(decode_request(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn mig_specs_are_not_wire_expressible() {
+        let spec = JobSpec::mig(rlim_mig::Mig::new(2));
+        let err = encode_request(&Request::Job(Box::new(spec))).unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_requests_are_usage_errors() {
+        for garbage in [
+            "",
+            "not json",
+            "{\"verb\":\"job\"}",
+            "{\"verb\":\"launch\"}",
+            "{\"verb\":\"metrics\",\"spec\":{}}",
+            "{\"spec\":{}}",
+            "{\"verb\":\"job\",\"spec\":{\"source\":{\"benchmark\":\"nonesuch\"}}}",
+            "[1,2,3]",
+            "{\"verb\":\"job\",\"spec\":{\"source\":{\"benchmark\":\"ctrl\"},\"backend\":\"rm3\",\"options\":{\"rewriting\":null,\"effort\":5,\"selection\":\"topological\",\"allocation\":\"lifo\",\"max_writes\":2,\"peephole\":false},\"fleet\":null,\"program\":false,\"projection_arrays\":4}}",
+        ] {
+            let err = decode_request(garbage).expect_err(garbage);
+            assert!(err.is_usage(), "{garbage}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_and_missing_keys() {
+        let mut line = encode_request(&Request::Job(Box::new(chaos_fleet_spec()))).unwrap();
+        line = line.replace("\"jobs\":12", "\"jobs\":12,\"surprise\":1");
+        assert!(decode_request(&line).unwrap_err().is_usage());
+        let line = encode_request(&Request::Job(Box::new(chaos_fleet_spec())))
+            .unwrap()
+            .replace("\"recovery\":true,", "");
+        assert!(decode_request(&line).unwrap_err().is_usage());
+    }
+
+    #[test]
+    fn report_lines_decode_back_to_typed_reports() {
+        let spec = JobSpec::benchmark(Benchmark::Ctrl)
+            .with_options(CompileOptions::naive())
+            .with_program_text(true);
+        let report = Service::new().run(&spec).unwrap();
+        let line = report.to_json().render_compact();
+        let response = decode_response(&line).unwrap();
+        let report_line = match response {
+            Response::Report(r) => r,
+            other => panic!("expected a report, got {other:?}"),
+        };
+        assert_eq!(report_line.line, line);
+        let decoded = report_line.decode().unwrap();
+        // Write statistics travel at the report's rendered precision, so
+        // typed equality is checked through a re-render: decoding and
+        // re-encoding must reproduce the exact line.
+        assert_eq!(decoded.to_json().render_compact(), line);
+        assert_eq!(decoded.label, report.label);
+        assert_eq!(decoded.backend, report.backend);
+        assert_eq!(decoded.instructions, report.instructions);
+        assert_eq!(decoded.rrams, report.rrams);
+        assert_eq!(decoded.program, report.program);
+        assert_eq!(decoded.lifetime, report.lifetime);
+        assert!(!decoded.cached);
+    }
+
+    #[test]
+    fn response_envelopes_decode() {
+        match decode_response(&rejected_line(4, 4, "job queue full")).unwrap() {
+            Response::Rejected {
+                queue_depth,
+                queue_capacity,
+                message,
+            } => {
+                assert_eq!((queue_depth, queue_capacity), (4, 4));
+                assert_eq!(message, "job queue full");
+            }
+            other => panic!("{other:?}"),
+        }
+        match decode_response(&error_line(&Error::UnknownBenchmark("x".into()))).unwrap() {
+            Response::Error { message, usage } => {
+                assert_eq!(message, "unknown benchmark `x`");
+                assert!(usage);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            decode_response(&shutdown_line()).unwrap(),
+            Response::Shutdown
+        );
+        assert!(decode_response("{\"weird\":1}").is_err());
+        assert!(decode_response("garbage").is_err());
+    }
+}

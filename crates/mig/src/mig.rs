@@ -394,6 +394,43 @@ impl Mig {
         let live = self.live_mask();
         self.gates().filter(|g| live[g.index()]).count()
     }
+
+    /// A 128-bit structural fingerprint: two independent FxHash-style
+    /// streams over the input count, every gate's child triple (in
+    /// topological node order) and the primary-output list.
+    ///
+    /// Two graphs built by the same construction sequence fingerprint
+    /// identically, so a benchmark rebuilt in another process — or a
+    /// BLIF netlist re-parsed by a long-running daemon — lands on the
+    /// same value. This is the source half of the daemon's compile-cache
+    /// key; 128 bits keep accidental collisions negligible for any
+    /// realistic cache population.
+    pub fn fingerprint(&self) -> u128 {
+        // Same multiplier as the strash (FxHash's 64-bit constant); the
+        // two lanes differ by seed and rotation so they never collapse
+        // into one 64-bit stream.
+        const FX: u64 = 0x517c_c1b7_2722_0a95;
+        fn mix(h: u64, word: u64, rot: u32) -> u64 {
+            (h.rotate_left(rot) ^ word).wrapping_mul(FX)
+        }
+        let mut a = 0x243f_6a88_85a3_08d3u64;
+        let mut b = 0x1319_8a2e_0370_7344u64;
+        let mut absorb = |word: u64| {
+            a = mix(a, word, 5);
+            b = mix(b, word, 23);
+        };
+        absorb(self.num_inputs as u64);
+        absorb(self.outputs.len() as u64);
+        for children in &self.nodes[self.num_inputs as usize + 1..] {
+            let [x, y, z] = children;
+            absorb(u64::from(x.raw()) | (u64::from(y.raw()) << 32));
+            absorb(u64::from(z.raw()));
+        }
+        for s in &self.outputs {
+            absorb(u64::from(s.raw()));
+        }
+        (u128::from(a) << 64) | u128::from(b)
+    }
 }
 
 impl fmt::Display for Mig {
@@ -422,6 +459,28 @@ mod tests {
         assert_eq!(mig.kind(NodeId::CONST), NodeKind::Constant);
         assert_eq!(mig.kind(NodeId::new(1)), NodeKind::Input(0));
         assert_eq!(mig.kind(NodeId::new(2)), NodeKind::Input(1));
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let build = |complement: bool| {
+            let mut mig = Mig::new(3);
+            let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+            let g = mig.add_maj(a, if complement { !b } else { b }, c);
+            mig.add_output(g);
+            mig
+        };
+        // Identical construction sequences fingerprint identically…
+        assert_eq!(build(false).fingerprint(), build(false).fingerprint());
+        // …and a single complemented edge separates them.
+        assert_ne!(build(false).fingerprint(), build(true).fingerprint());
+        // Output polarity and interface width matter too.
+        let mut flipped = build(false);
+        let out = flipped.outputs()[0];
+        flipped.outputs.clear();
+        flipped.add_output(!out);
+        assert_ne!(build(false).fingerprint(), flipped.fingerprint());
+        assert_ne!(Mig::new(2).fingerprint(), Mig::new(3).fingerprint());
     }
 
     #[test]

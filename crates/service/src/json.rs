@@ -9,7 +9,15 @@
 //! (documents render exactly in insertion order, so committed files stay
 //! diff-friendly) and per-value float precision (measurement files pin
 //! `{:.6}`-style formatting; statistics pin `{:.4}`). Rendering is
-//! pretty-printed with two-space indentation.
+//! pretty-printed with two-space indentation ([`Json::render`]) or
+//! single-line compact ([`Json::render_compact`] — the daemon's
+//! JSON-lines wire framing).
+//!
+//! Since the daemon also *receives* JSON off a socket, the module pairs
+//! the writer with a strict reader: [`parse`] turns one document back
+//! into a [`Json`] tree, preserving key order and float precision, so
+//! `parse(doc.render_compact())` reproduces `doc` exactly for every
+//! canonically rendered document.
 
 use std::fmt::Write as _;
 
@@ -130,6 +138,53 @@ impl Json {
         out
     }
 
+    /// Renders the value as one compact line — no spaces, no newlines.
+    ///
+    /// This is the framing of the daemon's wire protocol: one request or
+    /// response is exactly one `render_compact` line terminated by `\n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlim_service::json::Json;
+    ///
+    /// let doc = Json::object([("verb", Json::from("healthz"))]);
+    /// assert_eq!(doc.render_compact(), "{\"verb\":\"healthz\"}");
+    /// ```
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(key, out);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -214,6 +269,300 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// A [`parse`] failure: where in the input, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Maximum container nesting accepted by [`parse`] — a guard against
+/// stack exhaustion: the daemon feeds this parser untrusted lines
+/// straight off a socket.
+const MAX_DEPTH: usize = 128;
+
+/// Parses one JSON document into a [`Json`] tree.
+///
+/// The reader is the exact inverse of the writer on canonical output:
+/// object keys keep their input order, and a fractional number remembers
+/// how many decimal digits it was written with (`"1.250"` parses to
+/// `Json::float(1.25, 3)`), so `parse(doc.render_compact())` — or
+/// `parse(doc.render())` — reproduces `doc` for every document the
+/// writer can emit. Integers without a fraction become [`Json::UInt`]
+/// (or [`Json::Int`] when negative); exponent notation is rejected
+/// because the writer never produces it.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a byte offset on malformed input,
+/// out-of-range integers, nesting deeper than 128 levels, or trailing
+/// non-whitespace after the document.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than 128 levels"));
+        }
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.error(format!("unexpected byte 0x{c:02x}"))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(entries));
+        }
+        loop {
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        let mut start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.raw_slice(start));
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.raw_slice(start));
+                    self.pos += 1;
+                    out.push(self.escape_char()?);
+                    start = self.pos;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error("raw control character in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// The input between `start` and the cursor. Both ends sit on ASCII
+    /// delimiters (quote/backslash bytes never occur inside a UTF-8
+    /// multi-byte sequence), so the slice is always valid UTF-8.
+    fn raw_slice(&self, start: usize) -> &str {
+        std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii-delimited slice")
+    }
+
+    fn escape_char(&mut self) -> Result<char, ParseError> {
+        let c = self
+            .peek()
+            .ok_or_else(|| self.error("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => Ok('"'),
+            b'\\' => Ok('\\'),
+            b'/' => Ok('/'),
+            b'n' => Ok('\n'),
+            b'r' => Ok('\r'),
+            b't' => Ok('\t'),
+            b'b' => Ok('\u{8}'),
+            b'f' => Ok('\u{c}'),
+            b'u' => self.unicode_escape(),
+            other => Err(self.error(format!("unknown escape `\\{}`", other as char))),
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a paired `\uXXXX` low surrogate must follow.
+            self.eat(b'\\')?;
+            self.eat(b'u')?;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.error("expected a low surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.error("lone low surrogate"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.error("expected four hex digits")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        self.digits()?;
+        let mut precision = None;
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            precision = Some(self.digits()?);
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            return Err(self.error("exponent notation is not supported"));
+        }
+        let token = self.raw_slice(start);
+        match precision {
+            Some(precision) => {
+                let value: f64 = token.parse().map_err(|_| self.error("malformed number"))?;
+                Ok(Json::Float { value, precision })
+            }
+            None if negative => token
+                .parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.error("integer out of range")),
+            None => token
+                .parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|_| self.error("integer out of range")),
+        }
+    }
+
+    fn digits(&mut self) -> Result<usize, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            Err(self.error("expected a digit"))
+        } else {
+            Ok(self.pos - start)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +634,107 @@ mod tests {
     fn option_conversion() {
         assert_eq!(Json::from(Some(3u64)), Json::UInt(3));
         assert_eq!(Json::from(None::<u64>), Json::Null);
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line() {
+        let doc = Json::object([
+            ("schema", Json::from(1u64)),
+            ("xs", Json::array([1u64, 2])),
+            ("empty", Json::Array(Vec::new())),
+            ("name", Json::from("a\"b")),
+            ("mean", Json::float(2.5, 4)),
+            ("none", Json::Null),
+        ]);
+        assert_eq!(
+            doc.render_compact(),
+            "{\"schema\":1,\"xs\":[1,2],\"empty\":[],\"name\":\"a\\\"b\",\"mean\":2.5000,\"none\":null}"
+        );
+    }
+
+    #[test]
+    fn parse_inverts_both_renderings() {
+        let doc = Json::object([
+            ("schema", Json::from(4u64)),
+            ("label", Json::from("div")),
+            ("mean", Json::float(1.25, 4)),
+            ("median", Json::float(4096.0, 1)),
+            ("delta", Json::Int(-7)),
+            ("flags", Json::array([true, false])),
+            ("text", Json::from("Ω line\nbreak\ttab \"q\" \\")),
+            ("nothing", Json::Null),
+            (
+                "nested",
+                Json::object([
+                    ("xs", Json::Array(Vec::new())),
+                    ("o", Json::Object(Vec::new())),
+                ]),
+            ),
+        ]);
+        assert_eq!(parse(&doc.render_compact()).unwrap(), doc);
+        assert_eq!(parse(&doc.render()).unwrap(), doc);
+        // …and re-rendering the parse is byte-identical.
+        let line = doc.render_compact();
+        assert_eq!(parse(&line).unwrap().render_compact(), line);
+    }
+
+    #[test]
+    fn parse_preserves_float_precision() {
+        assert_eq!(parse("1.250").unwrap(), Json::float(1.25, 3));
+        assert_eq!(parse("4096.0").unwrap(), Json::float(4096.0, 1));
+        assert_eq!(parse("-0.25").unwrap(), Json::float(-0.25, 2));
+        assert_eq!(parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(parse("-42").unwrap(), Json::Int(-42));
+    }
+
+    #[test]
+    fn parse_handles_escapes() {
+        assert_eq!(
+            parse("\"a\\\"b\\\\c\\n\\t\\r\\/\\b\\f\"").unwrap(),
+            Json::Str("a\"b\\c\n\t\r/\u{8}\u{c}".to_string())
+        );
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".to_string()));
+        // Surrogate pair: U+1D11E (musical G clef).
+        assert_eq!(
+            parse("\"\\ud834\\udd1e\"").unwrap(),
+            Json::Str("\u{1d11e}".to_string())
+        );
+        assert!(parse("\"\\ud834\"").is_err(), "lone high surrogate");
+        assert!(parse("\"\\udd1e\"").is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for garbage in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "tru",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "1.2.3",
+            "1e9",
+            "01a",
+            "{} trailing",
+            "18446744073709551616",
+            "-9223372036854775809",
+            "\u{1}",
+        ] {
+            let err = parse(garbage).expect_err(garbage);
+            assert!(!err.message.is_empty());
+            assert!(err.to_string().contains("invalid JSON at byte"));
+        }
+    }
+
+    #[test]
+    fn parse_enforces_the_depth_limit() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
     }
 }

@@ -89,16 +89,34 @@ impl Default for Service {
     }
 }
 
-/// The compile-flow a backend kind routes through: RM3 and hosted-RM3
-/// produce identical programs, so they share one compile cache entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CompileClass {
+/// The compile-flow a backend kind routes through: RM3, hosted-RM3 and
+/// wide-RM3 execute the *same* compiled program, so they share one
+/// compile entry — both in [`Service::run_batch`]'s in-batch dedup and
+/// in the daemon's cross-request compile cache, whose key is
+/// `(source fingerprint, CompileClass, CompileOptions, riders)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompileClass {
+    /// The RM3 program pipeline (`rm3` / `hosted-rm3` / `rm3-wide`).
     Rm3,
+    /// The material-implication baseline pipeline (`imp`).
     Imp,
 }
 
+impl CompileClass {
+    /// The stable lowercase name used inside daemon cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompileClass::Rm3 => "rm3",
+            CompileClass::Imp => "imp",
+        }
+    }
+}
+
 impl BackendKind {
-    fn class(self) -> CompileClass {
+    /// The compile class this backend routes through. Kinds with the
+    /// same class always produce byte-identical programs for the same
+    /// source and options.
+    pub fn class(self) -> CompileClass {
         match self {
             BackendKind::Rm3 | BackendKind::HostedRm3 | BackendKind::WideRm3 => CompileClass::Rm3,
             BackendKind::Imp => CompileClass::Imp,
@@ -396,6 +414,7 @@ impl Service {
             lifetime,
             program: spec.includes_program().then(|| program.listing()),
             fleet,
+            cached: false,
             seconds: *seconds,
         })
     }

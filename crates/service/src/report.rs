@@ -12,7 +12,7 @@ use crate::json::Json;
 /// JSON schema version stamped into every serialized report. Bump when a
 /// key is added, removed or re-typed; the golden schema test pins the
 /// current shape.
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// The circuit interface behind a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +139,13 @@ pub struct Report {
     pub program: Option<String>,
     /// The fleet workload outcome, when the spec carried a rider.
     pub fleet: Option<FleetReport>,
+    /// Whether this report was served from a compile cache instead of a
+    /// fresh compile. Always `false` on reports straight out of
+    /// [`crate::Service`]; the daemon flips it on cache hits, and it is
+    /// the **only** field allowed to differ between a hit and the miss
+    /// that populated the entry (the daemon's cache counters live in its
+    /// `metrics` verb, not here, precisely to keep that guarantee).
+    pub cached: bool,
     /// Wall-clock seconds the compilation took. Excluded from the JSON
     /// serialization, which is fully deterministic.
     pub seconds: f64,
@@ -286,6 +293,7 @@ impl Report {
             ("lifetime", lifetime),
             ("program", Json::from(self.program.as_deref())),
             ("fleet", fleet),
+            ("cached", Json::Bool(self.cached)),
         ])
     }
 

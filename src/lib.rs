@@ -29,6 +29,10 @@
 //!   with a fluent builder goes in, a structured [`Report`] (with a
 //!   stable JSON serialization) comes out. The CLI, the evaluation
 //!   binaries and the bench runner are thin clients of this API.
+//! * [`daemon`] — `rlimd`, the concurrent compile-job daemon: a JSON-lines
+//!   TCP protocol over the service API with a bounded admission queue, a
+//!   worker pool, a structural-hash compile cache and graceful shutdown
+//!   (`rlim serve` / `rlim report --remote`).
 //!
 //! ## Quickstart
 //!
@@ -79,6 +83,7 @@
 
 pub use rlim_benchmarks as benchmarks;
 pub use rlim_compiler as compiler;
+pub use rlim_daemon as daemon;
 pub use rlim_imp as imp;
 pub use rlim_isa as isa;
 pub use rlim_mig as mig;

@@ -70,7 +70,8 @@ $.lifetime.single_array_runs: int
 $.lifetime.fleet_arrays: int
 $.lifetime.fleet_runs: int
 $.program: null
-$.fleet: null";
+$.fleet: null
+$.cached: bool";
 
 /// The additional shape when a fleet rider ran and a listing was
 /// requested: `program` becomes a string and `fleet` an object.
@@ -156,10 +157,13 @@ fn report_json_schema_with_fleet_and_program() {
     // The base schema with its trailing `program`/`fleet` nulls replaced
     // by the expanded shapes.
     let base: Vec<&str> = REPORT_SCHEMA.lines().collect();
-    assert_eq!(base[base.len() - 2..], ["$.program: null", "$.fleet: null"]);
+    assert_eq!(
+        base[base.len() - 3..],
+        ["$.program: null", "$.fleet: null", "$.cached: bool"]
+    );
     let expect = format!(
-        "{}\n{}",
-        base[..base.len() - 2].join("\n"),
+        "{}\n{}\n$.cached: bool",
+        base[..base.len() - 3].join("\n"),
         FLEET_SCHEMA_SUFFIX
     );
     assert_eq!(schema_of(&report), expect);
@@ -189,8 +193,8 @@ fn report_json_schema_with_chaos_fleet() {
     // Endurance-aware presets name a rewriting algorithm, the unbudgeted
     // fleet has null horizons, and chaos expands the `fault` null.
     let expect = format!(
-        "{}\n{}",
-        base[..base.len() - 2].join("\n"),
+        "{}\n{}\n$.cached: bool",
+        base[..base.len() - 3].join("\n"),
         FLEET_SCHEMA_SUFFIX
             .replace(
                 "$.fleet.remaining_jobs: int",
@@ -215,14 +219,15 @@ fn report_json_golden_document() {
     let report = Service::new().run(&spec).unwrap();
     let json = report.to_json_string();
     for needle in [
-        "\"schema\": 3,\n",
+        "\"schema\": 4,\n",
         "\"label\": \"int2float\",\n",
         "\"backend\": \"rm3\",\n",
         "\"preset\": \"naive\",\n",
         "\"rewriting\": null,\n",
         "\"endurance\": 10000000000,\n",
         "\"program\": null,\n",
-        "\"fleet\": null\n",
+        "\"fleet\": null,\n",
+        "\"cached\": false\n",
     ] {
         assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
     }
@@ -437,6 +442,130 @@ proptest! {
         let argv2 = report_argv(&reparsed).expect("still canonical");
         prop_assert_eq!(argv, argv2);
     }
+}
+
+// ---- Daemon wire-protocol goldens -----------------------------------------
+
+/// The exact request line for a plain job — one compact JSON object per
+/// line is the daemon's entire framing, so these bytes are the protocol.
+/// Bump deliberately alongside `REPORT_SCHEMA_VERSION`, never by
+/// accident.
+const JOB_REQUEST_GOLDEN: &str = "{\"verb\":\"job\",\"spec\":{\
+\"source\":{\"benchmark\":\"ctrl\"},\
+\"backend\":\"rm3\",\
+\"options\":{\"rewriting\":null,\"effort\":0,\"selection\":\"topological\",\
+\"allocation\":\"lifo\",\"max_writes\":null,\"peephole\":false},\
+\"fleet\":null,\"program\":false,\"projection_arrays\":4}}";
+
+/// The same spec with every rider attached: fleet, chaos (floats at
+/// their report precisions), program listing and projection override.
+const CHAOS_REQUEST_GOLDEN: &str = "{\"verb\":\"job\",\"spec\":{\
+\"source\":{\"benchmark\":\"ctrl\"},\
+\"backend\":\"rm3\",\
+\"options\":{\"rewriting\":null,\"effort\":0,\"selection\":\"topological\",\
+\"allocation\":\"lifo\",\"max_writes\":null,\"peephole\":false},\
+\"fleet\":{\"arrays\":2,\"jobs\":6,\"dispatch\":\"least-worn\",\
+\"write_budget\":null,\"input_seed\":7,\"simd\":false,\
+\"chaos\":{\"fault_seed\":3,\"endurance_median\":4096.0,\
+\"endurance_sigma\":0.2500,\"stuck_probability\":0.0100,\
+\"recovery\":true,\"spares\":8,\"max_faults\":64}},\
+\"program\":true,\"projection_arrays\":4}}";
+
+/// Satellite: the wire protocol is pinned byte-for-byte — request lines,
+/// control verbs and every response envelope. A daemon and a client
+/// from different builds must agree on these exact strings.
+#[test]
+fn daemon_wire_protocol_is_pinned() {
+    use rlim::daemon::{encode_request, Request};
+
+    let plain = JobSpec::benchmark(Benchmark::Ctrl).with_options(CompileOptions::naive());
+    assert_eq!(
+        encode_request(&Request::Job(Box::new(plain))).unwrap(),
+        JOB_REQUEST_GOLDEN
+    );
+
+    let chaos = JobSpec::benchmark(Benchmark::Ctrl)
+        .with_options(CompileOptions::naive())
+        .with_program_text(true)
+        .with_fleet(
+            FleetSpec::new(2)
+                .with_jobs(6)
+                .with_input_seed(7)
+                .with_chaos(rlim::service::ChaosSpec::new(3)),
+        );
+    assert_eq!(
+        encode_request(&Request::Job(Box::new(chaos))).unwrap(),
+        CHAOS_REQUEST_GOLDEN
+    );
+
+    assert_eq!(
+        encode_request(&Request::Metrics).unwrap(),
+        "{\"verb\":\"metrics\"}"
+    );
+    assert_eq!(
+        encode_request(&Request::Healthz).unwrap(),
+        "{\"verb\":\"healthz\"}"
+    );
+    assert_eq!(
+        encode_request(&Request::Shutdown).unwrap(),
+        "{\"verb\":\"shutdown\"}"
+    );
+}
+
+/// The response side of the wire pin: envelopes and the metrics payload.
+#[test]
+fn daemon_response_envelopes_are_pinned() {
+    use rlim::daemon::wire;
+    use rlim::daemon::{CacheStats, Health, MetricsSnapshot};
+    use rlim::Error;
+
+    assert_eq!(
+        wire::rejected_line(8, 8, "job queue full"),
+        "{\"rejected\":{\"queue_depth\":8,\"queue_capacity\":8,\
+\"message\":\"job queue full\"}}"
+    );
+    assert_eq!(
+        wire::error_line(&Error::UnknownBenchmark("nonesuch".into())),
+        format!(
+            "{{\"error\":{{\"message\":\"{}\",\"usage\":true}}}}",
+            Error::UnknownBenchmark("nonesuch".into())
+        )
+    );
+    assert_eq!(
+        wire::healthz_line(&Health {
+            ok: true,
+            accepting: true,
+            workers: 2,
+            queue_depth: 0,
+        }),
+        "{\"healthz\":{\"ok\":true,\"accepting\":true,\"workers\":2,\"queue_depth\":0}}"
+    );
+    assert_eq!(wire::shutdown_line(), "{\"shutdown\":{\"draining\":true}}");
+
+    let snapshot = MetricsSnapshot {
+        uptime_ticks: 5,
+        workers: 2,
+        workers_busy: 1,
+        queue_depth: 0,
+        queue_capacity: 8,
+        jobs_served: 3,
+        jobs_failed: 0,
+        jobs_rejected: 1,
+        cache: CacheStats {
+            entries: 2,
+            capacity: 256,
+            hits: 1,
+            misses: 2,
+            evictions: 0,
+        },
+    };
+    assert_eq!(
+        wire::metrics_line(&snapshot),
+        "{\"metrics\":{\"uptime_ticks\":5,\"workers\":2,\"workers_busy\":1,\
+\"queue_depth\":0,\"queue_capacity\":8,\"jobs_served\":3,\"jobs_failed\":0,\
+\"jobs_rejected\":1,\"cache\":{\"entries\":2,\"capacity\":256,\"hits\":1,\
+\"misses\":2,\"evictions\":0}}}"
+    );
 }
 
 #[test]
