@@ -161,6 +161,9 @@ struct FleetRow {
     instructions: u64,
     scalar_seconds: f64,
     simd_seconds: f64,
+    /// Per-cell write stats of the light (endurance-aware) program the
+    /// workload executes — deterministic compile-quality columns.
+    light_writes: rlim_rram::WriteStats,
 }
 
 impl FleetRow {
@@ -201,6 +204,8 @@ impl FleetRow {
             simd_seconds: self.simd_seconds,
             simd_ops_per_second: self.instructions as f64 / self.simd_seconds,
             speedup: self.scalar_seconds / self.simd_seconds,
+            max_cell_writes: self.light_writes.max,
+            write_stdev: self.light_writes.stdev,
         }
     }
 }
@@ -268,6 +273,7 @@ fn measure_fleet(
         instructions,
         scalar_seconds,
         simd_seconds,
+        light_writes: reports[1].writes,
     }
 }
 

@@ -51,6 +51,14 @@ pub struct BenchRecord {
     pub simd_ops_per_second: f64,
     /// `scalar_seconds / simd_seconds` — the word-level win this run.
     pub speedup: f64,
+    /// Peak per-cell write count of the workload's endurance-aware
+    /// program — the paper's "max writes" column for the compile the
+    /// fleet executes. Deterministic, unlike the wall-clock columns.
+    /// Zero on records from before the wear columns existed.
+    pub max_cell_writes: u64,
+    /// Write-count standard deviation of the same program (zero on
+    /// pre-wear-column records).
+    pub write_stdev: f64,
 }
 
 impl BenchRecord {
@@ -74,6 +82,8 @@ impl BenchRecord {
                 Json::float(self.simd_ops_per_second, 0),
             ),
             ("speedup", Json::float(self.speedup, 3)),
+            ("max_cell_writes", Json::from(self.max_cell_writes)),
+            ("write_stdev", Json::float(self.write_stdev, 4)),
         ])
     }
 }
@@ -171,6 +181,8 @@ fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
                 simd_seconds: 0.0,
                 simd_ops_per_second: 0.0,
                 speedup: 0.0,
+                max_cell_writes: 0,
+                write_stdev: 0.0,
             });
             continue;
         }
@@ -202,6 +214,10 @@ fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
             r.simd_ops_per_second = num(v)?;
         } else if let Some(v) = field(line, "speedup") {
             r.speedup = num(v)?;
+        } else if let Some(v) = field(line, "max_cell_writes") {
+            r.max_cell_writes = num(v)? as u64;
+        } else if let Some(v) = field(line, "write_stdev") {
+            r.write_stdev = num(v)?;
         }
     }
     if current.is_some() {
@@ -216,14 +232,35 @@ pub fn next_run(records: &[BenchRecord]) -> u64 {
 }
 
 /// The regression gate: `current` may not be more than `tolerance`
-/// (relative) slower than `previous` on either execution path. Returns
-/// the human-readable failure description on a regression.
+/// (relative) slower than `previous` on either execution path, and the
+/// deterministic wear columns (`max_cell_writes`, `write_stdev`) may not
+/// regress at all — they describe the compiled program, not the runner,
+/// so any growth is a compiler change, not noise. Returns the
+/// human-readable failure description on a regression.
 pub fn regression_gate(
     previous: &BenchRecord,
     current: &BenchRecord,
     tolerance: f64,
 ) -> Result<(), String> {
     let mut failures = Vec::new();
+    // Records committed before the wear columns existed parse as zero
+    // and carry nothing to guard against.
+    if previous.max_cell_writes > 0 {
+        if current.max_cell_writes > previous.max_cell_writes {
+            failures.push(format!(
+                "max per-cell writes regressed: {} > {} (run {})",
+                current.max_cell_writes, previous.max_cell_writes, previous.run
+            ));
+        }
+        // The committed value is rendered at 4 decimals; tolerate that
+        // rounding, nothing more.
+        if current.write_stdev > previous.write_stdev + 1e-3 {
+            failures.push(format!(
+                "write stdev regressed: {:.4} > {:.4} (run {})",
+                current.write_stdev, previous.write_stdev, previous.run
+            ));
+        }
+    }
     for (label, prev, cur) in [
         (
             "scalar",
@@ -269,6 +306,8 @@ mod tests {
             simd_seconds: 25_000_000.0 / simd,
             simd_ops_per_second: simd,
             speedup: simd / scalar,
+            max_cell_writes: 11,
+            write_stdev: 1.97,
         }
     }
 
@@ -344,5 +383,31 @@ mod tests {
         // Zero tolerance is a strict monotonicity gate.
         assert!(regression_gate(&prev, &prev, 0.0).is_ok());
         assert!(regression_gate(&prev, &record(2, 1.9e8, 4.0e9), 0.0).is_err());
+    }
+
+    #[test]
+    fn gate_guards_the_wear_columns_strictly() {
+        let prev = record(1, 2.0e8, 4.0e9);
+        // Same wear: fine. Better wear: fine.
+        assert!(regression_gate(&prev, &record(2, 2.0e8, 4.0e9), 0.5).is_ok());
+        let mut better = record(2, 2.0e8, 4.0e9);
+        better.max_cell_writes = 9;
+        better.write_stdev = 1.5;
+        assert!(regression_gate(&prev, &better, 0.5).is_ok());
+        // One more write on the hottest cell: trips, despite identical
+        // throughput — wear is deterministic, so there is no tolerance.
+        let mut worse = record(2, 2.0e8, 4.0e9);
+        worse.max_cell_writes = 12;
+        let err = regression_gate(&prev, &worse, 0.5).unwrap_err();
+        assert!(err.contains("max per-cell writes regressed"), "{err}");
+        let mut wider = record(2, 2.0e8, 4.0e9);
+        wider.write_stdev = 2.01;
+        let err = regression_gate(&prev, &wider, 0.5).unwrap_err();
+        assert!(err.contains("write stdev regressed"), "{err}");
+        // A pre-wear-column record (zeros) guards nothing.
+        let mut legacy = record(1, 2.0e8, 4.0e9);
+        legacy.max_cell_writes = 0;
+        legacy.write_stdev = 0.0;
+        assert!(regression_gate(&legacy, &worse, 0.5).is_ok());
     }
 }

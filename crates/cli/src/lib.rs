@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [--peephole]
-//!              [-o prog.plim]
+//!              [--copy-reuse] [-o prog.plim]
 //! rlim report  <benchmark|circuit.blif> [--policy P] [--backend B] [--json]
 //!              [--remote ADDR] …                     # --remote goes through a daemon
 //! rlim run     <prog.plim> --inputs 1011…            # execute on the simulated crossbar
@@ -100,14 +100,14 @@ rlim — endurance-aware logic-in-memory toolchain (DATE 2017 reproduction)
 
 usage:
   rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [--peephole]
-               [-o out.plim]
+               [--copy-reuse] [-o out.plim]
   rlim report  <benchmark|circuit.blif> [--policy P] [--max-writes W] [--effort N]
-               [--peephole] [--backend B] [--arrays N] [--program] [--json]
-               [--remote ADDR]
+               [--peephole] [--copy-reuse] [--backend B] [--arrays N] [--program]
+               [--json] [--remote ADDR]
   rlim run     <prog.plim> --inputs <bits>
   rlim stats   <prog.plim> [--wear-map]
   rlim bench   <benchmark> [--policy P] [--max-writes W] [--effort N] [--peephole]
-               [-o out.plim]
+               [--copy-reuse] [-o out.plim]
   rlim fleet   <benchmark> [--arrays N] [--jobs J] [--dispatch D] [--write-budget W]
                [--effort N] [--threads N] [--simd]
                [--chaos] [--fault-seed N] [--no-recovery]
@@ -120,6 +120,9 @@ policies: naive | plim21 | min-write | ea-rewriting | endurance-aware (default)
 backends: rm3 (default) | hosted-rm3 | rm3-wide | imp
 dispatch: round-robin | least-worn (default)
 --peephole runs the write-elision pass (never increases #I or any cell's writes)
+--copy-reuse turns on copy discovery: the translator reads values already
+        live in cells instead of re-materialising them, and keeps the reuse
+        schedule only when it is no worse on #I, max writes and stdev
 --simd packs same-program fleet jobs into 64-lane word-level passes
 --chaos injects seeded device faults (endurance variability + stuck-at cells);
         the fleet remaps broken cells to spares and retires faulty arrays,
@@ -177,6 +180,7 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
     let mut inputs = None;
     let mut wear_map = false;
     let mut peephole = false;
+    let mut copy_reuse = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -205,6 +209,7 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
             "--inputs" => inputs = Some(value_of("--inputs")?),
             "--wear-map" => wear_map = true,
             "--peephole" => peephole = true,
+            "--copy-reuse" => copy_reuse = true,
             other if other.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown flag `{other}`")));
             }
@@ -224,6 +229,9 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
     }
     if peephole {
         policy = policy.with_peephole(true);
+    }
+    if copy_reuse {
+        policy = policy.with_copy_reuse(true);
     }
     Ok(CommonOpts {
         policy,
@@ -418,6 +426,9 @@ pub fn report_argv(spec: &JobSpec) -> Result<Vec<String>, CliError> {
     if options.peephole {
         argv.push("--peephole".to_string());
     }
+    if options.copy_reuse {
+        argv.push("--copy-reuse".to_string());
+    }
     if spec.backend() != BackendKind::Rm3 {
         argv.push("--backend".to_string());
         argv.push(spec.backend().name().to_string());
@@ -443,7 +454,7 @@ fn render_report_text(report: &Report) -> String {
     let policy = report.options.preset_name().unwrap_or("custom");
     let _ = writeln!(
         out,
-        "backend {}, policy {}, effort {}{}{}",
+        "backend {}, policy {}, effort {}{}{}{}",
         report.backend,
         policy,
         report.options.effort,
@@ -453,6 +464,11 @@ fn render_report_text(report: &Report) -> String {
         },
         if report.options.peephole {
             ", peephole"
+        } else {
+            ""
+        },
+        if report.options.copy_reuse {
+            ", copy-reuse"
         } else {
             ""
         }
@@ -1146,11 +1162,22 @@ mod tests {
         assert!(text.contains("lifetime:"), "{text}");
 
         let json = run_str(&["report", "int2float", "--policy", "naive", "--json"]).unwrap();
-        assert!(json.starts_with("{\n  \"schema\": 4,"), "{json}");
+        assert!(json.starts_with("{\n  \"schema\": 5,"), "{json}");
         assert!(json.contains("\"label\": \"int2float\""), "{json}");
         assert!(json.contains("\"preset\": \"naive\""), "{json}");
         assert!(json.contains("\"cached\": false"), "{json}");
         assert!(json.ends_with("}\n"), "trailing newline expected");
+    }
+
+    #[test]
+    fn report_copy_reuse_flag_reaches_the_policy_line() {
+        let text = run_str(&["report", "int2float", "--copy-reuse"]).unwrap();
+        assert!(text.contains(", copy-reuse"), "{text}");
+        let off = run_str(&["report", "int2float"]).unwrap();
+        assert!(!off.contains("copy-reuse"), "{off}");
+
+        let json = run_str(&["report", "int2float", "--copy-reuse", "--json"]).unwrap();
+        assert!(json.contains("\"copy_reuse\": true"), "{json}");
     }
 
     #[test]
@@ -1266,6 +1293,7 @@ mod tests {
             "--effort".to_string(),
             "3".to_string(),
             "--peephole".to_string(),
+            "--copy-reuse".to_string(),
             "--program".to_string(),
         ])
         .unwrap();

@@ -127,6 +127,23 @@ impl CellManager {
         id
     }
 
+    /// Whether `cell` is currently in the free pool.
+    pub fn is_free(&self, cell: CellId) -> bool {
+        self.is_free[cell.index()]
+    }
+
+    /// Claims a specific free cell out of the pool (the copy-reuse
+    /// translator pins cached holders this way). The cell's pool entry is
+    /// left behind and skipped lazily, like a stale heap entry.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the cell is not free.
+    pub fn take(&mut self, cell: CellId) {
+        debug_assert!(self.is_free[cell.index()], "take of non-free {cell}");
+        self.is_free[cell.index()] = false;
+    }
+
     /// Requests a cell that can absorb `budget` writes. Freed cells are
     /// preferred (policy-dependent choice); a fresh cell is created when the
     /// pool has no fitting candidate.
@@ -134,15 +151,18 @@ impl CellManager {
         match self.allocation {
             Allocation::Lifo => {
                 // Take the most recently freed cell that fits the budget.
+                // Entries can be stale after `take` — skip non-free ones.
                 if self.max_writes.is_none() {
-                    if let Some(cell) = self.free_stack.pop() {
-                        self.is_free[cell.index()] = false;
-                        return cell;
+                    while let Some(cell) = self.free_stack.pop() {
+                        if self.is_free[cell.index()] {
+                            self.is_free[cell.index()] = false;
+                            return cell;
+                        }
                     }
                 } else if let Some(pos) = self
                     .free_stack
                     .iter()
-                    .rposition(|&c| self.fits_budget(c, budget))
+                    .rposition(|&c| self.is_free[c.index()] && self.fits_budget(c, budget))
                 {
                     let cell = self.free_stack.remove(pos);
                     self.is_free[cell.index()] = false;
@@ -169,6 +189,60 @@ impl CellManager {
                     return cell;
                 }
                 self.alloc_fresh()
+            }
+        }
+    }
+
+    /// Like [`CellManager::alloc`], but free cells rejected by `avoid` are
+    /// skipped and `None` is returned instead of creating a fresh cell.
+    ///
+    /// This is the spilling hook: the copy-reuse translator avoids free
+    /// cells that still cache useful values, and on `None` falls back to
+    /// [`CellManager::alloc_fresh`] — a cold spare row with zero wear, the
+    /// least-worn choice by definition — rather than clobbering the cache.
+    pub fn try_alloc_avoiding(
+        &mut self,
+        budget: u64,
+        mut avoid: impl FnMut(CellId) -> bool,
+    ) -> Option<CellId> {
+        match self.allocation {
+            Allocation::Lifo => {
+                let pos = self.free_stack.iter().rposition(|&c| {
+                    self.is_free[c.index()] && self.fits_budget(c, budget) && !avoid(c)
+                })?;
+                let cell = self.free_stack.remove(pos);
+                self.is_free[cell.index()] = false;
+                Some(cell)
+            }
+            Allocation::MinWrite => {
+                // Pop lazily as in `alloc`; avoided-but-valid entries are
+                // parked and re-pushed so the pool is left intact.
+                let mut parked: Vec<Reverse<(u64, u32)>> = Vec::new();
+                let mut found = None;
+                while let Some(&Reverse((count, raw))) = self.free_heap.peek() {
+                    let cell = CellId::new(raw);
+                    if !self.is_free[cell.index()] || self.writes[cell.index()] != count {
+                        self.free_heap.pop();
+                        continue;
+                    }
+                    // Counts are heap-ordered: if the minimum does not fit
+                    // the budget, nothing does.
+                    if !self.fits_budget(cell, budget) {
+                        break;
+                    }
+                    self.free_heap.pop();
+                    if avoid(cell) {
+                        parked.push(Reverse((count, raw)));
+                        continue;
+                    }
+                    self.is_free[cell.index()] = false;
+                    found = Some(cell);
+                    break;
+                }
+                for entry in parked {
+                    self.free_heap.push(entry);
+                }
+                found
             }
         }
     }
@@ -314,6 +388,72 @@ mod tests {
         let a = m.alloc(1);
         write_n(&mut m, a, 1_000_000);
         assert!(m.fits_budget(a, u64::MAX / 2));
+    }
+
+    #[test]
+    fn take_pins_a_specific_cell_and_pool_skips_its_stale_entry() {
+        for allocation in [Allocation::Lifo, Allocation::MinWrite] {
+            let mut m = CellManager::new(allocation, None);
+            let a = m.alloc(1);
+            let b = m.alloc(1);
+            write_n(&mut m, a, 1);
+            m.release(a);
+            m.release(b);
+            assert!(m.is_free(a) && m.is_free(b));
+            // Pin `a` out of band; the pool must never hand it out again
+            // even though its entry is still queued.
+            m.take(a);
+            assert!(!m.is_free(a));
+            assert_eq!(m.alloc(1), b, "{allocation:?}");
+            let fresh = m.alloc(1);
+            assert_eq!(m.num_cells(), 3, "stale entry skipped, fresh cell");
+            assert_ne!(fresh, a);
+        }
+    }
+
+    #[test]
+    fn take_then_release_keeps_the_pool_consistent() {
+        for allocation in [Allocation::Lifo, Allocation::MinWrite] {
+            let mut m = CellManager::new(allocation, None);
+            let a = m.alloc(1);
+            m.release(a);
+            m.take(a);
+            m.release(a); // back in the pool, duplicate entry behind it
+            assert_eq!(m.alloc(1), a, "{allocation:?}");
+            assert!(!m.is_free(a));
+            let b = m.alloc(1);
+            assert_ne!(b, a, "consumed duplicate must not resurrect a");
+        }
+    }
+
+    #[test]
+    fn try_alloc_avoiding_skips_protected_cells() {
+        for allocation in [Allocation::Lifo, Allocation::MinWrite] {
+            let mut m = CellManager::new(allocation, None);
+            let a = m.alloc(1);
+            let b = m.alloc(1);
+            write_n(&mut m, a, 1);
+            write_n(&mut m, b, 2);
+            m.release(a);
+            m.release(b);
+            let got = m.try_alloc_avoiding(1, |c| c == a);
+            assert_eq!(got, Some(b), "{allocation:?}");
+            // Only the protected cell remains: no candidate at all.
+            assert_eq!(m.try_alloc_avoiding(1, |c| c == a), None);
+            // The protected cell is still free and allocatable normally.
+            assert!(m.is_free(a));
+            assert_eq!(m.alloc(1), a);
+        }
+    }
+
+    #[test]
+    fn try_alloc_avoiding_respects_budgets() {
+        let mut m = CellManager::new(Allocation::MinWrite, Some(4));
+        let a = m.alloc(1);
+        write_n(&mut m, a, 3);
+        m.release(a); // only 1 write left
+        assert_eq!(m.try_alloc_avoiding(2, |_| false), None);
+        assert_eq!(m.try_alloc_avoiding(1, |_| false), Some(a));
     }
 
     #[test]

@@ -58,6 +58,12 @@ impl CompileResult {
 /// Compiles an MIG into a PLiM program under the given options, running
 /// the standard pass pipeline.
 ///
+/// With [`CompileOptions::with_copy_reuse`] enabled the pipeline runs
+/// twice — once with copy discovery and once without — and the reuse
+/// schedule is kept only when its wear profile is pointwise no worse
+/// (`#I`, peak per-cell writes, write STDEV), so the option can only
+/// improve the paper's endurance metrics.
+///
 /// # Examples
 ///
 /// ```
@@ -74,7 +80,28 @@ impl CompileResult {
 /// assert_eq!(result.num_rrams(), 3);
 /// ```
 pub fn compile(mig: &Mig, options: &CompileOptions) -> CompileResult {
-    PassManager::standard(options).run(mig, options)
+    let result = PassManager::standard(options).run(mig, options);
+    if !options.copy_reuse {
+        return result;
+    }
+    // Wear-aware selection: copy discovery always removes instructions,
+    // but on graphs with little reuse the elided materialisations double
+    // as implicit wear leveling, and dropping them can worsen the write
+    // distribution. Compile the baseline schedule too and keep the reuse
+    // one only when its wear profile is pointwise no worse — so enabling
+    // `copy_reuse` never degrades `#I`, peak writes, or balance.
+    let baseline_options = options.with_copy_reuse(false);
+    let mut baseline = PassManager::standard(&baseline_options).run(mig, &baseline_options);
+    let (reused_stats, baseline_stats) = (result.write_stats(), baseline.write_stats());
+    if result.num_instructions() <= baseline.num_instructions()
+        && reused_stats.max <= baseline_stats.max
+        && reused_stats.stdev <= baseline_stats.stdev
+    {
+        result
+    } else {
+        baseline.options = *options;
+        baseline
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +138,14 @@ mod tests {
             CompileOptions::endurance_aware().with_max_writes(3),
             CompileOptions::endurance_aware().with_peephole(true),
             CompileOptions::naive().with_peephole(true),
+            CompileOptions::endurance_aware().with_copy_reuse(true),
+            CompileOptions::naive().with_copy_reuse(true),
+            CompileOptions::endurance_aware()
+                .with_copy_reuse(true)
+                .with_peephole(true),
+            CompileOptions::endurance_aware()
+                .with_max_writes(10)
+                .with_copy_reuse(true),
         ]
     }
 
@@ -230,16 +265,20 @@ mod tests {
         let mig = generate(&cfg, 11);
         for limit in [3, 10, 20] {
             for peephole in [false, true] {
-                let opts = CompileOptions::endurance_aware()
-                    .with_max_writes(limit)
-                    .with_peephole(peephole);
-                let r = compile(&mig, &opts);
-                let counts = r.program.write_counts();
-                assert!(
-                    counts.iter().all(|&c| c <= limit),
-                    "limit {limit} violated (peephole {peephole}): max {}",
-                    counts.iter().max().unwrap()
-                );
+                for copy_reuse in [false, true] {
+                    let opts = CompileOptions::endurance_aware()
+                        .with_max_writes(limit)
+                        .with_peephole(peephole)
+                        .with_copy_reuse(copy_reuse);
+                    let r = compile(&mig, &opts);
+                    let counts = r.program.write_counts();
+                    assert!(
+                        counts.iter().all(|&c| c <= limit),
+                        "limit {limit} violated (peephole {peephole}, \
+                         copy_reuse {copy_reuse}): max {}",
+                        counts.iter().max().unwrap()
+                    );
+                }
             }
         }
     }
@@ -298,6 +337,47 @@ mod tests {
         let stats = r.write_stats();
         assert_eq!(stats.cells, r.num_rrams());
         assert_eq!(stats.total as usize, r.num_instructions());
+    }
+
+    #[test]
+    fn copy_reuse_never_grows_instructions_on_random_graphs() {
+        // Copy discovery only replaces materialisation chains with reads
+        // of existing holders, so `#I` can only shrink; `#R` may move in
+        // either direction (spilling adds cold cells, chain elision and
+        // PO reuse remove them).
+        use rlim_mig::random::{generate, RandomMigConfig};
+        let cfg = RandomMigConfig {
+            inputs: 8,
+            outputs: 6,
+            gates: 250,
+            ..Default::default()
+        };
+        for seed in 0..4 {
+            let mig = generate(&cfg, seed);
+            for base in [
+                CompileOptions::naive(),
+                CompileOptions::plim_compiler(),
+                CompileOptions::endurance_aware(),
+            ] {
+                let off = compile(&mig, &base);
+                let on = compile(&mig, &base.with_copy_reuse(true));
+                assert!(
+                    on.num_instructions() <= off.num_instructions(),
+                    "copy reuse grew #I on seed {seed}"
+                );
+                // Wear-aware selection: the reuse schedule is only kept
+                // when pointwise no worse, so these hold on every input.
+                let (on_stats, off_stats) = (on.write_stats(), off.write_stats());
+                assert!(
+                    on_stats.max <= off_stats.max,
+                    "copy reuse raised peak writes on seed {seed}"
+                );
+                assert!(
+                    on_stats.stdev <= off_stats.stdev,
+                    "copy reuse worsened balance on seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

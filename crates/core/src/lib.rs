@@ -59,6 +59,7 @@ mod peephole;
 mod pipeline;
 mod select;
 mod translate;
+pub mod values;
 
 pub use backend::{Backend, HostedRm3Backend, ImpBackend, Rm3Backend, WideRm3Backend};
 pub use cells::CellManager;

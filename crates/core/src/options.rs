@@ -66,6 +66,15 @@ pub struct CompileOptions {
     /// configuration columns; turning it on can only shrink `#I` and
     /// per-cell write counts, never grow them.
     pub peephole: bool,
+    /// Register-allocation-style copy discovery in the translator: track
+    /// which cells already hold which value (constants, copies,
+    /// complements), read operands from existing holders instead of
+    /// re-materialising them, reuse free cached cells as destinations
+    /// least-worn-first, and spill still-useful cells to cold spare rows
+    /// instead of recycling them under write pressure. Off by default so
+    /// the emitted programs stay bit-for-bit comparable with the paper's
+    /// configuration columns.
+    pub copy_reuse: bool,
 }
 
 impl Default for CompileOptions {
@@ -85,6 +94,7 @@ impl CompileOptions {
             allocation: Allocation::Lifo,
             max_writes: None,
             peephole: false,
+            copy_reuse: false,
         }
     }
 
@@ -98,6 +108,7 @@ impl CompileOptions {
             allocation: Allocation::Lifo,
             max_writes: None,
             peephole: false,
+            copy_reuse: false,
         }
     }
 
@@ -151,6 +162,13 @@ impl CompileOptions {
     /// Enables or disables the peephole write-elision pass.
     pub fn with_peephole(mut self, peephole: bool) -> Self {
         self.peephole = peephole;
+        self
+    }
+
+    /// Enables or disables copy discovery + spilling-aware allocation in
+    /// the translator (see [`CompileOptions::copy_reuse`]).
+    pub fn with_copy_reuse(mut self, copy_reuse: bool) -> Self {
+        self.copy_reuse = copy_reuse;
         self
     }
 
@@ -274,6 +292,7 @@ mod tests {
             // Per-run modifiers keep the preset identity.
             assert_eq!(preset.with_effort(9).preset_name(), Some(name));
             assert_eq!(preset.with_peephole(true).preset_name(), Some(name));
+            assert_eq!(preset.with_copy_reuse(true).preset_name(), Some(name));
             assert_eq!(preset.with_max_writes(20).preset_name(), Some(name));
         }
         assert_eq!(CompileOptions::preset("nonesuch"), None);
@@ -300,8 +319,11 @@ mod tests {
             CompileOptions::endurance_aware(),
         ] {
             assert!(!preset.peephole, "paper columns exclude the peephole");
+            assert!(!preset.copy_reuse, "paper columns exclude copy reuse");
         }
         let on = CompileOptions::endurance_aware().with_peephole(true);
         assert!(on.peephole);
+        let reuse = CompileOptions::endurance_aware().with_copy_reuse(true);
+        assert!(reuse.copy_reuse);
     }
 }

@@ -33,9 +33,10 @@
 //! dropped.
 
 use rlim_isa::{Isa, Program as IsaProgram};
-use rlim_plim::{Instruction, Operand, Program};
+use rlim_plim::{Instruction, Program};
 
 use crate::pipeline::{Pass, PipelineState};
+use crate::values::{chain_result, Values};
 
 /// Runs [`elide_redundant_writes`] and then the generic
 /// [`elide_dead_writes`] over the pipeline's emitted program.
@@ -51,107 +52,6 @@ impl Pass for PeepholePass {
         let program = state.program.as_mut().expect("peephole needs a program");
         elide_redundant_writes(program);
         elide_dead_writes(program);
-    }
-}
-
-/// Abstract value id. Ids are allocated in complement pairs: `v ^ 1` is
-/// always the inverse of `v`, with `FALSE = 0` and `TRUE = 1` seeding the
-/// constant pair. Equal ids imply equal concrete values; unequal ids
-/// imply nothing.
-type ValueId = u64;
-
-const FALSE: ValueId = 0;
-const TRUE: ValueId = 1;
-
-struct Values {
-    /// Abstract value per cell.
-    cell: Vec<ValueId>,
-    next: ValueId,
-}
-
-impl Values {
-    fn new(num_cells: usize) -> Self {
-        // Every cell starts as its own opaque unknown (ids 2, 4, 6, …).
-        let cell: Vec<ValueId> = (0..num_cells as u64).map(|i| 2 + 2 * i).collect();
-        let next = 2 + 2 * num_cells as u64;
-        Values { cell, next }
-    }
-
-    fn fresh(&mut self) -> ValueId {
-        let id = self.next;
-        self.next += 2;
-        id
-    }
-
-    fn of(&self, op: Operand) -> ValueId {
-        match op {
-            Operand::Const(false) => FALSE,
-            Operand::Const(true) => TRUE,
-            Operand::Cell(c) => self.cell[c.index()],
-        }
-    }
-
-    /// Abstract result of `z ← ⟨p, q̄, z⟩` given the operand values.
-    /// Returns a known id when the majority collapses, a fresh unknown
-    /// otherwise.
-    fn rm3_result(&mut self, inst: &Instruction) -> ValueId {
-        let p = self.of(inst.p);
-        let q = self.of(inst.q);
-        let z = self.cell[inst.z.index()];
-        let q_inv = q ^ 1; // value actually fed into the majority
-        if p == q_inv {
-            // ⟨x, x, z⟩ = x (covers set0/set1: ⟨b, b, z⟩ = b).
-            p
-        } else if p == z {
-            // ⟨x, q̄, x⟩ = x.
-            p
-        } else if q_inv == z {
-            // ⟨p, x, x⟩ = x.
-            z
-        } else if p == q {
-            // q̄ = p̄: ⟨x, x̄, z⟩ = z — a write of the old value.
-            z
-        } else if z == FALSE {
-            // ⟨p, q̄, 0⟩ = p ∧ q̄.
-            match (p, q) {
-                (_, FALSE) => p, // p ∧ 1 = p
-                (FALSE, _) | (_, TRUE) => FALSE,
-                _ => self.fresh(),
-            }
-        } else if z == TRUE {
-            // ⟨p, q̄, 1⟩ = p ∨ q̄.
-            match (p, q) {
-                (_, TRUE) => p, // p ∨ 0 = p
-                (TRUE, _) | (_, FALSE) => TRUE,
-                (FALSE, _) => q ^ 1, // 0 ∨ q̄ = q̄
-                _ => self.fresh(),
-            }
-        } else {
-            self.fresh()
-        }
-    }
-}
-
-/// The result a `set; load` chain into `chain[0].z` computes, when the
-/// two instructions form the translator's `copy` / `copy_inv` recipe.
-fn chain_result(first: &Instruction, second: &Instruction, values: &Values) -> Option<ValueId> {
-    if first.z != second.z {
-        return None;
-    }
-    match (first.p, first.q, second.p, second.q) {
-        // copy: set0(c); RM3(s, 0, c) = value(s).
-        (Operand::Const(false), Operand::Const(true), Operand::Cell(s), Operand::Const(false))
-            if s != first.z =>
-        {
-            Some(values.cell[s.index()])
-        }
-        // copy_inv: set1(c); RM3(0, s, c) = !value(s).
-        (Operand::Const(true), Operand::Const(false), Operand::Const(false), Operand::Cell(s))
-            if s != first.z =>
-        {
-            Some(values.cell[s.index()] ^ 1)
-        }
-        _ => None,
     }
 }
 
@@ -173,18 +73,18 @@ pub fn elide_redundant_writes(program: &mut Program) -> usize {
         // invisible to the single-instruction rule.
         if i + 1 < instructions.len() {
             if let Some(result) = chain_result(&inst, &instructions[i + 1], &values) {
-                if values.cell[inst.z.index()] == result {
+                if values.get(inst.z) == Some(result) {
                     i += 2; // both halves elided: the cell already holds it
                     continue;
                 }
             }
         }
         let result = values.rm3_result(&inst);
-        if values.cell[inst.z.index()] == result {
+        if values.get(inst.z) == Some(result) {
             i += 1; // write of the value already present: elide
             continue;
         }
-        values.cell[inst.z.index()] = result;
+        values.set(inst.z, result);
         kept.push(inst);
         i += 1;
     }
@@ -254,6 +154,7 @@ pub fn elide_dead_writes<I: Isa>(program: &mut IsaProgram<I>) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rlim_plim::Operand;
     use rlim_rram::CellId;
 
     fn c(i: u32) -> CellId {

@@ -31,6 +31,32 @@
 //! The translation order is an input: [`TranslatePass`] consumes the
 //! schedule produced by [`crate::pipeline::SchedulePass`] and is otherwise
 //! oblivious to the selection policy.
+//!
+//! ## Copy discovery and spilling (`CompileOptions::copy_reuse`)
+//!
+//! With copy-reuse enabled the translator additionally runs the
+//! [`crate::values`] abstract-value analysis *while emitting* and treats
+//! the crossbar like a register file (see ARCHITECTURE.md, "Allocation as
+//! register allocation"):
+//!
+//! * **copy discovery** — a role that would re-materialise a value
+//!   already cached in some cell (typically a parked `copy_inv` temp of a
+//!   multi-fanout complemented edge) reads that cell instead, eliding the
+//!   whole 2-instruction chain;
+//! * **constant mapping** — a destination that would allocate-and-set a
+//!   constant (or re-copy a value) takes a *free* cell already holding it,
+//!   chosen least-worn-first, eliding the setup writes;
+//! * **spilling** — pool allocations skip free cells whose cached value a
+//!   still-live node may want again, falling back to a fresh zero-wear
+//!   cell (a cold spare row) instead of clobbering the cache.
+//!
+//! All reuse decisions are re-validated against the tracker at emission
+//! time, and cells start as opaque unknowns — a copy-discovery read can
+//! never be satisfied by residue a previous job left in the array. With
+//! the flag off (the default) this machinery is fully bypassed and the
+//! emitted programs are byte-identical to the baseline translator's.
+
+use std::collections::HashMap;
 
 use rlim_mig::{Mig, NodeId, Signal};
 use rlim_plim::{Instruction, Operand, Program};
@@ -39,6 +65,7 @@ use rlim_rram::CellId;
 use crate::cells::CellManager;
 use crate::options::CompileOptions;
 use crate::pipeline::{initial_fanout, Pass, PipelineState};
+use crate::values::{Holders, ValueId, Values, FALSE, TRUE};
 
 /// Translates the scheduled nodes into an RM3 [`Program`], allocating
 /// cells as it goes (the *allocate + translate* pipeline stage).
@@ -77,20 +104,120 @@ enum ReadPlan {
     Const(bool),
     /// Read the child's cell directly.
     Direct(NodeId),
+    /// Copy discovery: read a cell that already caches the needed value.
+    Reuse(CellId),
     /// Materialise the complement of the child's value in a temp cell.
     MaterialiseInverse(NodeId),
+}
+
+/// How an allocated destination is initialised before the main RM3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DestInit {
+    /// Set the cell to a constant (1 instruction).
+    Const(bool),
+    /// Copy the child's value into the cell (2 instructions).
+    Copy(NodeId),
+    /// Copy the child's complement into the cell (2 instructions).
+    CopyInverse(NodeId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DestPlan {
     /// Overwrite the cell of this child (its last pending use).
     InPlace(NodeId),
-    /// Allocate a cell and set it to a constant.
-    LoadConst(bool),
-    /// Allocate a cell and copy the child's value into it.
-    CopyValue(NodeId),
-    /// Allocate a cell and copy the child's complement into it.
-    CopyInverse(NodeId),
+    /// Allocate a cell and initialise it.
+    Alloc(DestInit),
+    /// Copy discovery: take a free cell that already caches the required
+    /// initial value; the init doubles as the fallback if the cell is
+    /// pinned by a read of the same gate at realisation time.
+    TakeCached(CellId, DestInit),
+}
+
+/// The copy-reuse bookkeeping, present only when
+/// `CompileOptions::copy_reuse` is on.
+struct ReuseState {
+    values: Values,
+    holders: Holders,
+    /// Abstract (uncomplemented) value per computed node.
+    node_value: Vec<Option<ValueId>>,
+    /// How many live nodes want each *stored inverse* (keyed by the
+    /// complement of the node's value; constants are never tracked).
+    /// Drives the spilling heuristic: a free cell caching a wanted
+    /// inverse is worth protecting from recycling, because a future
+    /// complemented read can then elide a whole materialisation chain.
+    live_need: HashMap<ValueId, u32>,
+}
+
+impl ReuseState {
+    fn new(num_nodes: usize) -> Self {
+        ReuseState {
+            values: Values::empty(),
+            holders: Holders::new(),
+            node_value: vec![None; num_nodes],
+            live_need: HashMap::new(),
+        }
+    }
+
+    /// Tracks one emitted instruction: the destination's new abstract
+    /// value, and the holder index entry it creates.
+    fn record(&mut self, inst: &Instruction) {
+        if let Operand::Cell(c) = inst.p {
+            self.values.ensure_cell(c);
+        }
+        if let Operand::Cell(c) = inst.q {
+            self.values.ensure_cell(c);
+        }
+        self.values.ensure_cell(inst.z);
+        let v = self.values.rm3_result(inst);
+        self.values.set(inst.z, v);
+        self.holders.note(v, inst.z, &self.values);
+    }
+
+    /// Seeds a primary input: the machine preloads `cell` externally, so
+    /// the cell holds the input's (opaque) value without a program write.
+    fn preload_input(&mut self, node: NodeId, cell: CellId, live: bool) {
+        self.values.ensure_cell(cell);
+        let v = self.values.fresh();
+        self.values.set(cell, v);
+        self.holders.note(v, cell, &self.values);
+        self.node_value[node.index()] = Some(v);
+        if live {
+            self.add_live(v);
+        }
+    }
+
+    /// The abstract value of a signal, if its node has been computed.
+    fn sig_value(&self, s: Signal) -> Option<ValueId> {
+        if let Some(bit) = s.constant_value() {
+            return Some(if bit { TRUE } else { FALSE });
+        }
+        self.node_value[s.node().index()].map(|v| if s.is_complement() { v ^ 1 } else { v })
+    }
+
+    fn add_live(&mut self, v: ValueId) {
+        if v >= 2 {
+            *self.live_need.entry(v ^ 1).or_insert(0) += 1;
+        }
+    }
+
+    fn remove_live(&mut self, v: ValueId) {
+        if v >= 2 {
+            if let Some(n) = self.live_need.get_mut(&(v ^ 1)) {
+                *n -= 1;
+                if *n == 0 {
+                    self.live_need.remove(&(v ^ 1));
+                }
+            }
+        }
+    }
+
+    /// Whether recycling `cell` would clobber a cached inverse some live
+    /// node may still want (the spill predicate).
+    fn is_useful(&self, cell: CellId) -> bool {
+        self.values
+            .get(cell)
+            .is_some_and(|v| v >= 2 && self.live_need.contains_key(&v))
+    }
 }
 
 struct Translator<'a> {
@@ -103,6 +230,9 @@ struct Translator<'a> {
     /// PO references are never consumed, pinning PO cells forever.
     fanout_remaining: Vec<u32>,
     input_cells: Vec<CellId>,
+    /// Copy-discovery + spilling state (`None` when the option is off; the
+    /// baseline code paths are then taken verbatim).
+    reuse: Option<ReuseState>,
 }
 
 impl<'a> Translator<'a> {
@@ -114,6 +244,7 @@ impl<'a> Translator<'a> {
             node_cell: vec![None; mig.num_nodes()],
             fanout_remaining,
             input_cells: Vec::new(),
+            reuse: options.copy_reuse.then(|| ReuseState::new(mig.num_nodes())),
         }
     }
 
@@ -124,8 +255,12 @@ impl<'a> Translator<'a> {
             let node = self.mig.input(i).node();
             self.node_cell[node.index()] = Some(cell);
             self.input_cells.push(cell);
+            let live = self.fanout_remaining[node.index()] > 0;
+            if let Some(r) = &mut self.reuse {
+                r.preload_input(node, cell, live);
+            }
             // Inputs nothing ever reads can be recycled immediately.
-            if self.fanout_remaining[node.index()] == 0 {
+            if !live {
                 self.node_cell[node.index()] = None;
                 self.cells.release(cell);
             }
@@ -137,7 +272,8 @@ impl<'a> Translator<'a> {
         }
 
         // Resolve primary outputs; complemented or constant outputs need a
-        // materialisation cell (shared per distinct signal).
+        // materialisation cell (shared per distinct signal) — unless copy
+        // discovery finds a cell already holding the output value.
         let mut po_cache: std::collections::HashMap<Signal, CellId> =
             std::collections::HashMap::new();
         let outputs: Vec<Signal> = self.mig.outputs().to_vec();
@@ -148,18 +284,28 @@ impl<'a> Translator<'a> {
             } else {
                 let c = match s.constant_value() {
                     Some(bit) => {
-                        let c = self.cells.alloc(1);
-                        self.set_const(c, bit);
-                        c
+                        let v = if bit { TRUE } else { FALSE };
+                        if let Some(h) = self.claim_output_holder(v) {
+                            h
+                        } else {
+                            let c = self.alloc_spill_aware(1);
+                            self.set_const(c, bit);
+                            c
+                        }
                     }
                     None if !s.is_complement() => self.node_cell[s.node().index()]
                         .expect("primary output node must have been computed"),
                     None => {
-                        let src = self.node_cell[s.node().index()]
-                            .expect("primary output node must have been computed");
-                        let c = self.cells.alloc(2);
-                        self.copy_inv(c, src);
-                        c
+                        let v = self.reuse.as_ref().and_then(|r| r.sig_value(s));
+                        if let Some(h) = v.and_then(|v| self.claim_output_holder(v)) {
+                            h
+                        } else {
+                            let src = self.node_cell[s.node().index()]
+                                .expect("primary output node must have been computed");
+                            let c = self.alloc_spill_aware(2);
+                            self.copy_inv(c, src);
+                            c
+                        }
                     }
                 };
                 po_cache.insert(s, c);
@@ -178,34 +324,80 @@ impl<'a> Translator<'a> {
 
     // ---- Emission primitives ------------------------------------------
 
-    fn emit(&mut self, p: Operand, q: Operand, z: CellId) {
-        self.instructions.push(Instruction { p, q, z });
-        self.cells.record_write(z);
+    fn emit(&mut self, inst: Instruction) {
+        if let Some(r) = &mut self.reuse {
+            r.record(&inst);
+        }
+        self.cells.record_write(inst.z);
+        self.instructions.push(inst);
     }
 
     /// `c ← bit` (1 instruction).
     fn set_const(&mut self, c: CellId, bit: bool) {
-        if bit {
-            // ⟨1, !0, z⟩ = 1
-            self.emit(Operand::Const(true), Operand::Const(false), c);
-        } else {
-            // ⟨0, !1, z⟩ = 0
-            self.emit(Operand::Const(false), Operand::Const(true), c);
-        }
+        self.emit(Instruction::set_const(c, bit));
     }
 
     /// `c ← value(src)` (2 instructions).
     fn copy(&mut self, c: CellId, src: CellId) {
         self.set_const(c, false);
-        // ⟨v, !0, 0⟩ = ⟨v, 1, 0⟩ = v
-        self.emit(Operand::Cell(src), Operand::Const(false), c);
+        self.emit(Instruction::load(src, c));
     }
 
     /// `c ← !value(src)` (2 instructions).
     fn copy_inv(&mut self, c: CellId, src: CellId) {
         self.set_const(c, true);
-        // ⟨0, !v, 1⟩ = !v
-        self.emit(Operand::Const(false), Operand::Cell(src), c);
+        self.emit(Instruction::load_inv(src, c));
+    }
+
+    // ---- Copy-discovery queries ---------------------------------------
+
+    /// A *free* cell caching `v` with budget for the main write, chosen
+    /// least-worn-first (wear tie-break on the cell index) — the
+    /// constant-mapping / destination flavour of copy discovery.
+    fn find_cached_dest(&self, v: ValueId) -> Option<CellId> {
+        let r = self.reuse.as_ref()?;
+        let mut best: Option<CellId> = None;
+        for &h in r.holders.candidates(v) {
+            if r.values.get(h) != Some(v) || !self.cells.is_free(h) || !self.cells.fits_budget(h, 1)
+            {
+                continue;
+            }
+            let better = best.is_none_or(|b| {
+                (self.cells.writes_of(h), h.index()) < (self.cells.writes_of(b), b.index())
+            });
+            if better {
+                best = Some(h);
+            }
+        }
+        best
+    }
+
+    /// Claims a holder of `v` as a primary-output cell: free holders are
+    /// taken out of the pool for good (nothing may recycle an output
+    /// cell); live or retired holders are referenced as-is.
+    fn claim_output_holder(&mut self, v: ValueId) -> Option<CellId> {
+        let h = {
+            let r = self.reuse.as_ref()?;
+            r.holders.find(v, &r.values, |_| true)?
+        };
+        if self.cells.is_free(h) {
+            self.cells.take(h);
+        }
+        Some(h)
+    }
+
+    /// Pool allocation for destinations and temps. With copy-reuse on,
+    /// free cells still caching a wanted value are spilled past: the
+    /// request falls through to a fresh zero-wear cell (a cold spare row,
+    /// least-worn by definition) instead of clobbering the cache.
+    fn alloc_spill_aware(&mut self, budget: u64) -> CellId {
+        match &self.reuse {
+            None => self.cells.alloc(budget),
+            Some(r) => match self.cells.try_alloc_avoiding(budget, |c| r.is_useful(c)) {
+                Some(c) => c,
+                None => self.cells.alloc_fresh(),
+            },
+        }
     }
 
     // ---- Node translation ---------------------------------------------
@@ -215,7 +407,7 @@ impl<'a> Translator<'a> {
         match s.constant_value() {
             Some(bit) => ((0, 0), ReadPlan::Const(bit)),
             None if !s.is_complement() => ((0, 0), ReadPlan::Direct(s.node())),
-            None => ((2, 1), ReadPlan::MaterialiseInverse(s.node())),
+            None => self.plan_inverse_read(s.node()),
         }
     }
 
@@ -227,16 +419,41 @@ impl<'a> Translator<'a> {
             Some(bit) => ((0, 0), ReadPlan::Const(!bit)),
             // Complemented child: the stored value *is* the inverse. Free.
             None if s.is_complement() => ((0, 0), ReadPlan::Direct(s.node())),
-            // Uncomplemented: materialise the inverse.
-            None => ((2, 1), ReadPlan::MaterialiseInverse(s.node())),
+            // Uncomplemented: the stored inverse must come from somewhere.
+            None => self.plan_inverse_read(s.node()),
         }
+    }
+
+    /// Both read misfits need the stored *inverse* of `node`'s value:
+    /// reuse a cell that already caches it (for free), else materialise
+    /// it into a temp (2 instructions, 1 cell).
+    fn plan_inverse_read(&self, node: NodeId) -> (Cost, ReadPlan) {
+        if let Some(r) = &self.reuse {
+            if let Some(v) = r.node_value[node.index()] {
+                if let Some(h) = r.holders.find(v ^ 1, &r.values, |_| true) {
+                    return ((0, 0), ReadPlan::Reuse(h));
+                }
+            }
+        }
+        ((2, 1), ReadPlan::MaterialiseInverse(node))
     }
 
     /// Cost and plan of using `s` as the destination Z.
     fn plan_z(&self, s: Signal) -> (Cost, DestPlan) {
         match s.constant_value() {
-            Some(bit) => ((1, 1), DestPlan::LoadConst(bit)),
-            None if s.is_complement() => ((2, 1), DestPlan::CopyInverse(s.node())),
+            Some(bit) => {
+                let v = if bit { TRUE } else { FALSE };
+                self.plan_dest_init((1, 1), DestInit::Const(bit), Some(v))
+            }
+            None if s.is_complement() => {
+                let node = s.node();
+                let v = self
+                    .reuse
+                    .as_ref()
+                    .and_then(|r| r.node_value[node.index()])
+                    .map(|v| v ^ 1);
+                self.plan_dest_init((2, 1), DestInit::CopyInverse(node), v)
+            }
             None => {
                 let node = s.node();
                 let consumable = self.fanout_remaining[node.index()] == 1
@@ -244,10 +461,25 @@ impl<'a> Translator<'a> {
                 if consumable {
                     ((0, 0), DestPlan::InPlace(node))
                 } else {
-                    ((2, 1), DestPlan::CopyValue(node))
+                    let v = self.reuse.as_ref().and_then(|r| r.node_value[node.index()]);
+                    self.plan_dest_init((2, 1), DestInit::Copy(node), v)
                 }
             }
         }
+    }
+
+    /// Upgrades an allocate-and-initialise destination to a cached free
+    /// holder when copy discovery finds one.
+    fn plan_dest_init(
+        &self,
+        base: Cost,
+        init: DestInit,
+        value: Option<ValueId>,
+    ) -> (Cost, DestPlan) {
+        if let Some(h) = value.and_then(|v| self.find_cached_dest(v)) {
+            return ((0, 0), DestPlan::TakeCached(h, init));
+        }
+        (base, DestPlan::Alloc(init))
     }
 
     /// Translates one majority gate into RM3 instructions.
@@ -273,7 +505,29 @@ impl<'a> Translator<'a> {
                 best = Some((cost, p_plan, q_plan, z_plan));
             }
         }
-        let (_, p_plan, q_plan, z_plan) = best.expect("six permutations evaluated");
+        let (_, p_plan, q_plan, mut z_plan) = best.expect("six permutations evaluated");
+
+        // Pin reused holders that sit in the free pool *before* any
+        // allocation below, so temp/destination requests cannot recycle
+        // them between here and the main op that reads them.
+        let mut reserved: Vec<CellId> = Vec::new();
+        for plan in [p_plan, q_plan] {
+            if let ReadPlan::Reuse(h) = plan {
+                if self.cells.is_free(h) {
+                    self.cells.take(h);
+                    reserved.push(h);
+                }
+            }
+        }
+        if let DestPlan::TakeCached(cell, init) = z_plan {
+            if self.cells.is_free(cell) {
+                self.cells.take(cell);
+            } else {
+                // The holder doubles as a read of this gate (now pinned):
+                // fall back to materialising the destination normally.
+                z_plan = DestPlan::Alloc(init);
+            }
+        }
 
         // Materialise read operands first (their recipes must not disturb
         // the destination).
@@ -287,32 +541,33 @@ impl<'a> Translator<'a> {
                 let cell = self.node_cell[child.index()].expect("in-place child has a cell");
                 (cell, Some(child))
             }
-            DestPlan::LoadConst(bit) => {
-                let cell = self.cells.alloc(2); // set + main write
-                self.set_const(cell, bit);
-                (cell, None)
-            }
-            DestPlan::CopyValue(child) => {
-                let src = self.node_cell[child.index()].expect("computed child has a cell");
-                let cell = self.cells.alloc(3); // set + load + main write
-                self.copy(cell, src);
-                (cell, None)
-            }
-            DestPlan::CopyInverse(child) => {
-                let src = self.node_cell[child.index()].expect("computed child has a cell");
-                let cell = self.cells.alloc(3);
-                self.copy_inv(cell, src);
-                (cell, None)
-            }
+            DestPlan::TakeCached(cell, _) => (cell, None),
+            DestPlan::Alloc(init) => (self.realise_alloc_dest(init), None),
         };
 
         // The main RM3 operation.
-        self.emit(p_op, q_op, dest);
+        self.emit(Instruction {
+            p: p_op,
+            q: q_op,
+            z: dest,
+        });
         self.node_cell[n.index()] = Some(dest);
+        let live = self.fanout_remaining[n.index()] > 0;
+        if let Some(r) = &mut self.reuse {
+            let v = r.values.get(dest).expect("emitted destination is tracked");
+            r.node_value[n.index()] = Some(v);
+            if live {
+                r.add_live(v);
+            }
+        }
 
-        // Temps die immediately after the main op.
+        // Temps die immediately after the main op, and pinned read
+        // holders go back to the pool unchanged (reads are wear-free).
         for t in temps {
             self.cells.release(t);
+        }
+        for h in reserved {
+            self.cells.release(h);
         }
 
         // Consume one pending use per child; release cells that reached
@@ -324,6 +579,11 @@ impl<'a> Translator<'a> {
             let child = s.node();
             self.fanout_remaining[child.index()] -= 1;
             if self.fanout_remaining[child.index()] == 0 {
+                if let Some(r) = &mut self.reuse {
+                    if let Some(v) = r.node_value[child.index()] {
+                        r.remove_live(v);
+                    }
+                }
                 if in_place_child == Some(child) {
                     self.node_cell[child.index()] = None;
                 } else if let Some(cell) = self.node_cell[child.index()].take() {
@@ -339,12 +599,35 @@ impl<'a> Translator<'a> {
             ReadPlan::Direct(node) => {
                 Operand::Cell(self.node_cell[node.index()].expect("computed child has a cell"))
             }
+            ReadPlan::Reuse(cell) => Operand::Cell(cell),
             ReadPlan::MaterialiseInverse(node) => {
                 let src = self.node_cell[node.index()].expect("computed child has a cell");
-                let temp = self.cells.alloc(2);
+                let temp = self.alloc_spill_aware(2);
                 self.copy_inv(temp, src);
                 temps.push(temp);
                 Operand::Cell(temp)
+            }
+        }
+    }
+
+    fn realise_alloc_dest(&mut self, init: DestInit) -> CellId {
+        match init {
+            DestInit::Const(bit) => {
+                let cell = self.alloc_spill_aware(2); // set + main write
+                self.set_const(cell, bit);
+                cell
+            }
+            DestInit::Copy(node) => {
+                let src = self.node_cell[node.index()].expect("computed child has a cell");
+                let cell = self.alloc_spill_aware(3); // set + load + main write
+                self.copy(cell, src);
+                cell
+            }
+            DestInit::CopyInverse(node) => {
+                let src = self.node_cell[node.index()].expect("computed child has a cell");
+                let cell = self.alloc_spill_aware(3);
+                self.copy_inv(cell, src);
+                cell
             }
         }
     }

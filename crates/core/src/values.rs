@@ -1,0 +1,344 @@
+//! Whole-program abstract value tracking: which cells currently hold
+//! which literal, constant or complement.
+//!
+//! This module is the shared analysis behind two optimisations:
+//!
+//! * the **peephole pass** (`crate::peephole`) walks an *emitted*
+//!   program and elides writes whose destination provably already holds
+//!   the written value;
+//! * the **copy-reuse translator** (`crate::translate`, enabled by
+//!   `CompileOptions::with_copy_reuse`) consults the same abstraction
+//!   *while allocating*, reading values that already live somewhere in
+//!   the array instead of re-materialising them — register-allocation
+//!   style copy discovery.
+//!
+//! The abstraction is deliberately conservative. Value ids are allocated
+//! in complement pairs — `v ^ 1` is always the inverse of `v`, with
+//! [`FALSE`]` = 0` and [`TRUE`]` = 1` seeding the constant pair — so a
+//! complemented operand lookup is one xor away. Equal ids imply equal
+//! concrete values; unequal ids imply nothing. Crucially, cells start as
+//! opaque unknowns, **not** as zeros: a fleet re-dispatches programs onto
+//! arrays still holding a previous job's values, so no analysis in this
+//! module can ever be satisfied by residue the program did not write
+//! itself.
+
+use std::collections::HashMap;
+
+use rlim_plim::{Instruction, Operand};
+use rlim_rram::CellId;
+
+/// Abstract value id. Ids are allocated in complement pairs: `v ^ 1` is
+/// always the inverse of `v`, with [`FALSE`] and [`TRUE`] seeding the
+/// constant pair. Equal ids imply equal concrete values; unequal ids
+/// imply nothing.
+pub type ValueId = u64;
+
+/// The id of constant logic 0.
+pub const FALSE: ValueId = 0;
+/// The id of constant logic 1 (the complement of [`FALSE`]).
+pub const TRUE: ValueId = 1;
+
+/// Abstract value per cell, with a fresh-unknown allocator.
+///
+/// Construct with [`Values::new`] for a fixed-size program walk (the
+/// peephole) or [`Values::empty`] for a translator that creates cells on
+/// the fly (grow with [`Values::ensure_cell`]).
+#[derive(Debug, Clone)]
+pub struct Values {
+    /// Abstract value per cell.
+    cell: Vec<ValueId>,
+    next: ValueId,
+}
+
+impl Values {
+    /// A tracker over `num_cells` cells, each starting as its own opaque
+    /// unknown (ids 2, 4, 6, … — never a constant, never each other).
+    pub fn new(num_cells: usize) -> Self {
+        let cell: Vec<ValueId> = (0..num_cells as u64).map(|i| 2 + 2 * i).collect();
+        let next = 2 + 2 * num_cells as u64;
+        Values { cell, next }
+    }
+
+    /// A tracker with no cells yet (see [`Values::ensure_cell`]).
+    pub fn empty() -> Self {
+        Values::new(0)
+    }
+
+    /// Grows the table so `cell` is tracked; newly covered cells are
+    /// seeded as opaque unknowns, exactly like [`Values::new`] seeds them.
+    pub fn ensure_cell(&mut self, cell: CellId) {
+        while self.cell.len() <= cell.index() {
+            let id = self.fresh();
+            self.cell.push(id);
+        }
+    }
+
+    /// A brand-new unknown (even id; its complement is `id ^ 1`).
+    pub fn fresh(&mut self) -> ValueId {
+        let id = self.next;
+        self.next += 2;
+        id
+    }
+
+    /// The value an operand reads right now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell operand is not tracked yet (see
+    /// [`Values::ensure_cell`]).
+    pub fn of(&self, op: Operand) -> ValueId {
+        match op {
+            Operand::Const(false) => FALSE,
+            Operand::Const(true) => TRUE,
+            Operand::Cell(c) => self.cell[c.index()],
+        }
+    }
+
+    /// The value `cell` currently holds, or `None` if the cell is not
+    /// tracked.
+    pub fn get(&self, cell: CellId) -> Option<ValueId> {
+        self.cell.get(cell.index()).copied()
+    }
+
+    /// Records that `cell` now holds `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not tracked yet.
+    pub fn set(&mut self, cell: CellId, value: ValueId) {
+        self.cell[cell.index()] = value;
+    }
+
+    /// Abstract result of `z ← ⟨p, q̄, z⟩` given the operand values.
+    /// Returns a known id when the majority collapses, a fresh unknown
+    /// otherwise. Does **not** update the destination — callers decide
+    /// whether the write happens.
+    pub fn rm3_result(&mut self, inst: &Instruction) -> ValueId {
+        let p = self.of(inst.p);
+        let q = self.of(inst.q);
+        let z = self.cell[inst.z.index()];
+        let q_inv = q ^ 1; // value actually fed into the majority
+        if p == q_inv {
+            // ⟨x, x, z⟩ = x (covers set0/set1: ⟨b, b, z⟩ = b).
+            p
+        } else if p == z {
+            // ⟨x, q̄, x⟩ = x.
+            p
+        } else if q_inv == z {
+            // ⟨p, x, x⟩ = x.
+            z
+        } else if p == q {
+            // q̄ = p̄: ⟨x, x̄, z⟩ = z — a write of the old value.
+            z
+        } else if z == FALSE {
+            // ⟨p, q̄, 0⟩ = p ∧ q̄.
+            match (p, q) {
+                (_, FALSE) => p, // p ∧ 1 = p
+                (FALSE, _) | (_, TRUE) => FALSE,
+                _ => self.fresh(),
+            }
+        } else if z == TRUE {
+            // ⟨p, q̄, 1⟩ = p ∨ q̄.
+            match (p, q) {
+                (_, TRUE) => p, // p ∨ 0 = p
+                (TRUE, _) | (_, FALSE) => TRUE,
+                (FALSE, _) => q ^ 1, // 0 ∨ q̄ = q̄
+                _ => self.fresh(),
+            }
+        } else {
+            self.fresh()
+        }
+    }
+}
+
+/// The result a `set; load` chain into `chain[0].z` computes, when the
+/// two instructions form the translator's `copy` / `copy_inv` recipe.
+pub fn chain_result(first: &Instruction, second: &Instruction, values: &Values) -> Option<ValueId> {
+    if first.z != second.z {
+        return None;
+    }
+    match (first.p, first.q, second.p, second.q) {
+        // copy: set0(c); RM3(s, 0, c) = value(s).
+        (Operand::Const(false), Operand::Const(true), Operand::Cell(s), Operand::Const(false))
+            if s != first.z =>
+        {
+            Some(values.cell[s.index()])
+        }
+        // copy_inv: set1(c); RM3(0, s, c) = !value(s).
+        (Operand::Const(true), Operand::Const(false), Operand::Const(false), Operand::Cell(s))
+            if s != first.z =>
+        {
+            Some(values.cell[s.index()] ^ 1)
+        }
+        _ => None,
+    }
+}
+
+/// A reverse index from value id to the cells last observed holding it.
+///
+/// Entries go stale when a holder is overwritten; every query re-checks
+/// candidates against the live [`Values`] table, and [`Holders::note`]
+/// prunes dead candidates as a side effect, so the per-value lists stay
+/// short. The map is only ever accessed by key — never iterated — so
+/// lookups are deterministic regardless of hash order.
+#[derive(Debug, Clone, Default)]
+pub struct Holders {
+    map: HashMap<ValueId, Vec<CellId>>,
+}
+
+impl Holders {
+    /// An empty index.
+    pub fn new() -> Self {
+        Holders::default()
+    }
+
+    /// Records that `cell` now holds `value`, pruning candidates the
+    /// tracker no longer confirms. Constants are indexed like any other
+    /// value, so `FALSE`/`TRUE` holders are discoverable too.
+    pub fn note(&mut self, value: ValueId, cell: CellId, values: &Values) {
+        let list = self.map.entry(value).or_default();
+        list.retain(|&h| h != cell && values.get(h) == Some(value));
+        list.push(cell);
+    }
+
+    /// The candidate holders of `value`, oldest first. Candidates may be
+    /// stale — confirm each against the [`Values`] table before use (or
+    /// go through [`Holders::find`]).
+    pub fn candidates(&self, value: ValueId) -> &[CellId] {
+        self.map.get(&value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The first confirmed holder of `value` (oldest first) accepted by
+    /// `keep`. Staleness is re-checked against `values` on every call.
+    pub fn find(
+        &self,
+        value: ValueId,
+        values: &Values,
+        mut keep: impl FnMut(CellId) -> bool,
+    ) -> Option<CellId> {
+        self.candidates(value)
+            .iter()
+            .copied()
+            .find(|&h| values.get(h) == Some(value) && keep(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> CellId {
+        CellId::new(i)
+    }
+
+    fn set0(z: CellId) -> Instruction {
+        Instruction {
+            p: Operand::Const(false),
+            q: Operand::Const(true),
+            z,
+        }
+    }
+
+    #[test]
+    fn cells_start_opaque_and_distinct() {
+        let v = Values::new(3);
+        let ids: Vec<ValueId> = (0..3).map(|i| v.get(c(i)).unwrap()).collect();
+        assert_eq!(ids, vec![2, 4, 6]);
+        assert!(ids.iter().all(|&id| id != FALSE && id != TRUE));
+    }
+
+    #[test]
+    fn ensure_cell_matches_eager_seeding() {
+        let mut lazy = Values::empty();
+        lazy.ensure_cell(c(2));
+        let eager = Values::new(3);
+        for i in 0..3 {
+            assert_eq!(lazy.get(c(i)), eager.get(c(i)));
+        }
+        assert_eq!(lazy.get(c(3)), None);
+    }
+
+    #[test]
+    fn complement_pairs_are_one_xor_away() {
+        let mut v = Values::new(1);
+        let id = v.fresh();
+        assert_eq!(id % 2, 0, "fresh ids are the even half of a pair");
+        assert_eq!(TRUE, FALSE ^ 1);
+        assert_ne!(id, id ^ 1);
+    }
+
+    #[test]
+    fn rm3_result_tracks_set_recipes() {
+        let mut v = Values::new(2);
+        assert_eq!(v.rm3_result(&set0(c(1))), FALSE);
+        let set1 = Instruction {
+            p: Operand::Const(true),
+            q: Operand::Const(false),
+            z: c(1),
+        };
+        assert_eq!(v.rm3_result(&set1), TRUE);
+    }
+
+    #[test]
+    fn holders_confirm_against_the_tracker() {
+        let mut values = Values::new(3);
+        let mut holders = Holders::new();
+        values.set(c(0), FALSE);
+        holders.note(FALSE, c(0), &values);
+        assert_eq!(holders.find(FALSE, &values, |_| true), Some(c(0)));
+
+        // Overwrite the holder: the candidate goes stale and stops
+        // matching even though the index still lists it.
+        let unknown = values.fresh();
+        values.set(c(0), unknown);
+        assert_eq!(holders.find(FALSE, &values, |_| true), None);
+    }
+
+    #[test]
+    fn holders_filter_and_prune() {
+        let mut values = Values::new(4);
+        let mut holders = Holders::new();
+        for i in 0..3 {
+            values.set(c(i), TRUE);
+            holders.note(TRUE, c(i), &values);
+        }
+        // Oldest-first order, with a caller-side filter.
+        assert_eq!(holders.find(TRUE, &values, |_| true), Some(c(0)));
+        assert_eq!(holders.find(TRUE, &values, |h| h != c(0)), Some(c(1)));
+
+        // Kill the first two holders; the next note() prunes them.
+        let dead = values.fresh();
+        values.set(c(0), dead);
+        let dead2 = values.fresh();
+        values.set(c(1), dead2);
+        values.set(c(3), TRUE);
+        holders.note(TRUE, c(3), &values);
+        assert_eq!(holders.candidates(TRUE), &[c(2), c(3)]);
+    }
+
+    #[test]
+    fn chain_result_recognises_copy_recipes() {
+        let values = Values::new(3);
+        let src = values.get(c(0)).unwrap();
+        let copy_load = Instruction {
+            p: Operand::Cell(c(0)),
+            q: Operand::Const(false),
+            z: c(1),
+        };
+        assert_eq!(chain_result(&set0(c(1)), &copy_load, &values), Some(src));
+
+        let set1 = Instruction {
+            p: Operand::Const(true),
+            q: Operand::Const(false),
+            z: c(1),
+        };
+        let inv_load = Instruction {
+            p: Operand::Const(false),
+            q: Operand::Cell(c(0)),
+            z: c(1),
+        };
+        assert_eq!(chain_result(&set1, &inv_load, &values), Some(src ^ 1));
+        // Mismatched destinations are not a chain.
+        assert_eq!(chain_result(&set0(c(2)), &copy_load, &values), None);
+    }
+}

@@ -54,7 +54,7 @@ pub fn cache_key(fingerprint: u128, spec: &JobSpec) -> String {
 
     let o = spec.options();
     let mut key = format!(
-        "src={fingerprint:032x};class={};rw={};effort={};sel={};alloc={};maxw={:?};peep={};prog={};proj={}",
+        "src={fingerprint:032x};class={};rw={};effort={};sel={};alloc={};maxw={:?};peep={};copy={};prog={};proj={}",
         spec.backend().class().name(),
         o.rewriting.map_or("none", algorithm_name),
         o.effort,
@@ -62,6 +62,7 @@ pub fn cache_key(fingerprint: u128, spec: &JobSpec) -> String {
         allocation_name(o.allocation),
         o.max_writes,
         o.peephole,
+        o.copy_reuse,
         spec.includes_program(),
         spec.projection_arrays(),
     );
@@ -250,6 +251,21 @@ mod tests {
             cache_key(fp, &base),
             cache_key(fp, &base.clone().with_projection_arrays(9))
         );
+    }
+
+    #[test]
+    fn copy_options_never_share_cache_entries() {
+        // Copy discovery changes the emitted program, so a reuse job must
+        // never be served a baseline entry (or vice versa) — the option
+        // is part of the key like every other policy knob.
+        let fp = 7u128;
+        let base = JobSpec::benchmark(Benchmark::Ctrl);
+        let reuse = base
+            .clone()
+            .with_options(base.options().with_copy_reuse(true));
+        assert_ne!(cache_key(fp, &base), cache_key(fp, &reuse));
+        assert!(cache_key(fp, &base).contains(";copy=false;"));
+        assert!(cache_key(fp, &reuse).contains(";copy=true;"));
     }
 
     #[test]

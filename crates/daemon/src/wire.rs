@@ -228,6 +228,7 @@ fn options_json(o: &CompileOptions) -> Json {
         ("allocation", Json::from(allocation_name(o.allocation))),
         ("max_writes", Json::from(o.max_writes)),
         ("peephole", Json::from(o.peephole)),
+        ("copy_reuse", Json::from(o.copy_reuse)),
     ])
 }
 
@@ -323,6 +324,7 @@ fn decode_options(json: &Json) -> Result<CompileOptions, Error> {
             "allocation",
             "max_writes",
             "peephole",
+            "copy_reuse",
         ],
         "options",
     )?;
@@ -350,6 +352,7 @@ fn decode_options(json: &Json) -> Result<CompileOptions, Error> {
         )?)?,
         max_writes,
         peephole: as_bool(field(obj, "peephole", "options")?, "options.peephole")?,
+        copy_reuse: as_bool(field(obj, "copy_reuse", "options")?, "options.copy_reuse")?,
     })
 }
 
@@ -681,6 +684,7 @@ fn decode_report(doc: &Json) -> Result<Report, Error> {
             .map_err(run)?,
         max_writes: opt(pol("max_writes")?, |j| as_u64(j, "policy.max_writes")).map_err(run)?,
         peephole: as_bool(pol("peephole")?, "policy.peephole").map_err(run)?,
+        copy_reuse: as_bool(pol("copy_reuse")?, "policy.copy_reuse").map_err(run)?,
     };
 
     let circuit = entries(get("circuit")?, "report.circuit").map_err(run)?;
@@ -810,7 +814,7 @@ mod tests {
             "{\"spec\":{}}",
             "{\"verb\":\"job\",\"spec\":{\"source\":{\"benchmark\":\"nonesuch\"}}}",
             "[1,2,3]",
-            "{\"verb\":\"job\",\"spec\":{\"source\":{\"benchmark\":\"ctrl\"},\"backend\":\"rm3\",\"options\":{\"rewriting\":null,\"effort\":5,\"selection\":\"topological\",\"allocation\":\"lifo\",\"max_writes\":2,\"peephole\":false},\"fleet\":null,\"program\":false,\"projection_arrays\":4}}",
+            "{\"verb\":\"job\",\"spec\":{\"source\":{\"benchmark\":\"ctrl\"},\"backend\":\"rm3\",\"options\":{\"rewriting\":null,\"effort\":5,\"selection\":\"topological\",\"allocation\":\"lifo\",\"max_writes\":2,\"peephole\":false,\"copy_reuse\":false},\"fleet\":null,\"program\":false,\"projection_arrays\":4}}",
         ] {
             let err = decode_request(garbage).expect_err(garbage);
             assert!(err.is_usage(), "{garbage}: {err:?}");

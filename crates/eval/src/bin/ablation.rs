@@ -70,6 +70,7 @@ fn main() {
                         allocation: alloc,
                         max_writes: None,
                         peephole: false,
+                        copy_reuse: false,
                     };
                     let r = compile(&mig, &options);
                     let s = r.write_stats();

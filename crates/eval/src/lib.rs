@@ -180,6 +180,9 @@ pub enum Column {
     EnduranceAware,
     /// Full endurance management with the maximum write count strategy.
     MaxWrite(u64),
+    /// Full endurance-aware compilation plus copy discovery + spilling
+    /// (`CompileOptions::with_copy_reuse`).
+    CopyReuse,
 }
 
 impl Column {
@@ -192,6 +195,7 @@ impl Column {
             Column::EnduranceRewriting => "+EA rewriting".into(),
             Column::EnduranceAware => "+EA compilation".into(),
             Column::MaxWrite(w) => format!("max-write {w}"),
+            Column::CopyReuse => "+copy reuse".into(),
         }
     }
 
@@ -204,6 +208,7 @@ impl Column {
             Column::EnduranceRewriting => CompileOptions::endurance_rewriting(),
             Column::EnduranceAware => CompileOptions::endurance_aware(),
             Column::MaxWrite(w) => CompileOptions::endurance_aware().with_max_writes(w),
+            Column::CopyReuse => CompileOptions::endurance_aware().with_copy_reuse(true),
         };
         if self == Column::Naive {
             base // naive has no rewriting; effort is irrelevant

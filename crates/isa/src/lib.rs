@@ -294,6 +294,40 @@ impl<I: Isa> Program<I> {
         WriteStats::from_counts(self.write_counts())
     }
 
+    /// Per-cell read counts implied by [`Isa::reads`] (static: each
+    /// instruction reads each listed cell once). Reads are wear-free on
+    /// RRAM, but the distribution shows which cells act as shared operand
+    /// caches — copy discovery concentrates reads on long-lived holders.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlim_isa::Program;
+    /// use rlim_plim::Instruction;
+    /// use rlim_rram::CellId;
+    ///
+    /// let (src, dst) = (CellId::new(0), CellId::new(1));
+    /// let program: Program<Instruction> = Program {
+    ///     instructions: vec![
+    ///         Instruction::set_const(dst, false), // reads nothing
+    ///         Instruction::load(src, dst),        // reads src and dst
+    ///     ],
+    ///     num_cells: 2,
+    ///     input_cells: vec![src],
+    ///     output_cells: vec![dst],
+    /// };
+    /// assert_eq!(program.read_counts(), vec![1, 1]);
+    /// ```
+    pub fn read_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_cells];
+        for inst in &self.instructions {
+            for cell in &inst.reads() {
+                counts[cell.index()] += 1;
+            }
+        }
+        counts
+    }
+
     /// Total writes one execution inflicts on its array. Equals `#I` for
     /// single-write ISAs; the unit fleet write budgets are expressed in.
     pub fn total_writes(&self) -> u64 {

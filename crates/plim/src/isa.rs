@@ -41,14 +41,50 @@ pub struct Instruction {
 }
 
 impl Instruction {
+    /// The constant-set recipe: `set0(z)` = `RM3(0, 1, z)` or `set1(z)` =
+    /// `RM3(1, 0, z)`, writing `bit` regardless of the old destination.
+    pub fn set_const(z: CellId, bit: bool) -> Self {
+        Instruction {
+            p: Operand::Const(bit),
+            q: Operand::Const(!bit),
+            z,
+        }
+    }
+
+    /// The load half of the `copy` recipe: `RM3(src, 0, z)` computes
+    /// `⟨v, 1, 0⟩ = v` when `z` was just set to 0.
+    pub fn load(src: CellId, z: CellId) -> Self {
+        Instruction {
+            p: Operand::Cell(src),
+            q: Operand::Const(false),
+            z,
+        }
+    }
+
+    /// The load half of the `copy_inv` recipe: `RM3(0, src, z)` computes
+    /// `⟨0, !v, 1⟩ = !v` when `z` was just set to 1.
+    pub fn load_inv(src: CellId, z: CellId) -> Self {
+        Instruction {
+            p: Operand::Const(false),
+            q: Operand::Cell(src),
+            z,
+        }
+    }
+
+    /// Recognises the constant-set recipes, returning the constant they
+    /// write (`None` for every other instruction).
+    pub fn as_set_const(&self) -> Option<bool> {
+        match (self.p, self.q) {
+            (Operand::Const(p), Operand::Const(q)) if p != q => Some(p),
+            _ => None,
+        }
+    }
+
     /// Whether the result is independent of the destination's previous
     /// value. True exactly for the constant-set recipes `set0` =
     /// `RM3(0, 1, z)` and `set1` = `RM3(1, 0, z)`: `⟨b, b, z⟩ = b`.
     pub fn ignores_old_destination(&self) -> bool {
-        matches!(
-            (self.p, self.q),
-            (Operand::Const(p), Operand::Const(q)) if p != q
-        )
+        self.as_set_const().is_some()
     }
 }
 
@@ -199,6 +235,27 @@ mod tests {
             "general RM3 reads P, Q and the old destination"
         );
         assert_eq!(general.destination(), CellId::new(2));
+    }
+
+    #[test]
+    fn recipe_constructors_round_trip() {
+        let z = CellId::new(3);
+        let set0 = Instruction::set_const(z, false);
+        assert_eq!(set0.to_string(), "RM3(0, 1, r3)");
+        assert_eq!(set0.as_set_const(), Some(false));
+        assert!(set0.ignores_old_destination());
+        let set1 = Instruction::set_const(z, true);
+        assert_eq!(set1.to_string(), "RM3(1, 0, r3)");
+        assert_eq!(set1.as_set_const(), Some(true));
+
+        let src = CellId::new(1);
+        let load = Instruction::load(src, z);
+        assert_eq!(load.to_string(), "RM3(r1, 0, r3)");
+        assert_eq!(load.as_set_const(), None);
+        assert!(!load.ignores_old_destination());
+        let load_inv = Instruction::load_inv(src, z);
+        assert_eq!(load_inv.to_string(), "RM3(0, r1, r3)");
+        assert_eq!(load_inv.as_set_const(), None);
     }
 
     #[test]

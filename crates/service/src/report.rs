@@ -12,7 +12,7 @@ use crate::json::Json;
 /// JSON schema version stamped into every serialized report. Bump when a
 /// key is added, removed or re-typed; the golden schema test pins the
 /// current shape.
-pub const REPORT_SCHEMA_VERSION: u64 = 4;
+pub const REPORT_SCHEMA_VERSION: u64 = 5;
 
 /// The circuit interface behind a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,6 +227,7 @@ impl Report {
             ("effort", Json::from(o.effort)),
             ("max_writes", Json::from(o.max_writes)),
             ("peephole", Json::from(o.peephole)),
+            ("copy_reuse", Json::from(o.copy_reuse)),
         ]);
         let circuit = Json::object([
             ("inputs", Json::from(self.circuit.inputs)),

@@ -70,8 +70,8 @@ pub const DEFAULT_SAMPLE_ROUNDS: usize = 24;
 
 /// The canonical compiler configurations: every `CompileOptions` preset
 /// constructor (the paper's Table I columns) plus two maximum-write
-/// budgets (Table III) and two peephole variants, under their
-/// conventional labels.
+/// budgets (Table III), two peephole variants and two copy-reuse
+/// variants, under their conventional labels.
 pub fn presets() -> Vec<(&'static str, CompileOptions)> {
     vec![
         ("naive", CompileOptions::naive()),
@@ -94,6 +94,16 @@ pub fn presets() -> Vec<(&'static str, CompileOptions)> {
         (
             "endurance_aware_peephole",
             CompileOptions::endurance_aware().with_peephole(true),
+        ),
+        (
+            "copy_reuse",
+            CompileOptions::endurance_aware().with_copy_reuse(true),
+        ),
+        (
+            "copy_reuse_peephole",
+            CompileOptions::endurance_aware()
+                .with_copy_reuse(true)
+                .with_peephole(true),
         ),
     ]
 }

@@ -71,6 +71,74 @@ proptest! {
         }
     }
 
+    /// Copy discovery is semantics-preserving under every canonical
+    /// preset: the translator may read values already live in cells and
+    /// spill still-useful cells to spares, but the compiled program must
+    /// compute the MIG's function bit for bit (oracle-verified).
+    #[test]
+    fn copy_reuse_preserves_semantics_across_presets(mig in mig_strategy()) {
+        let oracle = Oracle::new().with_sample_rounds(6).with_imp(false);
+        for &name in CompileOptions::preset_names() {
+            let options = CompileOptions::preset(name)
+                .expect("canonical preset")
+                .with_copy_reuse(true);
+            let result = compile(&mig, &options);
+            prop_assert_eq!(result.program.validate(), Ok(()));
+            oracle.verify_program(&mig, "copy_reuse", name, &result.program);
+        }
+    }
+
+    /// The wear-aware selection guarantee: turning copy-reuse on never
+    /// worsens `#I`, the max per-cell write count or the write stdev —
+    /// `compile` keeps the reuse schedule only when it is pointwise no
+    /// worse, so the guarantee holds on *every* input, not just the
+    /// benchmark suite.
+    #[test]
+    fn copy_reuse_is_monotone_on_random_graphs(mig in mig_strategy()) {
+        let base = CompileOptions::endurance_aware();
+        let off = compile(&mig, &base);
+        let on = compile(&mig, &base.with_copy_reuse(true));
+        prop_assert!(on.num_instructions() <= off.num_instructions());
+        let (on_stats, off_stats) = (on.write_stats(), off.write_stats());
+        prop_assert!(on_stats.max <= off_stats.max);
+        prop_assert!(on_stats.stdev <= off_stats.stdev);
+    }
+
+    /// Fleet safety: copy discovery tracks only values the program itself
+    /// materialised, so a program dropped onto a long-lived array full of
+    /// a *prior job's* residue still computes the right outputs — no
+    /// copy-discovery read is ever satisfied by leftover garbage.
+    #[test]
+    fn copy_reuse_programs_ignore_prior_job_residue(
+        mig in mig_strategy(),
+        residue_seed: u64,
+        input_seed: u64,
+    ) {
+        use rand::{Rng, SeedableRng};
+        use rlim::plim::Machine;
+        use rlim::rram::{CellId, Crossbar};
+
+        let options = CompileOptions::endurance_aware().with_copy_reuse(true);
+        let program = compile(&mig, &options).program;
+
+        // A dirty array: every cell holds a pseudorandom prior value.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(residue_seed);
+        let mut array = Crossbar::new();
+        array.grow_to(program.num_cells);
+        for i in 0..program.num_cells {
+            array.preload(CellId::new(i as u32), rng.gen());
+        }
+        let mut machine = Machine::with_array(array);
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(input_seed);
+        for _ in 0..3 {
+            let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.gen()).collect();
+            let expect = mig.evaluate(&inputs);
+            let got = machine.run(&program, &inputs).expect("no endurance limit");
+            prop_assert_eq!(&got, &expect, "residue leaked into the outputs");
+        }
+    }
+
     /// All three backends compute the MIG's function through the shared
     /// `Backend` API (MIG = RM3 = hosted-RM3 = IMPLY).
     #[test]

@@ -54,6 +54,7 @@ $.policy.allocation: string
 $.policy.effort: int
 $.policy.max_writes: null
 $.policy.peephole: bool
+$.policy.copy_reuse: bool
 $.circuit.inputs: int
 $.circuit.outputs: int
 $.circuit.gates: int
@@ -219,7 +220,7 @@ fn report_json_golden_document() {
     let report = Service::new().run(&spec).unwrap();
     let json = report.to_json_string();
     for needle in [
-        "\"schema\": 4,\n",
+        "\"schema\": 5,\n",
         "\"label\": \"int2float\",\n",
         "\"backend\": \"rm3\",\n",
         "\"preset\": \"naive\",\n",
@@ -254,7 +255,9 @@ const BENCH_DB_GOLDEN: &str = "\
     \"scalar_ops_per_second\": 200000000,
     \"simd_seconds\": 0.005000,
     \"simd_ops_per_second\": 5000000000,
-    \"speedup\": 25.000
+    \"speedup\": 25.000,
+    \"max_cell_writes\": 10,
+    \"write_stdev\": 1.9700
   }
 ]
 ";
@@ -271,6 +274,8 @@ fn bench_record(run: u64) -> rlim_bench::db::BenchRecord {
         simd_seconds: 0.005,
         simd_ops_per_second: 5.0e9,
         speedup: 25.0,
+        max_cell_writes: 10,
+        write_stdev: 1.97,
     }
 }
 
@@ -315,6 +320,13 @@ fn determinism_batch() -> Vec<JobSpec> {
             .with_backend(BackendKind::Imp),
         JobSpec::benchmark(Benchmark::Dec)
             .with_options(CompileOptions::min_write().with_effort(1))
+            .with_program_text(true),
+        JobSpec::benchmark(Benchmark::Int2float)
+            .with_options(
+                CompileOptions::endurance_aware()
+                    .with_effort(1)
+                    .with_copy_reuse(true),
+            )
             .with_program_text(true),
     ];
     specs.push(
@@ -363,6 +375,7 @@ fn run_batch_serial_equals_parallel_byte_identical() {
             "  \"label\": \"int2float\",",
             "  \"label\": \"ctrl\",",
             "  \"label\": \"dec\",",
+            "  \"label\": \"int2float\",",
             "  \"label\": \"router\","
         ]
     );
@@ -396,11 +409,19 @@ fn spec_strategy() -> impl Strategy<Value = JobSpec> {
         backend_strategy(),
         (any::<bool>(), 0usize..10).prop_map(|(some, v)| some.then_some(v)),
         (any::<bool>(), 3u64..200).prop_map(|(some, v)| some.then_some(v)),
-        (any::<bool>(), any::<bool>(), any::<bool>()),
+        (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
         1usize..9,
     )
         .prop_map(
-            |(bench, preset, backend, effort, max_writes, (peephole, program, blif), arrays)| {
+            |(
+                bench,
+                preset,
+                backend,
+                effort,
+                max_writes,
+                (peephole, copy_reuse, program, blif),
+                arrays,
+            )| {
                 let mut options = CompileOptions::preset(preset).expect("canonical preset");
                 if let Some(e) = effort {
                     options = options.with_effort(e);
@@ -408,7 +429,7 @@ fn spec_strategy() -> impl Strategy<Value = JobSpec> {
                 if let Some(w) = max_writes {
                     options = options.with_max_writes(w);
                 }
-                options = options.with_peephole(peephole);
+                options = options.with_peephole(peephole).with_copy_reuse(copy_reuse);
                 let benchmark = Benchmark::all()[bench];
                 let mut spec = if blif {
                     // Path sources round-trip too (the file need not exist
@@ -454,7 +475,8 @@ const JOB_REQUEST_GOLDEN: &str = "{\"verb\":\"job\",\"spec\":{\
 \"source\":{\"benchmark\":\"ctrl\"},\
 \"backend\":\"rm3\",\
 \"options\":{\"rewriting\":null,\"effort\":0,\"selection\":\"topological\",\
-\"allocation\":\"lifo\",\"max_writes\":null,\"peephole\":false},\
+\"allocation\":\"lifo\",\"max_writes\":null,\"peephole\":false,\
+\"copy_reuse\":false},\
 \"fleet\":null,\"program\":false,\"projection_arrays\":4}}";
 
 /// The same spec with every rider attached: fleet, chaos (floats at
@@ -463,7 +485,8 @@ const CHAOS_REQUEST_GOLDEN: &str = "{\"verb\":\"job\",\"spec\":{\
 \"source\":{\"benchmark\":\"ctrl\"},\
 \"backend\":\"rm3\",\
 \"options\":{\"rewriting\":null,\"effort\":0,\"selection\":\"topological\",\
-\"allocation\":\"lifo\",\"max_writes\":null,\"peephole\":false},\
+\"allocation\":\"lifo\",\"max_writes\":null,\"peephole\":false,\
+\"copy_reuse\":false},\
 \"fleet\":{\"arrays\":2,\"jobs\":6,\"dispatch\":\"least-worn\",\
 \"write_budget\":null,\"input_seed\":7,\"simd\":false,\
 \"chaos\":{\"fault_seed\":3,\"endurance_median\":4096.0,\
@@ -566,6 +589,36 @@ fn daemon_response_envelopes_are_pinned() {
 \"jobs_rejected\":1,\"cache\":{\"entries\":2,\"capacity\":256,\"hits\":1,\
 \"misses\":2,\"evictions\":0}}}"
     );
+}
+
+/// Satellite: the canonical preset-name list is load-bearing vocabulary
+/// (CLI `--policy`, wire options, cache keys, eval table columns) — pin
+/// it so additions are deliberate, and check every name round-trips
+/// through `preset`/`preset_name`.
+#[test]
+fn preset_names_are_pinned_and_round_trip() {
+    assert_eq!(
+        CompileOptions::preset_names(),
+        &[
+            "naive",
+            "plim21",
+            "min-write",
+            "ea-rewriting",
+            "endurance-aware"
+        ]
+    );
+    for &name in CompileOptions::preset_names() {
+        let preset = CompileOptions::preset(name).expect("canonical name resolves");
+        assert_eq!(preset.preset_name(), Some(name));
+        // Per-run modifiers never change the answer.
+        assert_eq!(
+            preset
+                .with_peephole(true)
+                .with_copy_reuse(true)
+                .preset_name(),
+            Some(name)
+        );
+    }
 }
 
 #[test]
