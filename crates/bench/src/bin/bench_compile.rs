@@ -104,7 +104,13 @@ impl Row {
     }
 }
 
-fn measure(service: &Service, benchmark: Benchmark, effort: usize, repeat: usize) -> Row {
+fn measure(
+    service: &Service,
+    benchmark: Benchmark,
+    effort: usize,
+    repeat: usize,
+    esat: bool,
+) -> Row {
     let mig = benchmark.build();
     let mut best: Option<Row> = None;
     for _ in 0..repeat.max(1) {
@@ -113,13 +119,15 @@ fn measure(service: &Service, benchmark: Benchmark, effort: usize, repeat: usize
         let rewrite_seconds = t0.elapsed().as_secs_f64();
 
         // The graph is already rewritten; compile without re-rewriting so
-        // the two phases are timed separately. The peephole on/off pair
-        // shares the rewritten graph, so the delta isolates the elision
-        // pass itself.
+        // the two phases are timed separately (with `--esat` the
+        // saturation rounds run inside the compile, so they land in
+        // `compile_seconds`). The peephole on/off pair shares the
+        // rewritten graph, so the delta isolates the elision pass itself.
         let options = CompileOptions {
             rewriting: None,
             ..CompileOptions::endurance_aware()
-        };
+        }
+        .with_esat(esat);
         let specs = [
             JobSpec::shared_mig(Arc::clone(&rewritten)).with_options(options),
             JobSpec::shared_mig(Arc::clone(&rewritten)).with_options(options.with_peephole(true)),
@@ -156,6 +164,9 @@ fn measure(service: &Service, benchmark: Benchmark, effort: usize, repeat: usize
 /// naive/endurance-aware workload timed on both execution paths.
 struct FleetRow {
     name: &'static str,
+    /// Whether the light program was compiled with equality saturation
+    /// (`--esat`); recorded in the DB benchmark label.
+    esat: bool,
     arrays: usize,
     jobs: usize,
     instructions: u64,
@@ -167,9 +178,17 @@ struct FleetRow {
 }
 
 impl FleetRow {
+    fn label(&self) -> String {
+        if self.esat {
+            format!("{}+esat", self.name)
+        } else {
+            self.name.to_owned()
+        }
+    }
+
     fn to_json(&self) -> Json {
         Json::object([
-            ("benchmark", Json::from(self.name)),
+            ("benchmark", Json::from(self.label().as_str())),
             ("dispatch", Json::from("least-worn")),
             ("workload", Json::from("alternating naive/endurance-aware")),
             ("arrays", Json::from(self.arrays)),
@@ -195,7 +214,7 @@ impl FleetRow {
     fn to_record(&self, run: u64) -> BenchRecord {
         BenchRecord {
             run,
-            benchmark: self.name.to_owned(),
+            benchmark: self.label(),
             arrays: self.arrays,
             jobs: self.jobs,
             instructions: self.instructions,
@@ -223,6 +242,7 @@ fn measure_fleet(
     effort: usize,
     jobs: usize,
     repeat: usize,
+    esat: bool,
 ) -> FleetRow {
     use rlim_plim::{asm, Fleet, FleetConfig, Job};
     const ARRAYS: usize = 4;
@@ -232,7 +252,11 @@ fn measure_fleet(
             .with_options(CompileOptions::naive())
             .with_program_text(true),
         JobSpec::benchmark(benchmark)
-            .with_options(CompileOptions::endurance_aware().with_effort(effort))
+            .with_options(
+                CompileOptions::endurance_aware()
+                    .with_effort(effort)
+                    .with_esat(esat),
+            )
             .with_program_text(true),
     ];
     let reports = service
@@ -268,6 +292,7 @@ fn measure_fleet(
     }
     FleetRow {
         name: benchmark.name(),
+        esat,
         arrays: ARRAYS,
         jobs,
         instructions,
@@ -288,11 +313,13 @@ fn main() {
     let mut gate = false;
     let mut gate_dry_run = false;
     let mut gate_tolerance = DEFAULT_GATE_TOLERANCE;
+    let mut esat = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => benchmarks = QUICK.to_vec(),
+            "--esat" => esat = true,
             "--bench" => {
                 let list = args.next().expect("--bench needs a comma-separated list");
                 benchmarks = list
@@ -332,7 +359,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: bench_compile [--quick] [--bench a,b,c] [--effort N] \
+                    "usage: bench_compile [--quick] [--esat] [--bench a,b,c] [--effort N] \
                      [--repeat N] [--jobs N] [--out PATH] [--baseline PATH] \
                      [--db PATH] [--gate | --gate-dry-run] [--gate-tolerance X]"
                 );
@@ -351,7 +378,7 @@ fn main() {
     });
     let mut rows = Vec::with_capacity(benchmarks.len());
     for &b in &benchmarks {
-        let row = measure(&service, b, effort, repeat);
+        let row = measure(&service, b, effort, repeat, esat);
         eprintln!(
             "[{}] {} gates -> {}: rewrite {:.3}s + compile {:.3}s = {:.3}s \
              (#I={} #R={}; peephole #I={} in {:.3}s)",
@@ -381,11 +408,11 @@ fn main() {
 
     // Fleet execution throughput on the largest benchmark of the set,
     // scalar vs word-level SIMD.
-    let fleet = measure_fleet(&service, benchmarks[0], effort, fleet_jobs, repeat);
+    let fleet = measure_fleet(&service, benchmarks[0], effort, fleet_jobs, repeat, esat);
     eprintln!(
         "[fleet:{}] {} jobs on {} arrays: scalar {:.3}s ({:.0} RM3/s), \
          simd {:.3}s ({:.0} RM3/s, {:.2}x)",
-        fleet.name,
+        fleet.label(),
         fleet.jobs,
         fleet.arrays,
         fleet.scalar_seconds,

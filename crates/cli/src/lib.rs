@@ -100,14 +100,14 @@ rlim — endurance-aware logic-in-memory toolchain (DATE 2017 reproduction)
 
 usage:
   rlim compile <circuit.blif> [--policy P] [--max-writes W] [--effort N] [--peephole]
-               [--copy-reuse] [-o out.plim]
+               [--copy-reuse] [--esat] [-o out.plim]
   rlim report  <benchmark|circuit.blif> [--policy P] [--max-writes W] [--effort N]
-               [--peephole] [--copy-reuse] [--backend B] [--arrays N] [--program]
-               [--json] [--remote ADDR]
+               [--peephole] [--copy-reuse] [--esat] [--esat-nodes N] [--esat-iters N]
+               [--backend B] [--arrays N] [--program] [--json] [--remote ADDR]
   rlim run     <prog.plim> --inputs <bits>
   rlim stats   <prog.plim> [--wear-map]
   rlim bench   <benchmark> [--policy P] [--max-writes W] [--effort N] [--peephole]
-               [--copy-reuse] [-o out.plim]
+               [--copy-reuse] [--esat] [-o out.plim]
   rlim fleet   <benchmark> [--arrays N] [--jobs J] [--dispatch D] [--write-budget W]
                [--effort N] [--threads N] [--simd]
                [--chaos] [--fault-seed N] [--no-recovery]
@@ -123,6 +123,10 @@ dispatch: round-robin | least-worn (default)
 --copy-reuse turns on copy discovery: the translator reads values already
         live in cells instead of re-materialising them, and keeps the reuse
         schedule only when it is no worse on #I, max writes and stdev
+--esat runs equality saturation after the greedy rewriting fixed point: the Ω
+        rules saturate an e-graph and the cheapest realization is extracted;
+        the result is kept only when it is no worse on #I, max writes and
+        stdev (--esat-nodes / --esat-iters bound the saturation)
 --simd packs same-program fleet jobs into 64-lane word-level passes
 --chaos injects seeded device faults (endurance variability + stuck-at cells);
         the fleet remaps broken cells to spares and retires faulty arrays,
@@ -181,6 +185,9 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
     let mut wear_map = false;
     let mut peephole = false;
     let mut copy_reuse = false;
+    let mut esat = false;
+    let mut esat_nodes: Option<u32> = None;
+    let mut esat_iters: Option<u32> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -210,6 +217,27 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
             "--wear-map" => wear_map = true,
             "--peephole" => peephole = true,
             "--copy-reuse" => copy_reuse = true,
+            "--esat" => esat = true,
+            "--esat-nodes" => {
+                let v = value_of("--esat-nodes")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad --esat-nodes `{v}`")))?;
+                if n == 0 {
+                    return Err(CliError::usage("--esat-nodes must be positive"));
+                }
+                esat_nodes = Some(n);
+            }
+            "--esat-iters" => {
+                let v = value_of("--esat-iters")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad --esat-iters `{v}`")))?;
+                if n == 0 {
+                    return Err(CliError::usage("--esat-iters must be positive"));
+                }
+                esat_iters = Some(n);
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown flag `{other}`")));
             }
@@ -232,6 +260,15 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, CliError> {
     }
     if copy_reuse {
         policy = policy.with_copy_reuse(true);
+    }
+    if esat {
+        policy = policy.with_esat(true);
+    }
+    if let Some(n) = esat_nodes {
+        policy = policy.with_esat_nodes(n);
+    }
+    if let Some(n) = esat_iters {
+        policy = policy.with_esat_iters(n);
     }
     Ok(CommonOpts {
         policy,
@@ -429,6 +466,17 @@ pub fn report_argv(spec: &JobSpec) -> Result<Vec<String>, CliError> {
     if options.copy_reuse {
         argv.push("--copy-reuse".to_string());
     }
+    if options.esat {
+        argv.push("--esat".to_string());
+    }
+    if options.esat_nodes != rlim_compiler::DEFAULT_ESAT_NODES {
+        argv.push("--esat-nodes".to_string());
+        argv.push(options.esat_nodes.to_string());
+    }
+    if options.esat_iters != rlim_compiler::DEFAULT_ESAT_ITERS {
+        argv.push("--esat-iters".to_string());
+        argv.push(options.esat_iters.to_string());
+    }
     if spec.backend() != BackendKind::Rm3 {
         argv.push("--backend".to_string());
         argv.push(spec.backend().name().to_string());
@@ -454,7 +502,7 @@ fn render_report_text(report: &Report) -> String {
     let policy = report.options.preset_name().unwrap_or("custom");
     let _ = writeln!(
         out,
-        "backend {}, policy {}, effort {}{}{}{}",
+        "backend {}, policy {}, effort {}{}{}{}{}",
         report.backend,
         policy,
         report.options.effort,
@@ -471,7 +519,8 @@ fn render_report_text(report: &Report) -> String {
             ", copy-reuse"
         } else {
             ""
-        }
+        },
+        if report.options.esat { ", esat" } else { "" }
     );
     let _ = writeln!(
         out,
@@ -1162,11 +1211,44 @@ mod tests {
         assert!(text.contains("lifetime:"), "{text}");
 
         let json = run_str(&["report", "int2float", "--policy", "naive", "--json"]).unwrap();
-        assert!(json.starts_with("{\n  \"schema\": 5,"), "{json}");
+        assert!(json.starts_with("{\n  \"schema\": 6,"), "{json}");
         assert!(json.contains("\"label\": \"int2float\""), "{json}");
         assert!(json.contains("\"preset\": \"naive\""), "{json}");
         assert!(json.contains("\"cached\": false"), "{json}");
         assert!(json.ends_with("}\n"), "trailing newline expected");
+    }
+
+    #[test]
+    fn report_esat_flag_reaches_the_policy_line() {
+        let text = run_str(&["report", "int2float", "--esat", "--esat-iters", "2"]).unwrap();
+        assert!(text.contains(", esat"), "{text}");
+        let off = run_str(&["report", "int2float"]).unwrap();
+        assert!(!off.contains("esat"), "{off}");
+
+        let json = run_str(&[
+            "report",
+            "int2float",
+            "--esat",
+            "--esat-iters",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"esat\": true"), "{json}");
+        assert!(json.contains("\"esat_iters\": 2"), "{json}");
+
+        assert_eq!(
+            run_str(&["report", "int2float", "--esat-nodes", "0"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_str(&["report", "int2float", "--esat-iters", "0"])
+                .unwrap_err()
+                .code,
+            2
+        );
     }
 
     #[test]
@@ -1294,6 +1376,9 @@ mod tests {
             "3".to_string(),
             "--peephole".to_string(),
             "--copy-reuse".to_string(),
+            "--esat".to_string(),
+            "--esat-nodes".to_string(),
+            "9000".to_string(),
             "--program".to_string(),
         ])
         .unwrap();

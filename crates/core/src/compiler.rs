@@ -63,6 +63,9 @@ impl CompileResult {
 /// schedule is kept only when its wear profile is pointwise no worse
 /// (`#I`, peak per-cell writes, write STDEV), so the option can only
 /// improve the paper's endurance metrics.
+/// [`CompileOptions::with_esat`] gets the same guard one level up:
+/// the equality-saturated graph is kept only when its compiled wear
+/// profile is pointwise no worse than the greedy fixed point's.
 ///
 /// # Examples
 ///
@@ -80,6 +83,33 @@ impl CompileResult {
 /// assert_eq!(result.num_rrams(), 3);
 /// ```
 pub fn compile(mig: &Mig, options: &CompileOptions) -> CompileResult {
+    let result = compile_with_copy_selection(mig, options);
+    if !options.esat {
+        return result;
+    }
+    // The extraction cost is a tree estimate, so on reconvergent graphs
+    // the saturated pick can lose to the greedy fixed point once real
+    // scheduling and allocation run. Compile the esat-off configuration
+    // too and keep the saturated result only when it is pointwise no
+    // worse on the paper's metrics — enabling `esat` never degrades
+    // `#I`, peak writes, or balance.
+    let base_options = options.with_esat(false);
+    let mut baseline = compile_with_copy_selection(mig, &base_options);
+    let (esat_stats, baseline_stats) = (result.write_stats(), baseline.write_stats());
+    if result.num_instructions() <= baseline.num_instructions()
+        && esat_stats.max <= baseline_stats.max
+        && esat_stats.stdev <= baseline_stats.stdev
+    {
+        result
+    } else {
+        baseline.options = *options;
+        baseline
+    }
+}
+
+/// The pipeline run with the copy-reuse best-of applied (the inner
+/// layer of [`compile`]'s selection; esat's best-of wraps it).
+fn compile_with_copy_selection(mig: &Mig, options: &CompileOptions) -> CompileResult {
     let result = PassManager::standard(options).run(mig, options);
     if !options.copy_reuse {
         return result;
@@ -146,6 +176,12 @@ mod tests {
             CompileOptions::endurance_aware()
                 .with_max_writes(10)
                 .with_copy_reuse(true),
+            CompileOptions::endurance_aware().with_esat(true),
+            CompileOptions::naive().with_esat(true),
+            CompileOptions::endurance_aware()
+                .with_esat(true)
+                .with_copy_reuse(true)
+                .with_peephole(true),
         ]
     }
 
@@ -376,6 +412,44 @@ mod tests {
                     on_stats.stdev <= off_stats.stdev,
                     "copy reuse worsened balance on seed {seed}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn esat_never_degrades_the_paper_metrics_on_random_graphs() {
+        // The best-of guard in `compile` makes this hold on every input,
+        // not just in expectation.
+        use rlim_mig::random::{generate, RandomMigConfig};
+        let cfg = RandomMigConfig {
+            inputs: 8,
+            outputs: 6,
+            gates: 120,
+            ..Default::default()
+        };
+        for seed in 0..3 {
+            let mig = generate(&cfg, seed);
+            for base in [CompileOptions::naive(), CompileOptions::endurance_aware()] {
+                let off = compile(&mig, &base);
+                let esat = base
+                    .with_esat(true)
+                    .with_esat_nodes(2_000)
+                    .with_esat_iters(2);
+                let on = compile(&mig, &esat);
+                assert!(
+                    on.num_instructions() <= off.num_instructions(),
+                    "esat grew #I on seed {seed}"
+                );
+                let (on_stats, off_stats) = (on.write_stats(), off.write_stats());
+                assert!(
+                    on_stats.max <= off_stats.max,
+                    "esat raised peak writes on seed {seed}"
+                );
+                assert!(
+                    on_stats.stdev <= off_stats.stdev,
+                    "esat worsened balance on seed {seed}"
+                );
+                assert_eq!(on.options, esat, "reported options keep the esat flag");
             }
         }
     }

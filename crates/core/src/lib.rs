@@ -64,7 +64,9 @@ pub mod values;
 pub use backend::{Backend, HostedRm3Backend, ImpBackend, Rm3Backend, WideRm3Backend};
 pub use cells::CellManager;
 pub use compiler::{compile, CompileResult};
-pub use options::{Allocation, CompileOptions, Selection};
+pub use options::{Allocation, CompileOptions, Selection, DEFAULT_ESAT_ITERS, DEFAULT_ESAT_NODES};
 pub use peephole::{elide_dead_writes, elide_redundant_writes, PeepholePass};
-pub use pipeline::{FinalizePass, Pass, PassManager, PipelineState, RewritePass, SchedulePass};
+pub use pipeline::{
+    EsatPass, FinalizePass, Pass, PassManager, PipelineState, RewritePass, SchedulePass,
+};
 pub use translate::TranslatePass;

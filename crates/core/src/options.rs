@@ -75,7 +75,28 @@ pub struct CompileOptions {
     /// the emitted programs stay bit-for-bit comparable with the paper's
     /// configuration columns.
     pub copy_reuse: bool,
+    /// Equality saturation: after the greedy rewriting fixed point, load
+    /// the graph into an e-graph, saturate the Ω rules within the
+    /// budgets below, and extract the cheapest realization under the
+    /// preset's cost weights (`rlim-egraph`). The compiler keeps the
+    /// extracted graph only when its compiled wear profile is pointwise
+    /// no worse than without saturation, so the option can only improve
+    /// the paper's metrics. Off by default so the emitted programs stay
+    /// bit-for-bit comparable with the paper's configuration columns.
+    pub esat: bool,
+    /// Saturation node budget: stop applying rules once the e-graph
+    /// holds this many live e-nodes (see `rlim_egraph::Budget`).
+    pub esat_nodes: u32,
+    /// Saturation iteration budget: maximum match/apply/rebuild rounds.
+    pub esat_iters: u32,
 }
+
+/// Default saturation node budget (see [`CompileOptions::esat_nodes`]).
+pub const DEFAULT_ESAT_NODES: u32 = 50_000;
+
+/// Default saturation iteration budget (see
+/// [`CompileOptions::esat_iters`]).
+pub const DEFAULT_ESAT_ITERS: u32 = 4;
 
 impl Default for CompileOptions {
     fn default() -> Self {
@@ -95,6 +116,9 @@ impl CompileOptions {
             max_writes: None,
             peephole: false,
             copy_reuse: false,
+            esat: false,
+            esat_nodes: DEFAULT_ESAT_NODES,
+            esat_iters: DEFAULT_ESAT_ITERS,
         }
     }
 
@@ -109,6 +133,9 @@ impl CompileOptions {
             max_writes: None,
             peephole: false,
             copy_reuse: false,
+            esat: false,
+            esat_nodes: DEFAULT_ESAT_NODES,
+            esat_iters: DEFAULT_ESAT_ITERS,
         }
     }
 
@@ -169,6 +196,37 @@ impl CompileOptions {
     /// the translator (see [`CompileOptions::copy_reuse`]).
     pub fn with_copy_reuse(mut self, copy_reuse: bool) -> Self {
         self.copy_reuse = copy_reuse;
+        self
+    }
+
+    /// Enables or disables equality saturation (see
+    /// [`CompileOptions::esat`]).
+    pub fn with_esat(mut self, esat: bool) -> Self {
+        self.esat = esat;
+        self
+    }
+
+    /// Sets the saturation node budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is 0: a zero budget would forbid even loading
+    /// the graph.
+    pub fn with_esat_nodes(mut self, nodes: u32) -> Self {
+        assert!(nodes > 0, "esat node budget must be positive");
+        self.esat_nodes = nodes;
+        self
+    }
+
+    /// Sets the saturation iteration budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters` is 0: a zero budget would make `--esat` a
+    /// silent no-op.
+    pub fn with_esat_iters(mut self, iters: u32) -> Self {
+        assert!(iters > 0, "esat iteration budget must be positive");
+        self.esat_iters = iters;
         self
     }
 
@@ -293,6 +351,7 @@ mod tests {
             assert_eq!(preset.with_effort(9).preset_name(), Some(name));
             assert_eq!(preset.with_peephole(true).preset_name(), Some(name));
             assert_eq!(preset.with_copy_reuse(true).preset_name(), Some(name));
+            assert_eq!(preset.with_esat(true).preset_name(), Some(name));
             assert_eq!(preset.with_max_writes(20).preset_name(), Some(name));
         }
         assert_eq!(CompileOptions::preset("nonesuch"), None);
@@ -320,10 +379,36 @@ mod tests {
         ] {
             assert!(!preset.peephole, "paper columns exclude the peephole");
             assert!(!preset.copy_reuse, "paper columns exclude copy reuse");
+            assert!(!preset.esat, "paper columns exclude equality saturation");
+            assert_eq!(preset.esat_nodes, DEFAULT_ESAT_NODES);
+            assert_eq!(preset.esat_iters, DEFAULT_ESAT_ITERS);
         }
         let on = CompileOptions::endurance_aware().with_peephole(true);
         assert!(on.peephole);
         let reuse = CompileOptions::endurance_aware().with_copy_reuse(true);
         assert!(reuse.copy_reuse);
+    }
+
+    #[test]
+    fn esat_builders_set_the_flag_and_budgets() {
+        let o = CompileOptions::endurance_aware()
+            .with_esat(true)
+            .with_esat_nodes(10_000)
+            .with_esat_iters(2);
+        assert!(o.esat);
+        assert_eq!(o.esat_nodes, 10_000);
+        assert_eq!(o.esat_iters, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "node budget must be positive")]
+    fn zero_esat_node_budget_rejected() {
+        let _ = CompileOptions::endurance_aware().with_esat_nodes(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration budget must be positive")]
+    fn zero_esat_iteration_budget_rejected() {
+        let _ = CompileOptions::endurance_aware().with_esat_iters(0);
     }
 }

@@ -5,6 +5,8 @@
 //!
 //! 1. **rewrite** ([`RewritePass`]) — apply the configured MIG rewriting
 //!    algorithm (paper Algorithm 1 or 2) to the source graph;
+//!    optionally followed by **esat** ([`EsatPass`]) — equality
+//!    saturation over the same Ω rules with weighted-cost extraction;
 //! 2. **schedule** ([`SchedulePass`]) — fix the node translation order
 //!    under the configured selection policy (topological / area-aware /
 //!    endurance-aware, paper Algorithm 3);
@@ -126,6 +128,9 @@ impl PassManager {
         if options.rewriting.is_some() {
             manager.push(Box::new(RewritePass));
         }
+        if options.esat {
+            manager.push(Box::new(EsatPass));
+        }
         manager.push(Box::new(SchedulePass));
         manager.push(Box::new(crate::translate::TranslatePass));
         if options.peephole {
@@ -228,6 +233,94 @@ impl Pass for RewritePass {
     }
 }
 
+/// Equality saturation over the Ω rules with weighted-cost extraction.
+///
+/// Runs up to [`ESAT_ROUNDS`] saturate → extract → polish rounds.
+/// Each round loads the current graph into an e-graph, saturates the
+/// shared Ω rule descriptions within the configured node/iteration
+/// budgets, and extracts the cheapest realization anchored at the
+/// input ([`rlim_egraph::extract_around`]). The cost weights follow
+/// the configuration's allocation policy: minimum-write columns
+/// optimize the endurance weights (RM3 write estimate dominates,
+/// complemented edges break ties), LIFO columns the area weights
+/// (gates dominate). The extracted graph is polished by the configured
+/// greedy rewriting algorithm — saturation proposes a new basin, the
+/// greedy fixed point descends to its bottom — and the polished graph
+/// seeds the next round, so the search alternates between the
+/// e-graph's exact-accounting moves and the greedy depth-aware ones.
+///
+/// The extraction cost model is an RM3 estimate; the real objective is
+/// what the back end produces. So every round's candidates (raw and
+/// polished) are judged by the actual baseline pipeline (schedule →
+/// translate → finalize under the same options) and the pass keeps the
+/// pointwise-best graph on the paper's metrics — `#I`, max per-cell
+/// writes, write-count standard deviation — with ties keeping the
+/// earlier graph. [`crate::compile`] additionally guards the final
+/// result with the same best-of against the unsaturated pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EsatPass;
+
+/// Saturate → extract → polish rounds per [`EsatPass`] invocation.
+/// Rounds past the first matter when polishing moves the graph into a
+/// basin whose saturation exposes new sharing; the pass exits early at
+/// a fixed point.
+pub const ESAT_ROUNDS: usize = 3;
+
+impl Pass for EsatPass {
+    fn name(&self) -> &'static str {
+        "esat"
+    }
+
+    fn run(&self, state: &mut PipelineState<'_>) {
+        use rlim_egraph::{
+            extract_around, saturate as egraph_saturate, Budget, CostWeights, EGraph,
+        };
+
+        let budget = Budget {
+            max_nodes: state.options.esat_nodes as usize,
+            max_iters: state.options.esat_iters as usize,
+        };
+        let rules = rlim_mig::rewrite::rules::omega_rules();
+        let weights = match state.options.allocation {
+            crate::options::Allocation::MinWrite => CostWeights::endurance(),
+            crate::options::Allocation::Lifo => CostWeights::area(),
+        };
+        let score = |g: &Mig| -> (usize, u64, f64) {
+            let r = PassManager::baseline().run(g, state.options);
+            let s = r.write_stats();
+            (r.num_instructions(), s.max, s.stdev)
+        };
+        let mut cur = state.graph().clone();
+        let mut best_score = score(&cur);
+        let mut best = cur.clone();
+        for _ in 0..ESAT_ROUNDS {
+            let before = cur.fingerprint();
+            let (mut eg, outputs, classes) = EGraph::from_mig_with_classes(&cur);
+            egraph_saturate(&mut eg, &rules, &budget);
+            let raw = extract_around(&eg, &outputs, &weights, &cur, &classes);
+            let polished = match state.options.rewriting {
+                Some(algorithm) => rewrite(&raw, algorithm, state.options.effort),
+                None => raw.clone(),
+            };
+            for cand in [&raw, &polished] {
+                let sc = score(cand);
+                let no_worse = sc.0 <= best_score.0 && sc.1 <= best_score.1 && sc.2 <= best_score.2;
+                let strictly_better =
+                    sc.0 < best_score.0 || sc.1 < best_score.1 || sc.2 < best_score.2;
+                if no_worse && strictly_better {
+                    best_score = sc;
+                    best = cand.clone();
+                }
+            }
+            cur = polished;
+            if cur.fingerprint() == before {
+                break;
+            }
+        }
+        state.mig = Some(best);
+    }
+}
+
 /// Fixes the node translation order under the configured selection policy.
 ///
 /// The pass replays exactly the interleaving the translator will perform:
@@ -314,6 +407,10 @@ mod tests {
             PassManager::standard(&CompileOptions::endurance_aware().with_peephole(true))
                 .pass_names(),
             ["rewrite", "schedule", "translate", "peephole", "finalize"]
+        );
+        assert_eq!(
+            PassManager::standard(&CompileOptions::endurance_aware().with_esat(true)).pass_names(),
+            ["rewrite", "esat", "schedule", "translate", "finalize"]
         );
         assert_eq!(
             PassManager::baseline().pass_names(),

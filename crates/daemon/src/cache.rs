@@ -54,7 +54,7 @@ pub fn cache_key(fingerprint: u128, spec: &JobSpec) -> String {
 
     let o = spec.options();
     let mut key = format!(
-        "src={fingerprint:032x};class={};rw={};effort={};sel={};alloc={};maxw={:?};peep={};copy={};prog={};proj={}",
+        "src={fingerprint:032x};class={};rw={};effort={};sel={};alloc={};maxw={:?};peep={};copy={};esat={};esatn={};esati={};prog={};proj={}",
         spec.backend().class().name(),
         o.rewriting.map_or("none", algorithm_name),
         o.effort,
@@ -63,6 +63,9 @@ pub fn cache_key(fingerprint: u128, spec: &JobSpec) -> String {
         o.max_writes,
         o.peephole,
         o.copy_reuse,
+        o.esat,
+        o.esat_nodes,
+        o.esat_iters,
         spec.includes_program(),
         spec.projection_arrays(),
     );
@@ -266,6 +269,29 @@ mod tests {
         assert_ne!(cache_key(fp, &base), cache_key(fp, &reuse));
         assert!(cache_key(fp, &base).contains(";copy=false;"));
         assert!(cache_key(fp, &reuse).contains(";copy=true;"));
+    }
+
+    #[test]
+    fn esat_options_never_share_cache_entries() {
+        // Equality saturation rewrites the graph the program is compiled
+        // from, and its budgets change what the saturation explores — an
+        // esat job must never be served a greedy-only entry, nor may two
+        // runs with different budgets share one.
+        let fp = 7u128;
+        let base = JobSpec::benchmark(Benchmark::Ctrl);
+        let esat = base.clone().with_options(base.options().with_esat(true));
+        assert_ne!(cache_key(fp, &base), cache_key(fp, &esat));
+        assert!(cache_key(fp, &base).contains(";esat=false;"));
+        assert!(cache_key(fp, &esat).contains(";esat=true;"));
+        let narrow = base
+            .clone()
+            .with_options(base.options().with_esat(true).with_esat_nodes(1_000));
+        let short = base
+            .clone()
+            .with_options(base.options().with_esat(true).with_esat_iters(1));
+        assert_ne!(cache_key(fp, &esat), cache_key(fp, &narrow));
+        assert_ne!(cache_key(fp, &esat), cache_key(fp, &short));
+        assert_ne!(cache_key(fp, &narrow), cache_key(fp, &short));
     }
 
     #[test]

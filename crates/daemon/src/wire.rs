@@ -229,6 +229,9 @@ fn options_json(o: &CompileOptions) -> Json {
         ("max_writes", Json::from(o.max_writes)),
         ("peephole", Json::from(o.peephole)),
         ("copy_reuse", Json::from(o.copy_reuse)),
+        ("esat", Json::from(o.esat)),
+        ("esat_nodes", Json::from(o.esat_nodes as u64)),
+        ("esat_iters", Json::from(o.esat_iters as u64)),
     ])
 }
 
@@ -325,6 +328,9 @@ fn decode_options(json: &Json) -> Result<CompileOptions, Error> {
             "max_writes",
             "peephole",
             "copy_reuse",
+            "esat",
+            "esat_nodes",
+            "esat_iters",
         ],
         "options",
     )?;
@@ -339,6 +345,13 @@ fn decode_options(json: &Json) -> Result<CompileOptions, Error> {
             return Err(invalid("options.max_writes must be at least 3"));
         }
     }
+    let esat_budget = |key: &str, ctx: &str| -> Result<u32, Error> {
+        let v = as_u64(field(obj, key, "options")?, ctx)?;
+        match u32::try_from(v) {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(invalid(format!("{ctx} must be a positive 32-bit value"))),
+        }
+    };
     Ok(CompileOptions {
         rewriting,
         effort: as_usize(field(obj, "effort", "options")?, "options.effort")?,
@@ -353,6 +366,9 @@ fn decode_options(json: &Json) -> Result<CompileOptions, Error> {
         max_writes,
         peephole: as_bool(field(obj, "peephole", "options")?, "options.peephole")?,
         copy_reuse: as_bool(field(obj, "copy_reuse", "options")?, "options.copy_reuse")?,
+        esat: as_bool(field(obj, "esat", "options")?, "options.esat")?,
+        esat_nodes: esat_budget("esat_nodes", "options.esat_nodes")?,
+        esat_iters: esat_budget("esat_iters", "options.esat_iters")?,
     })
 }
 
@@ -685,6 +701,11 @@ fn decode_report(doc: &Json) -> Result<Report, Error> {
         max_writes: opt(pol("max_writes")?, |j| as_u64(j, "policy.max_writes")).map_err(run)?,
         peephole: as_bool(pol("peephole")?, "policy.peephole").map_err(run)?,
         copy_reuse: as_bool(pol("copy_reuse")?, "policy.copy_reuse").map_err(run)?,
+        esat: as_bool(pol("esat")?, "policy.esat").map_err(run)?,
+        esat_nodes: u32::try_from(as_u64(pol("esat_nodes")?, "policy.esat_nodes").map_err(run)?)
+            .map_err(|_| Error::Run("policy.esat_nodes out of range".to_string()))?,
+        esat_iters: u32::try_from(as_u64(pol("esat_iters")?, "policy.esat_iters").map_err(run)?)
+            .map_err(|_| Error::Run("policy.esat_iters out of range".to_string()))?,
     };
 
     let circuit = entries(get("circuit")?, "report.circuit").map_err(run)?;
@@ -814,7 +835,8 @@ mod tests {
             "{\"spec\":{}}",
             "{\"verb\":\"job\",\"spec\":{\"source\":{\"benchmark\":\"nonesuch\"}}}",
             "[1,2,3]",
-            "{\"verb\":\"job\",\"spec\":{\"source\":{\"benchmark\":\"ctrl\"},\"backend\":\"rm3\",\"options\":{\"rewriting\":null,\"effort\":5,\"selection\":\"topological\",\"allocation\":\"lifo\",\"max_writes\":2,\"peephole\":false,\"copy_reuse\":false},\"fleet\":null,\"program\":false,\"projection_arrays\":4}}",
+            "{\"verb\":\"job\",\"spec\":{\"source\":{\"benchmark\":\"ctrl\"},\"backend\":\"rm3\",\"options\":{\"rewriting\":null,\"effort\":5,\"selection\":\"topological\",\"allocation\":\"lifo\",\"max_writes\":2,\"peephole\":false,\"copy_reuse\":false,\"esat\":false,\"esat_nodes\":50000,\"esat_iters\":4},\"fleet\":null,\"program\":false,\"projection_arrays\":4}}",
+            "{\"verb\":\"job\",\"spec\":{\"source\":{\"benchmark\":\"ctrl\"},\"backend\":\"rm3\",\"options\":{\"rewriting\":null,\"effort\":5,\"selection\":\"topological\",\"allocation\":\"lifo\",\"max_writes\":null,\"peephole\":false,\"copy_reuse\":false,\"esat\":true,\"esat_nodes\":0,\"esat_iters\":4},\"fleet\":null,\"program\":false,\"projection_arrays\":4}}",
         ] {
             let err = decode_request(garbage).expect_err(garbage);
             assert!(err.is_usage(), "{garbage}: {err:?}");

@@ -1,0 +1,176 @@
+//! E-class analysis: per-class (depth, complemented edges, estimated
+//! write cost), each the minimum any representative tree achieves.
+//!
+//! Every metric is a monotone fixed point over the live e-nodes:
+//!
+//! * **depth** — leaves are 0, an e-node is one more than its deepest
+//!   child class; a class takes the minimum over its e-nodes.
+//! * **complemented edges** — count of complemented non-constant child
+//!   edges, summed over the representative tree. Thanks to the Ω.I
+//!   polarity canonicalization every stored e-node contributes 0 or 1.
+//! * **estimated write cost** — the RM3 translation estimate: a gate
+//!   with exactly one complemented non-constant child costs one
+//!   instruction, any other form costs three (preset + load + main).
+//!
+//! The three minima are computed independently, so they are a *bound*
+//! per metric, not necessarily achieved simultaneously by one tree —
+//! the extractor (see [`crate::extract`]) optimizes one weighted
+//! combination instead. Tree-shaped accumulation deliberately ignores
+//! sharing (the classic e-graph extraction approximation), so values on
+//! reconvergent graphs overestimate the DAG truth.
+
+use rlim_mig::Signal;
+
+use crate::graph::EGraph;
+
+/// Sentinel for "no finite derivation found yet".
+const UNKNOWN: u64 = u64::MAX;
+
+/// Per-class minima, indexed by *root* class id. Entries for merged
+/// (non-root) class ids are meaningless; canonicalize first.
+#[derive(Debug, Clone)]
+pub struct ClassAnalysis {
+    /// Minimum achievable depth.
+    pub depth: Vec<u32>,
+    /// Minimum achievable complemented-edge count (tree estimate).
+    pub comp_edges: Vec<u64>,
+    /// Minimum achievable estimated write cost (tree estimate).
+    pub write_cost: Vec<u64>,
+}
+
+/// Number of complemented non-constant children of a stored triple.
+pub(crate) fn local_comp_edges(triple: &[Signal; 3]) -> u64 {
+    triple
+        .iter()
+        .filter(|s| !s.is_constant() && s.is_complement())
+        .count() as u64
+}
+
+/// RM3 instruction estimate for one gate: 1 when exactly one
+/// non-constant child is complemented, 3 otherwise.
+pub(crate) fn local_write_cost(triple: &[Signal; 3]) -> u64 {
+    if local_comp_edges(triple) == 1 {
+        1
+    } else {
+        3
+    }
+}
+
+/// Computes the analysis for every class of `eg`. The e-graph must be
+/// rebuilt (congruence-closed); call after [`EGraph::rebuild`].
+pub fn analyze(eg: &EGraph) -> ClassAnalysis {
+    let n = eg.num_classes();
+    let mut depth = vec![u32::MAX; n];
+    let mut comp = vec![UNKNOWN; n];
+    let mut write = vec![UNKNOWN; n];
+    for id in 0..n {
+        if eg.is_leaf_class(rlim_mig::NodeId::new(id as u32)) {
+            depth[id] = 0;
+            comp[id] = 0;
+            write[id] = 0;
+        }
+    }
+    // Monotone relaxation to a fixed point: every pass sweeps the live
+    // e-nodes in id order; values only decrease, so termination is
+    // guaranteed and the result is iteration-order independent.
+    loop {
+        let mut changed = false;
+        for e in 0..eg.nodes.len() {
+            if eg.dead[e] {
+                continue;
+            }
+            let cls = eg.node_class[e].node().index();
+            let tri = &eg.nodes[e];
+            let child = |s: &Signal| s.node().index();
+
+            let d = tri.iter().map(|s| depth[child(s)]).max().unwrap_or(0);
+            if d != u32::MAX && d + 1 < depth[cls] {
+                depth[cls] = d + 1;
+                changed = true;
+            }
+
+            let sum = |table: &[u64], local: u64| {
+                tri.iter()
+                    .try_fold(local, |acc: u64, s| match table[child(s)] {
+                        UNKNOWN => None,
+                        v => Some(acc.saturating_add(v)),
+                    })
+            };
+            if let Some(c) = sum(&comp, local_comp_edges(tri)) {
+                if c < comp[cls] {
+                    comp[cls] = c;
+                    changed = true;
+                }
+            }
+            if let Some(w) = sum(&write, local_write_cost(tri)) {
+                if w < write[cls] {
+                    write[cls] = w;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    ClassAnalysis {
+        depth,
+        comp_edges: comp,
+        write_cost: write,
+    }
+}
+
+impl ClassAnalysis {
+    /// Depth of the class `s` points at (polarity is irrelevant to
+    /// depth).
+    pub fn depth_of(&self, s: Signal) -> u32 {
+        self.depth[s.node().index()]
+    }
+
+    /// Write-cost estimate of the class `s` points at.
+    pub fn write_cost_of(&self, s: Signal) -> u64 {
+        self.write_cost[s.node().index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlim_mig::Mig;
+
+    #[test]
+    fn leaves_are_free_and_gates_accumulate() {
+        let mut mig = Mig::new(3);
+        let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+        let g1 = mig.add_maj(a, !b, c); // one complemented child: cost 1
+        let g2 = mig.add_maj(g1, a, b); // no complements: cost 3
+        mig.add_output(g2);
+        let (mut eg, outs) = EGraph::from_mig(&mig);
+        eg.rebuild();
+        let analysis = analyze(&eg);
+        assert_eq!(analysis.depth_of(outs[0]), 2);
+        assert_eq!(analysis.write_cost_of(outs[0]), 1 + 3);
+        assert_eq!(analysis.comp_edges[outs[0].node().index()], 1);
+        // Inputs and the constant are free.
+        assert_eq!(analysis.depth_of(eg.input(1)), 0);
+        assert_eq!(analysis.write_cost_of(Signal::FALSE), 0);
+    }
+
+    #[test]
+    fn minimum_is_taken_over_the_whole_class() {
+        // Build a deep and a shallow spelling, then merge their classes:
+        // the analysis must report the shallow/cheap one.
+        let mut eg = EGraph::new(4);
+        let [a, b, c, d] = [eg.input(0), eg.input(1), eg.input(2), eg.input(3)];
+        let deep1 = eg.add(a, b, c);
+        let deep2 = eg.add(deep1, c, d);
+        let deep3 = eg.add(deep2, a, b);
+        let shallow = eg.add(a, !d, c);
+        eg.union(deep3, shallow);
+        eg.rebuild();
+        let analysis = analyze(&eg);
+        let cls = eg.canonical(deep3);
+        assert_eq!(analysis.depth_of(cls), 1);
+        assert_eq!(analysis.write_cost_of(cls), 1);
+    }
+}

@@ -1,0 +1,374 @@
+//! The e-graph: hashconsed majority e-nodes over parity e-classes.
+//!
+//! Layout mirrors [`Mig`] deliberately. An e-node is a sorted
+//! `[Signal; 3]` triple whose signals name *e-classes* (class id in the
+//! node position, complement bit intact), interned through the same
+//! open-addressing [`Strash`] the graph kernel uses — the triple array
+//! is the key store, the table holds ids. Class ids follow the `Mig`
+//! node convention: class 0 is constant false (`Signal::FALSE`/`TRUE`
+//! work unchanged as class signals), classes `1..=num_inputs` are the
+//! primary inputs, and gate classes follow.
+//!
+//! Two MIG axioms are *native* — applied on every interning rather than
+//! by the rule engine:
+//!
+//! * **Ω.M** ([`Mig::simplify_maj`]): duplicate/complementary children
+//!   collapse before a triple is ever stored.
+//! * **Ω.I** (self-duality): of the two equivalent spellings
+//!   `⟨a b c⟩` and `¬⟨ā b̄ c̄⟩`, [`canonical_polarity`] interns the one
+//!   with fewer complemented non-constant children (ties to the
+//!   lexicographically smaller triple) and hands the complement back to
+//!   the caller as the returned signal's polarity. Every stored e-node
+//!   therefore has **at most one** complemented non-constant child —
+//!   exactly the form the RM3 translator prefers — and a node and its
+//!   dual can never occupy two e-classes.
+//!
+//! After unions, [`EGraph::rebuild`] restores congruence: every e-node
+//! is re-canonicalized against the union-find and re-interned; triples
+//! that collide were congruent all along and their classes merge. The
+//! loop runs to a fixed point, then per-class e-node lists are rebuilt
+//! in deterministic (insertion-order) form.
+
+use rlim_mig::{Mig, NodeId, Signal, Strash};
+
+use crate::unionfind::UnionFind;
+
+/// Picks the canonical polarity of a sorted, Ω.M-irreducible triple:
+/// the spelling (original or complemented dual) with fewer complemented
+/// non-constant children, ties broken toward the lexicographically
+/// smaller triple. Returns the canonical triple and whether it computes
+/// the *complement* of the input triple's majority.
+pub(crate) fn canonical_polarity(key: [Signal; 3]) -> ([Signal; 3], bool) {
+    let mut dual = [!key[0], !key[1], !key[2]];
+    dual.sort_unstable();
+    let comp_count = |t: &[Signal; 3]| {
+        t.iter()
+            .filter(|s| !s.is_constant() && s.is_complement())
+            .count()
+    };
+    let (k, d) = (comp_count(&key), comp_count(&dual));
+    if d < k || (d == k && dual < key) {
+        (dual, true)
+    } else {
+        (key, false)
+    }
+}
+
+/// An equality-saturation graph over majority e-nodes.
+#[derive(Debug, Clone, Default)]
+pub struct EGraph {
+    pub(crate) uf: UnionFind,
+    /// Canonical child triple of each e-node; e-node id = index. This is
+    /// also the strash's key store.
+    pub(crate) nodes: Vec<[Signal; 3]>,
+    /// Per e-node: the class signal the e-node's function equals
+    /// (`maj(nodes[e]) ≡ node_class[e]`). Canonicalized by `rebuild`.
+    pub(crate) node_class: Vec<Signal>,
+    /// E-nodes superseded by congruence or Ω.M collapse; skipped
+    /// everywhere.
+    pub(crate) dead: Vec<bool>,
+    /// Live e-node ids per *root* class id; valid after `rebuild`, and
+    /// maintained eagerly for fresh nodes between rebuilds.
+    pub(crate) class_nodes: Vec<Vec<NodeId>>,
+    strash: Strash,
+    num_inputs: usize,
+    live: usize,
+    dirty: bool,
+}
+
+impl EGraph {
+    /// An e-graph with the constant class and `num_inputs` input
+    /// classes, no e-nodes.
+    pub fn new(num_inputs: usize) -> Self {
+        let mut eg = EGraph {
+            num_inputs,
+            ..EGraph::default()
+        };
+        for _ in 0..=num_inputs {
+            eg.uf.make_class();
+            eg.class_nodes.push(Vec::new());
+        }
+        eg
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of classes ever created (merged classes included).
+    pub fn num_classes(&self) -> usize {
+        self.uf.len()
+    }
+
+    /// Number of live (non-superseded) e-nodes — the saturation budget's
+    /// currency.
+    pub fn num_enodes(&self) -> usize {
+        self.live
+    }
+
+    /// The class signal of primary input `i`.
+    pub fn input(&self, i: usize) -> Signal {
+        assert!(i < self.num_inputs, "input index out of range");
+        Signal::new(NodeId::new(i as u32 + 1), false)
+    }
+
+    /// Canonicalizes a class signal without mutating the structure.
+    pub fn canonical(&self, s: Signal) -> Signal {
+        self.uf.find_immutable(s)
+    }
+
+    /// Whether a *root* class id is a leaf (constant or input) class.
+    pub(crate) fn is_leaf_class(&self, id: NodeId) -> bool {
+        id.index() <= self.num_inputs
+    }
+
+    /// Adds (or finds) the majority e-node `⟨a b c⟩` over class signals
+    /// and returns the class signal it belongs to. Applies Ω.M and the
+    /// Ω.I polarity canonicalization; the result may be an existing
+    /// class or even one of the operands.
+    pub fn add(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        let (a, b, c) = (self.uf.find(a), self.uf.find(b), self.uf.find(c));
+        match Mig::simplify_maj(a, b, c) {
+            Ok(s) => s,
+            Err(key) => {
+                let (key, flip) = canonical_polarity(key);
+                let id = NodeId::new(self.nodes.len() as u32);
+                match self.strash.insert_or_get(&key, id, &self.nodes) {
+                    Some(existing) => {
+                        let cls = self.uf.find(self.node_class[existing.index()]);
+                        cls.complement_if(flip)
+                    }
+                    None => {
+                        self.nodes.push(key);
+                        self.dead.push(false);
+                        self.live += 1;
+                        let cls = self.uf.make_class();
+                        self.class_nodes.push(Vec::new());
+                        self.node_class.push(cls);
+                        self.class_nodes[cls.node().index()].push(id);
+                        cls.complement_if(flip)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges the classes of `a` and `b`, asserting they compute the
+    /// same function (polarities included). Returns whether anything
+    /// merged; schedules a congruence `rebuild` if so.
+    pub fn union(&mut self, a: Signal, b: Signal) -> bool {
+        match self.uf.union(a, b) {
+            None => false,
+            Some((keep, merge)) => {
+                let absorbed = std::mem::take(&mut self.class_nodes[merge.index()]);
+                self.class_nodes[keep.index()].extend(absorbed);
+                self.dirty = true;
+                true
+            }
+        }
+    }
+
+    /// Restores congruence after unions: re-canonicalizes every live
+    /// e-node against the union-find (children, polarity, Ω.M), and
+    /// merges classes whose e-nodes now intern identically. Runs to a
+    /// fixed point, then rebuilds the per-class e-node lists in
+    /// deterministic insertion order.
+    pub fn rebuild(&mut self) {
+        while self.dirty {
+            self.dirty = false;
+            self.strash.clear();
+            for e in 0..self.nodes.len() {
+                if self.dead[e] {
+                    continue;
+                }
+                let [a, b, c] = self.nodes[e];
+                let (a, b, c) = (self.uf.find(a), self.uf.find(b), self.uf.find(c));
+                let cls = self.uf.find(self.node_class[e]);
+                match Mig::simplify_maj(a, b, c) {
+                    Ok(s) => {
+                        // The e-node collapsed onto an existing signal:
+                        // its class and that signal were equal all along.
+                        self.dead[e] = true;
+                        self.live -= 1;
+                        self.union(cls, s);
+                    }
+                    Err(key) => {
+                        let (key, flip) = canonical_polarity(key);
+                        let rel = cls.complement_if(flip);
+                        self.nodes[e] = key;
+                        self.node_class[e] = rel;
+                        let id = NodeId::new(e as u32);
+                        if let Some(other) = self.strash.insert_or_get(&key, id, &self.nodes) {
+                            // Congruent twin: same canonical triple, so
+                            // the two classes compute the same function.
+                            debug_assert_ne!(other.index(), e);
+                            self.dead[e] = true;
+                            self.live -= 1;
+                            let twin = self.uf.find(self.node_class[other.index()]);
+                            self.union(rel, twin);
+                        }
+                    }
+                }
+            }
+        }
+        for list in &mut self.class_nodes {
+            list.clear();
+        }
+        for e in 0..self.nodes.len() {
+            if self.dead[e] {
+                continue;
+            }
+            let cls = self.uf.find(self.node_class[e]);
+            self.node_class[e] = cls;
+            self.class_nodes[cls.node().index()].push(NodeId::new(e as u32));
+        }
+    }
+
+    /// Loads a [`Mig`] into a fresh e-graph. Returns the graph and the
+    /// MIG's primary outputs translated to class signals, in order.
+    pub fn from_mig(mig: &Mig) -> (EGraph, Vec<Signal>) {
+        let (eg, outputs, _) = EGraph::from_mig_with_classes(mig);
+        (eg, outputs)
+    }
+
+    /// [`EGraph::from_mig`] plus the per-node class map: element `i` is
+    /// the class signal MIG node `i` landed in (as of load time —
+    /// canonicalize after unions). Extraction anchors on this map to
+    /// treat the loaded realization as already materialized
+    /// ([`crate::extract_around`]).
+    pub fn from_mig_with_classes(mig: &Mig) -> (EGraph, Vec<Signal>, Vec<Signal>) {
+        let mut eg = EGraph::new(mig.num_inputs());
+        // map[i] = class signal of MIG node i (positive polarity).
+        let mut map: Vec<Signal> = Vec::with_capacity(mig.num_nodes());
+        map.push(Signal::FALSE);
+        for i in 0..mig.num_inputs() {
+            map.push(eg.input(i));
+        }
+        let translate =
+            |map: &[Signal], s: Signal| map[s.node().index()].complement_if(s.is_complement());
+        for g in mig.gates() {
+            let [a, b, c] = mig.children(g);
+            let (a, b, c) = (translate(&map, a), translate(&map, b), translate(&map, c));
+            let cls = eg.add(a, b, c);
+            map.push(cls);
+        }
+        let outputs = mig.outputs().iter().map(|&s| translate(&map, s)).collect();
+        (eg, outputs, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_classes_follow_the_mig_layout() {
+        let eg = EGraph::new(3);
+        assert_eq!(eg.num_classes(), 4);
+        assert_eq!(eg.num_enodes(), 0);
+        assert_eq!(eg.input(0), Signal::new(NodeId::new(1), false));
+        assert_eq!(eg.canonical(Signal::TRUE), Signal::TRUE);
+    }
+
+    #[test]
+    fn add_interns_permutations_and_duals_together() {
+        let mut eg = EGraph::new(3);
+        let [a, b, c] = [eg.input(0), eg.input(1), eg.input(2)];
+        let g1 = eg.add(a, b, c);
+        let g2 = eg.add(c, a, b);
+        assert_eq!(g1, g2, "permutations intern to one e-node");
+        // Ω.I is native: the dual triple is the same e-node, complemented.
+        let g3 = eg.add(!a, !b, !c);
+        assert_eq!(g3, !g1, "dual interns to the complemented class");
+        assert_eq!(eg.num_enodes(), 1);
+    }
+
+    #[test]
+    fn omega_m_is_native() {
+        let mut eg = EGraph::new(2);
+        let [a, b] = [eg.input(0), eg.input(1)];
+        assert_eq!(eg.add(a, a, b), a);
+        assert_eq!(eg.add(a, !a, b), b);
+        assert_eq!(eg.add(Signal::FALSE, Signal::TRUE, a), a);
+        assert_eq!(eg.num_enodes(), 0);
+    }
+
+    #[test]
+    fn canonical_polarity_minimizes_complemented_children() {
+        let s = |i: u32, c: bool| Signal::new(NodeId::new(i), c);
+        // Two of three children complemented: the dual has one.
+        let key = [s(1, true), s(2, true), s(3, false)];
+        let (canon, flip) = canonical_polarity(key);
+        assert!(flip);
+        assert_eq!(canon, [s(1, false), s(2, false), s(3, true)]);
+        // Constant children flip for free and are not counted.
+        let key = [Signal::FALSE, s(2, true), s(3, true)];
+        let (canon, flip) = canonical_polarity(key);
+        assert!(flip);
+        assert_eq!(canon, [Signal::TRUE, s(2, false), s(3, false)]);
+        // Already minimal: unchanged.
+        let key = [s(1, false), s(2, false), s(3, true)];
+        assert_eq!(canonical_polarity(key), (key, false));
+    }
+
+    #[test]
+    fn union_then_rebuild_merges_congruent_parents() {
+        let mut eg = EGraph::new(4);
+        let [a, b, c, d] = [eg.input(0), eg.input(1), eg.input(2), eg.input(3)];
+        let p = eg.add(a, b, c);
+        let q = eg.add(a, b, d);
+        let top_p = eg.add(p, c, d);
+        let top_q = eg.add(q, c, d);
+        assert_ne!(top_p, top_q);
+        // Assert c ≡ d (as if a rule proved it): p and q become
+        // congruent, and so do their parents.
+        assert!(eg.union(c, d));
+        eg.rebuild();
+        assert_eq!(eg.canonical(p), eg.canonical(q));
+        assert_eq!(eg.canonical(top_p), eg.canonical(top_q));
+    }
+
+    #[test]
+    fn complemented_union_propagates_parity_through_congruence() {
+        let mut eg = EGraph::new(4);
+        let [a, b, c, d] = [eg.input(0), eg.input(1), eg.input(2), eg.input(3)];
+        let p = eg.add(a, b, c);
+        let q = eg.add(!a, !b, d);
+        // Assert d ≡ ¬c: then q = ⟨ā b̄ c̄⟩ = ¬⟨a b c⟩ = ¬p.
+        assert!(eg.union(d, !c));
+        eg.rebuild();
+        assert_eq!(eg.canonical(q), eg.canonical(!p));
+    }
+
+    #[test]
+    fn rebuild_collapses_omega_m_after_merge() {
+        let mut eg = EGraph::new(3);
+        let [a, b, c] = [eg.input(0), eg.input(1), eg.input(2)];
+        let g = eg.add(a, b, c);
+        // Prove b ≡ a: the gate collapses to a by Ω.M.
+        assert!(eg.union(a, b));
+        eg.rebuild();
+        assert_eq!(eg.canonical(g), eg.canonical(a));
+        assert_eq!(eg.num_enodes(), 0, "collapsed e-node is dead");
+    }
+
+    #[test]
+    fn from_mig_round_trips_structure() {
+        let mut mig = Mig::new(3);
+        let [a, b, c] = [mig.input(0), mig.input(1), mig.input(2)];
+        let g1 = mig.add_maj(a, b, c);
+        let g2 = mig.add_maj(g1, !a, c);
+        mig.add_output(g2);
+        mig.add_output(!g1);
+        let (eg, outs) = EGraph::from_mig(&mig);
+        assert_eq!(eg.num_inputs(), 3);
+        assert_eq!(eg.num_enodes(), 2);
+        assert_eq!(outs.len(), 2);
+        // The two outputs land in distinct classes, the second
+        // complemented (no polarity flip occurs for these triples).
+        assert_ne!(outs[0].node(), outs[1].node());
+        assert!(!outs[0].is_complement());
+        assert!(outs[1].is_complement());
+    }
+}

@@ -1,0 +1,214 @@
+//! Parity (complement-aware) union-find with path compression.
+//!
+//! A plain union-find proves `a ≡ b`; MIG equivalence classes also need
+//! `a ≡ ¬b` (Ω.I makes a node and its complemented-children dual the
+//! same class in opposite polarity). So every parent pointer carries a
+//! complement bit, reusing [`Signal`]'s packed `id << 1 | complement`
+//! layout with the node index holding an *e-class id* instead of a graph
+//! node: `parent[i] = (q, c)` asserts class `i` equals class `q`
+//! complemented by `c`. [`UnionFind::find`] folds the parity along the
+//! path to the root and compresses it, so amortized lookups stay
+//! near-constant exactly as in the classic structure.
+
+use rlim_mig::{NodeId, Signal};
+
+/// Parity union-find over e-class ids.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    /// `parent[i] = (q, c)`: class `i` ≡ class `q` xor `c`. Roots point
+    /// at themselves uncomplemented.
+    parent: Vec<Signal>,
+}
+
+impl UnionFind {
+    /// An empty structure with no classes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of classes ever created (including merged ones).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether no class has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Creates a fresh singleton class and returns its uncomplemented
+    /// signal.
+    pub fn make_class(&mut self) -> Signal {
+        let id = NodeId::new(self.parent.len() as u32);
+        let s = Signal::new(id, false);
+        self.parent.push(s);
+        s
+    }
+
+    /// Canonicalizes `s`: the root class signal it is currently equal
+    /// to, with the net parity folded in. Compresses the walked path.
+    pub fn find(&mut self, s: Signal) -> Signal {
+        // First walk: locate the root and the parity from s's class.
+        let mut i = s.node();
+        let mut parity = false;
+        loop {
+            let p = self.parent[i.index()];
+            if p.node() == i {
+                break;
+            }
+            parity ^= p.is_complement();
+            i = p.node();
+        }
+        let root = i;
+        // Second walk: repoint every visited class straight at the root
+        // with its own accumulated parity.
+        let mut i = s.node();
+        let mut to_root = parity;
+        while i != root {
+            let p = self.parent[i.index()];
+            self.parent[i.index()] = Signal::new(root, to_root);
+            to_root ^= p.is_complement();
+            i = p.node();
+        }
+        Signal::new(root, s.is_complement() ^ parity)
+    }
+
+    /// Read-only canonicalization (no compression) for shared contexts.
+    pub fn find_immutable(&self, s: Signal) -> Signal {
+        let mut i = s.node();
+        let mut parity = s.is_complement();
+        loop {
+            let p = self.parent[i.index()];
+            if p.node() == i {
+                return Signal::new(i, parity);
+            }
+            parity ^= p.is_complement();
+            i = p.node();
+        }
+    }
+
+    /// Merges the classes of `a` and `b`, asserting `a ≡ b` *as
+    /// signals* (their polarities included). The smaller-indexed root
+    /// survives, keeping canonical ids deterministic and leaf classes
+    /// (constant, inputs) always canonical. Returns `(kept, absorbed)`
+    /// root ids when a merge happened, `None` when the two were already
+    /// one class.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the union would identify a class with
+    /// its own complement — sound MIG rules can never derive `f ≡ ¬f`.
+    pub fn union(&mut self, a: Signal, b: Signal) -> Option<(NodeId, NodeId)> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra.node() == rb.node() {
+            debug_assert_eq!(
+                ra.is_complement(),
+                rb.is_complement(),
+                "union would identify a class with its own complement"
+            );
+            return None;
+        }
+        let (keep, merge) = if ra.node().index() < rb.node().index() {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        // keep ≡ merge, so merge's root points at keep's root with the
+        // combined parity.
+        self.parent[merge.node().index()] =
+            Signal::new(keep.node(), keep.is_complement() ^ merge.is_complement());
+        Some((keep.node(), merge.node()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(id: u32, c: bool) -> Signal {
+        Signal::new(NodeId::new(id), c)
+    }
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_class();
+        let b = uf.make_class();
+        assert_eq!(uf.find(a), a);
+        assert_eq!(uf.find(!b), !b);
+        assert_eq!(uf.len(), 2);
+    }
+
+    #[test]
+    fn plain_union_merges_without_parity() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_class();
+        let b = uf.make_class();
+        assert!(uf.union(a, b).is_some());
+        assert_eq!(uf.find(a), uf.find(b));
+        assert_eq!(uf.find(!a), uf.find(!b));
+        assert!(uf.union(a, b).is_none(), "second union is a no-op");
+    }
+
+    #[test]
+    fn complemented_union_tracks_parity() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_class();
+        let b = uf.make_class();
+        // Assert a ≡ ¬b.
+        assert!(uf.union(a, !b).is_some());
+        assert_eq!(uf.find(a), uf.find(!b));
+        assert_eq!(uf.find(!a), uf.find(b));
+        assert_ne!(uf.find(a), uf.find(b));
+    }
+
+    #[test]
+    fn parity_composes_across_chains() {
+        let mut uf = UnionFind::new();
+        let classes: Vec<Signal> = (0..8).map(|_| uf.make_class()).collect();
+        // 0 ≡ ¬1, 1 ≡ 2, 2 ≡ ¬3 … alternating parities down a chain.
+        for w in classes.windows(2).enumerate() {
+            let (i, pair) = w;
+            let flip = i % 2 == 0;
+            uf.union(pair[0], pair[1].complement_if(flip));
+        }
+        // Net parity from 0 to 7: flips at links 0, 2, 4, 6 → 4 flips → even.
+        assert_eq!(uf.find(classes[0]), uf.find(classes[7]));
+        // And from 0 to 1: one flip → odd.
+        assert_eq!(uf.find(classes[0]), uf.find(!classes[1]));
+        // find_immutable agrees with find.
+        for &c in &classes {
+            assert_eq!(uf.find_immutable(c), uf.find(c));
+            assert_eq!(uf.find_immutable(!c), uf.find(!c));
+        }
+    }
+
+    #[test]
+    fn smaller_root_wins() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_class();
+        let b = uf.make_class();
+        let c = uf.make_class();
+        uf.union(c, b);
+        uf.union(b, a);
+        assert_eq!(uf.find(c).node(), a.node());
+        assert_eq!(uf.find(sig(2, false)).node().index(), 0);
+    }
+
+    #[test]
+    fn path_compression_points_at_the_root() {
+        let mut uf = UnionFind::new();
+        let classes: Vec<Signal> = (0..64).map(|_| uf.make_class()).collect();
+        for pair in classes.windows(2) {
+            uf.union(pair[0], !pair[1]);
+        }
+        let deep = classes[63];
+        let root = uf.find(deep);
+        assert_eq!(root.node(), classes[0].node());
+        // After one find, the parent pointer is direct.
+        assert_eq!(uf.parent[63].node(), classes[0].node());
+        // Parity from 63 to 0: 63 complement links → odd.
+        assert!(root.is_complement());
+    }
+}

@@ -71,6 +71,7 @@ fn main() {
                         max_writes: None,
                         peephole: false,
                         copy_reuse: false,
+                        ..CompileOptions::naive()
                     };
                     let r = compile(&mig, &options);
                     let s = r.write_stats();

@@ -183,6 +183,9 @@ pub enum Column {
     /// Full endurance-aware compilation plus copy discovery + spilling
     /// (`CompileOptions::with_copy_reuse`).
     CopyReuse,
+    /// Full endurance-aware compilation plus equality saturation over
+    /// the Ω rules (`CompileOptions::with_esat`).
+    Esat,
 }
 
 impl Column {
@@ -196,6 +199,7 @@ impl Column {
             Column::EnduranceAware => "+EA compilation".into(),
             Column::MaxWrite(w) => format!("max-write {w}"),
             Column::CopyReuse => "+copy reuse".into(),
+            Column::Esat => "+esat".into(),
         }
     }
 
@@ -209,6 +213,7 @@ impl Column {
             Column::EnduranceAware => CompileOptions::endurance_aware(),
             Column::MaxWrite(w) => CompileOptions::endurance_aware().with_max_writes(w),
             Column::CopyReuse => CompileOptions::endurance_aware().with_copy_reuse(true),
+            Column::Esat => CompileOptions::endurance_aware().with_esat(true),
         };
         if self == Column::Naive {
             base // naive has no rewriting; effort is irrelevant

@@ -24,6 +24,7 @@ mod distributivity;
 mod inverters;
 mod level_balance;
 mod psi;
+pub mod rules;
 
 pub use inverters::InverterMode;
 
@@ -181,13 +182,17 @@ pub fn rewrite(mig: &Mig, algorithm: Algorithm, effort: usize) -> Mig {
     current
 }
 
-/// The convergence fingerprint of [`rewrite`]'s fixed-point check. Depth is
-/// included because a cycle containing [`Pass::LevelBalance`] can change
-/// depth while leaving both the gate count and the complemented-edge count
-/// untouched — comparing only those two would misclassify such a cycle as
-/// a fixed point.
-pub(crate) fn fingerprint(mig: &Mig) -> (usize, usize, u32) {
-    (mig.num_gates(), mig.total_complemented_edges(), mig.depth())
+/// The convergence fingerprint of [`rewrite`]'s fixed-point check: the
+/// exact structural [`Mig::fingerprint`]. An earlier version compared
+/// the `(gate count, complemented edges, depth)` triple instead; that
+/// can misclassify a still-moving cycle as converged whenever a pass
+/// permutes structure while leaving all three summary statistics
+/// untouched. The exact fingerprint only stops when the graph is
+/// literally unchanged — on the committed benchmark tables the two
+/// checks happen to agree (the tables are byte-identical), so the
+/// switch costs nothing and removes the coincidence hazard.
+pub(crate) fn fingerprint(mig: &Mig) -> u128 {
+    mig.fingerprint()
 }
 
 /// Reusable scratch shared by every pass of a [`rewrite`] call: the

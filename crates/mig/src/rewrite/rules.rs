@@ -1,0 +1,330 @@
+//! Pattern→pattern descriptions of the Ω rewrite rules.
+//!
+//! The greedy passes in this module's siblings (`associativity`,
+//! `distributivity`, `inverters`, `psi`, `level_balance`) each implement
+//! one Ω axiom *imperatively*: walk the graph, test applicability, commit
+//! the first profitable rewrite. The equality-saturation engine
+//! (`rlim-egraph`) needs the same axioms *declaratively* — a left pattern
+//! to match against e-classes and a right pattern to instantiate — so
+//! this module states them once as data, shared by both consumers.
+//!
+//! The correspondence with the greedy passes:
+//!
+//! | rule        | greedy pass                  | axiom                                     |
+//! |-------------|------------------------------|-------------------------------------------|
+//! | `omega.A`   | `Pass::Associativity`        | `⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩`           |
+//! | `psi.C`     | `Pass::ComplementaryAssociativity` | `⟨x u ⟨y ū z⟩⟩ = ⟨x u ⟨y x z⟩⟩`     |
+//! | `omega.D.rl`| `Pass::DistributivityRl`     | `⟨⟨x y u⟩ ⟨x y v⟩ z⟩ = ⟨x y ⟨u v z⟩⟩`     |
+//! | `omega.D.lr`| (reverse of the above)       | `⟨x y ⟨u v z⟩⟩ = ⟨⟨x y u⟩ ⟨x y v⟩ z⟩`     |
+//! | `omega.I`   | `Pass::Inverters*`           | `⟨x y z⟩ = ¬⟨x̄ ȳ z̄⟩`                     |
+//!
+//! Two of the five greedy passes need no rule of their own: Ω.M
+//! (`Pass::Majority`) is applied by construction on every node the
+//! e-graph interns (exactly as [`crate::Mig::add_maj`] applies it on
+//! every insertion), and `Pass::LevelBalance` is Ω.A steered by a level
+//! heuristic — in an e-graph both orientations coexist and the
+//! *extractor* picks the shallower one, so the plain `omega.A` rule
+//! subsumes it. `omega.I` is likewise native to a parity-aware e-graph
+//! (a node and its complemented-children dual intern to one e-node), but
+//! it is kept in the list so the rule set is the complete published
+//! algebra and so engines without native parity still close over it.
+//!
+//! Patterns are tiny trees over at most [`MAX_VARS`] variables; matching
+//! treats majority children as the unordered set they are (the graph
+//! stores them sorted), so one rule covers every argument permutation.
+
+use std::fmt;
+
+/// Upper bound on distinct variables in any rule of [`omega_rules`]
+/// (`x u y z v`). Matching engines can use a fixed-size binding array.
+pub const MAX_VARS: usize = 5;
+
+/// One side of a rewrite rule: a majority-term tree with complement
+/// attributes, over numbered pattern variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// A pattern variable, optionally complemented. Matches any signal;
+    /// every occurrence of the same variable must bind the same signal.
+    Var {
+        /// Variable index, `< MAX_VARS`.
+        var: u8,
+        /// Whether the matched signal is consumed complemented.
+        complement: bool,
+    },
+    /// A majority of three sub-patterns, optionally complemented. The
+    /// children are an unordered set — majority is fully symmetric.
+    Maj {
+        /// The three operand patterns.
+        children: Box<[Pattern; 3]>,
+        /// Whether the majority's value is consumed complemented.
+        complement: bool,
+    },
+}
+
+impl Pattern {
+    /// The uncomplemented variable `v`.
+    pub fn var(v: u8) -> Pattern {
+        assert!((v as usize) < MAX_VARS, "variable index out of range");
+        Pattern::Var {
+            var: v,
+            complement: false,
+        }
+    }
+
+    /// The majority `⟨a b c⟩`, uncomplemented.
+    pub fn maj(a: Pattern, b: Pattern, c: Pattern) -> Pattern {
+        Pattern::Maj {
+            children: Box::new([a, b, c]),
+            complement: false,
+        }
+    }
+
+    /// This pattern with its complement attribute flipped.
+    pub fn complemented(self) -> Pattern {
+        match self {
+            Pattern::Var { var, complement } => Pattern::Var {
+                var,
+                complement: !complement,
+            },
+            Pattern::Maj {
+                children,
+                complement,
+            } => Pattern::Maj {
+                children,
+                complement: !complement,
+            },
+        }
+    }
+
+    /// Number of variables used: one past the highest index mentioned.
+    pub fn num_vars(&self) -> usize {
+        match self {
+            Pattern::Var { var, .. } => *var as usize + 1,
+            Pattern::Maj { children, .. } => {
+                children.iter().map(Pattern::num_vars).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Evaluates the pattern as a Boolean function of its variables.
+    pub fn eval(&self, env: &[bool]) -> bool {
+        match self {
+            Pattern::Var { var, complement } => env[*var as usize] ^ complement,
+            Pattern::Maj {
+                children,
+                complement,
+            } => {
+                let [a, b, c] = [
+                    children[0].eval(env),
+                    children[1].eval(env),
+                    children[2].eval(env),
+                ];
+                (u8::from(a) + u8::from(b) + u8::from(c) >= 2) ^ complement
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [char; MAX_VARS] = ['x', 'u', 'y', 'z', 'v'];
+        match self {
+            Pattern::Var { var, complement } => {
+                if *complement {
+                    write!(f, "!{}", NAMES[*var as usize])
+                } else {
+                    write!(f, "{}", NAMES[*var as usize])
+                }
+            }
+            Pattern::Maj {
+                children,
+                complement,
+            } => {
+                if *complement {
+                    write!(f, "!")?;
+                }
+                write!(f, "<{} {} {}>", children[0], children[1], children[2])
+            }
+        }
+    }
+}
+
+/// A named equivalence `lhs = rhs` over majority terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteRule {
+    /// Stable rule name (used in logs and tests).
+    pub name: &'static str,
+    /// The pattern to match.
+    pub lhs: Pattern,
+    /// The pattern to instantiate under the matched binding.
+    pub rhs: Pattern,
+}
+
+impl RewriteRule {
+    /// Number of variables either side mentions.
+    pub fn num_vars(&self) -> usize {
+        self.lhs.num_vars().max(self.rhs.num_vars())
+    }
+
+    /// Brute-force check that `lhs` and `rhs` compute the same Boolean
+    /// function over every assignment of the rule's variables.
+    pub fn is_sound(&self) -> bool {
+        let n = self.num_vars();
+        (0..1u32 << n).all(|bits| {
+            let env: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            self.lhs.eval(&env) == self.rhs.eval(&env)
+        })
+    }
+}
+
+impl fmt::Display for RewriteRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} => {}", self.name, self.lhs, self.rhs)
+    }
+}
+
+/// The Ω rule set the greedy passes implement, as pattern→pattern data.
+///
+/// Variable convention (matches the paper's statement of the axioms):
+/// `0 = x`, `1 = u`, `2 = y`, `3 = z`, `4 = v`.
+pub fn omega_rules() -> Vec<RewriteRule> {
+    use Pattern as P;
+    let [x, u, y, z, v] = [0u8, 1, 2, 3, 4];
+    vec![
+        // Ω.A — associativity: ⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩. Swapping
+        // x and z re-balances levels; the extractor decides which
+        // orientation is profitable (this is what LevelBalance guesses
+        // greedily).
+        RewriteRule {
+            name: "omega.A",
+            lhs: P::maj(
+                P::var(x),
+                P::var(u),
+                P::maj(P::var(y), P::var(u), P::var(z)),
+            ),
+            rhs: P::maj(
+                P::var(z),
+                P::var(u),
+                P::maj(P::var(y), P::var(u), P::var(x)),
+            ),
+        },
+        // Ψ.C — complementary associativity: ⟨x u ⟨y ū z⟩⟩ = ⟨x u ⟨y x z⟩⟩.
+        // Substituting x for ū inside the inner gate frequently exposes
+        // an Ω.M collapse the greedy pass already committed past.
+        RewriteRule {
+            name: "psi.C",
+            lhs: P::maj(
+                P::var(x),
+                P::var(u),
+                P::maj(P::var(y), P::var(u).complemented(), P::var(z)),
+            ),
+            rhs: P::maj(
+                P::var(x),
+                P::var(u),
+                P::maj(P::var(y), P::var(x), P::var(z)),
+            ),
+        },
+        // Ω.D right-to-left — the node-saving direction: two gates
+        // sharing an (x, y) pair fuse into one.
+        RewriteRule {
+            name: "omega.D.rl",
+            lhs: P::maj(
+                P::maj(P::var(x), P::var(y), P::var(u)),
+                P::maj(P::var(x), P::var(y), P::var(v)),
+                P::var(z),
+            ),
+            rhs: P::maj(
+                P::var(x),
+                P::var(y),
+                P::maj(P::var(u), P::var(v), P::var(z)),
+            ),
+        },
+        // Ω.D left-to-right — the expanding direction. Locally worse
+        // (one extra gate) but repeatedly enables rl-fusions elsewhere;
+        // only an e-graph can afford to try it everywhere.
+        RewriteRule {
+            name: "omega.D.lr",
+            lhs: P::maj(
+                P::var(x),
+                P::var(y),
+                P::maj(P::var(u), P::var(v), P::var(z)),
+            ),
+            rhs: P::maj(
+                P::maj(P::var(x), P::var(y), P::var(u)),
+                P::maj(P::var(x), P::var(y), P::var(v)),
+                P::var(z),
+            ),
+        },
+        // Ω.I — self-duality: ⟨x y z⟩ = ¬⟨x̄ ȳ z̄⟩. Native to a
+        // parity-aware e-graph (both sides intern to one e-node), listed
+        // for completeness of the published algebra.
+        RewriteRule {
+            name: "omega.I",
+            lhs: P::maj(P::var(x), P::var(y), P::var(z)),
+            rhs: P::maj(
+                P::var(x).complemented(),
+                P::var(y).complemented(),
+                P::var(z).complemented(),
+            )
+            .complemented(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_is_a_boolean_identity() {
+        for rule in omega_rules() {
+            assert!(rule.is_sound(), "unsound rule {rule}");
+        }
+    }
+
+    #[test]
+    fn rule_names_are_unique_and_fit_the_binding_array() {
+        let rules = omega_rules();
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), rules.len(), "duplicate rule names");
+        for rule in &rules {
+            assert!(rule.num_vars() <= MAX_VARS, "{} overflows MAX_VARS", rule);
+        }
+    }
+
+    #[test]
+    fn a_broken_rule_is_detected() {
+        // Sanity-check the checker itself: majority is not conjunction.
+        let bogus = RewriteRule {
+            name: "bogus",
+            lhs: Pattern::maj(Pattern::var(0), Pattern::var(1), Pattern::var(2)),
+            rhs: Pattern::var(0),
+        };
+        assert!(!bogus.is_sound());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let rules = omega_rules();
+        assert_eq!(
+            rules[0].to_string(),
+            "omega.A: <x u <y u z>> => <z u <y u x>>"
+        );
+        assert_eq!(rules[4].to_string(), "omega.I: <x y z> => !<!x !y !z>");
+    }
+
+    #[test]
+    fn eval_respects_complements() {
+        let p = Pattern::maj(
+            Pattern::var(0),
+            Pattern::var(1).complemented(),
+            Pattern::var(2),
+        )
+        .complemented();
+        // ⟨x ū y⟩ at x=1, u=1, y=0 is maj(1,0,0) = 0; complemented = 1.
+        assert!(p.eval(&[true, true, false]));
+        assert_eq!(p.num_vars(), 3);
+    }
+}

@@ -12,7 +12,7 @@ use crate::json::Json;
 /// JSON schema version stamped into every serialized report. Bump when a
 /// key is added, removed or re-typed; the golden schema test pins the
 /// current shape.
-pub const REPORT_SCHEMA_VERSION: u64 = 5;
+pub const REPORT_SCHEMA_VERSION: u64 = 6;
 
 /// The circuit interface behind a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,6 +228,9 @@ impl Report {
             ("max_writes", Json::from(o.max_writes)),
             ("peephole", Json::from(o.peephole)),
             ("copy_reuse", Json::from(o.copy_reuse)),
+            ("esat", Json::from(o.esat)),
+            ("esat_nodes", Json::from(o.esat_nodes as u64)),
+            ("esat_iters", Json::from(o.esat_iters as u64)),
         ]);
         let circuit = Json::object([
             ("inputs", Json::from(self.circuit.inputs)),

@@ -104,6 +104,58 @@ proptest! {
         prop_assert!(on_stats.stdev <= off_stats.stdev);
     }
 
+    /// Equality saturation is semantics-preserving under every canonical
+    /// preset: whatever realization the extractor picks out of the
+    /// saturated e-graph, the compiled program computes the MIG's
+    /// function bit for bit (oracle-verified). Tight budgets keep the
+    /// debug-mode e-graphs small without changing what is being proved.
+    #[test]
+    fn esat_preserves_semantics_across_presets(mig in mig_strategy()) {
+        let oracle = Oracle::new().with_sample_rounds(6).with_imp(false);
+        for &name in CompileOptions::preset_names() {
+            let options = CompileOptions::preset(name)
+                .expect("canonical preset")
+                .with_esat(true)
+                .with_esat_nodes(2_000)
+                .with_esat_iters(2);
+            let result = compile(&mig, &options);
+            prop_assert_eq!(result.program.validate(), Ok(()));
+            oracle.verify_program(&mig, "esat", name, &result.program);
+        }
+    }
+
+    /// The esat guarantee: turning saturation on never worsens `#I`, the
+    /// max per-cell write count or the write stdev — `compile` keeps the
+    /// extracted graph only when it is pointwise no worse than the greedy
+    /// fixed point, so the guarantee holds on *every* input.
+    #[test]
+    fn esat_is_monotone_on_random_graphs(mig in mig_strategy()) {
+        let base = CompileOptions::endurance_aware();
+        let off = compile(&mig, &base);
+        let on = compile(
+            &mig,
+            &base.with_esat(true).with_esat_nodes(2_000).with_esat_iters(2),
+        );
+        prop_assert!(on.num_instructions() <= off.num_instructions());
+        let (on_stats, off_stats) = (on.write_stats(), off.write_stats());
+        prop_assert!(on_stats.max <= off_stats.max);
+        prop_assert!(on_stats.stdev <= off_stats.stdev);
+    }
+
+    /// Saturation is deterministic: two compiles of the same graph with
+    /// the same budgets produce instruction-identical programs (the
+    /// e-graph iterates no hash-order-dependent state).
+    #[test]
+    fn esat_is_deterministic(mig in mig_strategy()) {
+        let options = CompileOptions::endurance_aware()
+            .with_esat(true)
+            .with_esat_nodes(2_000)
+            .with_esat_iters(2);
+        let a = compile(&mig, &options);
+        let b = compile(&mig, &options);
+        prop_assert_eq!(a.program, b.program);
+    }
+
     /// Fleet safety: copy discovery tracks only values the program itself
     /// materialised, so a program dropped onto a long-lived array full of
     /// a *prior job's* residue still computes the right outputs — no

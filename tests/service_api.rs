@@ -55,6 +55,9 @@ $.policy.effort: int
 $.policy.max_writes: null
 $.policy.peephole: bool
 $.policy.copy_reuse: bool
+$.policy.esat: bool
+$.policy.esat_nodes: int
+$.policy.esat_iters: int
 $.circuit.inputs: int
 $.circuit.outputs: int
 $.circuit.gates: int
@@ -220,7 +223,7 @@ fn report_json_golden_document() {
     let report = Service::new().run(&spec).unwrap();
     let json = report.to_json_string();
     for needle in [
-        "\"schema\": 5,\n",
+        "\"schema\": 6,\n",
         "\"label\": \"int2float\",\n",
         "\"backend\": \"rm3\",\n",
         "\"preset\": \"naive\",\n",
@@ -328,6 +331,13 @@ fn determinism_batch() -> Vec<JobSpec> {
                     .with_copy_reuse(true),
             )
             .with_program_text(true),
+        JobSpec::benchmark(Benchmark::Ctrl).with_options(
+            CompileOptions::endurance_aware()
+                .with_effort(1)
+                .with_esat(true)
+                .with_esat_nodes(4_000)
+                .with_esat_iters(2),
+        ),
     ];
     specs.push(
         JobSpec::benchmark(Benchmark::Router)
@@ -376,6 +386,7 @@ fn run_batch_serial_equals_parallel_byte_identical() {
             "  \"label\": \"ctrl\",",
             "  \"label\": \"dec\",",
             "  \"label\": \"int2float\",",
+            "  \"label\": \"ctrl\",",
             "  \"label\": \"router\","
         ]
     );
@@ -410,6 +421,11 @@ fn spec_strategy() -> impl Strategy<Value = JobSpec> {
         (any::<bool>(), 0usize..10).prop_map(|(some, v)| some.then_some(v)),
         (any::<bool>(), 3u64..200).prop_map(|(some, v)| some.then_some(v)),
         (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+        (
+            any::<bool>(),
+            (any::<bool>(), 1u32..100_000),
+            (any::<bool>(), 1u32..9),
+        ),
         1usize..9,
     )
         .prop_map(
@@ -420,6 +436,7 @@ fn spec_strategy() -> impl Strategy<Value = JobSpec> {
                 effort,
                 max_writes,
                 (peephole, copy_reuse, program, blif),
+                (esat, (esat_nodes_set, esat_nodes), (esat_iters_set, esat_iters)),
                 arrays,
             )| {
                 let mut options = CompileOptions::preset(preset).expect("canonical preset");
@@ -429,7 +446,16 @@ fn spec_strategy() -> impl Strategy<Value = JobSpec> {
                 if let Some(w) = max_writes {
                     options = options.with_max_writes(w);
                 }
-                options = options.with_peephole(peephole).with_copy_reuse(copy_reuse);
+                options = options
+                    .with_peephole(peephole)
+                    .with_copy_reuse(copy_reuse)
+                    .with_esat(esat);
+                if esat_nodes_set {
+                    options = options.with_esat_nodes(esat_nodes);
+                }
+                if esat_iters_set {
+                    options = options.with_esat_iters(esat_iters);
+                }
                 let benchmark = Benchmark::all()[bench];
                 let mut spec = if blif {
                     // Path sources round-trip too (the file need not exist
@@ -476,7 +502,7 @@ const JOB_REQUEST_GOLDEN: &str = "{\"verb\":\"job\",\"spec\":{\
 \"backend\":\"rm3\",\
 \"options\":{\"rewriting\":null,\"effort\":0,\"selection\":\"topological\",\
 \"allocation\":\"lifo\",\"max_writes\":null,\"peephole\":false,\
-\"copy_reuse\":false},\
+\"copy_reuse\":false,\"esat\":false,\"esat_nodes\":50000,\"esat_iters\":4},\
 \"fleet\":null,\"program\":false,\"projection_arrays\":4}}";
 
 /// The same spec with every rider attached: fleet, chaos (floats at
@@ -486,7 +512,7 @@ const CHAOS_REQUEST_GOLDEN: &str = "{\"verb\":\"job\",\"spec\":{\
 \"backend\":\"rm3\",\
 \"options\":{\"rewriting\":null,\"effort\":0,\"selection\":\"topological\",\
 \"allocation\":\"lifo\",\"max_writes\":null,\"peephole\":false,\
-\"copy_reuse\":false},\
+\"copy_reuse\":false,\"esat\":false,\"esat_nodes\":50000,\"esat_iters\":4},\
 \"fleet\":{\"arrays\":2,\"jobs\":6,\"dispatch\":\"least-worn\",\
 \"write_budget\":null,\"input_seed\":7,\"simd\":false,\
 \"chaos\":{\"fault_seed\":3,\"endurance_median\":4096.0,\
@@ -615,6 +641,7 @@ fn preset_names_are_pinned_and_round_trip() {
             preset
                 .with_peephole(true)
                 .with_copy_reuse(true)
+                .with_esat(true)
                 .preset_name(),
             Some(name)
         );
